@@ -1,0 +1,287 @@
+// Package repro hosts the top-level benchmark harness: one testing.B
+// benchmark per table and figure of the paper's evaluation (§4), each
+// regenerating its artifact on the simulated MTPU and publishing the
+// headline numbers via b.ReportMetric. The printable tables themselves
+// come from `go run ./cmd/mtpu-bench all`; EXPERIMENTS.md records the
+// paper-vs-measured comparison.
+package repro
+
+import (
+	"sync"
+	"testing"
+
+	"mtpu/internal/arch"
+	"mtpu/internal/core"
+	"mtpu/internal/experiments"
+	"mtpu/internal/workload"
+)
+
+var (
+	envOnce sync.Once
+	env     *experiments.Env
+)
+
+func benchEnv() *experiments.Env {
+	envOnce.Do(func() { env = experiments.NewEnv(experiments.DefaultSeed) })
+	return env
+}
+
+// BenchmarkTable1_SCTOverheadShare regenerates the execution-overhead
+// row of Table 1 (68% SCTs → ~90% of execution time).
+func BenchmarkTable1_SCTOverheadShare(b *testing.B) {
+	e := benchEnv()
+	var overhead float64
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table1(e)
+		overhead = rows[len(rows)-1].OverheadShare
+	}
+	b.ReportMetric(overhead*100, "2021_overhead_%")
+}
+
+// BenchmarkTable2_BytecodeShare regenerates Table 2 (bytecode share of
+// the loaded execution context).
+func BenchmarkTable2_BytecodeShare(b *testing.B) {
+	e := benchEnv()
+	var share float64
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table2(e)
+		share = 0
+		for _, r := range rows {
+			share += r.BytecodeShare
+		}
+		share /= float64(len(rows))
+	}
+	b.ReportMetric(share*100, "avg_bytecode_%")
+}
+
+// BenchmarkTable6_InstructionMix regenerates Table 6 (instruction
+// breakdown by functional unit).
+func BenchmarkTable6_InstructionMix(b *testing.B) {
+	e := benchEnv()
+	var stack float64
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table6(e)
+		stack = 0
+		for _, r := range rows {
+			stack += r.Shares[8] // FUStack
+		}
+		stack /= float64(len(rows))
+	}
+	b.ReportMetric(stack*100, "avg_stack_%")
+}
+
+// BenchmarkFig12_ILPUpperBound regenerates Fig. 12 (per-optimization ILP
+// upper bound: F&D / +DF / +IF).
+func BenchmarkFig12_ILPUpperBound(b *testing.B) {
+	e := benchEnv()
+	var ipc, spd float64
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig12(e)
+		ipc, spd = 0, 0
+		for _, r := range rows {
+			ipc += r.IPC[2]
+			spd += r.Speedup[2]
+		}
+		ipc /= float64(len(rows))
+		spd /= float64(len(rows))
+	}
+	b.ReportMetric(ipc, "avg_IPC")
+	b.ReportMetric(spd, "avg_speedup_x")
+}
+
+// BenchmarkFig13_HitRatioSweep regenerates Fig. 13 (DB-cache hit ratio
+// vs cache size).
+func BenchmarkFig13_HitRatioSweep(b *testing.B) {
+	e := benchEnv()
+	var saturated float64
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig13(e)
+		saturated = 0
+		for _, r := range rows {
+			saturated += r.HitRatios[len(r.HitRatios)-1]
+		}
+		saturated /= float64(len(rows))
+	}
+	b.ReportMetric(saturated*100, "saturated_hit_%")
+}
+
+// BenchmarkTable7_Finite2KCache regenerates Table 7 (2K-entry DB cache
+// vs the upper limit).
+func BenchmarkTable7_Finite2KCache(b *testing.B) {
+	e := benchEnv()
+	var ipc, dspd float64
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table7(e)
+		ipc, dspd = 0, 0
+		for _, r := range rows {
+			ipc += r.At2KIPC
+			dspd += r.SpeedupDelta
+		}
+		ipc /= float64(len(rows))
+		dspd /= float64(len(rows))
+	}
+	b.ReportMetric(ipc, "avg_2K_IPC")
+	b.ReportMetric(dspd*100, "speedup_delta_%")
+}
+
+// schedBench runs one scheduling-sweep point set and reports the range.
+func schedBench(b *testing.B, modes []core.Mode, report core.Mode) {
+	b.Helper()
+	e := benchEnv()
+	ratios := []float64{0, 0.5, 1.0}
+	var lo, hi float64
+	for i := 0; i < b.N; i++ {
+		pts := experiments.SchedulingSweep(e, modes, []int{4}, ratios)
+		lo, hi = 1e18, 0
+		for _, p := range pts {
+			if p.Mode != report {
+				continue
+			}
+			if p.Speedup < lo {
+				lo = p.Speedup
+			}
+			if p.Speedup > hi {
+				hi = p.Speedup
+			}
+		}
+	}
+	b.ReportMetric(lo, "min_speedup_x")
+	b.ReportMetric(hi, "max_speedup_x")
+}
+
+// BenchmarkFig14_Synchronous regenerates Fig. 14(a).
+func BenchmarkFig14_Synchronous(b *testing.B) {
+	schedBench(b, []core.Mode{core.ModeSynchronous}, core.ModeSynchronous)
+}
+
+// BenchmarkFig14_SpatialTemporal regenerates Fig. 14(b).
+func BenchmarkFig14_SpatialTemporal(b *testing.B) {
+	schedBench(b, []core.Mode{core.ModeSpatialTemporal}, core.ModeSpatialTemporal)
+}
+
+// BenchmarkFig15_Utilization regenerates Fig. 15 (PU utilization over
+// the dependency sweep).
+func BenchmarkFig15_Utilization(b *testing.B) {
+	e := benchEnv()
+	var util float64
+	for i := 0; i < b.N; i++ {
+		pts := experiments.SchedulingSweep(e,
+			[]core.Mode{core.ModeSpatialTemporal}, []int{4}, []float64{0, 0.5, 1.0})
+		util = 0
+		for _, p := range pts {
+			util += p.Utilization
+		}
+		util /= float64(len(pts))
+	}
+	b.ReportMetric(util*100, "avg_util_%")
+}
+
+// BenchmarkFig16_Redundancy regenerates Fig. 16(a).
+func BenchmarkFig16_Redundancy(b *testing.B) {
+	schedBench(b, []core.Mode{core.ModeSTRedundancy}, core.ModeSTRedundancy)
+}
+
+// BenchmarkFig16_Hotspot regenerates Fig. 16(b) — the headline result
+// (the paper reports 3.53x-16.19x across configurations).
+func BenchmarkFig16_Hotspot(b *testing.B) {
+	schedBench(b, []core.Mode{core.ModeSTHotspot}, core.ModeSTHotspot)
+}
+
+// BenchmarkTable8_BPUvsMTPU_SingleCore regenerates Table 8.
+func BenchmarkTable8_BPUvsMTPU_SingleCore(b *testing.B) {
+	e := benchEnv()
+	var bpu100, mtpu0 float64
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table8(e)
+		bpu100 = rows[0].BPUSpeedup
+		mtpu0 = rows[len(rows)-1].MTPUSpeedup
+	}
+	b.ReportMetric(bpu100, "BPU_at_100%_x")
+	b.ReportMetric(mtpu0, "MTPU_at_0%_x")
+}
+
+// BenchmarkTable9_BPUvsMTPU_QuadCore regenerates Table 9.
+func BenchmarkTable9_BPUvsMTPU_QuadCore(b *testing.B) {
+	e := benchEnv()
+	var bpu0, mtpu0 float64
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table9(e)
+		bpu0 = rows[len(rows)-1].BPUSpeedup
+		mtpu0 = rows[len(rows)-1].MTPUSpeedup
+	}
+	b.ReportMetric(bpu0, "BPU_at_0%dep_x")
+	b.ReportMetric(mtpu0, "MTPU_at_0%dep_x")
+}
+
+// BenchmarkChunking_HotspotAnalysis regenerates the §3.4.2 bytecode-
+// loading report (paper: TetherToken transfer loads 8.2%).
+func BenchmarkChunking_HotspotAnalysis(b *testing.B) {
+	e := benchEnv()
+	var tetherLoad float64
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Chunking(e)
+		for _, r := range rows {
+			if r.Contract == "TetherUSD" && r.Function == "transfer" {
+				tetherLoad = r.LoadFraction
+			}
+		}
+	}
+	b.ReportMetric(tetherLoad*100, "tether_transfer_load_%")
+}
+
+// BenchmarkAblations regenerates the design-choice ablation table
+// (DESIGN.md's ablation index; not a paper artifact, but the paper's
+// design arguments quantified one knob at a time).
+func BenchmarkAblations(b *testing.B) {
+	e := benchEnv()
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Ablations(e)
+		worst = 1e18
+		for _, r := range rows {
+			if r.Speedup < worst {
+				worst = r.Speedup
+			}
+		}
+	}
+	b.ReportMetric(worst, "worst_knob_speedup_x")
+}
+
+// BenchmarkSimulatorThroughput measures raw simulator performance: how
+// many transactions per second the full co-designed pipeline (functional
+// EVM + timing replay + scheduling) processes on this host.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	gen := workload.NewGenerator(1234, 4096)
+	genesis := gen.Genesis()
+	block := gen.TokenBlock(256, 0.3)
+	if _, err := workload.BuildDAG(genesis, block); err != nil {
+		b.Fatal(err)
+	}
+	acc := core.New(arch.DefaultConfig())
+	traces, receipts, digest, err := core.CollectTraces(genesis, block)
+	if err != nil {
+		b.Fatal(err)
+	}
+	acc.LearnHotspots(traces, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := acc.Replay(block, traces, receipts, digest, core.ModeSTHotspot); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(block.Transactions)*b.N)/b.Elapsed().Seconds(), "tx/s")
+}
+
+// BenchmarkFunctionalEVM measures the functional interpreter alone.
+func BenchmarkFunctionalEVM(b *testing.B) {
+	gen := workload.NewGenerator(1234, 4096)
+	genesis := gen.Genesis()
+	block := gen.TokenBlock(256, 0.3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := core.CollectTraces(genesis, block); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(block.Transactions)*b.N)/b.Elapsed().Seconds(), "tx/s")
+}

@@ -1,0 +1,91 @@
+// Command evm-asm assembles EVM mnemonic text into bytecode and
+// disassembles bytecode back into listings. It can also dump the
+// built-in workload contracts.
+//
+// Usage:
+//
+//	evm-asm file.asm          assemble to hex on stdout
+//	evm-asm -d 6080604052...  disassemble a hex string
+//	evm-asm -contract Name    disassemble a built-in contract
+//	evm-asm -list             list built-in contracts with sizes
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mtpu/internal/asm"
+	"mtpu/internal/contracts"
+	"mtpu/internal/evm"
+)
+
+func main() {
+	disasm := flag.String("d", "", "hex bytecode to disassemble")
+	contract := flag.String("contract", "", "built-in contract to disassemble")
+	list := flag.Bool("list", false, "list built-in contracts")
+	stats := flag.Bool("stats", false, "print functional-unit statistics instead of a listing")
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, c := range contracts.All() {
+			fmt.Printf("%-22s %s  %5d bytes  %d functions\n",
+				c.Name, c.Address, len(c.Code), len(c.Functions))
+		}
+
+	case *contract != "":
+		for _, c := range contracts.All() {
+			if strings.EqualFold(c.Name, *contract) {
+				emit(c.Code, *stats)
+				return
+			}
+		}
+		fmt.Fprintf(os.Stderr, "evm-asm: unknown contract %q (try -list)\n", *contract)
+		os.Exit(1)
+
+	case *disasm != "":
+		code, err := hex.DecodeString(strings.TrimPrefix(*disasm, "0x"))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "evm-asm: bad hex: %v\n", err)
+			os.Exit(1)
+		}
+		emit(code, *stats)
+
+	case flag.NArg() == 1:
+		src, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "evm-asm: %v\n", err)
+			os.Exit(1)
+		}
+		code, err := asm.Assemble(string(src))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "evm-asm: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(hex.EncodeToString(code))
+
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func emit(code []byte, stats bool) {
+	if !stats {
+		fmt.Print(asm.Format(code))
+		return
+	}
+	counts := asm.Stats(code)
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	for _, u := range asm.SortedUnits(counts) {
+		fmt.Printf("%-18s %5d  %5.1f%%\n", evm.FuncUnit(u).String(), counts[u],
+			100*float64(counts[u])/float64(total))
+	}
+	fmt.Printf("%-18s %5d\n", "total", total)
+}

@@ -1,0 +1,98 @@
+// Command mtpu-bench regenerates the paper's evaluation tables and
+// figures on the simulated MTPU. Each subcommand prints one artifact;
+// "all" prints everything (the EXPERIMENTS.md source data).
+//
+// Usage:
+//
+//	mtpu-bench [-seed N] {table2|table6|fig12|fig13|table7|fig14|fig15|fig16|table8|table9|chunking|all}
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mtpu/internal/core"
+	"mtpu/internal/experiments"
+)
+
+func main() {
+	seed := flag.Int64("seed", experiments.DefaultSeed, "workload generator seed")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() != 1 {
+		usage()
+		os.Exit(2)
+	}
+
+	env := experiments.NewEnv(*seed)
+	cmd := flag.Arg(0)
+	artifacts := map[string]func(){
+		"table1": func() { fmt.Println(experiments.RenderTable1(experiments.Table1(env))) },
+		"table2": func() { fmt.Println(experiments.RenderTable2(experiments.Table2(env))) },
+		"table6": func() { fmt.Println(experiments.RenderTable6(experiments.Table6(env))) },
+		"fig12":  func() { fmt.Println(experiments.RenderFig12(experiments.Fig12(env))) },
+		"fig13":  func() { fmt.Println(experiments.RenderFig13(experiments.Fig13(env))) },
+		"table7": func() { fmt.Println(experiments.RenderTable7(experiments.Table7(env))) },
+		"fig14": func() {
+			pts := experiments.Fig14(env)
+			fmt.Println(experiments.RenderSchedPoints(
+				"Fig.14(a) — speedup, synchronous execution", pts, core.ModeSynchronous, "speedup"))
+			fmt.Println(experiments.RenderSchedPoints(
+				"Fig.14(b) — speedup, spatio-temporal scheduling", pts, core.ModeSpatialTemporal, "speedup"))
+		},
+		"fig15": func() {
+			pts := experiments.Fig14(env)
+			fmt.Println(experiments.RenderSchedPoints(
+				"Fig.15(a) — utilization, synchronous execution", pts, core.ModeSynchronous, "util"))
+			fmt.Println(experiments.RenderSchedPoints(
+				"Fig.15(b) — utilization, spatio-temporal scheduling", pts, core.ModeSpatialTemporal, "util"))
+		},
+		"fig16": func() {
+			pts := experiments.Fig16(env)
+			fmt.Println(experiments.RenderSchedPoints(
+				"Fig.16(a) — speedup, ST + redundancy optimization", pts, core.ModeSTRedundancy, "speedup"))
+			fmt.Println(experiments.RenderSchedPoints(
+				"Fig.16(b) — speedup, ST + redundancy + hotspot", pts, core.ModeSTHotspot, "speedup"))
+		},
+		"table8":   func() { fmt.Println(experiments.RenderTable8(experiments.Table8(env))) },
+		"table9":   func() { fmt.Println(experiments.RenderTable9(experiments.Table9(env))) },
+		"chunking": func() { fmt.Println(experiments.RenderChunking(experiments.Chunking(env))) },
+		"ablation": func() { fmt.Println(experiments.RenderAblations(experiments.Ablations(env))) },
+	}
+	order := []string{"table1", "table2", "table6", "fig12", "fig13", "table7",
+		"fig14", "fig15", "fig16", "table8", "table9", "chunking", "ablation"}
+
+	if cmd == "all" {
+		for _, name := range order {
+			artifacts[name]()
+		}
+		return
+	}
+	run, ok := artifacts[cmd]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "mtpu-bench: unknown artifact %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	run()
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: mtpu-bench [-seed N] ARTIFACT
+ARTIFACT is one of:
+  table1    SCT count share vs execution-overhead share
+  table2    bytecode share of the loaded context
+  table6    instruction breakdown of the TOP-8 contracts
+  fig12     ILP upper bound (F&D / +DF / +IF)
+  fig13     DB-cache hit ratio vs size
+  table7    single PU at 2K entries vs upper limit
+  fig14     speedup: synchronous vs spatio-temporal
+  fig15     PU utilization for the same sweep
+  fig16     speedup with redundancy and hotspot optimization
+  table8    BPU vs MTPU single core (ERC-20 share sweep)
+  table9    BPU vs MTPU quad core (dependency sweep)
+  chunking  hotspot chunking / pre-execution / prefetch report
+  ablation  one-at-a-time design-choice ablations
+  all       everything above`)
+}

@@ -1,0 +1,3 @@
+module mtpu
+
+go 1.24

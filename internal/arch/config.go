@@ -1,0 +1,119 @@
+// Package arch defines the shared configuration and instruction-trace
+// representation of the MTPU architectural model. The functional EVM
+// produces traces (arch.Collector); the timing model in arch/pipeline,
+// arch/pu and arch/mtpu replays them through the six-stage pipeline, DB
+// cache, memory hierarchy and multi-PU scheduler of §3.3.
+package arch
+
+// Config holds every architectural parameter. Defaults follow the Table 5
+// prototype: four PUs, a 2K-entry DB cache, 1024-deep operand stack, and a
+// memory hierarchy of in-core caches, execution-environment buffer and
+// main memory.
+type Config struct {
+	// --- Pipeline / ILP (§3.3.2-3.3.4) ---
+
+	// EnableDBCache turns on the fill unit and decoded-bytecode cache
+	// (the F&D optimization of Fig. 12).
+	EnableDBCache bool
+	// EnableForwarding allows one RAW per line to be absorbed by
+	// half-cycle data forwarding between reconfigurable units (DF).
+	EnableForwarding bool
+	// EnableFolding turns on pattern detection and instruction folding (IF).
+	EnableFolding bool
+	// DBCacheEntries is the line capacity of the DB cache (LRU).
+	// 0 means unbounded (used for upper-limit experiments).
+	DBCacheEntries int
+	// MinLineInstructions is the smallest line worth caching; shorter
+	// fills are discarded (single instructions go to the hotspot side
+	// table instead, §3.4.1).
+	MinLineInstructions int
+
+	// --- Memory hierarchy (§3.3.6), latencies in cycles ---
+
+	// DCacheLat is an in-core data-cache hit (prefetched data lands here).
+	DCacheLat uint64
+	// EnvBufferLat is an execution-environment-buffer access (State
+	// Buffer hit for recently touched state).
+	EnvBufferLat uint64
+	// MainMemLat is an on-accelerator main-memory access (cold state).
+	MainMemLat uint64
+	// StorageWriteLat is charged by SSTORE (write-back buffered).
+	StorageWriteLat uint64
+	// Sha3PerWordLat is the SHA unit's cost per 32-byte word hashed.
+	Sha3PerWordLat uint64
+	// CopyPerWordLat is charged per word by the copy instructions.
+	CopyPerWordLat uint64
+	// ContextSwitchLat is the fixed cost of a CALL-family context switch.
+	ContextSwitchLat uint64
+	// CodeLoadBytesPerCycle is the bandwidth for loading contract
+	// bytecode into the Call_Contract stack (context construction).
+	CodeLoadBytesPerCycle uint64
+	// TxSetupLat is the fixed per-transaction context-construction cost
+	// beyond bytecode loading.
+	TxSetupLat uint64
+
+	// --- Reuse / redundancy optimization (§3.3.5) ---
+
+	// ReuseContext keeps the loaded contract bytecode and the DB cache
+	// warm across transactions on the same PU.
+	ReuseContext bool
+	// ContractResidency is how many contract bytecodes the Call_Contract
+	// stack keeps loaded per PU (417 KB in Table 5 ≈ several contracts).
+	ContractResidency int
+	// StateBufferSlots is the recently-touched-state capacity of the
+	// shared State Buffer; hits cost EnvBufferLat instead of MainMemLat.
+	StateBufferSlots int
+
+	// --- Multi-PU / scheduling (§3.2) ---
+
+	// NumPUs is the number of processing units.
+	NumPUs int
+	// CandidateWindow is m, the number of candidate transactions the CPU
+	// keeps in main memory.
+	CandidateWindow int
+	// ScheduleOverhead is the per-selection critical-path cost in cycles
+	// (the O(n)-bit logic of §3.2.3).
+	ScheduleOverhead uint64
+}
+
+// DefaultConfig returns the Table 5 prototype configuration with all
+// optimizations enabled.
+func DefaultConfig() Config {
+	return Config{
+		EnableDBCache:       true,
+		EnableForwarding:    true,
+		EnableFolding:       true,
+		DBCacheEntries:      2048,
+		MinLineInstructions: 2,
+
+		DCacheLat:             1,
+		EnvBufferLat:          4,
+		MainMemLat:            20,
+		StorageWriteLat:       2,
+		Sha3PerWordLat:        4,
+		CopyPerWordLat:        1,
+		ContextSwitchLat:      16,
+		CodeLoadBytesPerCycle: 32,
+		TxSetupLat:            40,
+
+		ReuseContext:      true,
+		ContractResidency: 8,
+		StateBufferSlots:  4096,
+
+		NumPUs:           4,
+		CandidateWindow:  8,
+		ScheduleOverhead: 4,
+	}
+}
+
+// ScalarConfig returns the single-PU baseline with no parallel features —
+// the "single PU without any parallelism" of §4.2.
+func ScalarConfig() Config {
+	c := DefaultConfig()
+	c.EnableDBCache = false
+	c.EnableForwarding = false
+	c.EnableFolding = false
+	c.ReuseContext = false
+	c.NumPUs = 1
+	return c
+}

@@ -1,0 +1,168 @@
+// Package mtpu assembles the multi-transaction processing unit: NumPUs
+// processing units sharing an execution-environment buffer whose State
+// Buffer serves recently touched state at buffer latency instead of main
+// memory (§3.3.6), exactly the reuse channel the redundancy optimization
+// exploits between transactions that touch the same contract state.
+package mtpu
+
+import (
+	"mtpu/internal/arch"
+	"mtpu/internal/arch/pipeline"
+	"mtpu/internal/arch/pu"
+	"mtpu/internal/types"
+)
+
+// sbKind distinguishes State Buffer entry classes.
+type sbKind uint8
+
+const (
+	sbStorage sbKind = iota
+	sbAccount
+)
+
+type sbKey struct {
+	kind sbKind
+	addr types.Address
+	slot types.Hash
+}
+
+// StateBuffer is the shared recently-touched-state cache. Modified state
+// is written back after commit but "the state of dependent transactions
+// is kept for a period of time so that subsequent transactions are able
+// to access it directly".
+type StateBuffer struct {
+	capacity int
+	entries  map[sbKey]*sbNode
+	head     *sbNode
+	tail     *sbNode
+
+	Hits, Misses uint64
+}
+
+type sbNode struct {
+	key        sbKey
+	prev, next *sbNode
+}
+
+// NewStateBuffer returns a buffer holding up to capacity entries.
+func NewStateBuffer(capacity int) *StateBuffer {
+	return &StateBuffer{capacity: capacity, entries: make(map[sbKey]*sbNode)}
+}
+
+// Touch records an access and reports whether it hit.
+func (b *StateBuffer) Touch(k sbKey) bool {
+	if n, ok := b.entries[k]; ok {
+		b.unlink(n)
+		b.pushFront(n)
+		b.Hits++
+		return true
+	}
+	n := &sbNode{key: k}
+	b.entries[k] = n
+	b.pushFront(n)
+	if b.capacity > 0 && len(b.entries) > b.capacity {
+		victim := b.tail
+		b.unlink(victim)
+		delete(b.entries, victim.key)
+	}
+	b.Misses++
+	return false
+}
+
+func (b *StateBuffer) pushFront(n *sbNode) {
+	n.prev = nil
+	n.next = b.head
+	if b.head != nil {
+		b.head.prev = n
+	}
+	b.head = n
+	if b.tail == nil {
+		b.tail = n
+	}
+}
+
+func (b *StateBuffer) unlink(n *sbNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		b.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		b.tail = n.prev
+	}
+}
+
+// Len returns the number of resident entries.
+func (b *StateBuffer) Len() int { return len(b.entries) }
+
+// Processor is the MTPU: the PUs plus the shared memory system.
+type Processor struct {
+	Cfg  arch.Config
+	PUs  []*pu.PU
+	SBuf *StateBuffer
+}
+
+// New builds a processor with cfg.NumPUs processing units.
+func New(cfg arch.Config) *Processor {
+	m := &Processor{
+		Cfg:  cfg,
+		SBuf: NewStateBuffer(cfg.StateBufferSlots),
+	}
+	for i := 0; i < cfg.NumPUs; i++ {
+		m.PUs = append(m.PUs, pu.New(i, cfg))
+	}
+	return m
+}
+
+// Mem returns the memory model PUs execute against.
+func (m *Processor) Mem() pipeline.MemModel {
+	return procMem{m}
+}
+
+// procMem implements pipeline.MemModel over the shared State Buffer.
+type procMem struct{ m *Processor }
+
+// StorageRead implements pipeline.MemModel.
+func (pm procMem) StorageRead(addr types.Address, slot types.Hash, prefetched bool) uint64 {
+	cfg := &pm.m.Cfg
+	if prefetched {
+		return cfg.DCacheLat
+	}
+	if cfg.ReuseContext && pm.m.SBuf.Touch(sbKey{sbStorage, addr, slot}) {
+		return cfg.EnvBufferLat
+	}
+	return cfg.MainMemLat
+}
+
+// StorageWrite implements pipeline.MemModel. Writes land in the State
+// Buffer and are written back off the critical path.
+func (pm procMem) StorageWrite(addr types.Address, slot types.Hash) uint64 {
+	cfg := &pm.m.Cfg
+	if cfg.ReuseContext {
+		pm.m.SBuf.Touch(sbKey{sbStorage, addr, slot})
+	}
+	return cfg.StorageWriteLat
+}
+
+// StateQuery implements pipeline.MemModel.
+func (pm procMem) StateQuery(addr types.Address, prefetched bool) uint64 {
+	cfg := &pm.m.Cfg
+	if prefetched {
+		return cfg.DCacheLat
+	}
+	if cfg.ReuseContext && pm.m.SBuf.Touch(sbKey{sbAccount, addr, types.Hash{}}) {
+		return cfg.EnvBufferLat
+	}
+	return cfg.MainMemLat
+}
+
+// PipelineStats sums the pipeline counters of every PU.
+func (m *Processor) PipelineStats() pipeline.Stats {
+	var s pipeline.Stats
+	for _, p := range m.PUs {
+		s.Add(p.Pipeline().Stats())
+	}
+	return s
+}

@@ -1,0 +1,622 @@
+// Package pipeline implements the timing model of one PU's instruction
+// pipeline (§3.3.2-3.3.5): the six-stage in-order scalar path, the fill
+// unit that packs decoded bytecodes into DB-cache lines under the
+// dependency rules of the paper (one field per functional unit, WAR/WAW
+// removed by R/W sequence numbers, a single RAW absorbed by forwarding,
+// common patterns folded), and the LRU decoded-bytecode cache whose hits
+// issue a whole line in one cycle with its gas pre-summed.
+package pipeline
+
+import (
+	"fmt"
+
+	"mtpu/internal/arch"
+	"mtpu/internal/evm"
+	"mtpu/internal/types"
+)
+
+// Annotation carries hotspot-optimization facts about one trace step.
+type Annotation struct {
+	// Prefetched data costs a dcache hit instead of a state access (§3.4.4).
+	Prefetched bool
+	// ConstOperands marks instructions whose operands come from the
+	// Constants Table, removing their stack dependencies (§3.4.3).
+	ConstOperands bool
+}
+
+// AnnotatedStep pairs one executed instruction with its hotspot
+// annotations; plans built by the hotspot optimizer are slices of these.
+type AnnotatedStep struct {
+	Step       evm.Step
+	Annotation Annotation
+}
+
+// Split separates annotated steps into the parallel slices Execute takes.
+func Split(in []AnnotatedStep) ([]evm.Step, []Annotation) {
+	steps := make([]evm.Step, len(in))
+	ann := make([]Annotation, len(in))
+	for i := range in {
+		steps[i] = in[i].Step
+		ann[i] = in[i].Annotation
+	}
+	return steps, ann
+}
+
+// MemModel resolves data-access latencies. The MTPU supplies an
+// implementation backed by the shared State Buffer.
+type MemModel interface {
+	// StorageRead returns the SLOAD latency for the slot.
+	StorageRead(addr types.Address, slot types.Hash, prefetched bool) uint64
+	// StorageWrite returns the SSTORE latency.
+	StorageWrite(addr types.Address, slot types.Hash) uint64
+	// StateQuery returns the BALANCE/EXTCODE* latency.
+	StateQuery(addr types.Address, prefetched bool) uint64
+}
+
+// FlatMem is a MemModel with fixed latencies and no State Buffer,
+// used by single-PU experiments.
+type FlatMem struct {
+	Cfg arch.Config
+}
+
+// StorageRead implements MemModel.
+func (m FlatMem) StorageRead(_ types.Address, _ types.Hash, prefetched bool) uint64 {
+	if prefetched {
+		return m.Cfg.DCacheLat
+	}
+	return m.Cfg.MainMemLat
+}
+
+// StorageWrite implements MemModel.
+func (m FlatMem) StorageWrite(types.Address, types.Hash) uint64 {
+	return m.Cfg.StorageWriteLat
+}
+
+// StateQuery implements MemModel.
+func (m FlatMem) StateQuery(_ types.Address, prefetched bool) uint64 {
+	if prefetched {
+		return m.Cfg.DCacheLat
+	}
+	return m.Cfg.MainMemLat
+}
+
+// Stats aggregates pipeline activity.
+type Stats struct {
+	// Instructions executed (original count; folded pairs count as two).
+	Instructions uint64
+	// Cycles consumed by the pipeline (excludes context loading),
+	// including data-access stalls.
+	Cycles uint64
+	// IssueCycles counts issue slots only (one per scalar instruction or
+	// per hit line) — the denominator of the paper's IPC metric, which
+	// measures packing density rather than memory behaviour.
+	IssueCycles uint64
+	// LineHits / LineMisses count DB-cache lookups at line granularity.
+	LineHits, LineMisses uint64
+	// HitInstructions is the number of instructions issued from hit lines.
+	HitInstructions uint64
+	// FoldedPairs counts PUSH+op folds performed by the fill unit.
+	FoldedPairs uint64
+	// ForwardedRAWs counts RAW hazards absorbed by data forwarding.
+	ForwardedRAWs uint64
+	// GasCharged sums gas deducted (scalar or via line G fields).
+	GasCharged uint64
+	// LinesCached counts lines inserted into the DB cache.
+	LinesCached uint64
+}
+
+// HitRatio is the fraction of instructions issued from DB-cache hits.
+func (s Stats) HitRatio() float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	return float64(s.HitInstructions) / float64(s.Instructions)
+}
+
+// IPC is instructions per issue cycle — the Fig. 12/Table 7 metric:
+// how many instructions the DB cache issues per slot, independent of
+// data-access stalls (which EffectiveIPC includes).
+func (s Stats) IPC() float64 {
+	if s.IssueCycles == 0 {
+		return 0
+	}
+	return float64(s.Instructions) / float64(s.IssueCycles)
+}
+
+// AvgLineSize is the mean instructions per hit line — the packing
+// density the fill unit achieved on reused lines.
+func (s Stats) AvgLineSize() float64 {
+	if s.LineHits == 0 {
+		return 0
+	}
+	return float64(s.HitInstructions) / float64(s.LineHits)
+}
+
+// EffectiveIPC is instructions per total pipeline cycle, stalls included.
+func (s Stats) EffectiveIPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Instructions) / float64(s.Cycles)
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(o Stats) {
+	s.Instructions += o.Instructions
+	s.Cycles += o.Cycles
+	s.IssueCycles += o.IssueCycles
+	s.LineHits += o.LineHits
+	s.LineMisses += o.LineMisses
+	s.HitInstructions += o.HitInstructions
+	s.FoldedPairs += o.FoldedPairs
+	s.ForwardedRAWs += o.ForwardedRAWs
+	s.GasCharged += o.GasCharged
+	s.LinesCached += o.LinesCached
+}
+
+// member is one entry of a DB-cache line.
+type member struct {
+	pc uint64
+	op evm.Opcode
+	// foldedPCs are additional original instructions folded into this
+	// member (their pcs, in order, preceding pc).
+	foldedPCs []uint64
+}
+
+// line is one DB-cache line: up to one member per functional unit, ended
+// by a unit conflict, a second RAW, or a control-flow change. The address
+// of the next instruction and the summed gas (G) live at the end of the
+// line in hardware; here they are implicit in the trace replay.
+// lineTag identifies a line: contract address plus entry pc.
+type lineTag struct {
+	addr types.Address
+	pc   uint64
+}
+
+type line struct {
+	tag   lineTag
+	insts []member
+	// count is the original instruction count (including folded ones).
+	count int
+}
+
+// dbCache is a fully-associative LRU cache of decoded lines keyed by the
+// address of their first instruction.
+type dbCache struct {
+	capacity int // 0 = unbounded
+	lines    map[lineTag]*cacheNode
+	// LRU doubly-linked list.
+	head, tail *cacheNode
+}
+
+type cacheNode struct {
+	key        lineTag
+	ln         *line
+	prev, next *cacheNode
+}
+
+func newDBCache(capacity int) *dbCache {
+	return &dbCache{capacity: capacity, lines: make(map[lineTag]*cacheNode)}
+}
+
+func (c *dbCache) lookup(tag lineTag) *line {
+	n := c.lines[tag]
+	if n == nil {
+		return nil
+	}
+	c.touch(n)
+	return n.ln
+}
+
+func (c *dbCache) insert(ln *line) {
+	if n, ok := c.lines[ln.tag]; ok {
+		n.ln = ln
+		c.touch(n)
+		return
+	}
+	n := &cacheNode{key: ln.tag, ln: ln}
+	c.lines[ln.tag] = n
+	c.pushFront(n)
+	if c.capacity > 0 && len(c.lines) > c.capacity {
+		c.evict()
+	}
+}
+
+func (c *dbCache) touch(n *cacheNode) {
+	c.unlink(n)
+	c.pushFront(n)
+}
+
+func (c *dbCache) pushFront(n *cacheNode) {
+	n.prev = nil
+	n.next = c.head
+	if c.head != nil {
+		c.head.prev = n
+	}
+	c.head = n
+	if c.tail == nil {
+		c.tail = n
+	}
+}
+
+func (c *dbCache) unlink(n *cacheNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		c.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+}
+
+func (c *dbCache) evict() {
+	victim := c.tail
+	if victim == nil {
+		return
+	}
+	c.unlink(victim)
+	delete(c.lines, victim.key)
+}
+
+func (c *dbCache) reset() {
+	c.lines = make(map[lineTag]*cacheNode)
+	c.head, c.tail = nil, nil
+}
+
+func (c *dbCache) size() int { return len(c.lines) }
+
+// Pipeline is the per-PU instruction timing model. It retains DB-cache
+// contents across Execute calls; Flush models a context switch without
+// reuse.
+type Pipeline struct {
+	cfg   arch.Config
+	cache *dbCache
+	stats Stats
+
+	// sideTable records addresses of single-instruction fills. They are
+	// never cached ("fetching a single instruction from the DB cache is
+	// considered to be inefficient", §3.4.1) but the hardware keeps their
+	// addresses so the hotspot optimizer sees complete execution paths.
+	sideTable map[lineTag]bool
+}
+
+// New returns a pipeline for the configuration.
+func New(cfg arch.Config) *Pipeline {
+	return &Pipeline{
+		cfg:       cfg,
+		cache:     newDBCache(cfg.DBCacheEntries),
+		sideTable: make(map[lineTag]bool),
+	}
+}
+
+// Flush clears the DB cache and side table (used when ReuseContext is off).
+func (p *Pipeline) Flush() {
+	p.cache.reset()
+	p.sideTable = make(map[lineTag]bool)
+}
+
+// SideTableLen reports how many single-instruction addresses the side
+// table holds.
+func (p *Pipeline) SideTableLen() int { return len(p.sideTable) }
+
+// Stats returns the accumulated counters.
+func (p *Pipeline) Stats() Stats { return p.stats }
+
+// ResetStats zeroes the counters (the cache is left intact).
+func (p *Pipeline) ResetStats() { p.stats = Stats{} }
+
+// CacheLines returns the number of resident DB-cache lines.
+func (p *Pipeline) CacheLines() int { return p.cache.size() }
+
+// foldableConsumers are the second halves of recognized fold patterns: a
+// stack-manipulation instruction (PUSH/DUP/SWAP) immediately feeding one
+// of these is synthesized into a single instruction on the consumer's
+// functional unit (§3.3.4: "when a foldable pattern occurs, the fill unit
+// fills the synthesized instruction directly into the cache line"). The
+// R/W sequence numbers let the synthesized instruction address its
+// operands directly, so the stack op vanishes from the issue stream.
+var foldableConsumers = map[evm.Opcode]bool{
+	evm.EQ:     true,
+	evm.LT:     true,
+	evm.GT:     true,
+	evm.SLT:    true,
+	evm.SGT:    true,
+	evm.ISZERO: true,
+	evm.NOT:    true,
+	evm.ADD:    true,
+	evm.SUB:    true,
+	evm.MUL:    true,
+	evm.DIV:    true,
+	evm.AND:    true,
+	evm.OR:     true,
+	evm.XOR:    true,
+	evm.SHR:    true,
+	evm.SHL:    true,
+	evm.MSTORE: true,
+	evm.SLOAD:  true,
+}
+
+// foldKind classifies the folded stack producer.
+type foldKind int
+
+const (
+	foldNone foldKind = iota
+	// foldImmediate: a PUSH supplies one operand as an immediate.
+	foldImmediate
+	// foldAddressed: a DUP/SWAP is subsumed by R/W-sequence-number
+	// operand addressing; the operand count is unchanged but the stack
+	// op leaves the issue stream.
+	foldAddressed
+)
+
+// reconfigurable units complete in half a cycle and can forward their
+// results to each other (§3.3.4).
+func reconfigurable(u evm.FuncUnit) bool {
+	switch u {
+	case evm.FUStack, evm.FULogic, evm.FUArithmetic, evm.FUFixedAccess:
+		return true
+	}
+	return false
+}
+
+// lineEnder reports opcodes that always terminate a line after inclusion:
+// control-flow changes and context switches.
+func lineEnder(op evm.Opcode) bool {
+	switch op.Unit() {
+	case evm.FUBranch:
+		return op != evm.JUMPDEST
+	case evm.FUControl, evm.FUContext:
+		return true
+	}
+	return false
+}
+
+// Execute replays one instruction stream through the pipeline and returns
+// the cycles it consumed. steps and ann must be parallel slices (ann may
+// be nil for no hotspot annotations). mem resolves data latencies.
+func (p *Pipeline) Execute(steps []evm.Step, ann []Annotation, mem MemModel) uint64 {
+	if mem == nil {
+		mem = FlatMem{Cfg: p.cfg}
+	}
+	var cycles uint64
+
+	if !p.cfg.EnableDBCache {
+		// Pure scalar: one issue per cycle plus stalls.
+		for i := range steps {
+			cycles += 1 + p.extraLat(&steps[i], annAt(ann, i), mem)
+			p.stats.Instructions++
+			p.stats.IssueCycles++
+			p.stats.GasCharged += steps[i].GasCost
+		}
+		p.stats.Cycles += cycles
+		return cycles
+	}
+
+	for i := 0; i < len(steps); {
+		if ln := p.cache.lookup(lineTag{steps[i].CodeAddr, steps[i].PC}); ln != nil && p.lineMatches(ln, steps, i) {
+			// Hit: the whole line issues in one cycle; stalls overlap, so
+			// the line costs 1 + the slowest member.
+			var worst uint64
+			for j := 0; j < ln.count; j++ {
+				s := &steps[i+j]
+				if l := p.extraLat(s, annAt(ann, i+j), mem); l > worst {
+					worst = l
+				}
+				p.stats.GasCharged += s.GasCost
+			}
+			cycles += 1 + worst
+			p.stats.IssueCycles++
+			p.stats.LineHits++
+			p.stats.HitInstructions += uint64(ln.count)
+			p.stats.Instructions += uint64(ln.count)
+			i += ln.count
+			continue
+		}
+
+		// Miss: instructions stream through the scalar path while the
+		// fill unit builds a line alongside.
+		p.stats.LineMisses++
+		ln, consumed := p.fill(steps, ann, i)
+		for j := 0; j < consumed; j++ {
+			s := &steps[i+j]
+			cycles += 1 + p.extraLat(s, annAt(ann, i+j), mem)
+			p.stats.Instructions++
+			p.stats.IssueCycles++
+			p.stats.GasCharged += s.GasCost
+		}
+		if ln != nil && ln.count >= max(2, p.cfg.MinLineInstructions) {
+			p.cache.insert(ln)
+			p.stats.LinesCached++
+		} else if consumed == 1 {
+			// §3.4.1: record the lone instruction's address only.
+			p.sideTable[lineTag{steps[i].CodeAddr, steps[i].PC}] = true
+		}
+		i += consumed
+	}
+	p.stats.Cycles += cycles
+	return cycles
+}
+
+// lineMatches verifies that the cached line corresponds to the upcoming
+// trace. Code is immutable and lines never span branches, so a tag match
+// implies a content match; this check enforces that invariant.
+func (p *Pipeline) lineMatches(ln *line, steps []evm.Step, i int) bool {
+	if i+ln.count > len(steps) {
+		return false
+	}
+	k := i
+	for _, m := range ln.insts {
+		for _, fpc := range m.foldedPCs {
+			if steps[k].PC != fpc {
+				panic(fmt.Sprintf("pipeline: line %s:0x%x diverged at folded pc 0x%x vs trace 0x%x",
+					ln.tag.addr, ln.tag.pc, fpc, steps[k].PC))
+			}
+			k++
+		}
+		if steps[k].PC != m.pc {
+			panic(fmt.Sprintf("pipeline: line %s:0x%x diverged at pc 0x%x vs trace 0x%x",
+				ln.tag.addr, ln.tag.pc, m.pc, steps[k].PC))
+		}
+		k++
+	}
+	return true
+}
+
+// fill implements the fill unit: starting at steps[start], pack
+// instructions into one line until a functional-unit conflict, an
+// unabsorbable RAW, or a control-flow change. Returns the line (nil if
+// only one instruction fit) and how many trace steps it covers.
+func (p *Pipeline) fill(steps []evm.Step, ann []Annotation, start int) (*line, int) {
+	ln := &line{tag: lineTag{steps[start].CodeAddr, steps[start].PC}}
+	unitUsed := [evm.NumFuncUnits + 1]bool{}
+	// produced tracks how many of the virtual stack's top values were
+	// pushed by instructions already in this line (the RAW window).
+	produced := 0
+	forwardingUsed := false
+	lastProducerUnit := evm.FUInvalid
+
+	i := start
+	for i < len(steps) {
+		s := &steps[i]
+		a := annAt(ann, i)
+		op := s.Op
+		unit := op.Unit()
+
+		// Folding: a stack op feeding a foldable consumer synthesizes
+		// into one instruction on the consumer's unit (§3.3.4).
+		fold := foldNone
+		var foldedPC uint64
+		if p.cfg.EnableFolding && i+1 < len(steps) && sameFrame(s, &steps[i+1]) {
+			next := &steps[i+1]
+			if foldableConsumers[next.Op] && !unitUsed[next.Op.Unit()] {
+				switch {
+				case op.IsPush():
+					fold = foldImmediate
+				case op.IsDup() || op.IsSwap():
+					fold = foldAddressed
+				}
+				if fold != foldNone {
+					foldedPC = s.PC
+					op = next.Op
+					unit = op.Unit()
+					s = next
+					a = annAt(ann, i+1)
+				}
+			}
+		}
+
+		if unitUsed[unit] {
+			break // the field for this functional unit is already filled
+		}
+
+		// Dependency analysis. Reads against values produced in-line are
+		// RAW; WAR/WAW never end a line (R/W sequence numbers).
+		reads := op.Pops()
+		if fold == foldImmediate {
+			reads-- // the folded PUSH supplies one operand as an immediate
+		}
+		if a.ConstOperands {
+			reads = 0 // operands come from the Constants Table
+		}
+		raw := reads
+		if raw > produced {
+			raw = produced
+		}
+		if raw > 0 && len(ln.insts) > 0 {
+			if raw == 1 && p.cfg.EnableForwarding && !forwardingUsed && reconfigurable(lastProducerUnit) {
+				forwardingUsed = true
+				p.stats.ForwardedRAWs++
+			} else {
+				break // second RAW (or forwarding unavailable) ends the line
+			}
+		}
+
+		m := member{pc: s.PC, op: op}
+		if fold != foldNone {
+			m.foldedPCs = []uint64{foldedPC}
+			ln.count += 2
+			i += 2
+			p.stats.FoldedPairs++
+		} else {
+			ln.count++
+			i++
+		}
+		ln.insts = append(ln.insts, m)
+		unitUsed[unit] = true
+
+		pops := op.Pops()
+		if fold == foldImmediate {
+			pops--
+		}
+		produced -= pops
+		if produced < 0 {
+			produced = 0
+		}
+		produced += op.Pushes()
+		if op.Pushes() > 0 {
+			lastProducerUnit = unit
+		}
+
+		if lineEnder(op) {
+			break
+		}
+		// A line cannot cross into a different call frame.
+		if i < len(steps) && !sameFrame(s, &steps[i]) {
+			break
+		}
+	}
+
+	consumed := i - start
+	if consumed == 0 {
+		// Defensive: always make progress even if the first instruction
+		// could not be placed (cannot happen with an empty line).
+		consumed = 1
+	}
+	if len(ln.insts) < 2 && ln.count < 2 {
+		// Single-instruction lines are not cached (§3.4.1) — hardware
+		// records only their address in the hotspot side table.
+		return nil, consumed
+	}
+	return ln, consumed
+}
+
+// sameFrame reports whether two steps execute in the same call frame, so
+// a line never spans a context switch.
+func sameFrame(a, b *evm.Step) bool {
+	return a.Depth == b.Depth && a.CodeAddr == b.CodeAddr
+}
+
+// extraLat returns the stall cycles of one instruction beyond its issue
+// slot: hashing, copies, storage and state-query accesses, and context
+// switches.
+func (p *Pipeline) extraLat(s *evm.Step, a Annotation, mem MemModel) uint64 {
+	words := func(n uint64) uint64 { return (n + 31) / 32 }
+	switch {
+	case s.Op == evm.SHA3:
+		return p.cfg.Sha3PerWordLat * words(s.MemBytes)
+	case s.Op == evm.SLOAD:
+		return mem.StorageRead(s.TouchAddr, s.TouchSlot, a.Prefetched)
+	case s.Op == evm.SSTORE:
+		return mem.StorageWrite(s.TouchAddr, s.TouchSlot)
+	case s.Op.Unit() == evm.FUStateQuery:
+		return mem.StateQuery(s.TouchAddr, a.Prefetched)
+	case s.Op.Unit() == evm.FUContext:
+		return p.cfg.ContextSwitchLat
+	case s.Op == evm.CALLDATACOPY || s.Op == evm.CODECOPY ||
+		s.Op == evm.RETURNDATACOPY || s.Op == evm.EXTCODECOPY:
+		return p.cfg.CopyPerWordLat * words(s.MemBytes)
+	case s.Op >= evm.LOG0 && s.Op <= evm.LOG4:
+		return p.cfg.CopyPerWordLat * words(s.MemBytes)
+	}
+	return 0
+}
+
+func annAt(ann []Annotation, i int) Annotation {
+	if ann == nil || i >= len(ann) {
+		return Annotation{}
+	}
+	return ann[i]
+}

@@ -1,0 +1,158 @@
+// Package pu models one processing unit of the MTPU: the instruction
+// pipeline (arch/pipeline) plus the transaction-context machinery — the
+// Call_Contract stack that loads contract bytecode (the dominant context
+// cost, Table 2) and keeps it resident for redundant transactions, and
+// the fixed per-transaction setup work.
+package pu
+
+import (
+	"mtpu/internal/arch"
+	"mtpu/internal/arch/pipeline"
+	"mtpu/internal/types"
+)
+
+// DefaultContractResidency is used when the configuration leaves
+// ContractResidency unset.
+const DefaultContractResidency = 8
+
+// Plan is a transaction prepared for timing replay: the (possibly
+// hotspot-filtered) steps, their annotations, and per-contract bytecode
+// load scaling from chunk-based loading (§3.4.2).
+type Plan struct {
+	Trace *arch.TxTrace
+	// Steps are the instructions that actually issue (pre-executed and
+	// eliminated instructions removed). Nil means Trace.Steps unmodified.
+	Steps []pipeline.AnnotatedStep
+	// LoadScale maps a contract address to the fraction of its bytecode
+	// loaded (1.0 when hotspot chunking is off). Missing entries mean 1.
+	LoadScale map[types.Address]float64
+	// SkippedInstructions counts instructions removed by hotspot
+	// optimization (for reporting).
+	SkippedInstructions int
+}
+
+// PlainPlan wraps a trace with no hotspot optimization.
+func PlainPlan(t *arch.TxTrace) *Plan {
+	steps := make([]pipeline.AnnotatedStep, len(t.Steps))
+	for i := range t.Steps {
+		steps[i].Step = t.Steps[i]
+	}
+	return &Plan{Trace: t, Steps: steps}
+}
+
+// Cost breaks down the cycles of one transaction on a PU.
+type Cost struct {
+	Total    uint64
+	Load     uint64 // context construction (bytecode + setup)
+	Pipeline uint64 // instruction execution
+}
+
+// PU is one processing unit with persistent microarchitectural state.
+type PU struct {
+	ID  int
+	cfg arch.Config
+
+	pipe *pipeline.Pipeline
+
+	// resident tracks contracts loaded in the Call_Contract stack (LRU).
+	resident []types.Address
+
+	// LastContract is the contract of the most recent transaction; the
+	// scheduler steers redundant transactions here (§3.2.2).
+	LastContract types.Address
+
+	// BusyUntil is the completion time used by the discrete-event engine.
+	BusyUntil uint64
+	// BusyCycles accumulates working (non-idle) time for utilization.
+	BusyCycles uint64
+	// TxCount counts transactions executed on this PU.
+	TxCount int
+}
+
+// New returns an idle PU.
+func New(id int, cfg arch.Config) *PU {
+	return &PU{ID: id, cfg: cfg, pipe: pipeline.New(cfg)}
+}
+
+// Pipeline exposes the pipeline for stats collection.
+func (p *PU) Pipeline() *pipeline.Pipeline { return p.pipe }
+
+// isResident reports (and refreshes) Call_Contract stack residency.
+func (p *PU) isResident(addr types.Address) bool {
+	for i, a := range p.resident {
+		if a == addr {
+			// Move to front.
+			copy(p.resident[1:i+1], p.resident[:i])
+			p.resident[0] = a
+			return true
+		}
+	}
+	return false
+}
+
+func (p *PU) load(addr types.Address) {
+	cap := p.cfg.ContractResidency
+	if cap <= 0 {
+		cap = DefaultContractResidency
+	}
+	p.resident = append([]types.Address{addr}, p.resident...)
+	if len(p.resident) > cap {
+		p.resident = p.resident[:cap]
+	}
+}
+
+// Run replays one transaction and returns its cycle cost. PU state (DB
+// cache, residency) persists across calls when ReuseContext is enabled
+// and is flushed otherwise.
+func (p *PU) Run(plan *Plan, mem pipeline.MemModel) Cost {
+	if !p.cfg.ReuseContext {
+		p.pipe.Flush()
+		p.resident = p.resident[:0]
+	}
+
+	var cost Cost
+	cost.Load = p.cfg.TxSetupLat
+
+	t := plan.Trace
+	if t.IsTransfer {
+		// A token transfer touches two balances and writes them back.
+		cost.Load += 2 * p.cfg.MainMemLat
+		cost.Total = cost.Load
+		p.finish(t, cost)
+		return cost
+	}
+
+	for _, cl := range t.CodeLoads {
+		if cl.CodeBytes == 0 {
+			continue
+		}
+		if p.cfg.ReuseContext && p.isResident(cl.Addr) {
+			// Bytecode reused from the Call_Contract stack (§3.3.5).
+			continue
+		}
+		bytes := uint64(cl.CodeBytes)
+		if plan.LoadScale != nil {
+			if f, ok := plan.LoadScale[cl.Addr]; ok {
+				bytes = uint64(float64(bytes)*f + 0.5)
+			}
+		}
+		bw := p.cfg.CodeLoadBytesPerCycle
+		if bw == 0 {
+			bw = 1
+		}
+		cost.Load += (bytes + bw - 1) / bw
+		p.load(cl.Addr)
+	}
+
+	steps, ann := pipeline.Split(plan.Steps)
+	cost.Pipeline = p.pipe.Execute(steps, ann, mem)
+	cost.Total = cost.Load + cost.Pipeline
+	p.finish(t, cost)
+	return cost
+}
+
+func (p *PU) finish(t *arch.TxTrace, cost Cost) {
+	p.LastContract = t.Contract
+	p.BusyCycles += cost.Total
+	p.TxCount++
+}

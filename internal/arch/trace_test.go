@@ -1,0 +1,88 @@
+package arch
+
+import (
+	"testing"
+
+	"mtpu/internal/evm"
+	"mtpu/internal/types"
+)
+
+func TestCollectorLifecycle(t *testing.T) {
+	c := NewCollector()
+	to := types.HexToAddress("0x1111111111111111111111111111111111111111")
+	tx := &types.Transaction{To: &to, Data: []byte{0xa9, 0x05, 0x9c, 0xbb, 0x01}}
+
+	c.Begin(tx)
+	c.OnEnter(1, to, 321, len(tx.Data))
+	c.OnStep(&evm.Step{PC: 0, Op: evm.PUSH1, Depth: 1, CodeAddr: to})
+	c.OnStep(&evm.Step{PC: 2, Op: evm.STOP, Depth: 1, CodeAddr: to})
+	c.OnExit(1, nil)
+	tr := c.Finish(2100)
+
+	if tr.Contract != to {
+		t.Fatalf("contract %s", tr.Contract)
+	}
+	if !tr.HasSelector || tr.Selector != [4]byte{0xa9, 0x05, 0x9c, 0xbb} {
+		t.Fatalf("selector %x ok=%v", tr.Selector, tr.HasSelector)
+	}
+	if tr.IsTransfer {
+		t.Fatal("SCT marked as transfer")
+	}
+	if tr.GasUsed != 2100 {
+		t.Fatalf("gas %d", tr.GasUsed)
+	}
+	if len(tr.Steps) != 2 || tr.InstructionCount() != 2 {
+		t.Fatalf("%d steps", len(tr.Steps))
+	}
+	if len(tr.CodeLoads) != 1 || tr.CodeLoads[0].CodeBytes != 321 ||
+		tr.CodeLoads[0].StepIndex != 0 {
+		t.Fatalf("code loads %+v", tr.CodeLoads)
+	}
+
+	// Finish resets: the next trace is clean.
+	c.Begin(&types.Transaction{To: &to})
+	tr2 := c.Finish(0)
+	if len(tr2.Steps) != 0 || tr2.HasSelector {
+		t.Fatalf("collector leaked state: %+v", tr2)
+	}
+	if !tr2.IsTransfer {
+		t.Fatal("empty-data call with To should be a transfer")
+	}
+}
+
+func TestCollectorCreationTx(t *testing.T) {
+	c := NewCollector()
+	c.Begin(&types.Transaction{To: nil, Data: []byte{1, 2, 3, 4, 5}})
+	tr := c.Finish(0)
+	if tr.HasSelector || tr.IsTransfer || !tr.Contract.IsZero() {
+		t.Fatalf("creation misclassified: %+v", tr)
+	}
+}
+
+func TestCollectorNilTx(t *testing.T) {
+	c := NewCollector()
+	c.Begin(nil)
+	c.OnStep(&evm.Step{Op: evm.STOP})
+	tr := c.Finish(7)
+	if len(tr.Steps) != 1 || tr.GasUsed != 7 {
+		t.Fatalf("%+v", tr)
+	}
+}
+
+func TestScalarVsDefaultConfigs(t *testing.T) {
+	d := DefaultConfig()
+	if !d.EnableDBCache || !d.EnableForwarding || !d.EnableFolding || !d.ReuseContext {
+		t.Fatal("default config lacks optimizations")
+	}
+	if d.NumPUs != 4 || d.DBCacheEntries != 2048 {
+		t.Fatalf("default sizing %+v", d)
+	}
+	s := ScalarConfig()
+	if s.EnableDBCache || s.ReuseContext || s.NumPUs != 1 {
+		t.Fatalf("scalar config %+v", s)
+	}
+	// Shared latency constants must agree so speedups isolate features.
+	if s.MainMemLat != d.MainMemLat || s.TxSetupLat != d.TxSetupLat {
+		t.Fatal("scalar and default configs disagree on latencies")
+	}
+}

@@ -1,0 +1,201 @@
+// Package asm provides an EVM assembler and disassembler. The contract
+// suite (internal/contracts) is authored against the programmatic Builder,
+// which supports labels resolved in a second pass; the text assembler
+// accepts the same mnemonics for the evm-asm CLI and tests.
+package asm
+
+import (
+	"fmt"
+	"sort"
+
+	"mtpu/internal/evm"
+	"mtpu/internal/uint256"
+)
+
+// Builder incrementally constructs bytecode. Label references are emitted
+// as fixed-width PUSH2 immediates and patched when Build is called, so
+// forward references are allowed.
+type Builder struct {
+	code   []byte
+	labels map[string]int // label -> code offset of its JUMPDEST
+	refs   map[int]string // offset of a 2-byte immediate -> label
+	errs   []error
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{
+		labels: make(map[string]int),
+		refs:   make(map[int]string),
+	}
+}
+
+// Op appends raw opcodes with no immediates.
+func (b *Builder) Op(ops ...evm.Opcode) *Builder {
+	for _, op := range ops {
+		if op.IsPush() {
+			b.errs = append(b.errs, fmt.Errorf("asm: %s requires an immediate; use Push", op))
+			continue
+		}
+		b.code = append(b.code, byte(op))
+	}
+	return b
+}
+
+// Push appends the smallest PUSHn holding the big-endian bytes of v.
+func (b *Builder) Push(v *uint256.Int) *Builder {
+	return b.PushBytes(v.Bytes())
+}
+
+// PushInt appends a push of a uint64 constant.
+func (b *Builder) PushInt(v uint64) *Builder {
+	return b.Push(uint256.NewInt(v))
+}
+
+// PushBytes appends PUSHn with the given immediate (1-32 bytes; empty
+// pushes a zero via PUSH1 0x00).
+func (b *Builder) PushBytes(imm []byte) *Builder {
+	if len(imm) == 0 {
+		imm = []byte{0}
+	}
+	if len(imm) > 32 {
+		b.errs = append(b.errs, fmt.Errorf("asm: push immediate of %d bytes", len(imm)))
+		return b
+	}
+	b.code = append(b.code, byte(evm.PUSH1)+byte(len(imm)-1))
+	b.code = append(b.code, imm...)
+	return b
+}
+
+// Label defines a jump target here, emitting a JUMPDEST.
+func (b *Builder) Label(name string) *Builder {
+	if _, dup := b.labels[name]; dup {
+		b.errs = append(b.errs, fmt.Errorf("asm: duplicate label %q", name))
+		return b
+	}
+	b.labels[name] = len(b.code)
+	b.code = append(b.code, byte(evm.JUMPDEST))
+	return b
+}
+
+// PushLabel appends PUSH2 <label-address>, patched at Build time.
+func (b *Builder) PushLabel(name string) *Builder {
+	b.code = append(b.code, byte(evm.PUSH2))
+	b.refs[len(b.code)] = name
+	b.code = append(b.code, 0, 0)
+	return b
+}
+
+// Jump emits an unconditional jump to the label.
+func (b *Builder) Jump(name string) *Builder {
+	return b.PushLabel(name).Op(evm.JUMP)
+}
+
+// JumpI emits a conditional jump to the label (consumes the condition on
+// the stack).
+func (b *Builder) JumpI(name string) *Builder {
+	return b.PushLabel(name).Op(evm.JUMPI)
+}
+
+// Raw appends pre-assembled bytes verbatim.
+func (b *Builder) Raw(code []byte) *Builder {
+	b.code = append(b.code, code...)
+	return b
+}
+
+// Len returns the current code size in bytes.
+func (b *Builder) Len() int { return len(b.code) }
+
+// Build patches label references and returns the final bytecode.
+func (b *Builder) Build() ([]byte, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	out := append([]byte(nil), b.code...)
+	for off, name := range b.refs {
+		target, ok := b.labels[name]
+		if !ok {
+			return nil, fmt.Errorf("asm: undefined label %q", name)
+		}
+		if target > 0xffff {
+			return nil, fmt.Errorf("asm: label %q at %d exceeds PUSH2 range", name, target)
+		}
+		out[off] = byte(target >> 8)
+		out[off+1] = byte(target)
+	}
+	return out, nil
+}
+
+// MustBuild is Build that panics on error, for static contract definitions.
+func (b *Builder) MustBuild() []byte {
+	code, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return code
+}
+
+// Instruction is one decoded instruction for disassembly and analysis.
+type Instruction struct {
+	PC  int
+	Op  evm.Opcode
+	Imm []byte // push immediate, nil otherwise
+}
+
+// Disassemble decodes code into instructions. Truncated push immediates at
+// the end of code are zero-padded, matching interpreter semantics.
+func Disassemble(code []byte) []Instruction {
+	var out []Instruction
+	for pc := 0; pc < len(code); {
+		op := evm.Opcode(code[pc])
+		inst := Instruction{PC: pc, Op: op}
+		size := op.PushSize()
+		if size > 0 {
+			imm := make([]byte, size)
+			copy(imm, code[pc+1:min(pc+1+size, len(code))])
+			inst.Imm = imm
+		}
+		out = append(out, inst)
+		pc += 1 + size
+	}
+	return out
+}
+
+// String formats an instruction like "0x0042 PUSH2 0x00b6".
+func (i Instruction) String() string {
+	if len(i.Imm) > 0 {
+		return fmt.Sprintf("0x%04x %s 0x%x", i.PC, i.Op, i.Imm)
+	}
+	return fmt.Sprintf("0x%04x %s", i.PC, i.Op)
+}
+
+// Format renders a full disassembly listing.
+func Format(code []byte) string {
+	insts := Disassemble(code)
+	var out []byte
+	for _, in := range insts {
+		out = append(out, in.String()...)
+		out = append(out, '\n')
+	}
+	return string(out)
+}
+
+// Stats summarises an instruction stream by functional unit, the analysis
+// behind Table 6.
+func Stats(code []byte) map[evm.FuncUnit]int {
+	counts := make(map[evm.FuncUnit]int)
+	for _, in := range Disassemble(code) {
+		counts[in.Op.Unit()]++
+	}
+	return counts
+}
+
+// SortedUnits returns the functional units of a Stats map in Table 3 order.
+func SortedUnits(stats map[evm.FuncUnit]int) []evm.FuncUnit {
+	units := make([]evm.FuncUnit, 0, len(stats))
+	for u := range stats {
+		units = append(units, u)
+	}
+	sort.Slice(units, func(i, j int) bool { return units[i] < units[j] })
+	return units
+}

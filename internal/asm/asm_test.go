@@ -1,0 +1,229 @@
+package asm
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"mtpu/internal/evm"
+	"mtpu/internal/uint256"
+)
+
+func TestBuilderBasics(t *testing.T) {
+	code := NewBuilder().
+		PushInt(5).
+		PushInt(3).
+		Op(evm.ADD).
+		MustBuild()
+	want := []byte{byte(evm.PUSH1), 5, byte(evm.PUSH1), 3, byte(evm.ADD)}
+	if !bytes.Equal(code, want) {
+		t.Fatalf("got %x, want %x", code, want)
+	}
+}
+
+func TestBuilderPushSizing(t *testing.T) {
+	b := NewBuilder()
+	b.PushInt(0)                                // PUSH1 0x00
+	b.PushInt(0xff)                             // PUSH1
+	b.PushInt(0x100)                            // PUSH2
+	b.Push(uint256.MustFromHex("0x123456789a")) // PUSH5
+	code := b.MustBuild()
+	wantOps := []evm.Opcode{evm.PUSH1, evm.PUSH1, evm.PUSH2, evm.PUSH5}
+	insts := Disassemble(code)
+	if len(insts) != len(wantOps) {
+		t.Fatalf("%d instructions", len(insts))
+	}
+	for i, in := range insts {
+		if in.Op != wantOps[i] {
+			t.Errorf("inst %d = %s, want %s", i, in.Op, wantOps[i])
+		}
+	}
+}
+
+func TestBuilderForwardLabel(t *testing.T) {
+	b := NewBuilder()
+	b.Jump("end")
+	b.Op(evm.STOP)
+	b.Label("end")
+	code, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Layout: PUSH2 addr, JUMP, STOP, JUMPDEST → JUMPDEST at offset 5.
+	if code[1] != 0 || code[2] != 5 {
+		t.Fatalf("label patched to %d, want 5", int(code[1])<<8|int(code[2]))
+	}
+	if evm.Opcode(code[5]) != evm.JUMPDEST {
+		t.Fatalf("no JUMPDEST at target")
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	if _, err := NewBuilder().PushLabel("nowhere").Build(); err == nil {
+		t.Error("undefined label accepted")
+	}
+	b := NewBuilder()
+	b.Label("x")
+	b.Label("x")
+	if _, err := b.Build(); err == nil {
+		t.Error("duplicate label accepted")
+	}
+	if _, err := NewBuilder().Op(evm.PUSH1).Build(); err == nil {
+		t.Error("bare PUSH accepted via Op")
+	}
+	if _, err := NewBuilder().PushBytes(make([]byte, 33)).Build(); err == nil {
+		t.Error("33-byte immediate accepted")
+	}
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustBuild did not panic")
+		}
+	}()
+	NewBuilder().PushLabel("missing").MustBuild()
+}
+
+func TestAssembleText(t *testing.T) {
+	code, err := Assemble(`
+; a comment
+PUSH1 0x05   // trailing comment
+PUSH1 3
+ADD
+start:
+PUSH @start
+JUMP
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	insts := Disassemble(code)
+	ops := []evm.Opcode{evm.PUSH1, evm.PUSH1, evm.ADD, evm.JUMPDEST, evm.PUSH2, evm.JUMP}
+	if len(insts) != len(ops) {
+		t.Fatalf("%d instructions: %v", len(insts), insts)
+	}
+	for i, in := range insts {
+		if in.Op != ops[i] {
+			t.Errorf("inst %d = %s", i, in.Op)
+		}
+	}
+	// PUSH @start must point at the JUMPDEST (offset 5).
+	if insts[4].Imm[1] != 5 {
+		t.Errorf("label immediate %x", insts[4].Imm)
+	}
+}
+
+func TestAssembleAutoSizedPush(t *testing.T) {
+	code, err := Assemble("PUSH 70000") // needs 3 bytes
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evm.Opcode(code[0]) != evm.PUSH3 {
+		t.Fatalf("opcode %s", evm.Opcode(code[0]))
+	}
+}
+
+func TestAssembleExplicitWidthPadding(t *testing.T) {
+	code, err := Assemble("PUSH4 0x01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{byte(evm.PUSH4), 0, 0, 0, 1}
+	if !bytes.Equal(code, want) {
+		t.Fatalf("got %x", code)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []string{
+		"BOGUS",
+		"ADD 1",        // operand on plain op
+		"PUSH1",        // missing operand
+		"PUSH1 0x0102", // too wide
+		"PUSH1 zz",     // bad immediate
+		"PUSH99 1",     // bad width
+		":",            // empty label
+		"PUSH1 @lbl",   // label needs PUSH/PUSH2
+	}
+	for _, src := range cases {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("%q accepted", src)
+		}
+	}
+}
+
+func TestDisassembleTruncatedPush(t *testing.T) {
+	// PUSH4 with only 2 immediate bytes present.
+	code := []byte{byte(evm.PUSH4), 0xAA, 0xBB}
+	insts := Disassemble(code)
+	if len(insts) != 1 {
+		t.Fatalf("%d instructions", len(insts))
+	}
+	if len(insts[0].Imm) != 4 || insts[0].Imm[0] != 0xAA || insts[0].Imm[3] != 0 {
+		t.Fatalf("imm %x", insts[0].Imm)
+	}
+}
+
+func TestDisassembleRoundTripProperty(t *testing.T) {
+	// Random valid instruction streams must re-assemble to identical bytes.
+	r := rand.New(rand.NewSource(7))
+	valid := []evm.Opcode{evm.ADD, evm.MUL, evm.POP, evm.CALLER, evm.MLOAD,
+		evm.SSTORE, evm.DUP3, evm.SWAP2, evm.JUMPDEST, evm.STOP}
+	for trial := 0; trial < 200; trial++ {
+		b := NewBuilder()
+		n := 1 + r.Intn(40)
+		for i := 0; i < n; i++ {
+			if r.Intn(3) == 0 {
+				imm := make([]byte, 1+r.Intn(32))
+				r.Read(imm)
+				b.PushBytes(imm)
+			} else {
+				b.Op(valid[r.Intn(len(valid))])
+			}
+		}
+		code := b.MustBuild()
+		insts := Disassemble(code)
+		// Re-emit.
+		b2 := NewBuilder()
+		for _, in := range insts {
+			if in.Op.IsPush() {
+				// Preserve explicit width.
+				b2.Raw(append([]byte{byte(in.Op)}, in.Imm...))
+			} else {
+				b2.Op(in.Op)
+			}
+		}
+		code2 := b2.MustBuild()
+		if !bytes.Equal(code, code2) {
+			t.Fatalf("trial %d: %x != %x", trial, code, code2)
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	code := NewBuilder().
+		PushInt(1).PushInt(2).Op(evm.ADD).Op(evm.POP).Op(evm.STOP).
+		MustBuild()
+	stats := Stats(code)
+	if stats[evm.FUStack] != 3 { // two pushes + POP
+		t.Errorf("stack count %d", stats[evm.FUStack])
+	}
+	if stats[evm.FUArithmetic] != 1 || stats[evm.FUControl] != 1 {
+		t.Errorf("stats %v", stats)
+	}
+	units := SortedUnits(stats)
+	for i := 1; i < len(units); i++ {
+		if units[i-1] >= units[i] {
+			t.Error("units not sorted")
+		}
+	}
+}
+
+func TestFormatListing(t *testing.T) {
+	code := NewBuilder().PushInt(0xB6).Op(evm.JUMP).MustBuild()
+	out := Format(code)
+	if out == "" || !bytes.Contains([]byte(out), []byte("JUMP")) {
+		t.Errorf("listing: %q", out)
+	}
+}

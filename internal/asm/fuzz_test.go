@@ -1,0 +1,44 @@
+package asm
+
+import "testing"
+
+// FuzzAssemble asserts the text assembler never panics and that accepted
+// programs disassemble without error.
+func FuzzAssemble(f *testing.F) {
+	f.Add("PUSH1 0x60\nPUSH1 0x40\nMSTORE")
+	f.Add("start:\nPUSH @start\nJUMP")
+	f.Add("; comment only")
+	f.Add("ADD\nMUL\nSTOP")
+	f.Add("PUSH 123456789")
+	f.Fuzz(func(t *testing.T, src string) {
+		code, err := Assemble(src)
+		if err != nil {
+			return
+		}
+		insts := Disassemble(code)
+		total := 0
+		for _, in := range insts {
+			total += 1 + len(in.Imm)
+		}
+		if total != len(code) {
+			t.Fatalf("disassembly covers %d of %d bytes", total, len(code))
+		}
+	})
+}
+
+// FuzzDisassemble asserts arbitrary bytes always disassemble totally.
+func FuzzDisassemble(f *testing.F) {
+	f.Add([]byte{0x60, 0x01, 0x01})
+	f.Add([]byte{0x7f}) // truncated PUSH32
+	f.Add([]byte{0xfe, 0xff, 0x00})
+	f.Fuzz(func(t *testing.T, code []byte) {
+		insts := Disassemble(code)
+		pos := 0
+		for _, in := range insts {
+			if in.PC != pos {
+				t.Fatalf("pc gap: %d vs %d", in.PC, pos)
+			}
+			pos += 1 + in.Op.PushSize()
+		}
+	})
+}

@@ -1,0 +1,134 @@
+package asm
+
+import (
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"mtpu/internal/evm"
+	"mtpu/internal/uint256"
+)
+
+// Assemble parses mnemonic assembly text into bytecode.
+//
+// Syntax, one statement per line:
+//
+//	; comment or // comment
+//	label:              — defines a JUMPDEST
+//	PUSH1 0x60          — push with hex immediate (width checked)
+//	PUSH 1234           — auto-sized push of a decimal or hex constant
+//	PUSH @label         — PUSH2 of a label address
+//	ADD                 — any plain mnemonic
+//
+// Labels may be referenced before they are defined.
+func Assemble(src string) ([]byte, error) {
+	b := NewBuilder()
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := stripComment(raw)
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasSuffix(line, ":") {
+			name := strings.TrimSpace(strings.TrimSuffix(line, ":"))
+			if name == "" {
+				return nil, fmt.Errorf("asm: line %d: empty label", lineNo+1)
+			}
+			b.Label(name)
+			continue
+		}
+		fields := strings.Fields(line)
+		mnemonic := strings.ToUpper(fields[0])
+
+		if mnemonic == "PUSH" || strings.HasPrefix(mnemonic, "PUSH") {
+			if err := assemblePush(b, mnemonic, fields[1:], lineNo+1); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		op, ok := evm.OpcodeByName(mnemonic)
+		if !ok {
+			return nil, fmt.Errorf("asm: line %d: unknown mnemonic %q", lineNo+1, fields[0])
+		}
+		if len(fields) > 1 {
+			return nil, fmt.Errorf("asm: line %d: %s takes no operand", lineNo+1, mnemonic)
+		}
+		b.Op(op)
+	}
+	return b.Build()
+}
+
+func stripComment(line string) string {
+	if i := strings.Index(line, ";"); i >= 0 {
+		line = line[:i]
+	}
+	if i := strings.Index(line, "//"); i >= 0 {
+		line = line[:i]
+	}
+	return line
+}
+
+func assemblePush(b *Builder, mnemonic string, args []string, line int) error {
+	if len(args) != 1 {
+		return fmt.Errorf("asm: line %d: %s needs exactly one operand", line, mnemonic)
+	}
+	arg := args[0]
+
+	if strings.HasPrefix(arg, "@") {
+		if mnemonic != "PUSH" && mnemonic != "PUSH2" {
+			return fmt.Errorf("asm: line %d: label operands need PUSH or PUSH2", line)
+		}
+		b.PushLabel(arg[1:])
+		return nil
+	}
+
+	imm, err := parseImmediate(arg)
+	if err != nil {
+		return fmt.Errorf("asm: line %d: %v", line, err)
+	}
+
+	if mnemonic == "PUSH" {
+		b.PushBytes(imm)
+		return nil
+	}
+	// Explicit width PUSHn: left-pad or reject.
+	n, err := strconv.Atoi(strings.TrimPrefix(mnemonic, "PUSH"))
+	if err != nil || n < 1 || n > 32 {
+		return fmt.Errorf("asm: line %d: bad push mnemonic %q", line, mnemonic)
+	}
+	if len(imm) > n {
+		return fmt.Errorf("asm: line %d: immediate %q exceeds %d bytes", line, arg, n)
+	}
+	padded := make([]byte, n)
+	copy(padded[n-len(imm):], imm)
+	b.code = append(b.code, byte(evm.PUSH1)+byte(n-1))
+	b.code = append(b.code, padded...)
+	return nil
+}
+
+func parseImmediate(s string) ([]byte, error) {
+	if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X") {
+		hx := s[2:]
+		if len(hx)%2 == 1 {
+			hx = "0" + hx
+		}
+		imm, err := hex.DecodeString(hx)
+		if err != nil {
+			return nil, fmt.Errorf("bad hex immediate %q", s)
+		}
+		if len(imm) == 0 {
+			imm = []byte{0}
+		}
+		return imm, nil
+	}
+	var v uint256.Int
+	if err := v.SetFromDecimal(s); err != nil {
+		return nil, fmt.Errorf("bad immediate %q", s)
+	}
+	imm := v.Bytes()
+	if len(imm) == 0 {
+		imm = []byte{0}
+	}
+	return imm, nil
+}

@@ -1,0 +1,55 @@
+package contracts
+
+import (
+	"fmt"
+
+	"mtpu/internal/types"
+	"mtpu/internal/uint256"
+)
+
+// EncodeCall builds transaction input data (the Input field of Fig. 3(a)):
+// the 4-byte function identifier followed by each argument as a 32-byte
+// ABI word. Supported argument types: types.Address, *uint256.Int, uint64,
+// bool and types.Hash.
+func EncodeCall(f Function, args ...any) []byte {
+	out := make([]byte, 4, 4+32*len(args))
+	copy(out, f.Selector[:])
+	for i, a := range args {
+		var word [32]byte
+		switch v := a.(type) {
+		case types.Address:
+			copy(word[12:], v.Bytes())
+		case *uint256.Int:
+			word = v.Bytes32()
+		case uint256.Int:
+			word = v.Bytes32()
+		case uint64:
+			word = uint256.NewInt(v).Bytes32()
+		case int:
+			if v < 0 {
+				panic(fmt.Sprintf("contracts: negative int argument %d", v))
+			}
+			word = uint256.NewInt(uint64(v)).Bytes32()
+		case bool:
+			if v {
+				word[31] = 1
+			}
+		case types.Hash:
+			word = v
+		default:
+			panic(fmt.Sprintf("contracts: unsupported ABI argument %d of type %T", i, a))
+		}
+		out = append(out, word[:]...)
+	}
+	return out
+}
+
+// DecodeWord extracts the i-th 32-byte return word as a uint256.
+func DecodeWord(ret []byte, i int) *uint256.Int {
+	z := new(uint256.Int)
+	start := 32 * i
+	if start+32 <= len(ret) {
+		z.SetBytes(ret[start : start+32])
+	}
+	return z
+}

@@ -1,0 +1,191 @@
+package contracts
+
+import (
+	"mtpu/internal/evm"
+	"mtpu/internal/state"
+	"mtpu/internal/types"
+)
+
+// AMM router storage layout (a self-contained constant-product pair):
+//
+//	slot 1: reserve0
+//	slot 2: reserve1
+//	slot 3: total LP supply
+//	slot 4: mapping(address => uint256) LP balances
+//	slot 5: mapping(address => uint256) internal token0 balances
+//	slot 6: mapping(address => uint256) internal token1 balances
+const (
+	slotReserve0 = 1
+	slotReserve1 = 2
+	slotLPTotal  = 3
+	slotLPBal    = 4
+	slotBal0     = 5
+	slotBal1     = 6
+)
+
+// newRouter builds a constant-product AMM with the given fee numerator
+// (out = in*fee*reserveOut / (reserveIn*1000 + in*fee)). The two router
+// archetypes differ only in fee and address, giving distinct bytecode the
+// DB cache must track separately.
+func newRouter(name string, addr types.Address, feeNumerator uint64) *Contract {
+	faucet := fn("faucet", "faucet(uint256,uint256)", false)
+	addLiq := fn("addLiquidity", "addLiquidity(uint256,uint256)", false)
+	swap01 := fn("swap0For1", "swap0For1(uint256)", false)
+	swap10 := fn("swap1For0", "swap1For0(uint256)", false)
+	reserve0 := fn("reserve0", "reserve0()", false)
+	reserve1 := fn("reserve1", "reserve1()", false)
+	bal0Of := fn("balance0Of", "balance0Of(address)", false)
+	bal1Of := fn("balance1Of", "balance1Of(address)", false)
+	lpOf := fn("lpBalanceOf", "lpBalanceOf(address)", false)
+	fns := []Function{faucet, addLiq, swap01, swap10, reserve0, reserve1, bal0Of, bal1Of, lpOf}
+
+	c := NewCode()
+	c.Dispatcher(fns)
+
+	// faucet(uint256 a0, uint256 a1): credit internal balances.
+	c.Begin(faucet)
+	c.Arg(0) // [a0]
+	c.Op(evm.CALLER)
+	c.MapSlot(slotBal0)       // [slot, a0]
+	c.Op(evm.DUP1, evm.SLOAD) // [cur, slot, a0]
+	c.Op(evm.DUP3, evm.ADD)
+	c.Op(evm.SWAP1, evm.SSTORE, evm.POP) // []
+	c.Arg(1)
+	c.Op(evm.CALLER)
+	c.MapSlot(slotBal1)
+	c.Op(evm.DUP1, evm.SLOAD)
+	c.Op(evm.DUP3, evm.ADD)
+	c.Op(evm.SWAP1, evm.SSTORE, evm.POP)
+	c.Stop()
+
+	// deductBalance emits: balances[caller][slotBase] -= amount-on-stack,
+	// with a bounds check. Stack in: [amt, ...]; out: [amt, ...].
+	deduct := func(base uint64) {
+		c.Op(evm.CALLER)
+		c.MapSlot(base)           // [slot, amt, ...]
+		c.Op(evm.DUP1, evm.SLOAD) // [bal, slot, amt, ...]
+		c.Op(evm.DUP1, evm.DUP4)  // [amt, bal, bal, slot, amt, ...]
+		c.Op(evm.GT, evm.ISZERO)
+		c.Require()                        // [bal, slot, amt, ...]
+		c.Op(evm.DUP3, evm.SWAP1, evm.SUB) // [bal-amt, slot, amt, ...]
+		c.Op(evm.SWAP1, evm.SSTORE)        // [amt, ...]
+	}
+	// credit emits: balances[caller][base] += amount-on-stack (kept).
+	credit := func(base uint64) {
+		c.Op(evm.DUP1) // [amt, amt, ...]
+		c.Op(evm.CALLER)
+		c.MapSlot(base)           // [slot, amt, amt, ...]
+		c.Op(evm.DUP1, evm.SLOAD) // [cur, slot, amt, amt, ...]
+		c.Op(evm.DUP3, evm.ADD)
+		c.Op(evm.SWAP1, evm.SSTORE, evm.POP) // [amt, ...]
+	}
+
+	// addLiquidity(uint256 a0, uint256 a1) → minted LP.
+	c.Begin(addLiq)
+	c.Arg(0) // [a0]
+	deduct(slotBal0)
+	c.Arg(1) // [a1, a0]
+	deduct(slotBal1)
+	// reserve0 += a0.
+	c.PushInt(slotReserve0).Op(evm.SLOAD) // [r0, a1, a0]
+	c.Op(evm.DUP3, evm.ADD)               // [r0+a0, a1, a0]
+	c.PushInt(slotReserve0).Op(evm.SSTORE)
+	// reserve1 += a1.
+	c.PushInt(slotReserve1).Op(evm.SLOAD) // [r1, a1, a0]
+	c.Op(evm.DUP2, evm.ADD)
+	c.PushInt(slotReserve1).Op(evm.SSTORE) // [a1, a0]
+	// minted = a0 + a1 (simplified LP math).
+	c.Op(evm.ADD) // [minted]
+	// lpTotal += minted.
+	c.PushInt(slotLPTotal).Op(evm.SLOAD)
+	c.Op(evm.DUP2, evm.ADD)
+	c.PushInt(slotLPTotal).Op(evm.SSTORE) // [minted]
+	// lpBal[caller] += minted.
+	c.Op(evm.CALLER)
+	c.MapSlot(slotLPBal)
+	c.Op(evm.DUP1, evm.SLOAD)
+	c.Op(evm.DUP3, evm.ADD)
+	c.Op(evm.SWAP1, evm.SSTORE) // [minted]
+	c.ReturnWord()
+
+	// swap body shared between directions.
+	emitSwap := func(f Function, balIn, balOut, resIn, resOut uint64) {
+		c.Begin(f)
+		c.Arg(0) // [in]
+		deduct(balIn)
+		// out = in*fee*resOut / (resIn*1000 + in*fee).
+		c.Op(evm.DUP1)                  // [in, in]
+		c.PushInt(feeNumerator)         // [fee, in, in]
+		c.Op(evm.MUL)                   // [k=in*fee, in]
+		c.Op(evm.DUP1)                  // [k, k, in]
+		c.PushInt(resOut).Op(evm.SLOAD) // [rOut, k, k, in]
+		c.Op(evm.MUL)                   // [numer, k, in]
+		c.Op(evm.SWAP1)                 // [k, numer, in]
+		c.PushInt(resIn).Op(evm.SLOAD)  // [rIn, k, numer, in]
+		c.PushInt(1000).Op(evm.MUL)     // [rIn*1000, k, numer, in]
+		c.Op(evm.ADD)                   // [denom, numer, in]
+		c.Op(evm.SWAP1, evm.DIV)        // [out, in]
+		// require 0 < out < reserveOut.
+		c.Op(evm.DUP1, evm.ISZERO, evm.ISZERO)
+		c.Require()
+		c.Op(evm.DUP1)
+		c.PushInt(resOut).Op(evm.SLOAD) // [rOut, out, out, in]
+		c.Op(evm.GT)                    // rOut > out
+		c.Require()                     // [out, in]
+		credit(balOut)
+		// reserveIn += in.
+		c.PushInt(resIn).Op(evm.SLOAD) // [rIn, out, in]
+		c.Op(evm.DUP3, evm.ADD)
+		c.PushInt(resIn).Op(evm.SSTORE) // [out, in]
+		// reserveOut -= out.
+		c.PushInt(resOut).Op(evm.SLOAD)  // [rOut, out, in]
+		c.Op(evm.DUP2)                   // [out, rOut, out, in]
+		c.Op(evm.SWAP1, evm.SUB)         // [rOut-out, out, in]
+		c.PushInt(resOut).Op(evm.SSTORE) // [out, in]
+		c.Op(evm.SWAP1, evm.POP)         // [out]
+		c.ReturnWord()
+	}
+	emitSwap(swap01, slotBal0, slotBal1, slotReserve0, slotReserve1)
+	emitSwap(swap10, slotBal1, slotBal0, slotReserve1, slotReserve0)
+
+	view := func(f Function, slot uint64) {
+		c.Begin(f)
+		c.PushInt(slot).Op(evm.SLOAD)
+		c.ReturnWord()
+	}
+	view(reserve0, slotReserve0)
+	view(reserve1, slotReserve1)
+
+	mapView := func(f Function, base uint64) {
+		c.Begin(f)
+		c.ArgAddr(0)
+		c.MapSlot(base)
+		c.Op(evm.SLOAD)
+		c.ReturnWord()
+	}
+	mapView(bal0Of, slotBal0)
+	mapView(bal1Of, slotBal1)
+	mapView(lpOf, slotLPBal)
+
+	code := c.MustBuild()
+	return &Contract{
+		Name:      name,
+		Address:   addr,
+		Code:      code,
+		Functions: fns,
+		Setup: func(st *state.StateDB) {
+			st.SetCode(addr, code)
+			st.DiscardJournal()
+		},
+	}
+}
+
+// NewUniswapRouter builds the UniswapV2Router02 archetype (0.3% fee).
+func NewUniswapRouter() *Contract {
+	return newRouter("UniswapV2Router02", RouterAddr, 997)
+}
+
+// NewSwapRouter builds the SwapRouter archetype (0.5% fee tier).
+func NewSwapRouter() *Contract {
+	return newRouter("SwapRouter", SwapRouterAddr, 995)
+}

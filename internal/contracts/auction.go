@@ -1,0 +1,177 @@
+package contracts
+
+import (
+	"mtpu/internal/evm"
+	"mtpu/internal/state"
+)
+
+// CryptoCat-style auction storage layout (Table 2):
+//
+//	slot 1: mapping(uint256 id => address) seller
+//	slot 2: mapping(uint256 id => uint256) highest bid
+//	slot 3: mapping(uint256 id => address) highest bidder
+//	slot 4: mapping(uint256 id => uint256) end block
+const (
+	slotAucSeller = 1
+	slotAucBid    = 2
+	slotAucBidder = 3
+	slotAucEnd    = 4
+)
+
+// AuctionDuration is the bidding window in blocks.
+const AuctionDuration = 100
+
+// NewAuction builds the auction-house archetype: create, competitive
+// bidding with refunds of the outbid party (inner CALL), and settlement
+// paying the seller.
+func NewAuction() *Contract {
+	create := fn("createSaleAuction", "createSaleAuction(uint256,uint256)", false)
+	bid := fn("bid", "bid(uint256)", true)
+	settle := fn("settle", "settle(uint256)", false)
+	highBid := fn("highestBid", "highestBid(uint256)", false)
+	sellerOf := fn("sellerOf", "sellerOf(uint256)", false)
+	fns := []Function{create, bid, settle, highBid, sellerOf}
+
+	c := NewCode()
+	c.Dispatcher(fns)
+
+	// createSaleAuction(uint256 id, uint256 startPrice).
+	c.Begin(create)
+	// require(seller[id] == 0): id unused.
+	c.Arg(0)
+	c.MapSlot(slotAucSeller)
+	c.Op(evm.DUP1, evm.SLOAD, evm.ISZERO)
+	c.Require()      // [sSlot]
+	c.Op(evm.CALLER) // [caller, sSlot]
+	c.Op(evm.SWAP1, evm.SSTORE)
+	// bid[id] = startPrice (reserve).
+	c.Arg(1)
+	c.Arg(0)
+	c.MapSlot(slotAucBid) // [bSlot, price]
+	c.Op(evm.SSTORE)
+	// end[id] = block.number + duration.
+	c.PushInt(AuctionDuration)
+	c.Op(evm.NUMBER, evm.ADD) // [end]
+	c.Arg(0)
+	c.MapSlot(slotAucEnd) // [eSlot, end]
+	c.Op(evm.SSTORE)
+	c.Stop()
+
+	// bid(uint256 id) payable.
+	c.Begin(bid)
+	// require(seller[id] != 0): live auction.
+	c.Arg(0)
+	c.MapSlot(slotAucSeller)
+	c.Op(evm.SLOAD, evm.ISZERO, evm.ISZERO)
+	c.Require()
+	// require(block.number <= end[id]).
+	c.Arg(0)
+	c.MapSlot(slotAucEnd)
+	c.Op(evm.SLOAD)          // [end]
+	c.Op(evm.NUMBER, evm.GT) // NUMBER > end ?
+	c.Op(evm.ISZERO)
+	c.Require()
+	// require(msg.value > bid[id]).
+	c.Arg(0)
+	c.MapSlot(slotAucBid)
+	c.Op(evm.DUP1, evm.SLOAD)     // [old, bSlot]
+	c.Op(evm.DUP1, evm.CALLVALUE) // [val, old, old, bSlot]
+	c.Op(evm.GT)                  // val > old
+	c.Require()                   // [old, bSlot]
+	// Refund the previous bidder, if any.
+	c.Arg(0)
+	c.MapSlot(slotAucBidder)
+	c.Op(evm.SLOAD) // [oldBidder, old, bSlot]
+	c.Op(evm.DUP1, evm.ISZERO)
+	c.PushLabel("no_refund")
+	c.Op(evm.JUMPI) // [oldBidder, old, bSlot]
+	// CALL(gas, oldBidder, old, 0, 0, 0, 0).
+	c.PushInt(0)   // outSize
+	c.PushInt(0)   // outOffset
+	c.PushInt(0)   // inSize
+	c.PushInt(0)   // inOffset
+	c.Op(evm.DUP6) // value = old
+	c.Op(evm.DUP6) // to = oldBidder
+	c.PushInt(30000)
+	c.Op(evm.CALL)
+	c.Require() // [oldBidder, old, bSlot]
+	c.Label("no_refund")
+	c.Op(evm.POP, evm.POP) // [bSlot]
+	// bid[id] = msg.value.
+	c.Op(evm.CALLVALUE)
+	c.Op(evm.SWAP1, evm.SSTORE) // []
+	// bidder[id] = caller.
+	c.Op(evm.CALLER)
+	c.Arg(0)
+	c.MapSlot(slotAucBidder) // [slot, caller]
+	c.Op(evm.SSTORE)
+	c.Stop()
+
+	// settle(uint256 id): seller collects the winning bid.
+	c.Begin(settle)
+	c.Arg(0)
+	c.MapSlot(slotAucSeller)
+	c.Op(evm.DUP1, evm.SLOAD) // [seller, sSlot]
+	c.Op(evm.DUP1, evm.CALLER, evm.EQ)
+	c.Require() // [seller, sSlot]
+	// Pay only if someone bid.
+	c.Arg(0)
+	c.MapSlot(slotAucBidder)
+	c.Op(evm.SLOAD, evm.ISZERO) // no bidder?
+	c.PushLabel("no_payout")
+	c.Op(evm.JUMPI) // [seller, sSlot]
+	// CALL(gas, seller, bid[id], 0, 0, 0, 0).
+	c.Arg(0)
+	c.MapSlot(slotAucBid)
+	c.Op(evm.SLOAD)  // [amt, seller, sSlot]
+	c.PushInt(0)     // outSize
+	c.PushInt(0)     // outOffset
+	c.PushInt(0)     // inSize
+	c.PushInt(0)     // inOffset
+	c.Op(evm.DUP5)   // value = amt
+	c.Op(evm.DUP7)   // to = seller
+	c.PushInt(30000) // gas
+	c.Op(evm.CALL)
+	c.Require()   // [amt, seller, sSlot]
+	c.Op(evm.POP) // [seller, sSlot]
+	c.Label("no_payout")
+	c.Op(evm.POP) // [sSlot]
+	// Clear the auction: seller, bid, bidder.
+	c.PushInt(0)
+	c.Op(evm.SWAP1, evm.SSTORE) // seller[id] = 0
+	c.PushInt(0)
+	c.Arg(0)
+	c.MapSlot(slotAucBid)
+	c.Op(evm.SSTORE) // bid[id] = 0
+	c.PushInt(0)
+	c.Arg(0)
+	c.MapSlot(slotAucBidder)
+	c.Op(evm.SSTORE) // bidder[id] = 0
+	c.Stop()
+
+	// highestBid(uint256).
+	c.Begin(highBid)
+	c.Arg(0)
+	c.MapSlot(slotAucBid)
+	c.Op(evm.SLOAD)
+	c.ReturnWord()
+
+	// sellerOf(uint256).
+	c.Begin(sellerOf)
+	c.Arg(0)
+	c.MapSlot(slotAucSeller)
+	c.Op(evm.SLOAD)
+	c.ReturnWord()
+
+	code := c.MustBuild()
+	return &Contract{
+		Name:      "CryptoAuction",
+		Address:   AuctionAddr,
+		Code:      code,
+		Functions: fns,
+		Setup: func(st *state.StateDB) {
+			st.SetCode(AuctionAddr, code)
+			st.DiscardJournal()
+		},
+	}
+}

@@ -1,0 +1,119 @@
+package contracts
+
+import (
+	"mtpu/internal/evm"
+	"mtpu/internal/state"
+	"mtpu/internal/uint256"
+)
+
+// Ballot storage layout (the Table 2 voting contract):
+//
+//	slot 0: number of proposals
+//	slot 1: mapping(address => bool) voted
+//	slot 2: mapping(uint256 proposal => uint256) vote counts
+const (
+	slotBallotProposals = 0
+	slotBallotVoted     = 1
+	slotBallotVotes     = 2
+)
+
+// BallotProposals is the genesis proposal count.
+const BallotProposals = 4
+
+// NewBallot builds the voting contract. winningProposal() contains a real
+// loop over the proposals — the rare looping control flow that raises the
+// DB-cache hit rate even within a single transaction.
+func NewBallot() *Contract {
+	vote := fn("vote", "vote(uint256)", false)
+	winning := fn("winningProposal", "winningProposal()", false)
+	hasVoted := fn("hasVoted", "hasVoted(address)", false)
+	voteCount := fn("voteCount", "voteCount(uint256)", false)
+	fns := []Function{vote, winning, hasVoted, voteCount}
+
+	c := NewCode()
+	c.Dispatcher(fns)
+
+	// vote(uint256 proposal).
+	c.Begin(vote)
+	// require(proposal < numProposals)
+	c.PushInt(slotBallotProposals).Op(evm.SLOAD) // [n]
+	c.Arg(0)                                     // [p, n]
+	c.Op(evm.LT)                                 // p < n
+	c.Require()
+	// require(!voted[caller]); voted[caller] = true.
+	c.Op(evm.CALLER)
+	c.MapSlot(slotBallotVoted) // [slot]
+	c.Op(evm.DUP1, evm.SLOAD, evm.ISZERO)
+	c.Require()                 // [slot]
+	c.PushInt(1)                // [1, slot]
+	c.Op(evm.SWAP1, evm.SSTORE) // []
+	// votes[proposal] += 1.
+	c.Arg(0)
+	c.MapSlot(slotBallotVotes) // [vSlot]
+	c.Op(evm.DUP1, evm.SLOAD)  // [cnt, vSlot]
+	c.PushInt(1).Op(evm.ADD)   // [cnt+1, vSlot]
+	c.Op(evm.SWAP1, evm.SSTORE)
+	c.Stop()
+
+	// winningProposal() → index with the most votes (first on ties).
+	c.Begin(winning)
+	// Stack discipline (top first): [i, best, bestVotes].
+	c.PushInt(0) // bestVotes
+	c.PushInt(0) // best
+	c.PushInt(0) // i
+	c.Label("bloop")
+	// while (i < numProposals)
+	c.PushInt(slotBallotProposals).Op(evm.SLOAD) // [n, i, best, bv]
+	c.Op(evm.DUP2)                               // [i, n, i, best, bv]
+	c.Op(evm.LT, evm.ISZERO)                     // [i>=n, i, best, bv]
+	c.PushLabel("bdone")
+	c.Op(evm.JUMPI) // [i, best, bv]
+	// v = votes[i]
+	c.Op(evm.DUP1)
+	c.MapSlot(slotBallotVotes)
+	c.Op(evm.SLOAD) // [v, i, best, bv]
+	// if (bestVotes < v) { best = i; bestVotes = v }
+	c.Op(evm.DUP1, evm.DUP5) // [bv, v, v, i, best, bv]
+	c.Op(evm.LT)             // [bv<v, v, i, best, bv]
+	c.PushLabel("bupd")
+	c.Op(evm.JUMPI)
+	c.Op(evm.POP) // [i, best, bv]
+	c.Jump("bnext")
+	c.Label("bupd")                    // [v, i, best, bv]
+	c.Op(evm.SWAP3, evm.POP)           // bv = v → [i, best, v]
+	c.Op(evm.DUP1, evm.SWAP2, evm.POP) // best = i → [i, i, v]
+	c.Label("bnext")
+	c.PushInt(1).Op(evm.ADD) // i++
+	c.Jump("bloop")
+	c.Label("bdone") // [i, best, bv]
+	c.Op(evm.POP)    // [best, bv]
+	c.ReturnWord()
+
+	// hasVoted(address).
+	c.Begin(hasVoted)
+	c.ArgAddr(0)
+	c.MapSlot(slotBallotVoted)
+	c.Op(evm.SLOAD)
+	c.ReturnWord()
+
+	// voteCount(uint256).
+	c.Begin(voteCount)
+	c.Arg(0)
+	c.MapSlot(slotBallotVotes)
+	c.Op(evm.SLOAD)
+	c.ReturnWord()
+
+	code := c.MustBuild()
+	return &Contract{
+		Name:      "Ballot",
+		Address:   BallotAddr,
+		Code:      code,
+		Functions: fns,
+		Setup: func(st *state.StateDB) {
+			st.SetCode(BallotAddr, code)
+			n := uint256.NewInt(BallotProposals)
+			st.SetState(BallotAddr, slotHash(slotBallotProposals), *n)
+			st.DiscardJournal()
+		},
+	}
+}

@@ -1,0 +1,373 @@
+package contracts
+
+import (
+	"testing"
+
+	"mtpu/internal/evm"
+	"mtpu/internal/types"
+	"mtpu/internal/uint256"
+)
+
+func TestWETHDepositWithdraw(t *testing.T) {
+	weth := NewWETH()
+	env := newEnv(t, weth)
+
+	before := env.st.GetBalance(alice)
+	if _, err := env.callValue(alice, weth, "deposit", uint256.NewInt(5000)); err != nil {
+		t.Fatalf("deposit: %v", err)
+	}
+	env.wantUint(env.call(bob, weth, "balanceOf", alice), 5000)
+	env.wantUint(env.call(bob, weth, "totalSupply"), 5000)
+	if got := env.st.GetBalance(weth.Address); got.Uint64() != 5000 {
+		t.Fatalf("contract ether balance %s", got)
+	}
+
+	env.call(alice, weth, "withdraw", uint64(2000))
+	env.wantUint(env.call(bob, weth, "balanceOf", alice), 3000)
+	env.wantUint(env.call(bob, weth, "totalSupply"), 3000)
+	after := env.st.GetBalance(alice)
+	var diff uint256.Int
+	diff.Sub(before, after)
+	if diff.Uint64() != 3000 {
+		t.Fatalf("alice net outflow %s, want 3000", diff.String())
+	}
+
+	// Over-withdraw reverts.
+	if _, err := env.tryCall(alice, weth, "withdraw", uint64(9999)); err != evm.ErrExecutionReverted {
+		t.Fatalf("expected revert, got %v", err)
+	}
+
+	// ERC-20 transfer of wrapped balance works.
+	env.call(alice, weth, "transfer", bob, uint64(1000))
+	env.wantUint(env.call(alice, weth, "balanceOf", bob), 1000)
+}
+
+func TestFiatTokenProxyDelegatesToImplementation(t *testing.T) {
+	proxy := NewFiatTokenProxy()
+	env := newEnv(t, proxy)
+	SeedBalances(env.st, &Contract{Address: proxy.Address}, []types.Address{alice}, uint256.NewInt(600))
+
+	// Calls go to the proxy address; state lives in the proxy.
+	env.wantUint(env.call(bob, proxy, "balanceOf", alice), 600)
+	env.call(alice, proxy, "transfer", bob, uint64(250))
+	env.wantUint(env.call(bob, proxy, "balanceOf", bob), 250)
+	env.wantUint(env.call(bob, proxy, "balanceOf", alice), 350)
+
+	// The implementation's own storage must be untouched.
+	implBal := env.st.GetState(FiatImplAddr, AddrKeySlot(bob, SlotBalances))
+	if !implBal.IsZero() {
+		t.Fatalf("implementation storage written: %s", implBal.String())
+	}
+
+	// Reverts bubble through the proxy.
+	if _, err := env.tryCall(carol, proxy, "transfer", bob, uint64(1)); err != evm.ErrExecutionReverted {
+		t.Fatalf("expected revert through proxy, got %v", err)
+	}
+}
+
+func TestOpenSeaLifecycle(t *testing.T) {
+	sea := NewOpenSea()
+	env := newEnv(t, sea)
+
+	env.call(alice, sea, "mintItem", uint64(7))
+	ret := env.call(bob, sea, "ownerOf", uint64(7))
+	if types.WordToAddress(DecodeWord(ret, 0)) != alice {
+		t.Fatalf("owner %x", ret)
+	}
+	// Re-minting the same id reverts.
+	if _, err := env.tryCall(bob, sea, "mintItem", uint64(7)); err != evm.ErrExecutionReverted {
+		t.Fatalf("expected revert, got %v", err)
+	}
+
+	env.call(alice, sea, "createSaleAuction", uint64(7), uint64(1000))
+	env.wantUint(env.call(bob, sea, "priceOf", uint64(7)), 1000)
+
+	// Wrong payment amount reverts.
+	if _, err := env.callValue(bob, sea, "buy", uint256.NewInt(999), uint64(7)); err != evm.ErrExecutionReverted {
+		t.Fatalf("expected underpayment revert, got %v", err)
+	}
+	if _, err := env.callValue(bob, sea, "buy", uint256.NewInt(1000), uint64(7)); err != nil {
+		t.Fatalf("buy: %v", err)
+	}
+	ret = env.call(bob, sea, "ownerOf", uint64(7))
+	if types.WordToAddress(DecodeWord(ret, 0)) != bob {
+		t.Fatalf("owner after buy %x", ret)
+	}
+	env.wantUint(env.call(bob, sea, "priceOf", uint64(7)), 0) // delisted
+	env.wantUint(env.call(bob, sea, "proceedsOf", alice), 1000)
+
+	before := env.st.GetBalance(alice)
+	env.call(alice, sea, "withdrawProceeds")
+	after := env.st.GetBalance(alice)
+	var diff uint256.Int
+	diff.Sub(after, before)
+	if diff.Uint64() != 1000 {
+		t.Fatalf("proceeds payout %s", diff.String())
+	}
+	env.wantUint(env.call(bob, sea, "proceedsOf", alice), 0)
+
+	// cancelSale by the new owner.
+	env.call(bob, sea, "createSaleAuction", uint64(7), uint64(500))
+	env.call(bob, sea, "cancelSale", uint64(7))
+	env.wantUint(env.call(bob, sea, "priceOf", uint64(7)), 0)
+}
+
+func TestRouterSwapShape(t *testing.T) {
+	router := NewUniswapRouter()
+	env := newEnv(t, router)
+
+	env.call(alice, router, "faucet", uint64(100000), uint64(100000))
+	env.wantUint(env.call(bob, router, "balance0Of", alice), 100000)
+	env.call(alice, router, "addLiquidity", uint64(50000), uint64(50000))
+	env.wantUint(env.call(bob, router, "reserve0"), 50000)
+	env.wantUint(env.call(bob, router, "reserve1"), 50000)
+	env.wantUint(env.call(bob, router, "lpBalanceOf", alice), 100000)
+
+	// Constant-product with 0.3% fee: out = 1000*997*50000/(50000*1000+1000*997).
+	ret := env.call(alice, router, "swap0For1", uint64(1000))
+	out := DecodeWord(ret, 0).Uint64()
+	want := uint64(1000 * 997 * 50000 / (50000*1000 + 1000*997))
+	if out != want {
+		t.Fatalf("swap out %d, want %d", out, want)
+	}
+	env.wantUint(env.call(bob, router, "reserve0"), 51000)
+	env.wantUint(env.call(bob, router, "reserve1"), 50000-want)
+	env.wantUint(env.call(bob, router, "balance1Of", alice), 50000+want)
+
+	// Reverse direction.
+	ret = env.call(alice, router, "swap1For0", uint64(500))
+	if DecodeWord(ret, 0).IsZero() {
+		t.Fatal("reverse swap returned zero")
+	}
+
+	// Swapping more than deposited reverts.
+	if _, err := env.tryCall(bob, router, "swap0For1", uint64(10)); err != evm.ErrExecutionReverted {
+		t.Fatalf("expected revert, got %v", err)
+	}
+}
+
+func TestSwapRouterFeeDiffers(t *testing.T) {
+	r1, r2 := NewUniswapRouter(), NewSwapRouter()
+	env := newEnv(t, r1, r2)
+	for _, r := range []*Contract{r1, r2} {
+		env.call(alice, r, "faucet", uint64(100000), uint64(100000))
+		env.call(alice, r, "addLiquidity", uint64(50000), uint64(50000))
+	}
+	o1 := DecodeWord(env.call(alice, r1, "swap0For1", uint64(10000)), 0).Uint64()
+	o2 := DecodeWord(env.call(alice, r2, "swap0For1", uint64(10000)), 0).Uint64()
+	if o1 <= o2 {
+		t.Fatalf("997-fee router out %d should exceed 995-fee out %d", o1, o2)
+	}
+}
+
+func TestGatewayFlow(t *testing.T) {
+	gw := NewGateway()
+	env := newEnv(t, gw)
+
+	if _, err := env.callValue(alice, gw, "deposit", uint256.NewInt(4000)); err != nil {
+		t.Fatalf("deposit: %v", err)
+	}
+	env.wantUint(env.call(bob, gw, "depositOf", alice), 4000)
+
+	env.call(alice, gw, "requestWithdrawal", uint64(1500), uint64(1))
+	env.wantUint(env.call(bob, gw, "depositOf", alice), 2500)
+	env.wantUint(env.call(bob, gw, "isProcessed", uint64(1)), 1)
+
+	// Nonce replay rejected.
+	if _, err := env.tryCall(alice, gw, "requestWithdrawal", uint64(100), uint64(1)); err != evm.ErrExecutionReverted {
+		t.Fatalf("expected replay revert, got %v", err)
+	}
+	// Over-withdraw rejected.
+	if _, err := env.tryCall(alice, gw, "requestWithdrawal", uint64(99999), uint64(2)); err != evm.ErrExecutionReverted {
+		t.Fatalf("expected balance revert, got %v", err)
+	}
+
+	// Pause gates both deposit and withdrawal; owner only.
+	if _, err := env.tryCall(alice, gw, "pause"); err != evm.ErrExecutionReverted {
+		t.Fatalf("non-owner pause: %v", err)
+	}
+	env.call(TokenOwner, gw, "pause")
+	if _, err := env.callValue(alice, gw, "deposit", uint256.NewInt(1)); err != evm.ErrExecutionReverted {
+		t.Fatalf("paused deposit: %v", err)
+	}
+	if _, err := env.tryCall(alice, gw, "requestWithdrawal", uint64(1), uint64(3)); err != evm.ErrExecutionReverted {
+		t.Fatalf("paused withdrawal: %v", err)
+	}
+	env.call(TokenOwner, gw, "unpause")
+	if _, err := env.callValue(alice, gw, "deposit", uint256.NewInt(1)); err != nil {
+		t.Fatalf("deposit after unpause: %v", err)
+	}
+}
+
+func TestBallot(t *testing.T) {
+	ballot := NewBallot()
+	env := newEnv(t, ballot)
+
+	env.call(alice, ballot, "vote", uint64(2))
+	env.call(bob, ballot, "vote", uint64(2))
+	env.call(carol, ballot, "vote", uint64(1))
+	env.wantUint(env.call(alice, ballot, "voteCount", uint64(2)), 2)
+	env.wantUint(env.call(alice, ballot, "hasVoted", alice), 1)
+	env.wantUint(env.call(alice, ballot, "winningProposal"), 2)
+
+	// Double vote reverts.
+	if _, err := env.tryCall(alice, ballot, "vote", uint64(0)); err != evm.ErrExecutionReverted {
+		t.Fatalf("double vote: %v", err)
+	}
+	// Out-of-range proposal reverts.
+	if _, err := env.tryCall(TokenOwner, ballot, "vote", uint64(BallotProposals)); err != evm.ErrExecutionReverted {
+		t.Fatalf("range check: %v", err)
+	}
+}
+
+func TestBallotWinningTieAndEmpty(t *testing.T) {
+	ballot := NewBallot()
+	env := newEnv(t, ballot)
+	// No votes: proposal 0 wins by default.
+	env.wantUint(env.call(alice, ballot, "winningProposal"), 0)
+	// Tie: first proposal with the max wins.
+	env.call(alice, ballot, "vote", uint64(3))
+	env.call(bob, ballot, "vote", uint64(1))
+	env.wantUint(env.call(alice, ballot, "winningProposal"), 1)
+}
+
+func TestAuctionLifecycle(t *testing.T) {
+	auc := NewAuction()
+	env := newEnv(t, auc)
+
+	env.call(alice, auc, "createSaleAuction", uint64(9), uint64(100))
+	env.wantUint(env.call(bob, auc, "highestBid", uint64(9)), 100)
+
+	// Bid must exceed the reserve.
+	if _, err := env.callValue(bob, auc, "bid", uint256.NewInt(100), uint64(9)); err != evm.ErrExecutionReverted {
+		t.Fatalf("low bid accepted: %v", err)
+	}
+	if _, err := env.callValue(bob, auc, "bid", uint256.NewInt(150), uint64(9)); err != nil {
+		t.Fatalf("bid: %v", err)
+	}
+	env.wantUint(env.call(alice, auc, "highestBid", uint64(9)), 150)
+
+	// Carol outbids; bob is refunded.
+	bobBefore := env.st.GetBalance(bob)
+	if _, err := env.callValue(carol, auc, "bid", uint256.NewInt(200), uint64(9)); err != nil {
+		t.Fatalf("outbid: %v", err)
+	}
+	bobAfter := env.st.GetBalance(bob)
+	var refund uint256.Int
+	refund.Sub(bobAfter, bobBefore)
+	if refund.Uint64() != 150 {
+		t.Fatalf("refund %s, want 150", refund.String())
+	}
+
+	// Only the seller settles; seller receives the winning bid.
+	if _, err := env.tryCall(bob, auc, "settle", uint64(9)); err != evm.ErrExecutionReverted {
+		t.Fatalf("non-seller settle: %v", err)
+	}
+	aliceBefore := env.st.GetBalance(alice)
+	env.call(alice, auc, "settle", uint64(9))
+	aliceAfter := env.st.GetBalance(alice)
+	var gain uint256.Int
+	gain.Sub(aliceAfter, aliceBefore)
+	if gain.Uint64() != 200 {
+		t.Fatalf("settlement %s, want 200", gain.String())
+	}
+	// Cleared.
+	env.wantUint(env.call(bob, auc, "highestBid", uint64(9)), 0)
+	ret := env.call(bob, auc, "sellerOf", uint64(9))
+	if !DecodeWord(ret, 0).IsZero() {
+		t.Fatalf("seller not cleared: %x", ret)
+	}
+}
+
+func TestAllContractsDeployAndDisassemble(t *testing.T) {
+	cs := All()
+	if len(cs) != 12 {
+		t.Fatalf("All() returned %d contracts", len(cs))
+	}
+	seen := make(map[types.Address]bool)
+	for _, c := range cs {
+		if c.Address.IsZero() {
+			t.Errorf("%s: zero address", c.Name)
+		}
+		if seen[c.Address] {
+			t.Errorf("%s: duplicate address %s", c.Name, c.Address)
+		}
+		seen[c.Address] = true
+		if len(c.Code) == 0 {
+			t.Errorf("%s: empty code", c.Name)
+		}
+		if len(c.Functions) == 0 {
+			t.Errorf("%s: no functions", c.Name)
+		}
+		for _, f := range c.Functions {
+			if _, ok := c.FunctionBySelector(f.Selector); !ok {
+				t.Errorf("%s: selector lookup failed for %s", c.Name, f.Name)
+			}
+		}
+	}
+}
+
+func TestExtendedAllowanceHelpers(t *testing.T) {
+	tether := NewTether()
+	env := newEnv(t, tether)
+	env.call(alice, tether, "increaseAllowance", bob, uint64(100))
+	env.call(alice, tether, "increaseAllowance", bob, uint64(50))
+	env.wantUint(env.call(carol, tether, "allowance", alice, bob), 150)
+	env.call(alice, tether, "decreaseAllowance", bob, uint64(60))
+	env.wantUint(env.call(carol, tether, "allowance", alice, bob), 90)
+	// Underflow reverts.
+	if _, err := env.tryCall(alice, tether, "decreaseAllowance", bob, uint64(91)); err != evm.ErrExecutionReverted {
+		t.Fatalf("expected revert, got %v", err)
+	}
+}
+
+func TestExtendedMetadataAndOwnership(t *testing.T) {
+	tether := NewTether()
+	env := newEnv(t, tether)
+	env.wantUint(env.call(alice, tether, "decimals"), TokenDecimals)
+	ret := env.call(alice, tether, "getOwner")
+	if types.WordToAddress(DecodeWord(ret, 0)) != TokenOwner {
+		t.Fatalf("owner %x", ret)
+	}
+	// Only the owner may transfer ownership, and not to zero.
+	if _, err := env.tryCall(alice, tether, "transferOwnership", bob); err != evm.ErrExecutionReverted {
+		t.Fatalf("non-owner transferOwnership: %v", err)
+	}
+	if _, err := env.tryCall(TokenOwner, tether, "transferOwnership", types.Address{}); err != evm.ErrExecutionReverted {
+		t.Fatalf("zero-owner accepted: %v", err)
+	}
+	env.call(TokenOwner, tether, "transferOwnership", alice)
+	ret = env.call(bob, tether, "getOwner")
+	if types.WordToAddress(DecodeWord(ret, 0)) != alice {
+		t.Fatalf("ownership not transferred: %x", ret)
+	}
+	// New owner can issue; old owner cannot.
+	env.call(alice, tether, "issue", uint64(7))
+	if _, err := env.tryCall(TokenOwner, tether, "issue", uint64(7)); err != evm.ErrExecutionReverted {
+		t.Fatalf("old owner still mints: %v", err)
+	}
+}
+
+func TestBatchTransfer3(t *testing.T) {
+	tether := NewTether()
+	env := newEnv(t, tether)
+	SeedBalances(env.st, tether, []types.Address{alice}, uint256.NewInt(1000))
+	env.call(alice, tether, "batchTransfer3", bob, carol, TokenOwner, uint64(30))
+	env.wantUint(env.call(alice, tether, "balanceOf", alice), 910)
+	env.wantUint(env.call(alice, tether, "balanceOf", bob), 30)
+	env.wantUint(env.call(alice, tether, "balanceOf", carol), 30)
+	env.wantUint(env.call(alice, tether, "balanceOf", TokenOwner), 30)
+	// Insufficient for 3× reverts atomically.
+	if _, err := env.tryCall(alice, tether, "batchTransfer3", bob, carol, TokenOwner, uint64(400)); err != evm.ErrExecutionReverted {
+		t.Fatalf("expected revert, got %v", err)
+	}
+	env.wantUint(env.call(alice, tether, "balanceOf", alice), 910)
+}
+
+func TestBatchTransferSameRecipientAccumulates(t *testing.T) {
+	tether := NewTether()
+	env := newEnv(t, tether)
+	SeedBalances(env.st, tether, []types.Address{alice}, uint256.NewInt(1000))
+	env.call(alice, tether, "batchTransfer3", bob, bob, bob, uint64(10))
+	env.wantUint(env.call(alice, tether, "balanceOf", bob), 30)
+}

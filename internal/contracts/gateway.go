@@ -1,0 +1,142 @@
+package contracts
+
+import (
+	"mtpu/internal/evm"
+	"mtpu/internal/state"
+	"mtpu/internal/types"
+)
+
+// MainchainGatewayProxy-archetype storage layout:
+//
+//	slot 1: mapping(address => uint256) deposited
+//	slot 2: mapping(uint256 nonce => bool) processed withdrawals
+//	slot 3: owner
+//	slot 4: paused flag
+const (
+	slotGatewayDeposits = 1
+	slotGatewayNonces   = 2
+	slotGatewayOwner    = 3
+	slotGatewayPaused   = 4
+)
+
+// NewGateway builds the bridge-gateway archetype: value deposits, replay-
+// protected withdrawals, and owner-controlled pausing — the logic- and
+// branch-heavy mix of the real MainchainGatewayProxy (Table 6).
+func NewGateway() *Contract {
+	deposit := fn("deposit", "deposit()", true)
+	reqW := fn("requestWithdrawal", "requestWithdrawal(uint256,uint256)", false)
+	pause := fn("pause", "pause()", false)
+	unpause := fn("unpause", "unpause()", false)
+	depositOf := fn("depositOf", "depositOf(address)", false)
+	isProcessed := fn("isProcessed", "isProcessed(uint256)", false)
+	fns := []Function{deposit, reqW, pause, unpause, depositOf, isProcessed}
+
+	c := NewCode()
+	c.Dispatcher(fns)
+
+	requireNotPaused := func() {
+		c.PushInt(slotGatewayPaused).Op(evm.SLOAD, evm.ISZERO)
+		c.Require()
+	}
+	requireOwner := func() {
+		c.PushInt(slotGatewayOwner).Op(evm.SLOAD)
+		c.Op(evm.CALLER, evm.EQ)
+		c.Require()
+	}
+
+	// deposit() payable.
+	c.Begin(deposit)
+	requireNotPaused()
+	c.Op(evm.CALLVALUE)                    // [val]
+	c.Op(evm.DUP1, evm.ISZERO, evm.ISZERO) // val > 0
+	c.Require()
+	c.Op(evm.CALLER)
+	c.MapSlot(slotGatewayDeposits) // [slot, val]
+	c.Op(evm.DUP1, evm.SLOAD)      // [cur, slot, val]
+	c.Op(evm.DUP3, evm.ADD)
+	c.Op(evm.SWAP1, evm.SSTORE, evm.POP)
+	c.Stop()
+
+	// requestWithdrawal(uint256 amount, uint256 nonce).
+	c.Begin(reqW)
+	requireNotPaused()
+	// Replay protection: processed[nonce] must be unset, then set.
+	c.Arg(1)
+	c.MapSlot(slotGatewayNonces) // [nSlot]
+	c.Op(evm.DUP1, evm.SLOAD, evm.ISZERO)
+	c.Require()                 // [nSlot]
+	c.PushInt(1)                // [1, nSlot]
+	c.Op(evm.SWAP1, evm.SSTORE) // []
+	// deposited[caller] -= amount (checked).
+	c.Arg(0) // [amt]
+	c.Op(evm.CALLER)
+	c.MapSlot(slotGatewayDeposits) // [slot, amt]
+	c.Op(evm.DUP1, evm.SLOAD)      // [dep, slot, amt]
+	c.Op(evm.DUP1, evm.DUP4)       // [amt, dep, dep, slot, amt]
+	c.Op(evm.GT, evm.ISZERO)
+	c.Require()
+	c.Op(evm.DUP3, evm.SWAP1, evm.SUB)
+	c.Op(evm.SWAP1, evm.SSTORE) // [amt]
+	// Pay out via CALL(gas, caller, amt, 0, 0, 0, 0).
+	c.PushInt(0)
+	c.PushInt(0)
+	c.PushInt(0)
+	c.PushInt(0)
+	c.Op(evm.DUP5)
+	c.Op(evm.CALLER)
+	c.PushInt(30000)
+	c.Op(evm.CALL)
+	c.Require()
+	c.Stop()
+
+	// pause() / unpause(): owner only.
+	c.Begin(pause)
+	requireOwner()
+	c.PushInt(1)
+	c.PushInt(slotGatewayPaused)
+	c.Op(evm.SSTORE)
+	c.Stop()
+
+	c.Begin(unpause)
+	requireOwner()
+	c.PushInt(0)
+	c.PushInt(slotGatewayPaused)
+	c.Op(evm.SSTORE)
+	c.Stop()
+
+	// depositOf(address).
+	c.Begin(depositOf)
+	c.ArgAddr(0)
+	c.MapSlot(slotGatewayDeposits)
+	c.Op(evm.SLOAD)
+	c.ReturnWord()
+
+	// isProcessed(uint256).
+	c.Begin(isProcessed)
+	c.Arg(0)
+	c.MapSlot(slotGatewayNonces)
+	c.Op(evm.SLOAD)
+	c.ReturnWord()
+
+	code := c.MustBuild()
+	return &Contract{
+		Name:      "MainchainGatewayProxy",
+		Address:   GatewayAddr,
+		Code:      code,
+		Functions: fns,
+		Setup: func(st *state.StateDB) {
+			st.SetCode(GatewayAddr, code)
+			w := TokenOwner.Word()
+			st.SetState(GatewayAddr, slotHash(slotGatewayOwner), w)
+			st.DiscardJournal()
+		},
+	}
+}
+
+// GatewaySlotPaused exposes the paused slot for tests.
+func GatewaySlotPaused() types.Hash { return slotHash(slotGatewayPaused) }
+
+// GatewayDepositSlot exposes the deposit slot of an account for tests.
+func GatewayDepositSlot(a types.Address) types.Hash {
+	return AddrKeySlot(a, slotGatewayDeposits)
+}

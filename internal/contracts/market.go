@@ -1,0 +1,156 @@
+package contracts
+
+import (
+	"mtpu/internal/evm"
+	"mtpu/internal/state"
+)
+
+// OpenSea-archetype marketplace storage layout:
+//
+//	slot 1: mapping(uint256 tokenId => address) owners
+//	slot 2: mapping(uint256 tokenId => uint256) prices (0 = unlisted)
+//	slot 3: mapping(address => uint256) proceeds (pull payments)
+const (
+	slotMarketOwners   = 1
+	slotMarketPrices   = 2
+	slotMarketProceeds = 3
+)
+
+// NewOpenSea builds the marketplace archetype: mint, list, buy with
+// attached value, cancel, and pull-based proceeds withdrawal.
+func NewOpenSea() *Contract {
+	mintItem := fn("mintItem", "mintItem(uint256)", false)
+	createSale := fn("createSaleAuction", "createSaleAuction(uint256,uint256)", false)
+	buy := fn("buy", "buy(uint256)", true)
+	cancel := fn("cancelSale", "cancelSale(uint256)", false)
+	withdrawP := fn("withdrawProceeds", "withdrawProceeds()", false)
+	ownerOf := fn("ownerOf", "ownerOf(uint256)", false)
+	priceOf := fn("priceOf", "priceOf(uint256)", false)
+	proceedsOf := fn("proceedsOf", "proceedsOf(address)", false)
+	fns := []Function{mintItem, createSale, buy, cancel, withdrawP, ownerOf, priceOf, proceedsOf}
+
+	c := NewCode()
+	c.Dispatcher(fns)
+
+	// mintItem(uint256 tokenId): claim an unowned id.
+	c.Begin(mintItem)
+	c.Arg(0)
+	c.MapSlot(slotMarketOwners) // [slot]
+	c.Op(evm.DUP1, evm.SLOAD)   // [cur, slot]
+	c.Op(evm.ISZERO)
+	c.Require()                 // [slot]
+	c.Op(evm.CALLER)            // [caller, slot]
+	c.Op(evm.SWAP1, evm.SSTORE) // []
+	c.Stop()
+
+	// createSaleAuction(uint256 tokenId, uint256 price).
+	c.Begin(createSale)
+	c.Arg(0)
+	c.MapSlot(slotMarketOwners)
+	c.Op(evm.SLOAD)          // [owner]
+	c.Op(evm.CALLER, evm.EQ) // caller owns the item
+	c.Require()
+	c.Arg(1)                               // [price]
+	c.Op(evm.DUP1, evm.ISZERO, evm.ISZERO) // price > 0
+	c.Require()                            // [price]
+	c.Arg(0)
+	c.MapSlot(slotMarketPrices) // [slot, price]
+	c.Op(evm.SSTORE)            // []
+	c.Stop()
+
+	// buy(uint256 tokenId) payable.
+	c.Begin(buy)
+	c.Arg(0)
+	c.MapSlot(slotMarketPrices)            // [pSlot]
+	c.Op(evm.DUP1, evm.SLOAD)              // [price, pSlot]
+	c.Op(evm.DUP1, evm.ISZERO, evm.ISZERO) // listed
+	c.Require()                            // [price, pSlot]
+	c.Op(evm.DUP1, evm.CALLVALUE, evm.EQ)  // msg.value == price
+	c.Require()                            // [price, pSlot]
+	// proceeds[seller] += price.
+	c.Arg(0)
+	c.MapSlot(slotMarketOwners)
+	c.Op(evm.SLOAD)               // [seller, price, pSlot]
+	c.MapSlot(slotMarketProceeds) // [prSlot, price, pSlot]
+	c.Op(evm.DUP1, evm.SLOAD)     // [cur, prSlot, price, pSlot]
+	c.Op(evm.DUP3, evm.ADD)       // [cur+price, prSlot, price, pSlot]
+	c.Op(evm.SWAP1, evm.SSTORE)   // [price, pSlot]
+	c.Op(evm.POP)                 // [pSlot]
+	// owners[tokenId] = caller.
+	c.Op(evm.CALLER) // [caller, pSlot]
+	c.Arg(0)
+	c.MapSlot(slotMarketOwners) // [oSlot, caller, pSlot]
+	c.Op(evm.SSTORE)            // [pSlot]
+	// prices[tokenId] = 0 (delist).
+	c.PushInt(0)                // [0, pSlot]
+	c.Op(evm.SWAP1, evm.SSTORE) // []
+	c.Stop()
+
+	// cancelSale(uint256 tokenId).
+	c.Begin(cancel)
+	c.Arg(0)
+	c.MapSlot(slotMarketOwners)
+	c.Op(evm.SLOAD)
+	c.Op(evm.CALLER, evm.EQ)
+	c.Require()
+	c.PushInt(0)
+	c.Arg(0)
+	c.MapSlot(slotMarketPrices) // [slot, 0]
+	c.Op(evm.SSTORE)
+	c.Stop()
+
+	// withdrawProceeds(): pull pattern, pays out via CALL.
+	c.Begin(withdrawP)
+	c.Op(evm.CALLER)
+	c.MapSlot(slotMarketProceeds)          // [slot]
+	c.Op(evm.DUP1, evm.SLOAD)              // [amt, slot]
+	c.Op(evm.DUP1, evm.ISZERO, evm.ISZERO) // amt > 0
+	c.Require()                            // [amt, slot]
+	// proceeds[caller] = 0 before the external call (checks-effects).
+	c.PushInt(0)               // [0, amt, slot]
+	c.Op(evm.DUP3, evm.SSTORE) // [amt, slot]  (slot copied to top, stores 0)
+	// CALL(gas, caller, amt, 0, 0, 0, 0).
+	c.PushInt(0)     // outSize
+	c.PushInt(0)     // outOffset
+	c.PushInt(0)     // inSize
+	c.PushInt(0)     // inOffset
+	c.Op(evm.DUP5)   // value = amt
+	c.Op(evm.CALLER) // to
+	c.PushInt(30000) // gas
+	c.Op(evm.CALL)
+	c.Require()
+	c.Stop()
+
+	// ownerOf(uint256).
+	c.Begin(ownerOf)
+	c.Arg(0)
+	c.MapSlot(slotMarketOwners)
+	c.Op(evm.SLOAD)
+	c.ReturnWord()
+
+	// priceOf(uint256).
+	c.Begin(priceOf)
+	c.Arg(0)
+	c.MapSlot(slotMarketPrices)
+	c.Op(evm.SLOAD)
+	c.ReturnWord()
+
+	// proceedsOf(address).
+	c.Begin(proceedsOf)
+	c.ArgAddr(0)
+	c.MapSlot(slotMarketProceeds)
+	c.Op(evm.SLOAD)
+	c.ReturnWord()
+
+	code := c.MustBuild()
+	return &Contract{
+		Name:      "OpenSea",
+		Address:   OpenSeaAddr,
+		Code:      code,
+		Functions: fns,
+		Setup: func(st *state.StateDB) {
+			st.SetCode(OpenSeaAddr, code)
+			st.DiscardJournal()
+		},
+	}
+}

@@ -1,0 +1,189 @@
+package contracts
+
+import (
+	"math/rand"
+	"testing"
+
+	"mtpu/internal/evm"
+	"mtpu/internal/types"
+	"mtpu/internal/uint256"
+)
+
+// refToken is a pure-Go reference model of the ERC-20 semantics our
+// bytecode implements; random operation sequences must keep the contract
+// and the model in lockstep (including which operations revert).
+type refToken struct {
+	balances    map[types.Address]uint64
+	allowances  map[[2]types.Address]uint64
+	totalSupply uint64
+}
+
+func newRefToken() *refToken {
+	return &refToken{
+		balances:   map[types.Address]uint64{},
+		allowances: map[[2]types.Address]uint64{},
+	}
+}
+
+func (r *refToken) transfer(from, to types.Address, amt uint64) bool {
+	if r.balances[from] < amt {
+		return false
+	}
+	r.balances[from] -= amt
+	r.balances[to] += amt
+	return true
+}
+
+func (r *refToken) approve(owner, spender types.Address, amt uint64) bool {
+	r.allowances[[2]types.Address{owner, spender}] = amt
+	return true
+}
+
+func (r *refToken) transferFrom(spender, from, to types.Address, amt uint64) bool {
+	key := [2]types.Address{from, spender}
+	if r.allowances[key] < amt || r.balances[from] < amt {
+		return false
+	}
+	r.allowances[key] -= amt
+	r.balances[from] -= amt
+	r.balances[to] += amt
+	return true
+}
+
+func TestERC20MatchesReferenceModel(t *testing.T) {
+	tether := NewTether()
+	env := newEnv(t, tether)
+
+	actors := []types.Address{alice, bob, carol, TokenOwner}
+	ref := newRefToken()
+
+	// Seed: owner issues and distributes.
+	env.call(TokenOwner, tether, "issue", uint64(10_000))
+	ref.balances[TokenOwner] += 10_000
+	ref.totalSupply += 10_000
+	for _, a := range []types.Address{alice, bob, carol} {
+		env.call(TokenOwner, tether, "transfer", a, uint64(2000))
+		ref.transfer(TokenOwner, a, 2000)
+	}
+
+	rng := rand.New(rand.NewSource(2023))
+	for step := 0; step < 400; step++ {
+		op := rng.Intn(3)
+		from := actors[rng.Intn(len(actors))]
+		to := actors[rng.Intn(len(actors))]
+		amt := uint64(rng.Intn(1500)) // sometimes exceeds balances
+
+		var gotOK, wantOK bool
+		switch op {
+		case 0:
+			_, err := env.tryCall(from, tether, "transfer", to, amt)
+			gotOK = err == nil
+			wantOK = ref.transfer(from, to, amt)
+		case 1:
+			_, err := env.tryCall(from, tether, "approve", to, amt)
+			gotOK = err == nil
+			wantOK = ref.approve(from, to, amt)
+		case 2:
+			third := actors[rng.Intn(len(actors))]
+			_, err := env.tryCall(from, tether, "transferFrom", to, third, amt)
+			gotOK = err == nil
+			wantOK = ref.transferFrom(from, to, third, amt)
+		}
+		if gotOK != wantOK {
+			t.Fatalf("step %d op %d: contract ok=%v, model ok=%v", step, op, gotOK, wantOK)
+		}
+
+		// Periodic deep comparison.
+		if step%25 == 0 {
+			for _, a := range actors {
+				got := DecodeWord(env.call(a, tether, "balanceOf", a), 0).Uint64()
+				if got != ref.balances[a] {
+					t.Fatalf("step %d: balance(%s) = %d, model %d", step, a, got, ref.balances[a])
+				}
+			}
+			got := DecodeWord(env.call(alice, tether, "totalSupply"), 0).Uint64()
+			if got != ref.totalSupply {
+				t.Fatalf("step %d: totalSupply %d, model %d", step, got, ref.totalSupply)
+			}
+			for _, o := range actors {
+				for _, s := range actors {
+					got := DecodeWord(env.call(o, tether, "allowance", o, s), 0).Uint64()
+					if got != ref.allowances[[2]types.Address{o, s}] {
+						t.Fatalf("step %d: allowance(%s,%s) = %d, model %d",
+							step, o, s, got, ref.allowances[[2]types.Address{o, s}])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRouterConservesValue(t *testing.T) {
+	// Property: internal balances plus reserves are conserved by swaps
+	// (the AMM never mints token units).
+	router := NewUniswapRouter()
+	env := newEnv(t, router)
+	env.call(alice, router, "faucet", uint64(1_000_000), uint64(1_000_000))
+	env.call(alice, router, "addLiquidity", uint64(400_000), uint64(400_000))
+
+	total0 := func() uint64 {
+		r := DecodeWord(env.call(bob, router, "reserve0"), 0).Uint64()
+		b := DecodeWord(env.call(bob, router, "balance0Of", alice), 0).Uint64()
+		return r + b
+	}
+	total1 := func() uint64 {
+		r := DecodeWord(env.call(bob, router, "reserve1"), 0).Uint64()
+		b := DecodeWord(env.call(bob, router, "balance1Of", alice), 0).Uint64()
+		return r + b
+	}
+	w0, w1 := total0(), total1()
+
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 60; i++ {
+		amt := uint64(1 + rng.Intn(5000))
+		fn := "swap0For1"
+		if i%2 == 1 {
+			fn = "swap1For0"
+		}
+		if _, err := env.tryCall(alice, router, fn, amt); err != nil &&
+			err != evm.ErrExecutionReverted {
+			t.Fatalf("swap %d: %v", i, err)
+		}
+		if total0() != w0 || total1() != w1 {
+			t.Fatalf("swap %d: token units not conserved: %d/%d vs %d/%d",
+				i, total0(), total1(), w0, w1)
+		}
+	}
+
+	// Constant-product: k must never decrease (fees accrue to reserves).
+	r0 := DecodeWord(env.call(bob, router, "reserve0"), 0).Uint64()
+	r1 := DecodeWord(env.call(bob, router, "reserve1"), 0).Uint64()
+	if r0*r1 < 400_000*400_000 {
+		t.Fatalf("k decreased: %d", r0*r1)
+	}
+}
+
+func TestGatewayNonceSpaceIsolated(t *testing.T) {
+	// Property: distinct nonces never interfere; same nonce always replays.
+	gw := NewGateway()
+	env := newEnv(t, gw)
+	if _, err := env.callValue(alice, gw, "deposit", uint256.NewInt(100_000)); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	used := map[uint64]bool{}
+	for i := 0; i < 80; i++ {
+		nonce := uint64(rng.Intn(40))
+		_, err := env.tryCall(alice, gw, "requestWithdrawal", uint64(10), nonce)
+		if used[nonce] {
+			if err != evm.ErrExecutionReverted {
+				t.Fatalf("replayed nonce %d accepted", nonce)
+			}
+		} else {
+			if err != nil {
+				t.Fatalf("fresh nonce %d rejected: %v", nonce, err)
+			}
+			used[nonce] = true
+		}
+	}
+}

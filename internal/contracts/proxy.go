@@ -1,0 +1,68 @@
+package contracts
+
+import (
+	"mtpu/internal/evm"
+	"mtpu/internal/keccak"
+	"mtpu/internal/state"
+	"mtpu/internal/types"
+)
+
+// ImplementationSlot is the storage slot holding the implementation
+// address behind a proxy (an EIP-1967-style out-of-band slot so it cannot
+// collide with the implementation's own layout).
+var ImplementationSlot = types.Hash(keccak.Sum256([]byte("mtpu.proxy.implementation")))
+
+// NewFiatTokenProxy builds the FiatTokenProxy archetype: a transparent
+// proxy that forwards every call to an ERC-20 implementation via
+// DELEGATECALL and bubbles up the return or revert data. The token state
+// lives in the proxy's storage, as with the real USDC proxy.
+func NewFiatTokenProxy() *Contract {
+	implCode, fns := buildToken(nil, nil)
+
+	c := NewCode()
+	// Copy the full calldata to memory 0.
+	c.Op(evm.CALLDATASIZE) // [size]
+	c.PushInt(0)           // [0, size]
+	c.PushInt(0)           // [0, 0, size] → CALLDATACOPY(mem=0, data=0, size)
+	c.Op(evm.CALLDATACOPY)
+	// DELEGATECALL(gas, impl, 0, calldatasize, 0, 0).
+	c.PushInt(0)           // outSize
+	c.PushInt(0)           // outOffset
+	c.Op(evm.CALLDATASIZE) // inSize
+	c.PushInt(0)           // inOffset
+	c.PushBytes(ImplementationSlot[:])
+	c.Op(evm.SLOAD) // impl address
+	c.Op(evm.GAS)
+	c.Op(evm.DELEGATECALL) // [success]
+	// Copy the full return data to memory 0.
+	c.Op(evm.RETURNDATASIZE)
+	c.PushInt(0)
+	c.PushInt(0)
+	c.Op(evm.RETURNDATACOPY) // [success]
+	c.PushLabel("proxy_ok")
+	c.Op(evm.JUMPI)
+	c.Op(evm.RETURNDATASIZE)
+	c.PushInt(0)
+	c.Op(evm.REVERT)
+	c.Label("proxy_ok")
+	c.Op(evm.RETURNDATASIZE)
+	c.PushInt(0)
+	c.Op(evm.RETURN)
+	proxyCode := c.MustBuild()
+
+	return &Contract{
+		Name:      "FiatTokenProxy",
+		Address:   FiatProxyAddr,
+		Code:      proxyCode,
+		Functions: fns, // callable through the proxy
+		Setup: func(st *state.StateDB) {
+			st.SetCode(FiatProxyAddr, proxyCode)
+			st.SetCode(FiatImplAddr, implCode)
+			implWord := FiatImplAddr.Word()
+			st.SetState(FiatProxyAddr, ImplementationSlot, implWord)
+			ownerWord := TokenOwner.Word()
+			st.SetState(FiatProxyAddr, slotHash(SlotOwner), ownerWord)
+			st.DiscardJournal()
+		},
+	}
+}

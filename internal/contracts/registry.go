@@ -1,0 +1,49 @@
+package contracts
+
+import (
+	"mtpu/internal/state"
+	"mtpu/internal/types"
+)
+
+// Top8 returns fresh instances of the eight archetype contracts in the
+// Table 6 order: Tether USD, UniswapV2Router02, FiatTokenProxy, OpenSea,
+// LinkToken, SwapRouter, Dai, MainchainGatewayProxy.
+func Top8() []*Contract {
+	return []*Contract{
+		NewTether(),
+		NewUniswapRouter(),
+		NewFiatTokenProxy(),
+		NewOpenSea(),
+		NewLinkToken(),
+		NewSwapRouter(),
+		NewDai(),
+		NewGateway(),
+	}
+}
+
+// All returns the Top8 plus the auxiliary contracts (WETH9, Ballot,
+// CryptoAuction and the ERC-677 token receiver).
+func All() []*Contract {
+	return append(Top8(),
+		NewWETH(),
+		NewBallot(),
+		NewAuction(),
+		NewTokenReceiver(),
+	)
+}
+
+// DeployAll installs every contract in cs into the state.
+func DeployAll(st *state.StateDB, cs []*Contract) {
+	for _, c := range cs {
+		c.Setup(st)
+	}
+}
+
+// ByAddress indexes contracts by their deployment address.
+func ByAddress(cs []*Contract) map[types.Address]*Contract {
+	m := make(map[types.Address]*Contract, len(cs))
+	for _, c := range cs {
+		m[c.Address] = c
+	}
+	return m
+}

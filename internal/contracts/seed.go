@@ -1,0 +1,86 @@
+package contracts
+
+import (
+	"mtpu/internal/state"
+	"mtpu/internal/types"
+	"mtpu/internal/uint256"
+)
+
+// This file provides genesis-state seeding for workload generation: the
+// block generator writes contract storage directly (as if earlier blocks
+// had populated it) so every generated transaction finds the balances,
+// listings, reserves and deposits it needs to succeed.
+
+// SeedRouter installs reserves and per-user internal token balances into
+// an AMM router so swaps and addLiquidity succeed immediately.
+func SeedRouter(st *state.StateDB, router *Contract, users []types.Address, userBal, reserve uint64) {
+	r := uint256.NewInt(reserve)
+	st.SetState(router.Address, slotHash(slotReserve0), *r)
+	st.SetState(router.Address, slotHash(slotReserve1), *r)
+	lp := uint256.NewInt(2 * reserve)
+	st.SetState(router.Address, slotHash(slotLPTotal), *lp)
+	b := uint256.NewInt(userBal)
+	for _, u := range users {
+		st.SetState(router.Address, AddrKeySlot(u, slotBal0), *b)
+		st.SetState(router.Address, AddrKeySlot(u, slotBal1), *b)
+	}
+	st.DiscardJournal()
+}
+
+// SeedMarketListings mints tokenIds to owner and lists them at price, so
+// buy transactions succeed without a mint/list prelude.
+func SeedMarketListings(st *state.StateDB, market *Contract, tokenIDs []uint64, owner types.Address, price uint64) {
+	ow := owner.Word()
+	p := uint256.NewInt(price)
+	for _, id := range tokenIDs {
+		idKey := types.Hash(uint256.NewInt(id).Bytes32())
+		st.SetState(market.Address, MapKeySlot(idKey, slotMarketOwners), ow)
+		st.SetState(market.Address, MapKeySlot(idKey, slotMarketPrices), *p)
+	}
+	st.DiscardJournal()
+}
+
+// SeedGatewayDeposits credits each user's bridge deposit and funds the
+// contract with matching ether so withdrawals can pay out.
+func SeedGatewayDeposits(st *state.StateDB, gateway *Contract, users []types.Address, amount uint64) {
+	a := uint256.NewInt(amount)
+	var total uint256.Int
+	for _, u := range users {
+		st.SetState(gateway.Address, AddrKeySlot(u, slotGatewayDeposits), *a)
+		total.Add(&total, a)
+	}
+	bal := st.GetBalance(gateway.Address)
+	bal.Add(bal, &total)
+	st.SetBalance(gateway.Address, bal)
+	st.DiscardJournal()
+}
+
+// SeedAuctions creates live auctions for the given ids with a reserve
+// price and a far-future end block.
+func SeedAuctions(st *state.StateDB, auction *Contract, ids []uint64, seller types.Address, reserve, endBlock uint64) {
+	sw := seller.Word()
+	rp := uint256.NewInt(reserve)
+	eb := uint256.NewInt(endBlock)
+	for _, id := range ids {
+		idKey := types.Hash(uint256.NewInt(id).Bytes32())
+		st.SetState(auction.Address, MapKeySlot(idKey, slotAucSeller), sw)
+		st.SetState(auction.Address, MapKeySlot(idKey, slotAucBid), *rp)
+		st.SetState(auction.Address, MapKeySlot(idKey, slotAucEnd), *eb)
+	}
+	st.DiscardJournal()
+}
+
+// SeedWETH credits wrapped balances and the matching contract ether so
+// withdraw and transfer succeed without a deposit prelude.
+func SeedWETH(st *state.StateDB, weth *Contract, users []types.Address, amount uint64) {
+	a := uint256.NewInt(amount)
+	var total uint256.Int
+	for _, u := range users {
+		st.SetState(weth.Address, AddrKeySlot(u, SlotBalances), *a)
+		total.Add(&total, a)
+	}
+	bal := st.GetBalance(weth.Address)
+	bal.Add(bal, &total)
+	st.SetBalance(weth.Address, bal)
+	st.DiscardJournal()
+}

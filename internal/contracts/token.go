@@ -1,0 +1,415 @@
+package contracts
+
+import (
+	"mtpu/internal/evm"
+	"mtpu/internal/keccak"
+	"mtpu/internal/state"
+	"mtpu/internal/types"
+	"mtpu/internal/uint256"
+)
+
+// ERC-20 storage layout shared by every token archetype:
+//
+//	slot 0: totalSupply
+//	slot 1: mapping(address => uint256) balances
+//	slot 2: mapping(address => mapping(address => uint256)) allowances
+//	slot 3: owner
+const (
+	SlotTotalSupply = 0
+	SlotBalances    = 1
+	SlotAllowances  = 2
+	SlotOwner       = 3
+)
+
+// Standard ERC-20 event topics.
+var (
+	TransferTopic = EventTopic("Transfer(address,address,uint256)")
+	ApprovalTopic = EventTopic("Approval(address,address,uint256)")
+)
+
+// erc20Functions is the standard external interface.
+func erc20Functions() []Function {
+	return []Function{
+		fn("totalSupply", "totalSupply()", false),
+		fn("balanceOf", "balanceOf(address)", false),
+		fn("transfer", "transfer(address,uint256)", false),
+		fn("approve", "approve(address,uint256)", false),
+		fn("allowance", "allowance(address,address)", false),
+		fn("transferFrom", "transferFrom(address,address,uint256)", false),
+	}
+}
+
+// emitERC20Bodies writes the standard function bodies, skipping any name
+// present in the skip set (WETH9 overrides totalSupply, for example).
+func emitERC20Bodies(c *CodeBuilder, fns []Function, skip ...string) {
+	skipped := make(map[string]bool, len(skip))
+	for _, s := range skip {
+		skipped[s] = true
+	}
+	byName := func(n string) (Function, bool) {
+		if skipped[n] {
+			return Function{}, false
+		}
+		for _, f := range fns {
+			if f.Name == n {
+				return f, true
+			}
+		}
+		panic("contracts: missing standard function " + n)
+	}
+
+	// totalSupply() → slot 0.
+	if f, ok := byName("totalSupply"); ok {
+		c.Begin(f)
+		c.PushInt(SlotTotalSupply).Op(evm.SLOAD)
+		c.ReturnWord()
+	}
+
+	// balanceOf(address).
+	fbalanceOf, ok := byName("balanceOf")
+	_ = ok
+	c.Begin(fbalanceOf)
+	c.ArgAddr(0)
+	c.MapSlot(SlotBalances)
+	c.Op(evm.SLOAD)
+	c.ReturnWord()
+
+	// transfer(address to, uint256 amount).
+	ftransfer, ok := byName("transfer")
+	_ = ok
+	c.Begin(ftransfer)
+	c.Arg(1)                           // [amt]
+	c.Op(evm.CALLER)                   // [caller, amt]
+	c.MapSlot(SlotBalances)            // [fromSlot, amt]
+	c.Op(evm.DUP1, evm.SLOAD)          // [bal, fromSlot, amt]
+	c.Op(evm.DUP1, evm.DUP4)           // [amt, bal, bal, fromSlot, amt]
+	c.Op(evm.GT, evm.ISZERO)           // [amt<=bal, bal, fromSlot, amt]
+	c.Require()                        // [bal, fromSlot, amt]
+	c.Op(evm.DUP3, evm.SWAP1, evm.SUB) // [bal-amt, fromSlot, amt]
+	c.Op(evm.SWAP1, evm.SSTORE)        // [amt]
+	c.ArgAddr(0)                       // [to, amt]
+	c.MapSlot(SlotBalances)            // [toSlot, amt]
+	c.Op(evm.DUP1, evm.SLOAD)          // [toBal, toSlot, amt]
+	c.Op(evm.DUP3, evm.ADD)            // [toBal+amt, toSlot, amt]
+	c.Op(evm.SWAP1, evm.SSTORE)        // [amt]
+	c.Op(evm.POP)                      // []
+	c.ArgAddr(0)                       // [to]
+	c.Op(evm.CALLER)                   // [from, to]
+	c.Arg(1)                           // [amt, from, to]
+	c.Log3(TransferTopic)
+	c.ReturnTrue()
+
+	// approve(address spender, uint256 amount).
+	fapprove, ok := byName("approve")
+	_ = ok
+	c.Begin(fapprove)
+	c.Op(evm.CALLER)          // [caller]
+	c.MapSlot(SlotAllowances) // [inner]
+	c.ArgAddr(0)              // [spender, inner]
+	c.MapSlotDyn()            // [slot]
+	c.Arg(1)                  // [amt, slot]
+	c.Op(evm.SWAP1, evm.SSTORE)
+	c.ArgAddr(0)     // [spender]
+	c.Op(evm.CALLER) // [owner, spender]
+	c.Arg(1)         // [amt, owner, spender]
+	c.Log3(ApprovalTopic)
+	c.ReturnTrue()
+
+	// allowance(address owner, address spender).
+	fallowance, ok := byName("allowance")
+	_ = ok
+	c.Begin(fallowance)
+	c.ArgAddr(0)
+	c.MapSlot(SlotAllowances)
+	c.ArgAddr(1)
+	c.MapSlotDyn()
+	c.Op(evm.SLOAD)
+	c.ReturnWord()
+
+	// transferFrom(address from, address to, uint256 amount).
+	ftransferFrom, ok := byName("transferFrom")
+	_ = ok
+	c.Begin(ftransferFrom)
+	// allowance[from][caller] -= amount, with bounds check.
+	c.ArgAddr(0)              // [from]
+	c.MapSlot(SlotAllowances) // [inner]
+	c.Op(evm.CALLER)          // [caller, inner]
+	c.MapSlotDyn()            // [aSlot]
+	c.Op(evm.DUP1, evm.SLOAD) // [allow, aSlot]
+	c.Op(evm.DUP1)            // [allow, allow, aSlot]
+	c.Arg(2)                  // [amt, allow, allow, aSlot]
+	c.Op(evm.GT, evm.ISZERO)
+	c.Require()                 // [allow, aSlot]
+	c.Arg(2)                    // [amt, allow, aSlot]
+	c.Op(evm.SWAP1, evm.SUB)    // [allow-amt, aSlot]
+	c.Op(evm.SWAP1, evm.SSTORE) // []
+	// balances[from] -= amount.
+	c.ArgAddr(0)
+	c.MapSlot(SlotBalances)   // [fSlot]
+	c.Op(evm.DUP1, evm.SLOAD) // [bal, fSlot]
+	c.Op(evm.DUP1)            // [bal, bal, fSlot]
+	c.Arg(2)                  // [amt, bal, bal, fSlot]
+	c.Op(evm.GT, evm.ISZERO)
+	c.Require()                 // [bal, fSlot]
+	c.Arg(2)                    // [amt, bal, fSlot]
+	c.Op(evm.SWAP1, evm.SUB)    // [bal-amt, fSlot]
+	c.Op(evm.SWAP1, evm.SSTORE) // []
+	// balances[to] += amount.
+	c.ArgAddr(1)
+	c.MapSlot(SlotBalances)
+	c.Op(evm.DUP1, evm.SLOAD) // [toBal, tSlot]
+	c.Arg(2)                  // [amt, toBal, tSlot]
+	c.Op(evm.ADD)             // [sum, tSlot]
+	c.Op(evm.SWAP1, evm.SSTORE)
+	// emit Transfer(from, to, amount).
+	c.ArgAddr(1) // [to]
+	c.ArgAddr(0) // [from, to]
+	c.Arg(2)     // [amt, from, to]
+	c.Log3(TransferTopic)
+	c.ReturnTrue()
+}
+
+// buildToken assembles an ERC-20 with the extended standard surface
+// (allowance helpers, ownership, metadata, batch transfer) plus optional
+// archetype-specific extras.
+func buildToken(extras []Function, emitExtras func(c *CodeBuilder)) ([]byte, []Function) {
+	fns := append(erc20Functions(), extendedTokenFunctions()...)
+	fns = append(fns, extras...)
+	c := NewCode()
+	c.Dispatcher(fns)
+	emitERC20Bodies(c, fns)
+	emitExtendedTokenBodies(c, fns)
+	if emitExtras != nil {
+		emitExtras(c)
+	}
+	return c.MustBuild(), fns
+}
+
+// emitIssueBody writes a Tether-style owner-only mint:
+// issue(uint256 amount) adds to totalSupply and the owner balance.
+func emitIssueBody(c *CodeBuilder, f Function) {
+	c.Begin(f)
+	// require(caller == owner)
+	c.PushInt(SlotOwner).Op(evm.SLOAD) // [owner]
+	c.Op(evm.CALLER, evm.EQ)
+	c.Require()
+	c.Arg(0)                                  // [amt]
+	c.PushInt(SlotTotalSupply).Op(evm.SLOAD)  // [ts, amt]
+	c.Op(evm.DUP2, evm.ADD)                   // [ts+amt, amt]
+	c.PushInt(SlotTotalSupply).Op(evm.SSTORE) // [amt]
+	c.PushInt(SlotOwner).Op(evm.SLOAD)        // [owner, amt]
+	c.MapSlot(SlotBalances)                   // [oSlot, amt]
+	c.Op(evm.DUP1, evm.SLOAD)                 // [bal, oSlot, amt]
+	c.Op(evm.DUP3, evm.ADD)                   // [bal+amt, oSlot, amt]
+	c.Op(evm.SWAP1, evm.SSTORE, evm.POP)      // []
+	c.Stop()
+}
+
+// emitRedeemBody writes the owner-only burn counterpart.
+func emitRedeemBody(c *CodeBuilder, f Function) {
+	c.Begin(f)
+	c.PushInt(SlotOwner).Op(evm.SLOAD)
+	c.Op(evm.CALLER, evm.EQ)
+	c.Require()
+	c.Arg(0) // [amt]
+	// balances[owner] -= amt (checked).
+	c.PushInt(SlotOwner).Op(evm.SLOAD) // [owner, amt]
+	c.MapSlot(SlotBalances)            // [oSlot, amt]
+	c.Op(evm.DUP1, evm.SLOAD)          // [bal, oSlot, amt]
+	c.Op(evm.DUP1, evm.DUP4)           // [amt, bal, bal, oSlot, amt]
+	c.Op(evm.GT, evm.ISZERO)
+	c.Require()                        // [bal, oSlot, amt]
+	c.Op(evm.DUP3, evm.SWAP1, evm.SUB) // [bal-amt, oSlot, amt]
+	c.Op(evm.SWAP1, evm.SSTORE)        // [amt]
+	// totalSupply -= amt.
+	c.PushInt(SlotTotalSupply).Op(evm.SLOAD)  // [ts, amt]
+	c.Op(evm.SUB)                             // [ts-amt]
+	c.PushInt(SlotTotalSupply).Op(evm.SSTORE) // []
+	c.Stop()
+}
+
+// ownerSetup returns a Setup installing code and the owner slot.
+func ownerSetup(addr types.Address, code []byte, owner types.Address) func(*state.StateDB) {
+	return func(st *state.StateDB) {
+		st.SetCode(addr, code)
+		w := owner.Word()
+		st.SetState(addr, slotHash(SlotOwner), w)
+		st.DiscardJournal()
+	}
+}
+
+// TokenOwner is the deployer/owner account used for all genesis contracts.
+var TokenOwner = types.HexToAddress("0x00000000000000000000000000000000000000aa")
+
+// NewTether builds the Tether USD archetype: ERC-20 plus owner-only
+// issue/redeem, the most-invoked hotspot contract of the evaluation.
+func NewTether() *Contract {
+	issue := fn("issue", "issue(uint256)", false)
+	redeem := fn("redeem", "redeem(uint256)", false)
+	code, fns := buildToken([]Function{issue, redeem}, func(c *CodeBuilder) {
+		emitIssueBody(c, issue)
+		emitRedeemBody(c, redeem)
+	})
+	return &Contract{
+		Name:      "TetherUSD",
+		Address:   TetherAddr,
+		Code:      code,
+		Functions: fns,
+		Setup:     ownerSetup(TetherAddr, code, TokenOwner),
+	}
+}
+
+// NewDai builds the Dai archetype: ERC-20 with open mint/burn-to-self
+// (standing in for the wards/auth logic of the real contract).
+func NewDai() *Contract {
+	mint := fn("mint", "mint(address,uint256)", false)
+	burn := fn("burn", "burn(address,uint256)", false)
+	code, fns := buildToken([]Function{mint, burn}, func(c *CodeBuilder) {
+		// mint(address to, uint256 amount): owner only.
+		c.Begin(mint)
+		c.PushInt(SlotOwner).Op(evm.SLOAD)
+		c.Op(evm.CALLER, evm.EQ)
+		c.Require()
+		c.Arg(1)                                  // [amt]
+		c.ArgAddr(0)                              // [to, amt]
+		c.MapSlot(SlotBalances)                   // [slot, amt]
+		c.Op(evm.DUP1, evm.SLOAD)                 // [bal, slot, amt]
+		c.Op(evm.DUP3, evm.ADD)                   // [bal+amt, slot, amt]
+		c.Op(evm.SWAP1, evm.SSTORE)               // [amt]
+		c.PushInt(SlotTotalSupply).Op(evm.SLOAD)  // [ts, amt]
+		c.Op(evm.ADD)                             // [ts+amt]
+		c.PushInt(SlotTotalSupply).Op(evm.SSTORE) // []
+		c.Stop()
+
+		// burn(address from, uint256 amount): holder burns own tokens.
+		c.Begin(burn)
+		c.ArgAddr(0)
+		c.Op(evm.CALLER, evm.EQ)
+		c.Require()
+		c.Arg(1)                  // [amt]
+		c.Op(evm.CALLER)          // [from, amt]
+		c.MapSlot(SlotBalances)   // [slot, amt]
+		c.Op(evm.DUP1, evm.SLOAD) // [bal, slot, amt]
+		c.Op(evm.DUP1, evm.DUP4)  // [amt, bal, bal, slot, amt]
+		c.Op(evm.GT, evm.ISZERO)
+		c.Require()                               // [bal, slot, amt]
+		c.Op(evm.DUP3, evm.SWAP1, evm.SUB)        // [bal-amt, slot, amt]
+		c.Op(evm.SWAP1, evm.SSTORE)               // [amt]
+		c.PushInt(SlotTotalSupply).Op(evm.SLOAD)  // [ts, amt]
+		c.Op(evm.SUB)                             // [ts-amt]
+		c.PushInt(SlotTotalSupply).Op(evm.SSTORE) // []
+		c.Stop()
+	})
+	return &Contract{
+		Name:      "Dai",
+		Address:   DaiAddr,
+		Code:      code,
+		Functions: fns,
+		Setup:     ownerSetup(DaiAddr, code, TokenOwner),
+	}
+}
+
+// onTokenTransferSelector is the callback invoked by transferAndCall.
+var onTokenTransferSelector = keccak.Selector("onTokenTransfer(address,uint256)")
+
+// NewLinkToken builds the LinkToken archetype: ERC-20 plus the ERC-677
+// transferAndCall entry point, which performs an inner CALL to the
+// receiving contract (exercising the Context switching unit).
+func NewLinkToken() *Contract {
+	tac := fn("transferAndCall", "transferAndCall(address,uint256)", false)
+	code, fns := buildToken([]Function{tac}, func(c *CodeBuilder) {
+		c.Begin(tac)
+		// Move balances caller → to, as in transfer.
+		c.Arg(1)                // [amt]
+		c.Op(evm.CALLER)        // [caller, amt]
+		c.MapSlot(SlotBalances) // [fromSlot, amt]
+		c.Op(evm.DUP1, evm.SLOAD)
+		c.Op(evm.DUP1, evm.DUP4)
+		c.Op(evm.GT, evm.ISZERO)
+		c.Require()
+		c.Op(evm.DUP3, evm.SWAP1, evm.SUB)
+		c.Op(evm.SWAP1, evm.SSTORE) // [amt]
+		c.ArgAddr(0)
+		c.MapSlot(SlotBalances)
+		c.Op(evm.DUP1, evm.SLOAD)
+		c.Op(evm.DUP3, evm.ADD)
+		c.Op(evm.SWAP1, evm.SSTORE)
+		c.Op(evm.POP) // []
+		// Build calldata for onTokenTransfer(caller, amount) at mem[0:68].
+		c.PushBytes(onTokenTransferSelector[:])
+		c.PushInt(0xe0).Op(evm.SHL)
+		c.PushInt(0).Op(evm.MSTORE) // selector word at 0
+		c.Op(evm.CALLER)
+		c.PushInt(4).Op(evm.MSTORE)
+		c.Arg(1)
+		c.PushInt(36).Op(evm.MSTORE)
+		// CALL(gas, to, 0, 0, 68, 0, 0); push in reverse pop order.
+		c.PushInt(0)  // outSize
+		c.PushInt(0)  // outOffset
+		c.PushInt(68) // inSize
+		c.PushInt(0)  // inOffset
+		c.PushInt(0)  // value
+		c.ArgAddr(0)  // to
+		c.PushInt(100000)
+		c.Op(evm.CALL)
+		c.Require() // require callback success
+		// emit Transfer and return.
+		c.ArgAddr(0)
+		c.Op(evm.CALLER)
+		c.Arg(1)
+		c.Log3(TransferTopic)
+		c.ReturnTrue()
+	})
+	return &Contract{
+		Name:      "LinkToken",
+		Address:   LinkAddr,
+		Code:      code,
+		Functions: fns,
+		Setup:     ownerSetup(LinkAddr, code, TokenOwner),
+	}
+}
+
+// NewTokenReceiver builds the contract targeted by transferAndCall: its
+// onTokenTransfer(address,uint256) tallies received amounts per sender.
+func NewTokenReceiver() *Contract {
+	cb := fn("onTokenTransfer", "onTokenTransfer(address,uint256)", false)
+	fns := []Function{cb}
+	c := NewCode()
+	c.Dispatcher(fns)
+	c.Begin(cb)
+	// received[origin sender arg] += amount; slot base 1.
+	c.Arg(1)                  // [amt]
+	c.ArgAddr(0)              // [sender, amt]
+	c.MapSlot(1)              // [slot, amt]
+	c.Op(evm.DUP1, evm.SLOAD) // [cur, slot, amt]
+	c.Op(evm.DUP3, evm.ADD)   // [cur+amt, slot, amt]
+	c.Op(evm.SWAP1, evm.SSTORE, evm.POP)
+	c.ReturnTrue()
+	code := c.MustBuild()
+	return &Contract{
+		Name:      "TokenReceiver",
+		Address:   ReceiverAddr,
+		Code:      code,
+		Functions: fns,
+		Setup: func(st *state.StateDB) {
+			st.SetCode(ReceiverAddr, code)
+			st.DiscardJournal()
+		},
+	}
+}
+
+// SeedBalances credits amount of token balance to each holder by writing
+// genesis storage directly, updating totalSupply to match.
+func SeedBalances(st *state.StateDB, token *Contract, holders []types.Address, amount *uint256.Int) {
+	var total uint256.Int
+	total = st.GetState(token.Address, slotHash(SlotTotalSupply))
+	for _, h := range holders {
+		slot := AddrKeySlot(h, SlotBalances)
+		cur := st.GetState(token.Address, slot)
+		cur.Add(&cur, amount)
+		st.SetState(token.Address, slot, cur)
+		total.Add(&total, amount)
+	}
+	st.SetState(token.Address, slotHash(SlotTotalSupply), total)
+	st.DiscardJournal()
+}

@@ -1,0 +1,117 @@
+package contracts
+
+import (
+	"mtpu/internal/evm"
+)
+
+// Extended ERC-20 surface shared by the token archetypes: the allowance
+// helpers, ownership management and metadata getters found on the real
+// TOP-8 token contracts. Besides realism, these widen the dispatcher and
+// bytecode (mainnet Tether is 5.7 KB) so the DB-cache capacity sweep of
+// Fig. 13 exercises a meaningful working set.
+
+// TokenDecimals is the constant the decimals() getter returns.
+const TokenDecimals = 6
+
+// extendedTokenFunctions returns the additional entry points.
+func extendedTokenFunctions() []Function {
+	return []Function{
+		fn("increaseAllowance", "increaseAllowance(address,uint256)", false),
+		fn("decreaseAllowance", "decreaseAllowance(address,uint256)", false),
+		fn("decimals", "decimals()", false),
+		fn("getOwner", "getOwner()", false),
+		fn("transferOwnership", "transferOwnership(address)", false),
+		fn("batchTransfer3", "batchTransfer3(address,address,address,uint256)", false),
+	}
+}
+
+// emitExtendedTokenBodies writes the bodies for extendedTokenFunctions.
+func emitExtendedTokenBodies(c *CodeBuilder, fns []Function) {
+	byName := func(n string) Function {
+		for _, f := range fns {
+			if f.Name == n {
+				return f
+			}
+		}
+		panic("contracts: missing extended function " + n)
+	}
+
+	// increaseAllowance(address spender, uint256 delta).
+	c.Begin(byName("increaseAllowance"))
+	c.Op(evm.CALLER)
+	c.MapSlot(SlotAllowances) // [inner]
+	c.ArgAddr(0)
+	c.MapSlotDyn()            // [slot]
+	c.Op(evm.DUP1, evm.SLOAD) // [cur, slot]
+	c.Arg(1)                  // [delta, cur, slot]
+	c.Op(evm.ADD)             // [cur+delta, slot]
+	c.Op(evm.SWAP1, evm.SSTORE)
+	c.ArgAddr(0)
+	c.Op(evm.CALLER)
+	c.Arg(1)
+	c.Log3(ApprovalTopic)
+	c.ReturnTrue()
+
+	// decreaseAllowance(address spender, uint256 delta): floors at the
+	// current allowance (reverts on underflow, like OpenZeppelin).
+	c.Begin(byName("decreaseAllowance"))
+	c.Op(evm.CALLER)
+	c.MapSlot(SlotAllowances)
+	c.ArgAddr(0)
+	c.MapSlotDyn()            // [slot]
+	c.Op(evm.DUP1, evm.SLOAD) // [cur, slot]
+	c.Op(evm.DUP1)            // [cur, cur, slot]
+	c.Arg(1)                  // [delta, cur, cur, slot]
+	c.Op(evm.GT, evm.ISZERO)  // delta <= cur
+	c.Require()               // [cur, slot]
+	c.Arg(1)                  // [delta, cur, slot]
+	c.Op(evm.SWAP1, evm.SUB)  // [cur-delta, slot]
+	c.Op(evm.SWAP1, evm.SSTORE)
+	c.ReturnTrue()
+
+	// decimals() → constant.
+	c.Begin(byName("decimals"))
+	c.PushInt(TokenDecimals)
+	c.ReturnWord()
+
+	// getOwner() → slot 3.
+	c.Begin(byName("getOwner"))
+	c.PushInt(SlotOwner).Op(evm.SLOAD)
+	c.ReturnWord()
+
+	// transferOwnership(address newOwner): owner only, non-zero target.
+	c.Begin(byName("transferOwnership"))
+	c.PushInt(SlotOwner).Op(evm.SLOAD)
+	c.Op(evm.CALLER, evm.EQ)
+	c.Require()
+	c.ArgAddr(0)                           // [new]
+	c.Op(evm.DUP1, evm.ISZERO, evm.ISZERO) // non-zero
+	c.Require()
+	c.PushInt(SlotOwner) // [slot, new]
+	c.Op(evm.SSTORE)
+	c.Stop()
+
+	// batchTransfer3(a, b, c, amount): three equal transfers in one call
+	// (the airdrop pattern; stresses repeated map hashing and storage).
+	c.Begin(byName("batchTransfer3"))
+	// total = 3*amount; require balance.
+	c.Arg(3)
+	c.PushInt(3).Op(evm.MUL) // [total]
+	c.Op(evm.CALLER)
+	c.MapSlot(SlotBalances)   // [fromSlot, total]
+	c.Op(evm.DUP1, evm.SLOAD) // [bal, fromSlot, total]
+	c.Op(evm.DUP1, evm.DUP4)  // [total, bal, bal, fromSlot, total]
+	c.Op(evm.GT, evm.ISZERO)
+	c.Require()                          // [bal, fromSlot, total]
+	c.Op(evm.DUP3, evm.SWAP1, evm.SUB)   // [bal-total, fromSlot, total]
+	c.Op(evm.SWAP1, evm.SSTORE, evm.POP) // []
+	for arg := 0; arg < 3; arg++ {
+		c.Arg(3)                  // [amt]
+		c.ArgAddr(arg)            // [to, amt]
+		c.MapSlot(SlotBalances)   // [slot, amt]
+		c.Op(evm.DUP1, evm.SLOAD) // [cur, slot, amt]
+		c.Op(evm.DUP3, evm.ADD)
+		c.Op(evm.SWAP1, evm.SSTORE, evm.POP) // []
+	}
+	c.ReturnTrue()
+}

@@ -1,0 +1,216 @@
+package contracts
+
+import (
+	"testing"
+
+	"mtpu/internal/evm"
+	"mtpu/internal/state"
+	"mtpu/internal/types"
+	"mtpu/internal/uint256"
+)
+
+var (
+	alice = types.HexToAddress("0x1000000000000000000000000000000000000001")
+	bob   = types.HexToAddress("0x2000000000000000000000000000000000000002")
+	carol = types.HexToAddress("0x3000000000000000000000000000000000000003")
+)
+
+// testEnv wires a deployed contract to an EVM for direct calls.
+type testEnv struct {
+	t  *testing.T
+	st *state.StateDB
+	ev *evm.EVM
+}
+
+func newEnv(t *testing.T, cs ...*Contract) *testEnv {
+	t.Helper()
+	st := state.New()
+	for _, c := range cs {
+		c.Setup(st)
+	}
+	fund := uint256.MustFromDecimal("1000000000000000000000")
+	for _, a := range []types.Address{alice, bob, carol, TokenOwner} {
+		st.SetBalance(a, fund)
+	}
+	st.DiscardJournal()
+	ev := evm.New(evm.BlockContext{Number: 100, Timestamp: 1700000000, GasLimit: 30_000_000}, st)
+	return &testEnv{t: t, st: st, ev: ev}
+}
+
+// call invokes fn on contract as caller, failing the test on EVM errors.
+func (e *testEnv) call(caller types.Address, c *Contract, name string, args ...any) []byte {
+	e.t.Helper()
+	ret, err := e.tryCall(caller, c, name, args...)
+	if err != nil {
+		e.t.Fatalf("%s.%s: %v (ret=%x)", c.Name, name, err, ret)
+	}
+	return ret
+}
+
+func (e *testEnv) tryCall(caller types.Address, c *Contract, name string, args ...any) ([]byte, error) {
+	input := EncodeCall(c.Function(name), args...)
+	ret, _, err := e.ev.Call(caller, c.Address, input, 10_000_000, new(uint256.Int))
+	return ret, err
+}
+
+// callValue is call with attached wei.
+func (e *testEnv) callValue(caller types.Address, c *Contract, name string, value *uint256.Int, args ...any) ([]byte, error) {
+	input := EncodeCall(c.Function(name), args...)
+	ret, _, err := e.ev.Call(caller, c.Address, input, 10_000_000, value)
+	return ret, err
+}
+
+func (e *testEnv) wantUint(ret []byte, want uint64) {
+	e.t.Helper()
+	got := DecodeWord(ret, 0)
+	if !got.Eq(uint256.NewInt(want)) {
+		e.t.Fatalf("returned %s, want %d", got, want)
+	}
+}
+
+func TestTetherIssueAndTransfer(t *testing.T) {
+	tether := NewTether()
+	env := newEnv(t, tether)
+
+	env.call(TokenOwner, tether, "issue", uint64(1_000_000))
+	env.wantUint(env.call(alice, tether, "totalSupply"), 1_000_000)
+	env.wantUint(env.call(alice, tether, "balanceOf", TokenOwner), 1_000_000)
+
+	env.call(TokenOwner, tether, "transfer", alice, uint64(400))
+	env.wantUint(env.call(bob, tether, "balanceOf", alice), 400)
+	env.wantUint(env.call(bob, tether, "balanceOf", TokenOwner), 999_600)
+
+	env.call(alice, tether, "transfer", bob, uint64(150))
+	env.wantUint(env.call(bob, tether, "balanceOf", bob), 150)
+	env.wantUint(env.call(bob, tether, "balanceOf", alice), 250)
+}
+
+func TestTransferInsufficientBalanceReverts(t *testing.T) {
+	tether := NewTether()
+	env := newEnv(t, tether)
+	if _, err := env.tryCall(alice, tether, "transfer", bob, uint64(1)); err != evm.ErrExecutionReverted {
+		t.Fatalf("expected revert, got %v", err)
+	}
+	// State must be unchanged.
+	env.wantUint(env.call(bob, tether, "balanceOf", bob), 0)
+}
+
+func TestNonPayableRejectsValue(t *testing.T) {
+	tether := NewTether()
+	env := newEnv(t, tether)
+	env.call(TokenOwner, tether, "issue", uint64(100))
+	if _, err := env.callValue(TokenOwner, tether, "transfer", uint256.NewInt(5), alice, uint64(1)); err != evm.ErrExecutionReverted {
+		t.Fatalf("expected revert on value to non-payable, got %v", err)
+	}
+}
+
+func TestUnknownSelectorReverts(t *testing.T) {
+	tether := NewTether()
+	env := newEnv(t, tether)
+	_, _, err := env.ev.Call(alice, tether.Address, []byte{0xde, 0xad, 0xbe, 0xef}, 1_000_000, new(uint256.Int))
+	if err != evm.ErrExecutionReverted {
+		t.Fatalf("expected revert on unknown selector, got %v", err)
+	}
+}
+
+func TestIssueOnlyOwner(t *testing.T) {
+	tether := NewTether()
+	env := newEnv(t, tether)
+	if _, err := env.tryCall(alice, tether, "issue", uint64(100)); err != evm.ErrExecutionReverted {
+		t.Fatalf("expected revert for non-owner issue, got %v", err)
+	}
+}
+
+func TestApproveTransferFrom(t *testing.T) {
+	tether := NewTether()
+	env := newEnv(t, tether)
+	env.call(TokenOwner, tether, "issue", uint64(1000))
+	env.call(TokenOwner, tether, "transfer", alice, uint64(500))
+
+	env.call(alice, tether, "approve", bob, uint64(200))
+	env.wantUint(env.call(carol, tether, "allowance", alice, bob), 200)
+
+	env.call(bob, tether, "transferFrom", alice, carol, uint64(150))
+	env.wantUint(env.call(bob, tether, "balanceOf", carol), 150)
+	env.wantUint(env.call(bob, tether, "balanceOf", alice), 350)
+	env.wantUint(env.call(bob, tether, "allowance", alice, bob), 50)
+
+	// Exceeding the remaining allowance reverts.
+	if _, err := env.tryCall(bob, tether, "transferFrom", alice, carol, uint64(51)); err != evm.ErrExecutionReverted {
+		t.Fatalf("expected allowance revert, got %v", err)
+	}
+}
+
+func TestSeedBalances(t *testing.T) {
+	tether := NewTether()
+	env := newEnv(t, tether)
+	SeedBalances(env.st, tether, []types.Address{alice, bob}, uint256.NewInt(777))
+	env.wantUint(env.call(carol, tether, "balanceOf", alice), 777)
+	env.wantUint(env.call(carol, tether, "balanceOf", bob), 777)
+	env.wantUint(env.call(carol, tether, "totalSupply"), 1554)
+}
+
+func TestTransferEmitsLog(t *testing.T) {
+	tether := NewTether()
+	env := newEnv(t, tether)
+	env.call(TokenOwner, tether, "issue", uint64(100))
+	env.st.TakeLogs() // drop logs from issue (none) and earlier calls
+	env.call(TokenOwner, tether, "transfer", alice, uint64(42))
+	logs := env.st.TakeLogs()
+	if len(logs) != 1 {
+		t.Fatalf("got %d logs, want 1", len(logs))
+	}
+	l := logs[0]
+	if l.Address != tether.Address {
+		t.Fatalf("log address %s", l.Address)
+	}
+	if len(l.Topics) != 3 || l.Topics[0] != TransferTopic {
+		t.Fatalf("topics %v", l.Topics)
+	}
+	if types.WordToAddress(ptr(l.Topics[1].Word())) != TokenOwner {
+		t.Fatalf("from topic %s", l.Topics[1])
+	}
+	if types.WordToAddress(ptr(l.Topics[2].Word())) != alice {
+		t.Fatalf("to topic %s", l.Topics[2])
+	}
+	if DecodeWord(l.Data, 0).Uint64() != 42 {
+		t.Fatalf("data %x", l.Data)
+	}
+}
+
+func ptr(v uint256.Int) *uint256.Int { return &v }
+
+func TestDaiMintBurn(t *testing.T) {
+	dai := NewDai()
+	env := newEnv(t, dai)
+	env.call(TokenOwner, dai, "mint", alice, uint64(900))
+	env.wantUint(env.call(bob, dai, "balanceOf", alice), 900)
+	env.wantUint(env.call(bob, dai, "totalSupply"), 900)
+
+	env.call(alice, dai, "burn", alice, uint64(300))
+	env.wantUint(env.call(bob, dai, "balanceOf", alice), 600)
+	env.wantUint(env.call(bob, dai, "totalSupply"), 600)
+
+	// Burning someone else's tokens reverts.
+	if _, err := env.tryCall(bob, dai, "burn", alice, uint64(1)); err != evm.ErrExecutionReverted {
+		t.Fatalf("expected revert, got %v", err)
+	}
+}
+
+func TestLinkTransferAndCall(t *testing.T) {
+	link := NewLinkToken()
+	recv := NewTokenReceiver()
+	env := newEnv(t, link, recv)
+	SeedBalances(env.st, link, []types.Address{alice}, uint256.NewInt(1000))
+
+	env.call(alice, link, "transferAndCall", recv.Address, uint64(250))
+	env.wantUint(env.call(bob, link, "balanceOf", recv.Address), 250)
+	env.wantUint(env.call(bob, link, "balanceOf", alice), 750)
+
+	// The receiver's callback must have recorded the credit.
+	env.wantUint(env.call(bob, recv, "onTokenTransfer", alice, uint64(0)), 1)
+	got := env.st.GetState(recv.Address, AddrKeySlot(alice, 1))
+	if got.Uint64() != 250 {
+		t.Fatalf("receiver tally = %s, want 250", got.String())
+	}
+}

@@ -1,0 +1,98 @@
+package contracts
+
+import (
+	"mtpu/internal/evm"
+	"mtpu/internal/state"
+)
+
+// WETH event topics.
+var (
+	DepositTopic    = EventTopic("Deposit(address,uint256)")
+	WithdrawalTopic = EventTopic("Withdrawal(address,uint256)")
+)
+
+// NewWETH builds the WETH9 archetype: wrapped ether with payable deposit,
+// withdraw that sends real value back via CALL, and the ERC-20 surface.
+// totalSupply() returns the contract's ether balance (ADDRESS + BALANCE),
+// exactly like the canonical WETH9.
+func NewWETH() *Contract {
+	deposit := fn("deposit", "deposit()", true)
+	withdraw := fn("withdraw", "withdraw(uint256)", false)
+	fns := append(erc20Functions(), deposit, withdraw)
+
+	c := NewCode()
+	c.Dispatcher(fns)
+	emitERC20Bodies(c, fns, "totalSupply")
+
+	// totalSupply() = address(this).balance.
+	for _, f := range fns {
+		if f.Name == "totalSupply" {
+			c.Begin(f)
+			c.Op(evm.ADDRESS, evm.BALANCE)
+			c.ReturnWord()
+		}
+	}
+
+	// deposit() payable: balances[caller] += msg.value.
+	c.Begin(deposit)
+	c.Op(evm.CALLVALUE)       // [val]
+	c.Op(evm.CALLER)          // [caller, val]
+	c.MapSlot(SlotBalances)   // [slot, val]
+	c.Op(evm.DUP1, evm.SLOAD) // [bal, slot, val]
+	c.Op(evm.DUP3, evm.ADD)   // [bal+val, slot, val]
+	c.Op(evm.SWAP1, evm.SSTORE)
+	// emit Deposit(caller, value): Log2 shape — reuse Log3 layout with
+	// two topics via LOG2: stack [data, topic1].
+	c.Op(evm.POP)                // []
+	c.Op(evm.CALLER)             // [caller]
+	c.Op(evm.CALLVALUE)          // [val, caller]
+	c.PushInt(0).Op(evm.MSTORE)  // mem[0]=val; [caller]
+	c.PushBytes(DepositTopic[:]) // [t0, caller]; LOG2 pops off,size,t0,t1
+	c.PushInt(0x20)              // size
+	c.PushInt(0)                 // offset
+	c.Op(evm.LOG2)
+	c.Stop()
+
+	// withdraw(uint256 amount): burn balance, send ether via CALL.
+	c.Begin(withdraw)
+	c.Arg(0)                  // [amt]
+	c.Op(evm.CALLER)          // [caller, amt]
+	c.MapSlot(SlotBalances)   // [slot, amt]
+	c.Op(evm.DUP1, evm.SLOAD) // [bal, slot, amt]
+	c.Op(evm.DUP1, evm.DUP4)  // [amt, bal, bal, slot, amt]
+	c.Op(evm.GT, evm.ISZERO)
+	c.Require()                        // [bal, slot, amt]
+	c.Op(evm.DUP3, evm.SWAP1, evm.SUB) // [bal-amt, slot, amt]
+	c.Op(evm.SWAP1, evm.SSTORE)        // [amt]
+	// CALL(gas, caller, amt, 0, 0, 0, 0).
+	c.PushInt(0)     // outSize; [0, amt]
+	c.PushInt(0)     // outOffset
+	c.PushInt(0)     // inSize
+	c.PushInt(0)     // inOffset
+	c.Op(evm.DUP5)   // value = amt
+	c.Op(evm.CALLER) // to
+	c.PushInt(30000) // gas
+	c.Op(evm.CALL)
+	c.Require() // [amt]
+	// emit Withdrawal(caller, amt).
+	c.Op(evm.CALLER)                // [caller, amt]
+	c.Op(evm.SWAP1)                 // [amt, caller]
+	c.PushInt(0).Op(evm.MSTORE)     // mem[0]=amt; [caller]
+	c.PushBytes(WithdrawalTopic[:]) // [t0, caller]
+	c.PushInt(0x20)
+	c.PushInt(0)
+	c.Op(evm.LOG2)
+	c.Stop()
+
+	code := c.MustBuild()
+	return &Contract{
+		Name:      "WETH9",
+		Address:   WETHAddr,
+		Code:      code,
+		Functions: fns,
+		Setup: func(st *state.StateDB) {
+			st.SetCode(WETHAddr, code)
+			st.DiscardJournal()
+		},
+	}
+}

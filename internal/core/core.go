@@ -1,0 +1,365 @@
+// Package core is the public face of the reproduction: it executes a
+// block functionally (the golden sequential EVM run), replays the
+// resulting instruction traces through the MTPU timing model under a
+// selected execution mode, and verifies that every parallel schedule
+// commits a state identical to sequential execution. The mode ladder
+// mirrors the paper's evaluation: scalar baseline → ILP (Fig. 12/13,
+// Table 7) → synchronous parallel vs spatio-temporal scheduling
+// (Fig. 14/15) → + redundancy reuse → + hotspot optimization (Fig. 16).
+package core
+
+import (
+	"fmt"
+
+	"mtpu/internal/arch"
+	"mtpu/internal/arch/mtpu"
+	"mtpu/internal/arch/pipeline"
+	"mtpu/internal/arch/pu"
+	"mtpu/internal/evm"
+	"mtpu/internal/hotspot"
+	"mtpu/internal/sched"
+	"mtpu/internal/state"
+	"mtpu/internal/types"
+	"mtpu/internal/workload"
+)
+
+// Mode selects the execution/optimization level.
+type Mode int
+
+// Execution modes, ordered by capability.
+const (
+	// ModeScalar is a single PU with no parallel features — the §4.2
+	// baseline ("single PU without any parallelism") and the Table 8/9
+	// reference point (≈ BPU's GSC engine).
+	ModeScalar Mode = iota
+	// ModeSequentialILP is a single ILP-enabled PU, caches flushed
+	// between transactions — the Fig. 14 speedup-1.0 baseline.
+	ModeSequentialILP
+	// ModeSynchronous is barrier-round parallelism across NumPUs.
+	ModeSynchronous
+	// ModeSpatialTemporal is the §3.2 asynchronous scheduler without
+	// cross-transaction reuse.
+	ModeSpatialTemporal
+	// ModeSTRedundancy adds the §3.3.5 redundancy optimization: DB cache
+	// and contract contexts persist per PU, and the shared State Buffer
+	// serves recently touched state.
+	ModeSTRedundancy
+	// ModeSTHotspot adds the §3.4 hotspot contract optimization.
+	ModeSTHotspot
+)
+
+var modeNames = map[Mode]string{
+	ModeScalar:          "scalar",
+	ModeSequentialILP:   "sequential+ILP",
+	ModeSynchronous:     "synchronous",
+	ModeSpatialTemporal: "spatial-temporal",
+	ModeSTRedundancy:    "spatial-temporal+redundancy",
+	ModeSTHotspot:       "spatial-temporal+redundancy+hotspot",
+}
+
+// String returns the mode's evaluation label.
+func (m Mode) String() string { return modeNames[m] }
+
+// Result reports one simulated block execution.
+type Result struct {
+	Mode        Mode
+	Receipts    []*types.Receipt
+	StateDigest types.Hash
+	GasUsed     uint64
+
+	// Cycles is the block makespan in the timing model.
+	Cycles uint64
+	// Utilization is busy/(PUs × makespan) — Fig. 15.
+	Utilization float64
+	// Pipeline aggregates the per-PU pipeline counters.
+	Pipeline pipeline.Stats
+	// Sched carries the dispatch timeline.
+	Sched sched.Result
+	// Instructions executed (after hotspot skipping).
+	Instructions uint64
+	// SkippedInstructions removed by hotspot optimization.
+	SkippedInstructions int
+}
+
+// IPC is the block-level instructions-per-cycle over pipeline time.
+func (r *Result) IPC() float64 { return r.Pipeline.IPC() }
+
+// Accelerator executes blocks under the MTPU model.
+type Accelerator struct {
+	Cfg   arch.Config
+	Table *hotspot.ContractTable
+}
+
+// New returns an accelerator with an empty hotspot Contract Table.
+func New(cfg arch.Config) *Accelerator {
+	return &Accelerator{Cfg: cfg, Table: hotspot.NewContractTable()}
+}
+
+// CollectTraces runs the golden sequential execution against a copy of
+// genesis, returning per-transaction traces, the receipts and the final
+// state digest every other mode must reproduce.
+func CollectTraces(genesis *state.StateDB, block *types.Block) ([]*arch.TxTrace, []*types.Receipt, types.Hash, error) {
+	return collectOn(genesis.Copy(), block)
+}
+
+// collectOn is CollectTraces against a mutable state (the block commits).
+func collectOn(st *state.StateDB, block *types.Block) ([]*arch.TxTrace, []*types.Receipt, types.Hash, error) {
+	e := evm.New(evm.NewBlockContext(block.Header), st)
+	col := arch.NewCollector()
+	e.Tracer = col
+
+	traces := make([]*arch.TxTrace, len(block.Transactions))
+	receipts := make([]*types.Receipt, len(block.Transactions))
+	for i, tx := range block.Transactions {
+		col.Begin(tx)
+		r, err := evm.ApplyTransaction(e, tx, i)
+		if err != nil {
+			return nil, nil, types.Hash{}, fmt.Errorf("core: tx %d: %w", i, err)
+		}
+		receipts[i] = r
+		traces[i] = col.Finish(r.GasUsed)
+	}
+	return traces, receipts, st.Digest(), nil
+}
+
+// ExecuteChain processes consecutive blocks of a chain (committing each
+// to the evolving state) under the given mode. After each block the
+// accelerator learns hotspots from its traces — the offline optimization
+// the MTPU performs in the idle block interval (§2.2.4) — so later blocks
+// run with a warm Contract Table. The returned results are per block.
+func (a *Accelerator) ExecuteChain(genesis *state.StateDB, blocks []*types.Block, mode Mode, hotspotTopN int) ([]*Result, error) {
+	st := genesis.Copy()
+	results := make([]*Result, len(blocks))
+	for i, block := range blocks {
+		traces, receipts, digest, err := collectOn(st, block)
+		if err != nil {
+			return nil, fmt.Errorf("core: block %d: %w", i, err)
+		}
+		res, err := a.Replay(block, traces, receipts, digest, mode)
+		if err != nil {
+			return nil, fmt.Errorf("core: block %d: %w", i, err)
+		}
+		results[i] = res
+		// Block interval: profile this block's hotspots for the next one.
+		a.LearnHotspots(traces, hotspotTopN)
+	}
+	return results, nil
+}
+
+// TPS converts a block's cycle count to transactions per second at the
+// given core clock (the paper's prototype runs at 300 MHz).
+func TPS(txCount int, cycles uint64, clockHz float64) float64 {
+	if cycles == 0 {
+		return 0
+	}
+	return float64(txCount) * clockHz / float64(cycles)
+}
+
+// PrototypeClockHz is the synthesized MTPU's clock (§4.1).
+const PrototypeClockHz = 300e6
+
+// LearnHotspots profiles the traces of the topN most-invoked contracts
+// into the Contract Table — the offline optimization the MTPU performs in
+// the block-generation interval (§3.4). It returns the hotspot addresses.
+func (a *Accelerator) LearnHotspots(traces []*arch.TxTrace, topN int) []types.Address {
+	counts := make(map[types.Address]int)
+	for _, t := range traces {
+		if t.HasSelector {
+			counts[t.Contract]++
+		}
+	}
+	hot := topAddresses(counts, topN)
+	hotSet := make(map[types.Address]bool, len(hot))
+	for _, h := range hot {
+		hotSet[h] = true
+	}
+	for _, t := range traces {
+		if t.HasSelector && hotSet[t.Contract] {
+			a.Table.Learn(t)
+		}
+	}
+	return hot
+}
+
+func topAddresses(counts map[types.Address]int, n int) []types.Address {
+	type entry struct {
+		addr  types.Address
+		count int
+	}
+	entries := make([]entry, 0, len(counts))
+	for a, c := range counts {
+		entries = append(entries, entry{a, c})
+	}
+	// Insertion sort by count desc, address asc (deterministic).
+	for i := 1; i < len(entries); i++ {
+		for j := i; j > 0; j-- {
+			a, b := entries[j], entries[j-1]
+			if a.count > b.count || (a.count == b.count && string(a.addr[:]) < string(b.addr[:])) {
+				entries[j], entries[j-1] = b, a
+			} else {
+				break
+			}
+		}
+	}
+	if n > len(entries) {
+		n = len(entries)
+	}
+	out := make([]types.Address, n)
+	for i := 0; i < n; i++ {
+		out[i] = entries[i].addr
+	}
+	return out
+}
+
+// configFor derives the architectural flags for a mode.
+func (a *Accelerator) configFor(mode Mode) arch.Config {
+	cfg := a.Cfg
+	switch mode {
+	case ModeScalar:
+		cfg.EnableDBCache = false
+		cfg.EnableForwarding = false
+		cfg.EnableFolding = false
+		cfg.ReuseContext = false
+		cfg.NumPUs = 1
+	case ModeSequentialILP:
+		cfg.ReuseContext = false
+		cfg.NumPUs = 1
+	case ModeSynchronous, ModeSpatialTemporal:
+		cfg.ReuseContext = false
+	case ModeSTRedundancy, ModeSTHotspot:
+		cfg.ReuseContext = true
+	}
+	return cfg
+}
+
+// engine adapts an MTPU processor and per-transaction plans to the
+// scheduler interface.
+type engine struct {
+	proc  *mtpu.Processor
+	plans []*pu.Plan
+}
+
+// Dispatch implements sched.Engine.
+func (e *engine) Dispatch(p, tx int) uint64 {
+	return e.proc.PUs[p].Run(e.plans[tx], e.proc.Mem()).Total
+}
+
+// Execute runs the block under the given mode: functional execution for
+// receipts and state, then a timing replay through the scheduled MTPU.
+func (a *Accelerator) Execute(genesis *state.StateDB, block *types.Block, mode Mode) (*Result, error) {
+	traces, receipts, digest, err := CollectTraces(genesis, block)
+	if err != nil {
+		return nil, err
+	}
+	return a.Replay(block, traces, receipts, digest, mode)
+}
+
+// Replay runs only the timing model over pre-collected traces (callers
+// sweeping many modes over one block avoid re-executing functionally).
+func (a *Accelerator) Replay(block *types.Block, traces []*arch.TxTrace, receipts []*types.Receipt, digest types.Hash, mode Mode) (*Result, error) {
+	cfg := a.configFor(mode)
+	proc := mtpu.New(cfg)
+
+	plans := make([]*pu.Plan, len(traces))
+	skipped := 0
+	for i, t := range traces {
+		if mode == ModeSTHotspot {
+			plans[i] = a.Table.Plan(t)
+			skipped += plans[i].SkippedInstructions
+		} else {
+			plans[i] = pu.PlainPlan(t)
+		}
+	}
+
+	eng := &engine{proc: proc, plans: plans}
+	var sres sched.Result
+	switch mode {
+	case ModeScalar, ModeSequentialILP:
+		sres = sched.Sequential(len(traces), eng)
+	case ModeSynchronous:
+		sres = sched.Synchronous(block.DAG, cfg.NumPUs, cfg.ScheduleOverhead, eng)
+	default:
+		contracts := workload.ContractOf(block)
+		sres = sched.SpatialTemporal(block.DAG, contracts, cfg.NumPUs, cfg.CandidateWindow, cfg.ScheduleOverhead, eng)
+	}
+
+	var gasUsed uint64
+	for _, r := range receipts {
+		gasUsed += r.GasUsed
+	}
+	ps := proc.PipelineStats()
+	return &Result{
+		Mode:                mode,
+		Receipts:            receipts,
+		StateDigest:         digest,
+		GasUsed:             gasUsed,
+		Cycles:              sres.Makespan,
+		Utilization:         sres.Utilization(),
+		Pipeline:            ps,
+		Sched:               sres,
+		Instructions:        ps.Instructions,
+		SkippedInstructions: skipped,
+	}, nil
+}
+
+// VerifySchedule re-executes the block's transactions in the dispatch
+// order of a schedule against a fresh copy of genesis and checks the
+// final state digest matches sequential execution — the serializability
+// invariant of §3.2 ("scheduling does not violate blockchain
+// consistency").
+func VerifySchedule(genesis *state.StateDB, block *types.Block, res *Result) error {
+	order := make([]sched.Dispatch, len(res.Sched.Dispatches))
+	copy(order, res.Sched.Dispatches)
+	// Commit order: by start time, PU index breaking ties.
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0; j-- {
+			if order[j].Start < order[j-1].Start ||
+				(order[j].Start == order[j-1].Start && order[j].PU < order[j-1].PU) {
+				order[j], order[j-1] = order[j-1], order[j]
+			} else {
+				break
+			}
+		}
+	}
+	// Structural check: no transaction may start before every DAG
+	// predecessor has finished, independent of whether the particular
+	// operations happen to commute.
+	endOf := make(map[int]uint64, len(order))
+	for _, d := range order {
+		endOf[d.Tx] = d.End
+	}
+	for _, d := range order {
+		for _, dep := range block.DAG.Deps[d.Tx] {
+			end, ok := endOf[dep]
+			if !ok {
+				return fmt.Errorf("core: tx %d scheduled but its dependency %d was not", d.Tx, dep)
+			}
+			if d.Start < end {
+				return fmt.Errorf("core: tx %d started at %d before dependency %d ended at %d",
+					d.Tx, d.Start, dep, end)
+			}
+		}
+	}
+
+	st := genesis.Copy()
+	e := evm.New(evm.NewBlockContext(block.Header), st)
+	seen := make([]bool, len(block.Transactions))
+	for _, d := range order {
+		if seen[d.Tx] {
+			return fmt.Errorf("core: tx %d dispatched twice", d.Tx)
+		}
+		seen[d.Tx] = true
+		if _, err := evm.ApplyTransaction(e, block.Transactions[d.Tx], d.Tx); err != nil {
+			return fmt.Errorf("core: replay order broke tx %d: %w", d.Tx, err)
+		}
+	}
+	for tx, ok := range seen {
+		if !ok {
+			return fmt.Errorf("core: tx %d never dispatched", tx)
+		}
+	}
+	if got := st.Digest(); got != res.StateDigest {
+		return fmt.Errorf("core: scheduled state digest %s != sequential %s", got, res.StateDigest)
+	}
+	return nil
+}

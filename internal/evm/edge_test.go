@@ -1,0 +1,214 @@
+package evm_test
+
+import (
+	"bytes"
+	"testing"
+
+	"mtpu/internal/evm"
+	"mtpu/internal/state"
+	"mtpu/internal/types"
+	"mtpu/internal/uint256"
+)
+
+func TestCalldatacopyPadding(t *testing.T) {
+	// Copy 64 bytes from a 4-byte calldata: tail must be zeros.
+	code := mustAsm(t, `
+PUSH1 64
+PUSH1 0
+PUSH1 0
+CALLDATACOPY
+PUSH1 64
+PUSH1 0
+RETURN`)
+	ret, _, err := runCode(t, code, []byte{1, 2, 3, 4}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]byte, 64)
+	copy(want, []byte{1, 2, 3, 4})
+	if !bytes.Equal(ret, want) {
+		t.Fatalf("got %x", ret)
+	}
+}
+
+func TestCalldatacopyHugeSourceOffsetReadsZeros(t *testing.T) {
+	code := mustAsm(t, `
+PUSH1 32
+PUSH32 0xffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff
+PUSH1 0
+CALLDATACOPY
+PUSH1 32
+PUSH1 0
+RETURN`)
+	ret, _, err := runCode(t, code, []byte{0xAA, 0xBB}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ret, make([]byte, 32)) {
+		t.Fatalf("huge offset read data: %x", ret)
+	}
+}
+
+func TestCodecopyReadsOwnCode(t *testing.T) {
+	code := mustAsm(t, `
+PUSH1 4
+PUSH1 0
+PUSH1 0
+CODECOPY
+PUSH1 4
+PUSH1 0
+RETURN`)
+	ret, _, err := runCode(t, code, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ret, code[:4]) {
+		t.Fatalf("CODECOPY %x, want %x", ret, code[:4])
+	}
+}
+
+func TestExtcodecopyEmptyAccount(t *testing.T) {
+	code := mustAsm(t, `
+PUSH1 8
+PUSH1 0
+PUSH1 0
+PUSH20 0x00000000000000000000000000000000000000ee
+EXTCODECOPY
+PUSH1 8
+PUSH1 0
+RETURN`)
+	ret, _, err := runCode(t, code, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ret, make([]byte, 8)) {
+		t.Fatalf("empty-account EXTCODECOPY %x", ret)
+	}
+}
+
+func TestBlockhashResolver(t *testing.T) {
+	st := state.New()
+	st.SetCode(contractAddr, mustAsm(t, "PUSH1 41\nBLOCKHASH"+retWord))
+	e := evm.New(evm.BlockContext{
+		Number: 42,
+		BlockHash: func(n uint64) types.Hash {
+			return types.BytesToHash([]byte{byte(n)})
+		},
+	}, st)
+	ret, _, err := e.Call(callerAddr, contractAddr, nil, 1_000_000, new(uint256.Int))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := new(uint256.Int).SetBytes(ret); got.Uint64() != 41 {
+		t.Fatalf("BLOCKHASH = %s", got)
+	}
+	// Without a resolver: zero.
+	ret, _, err = runCode(t, mustAsm(t, "PUSH1 41\nBLOCKHASH"+retWord), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := new(uint256.Int).SetBytes(ret); !got.IsZero() {
+		t.Fatalf("BLOCKHASH without resolver = %s", got)
+	}
+}
+
+func TestGasPriceVisible(t *testing.T) {
+	st := state.New()
+	st.SetCode(contractAddr, mustAsm(t, "GASPRICE"+retWord))
+	e := evm.New(evm.BlockContext{}, st)
+	e.TxCtx = evm.TxContext{GasPrice: 17}
+	ret, _, err := e.Call(callerAddr, contractAddr, nil, 1_000_000, new(uint256.Int))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := new(uint256.Int).SetBytes(ret); got.Uint64() != 17 {
+		t.Fatalf("GASPRICE = %s", got)
+	}
+}
+
+func TestDupSwapDepths(t *testing.T) {
+	// DUP16 and SWAP16 at exact depths.
+	var src string
+	for i := 1; i <= 17; i++ {
+		src += "PUSH1 " + itoa(i) + "\n"
+	}
+	// Stack top-first: 17,16,...,1. DUP16 copies depth 16 (= value 2).
+	got := evalTop(t, src+"DUP16")
+	if got.Uint64() != 2 {
+		t.Fatalf("DUP16 = %s", got)
+	}
+	// SWAP16 exchanges top (17) with depth 17 (= value 1).
+	got = evalTop(t, src+"SWAP16")
+	if got.Uint64() != 1 {
+		t.Fatalf("SWAP16 top = %s", got)
+	}
+}
+
+func itoa(v int) string {
+	if v < 10 {
+		return string(rune('0' + v))
+	}
+	return string(rune('0'+v/10)) + string(rune('0'+v%10))
+}
+
+func TestZeroSizeOpsCostNoMemory(t *testing.T) {
+	// SHA3 / RETURN with size 0 at a huge offset must not expand memory.
+	code := mustAsm(t, `
+PUSH1 0
+PUSH32 0xffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff0000
+SHA3
+POP
+MSIZE`+retWord)
+	ret, _, err := runCode(t, code, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := new(uint256.Int).SetBytes(ret); !got.IsZero() {
+		t.Fatalf("MSIZE after zero-size SHA3 = %s", got)
+	}
+}
+
+func TestMemoryGasOverflowRejected(t *testing.T) {
+	// MSTORE at an offset beyond uint64 must fail with gas overflow, not
+	// allocate.
+	code := mustAsm(t, `
+PUSH1 1
+PUSH32 0xffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff
+MSTORE`)
+	_, _, err := runCode(t, code, nil, 0)
+	if err == nil {
+		t.Fatal("huge MSTORE accepted")
+	}
+}
+
+func TestCallStipendAllowsReceiverLogging(t *testing.T) {
+	// A value CALL with 0 requested gas still hands the callee the 2300
+	// stipend — enough for a LOG0 (375+...) — verify stipend exists by
+	// having the callee execute a few cheap ops.
+	callee := mustAsm(t, "PUSH1 1\nPOP\nSTOP")
+	caller := mustAsm(t, `
+PUSH1 0
+PUSH1 0
+PUSH1 0
+PUSH1 0
+PUSH1 5   ; value
+PUSH20 0x0123000000000000000000000000000000000003
+PUSH1 0   ; request zero gas — stipend only
+CALL`+retWord)
+	st := state.New()
+	st.SetCode(contractAddr, caller)
+	st.SetCode(otherAddr, callee)
+	st.SetBalance(contractAddr, uint256.NewInt(100))
+	st.DiscardJournal()
+	e := evm.New(evm.BlockContext{}, st)
+	ret, _, err := e.Call(callerAddr, contractAddr, nil, 1_000_000, new(uint256.Int))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := new(uint256.Int).SetBytes(ret); got.IsZero() {
+		t.Fatal("stipend call failed")
+	}
+	if st.GetBalance(otherAddr).Uint64() != 5 {
+		t.Fatal("value not transferred")
+	}
+}

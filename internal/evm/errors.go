@@ -1,0 +1,40 @@
+package evm
+
+import "errors"
+
+// Execution errors. All of them (except ErrExecutionReverted) consume the
+// remaining gas of the failing frame, mirroring Ethereum semantics.
+var (
+	// ErrOutOfGas is returned when the gas unit rejects an instruction
+	// (§3.3.2: "the Gas unit subtracts the gas overhead of this
+	// instruction; if it is insufficient, an exception is returned and the
+	// transaction is aborted").
+	ErrOutOfGas = errors.New("evm: out of gas")
+	// ErrStackUnderflow is returned when an opcode pops more operands than
+	// the stack holds.
+	ErrStackUnderflow = errors.New("evm: stack underflow")
+	// ErrStackOverflow is returned when the 1024-element limit is exceeded.
+	ErrStackOverflow = errors.New("evm: stack overflow")
+	// ErrInvalidJump is returned for a jump to a non-JUMPDEST position.
+	ErrInvalidJump = errors.New("evm: invalid jump destination")
+	// ErrInvalidOpcode is returned for undefined bytecodes.
+	ErrInvalidOpcode = errors.New("evm: invalid opcode")
+	// ErrWriteProtection is returned for state mutation inside STATICCALL.
+	ErrWriteProtection = errors.New("evm: write protection")
+	// ErrCallDepth is returned when the 1024-frame call depth is exceeded.
+	ErrCallDepth = errors.New("evm: max call depth exceeded")
+	// ErrInsufficientBalance is returned when a value transfer cannot be funded.
+	ErrInsufficientBalance = errors.New("evm: insufficient balance for transfer")
+	// ErrReturnDataOutOfBounds is returned by RETURNDATACOPY past the buffer.
+	ErrReturnDataOutOfBounds = errors.New("evm: return data out of bounds")
+	// ErrExecutionReverted is returned by REVERT; remaining gas is refunded.
+	ErrExecutionReverted = errors.New("evm: execution reverted")
+	// ErrGasUintOverflow is returned when a gas computation overflows uint64.
+	ErrGasUintOverflow = errors.New("evm: gas uint64 overflow")
+	// ErrNonceMismatch is returned by ApplyTransaction for a stale nonce.
+	ErrNonceMismatch = errors.New("evm: transaction nonce mismatch")
+	// ErrInsufficientFunds is returned when the sender cannot pay gas*price+value.
+	ErrInsufficientFunds = errors.New("evm: insufficient funds for gas * price + value")
+	// ErrIntrinsicGas is returned when the gas limit is below the intrinsic cost.
+	ErrIntrinsicGas = errors.New("evm: intrinsic gas exceeds gas limit")
+)

@@ -1,0 +1,85 @@
+package evm
+
+// Gas schedule. Every instruction carries a deterministic gas cost
+// (§2.1): consistency requires the amount of gas consumed by a transaction
+// to be uniquely determined, which is why the MTPU's ILP must be
+// conservative. The constants follow the Ethereum yellow-paper fee tiers.
+const (
+	GasZero     uint64 = 0
+	GasQuick    uint64 = 2
+	GasVeryLow  uint64 = 3
+	GasLow      uint64 = 5
+	GasMid      uint64 = 8
+	GasHigh     uint64 = 10
+	GasExp      uint64 = 10
+	GasExpByte  uint64 = 50
+	GasSha3     uint64 = 30
+	GasSha3Word uint64 = 6
+	GasCopyWord uint64 = 3
+	GasJumpdest uint64 = 1
+
+	GasBalance   uint64 = 400
+	GasExtCode   uint64 = 700
+	GasBlockhash uint64 = 20
+	GasSload     uint64 = 200
+
+	// SSTORE: set a zero slot to non-zero / modify a non-zero slot /
+	// refund for clearing a slot.
+	GasSstoreSet    uint64 = 20000
+	GasSstoreReset  uint64 = 5000
+	GasSstoreRefund uint64 = 15000
+
+	GasLog      uint64 = 375
+	GasLogTopic uint64 = 375
+	GasLogByte  uint64 = 8
+
+	GasCreate        uint64 = 32000
+	GasCall          uint64 = 700
+	GasCallValue     uint64 = 9000
+	GasCallStipend   uint64 = 2300
+	GasNewAccount    uint64 = 25000
+	GasCodeDeposit   uint64 = 200 // per byte of deployed code
+	GasMemoryWord    uint64 = 3
+	GasQuadCoeffDiv  uint64 = 512
+	GasTxBase        uint64 = 21000
+	GasTxDataZero    uint64 = 4
+	GasTxDataNonZero uint64 = 16
+)
+
+// IntrinsicGas returns the up-front transaction cost: the base fee plus
+// per-byte calldata fees (and the creation surcharge).
+func IntrinsicGas(data []byte, isCreation bool) uint64 {
+	gas := GasTxBase
+	if isCreation {
+		gas += GasCreate
+	}
+	for _, b := range data {
+		if b == 0 {
+			gas += GasTxDataZero
+		} else {
+			gas += GasTxDataNonZero
+		}
+	}
+	return gas
+}
+
+// toWordSize returns ceil(size/32).
+func toWordSize(size uint64) uint64 {
+	return (size + 31) / 32
+}
+
+// memoryGas returns the total gas attributable to a memory of the given
+// byte size: Gmem*words + words²/Gquadcoeffdiv.
+func memoryGas(size uint64) uint64 {
+	words := toWordSize(size)
+	return GasMemoryWord*words + words*words/GasQuadCoeffDiv
+}
+
+// memoryExpansionGas returns the incremental cost of growing memory from
+// oldSize to newSize bytes (0 if no growth).
+func memoryExpansionGas(oldSize, newSize uint64) uint64 {
+	if newSize <= oldSize {
+		return 0
+	}
+	return memoryGas(newSize) - memoryGas(oldSize)
+}

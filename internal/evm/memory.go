@@ -1,0 +1,77 @@
+package evm
+
+import (
+	"mtpu/internal/uint256"
+)
+
+// Memory is the byte-addressed volatile memory of one call frame (the MEM
+// unit of the in-core cache, Table 5). It grows in 32-byte words and its
+// expansion is charged quadratically by the gas unit.
+type Memory struct {
+	data []byte
+}
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory { return &Memory{} }
+
+// Len returns the current size in bytes (always a multiple of 32).
+func (m *Memory) Len() uint64 { return uint64(len(m.data)) }
+
+// Resize grows memory to cover at least size bytes, word-aligned.
+func (m *Memory) Resize(size uint64) {
+	if size == 0 {
+		return
+	}
+	aligned := toWordSize(size) * 32
+	if uint64(len(m.data)) < aligned {
+		m.data = append(m.data, make([]byte, aligned-uint64(len(m.data)))...)
+	}
+}
+
+// GetWord reads the 32-byte word at offset into w.
+func (m *Memory) GetWord(offset uint64, w *uint256.Int) {
+	m.Resize(offset + 32)
+	w.SetBytes(m.data[offset : offset+32])
+}
+
+// SetWord writes w as a 32-byte big-endian word at offset.
+func (m *Memory) SetWord(offset uint64, w *uint256.Int) {
+	m.Resize(offset + 32)
+	w.PutBytes32(m.data[offset : offset+32])
+}
+
+// SetByte writes the low byte of w at offset.
+func (m *Memory) SetByte(offset uint64, w *uint256.Int) {
+	m.Resize(offset + 1)
+	m.data[offset] = byte(w.Uint64())
+}
+
+// Set copies b into memory at offset.
+func (m *Memory) Set(offset uint64, b []byte) {
+	if len(b) == 0 {
+		return
+	}
+	m.Resize(offset + uint64(len(b)))
+	copy(m.data[offset:], b)
+}
+
+// GetCopy returns a fresh copy of size bytes at offset (zero-extended).
+func (m *Memory) GetCopy(offset, size uint64) []byte {
+	if size == 0 {
+		return nil
+	}
+	m.Resize(offset + size)
+	out := make([]byte, size)
+	copy(out, m.data[offset:offset+size])
+	return out
+}
+
+// View returns a read-only view of size bytes at offset; the slice is only
+// valid until the next Resize.
+func (m *Memory) View(offset, size uint64) []byte {
+	if size == 0 {
+		return nil
+	}
+	m.Resize(offset + size)
+	return m.data[offset : offset+size]
+}

@@ -1,0 +1,393 @@
+// Package evm implements the smart-contract execution substrate: the
+// instruction set of Table 3, a gas-metered stack-machine interpreter with
+// the call family and contract creation, and tracing hooks that feed the
+// architectural timing model. The interpreter is the functional golden
+// model; internal/arch replays its traces through the MTPU pipeline.
+package evm
+
+import "fmt"
+
+// Opcode is a single EVM bytecode.
+type Opcode byte
+
+// Instruction set (Table 3 of the paper, following the Ethereum yellow
+// paper numbering).
+const (
+	STOP Opcode = 0x00
+
+	// Arithmetic: 0x01-0x0b.
+	ADD        Opcode = 0x01
+	MUL        Opcode = 0x02
+	SUB        Opcode = 0x03
+	DIV        Opcode = 0x04
+	SDIV       Opcode = 0x05
+	MOD        Opcode = 0x06
+	SMOD       Opcode = 0x07
+	ADDMOD     Opcode = 0x08
+	MULMOD     Opcode = 0x09
+	EXP        Opcode = 0x0a
+	SIGNEXTEND Opcode = 0x0b
+
+	// Logic: 0x10-0x1d.
+	LT     Opcode = 0x10
+	GT     Opcode = 0x11
+	SLT    Opcode = 0x12
+	SGT    Opcode = 0x13
+	EQ     Opcode = 0x14
+	ISZERO Opcode = 0x15
+	AND    Opcode = 0x16
+	OR     Opcode = 0x17
+	XOR    Opcode = 0x18
+	NOT    Opcode = 0x19
+	BYTE   Opcode = 0x1a
+	SHL    Opcode = 0x1b
+	SHR    Opcode = 0x1c
+	SAR    Opcode = 0x1d
+
+	// SHA.
+	SHA3 Opcode = 0x20
+
+	// Fixed access + state query: 0x30-0x45.
+	ADDRESS        Opcode = 0x30
+	BALANCE        Opcode = 0x31
+	ORIGIN         Opcode = 0x32
+	CALLER         Opcode = 0x33
+	CALLVALUE      Opcode = 0x34
+	CALLDATALOAD   Opcode = 0x35
+	CALLDATASIZE   Opcode = 0x36
+	CALLDATACOPY   Opcode = 0x37
+	CODESIZE       Opcode = 0x38
+	CODECOPY       Opcode = 0x39
+	GASPRICE       Opcode = 0x3a
+	EXTCODESIZE    Opcode = 0x3b
+	EXTCODECOPY    Opcode = 0x3c
+	RETURNDATASIZE Opcode = 0x3d
+	RETURNDATACOPY Opcode = 0x3e
+	EXTCODEHASH    Opcode = 0x3f
+	BLOCKHASH      Opcode = 0x40
+	COINBASE       Opcode = 0x41
+	TIMESTAMP      Opcode = 0x42
+	NUMBER         Opcode = 0x43
+	DIFFICULTY     Opcode = 0x44
+	GASLIMIT       Opcode = 0x45
+
+	// Stack, memory, storage, branch: 0x50-0x5b.
+	POP      Opcode = 0x50
+	MLOAD    Opcode = 0x51
+	MSTORE   Opcode = 0x52
+	MSTORE8  Opcode = 0x53
+	SLOAD    Opcode = 0x54
+	SSTORE   Opcode = 0x55
+	JUMP     Opcode = 0x56
+	JUMPI    Opcode = 0x57
+	PC       Opcode = 0x58
+	MSIZE    Opcode = 0x59
+	GAS      Opcode = 0x5a
+	JUMPDEST Opcode = 0x5b
+
+	// Push family: 0x60-0x7f.
+	PUSH1  Opcode = 0x60
+	PUSH2  Opcode = 0x61
+	PUSH3  Opcode = 0x62
+	PUSH4  Opcode = 0x63
+	PUSH5  Opcode = 0x64
+	PUSH6  Opcode = 0x65
+	PUSH7  Opcode = 0x66
+	PUSH8  Opcode = 0x67
+	PUSH9  Opcode = 0x68
+	PUSH10 Opcode = 0x69
+	PUSH11 Opcode = 0x6a
+	PUSH12 Opcode = 0x6b
+	PUSH13 Opcode = 0x6c
+	PUSH14 Opcode = 0x6d
+	PUSH15 Opcode = 0x6e
+	PUSH16 Opcode = 0x6f
+	PUSH17 Opcode = 0x70
+	PUSH18 Opcode = 0x71
+	PUSH19 Opcode = 0x72
+	PUSH20 Opcode = 0x73
+	PUSH21 Opcode = 0x74
+	PUSH22 Opcode = 0x75
+	PUSH23 Opcode = 0x76
+	PUSH24 Opcode = 0x77
+	PUSH25 Opcode = 0x78
+	PUSH26 Opcode = 0x79
+	PUSH27 Opcode = 0x7a
+	PUSH28 Opcode = 0x7b
+	PUSH29 Opcode = 0x7c
+	PUSH30 Opcode = 0x7d
+	PUSH31 Opcode = 0x7e
+	PUSH32 Opcode = 0x7f
+
+	// Dup family: 0x80-0x8f.
+	DUP1  Opcode = 0x80
+	DUP2  Opcode = 0x81
+	DUP3  Opcode = 0x82
+	DUP4  Opcode = 0x83
+	DUP5  Opcode = 0x84
+	DUP6  Opcode = 0x85
+	DUP7  Opcode = 0x86
+	DUP8  Opcode = 0x87
+	DUP9  Opcode = 0x88
+	DUP10 Opcode = 0x89
+	DUP11 Opcode = 0x8a
+	DUP12 Opcode = 0x8b
+	DUP13 Opcode = 0x8c
+	DUP14 Opcode = 0x8d
+	DUP15 Opcode = 0x8e
+	DUP16 Opcode = 0x8f
+
+	// Swap family: 0x90-0x9f.
+	SWAP1  Opcode = 0x90
+	SWAP2  Opcode = 0x91
+	SWAP3  Opcode = 0x92
+	SWAP4  Opcode = 0x93
+	SWAP5  Opcode = 0x94
+	SWAP6  Opcode = 0x95
+	SWAP7  Opcode = 0x96
+	SWAP8  Opcode = 0x97
+	SWAP9  Opcode = 0x98
+	SWAP10 Opcode = 0x99
+	SWAP11 Opcode = 0x9a
+	SWAP12 Opcode = 0x9b
+	SWAP13 Opcode = 0x9c
+	SWAP14 Opcode = 0x9d
+	SWAP15 Opcode = 0x9e
+	SWAP16 Opcode = 0x9f
+
+	// Logging: 0xa0-0xa4.
+	LOG0 Opcode = 0xa0
+	LOG1 Opcode = 0xa1
+	LOG2 Opcode = 0xa2
+	LOG3 Opcode = 0xa3
+	LOG4 Opcode = 0xa4
+
+	// Context switching: 0xf0-0xfa.
+	CREATE       Opcode = 0xf0
+	CALL         Opcode = 0xf1
+	CALLCODE     Opcode = 0xf2
+	RETURN       Opcode = 0xf3
+	DELEGATECALL Opcode = 0xf4
+	CREATE2      Opcode = 0xf5
+	STATICCALL   Opcode = 0xfa
+
+	REVERT  Opcode = 0xfd
+	INVALID Opcode = 0xfe
+)
+
+// IsPush reports whether op is in the PUSH1..PUSH32 family.
+func (op Opcode) IsPush() bool { return op >= PUSH1 && op <= PUSH32 }
+
+// PushSize returns the immediate size in bytes for PUSH opcodes, 0 otherwise.
+func (op Opcode) PushSize() int {
+	if op.IsPush() {
+		return int(op-PUSH1) + 1
+	}
+	return 0
+}
+
+// IsDup reports whether op is DUP1..DUP16.
+func (op Opcode) IsDup() bool { return op >= DUP1 && op <= DUP16 }
+
+// IsSwap reports whether op is SWAP1..SWAP16.
+func (op Opcode) IsSwap() bool { return op >= SWAP1 && op <= SWAP16 }
+
+// FuncUnit is the functional-unit class an opcode executes on — the
+// modular decomposition of Table 3 that sizes DB-cache line fields.
+type FuncUnit uint8
+
+// Functional units, in Table 3 order.
+const (
+	FUArithmetic FuncUnit = iota
+	FULogic
+	FUSHA
+	FUFixedAccess
+	FUStateQuery
+	FUMemory
+	FUStorage
+	FUBranch
+	FUStack
+	FUControl
+	FUContext
+	// FUInvalid marks undefined opcodes.
+	FUInvalid
+	// NumFuncUnits is the count of real functional units.
+	NumFuncUnits = int(FUInvalid)
+)
+
+var funcUnitNames = [...]string{
+	FUArithmetic:  "Arithmetic",
+	FULogic:       "Logic",
+	FUSHA:         "SHA",
+	FUFixedAccess: "Fixed access",
+	FUStateQuery:  "State query",
+	FUMemory:      "Memory",
+	FUStorage:     "Storage",
+	FUBranch:      "Branch",
+	FUStack:       "Stack",
+	FUControl:     "Control",
+	FUContext:     "Context switching",
+	FUInvalid:     "Invalid",
+}
+
+// String returns the Table 3 name of the functional unit.
+func (f FuncUnit) String() string {
+	if int(f) < len(funcUnitNames) {
+		return funcUnitNames[f]
+	}
+	return fmt.Sprintf("FuncUnit(%d)", uint8(f))
+}
+
+// opInfo is the static metadata for one opcode.
+type opInfo struct {
+	name   string
+	pops   int // operands taken from the stack
+	pushes int // results pushed to the stack
+	unit   FuncUnit
+	gas    uint64 // constant gas component
+	valid  bool
+}
+
+var opTable [256]opInfo
+
+func def(op Opcode, name string, pops, pushes int, unit FuncUnit, gas uint64) {
+	opTable[op] = opInfo{name: name, pops: pops, pushes: pushes, unit: unit, gas: gas, valid: true}
+}
+
+func init() {
+	def(STOP, "STOP", 0, 0, FUControl, GasZero)
+
+	def(ADD, "ADD", 2, 1, FUArithmetic, GasVeryLow)
+	def(MUL, "MUL", 2, 1, FUArithmetic, GasLow)
+	def(SUB, "SUB", 2, 1, FUArithmetic, GasVeryLow)
+	def(DIV, "DIV", 2, 1, FUArithmetic, GasLow)
+	def(SDIV, "SDIV", 2, 1, FUArithmetic, GasLow)
+	def(MOD, "MOD", 2, 1, FUArithmetic, GasLow)
+	def(SMOD, "SMOD", 2, 1, FUArithmetic, GasLow)
+	def(ADDMOD, "ADDMOD", 3, 1, FUArithmetic, GasMid)
+	def(MULMOD, "MULMOD", 3, 1, FUArithmetic, GasMid)
+	def(EXP, "EXP", 2, 1, FUArithmetic, GasExp)
+	def(SIGNEXTEND, "SIGNEXTEND", 2, 1, FUArithmetic, GasLow)
+
+	def(LT, "LT", 2, 1, FULogic, GasVeryLow)
+	def(GT, "GT", 2, 1, FULogic, GasVeryLow)
+	def(SLT, "SLT", 2, 1, FULogic, GasVeryLow)
+	def(SGT, "SGT", 2, 1, FULogic, GasVeryLow)
+	def(EQ, "EQ", 2, 1, FULogic, GasVeryLow)
+	def(ISZERO, "ISZERO", 1, 1, FULogic, GasVeryLow)
+	def(AND, "AND", 2, 1, FULogic, GasVeryLow)
+	def(OR, "OR", 2, 1, FULogic, GasVeryLow)
+	def(XOR, "XOR", 2, 1, FULogic, GasVeryLow)
+	def(NOT, "NOT", 1, 1, FULogic, GasVeryLow)
+	def(BYTE, "BYTE", 2, 1, FULogic, GasVeryLow)
+	def(SHL, "SHL", 2, 1, FULogic, GasVeryLow)
+	def(SHR, "SHR", 2, 1, FULogic, GasVeryLow)
+	def(SAR, "SAR", 2, 1, FULogic, GasVeryLow)
+
+	def(SHA3, "SHA3", 2, 1, FUSHA, GasSha3)
+
+	def(ADDRESS, "ADDRESS", 0, 1, FUFixedAccess, GasQuick)
+	def(BALANCE, "BALANCE", 1, 1, FUStateQuery, GasBalance)
+	def(ORIGIN, "ORIGIN", 0, 1, FUFixedAccess, GasQuick)
+	def(CALLER, "CALLER", 0, 1, FUFixedAccess, GasQuick)
+	def(CALLVALUE, "CALLVALUE", 0, 1, FUFixedAccess, GasQuick)
+	def(CALLDATALOAD, "CALLDATALOAD", 1, 1, FUFixedAccess, GasVeryLow)
+	def(CALLDATASIZE, "CALLDATASIZE", 0, 1, FUFixedAccess, GasQuick)
+	def(CALLDATACOPY, "CALLDATACOPY", 3, 0, FUFixedAccess, GasVeryLow)
+	def(CODESIZE, "CODESIZE", 0, 1, FUFixedAccess, GasQuick)
+	def(CODECOPY, "CODECOPY", 3, 0, FUFixedAccess, GasVeryLow)
+	def(GASPRICE, "GASPRICE", 0, 1, FUFixedAccess, GasQuick)
+	def(EXTCODESIZE, "EXTCODESIZE", 1, 1, FUStateQuery, GasExtCode)
+	def(EXTCODECOPY, "EXTCODECOPY", 4, 0, FUStateQuery, GasExtCode)
+	def(RETURNDATASIZE, "RETURNDATASIZE", 0, 1, FUFixedAccess, GasQuick)
+	def(RETURNDATACOPY, "RETURNDATACOPY", 3, 0, FUFixedAccess, GasVeryLow)
+	def(EXTCODEHASH, "EXTCODEHASH", 1, 1, FUStateQuery, GasBalance)
+	def(BLOCKHASH, "BLOCKHASH", 1, 1, FUFixedAccess, GasBlockhash)
+	def(COINBASE, "COINBASE", 0, 1, FUFixedAccess, GasQuick)
+	def(TIMESTAMP, "TIMESTAMP", 0, 1, FUFixedAccess, GasQuick)
+	def(NUMBER, "NUMBER", 0, 1, FUFixedAccess, GasQuick)
+	def(DIFFICULTY, "DIFFICULTY", 0, 1, FUFixedAccess, GasQuick)
+	def(GASLIMIT, "GASLIMIT", 0, 1, FUFixedAccess, GasQuick)
+
+	def(POP, "POP", 1, 0, FUStack, GasQuick)
+	def(MLOAD, "MLOAD", 1, 1, FUMemory, GasVeryLow)
+	def(MSTORE, "MSTORE", 2, 0, FUMemory, GasVeryLow)
+	def(MSTORE8, "MSTORE8", 2, 0, FUMemory, GasVeryLow)
+	def(SLOAD, "SLOAD", 1, 1, FUStorage, GasSload)
+	def(SSTORE, "SSTORE", 2, 0, FUStorage, GasZero) // fully dynamic
+	def(JUMP, "JUMP", 1, 0, FUBranch, GasMid)
+	def(JUMPI, "JUMPI", 2, 0, FUBranch, GasHigh)
+	def(PC, "PC", 0, 1, FUFixedAccess, GasQuick)
+	def(MSIZE, "MSIZE", 0, 1, FUMemory, GasQuick)
+	def(GAS, "GAS", 0, 1, FUFixedAccess, GasQuick)
+	def(JUMPDEST, "JUMPDEST", 0, 0, FUBranch, GasJumpdest)
+
+	for i := 0; i < 32; i++ {
+		def(PUSH1+Opcode(i), fmt.Sprintf("PUSH%d", i+1), 0, 1, FUStack, GasVeryLow)
+	}
+	for i := 0; i < 16; i++ {
+		def(DUP1+Opcode(i), fmt.Sprintf("DUP%d", i+1), i+1, i+2, FUStack, GasVeryLow)
+	}
+	for i := 0; i < 16; i++ {
+		def(SWAP1+Opcode(i), fmt.Sprintf("SWAP%d", i+1), i+2, i+2, FUStack, GasVeryLow)
+	}
+	for i := 0; i <= 4; i++ {
+		def(LOG0+Opcode(i), fmt.Sprintf("LOG%d", i), i+2, 0, FUMemory, GasLog)
+	}
+
+	def(CREATE, "CREATE", 3, 1, FUContext, GasCreate)
+	def(CALL, "CALL", 7, 1, FUContext, GasCall)
+	def(CALLCODE, "CALLCODE", 7, 1, FUContext, GasCall)
+	def(RETURN, "RETURN", 2, 0, FUControl, GasZero)
+	def(DELEGATECALL, "DELEGATECALL", 6, 1, FUContext, GasCall)
+	def(CREATE2, "CREATE2", 4, 1, FUContext, GasCreate)
+	def(STATICCALL, "STATICCALL", 6, 1, FUContext, GasCall)
+	def(REVERT, "REVERT", 2, 0, FUControl, GasZero)
+	def(INVALID, "INVALID", 0, 0, FUInvalid, GasZero)
+}
+
+// Valid reports whether op is a defined instruction.
+func (op Opcode) Valid() bool { return opTable[op].valid }
+
+// String returns the mnemonic (or a hex form for undefined opcodes).
+func (op Opcode) String() string {
+	if opTable[op].valid {
+		return opTable[op].name
+	}
+	return fmt.Sprintf("opcode(0x%02x)", byte(op))
+}
+
+// Pops returns the number of stack operands consumed by op.
+func (op Opcode) Pops() int { return opTable[op].pops }
+
+// Pushes returns the number of stack results produced by op.
+func (op Opcode) Pushes() int { return opTable[op].pushes }
+
+// Unit returns the functional unit class of op.
+func (op Opcode) Unit() FuncUnit {
+	if !opTable[op].valid {
+		return FUInvalid
+	}
+	return opTable[op].unit
+}
+
+// ConstGas returns the static gas component of op.
+func (op Opcode) ConstGas() uint64 { return opTable[op].gas }
+
+// OpcodeByName resolves a mnemonic ("ADD", "PUSH4", ...) to its opcode.
+func OpcodeByName(name string) (Opcode, bool) {
+	op, ok := nameToOp[name]
+	return op, ok
+}
+
+// nameToOp is filled by init() after the def() calls populate opTable —
+// a package-level composite initializer would run too early.
+var nameToOp = make(map[string]Opcode, 160)
+
+func init() {
+	for i := 0; i < 256; i++ {
+		if opTable[i].valid {
+			nameToOp[opTable[i].name] = Opcode(i)
+		}
+	}
+}

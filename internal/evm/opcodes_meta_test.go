@@ -1,0 +1,181 @@
+package evm_test
+
+import (
+	"fmt"
+	"testing"
+
+	"mtpu/internal/evm"
+)
+
+func TestPushFamilyMetadata(t *testing.T) {
+	for i := 0; i < 32; i++ {
+		op := evm.PUSH1 + evm.Opcode(i)
+		if !op.IsPush() {
+			t.Errorf("%s not recognized as push", op)
+		}
+		if got := op.PushSize(); got != i+1 {
+			t.Errorf("%s push size %d, want %d", op, got, i+1)
+		}
+		if op.Pops() != 0 || op.Pushes() != 1 {
+			t.Errorf("%s pops/pushes wrong", op)
+		}
+		if op.String() != fmt.Sprintf("PUSH%d", i+1) {
+			t.Errorf("%s name wrong", op)
+		}
+	}
+	if evm.ADD.IsPush() || evm.ADD.PushSize() != 0 {
+		t.Error("ADD misclassified as push")
+	}
+}
+
+func TestDupSwapMetadata(t *testing.T) {
+	for i := 0; i < 16; i++ {
+		dup := evm.DUP1 + evm.Opcode(i)
+		if !dup.IsDup() {
+			t.Errorf("%s not dup", dup)
+		}
+		if dup.Pops() != i+1 || dup.Pushes() != i+2 {
+			t.Errorf("%s pops=%d pushes=%d", dup, dup.Pops(), dup.Pushes())
+		}
+		swap := evm.SWAP1 + evm.Opcode(i)
+		if !swap.IsSwap() {
+			t.Errorf("%s not swap", swap)
+		}
+		if swap.Pops() != i+2 || swap.Pushes() != i+2 {
+			t.Errorf("%s pops=%d pushes=%d", swap, swap.Pops(), swap.Pushes())
+		}
+	}
+}
+
+func TestFunctionalUnitAssignment(t *testing.T) {
+	// Spot checks against Table 3.
+	cases := map[evm.Opcode]evm.FuncUnit{
+		evm.ADD:          evm.FUArithmetic,
+		evm.EXP:          evm.FUArithmetic,
+		evm.LT:           evm.FULogic,
+		evm.SAR:          evm.FULogic,
+		evm.SHA3:         evm.FUSHA,
+		evm.CALLER:       evm.FUFixedAccess,
+		evm.CALLDATALOAD: evm.FUFixedAccess,
+		evm.BLOCKHASH:    evm.FUFixedAccess,
+		evm.BALANCE:      evm.FUStateQuery,
+		evm.EXTCODEHASH:  evm.FUStateQuery,
+		evm.MLOAD:        evm.FUMemory,
+		evm.LOG4:         evm.FUMemory,
+		evm.SLOAD:        evm.FUStorage,
+		evm.SSTORE:       evm.FUStorage,
+		evm.JUMP:         evm.FUBranch,
+		evm.JUMPDEST:     evm.FUBranch,
+		evm.POP:          evm.FUStack,
+		evm.PUSH32:       evm.FUStack,
+		evm.SWAP16:       evm.FUStack,
+		evm.STOP:         evm.FUControl,
+		evm.RETURN:       evm.FUControl,
+		evm.REVERT:       evm.FUControl,
+		evm.CALL:         evm.FUContext,
+		evm.CREATE2:      evm.FUContext,
+		evm.STATICCALL:   evm.FUContext,
+	}
+	for op, want := range cases {
+		if got := op.Unit(); got != want {
+			t.Errorf("%s unit = %s, want %s", op, got, want)
+		}
+	}
+	if evm.Opcode(0xef).Unit() != evm.FUInvalid {
+		t.Error("undefined opcode should map to FUInvalid")
+	}
+}
+
+func TestOpcodeByNameRoundTrip(t *testing.T) {
+	count := 0
+	for i := 0; i < 256; i++ {
+		op := evm.Opcode(i)
+		if !op.Valid() {
+			continue
+		}
+		count++
+		back, ok := evm.OpcodeByName(op.String())
+		if !ok {
+			t.Errorf("OpcodeByName(%s) missing", op)
+			continue
+		}
+		if back != op {
+			t.Errorf("OpcodeByName(%s) = %s", op, back)
+		}
+	}
+	if count < 130 {
+		t.Errorf("only %d valid opcodes defined", count)
+	}
+	if _, ok := evm.OpcodeByName("FROBNICATE"); ok {
+		t.Error("unknown mnemonic resolved")
+	}
+}
+
+func TestTable3Coverage(t *testing.T) {
+	// Every opcode named in Table 3 must be implemented.
+	names := []string{
+		"ADD", "MUL", "SUB", "DIV", "SDIV", "MOD", "SMOD", "ADDMOD",
+		"MULMOD", "EXP", "SIGNEXTEND",
+		"LT", "GT", "SLT", "SGT", "EQ", "ISZERO", "AND", "OR", "XOR", "NOT",
+		"SHA3",
+		"ADDRESS", "ORIGIN", "CALLER", "CALLVALUE", "GASPRICE",
+		"CALLDATALOAD", "CALLDATASIZE", "CALLDATACOPY", "CODESIZE",
+		"BLOCKHASH", "GASLIMIT", "PC", "GAS",
+		"BALANCE", "EXTCODESIZE", "EXTCODECOPY", "EXTCODEHASH",
+		"MLOAD", "MSTORE", "MSTORE8", "MSIZE", "LOG0", "LOG4",
+		"SLOAD", "SSTORE",
+		"JUMP", "JUMPI", "JUMPDEST",
+		"POP", "PUSH1", "PUSH32", "DUP1", "DUP16", "SWAP1", "SWAP16",
+		"STOP", "RETURN", "REVERT",
+		"CREATE", "CALL", "CALLCODE", "DELEGATECALL", "CREATE2", "STATICCALL",
+	}
+	for _, n := range names {
+		if _, ok := evm.OpcodeByName(n); !ok {
+			t.Errorf("Table 3 opcode %s not implemented", n)
+		}
+	}
+}
+
+func TestGasTiers(t *testing.T) {
+	if evm.ADD.ConstGas() != evm.GasVeryLow {
+		t.Error("ADD gas tier")
+	}
+	if evm.MUL.ConstGas() != evm.GasLow {
+		t.Error("MUL gas tier")
+	}
+	if evm.JUMPI.ConstGas() != evm.GasHigh {
+		t.Error("JUMPI gas tier")
+	}
+	if evm.SLOAD.ConstGas() != evm.GasSload {
+		t.Error("SLOAD gas tier")
+	}
+	if evm.STOP.ConstGas() != 0 || evm.RETURN.ConstGas() != 0 {
+		t.Error("zero-tier opcodes")
+	}
+}
+
+func TestIntrinsicGas(t *testing.T) {
+	if got := evm.IntrinsicGas(nil, false); got != evm.GasTxBase {
+		t.Errorf("empty tx intrinsic = %d", got)
+	}
+	data := []byte{0, 0, 1, 2} // 2 zero + 2 non-zero
+	want := evm.GasTxBase + 2*evm.GasTxDataZero + 2*evm.GasTxDataNonZero
+	if got := evm.IntrinsicGas(data, false); got != want {
+		t.Errorf("data intrinsic = %d, want %d", got, want)
+	}
+	if got := evm.IntrinsicGas(nil, true); got != evm.GasTxBase+evm.GasCreate {
+		t.Errorf("creation intrinsic = %d", got)
+	}
+}
+
+func TestFuncUnitString(t *testing.T) {
+	if evm.FUArithmetic.String() != "Arithmetic" {
+		t.Error("FUArithmetic name")
+	}
+	if evm.FUContext.String() != "Context switching" {
+		t.Error("FUContext name")
+	}
+	if evm.FuncUnit(200).String() == "" {
+		t.Error("out-of-range FuncUnit should still format")
+	}
+}

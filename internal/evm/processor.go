@@ -1,0 +1,120 @@
+package evm
+
+import (
+	"fmt"
+
+	"mtpu/internal/types"
+	"mtpu/internal/uint256"
+)
+
+// ApplyTransaction executes one transaction against the EVM's state,
+// implementing the full lifecycle: nonce check, fee purchase, intrinsic
+// gas, execution, refund and miner payment. It returns the receipt. A nil
+// error with Status == ReceiptFailed means the transaction executed and
+// reverted (state changes undone, fee still charged); a non-nil error
+// means the transaction is invalid and must not be included at all.
+func ApplyTransaction(e *EVM, tx *types.Transaction, txIndex int) (*types.Receipt, error) {
+	st := e.State
+
+	if have := st.GetNonce(tx.From); have != tx.Nonce {
+		return nil, fmt.Errorf("%w: account %s has nonce %d, tx has %d",
+			ErrNonceMismatch, tx.From, have, tx.Nonce)
+	}
+
+	// Up-front cost: gasLimit*gasPrice + value.
+	var feeWei, cost uint256.Int
+	feeWei.SetUint64(tx.GasLimit)
+	feeWei.Mul(&feeWei, uint256.NewInt(tx.GasPrice))
+	cost.Add(&feeWei, &tx.Value)
+	if st.GetBalance(tx.From).Lt(&cost) {
+		return nil, fmt.Errorf("%w: address %s", ErrInsufficientFunds, tx.From)
+	}
+
+	intrinsic := IntrinsicGas(tx.Data, tx.IsContractCreation())
+	if tx.GasLimit < intrinsic {
+		return nil, fmt.Errorf("%w: limit %d < intrinsic %d", ErrIntrinsicGas, tx.GasLimit, intrinsic)
+	}
+
+	st.SubBalance(tx.From, &feeWei)
+	st.ResetRefund()
+
+	e.TxCtx = TxContext{Origin: tx.From, GasPrice: tx.GasPrice}
+	gas := tx.GasLimit - intrinsic
+
+	var (
+		ret     []byte
+		left    uint64
+		vmErr   error
+		created types.Address
+	)
+	if tx.IsContractCreation() {
+		ret, created, left, vmErr = e.Create(tx.From, tx.Data, gas, &tx.Value)
+	} else {
+		st.SetNonce(tx.From, tx.Nonce+1)
+		ret, left, vmErr = e.Call(tx.From, *tx.To, tx.Data, gas, &tx.Value)
+	}
+
+	gasUsed := tx.GasLimit - left
+	// EIP-3529-style refund cap: at most half the used gas.
+	if refund := st.GetRefund(); vmErr == nil && refund > 0 {
+		if refund > gasUsed/2 {
+			refund = gasUsed / 2
+		}
+		gasUsed -= refund
+		left += refund
+	}
+
+	// Return unused fee to sender, pay the miner.
+	var leftWei, usedWei uint256.Int
+	leftWei.SetUint64(left)
+	leftWei.Mul(&leftWei, uint256.NewInt(tx.GasPrice))
+	st.AddBalance(tx.From, &leftWei)
+	usedWei.SetUint64(gasUsed)
+	usedWei.Mul(&usedWei, uint256.NewInt(tx.GasPrice))
+	st.AddBalance(e.Block.Coinbase, &usedWei)
+
+	receipt := &types.Receipt{
+		TxIndex:    txIndex,
+		GasUsed:    gasUsed,
+		ReturnData: ret,
+	}
+	if vmErr == nil {
+		receipt.Status = types.ReceiptSuccess
+		receipt.Logs = st.TakeLogs()
+		receipt.ContractAddress = created
+	} else {
+		receipt.Status = types.ReceiptFailed
+		st.TakeLogs() // discard logs from the reverted execution
+	}
+	return receipt, nil
+}
+
+// NewBlockContext derives the EVM block environment from a block header.
+func NewBlockContext(h types.BlockHeader) BlockContext {
+	return BlockContext{
+		Coinbase:   h.Coinbase,
+		Number:     h.Height,
+		Timestamp:  h.Timestamp,
+		Difficulty: h.Difficulty,
+		GasLimit:   h.GasLimit,
+	}
+}
+
+// ExecuteBlockSequential runs every transaction of the block in order on a
+// single EVM — the golden reference all parallel modes are validated
+// against. It returns the receipts in transaction order.
+func ExecuteBlockSequential(statedb StateDB, block *types.Block, tracer Tracer) ([]*types.Receipt, error) {
+	e := New(NewBlockContext(block.Header), statedb)
+	if tracer != nil {
+		e.Tracer = tracer
+	}
+	receipts := make([]*types.Receipt, len(block.Transactions))
+	for i, tx := range block.Transactions {
+		r, err := ApplyTransaction(e, tx, i)
+		if err != nil {
+			return nil, fmt.Errorf("evm: tx %d: %w", i, err)
+		}
+		receipts[i] = r
+	}
+	return receipts, nil
+}

@@ -1,0 +1,300 @@
+package evm_test
+
+import (
+	"errors"
+	"testing"
+
+	"mtpu/internal/evm"
+	"mtpu/internal/state"
+	"mtpu/internal/types"
+	"mtpu/internal/uint256"
+)
+
+func newTxEnv(t *testing.T, code []byte) (*state.StateDB, *evm.EVM) {
+	t.Helper()
+	st := state.New()
+	if code != nil {
+		st.SetCode(contractAddr, code)
+	}
+	st.SetBalance(callerAddr, uint256.MustFromDecimal("10000000000000000000"))
+	st.DiscardJournal()
+	e := evm.New(evm.BlockContext{Coinbase: otherAddr, GasLimit: 30_000_000}, st)
+	return st, e
+}
+
+func basicTx(data []byte, value, gasLimit, gasPrice uint64) *types.Transaction {
+	to := contractAddr
+	tx := &types.Transaction{
+		Nonce:    0,
+		GasPrice: gasPrice,
+		GasLimit: gasLimit,
+		From:     callerAddr,
+		To:       &to,
+		Data:     data,
+	}
+	tx.Value.SetUint64(value)
+	return tx
+}
+
+func TestApplyTransactionAccounting(t *testing.T) {
+	st, e := newTxEnv(t, mustAsm(t, "STOP"))
+	before := st.GetBalance(callerAddr)
+
+	tx := basicTx(nil, 1000, 100_000, 3)
+	r, err := evm.ApplyTransaction(e, tx, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != types.ReceiptSuccess || r.TxIndex != 5 {
+		t.Fatalf("receipt %+v", r)
+	}
+	if r.GasUsed != evm.GasTxBase {
+		t.Fatalf("gas used %d, want %d", r.GasUsed, evm.GasTxBase)
+	}
+	// Sender pays value + gasUsed*price exactly.
+	after := st.GetBalance(callerAddr)
+	var spent uint256.Int
+	spent.Sub(before, after)
+	want := 1000 + r.GasUsed*3
+	if spent.Uint64() != want {
+		t.Fatalf("sender spent %s, want %d", spent.String(), want)
+	}
+	// Miner receives the fee.
+	if fee := st.GetBalance(otherAddr); fee.Uint64() != r.GasUsed*3 {
+		t.Fatalf("coinbase got %s", fee)
+	}
+	// Contract received the value.
+	if bal := st.GetBalance(contractAddr); bal.Uint64() != 1000 {
+		t.Fatalf("contract balance %s", bal)
+	}
+	// Nonce advanced.
+	if st.GetNonce(callerAddr) != 1 {
+		t.Fatal("nonce not bumped")
+	}
+}
+
+func TestApplyTransactionNonceMismatch(t *testing.T) {
+	_, e := newTxEnv(t, mustAsm(t, "STOP"))
+	tx := basicTx(nil, 0, 100_000, 1)
+	tx.Nonce = 3
+	if _, err := evm.ApplyTransaction(e, tx, 0); !errors.Is(err, evm.ErrNonceMismatch) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestApplyTransactionInsufficientFunds(t *testing.T) {
+	st, e := newTxEnv(t, mustAsm(t, "STOP"))
+	st.SetBalance(callerAddr, uint256.NewInt(100))
+	tx := basicTx(nil, 0, 100_000, 1) // needs 100k wei for gas
+	if _, err := evm.ApplyTransaction(e, tx, 0); !errors.Is(err, evm.ErrInsufficientFunds) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestApplyTransactionIntrinsicGasTooLow(t *testing.T) {
+	_, e := newTxEnv(t, mustAsm(t, "STOP"))
+	tx := basicTx([]byte{1, 2, 3, 4}, 0, evm.GasTxBase, 1)
+	if _, err := evm.ApplyTransaction(e, tx, 0); !errors.Is(err, evm.ErrIntrinsicGas) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestRevertedTransactionChargesGasKeepsValue(t *testing.T) {
+	st, e := newTxEnv(t, mustAsm(t, "PUSH1 0\nDUP1\nREVERT"))
+	before := st.GetBalance(callerAddr)
+	tx := basicTx(nil, 500, 100_000, 2)
+	r, err := evm.ApplyTransaction(e, tx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != types.ReceiptFailed {
+		t.Fatal("revert not reflected in receipt")
+	}
+	// Value returned; only gas charged.
+	after := st.GetBalance(callerAddr)
+	var spent uint256.Int
+	spent.Sub(before, after)
+	if spent.Uint64() != r.GasUsed*2 {
+		t.Fatalf("spent %s, gas-only would be %d", spent.String(), r.GasUsed*2)
+	}
+	if bal := st.GetBalance(contractAddr); !bal.IsZero() {
+		t.Fatal("value kept by reverted callee")
+	}
+	// Nonce still advances for included transactions.
+	if st.GetNonce(callerAddr) != 1 {
+		t.Fatal("nonce not bumped on revert")
+	}
+	// Logs discarded.
+	if len(r.Logs) != 0 {
+		t.Fatal("reverted tx kept logs")
+	}
+}
+
+func TestSstoreRefundCapped(t *testing.T) {
+	// Clear a pre-existing slot: refund 15000, capped at gasUsed/2.
+	st, e := newTxEnv(t, mustAsm(t, "PUSH1 0\nPUSH1 1\nSSTORE\nSTOP"))
+	st.SetState(contractAddr, types.BytesToHash([]byte{1}), *uint256.NewInt(9))
+	st.DiscardJournal()
+
+	tx := basicTx(nil, 0, 100_000, 1)
+	r, err := evm.ApplyTransaction(e, tx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without refund: base + 2 pushes + sstore-reset(5000).
+	noRefund := evm.GasTxBase + 2*evm.GasVeryLow + evm.GasSstoreReset
+	if r.GasUsed >= noRefund {
+		t.Fatalf("no refund applied: used %d", r.GasUsed)
+	}
+	if r.GasUsed != noRefund-noRefund/2 {
+		t.Fatalf("refund cap: used %d, want %d", r.GasUsed, noRefund-noRefund/2)
+	}
+}
+
+func TestContractCreationTransaction(t *testing.T) {
+	st, e := newTxEnv(t, nil)
+	// Init code returning one STOP byte.
+	init := []byte{
+		byte(evm.PUSH1), 0x00, byte(evm.PUSH1), 0x00, byte(evm.MSTORE8),
+		byte(evm.PUSH1), 0x01, byte(evm.PUSH1), 0x00, byte(evm.RETURN),
+	}
+	tx := &types.Transaction{
+		Nonce: 0, GasPrice: 1, GasLimit: 200_000,
+		From: callerAddr, To: nil, Data: init,
+	}
+	r, err := evm.ApplyTransaction(e, tx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != types.ReceiptSuccess {
+		t.Fatal("creation failed")
+	}
+	if r.ContractAddress.IsZero() {
+		t.Fatal("no contract address in receipt")
+	}
+	if st.GetCodeSize(r.ContractAddress) != 1 {
+		t.Fatalf("deployed size %d", st.GetCodeSize(r.ContractAddress))
+	}
+	want := types.CreateAddress(callerAddr, 0)
+	if r.ContractAddress != want {
+		t.Fatalf("address %s, want %s", r.ContractAddress, want)
+	}
+}
+
+func TestExecuteBlockSequential(t *testing.T) {
+	st, _ := newTxEnv(t, mustAsm(t, "STOP"))
+	txs := []*types.Transaction{basicTx(nil, 1, 50_000, 1), basicTx(nil, 2, 50_000, 1)}
+	txs[1].Nonce = 1
+	block := types.NewBlock(types.BlockHeader{Coinbase: otherAddr, GasLimit: 30_000_000}, txs)
+	receipts, err := evm.ExecuteBlockSequential(st, block, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(receipts) != 2 || receipts[1].TxIndex != 1 {
+		t.Fatalf("receipts %+v", receipts)
+	}
+	if st.GetBalance(contractAddr).Uint64() != 3 {
+		t.Fatal("values not applied in order")
+	}
+	// A stale nonce aborts the whole block.
+	bad := types.NewBlock(block.Header, []*types.Transaction{basicTx(nil, 0, 50_000, 1)})
+	bad.Transactions[0].Nonce = 99
+	if _, err := evm.ExecuteBlockSequential(st, bad, nil); err == nil {
+		t.Fatal("stale nonce accepted")
+	}
+}
+
+func TestLogsAttachedToReceipt(t *testing.T) {
+	_, e := newTxEnv(t, mustAsm(t, `
+PUSH1 0
+PUSH1 0
+LOG0
+STOP`))
+	r, err := evm.ApplyTransaction(e, basicTx(nil, 0, 100_000, 1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Logs) != 1 {
+		t.Fatalf("%d logs on receipt", len(r.Logs))
+	}
+}
+
+func TestGasPrecisionPerOpcode(t *testing.T) {
+	// Exact end-to-end gas for handcrafted programs, verifying the gas
+	// unit charges precisely what the schedule says.
+	cases := []struct {
+		name string
+		src  string
+		want uint64
+	}{
+		{"stop", "STOP", 0},
+		{"push-pop", "PUSH1 1\nPOP", evm.GasVeryLow + evm.GasQuick},
+		{"add", "PUSH1 1\nPUSH1 2\nADD\nPOP",
+			3*evm.GasVeryLow + evm.GasQuick},
+		{"mstore-first-word", "PUSH1 1\nPUSH1 0\nMSTORE",
+			// two pushes + mstore + 1 word of fresh memory
+			3*evm.GasVeryLow + evm.GasMemoryWord},
+		{"sha3-one-word", "PUSH1 32\nPUSH1 0\nSHA3\nPOP",
+			2*evm.GasVeryLow + evm.GasSha3 + evm.GasSha3Word + evm.GasMemoryWord + evm.GasQuick},
+		{"sload-cold", "PUSH1 5\nSLOAD\nPOP",
+			evm.GasVeryLow + evm.GasSload + evm.GasQuick},
+		{"jumpdest", "JUMPDEST", evm.GasJumpdest},
+		{"exp-one-byte", "PUSH1 3\nPUSH1 2\nEXP\nPOP",
+			2*evm.GasVeryLow + evm.GasExp + evm.GasExpByte + evm.GasQuick},
+		{"log0-empty", "PUSH1 0\nPUSH1 0\nLOG0",
+			2*evm.GasVeryLow + evm.GasLog},
+	}
+	for _, c := range cases {
+		st := state.New()
+		st.SetCode(contractAddr, mustAsm(t, c.src))
+		e := evm.New(evm.BlockContext{}, st)
+		_, left, err := e.Call(callerAddr, contractAddr, nil, 1_000_000, new(uint256.Int))
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if got := 1_000_000 - left; got != c.want {
+			t.Errorf("%s: gas %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestCallToNewAccountWithValueSurcharge(t *testing.T) {
+	// CALL with value to a non-existent account costs GasNewAccount extra.
+	codeTo := func(addr string) []byte {
+		return mustAsm(t, `
+PUSH1 0
+PUSH1 0
+PUSH1 0
+PUSH1 0
+PUSH1 1
+PUSH20 `+addr+`
+PUSH3 0xFFFFFF
+CALL
+POP
+STOP`)
+	}
+	gasOf := func(code []byte, pre func(*state.StateDB)) uint64 {
+		st := state.New()
+		st.SetCode(contractAddr, code)
+		st.SetBalance(contractAddr, uint256.NewInt(1000))
+		if pre != nil {
+			pre(st)
+		}
+		st.DiscardJournal()
+		e := evm.New(evm.BlockContext{}, st)
+		_, left, err := e.Call(callerAddr, contractAddr, nil, 1_000_000, new(uint256.Int))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return 1_000_000 - left
+	}
+	fresh := "0x00000000000000000000000000000000000000e1"
+	gNew := gasOf(codeTo(fresh), nil)
+	gOld := gasOf(codeTo(fresh), func(st *state.StateDB) {
+		st.SetBalance(types.HexToAddress(fresh), uint256.NewInt(1))
+	})
+	if gNew != gOld+evm.GasNewAccount {
+		t.Fatalf("new-account surcharge: %d vs %d (+%d expected)",
+			gNew, gOld, evm.GasNewAccount)
+	}
+}

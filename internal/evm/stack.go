@@ -1,0 +1,59 @@
+package evm
+
+import (
+	"mtpu/internal/uint256"
+)
+
+// StackLimit is the maximum operand stack depth (1024 × 256-bit elements,
+// matching both the EVM specification and the 32 KB Stack of Table 5).
+const StackLimit = 1024
+
+// Stack is the EVM operand stack. The zero value is ready to use.
+type Stack struct {
+	data []uint256.Int
+}
+
+// NewStack returns an empty stack with preallocated backing storage.
+func NewStack() *Stack {
+	return &Stack{data: make([]uint256.Int, 0, 64)}
+}
+
+// Len returns the current depth.
+func (s *Stack) Len() int { return len(s.data) }
+
+// Push appends v to the top of the stack. Depth checking is done by the
+// interpreter before dispatch.
+func (s *Stack) Push(v *uint256.Int) {
+	s.data = append(s.data, *v)
+}
+
+// Pop removes and returns the top element.
+func (s *Stack) Pop() uint256.Int {
+	v := s.data[len(s.data)-1]
+	s.data = s.data[:len(s.data)-1]
+	return v
+}
+
+// Peek returns a pointer to the top element without removing it.
+func (s *Stack) Peek() *uint256.Int {
+	return &s.data[len(s.data)-1]
+}
+
+// Back returns a pointer to the n-th element from the top (0 = top).
+func (s *Stack) Back(n int) *uint256.Int {
+	return &s.data[len(s.data)-1-n]
+}
+
+// Dup pushes a copy of the n-th element from the top (1-based, DUPn).
+func (s *Stack) Dup(n int) {
+	s.data = append(s.data, s.data[len(s.data)-n])
+}
+
+// Swap exchanges the top element with the n-th below it (1-based, SWAPn).
+func (s *Stack) Swap(n int) {
+	top := len(s.data) - 1
+	s.data[top], s.data[top-n] = s.data[top-n], s.data[top]
+}
+
+// Reset empties the stack for reuse.
+func (s *Stack) Reset() { s.data = s.data[:0] }

@@ -1,0 +1,64 @@
+package experiments
+
+import "testing"
+
+func TestAblationShapes(t *testing.T) {
+	rows := Ablations(testEnv)
+	byKnob := map[string]map[string]float64{}
+	var baseline float64
+	for _, r := range rows {
+		if r.Knob == "baseline" {
+			baseline = r.Speedup
+			continue
+		}
+		if byKnob[r.Knob] == nil {
+			byKnob[r.Knob] = map[string]float64{}
+		}
+		byKnob[r.Knob][r.Setting] = r.Speedup
+	}
+	if baseline < 4 {
+		t.Fatalf("baseline speedup %.2f", baseline)
+	}
+
+	// Removing each ILP feature hurts, and more removal hurts more.
+	ilp := byKnob["ILP"]
+	if !(ilp["no DB cache (F&D off)"] < ilp["no forwarding (DF off)"] &&
+		ilp["no forwarding (DF off)"] < ilp["no folding (IF off)"] &&
+		ilp["no folding (IF off)"] < baseline) {
+		t.Errorf("ILP ablation ordering: %v vs baseline %.2f", ilp, baseline)
+	}
+
+	// A window of 1 serializes candidate selection; m≥2 saturates (larger
+	// windows may fluctuate a few percent as admission order shifts which
+	// chain tails get priority, but never collapse).
+	win := byKnob["window m"]
+	if !(win["1"] < win["4"]) {
+		t.Errorf("window ablation: %v", win)
+	}
+	if win["16"] < 0.85*win["4"] {
+		t.Errorf("large window regressed badly: %v", win)
+	}
+
+	// Scheduling overhead must degrade monotonically (the motivation for
+	// decoupling scheduling from execution, §3.2.3).
+	ov := byKnob["sched overhead"]
+	if !(ov["512 cyc"] < ov["64 cyc"] && ov["64 cyc"] < ov["4 cyc"] && ov["4 cyc"] <= ov["0 cyc"]) {
+		t.Errorf("overhead ablation: %v", ov)
+	}
+
+	// Tiny residency loses some context reuse.
+	resid := byKnob["residency"]
+	if resid["1"] > resid["8"] {
+		t.Errorf("residency ablation: %v", resid)
+	}
+
+	// A starved DB cache loses ILP hits.
+	db := byKnob["DB entries"]
+	if db["64"] > db["2048"] {
+		t.Errorf("DB entries ablation: %v", db)
+	}
+
+	if RenderAblations(rows) == "" {
+		t.Error("empty rendering")
+	}
+}

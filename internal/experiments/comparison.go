@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mtpu/internal/arch"
+	"mtpu/internal/baseline"
+	"mtpu/internal/core"
+	"mtpu/internal/metrics"
+	"mtpu/internal/workload"
+)
+
+// ERC20Shares is the Table 8 sweep (proportion of ERC-20 transactions).
+var ERC20Shares = []float64{1.0, 0.8, 0.6, 0.4, 0.2, 0.0}
+
+// CompareBlockSize is the transactions per block in Tables 8/9.
+const CompareBlockSize = 160
+
+// Table8Row compares BPU and MTPU single-core speedups (over a scalar
+// GSC-like engine) at one ERC-20 share.
+type Table8Row struct {
+	ERC20Share  float64
+	BPUSpeedup  float64
+	MTPUSpeedup float64
+}
+
+// Table8 reproduces the single-core BPU-vs-MTPU comparison.
+func Table8(env *Env) []Table8Row {
+	erc20Addrs, erc20Sels := erc20AppSet(env.Gen)
+	var rows []Table8Row
+	for _, share := range ERC20Shares {
+		block := env.Gen.ERC20Block(CompareBlockSize, share)
+		if _, err := workload.BuildDAG(env.Genesis, block); err != nil {
+			panic(fmt.Sprintf("experiments: table8 share %.1f: %v", share, err))
+		}
+		traces, receipts, digest, err := core.CollectTraces(env.Genesis, block)
+		if err != nil {
+			panic(err)
+		}
+
+		acc := core.New(arch.DefaultConfig())
+		acc.Cfg.NumPUs = 1
+		acc.LearnHotspots(traces, 8)
+
+		scalarRes, err := acc.Replay(block, traces, receipts, digest, core.ModeScalar)
+		if err != nil {
+			panic(err)
+		}
+		mtpuRes, err := acc.Replay(block, traces, receipts, digest, core.ModeSTHotspot)
+		if err != nil {
+			panic(err)
+		}
+
+		flags := baseline.ERC20Flags(block.Transactions, erc20Addrs, erc20Sels)
+		bpu := baseline.New(1, traces, flags)
+		bpuRes := bpu.RunSequential(len(traces))
+
+		rows = append(rows, Table8Row{
+			ERC20Share:  share,
+			BPUSpeedup:  float64(scalarRes.Cycles) / float64(bpuRes.Makespan),
+			MTPUSpeedup: float64(scalarRes.Cycles) / float64(mtpuRes.Cycles),
+		})
+	}
+	return rows
+}
+
+// RenderTable8 formats the Table 8 data.
+func RenderTable8(rows []Table8Row) string {
+	headers := []string{""}
+	for _, r := range rows {
+		headers = append(headers, fmt.Sprintf("%.0f%%", r.ERC20Share*100))
+	}
+	t := metrics.NewTable("Table 8 — BPU vs MTPU, single core, by ERC-20 share", headers...)
+	bpu := []any{"BPU"}
+	mtpu := []any{"MTPU"}
+	for _, r := range rows {
+		bpu = append(bpu, metrics.X(r.BPUSpeedup))
+		mtpu = append(mtpu, metrics.X(r.MTPUSpeedup))
+	}
+	t.Row(bpu...)
+	t.Row(mtpu...)
+	return t.String()
+}
+
+// Table9Ratios is the Table 9 dependent-transaction sweep.
+var Table9Ratios = []float64{1.0, 0.8, 0.6, 0.4, 0.2, 0.0}
+
+// Table9Row compares quad-core BPU and MTPU at one dependency ratio.
+type Table9Row struct {
+	DepRatio    float64
+	BPUSpeedup  float64
+	MTPUSpeedup float64
+}
+
+// Table9 reproduces the quad-core comparison over dependency ratios.
+func Table9(env *Env) []Table9Row {
+	erc20Addrs, erc20Sels := erc20AppSet(env.Gen)
+	var rows []Table9Row
+	for _, ratio := range Table9Ratios {
+		block := env.Gen.MixedBlock(CompareBlockSize, ratio)
+		if _, err := workload.BuildDAG(env.Genesis, block); err != nil {
+			panic(fmt.Sprintf("experiments: table9 ratio %.1f: %v", ratio, err))
+		}
+		traces, receipts, digest, err := core.CollectTraces(env.Genesis, block)
+		if err != nil {
+			panic(err)
+		}
+
+		acc := core.New(arch.DefaultConfig())
+		acc.Cfg.NumPUs = 4
+		acc.LearnHotspots(traces, 8)
+
+		accScalar := core.New(arch.DefaultConfig())
+		scalarRes, err := accScalar.Replay(block, traces, receipts, digest, core.ModeScalar)
+		if err != nil {
+			panic(err)
+		}
+		mtpuRes, err := acc.Replay(block, traces, receipts, digest, core.ModeSTHotspot)
+		if err != nil {
+			panic(err)
+		}
+
+		flags := baseline.ERC20Flags(block.Transactions, erc20Addrs, erc20Sels)
+		bpu := baseline.New(4, traces, flags)
+		bpuRes := bpu.RunSynchronous(block.DAG)
+
+		rows = append(rows, Table9Row{
+			DepRatio:    ratio,
+			BPUSpeedup:  float64(scalarRes.Cycles) / float64(bpuRes.Makespan),
+			MTPUSpeedup: float64(scalarRes.Cycles) / float64(mtpuRes.Cycles),
+		})
+	}
+	return rows
+}
+
+// RenderTable9 formats the Table 9 data.
+func RenderTable9(rows []Table9Row) string {
+	headers := []string{""}
+	for _, r := range rows {
+		headers = append(headers, fmt.Sprintf("%.0f%%", r.DepRatio*100))
+	}
+	t := metrics.NewTable("Table 9 — BPU vs MTPU, quad core, by dependent-tx ratio", headers...)
+	bpu := []any{"BPU"}
+	mtpu := []any{"MTPU"}
+	for _, r := range rows {
+		bpu = append(bpu, metrics.X(r.BPUSpeedup))
+		mtpu = append(mtpu, metrics.X(r.MTPUSpeedup))
+	}
+	t.Row(bpu...)
+	t.Row(mtpu...)
+	return t.String()
+}

@@ -1,0 +1,87 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§4). Each experiment returns structured rows plus a
+// paper-style rendering; cmd/mtpu-bench prints them and bench_test.go
+// wraps each in a testing.B benchmark. The per-experiment index lives in
+// DESIGN.md; measured-vs-paper numbers live in EXPERIMENTS.md.
+package experiments
+
+import (
+	"mtpu/internal/arch"
+	"mtpu/internal/arch/pipeline"
+	"mtpu/internal/arch/pu"
+	"mtpu/internal/contracts"
+	"mtpu/internal/core"
+	"mtpu/internal/state"
+	"mtpu/internal/types"
+	"mtpu/internal/workload"
+)
+
+// DefaultSeed keeps every experiment deterministic.
+const DefaultSeed = 20230617 // ISCA'23 opening day
+
+// Env carries the shared workload fixtures for one experiment run.
+type Env struct {
+	Seed    int64
+	Gen     *workload.Generator
+	Genesis *state.StateDB
+}
+
+// NewEnv builds the standard environment.
+func NewEnv(seed int64) *Env {
+	g := workload.NewGenerator(seed, 8192)
+	return &Env{Seed: seed, Gen: g, Genesis: g.Genesis()}
+}
+
+// Top8Names lists the evaluated contracts in Table 6 order.
+var Top8Names = []string{
+	"TetherUSD", "UniswapV2Router02", "FiatTokenProxy", "OpenSea",
+	"LinkToken", "SwapRouter", "Dai", "MainchainGatewayProxy",
+}
+
+// batchTraces collects golden traces for a same-contract batch.
+func (e *Env) batchTraces(contract *contracts.Contract, n int) []*arch.TxTrace {
+	block := e.Gen.Batch(contract, n)
+	traces, _, _, err := core.CollectTraces(e.Genesis, block)
+	if err != nil {
+		panic("experiments: batch for " + contract.Name + ": " + err.Error())
+	}
+	return traces
+}
+
+// runPipeline replays traces through a fresh pipeline with the given
+// configuration, passes times, and returns the final-pass stats.
+func runPipeline(cfg arch.Config, traces []*arch.TxTrace, passes int) pipeline.Stats {
+	pipe := pipeline.New(cfg)
+	mem := pipeline.FlatMem{Cfg: cfg}
+	for pass := 0; pass < passes; pass++ {
+		if pass == passes-1 {
+			pipe.ResetStats()
+		}
+		for _, tr := range traces {
+			steps, ann := pipeline.Split(pu.PlainPlan(tr).Steps)
+			pipe.Execute(steps, ann, mem)
+		}
+	}
+	return pipe.Stats()
+}
+
+// scalarPipelineCycles is the no-ILP reference for IPC/speedup ratios.
+func scalarPipelineCycles(traces []*arch.TxTrace) uint64 {
+	return runPipeline(arch.ScalarConfig(), traces, 1).Cycles
+}
+
+// erc20AppSet returns the contracts and selectors BPU's App engine
+// accelerates: direct ERC-20 tokens (the proxy's indirection defeats the
+// dedicated dataflow).
+func erc20AppSet(gen *workload.Generator) (map[types.Address]bool, map[[4]byte]bool) {
+	addrs := map[types.Address]bool{}
+	for _, name := range []string{"TetherUSD", "Dai", "LinkToken"} {
+		addrs[gen.Contract(name).Address] = true
+	}
+	sels := map[[4]byte]bool{}
+	tether := gen.Contract("TetherUSD")
+	for _, fname := range []string{"transfer", "approve", "transferFrom", "balanceOf", "totalSupply", "allowance"} {
+		sels[tether.Function(fname).Selector] = true
+	}
+	return addrs, sels
+}

@@ -1,0 +1,312 @@
+package experiments
+
+import (
+	"testing"
+
+	"mtpu/internal/core"
+)
+
+// One shared environment: experiments are deterministic, so building it
+// once keeps the suite fast.
+var testEnv = NewEnv(DefaultSeed)
+
+func TestTable2Shape(t *testing.T) {
+	rows := Table2(testEnv)
+	if len(rows) != len(Table2Cases) {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.BytecodeBytes <= 0 || r.OtherBytes <= 0 {
+			t.Errorf("%s.%s: sizes %d/%d", r.Contract, r.Function, r.BytecodeBytes, r.OtherBytes)
+		}
+		// The paper's claim: bytecode dominates the loaded context.
+		if r.BytecodeShare < 0.5 {
+			t.Errorf("%s.%s: bytecode share %.2f below half", r.Contract, r.Function, r.BytecodeShare)
+		}
+	}
+	if out := RenderTable2(rows); len(out) == 0 {
+		t.Error("empty rendering")
+	}
+}
+
+func TestTable6Shape(t *testing.T) {
+	rows := Table6(testEnv)
+	if len(rows) != len(Top8Names) {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		var sum float64
+		var maxIdx int
+		for u, s := range r.Shares {
+			sum += s
+			if s > r.Shares[maxIdx] {
+				maxIdx = u
+			}
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Errorf("%s: shares sum %.4f", r.Contract, sum)
+		}
+		// Stack instructions dominate every contract (the paper: ~62%).
+		if maxIdx != 8 /* FUStack */ {
+			t.Errorf("%s: dominant unit %d, want Stack", r.Contract, maxIdx)
+		}
+		if r.Shares[8] < 0.4 {
+			t.Errorf("%s: stack share %.2f", r.Contract, r.Shares[8])
+		}
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	rows := Fig12(testEnv)
+	if len(rows) != len(Top8Names) {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		// Each optimization must not regress IPC or speedup.
+		if !(r.IPC[0] < r.IPC[1] && r.IPC[1] < r.IPC[2]) {
+			t.Errorf("%s: IPC not monotone: %v", r.Contract, r.IPC)
+		}
+		if !(r.Speedup[0] <= r.Speedup[1] && r.Speedup[1] <= r.Speedup[2]) {
+			t.Errorf("%s: speedup not monotone: %v", r.Contract, r.Speedup)
+		}
+		if r.IPC[2] < 1.5 {
+			t.Errorf("%s: +IF IPC %.2f too low", r.Contract, r.IPC[2])
+		}
+		if r.Speedup[2] < 1.1 {
+			t.Errorf("%s: +IF speedup %.2f", r.Contract, r.Speedup[2])
+		}
+		for v, h := range r.HitRatio {
+			if h < 0.4 || h > 1 {
+				t.Errorf("%s: variant %d hit ratio %.2f", r.Contract, v, h)
+			}
+		}
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	rows := Fig13(testEnv)
+	for _, r := range rows {
+		// Monotone non-decreasing in cache size, saturating high.
+		for i := 1; i < len(r.HitRatios); i++ {
+			if r.HitRatios[i] < r.HitRatios[i-1]-0.02 {
+				t.Errorf("%s: hit ratio fell at size %d: %v", r.Contract, Fig13Sizes[i], r.HitRatios)
+			}
+		}
+		last := r.HitRatios[len(r.HitRatios)-1]
+		if last < 0.8 {
+			t.Errorf("%s: saturated hit ratio %.2f", r.Contract, last)
+		}
+		if r.HitRatios[0] > last-0.1 {
+			t.Errorf("%s: no capacity effect visible: %v", r.Contract, r.HitRatios)
+		}
+	}
+}
+
+func TestTable7Shape(t *testing.T) {
+	rows := Table7(testEnv)
+	for _, r := range rows {
+		// The finite cache can only lose against the upper limit.
+		if r.At2KIPC > r.UpperIPC+0.01 {
+			t.Errorf("%s: 2K IPC above upper limit", r.Contract)
+		}
+		if r.At2KSpeedup > r.UpperSpeedup+0.01 {
+			t.Errorf("%s: 2K speedup above upper limit", r.Contract)
+		}
+		if r.IPCDelta > 0.01 || r.SpeedupDelta > 0.01 {
+			t.Errorf("%s: positive deltas %f %f", r.Contract, r.IPCDelta, r.SpeedupDelta)
+		}
+	}
+}
+
+func TestSchedulingSweepShape(t *testing.T) {
+	// A reduced sweep keeps the test quick but checks the key shapes.
+	pts := SchedulingSweep(testEnv,
+		[]core.Mode{core.ModeSynchronous, core.ModeSpatialTemporal},
+		[]int{4}, []float64{0, 1.0})
+	get := func(mode core.Mode, ratio float64) SchedPoint {
+		for _, p := range pts {
+			if p.Mode == mode && p.TargetRatio == ratio {
+				return p
+			}
+		}
+		t.Fatalf("missing point %v %.1f", mode, ratio)
+		return SchedPoint{}
+	}
+	sync0 := get(core.ModeSynchronous, 0)
+	sync1 := get(core.ModeSynchronous, 1)
+	st0 := get(core.ModeSpatialTemporal, 0)
+	st1 := get(core.ModeSpatialTemporal, 1)
+
+	if sync0.Speedup < 2.5 {
+		t.Errorf("sync speedup at dep=0: %.2f", sync0.Speedup)
+	}
+	if !(sync1.Speedup < sync0.Speedup) {
+		t.Errorf("sync speedup did not fall with dependence: %.2f vs %.2f", sync1.Speedup, sync0.Speedup)
+	}
+	if st0.Speedup < sync0.Speedup-0.05 {
+		t.Errorf("ST below sync at dep=0: %.2f vs %.2f", st0.Speedup, sync0.Speedup)
+	}
+	if !(st1.Speedup < st0.Speedup) {
+		t.Errorf("ST speedup did not fall with dependence")
+	}
+	for _, p := range pts {
+		if p.Utilization <= 0 || p.Utilization > 1.0001 {
+			t.Errorf("utilization %f out of range", p.Utilization)
+		}
+	}
+}
+
+func TestFig16AddsOverFig14(t *testing.T) {
+	base := SchedulingSweep(testEnv, []core.Mode{core.ModeSpatialTemporal},
+		[]int{4}, []float64{0.2})
+	opt := SchedulingSweep(testEnv, []core.Mode{core.ModeSTRedundancy, core.ModeSTHotspot},
+		[]int{4}, []float64{0.2})
+	var st, red, hot float64
+	st = base[0].Speedup
+	for _, p := range opt {
+		switch p.Mode {
+		case core.ModeSTRedundancy:
+			red = p.Speedup
+		case core.ModeSTHotspot:
+			hot = p.Speedup
+		}
+	}
+	if !(st < red && red < hot) {
+		t.Errorf("optimization ladder broken: %.2f, %.2f, %.2f", st, red, hot)
+	}
+}
+
+func TestTable8Shape(t *testing.T) {
+	rows := Table8(testEnv)
+	if len(rows) != len(ERC20Shares) {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// BPU monotone decreasing as ERC-20 share falls; ~1x at 0%.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].BPUSpeedup > rows[i-1].BPUSpeedup+0.05 {
+			t.Errorf("BPU speedup rose: %v", rows)
+		}
+	}
+	if rows[0].BPUSpeedup < 8 {
+		t.Errorf("BPU at 100%% ERC-20: %.2f", rows[0].BPUSpeedup)
+	}
+	last := rows[len(rows)-1]
+	if last.BPUSpeedup > 1.2 {
+		t.Errorf("BPU at 0%% ERC-20: %.2f", last.BPUSpeedup)
+	}
+	// MTPU is stable: min within 60% of max (the paper's core claim).
+	min, max := rows[0].MTPUSpeedup, rows[0].MTPUSpeedup
+	for _, r := range rows {
+		if r.MTPUSpeedup < min {
+			min = r.MTPUSpeedup
+		}
+		if r.MTPUSpeedup > max {
+			max = r.MTPUSpeedup
+		}
+		if r.MTPUSpeedup < 1.3 {
+			t.Errorf("MTPU speedup %.2f at share %.0f%%", r.MTPUSpeedup, r.ERC20Share*100)
+		}
+	}
+	if min < 0.6*max {
+		t.Errorf("MTPU not stable: %.2f..%.2f", min, max)
+	}
+	// Crossover: MTPU wins at 0% ERC-20, BPU wins at 100%.
+	if last.MTPUSpeedup <= last.BPUSpeedup {
+		t.Error("MTPU should beat BPU on non-ERC20 blocks")
+	}
+	if rows[0].BPUSpeedup <= rows[0].MTPUSpeedup {
+		t.Error("BPU should beat single-core MTPU on pure ERC-20 blocks")
+	}
+}
+
+func TestTable9Shape(t *testing.T) {
+	rows := Table9(testEnv)
+	if len(rows) != len(Table9Ratios) {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		// Fine-grained scheduling beats block-level parallelism everywhere.
+		if r.MTPUSpeedup <= r.BPUSpeedup {
+			t.Errorf("MTPU %.2f <= BPU %.2f at ratio %.0f%%",
+				r.MTPUSpeedup, r.BPUSpeedup, r.DepRatio*100)
+		}
+	}
+	// Both improve as dependence falls (first row is 100%, last is 0%).
+	first, last := rows[0], rows[len(rows)-1]
+	if last.BPUSpeedup <= first.BPUSpeedup {
+		t.Errorf("BPU did not improve with independence: %.2f vs %.2f",
+			first.BPUSpeedup, last.BPUSpeedup)
+	}
+	if last.MTPUSpeedup <= first.MTPUSpeedup {
+		t.Errorf("MTPU did not improve with independence: %.2f vs %.2f",
+			first.MTPUSpeedup, last.MTPUSpeedup)
+	}
+}
+
+func TestChunkingShape(t *testing.T) {
+	rows := Chunking(testEnv)
+	if len(rows) < 30 {
+		t.Fatalf("only %d chunking rows", len(rows))
+	}
+	foundTransfer := false
+	for _, r := range rows {
+		if r.LoadFraction <= 0 || r.LoadFraction > 1 {
+			t.Errorf("%s.%s: load fraction %f", r.Contract, r.Function, r.LoadFraction)
+		}
+		if r.SkippedFraction < 0 || r.SkippedFraction >= 1 {
+			t.Errorf("%s.%s: skipped fraction %f", r.Contract, r.Function, r.SkippedFraction)
+		}
+		if r.Contract == "TetherUSD" && r.Function == "transfer" {
+			foundTransfer = true
+			// The §3.4.2 headline: a small fraction of bytecode loads.
+			if r.LoadFraction > 0.35 {
+				t.Errorf("Tether transfer loads %.1f%% of bytecode", 100*r.LoadFraction)
+			}
+			if r.PreExecSteps == 0 {
+				t.Error("Tether transfer has no pre-executed chunk")
+			}
+			if r.TotalSLOADs > 0 && r.PrefetchedSLOADs != r.TotalSLOADs {
+				t.Errorf("Tether transfer prefetch %d/%d", r.PrefetchedSLOADs, r.TotalSLOADs)
+			}
+		}
+	}
+	if !foundTransfer {
+		t.Fatal("no TetherUSD.transfer row")
+	}
+}
+
+func TestRenderersProduceOutput(t *testing.T) {
+	if RenderFig12(Fig12(testEnv)) == "" ||
+		RenderFig13(Fig13(testEnv)) == "" ||
+		RenderTable7(Table7(testEnv)) == "" ||
+		RenderTable6(Table6(testEnv)) == "" ||
+		RenderChunking(Chunking(testEnv)) == "" {
+		t.Fatal("renderer produced empty output")
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	rows := Table1(testEnv)
+	if len(rows) != 5 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for i, r := range rows {
+		// SCTs always cost disproportionately more than their count share.
+		if r.OverheadShare <= r.SCTShare {
+			t.Errorf("%s: overhead %.2f <= share %.2f", r.Year, r.OverheadShare, r.SCTShare)
+		}
+		if i > 0 && r.SCTShare > rows[i-1].SCTShare &&
+			r.OverheadShare < rows[i-1].OverheadShare-0.01 {
+			t.Errorf("overhead fell while share rose at %s", r.Year)
+		}
+	}
+	// The 2021 point: ~68% of transactions cause the vast majority of
+	// execution time (paper: 90.81%).
+	last := rows[len(rows)-1]
+	if last.OverheadShare < 0.8 {
+		t.Errorf("2021 overhead share %.2f too low", last.OverheadShare)
+	}
+	if RenderTable1(rows) == "" {
+		t.Error("empty rendering")
+	}
+}

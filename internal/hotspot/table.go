@@ -1,0 +1,172 @@
+package hotspot
+
+import (
+	"sort"
+
+	"mtpu/internal/arch"
+	"mtpu/internal/arch/pipeline"
+	"mtpu/internal/arch/pu"
+	"mtpu/internal/types"
+)
+
+// Key identifies one Contract Table row: transactions with the same
+// contract address and entry-function identifier have almost completely
+// overlapping execution paths (§3.4.1).
+type Key struct {
+	Addr     types.Address
+	Selector [4]byte
+}
+
+// PathInfo is one Contract Table entry: the learned execution-path facts
+// used to rewrite future transactions of this (contract, function).
+type PathInfo struct {
+	Key Key
+	// PreExecLen is the number of leading top-frame steps covered by the
+	// pre-executed Compare+Check chunks.
+	PreExecLen int
+	// Skip marks instructions eliminated by constant backtracking.
+	Skip map[apc]bool
+	// ConstOps marks instructions reading operands from the Constants
+	// Table (their stack dependencies disappear).
+	ConstOps map[apc]bool
+	// Prefetch marks storage/state reads with deterministic keys.
+	Prefetch map[apc]bool
+	// LoadFrac scales each contract's bytecode-loading cost to the
+	// on-path chunks.
+	LoadFrac map[types.Address]float64
+	// Samples counts traces merged into this entry.
+	Samples int
+}
+
+// ContractTable persists hotspot execution information across blocks
+// (§3.4.1); it is built offline during the block interval.
+type ContractTable struct {
+	entries map[Key]*PathInfo
+}
+
+// NewContractTable returns an empty table.
+func NewContractTable() *ContractTable {
+	return &ContractTable{entries: make(map[Key]*PathInfo)}
+}
+
+// Len returns the number of (contract, function) entries.
+func (t *ContractTable) Len() int { return len(t.entries) }
+
+// Keys returns the table's keys in deterministic order.
+func (t *ContractTable) Keys() []Key {
+	keys := make([]Key, 0, len(t.entries))
+	for k := range t.entries {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Addr != keys[j].Addr {
+			return string(keys[i].Addr[:]) < string(keys[j].Addr[:])
+		}
+		return string(keys[i].Selector[:]) < string(keys[j].Selector[:])
+	})
+	return keys
+}
+
+// Lookup returns the entry for a (contract, selector), nil if absent.
+func (t *ContractTable) Lookup(addr types.Address, sel [4]byte) *PathInfo {
+	return t.entries[Key{addr, sel}]
+}
+
+// Learn analyzes a profiled trace and merges it into the table. Repeated
+// learning on diverging traces intersects the annotation sets (only facts
+// that held on every sample survive).
+func (t *ContractTable) Learn(trace *arch.TxTrace) *PathInfo {
+	if !trace.HasSelector || len(trace.Steps) == 0 {
+		return nil
+	}
+	key := Key{trace.Contract, trace.Selector}
+	a := analyzeTrace(trace)
+
+	info := t.entries[key]
+	if info == nil {
+		info = &PathInfo{
+			Key:        key,
+			PreExecLen: a.preExecLen,
+			Skip:       a.skip,
+			ConstOps:   a.constOps,
+			Prefetch:   a.prefetch,
+			LoadFrac:   a.loadFrac,
+			Samples:    1,
+		}
+		t.entries[key] = info
+		return info
+	}
+	// Merge conservatively.
+	if a.preExecLen < info.PreExecLen {
+		info.PreExecLen = a.preExecLen
+	}
+	intersect(info.Skip, a.skip)
+	intersect(info.ConstOps, a.constOps)
+	intersect(info.Prefetch, a.prefetch)
+	for addr, f := range a.loadFrac {
+		if old, ok := info.LoadFrac[addr]; !ok || f > old {
+			info.LoadFrac[addr] = f // keep the largest observed footprint
+		}
+	}
+	info.Samples++
+	return info
+}
+
+func intersect(dst, src map[apc]bool) {
+	for k := range dst {
+		if !src[k] {
+			delete(dst, k)
+		}
+	}
+}
+
+// Plan rewrites a transaction trace into an execution plan: pre-executed
+// and eliminated instructions dropped, constant-operand and prefetch
+// annotations attached, bytecode loading scaled to the on-path chunks.
+// Unknown (non-hotspot) transactions pass through unoptimized.
+func (t *ContractTable) Plan(trace *arch.TxTrace) *pu.Plan {
+	if !trace.HasSelector {
+		return pu.PlainPlan(trace)
+	}
+	info := t.Lookup(trace.Contract, trace.Selector)
+	if info == nil {
+		return pu.PlainPlan(trace)
+	}
+	addrs := stepAddrs(trace)
+	steps := make([]pipeline.AnnotatedStep, 0, len(trace.Steps))
+	skipped := 0
+	for i := range trace.Steps {
+		if i < info.PreExecLen {
+			skipped++
+			continue
+		}
+		k := apc{addrs[i], trace.Steps[i].PC}
+		if info.Skip[k] {
+			skipped++
+			continue
+		}
+		steps = append(steps, pipeline.AnnotatedStep{
+			Step: trace.Steps[i],
+			Annotation: pipeline.Annotation{
+				Prefetched:    info.Prefetch[k],
+				ConstOperands: info.ConstOps[k],
+			},
+		})
+	}
+	return &pu.Plan{
+		Trace:               trace,
+		Steps:               steps,
+		LoadScale:           info.LoadFrac,
+		SkippedInstructions: skipped,
+	}
+}
+
+// LoadFractionOf reports the bytecode fraction loaded for the contract
+// itself under this entry — the §3.4.2 metric (TetherToken transfer loads
+// 8.2% of its bytecode in the paper).
+func (info *PathInfo) LoadFractionOf(addr types.Address) float64 {
+	if f, ok := info.LoadFrac[addr]; ok {
+		return f
+	}
+	return 1
+}

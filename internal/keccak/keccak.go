@@ -1,0 +1,167 @@
+// Package keccak implements the legacy Keccak-256 hash used by Ethereum
+// (pre-FIPS 202 padding byte 0x01, not the standardized SHA3-256 0x06).
+// It backs the EVM SHA3 opcode, function-selector derivation, storage-map
+// key computation and code hashing throughout the repository.
+package keccak
+
+// roundConstants are the 24 iota-step round constants of Keccak-f[1600].
+var roundConstants = [24]uint64{
+	0x0000000000000001, 0x0000000000008082, 0x800000000000808a,
+	0x8000000080008000, 0x000000000000808b, 0x0000000080000001,
+	0x8000000080008081, 0x8000000000008009, 0x000000000000008a,
+	0x0000000000000088, 0x0000000080008009, 0x000000008000000a,
+	0x000000008000808b, 0x800000000000008b, 0x8000000000008089,
+	0x8000000000008003, 0x8000000000008002, 0x8000000000000080,
+	0x000000000000800a, 0x800000008000000a, 0x8000000080008081,
+	0x8000000000008080, 0x0000000080000001, 0x8000000080008008,
+}
+
+// rotationOffsets are the rho-step rotation offsets, indexed [x][y].
+var rotationOffsets = [5][5]uint{
+	{0, 36, 3, 41, 18},
+	{1, 44, 10, 45, 2},
+	{62, 6, 43, 15, 61},
+	{28, 55, 25, 21, 56},
+	{27, 20, 39, 8, 14},
+}
+
+func rotl(v uint64, n uint) uint64 {
+	return v<<n | v>>(64-n)
+}
+
+// keccakF1600 applies the 24-round Keccak permutation to the state in place.
+// The state is indexed a[x + 5*y].
+func keccakF1600(a *[25]uint64) {
+	var c [5]uint64
+	var d [5]uint64
+	var b [25]uint64
+
+	for round := 0; round < 24; round++ {
+		// Theta.
+		for x := 0; x < 5; x++ {
+			c[x] = a[x] ^ a[x+5] ^ a[x+10] ^ a[x+15] ^ a[x+20]
+		}
+		for x := 0; x < 5; x++ {
+			d[x] = c[(x+4)%5] ^ rotl(c[(x+1)%5], 1)
+		}
+		for x := 0; x < 5; x++ {
+			for y := 0; y < 5; y++ {
+				a[x+5*y] ^= d[x]
+			}
+		}
+
+		// Rho and Pi.
+		for x := 0; x < 5; x++ {
+			for y := 0; y < 5; y++ {
+				b[y+5*((2*x+3*y)%5)] = rotl(a[x+5*y], rotationOffsets[x][y])
+			}
+		}
+
+		// Chi.
+		for x := 0; x < 5; x++ {
+			for y := 0; y < 5; y++ {
+				a[x+5*y] = b[x+5*y] ^ (^b[(x+1)%5+5*y] & b[(x+2)%5+5*y])
+			}
+		}
+
+		// Iota.
+		a[0] ^= roundConstants[round]
+	}
+}
+
+// rate is the sponge rate in bytes for Keccak-256 (1600 - 2*256 bits).
+const rate = 136
+
+// Hasher is an incremental Keccak-256 hasher. The zero value is ready to
+// use. It implements the write/sum pattern of hash.Hash without the
+// interface dependency.
+type Hasher struct {
+	state  [25]uint64
+	buf    [rate]byte
+	bufLen int
+}
+
+// Reset returns the hasher to its initial state.
+func (h *Hasher) Reset() {
+	h.state = [25]uint64{}
+	h.bufLen = 0
+}
+
+// Write absorbs p into the sponge. It never fails.
+func (h *Hasher) Write(p []byte) (int, error) {
+	n := len(p)
+	for len(p) > 0 {
+		space := rate - h.bufLen
+		if space > len(p) {
+			space = len(p)
+		}
+		copy(h.buf[h.bufLen:], p[:space])
+		h.bufLen += space
+		p = p[space:]
+		if h.bufLen == rate {
+			h.absorb()
+		}
+	}
+	return n, nil
+}
+
+func (h *Hasher) absorb() {
+	for i := 0; i < rate/8; i++ {
+		h.state[i] ^= leUint64(h.buf[i*8:])
+	}
+	keccakF1600(&h.state)
+	h.bufLen = 0
+}
+
+// Sum256 returns the 32-byte digest of everything written so far. It does
+// not modify the hasher state, so more data may be written afterwards.
+func (h *Hasher) Sum256() [32]byte {
+	// Work on copies so the caller can continue writing.
+	state := h.state
+	var block [rate]byte
+	copy(block[:], h.buf[:h.bufLen])
+	block[h.bufLen] = 0x01 // legacy Keccak domain/padding byte
+	block[rate-1] |= 0x80
+	for i := 0; i < rate/8; i++ {
+		state[i] ^= leUint64(block[i*8:])
+	}
+	keccakF1600(&state)
+
+	var out [32]byte
+	for i := 0; i < 4; i++ {
+		putLeUint64(out[i*8:], state[i])
+	}
+	return out
+}
+
+func leUint64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func putLeUint64(b []byte, v uint64) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}
+
+// Sum256 returns the Keccak-256 digest of data.
+func Sum256(data []byte) [32]byte {
+	var h Hasher
+	h.Write(data)
+	return h.Sum256()
+}
+
+// Selector returns the 4-byte Solidity function selector for a signature
+// such as "transfer(address,uint256)".
+func Selector(signature string) [4]byte {
+	d := Sum256([]byte(signature))
+	var s [4]byte
+	copy(s[:], d[:4])
+	return s
+}

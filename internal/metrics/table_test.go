@@ -1,0 +1,53 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("My Title", "name", "value")
+	tbl.Row("alpha", 1)
+	tbl.Row("beta-long-name", 3.14159)
+	out := tbl.String()
+
+	if !strings.HasPrefix(out, "My Title\n") {
+		t.Errorf("missing title: %q", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("%d lines: %q", len(lines), out)
+	}
+	if !strings.Contains(lines[3], "alpha") {
+		t.Errorf("row order: %q", lines[3])
+	}
+	if !strings.Contains(lines[4], "3.14") {
+		t.Errorf("float formatting: %q", lines[4])
+	}
+	// Columns aligned: header and row share the second-column offset.
+	hIdx := strings.Index(lines[1], "value")
+	rIdx := strings.Index(lines[4], "3.14")
+	if hIdx != rIdx {
+		t.Errorf("misaligned columns: %d vs %d", hIdx, rIdx)
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tbl := NewTable("", "a")
+	tbl.Row("x")
+	if strings.HasPrefix(tbl.String(), "\n") {
+		t.Error("leading newline with empty title")
+	}
+}
+
+func TestPctAndX(t *testing.T) {
+	if got := Pct(-0.1899); got != "-18.99%" {
+		t.Errorf("Pct: %s", got)
+	}
+	if got := Pct(0.5); got != "+50.00%" {
+		t.Errorf("Pct positive: %s", got)
+	}
+	if got := X(3.53); got != "3.53x" {
+		t.Errorf("X: %s", got)
+	}
+}

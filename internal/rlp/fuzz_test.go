@@ -1,0 +1,28 @@
+package rlp
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode asserts the decoder never panics and that anything it
+// accepts re-encodes canonically to the same bytes.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{0x80})
+	f.Add([]byte{0xc0})
+	f.Add([]byte("\x83dog"))
+	f.Add([]byte("\xc8\x83cat\x83dog"))
+	f.Add([]byte{0xb8, 0x38})
+	f.Add([]byte{0xf8, 0x00})
+	f.Add(Encode(ListValue(Uint64Value(1), StringValue(make([]byte, 100)))))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := Decode(data)
+		if err != nil {
+			return
+		}
+		enc := Encode(v)
+		if !bytes.Equal(enc, data) {
+			t.Fatalf("accepted non-canonical input %x, re-encodes to %x", data, enc)
+		}
+	})
+}

@@ -1,0 +1,241 @@
+// Package rlp implements Recursive Length Prefix encoding, the
+// serialization used by Ethereum-style blockchains for transactions and
+// blocks (Fig. 3(a) of the MTPU paper). An RLP value is either a byte
+// string or a list of RLP values.
+package rlp
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Kind distinguishes the two RLP value categories.
+type Kind int
+
+const (
+	// String is a byte-string item.
+	String Kind = iota
+	// List is a sequence of nested items.
+	List
+)
+
+// Value is a decoded RLP item: either a byte string (Kind == String, Str
+// holds the bytes) or a list (Kind == List, Elems holds the children).
+type Value struct {
+	Kind  Kind
+	Str   []byte
+	Elems []Value
+}
+
+// StringValue wraps bytes as an RLP string item.
+func StringValue(b []byte) Value {
+	return Value{Kind: String, Str: b}
+}
+
+// Uint64Value encodes v as a minimal big-endian RLP string item.
+func Uint64Value(v uint64) Value {
+	return Value{Kind: String, Str: AppendUint64(nil, v)}
+}
+
+// ListValue wraps items as an RLP list.
+func ListValue(elems ...Value) Value {
+	if elems == nil {
+		elems = []Value{}
+	}
+	return Value{Kind: List, Elems: elems}
+}
+
+// Uint64 interprets a string item as a big-endian unsigned integer.
+func (v Value) Uint64() (uint64, error) {
+	if v.Kind != String {
+		return 0, errors.New("rlp: value is a list, not an integer")
+	}
+	if len(v.Str) > 8 {
+		return 0, errors.New("rlp: integer larger than 64 bits")
+	}
+	if len(v.Str) > 0 && v.Str[0] == 0 {
+		return 0, errors.New("rlp: integer has leading zero byte")
+	}
+	var out uint64
+	for _, b := range v.Str {
+		out = out<<8 | uint64(b)
+	}
+	return out, nil
+}
+
+// AppendUint64 appends the minimal big-endian representation of v to dst.
+// Zero encodes as the empty string.
+func AppendUint64(dst []byte, v uint64) []byte {
+	switch {
+	case v == 0:
+		return dst
+	case v < 1<<8:
+		return append(dst, byte(v))
+	case v < 1<<16:
+		return append(dst, byte(v>>8), byte(v))
+	case v < 1<<24:
+		return append(dst, byte(v>>16), byte(v>>8), byte(v))
+	case v < 1<<32:
+		return append(dst, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+	case v < 1<<40:
+		return append(dst, byte(v>>32), byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+	case v < 1<<48:
+		return append(dst, byte(v>>40), byte(v>>32), byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+	case v < 1<<56:
+		return append(dst, byte(v>>48), byte(v>>40), byte(v>>32), byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+	default:
+		return append(dst, byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32), byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+	}
+}
+
+// Encode returns the canonical RLP encoding of v.
+func Encode(v Value) []byte {
+	return appendValue(nil, v)
+}
+
+func appendValue(dst []byte, v Value) []byte {
+	if v.Kind == String {
+		return appendString(dst, v.Str)
+	}
+	var payload []byte
+	for _, e := range v.Elems {
+		payload = appendValue(payload, e)
+	}
+	dst = appendHeader(dst, 0xc0, len(payload))
+	return append(dst, payload...)
+}
+
+// EncodeBytes returns the RLP encoding of a single byte string.
+func EncodeBytes(b []byte) []byte {
+	return appendString(nil, b)
+}
+
+func appendString(dst, b []byte) []byte {
+	if len(b) == 1 && b[0] < 0x80 {
+		return append(dst, b[0])
+	}
+	dst = appendHeader(dst, 0x80, len(b))
+	return append(dst, b...)
+}
+
+func appendHeader(dst []byte, base byte, length int) []byte {
+	if length < 56 {
+		return append(dst, base+byte(length))
+	}
+	lenBytes := AppendUint64(nil, uint64(length))
+	dst = append(dst, base+55+byte(len(lenBytes)))
+	return append(dst, lenBytes...)
+}
+
+// Decoding errors.
+var (
+	ErrTruncated   = errors.New("rlp: input truncated")
+	ErrTrailing    = errors.New("rlp: trailing bytes after value")
+	ErrNonCanon    = errors.New("rlp: non-canonical encoding")
+	errLengthRange = errors.New("rlp: length exceeds input size")
+)
+
+// Decode parses exactly one RLP value from data, rejecting trailing bytes.
+func Decode(data []byte) (Value, error) {
+	v, rest, err := DecodePrefix(data)
+	if err != nil {
+		return Value{}, err
+	}
+	if len(rest) != 0 {
+		return Value{}, ErrTrailing
+	}
+	return v, nil
+}
+
+// DecodePrefix parses one RLP value from the front of data and returns the
+// remaining bytes.
+func DecodePrefix(data []byte) (Value, []byte, error) {
+	if len(data) == 0 {
+		return Value{}, nil, ErrTruncated
+	}
+	b := data[0]
+	switch {
+	case b < 0x80:
+		// Single byte, its own encoding.
+		return Value{Kind: String, Str: data[:1]}, data[1:], nil
+
+	case b < 0xb8:
+		// Short string.
+		n := int(b - 0x80)
+		if len(data) < 1+n {
+			return Value{}, nil, ErrTruncated
+		}
+		s := data[1 : 1+n]
+		if n == 1 && s[0] < 0x80 {
+			return Value{}, nil, ErrNonCanon
+		}
+		return Value{Kind: String, Str: s}, data[1+n:], nil
+
+	case b < 0xc0:
+		// Long string.
+		n, content, err := readLongLength(data, b-0xb7)
+		if err != nil {
+			return Value{}, nil, err
+		}
+		return Value{Kind: String, Str: content[:n]}, content[n:], nil
+
+	case b < 0xf8:
+		// Short list.
+		n := int(b - 0xc0)
+		if len(data) < 1+n {
+			return Value{}, nil, ErrTruncated
+		}
+		elems, err := decodeListPayload(data[1 : 1+n])
+		if err != nil {
+			return Value{}, nil, err
+		}
+		return Value{Kind: List, Elems: elems}, data[1+n:], nil
+
+	default:
+		// Long list.
+		n, content, err := readLongLength(data, b-0xf7)
+		if err != nil {
+			return Value{}, nil, err
+		}
+		elems, err := decodeListPayload(content[:n])
+		if err != nil {
+			return Value{}, nil, err
+		}
+		return Value{Kind: List, Elems: elems}, content[n:], nil
+	}
+}
+
+func readLongLength(data []byte, lenOfLen byte) (int, []byte, error) {
+	ll := int(lenOfLen)
+	if len(data) < 1+ll {
+		return 0, nil, ErrTruncated
+	}
+	lenBytes := data[1 : 1+ll]
+	if lenBytes[0] == 0 {
+		return 0, nil, ErrNonCanon
+	}
+	var n uint64
+	for _, lb := range lenBytes {
+		n = n<<8 | uint64(lb)
+	}
+	if n < 56 {
+		return 0, nil, ErrNonCanon
+	}
+	if n > uint64(len(data)-1-ll) {
+		return 0, nil, errLengthRange
+	}
+	return int(n), data[1+ll:], nil
+}
+
+func decodeListPayload(payload []byte) ([]Value, error) {
+	elems := []Value{}
+	for len(payload) > 0 {
+		v, rest, err := DecodePrefix(payload)
+		if err != nil {
+			return nil, fmt.Errorf("rlp: bad list element %d: %w", len(elems), err)
+		}
+		elems = append(elems, v)
+		payload = rest
+	}
+	return elems, nil
+}

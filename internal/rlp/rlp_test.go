@@ -1,0 +1,199 @@
+package rlp
+
+import (
+	"bytes"
+	"encoding/hex"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func mustHex(s string) []byte {
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Canonical vectors from the Ethereum wiki RLP test set.
+func TestEncodeVectors(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{StringValue([]byte("dog")), "83646f67"},
+		{ListValue(StringValue([]byte("cat")), StringValue([]byte("dog"))), "c88363617483646f67"},
+		{StringValue(nil), "80"},
+		{ListValue(), "c0"},
+		{Uint64Value(0), "80"},
+		{Uint64Value(15), "0f"},
+		{Uint64Value(1024), "820400"},
+		{StringValue([]byte{0x00}), "00"},
+		{StringValue([]byte{0x7f}), "7f"},
+		{StringValue([]byte{0x80}), "8180"},
+		// Nested: [ [], [[]], [ [], [[]] ] ].
+		{ListValue(
+			ListValue(),
+			ListValue(ListValue()),
+			ListValue(ListValue(), ListValue(ListValue())),
+		), "c7c0c1c0c3c0c1c0"},
+		{StringValue([]byte("Lorem ipsum dolor sit amet, consectetur adipisicing elit")),
+			"b8384c6f72656d20697073756d20646f6c6f722073697420616d65742c20636f6e7365637465747572206164697069736963696e6720656c6974"},
+	}
+	for i, c := range cases {
+		got := Encode(c.v)
+		if !bytes.Equal(got, mustHex(c.want)) {
+			t.Errorf("case %d: got %x, want %s", i, got, c.want)
+		}
+	}
+}
+
+func TestDecodeVectors(t *testing.T) {
+	v, err := Decode(mustHex("c88363617483646f67"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Kind != List || len(v.Elems) != 2 ||
+		string(v.Elems[0].Str) != "cat" || string(v.Elems[1].Str) != "dog" {
+		t.Fatalf("decoded %+v", v)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := []struct {
+		in   string
+		name string
+	}{
+		{"", "empty"},
+		{"83646f", "truncated short string"},
+		{"b838", "truncated long string header"},
+		{"8100", "non-canonical single byte"},
+		{"b800", "zero-length long string"}, // length < 56 must use short form
+		{"b90000", "leading zero length"},
+		{"c88363617483646f6700", "trailing bytes"},
+		{"bfffffffffffffffff01", "length exceeds input"},
+	}
+	for _, c := range cases {
+		if _, err := Decode(mustHex(c.in)); err == nil {
+			t.Errorf("%s (%s): expected error", c.name, c.in)
+		}
+	}
+}
+
+func TestUint64RoundTrip(t *testing.T) {
+	values := []uint64{0, 1, 127, 128, 255, 256, 1 << 16, 1<<24 - 1, 1 << 32, 1<<56 + 5, ^uint64(0)}
+	for _, v := range values {
+		enc := Encode(Uint64Value(v))
+		dec, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("decode %d: %v", v, err)
+		}
+		got, err := dec.Uint64()
+		if err != nil {
+			t.Fatalf("uint64 %d: %v", v, err)
+		}
+		if got != v {
+			t.Fatalf("round-trip %d -> %d", v, got)
+		}
+	}
+}
+
+func TestUint64Errors(t *testing.T) {
+	if _, err := ListValue().Uint64(); err == nil {
+		t.Error("list as integer accepted")
+	}
+	if _, err := StringValue(make([]byte, 9)).Uint64(); err == nil {
+		t.Error("9-byte integer accepted")
+	}
+	if _, err := (Value{Kind: String, Str: []byte{0, 1}}).Uint64(); err == nil {
+		t.Error("leading-zero integer accepted")
+	}
+}
+
+// randValue builds a random RLP tree.
+func randValue(r *rand.Rand, depth int) Value {
+	if depth == 0 || r.Intn(3) > 0 {
+		n := r.Intn(100)
+		if r.Intn(10) == 0 {
+			n = 56 + r.Intn(300) // exercise long-string headers
+		}
+		b := make([]byte, n)
+		r.Read(b)
+		return StringValue(b)
+	}
+	n := r.Intn(5)
+	elems := make([]Value, n)
+	for i := range elems {
+		elems[i] = randValue(r, depth-1)
+	}
+	return ListValue(elems...)
+}
+
+func valueEqual(a, b Value) bool {
+	if a.Kind != b.Kind {
+		return false
+	}
+	if a.Kind == String {
+		return bytes.Equal(a.Str, b.Str)
+	}
+	if len(a.Elems) != len(b.Elems) {
+		return false
+	}
+	for i := range a.Elems {
+		if !valueEqual(a.Elems[i], b.Elems[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for i := 0; i < 2000; i++ {
+		v := randValue(r, 4)
+		enc := Encode(v)
+		dec, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("iteration %d: decode: %v", i, err)
+		}
+		if !valueEqual(v, dec) {
+			t.Fatalf("iteration %d: round-trip mismatch", i)
+		}
+		// Re-encoding must be canonical (byte-identical).
+		if !bytes.Equal(Encode(dec), enc) {
+			t.Fatalf("iteration %d: non-canonical re-encode", i)
+		}
+	}
+}
+
+func TestLongList(t *testing.T) {
+	// A list whose payload exceeds 55 bytes must use the long-list header.
+	var elems []Value
+	for i := 0; i < 30; i++ {
+		elems = append(elems, StringValue([]byte("xy")))
+	}
+	enc := Encode(ListValue(elems...))
+	if enc[0] < 0xf8 {
+		t.Fatalf("expected long-list header, got 0x%02x", enc[0])
+	}
+	dec, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.Elems) != 30 {
+		t.Fatalf("got %d elements", len(dec.Elems))
+	}
+}
+
+func TestVeryLongString(t *testing.T) {
+	s := strings.Repeat("z", 70000) // needs a 3-byte length
+	enc := EncodeBytes([]byte(s))
+	dec, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(dec.Str) != s {
+		t.Fatal("long string mismatch")
+	}
+}

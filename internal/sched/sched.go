@@ -1,0 +1,338 @@
+// Package sched implements the transaction scheduling algorithms of the
+// paper: the spatio-temporal scheduling of §3.2 (asynchronous PU-driven
+// selection over a candidate window, steered by the Scheduling Table's
+// dependency and redundancy bitmaps and the Transaction Table's locks and
+// redundancy values), plus the synchronous (barrier) and sequential
+// baselines it is evaluated against in Figs. 14-16.
+package sched
+
+import (
+	"fmt"
+	"math"
+
+	"mtpu/internal/types"
+)
+
+// Engine abstracts the hardware the scheduler drives: Dispatch simulates
+// the transaction on the PU (mutating its microarchitectural state, so
+// redundant transactions landing on the same PU naturally reuse its DB
+// cache and contexts) and returns the cycle cost. Redundancy steering is
+// handled by the Scheduling Table itself (table.go).
+type Engine interface {
+	Dispatch(pu, tx int) uint64
+}
+
+// Dispatch records one scheduled execution.
+type Dispatch struct {
+	Tx, PU     int
+	Start, End uint64
+}
+
+// Result summarizes one scheduled block execution.
+type Result struct {
+	Makespan   uint64
+	Dispatches []Dispatch
+	// BusyCycles per PU, for the utilization of Fig. 15.
+	BusyCycles []uint64
+	// RedundantSteers counts selections that matched the PU's last
+	// contract (the Re-bit fast path of §3.2.2).
+	RedundantSteers int
+}
+
+// Utilization returns busy/(PUs × makespan), the Fig. 15 metric.
+func (r Result) Utilization() float64 {
+	if r.Makespan == 0 || len(r.BusyCycles) == 0 {
+		return 0
+	}
+	var busy uint64
+	for _, b := range r.BusyCycles {
+		busy += b
+	}
+	return float64(busy) / (float64(r.Makespan) * float64(len(r.BusyCycles)))
+}
+
+// Sequential executes every transaction in block order on PU 0.
+func Sequential(n int, e Engine) Result {
+	res := Result{BusyCycles: make([]uint64, 1)}
+	var now uint64
+	for tx := 0; tx < n; tx++ {
+		cost := e.Dispatch(0, tx)
+		res.Dispatches = append(res.Dispatches, Dispatch{Tx: tx, PU: 0, Start: now, End: now + cost})
+		now += cost
+	}
+	res.Makespan = now
+	res.BusyCycles[0] = now
+	return res
+}
+
+// Synchronous executes the block in barrier rounds: each round takes up
+// to numPUs transactions whose dependencies have all completed, runs them
+// in parallel, and waits for the slowest before starting the next round —
+// the conventional software approach of §4.3's first comparison point.
+func Synchronous(dag *types.DAG, numPUs int, overhead uint64, e Engine) Result {
+	n := dag.Len()
+	res := Result{BusyCycles: make([]uint64, numPUs)}
+	completed := make([]bool, n)
+	done := 0
+	var now uint64
+
+	for done < n {
+		// Collect this round's ready set in block order.
+		var round []int
+		for tx := 0; tx < n && len(round) < numPUs; tx++ {
+			if completed[tx] {
+				continue
+			}
+			ready := true
+			for _, d := range dag.Deps[tx] {
+				if !completed[d] {
+					ready = false
+					break
+				}
+			}
+			if ready {
+				round = append(round, tx)
+			}
+		}
+		if len(round) == 0 {
+			panic("sched: no ready transactions — cyclic DAG")
+		}
+		var roundEnd uint64
+		for i, tx := range round {
+			cost := e.Dispatch(i, tx) + overhead
+			end := now + cost
+			res.Dispatches = append(res.Dispatches, Dispatch{Tx: tx, PU: i, Start: now, End: end})
+			res.BusyCycles[i] += cost
+			if end > roundEnd {
+				roundEnd = end
+			}
+		}
+		for _, tx := range round {
+			completed[tx] = true
+		}
+		done += len(round)
+		now = roundEnd
+	}
+	res.Makespan = now
+	return res
+}
+
+// stState is the CPU-side bookkeeping around the Fig. 6 hardware tables:
+// which transactions have completed or are running (and on which PU),
+// plus the per-contract remaining-invocation counts behind the V values.
+type stState struct {
+	dag       *types.DAG
+	contracts []types.Address
+
+	completed []bool
+	running   []bool
+	admitted  []bool
+	runningTx []int // per PU; -1 when idle
+
+	tables *Tables
+
+	lastContract []types.Address
+
+	// remaining counts pending+running transactions per contract; a
+	// transaction's V value is remaining[contract]-1.
+	remaining map[types.Address]int
+}
+
+func newSTState(dag *types.DAG, contracts []types.Address, numPUs, m int) *stState {
+	n := dag.Len()
+	s := &stState{
+		dag:          dag,
+		contracts:    contracts,
+		completed:    make([]bool, n),
+		running:      make([]bool, n),
+		admitted:     make([]bool, n),
+		runningTx:    make([]int, numPUs),
+		tables:       NewTables(numPUs, m),
+		lastContract: make([]types.Address, numPUs),
+		remaining:    make(map[types.Address]int),
+	}
+	for i := range s.runningTx {
+		s.runningTx[i] = -1
+	}
+	for _, c := range contracts {
+		s.remaining[c]++
+	}
+	s.refill()
+	return s
+}
+
+// value is the Transaction Table V entry: how many more times the
+// transaction's contract will be executed.
+func (s *stState) value(tx int) int {
+	return s.remaining[s.contracts[tx]] - 1
+}
+
+// eligible reports whether every dependency is completed or running —
+// the §3.2.1 admission rule ("the indegree of these transactions is 0",
+// counting only unscheduled transactions).
+func (s *stState) eligible(tx int) bool {
+	for _, d := range s.dag.Deps[tx] {
+		if !s.completed[d] && !s.running[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// dependsOn reports a DAG edge from the tx running on PU p to tx.
+func (s *stState) dependsOnPU(p, tx int) bool {
+	r := s.runningTx[p]
+	if r < 0 {
+		return false
+	}
+	for _, d := range s.dag.Deps[tx] {
+		if d == r {
+			return true
+		}
+	}
+	return false
+}
+
+// redundantWithPU reports whether tx calls the contract PU p ran last.
+func (s *stState) redundantWithPU(p, tx int) bool {
+	c := s.lastContract[p]
+	return !c.IsZero() && s.contracts[tx] == c
+}
+
+// refill tops the candidate window up (step 4 of Fig. 6): transactions
+// calling the same contract as one currently being executed are
+// prioritized, then larger V (§3.2.1).
+func (s *stState) refill() {
+	runningContracts := make(map[types.Address]bool)
+	for _, tx := range s.runningTx {
+		if tx >= 0 {
+			runningContracts[s.contracts[tx]] = true
+		}
+	}
+	for {
+		slot := s.tables.FreeSlot()
+		if slot < 0 {
+			return
+		}
+		best := -1
+		bestKey := math.MinInt
+		for tx := 0; tx < s.dag.Len(); tx++ {
+			if s.admitted[tx] || s.completed[tx] || s.running[tx] || !s.eligible(tx) {
+				continue
+			}
+			key := s.value(tx) * 2
+			if runningContracts[s.contracts[tx]] {
+				key += s.dag.Len() * 4 // same-contract priority dominates
+			}
+			// Ascending iteration keeps the earliest index on ties.
+			if key > bestKey {
+				best, bestKey = tx, key
+			}
+		}
+		if best < 0 {
+			return
+		}
+		s.admitted[best] = true
+		tx := best
+		s.tables.Write(slot, tx, s.value(tx),
+			func(p int) bool { return s.dependsOnPU(p, tx) },
+			func(p int) bool { return s.redundantWithPU(p, tx) })
+	}
+}
+
+// dispatch selects a transaction for PU p through the tables and updates
+// the Scheduling Table for the new running set.
+func (s *stState) dispatch(p int) (tx int, redundant bool) {
+	tx, redundant = s.tables.Select(p)
+	if tx < 0 {
+		return -1, false
+	}
+	s.running[tx] = true
+	s.runningTx[p] = tx
+	s.lastContract[p] = s.contracts[tx]
+	s.tables.SetRunning(p,
+		func(cand int) bool {
+			for _, d := range s.dag.Deps[cand] {
+				if d == tx {
+					return true
+				}
+			}
+			return false
+		},
+		func(cand int) bool { return s.contracts[cand] == s.contracts[tx] })
+	return tx, redundant
+}
+
+// complete retires PU p's transaction.
+func (s *stState) complete(p int) {
+	tx := s.runningTx[p]
+	s.runningTx[p] = -1
+	s.running[tx] = false
+	s.completed[tx] = true
+	s.remaining[s.contracts[tx]]--
+	s.tables.ClearRunning(p)
+}
+
+// SpatialTemporal runs the spatio-temporal scheduling algorithm of §3.2
+// as a discrete-event simulation: PUs asynchronously pull the best
+// candidate when they free up; the CPU refills the window off the
+// critical path.
+func SpatialTemporal(dag *types.DAG, contracts []types.Address, numPUs, window int, overhead uint64, e Engine) Result {
+	n := dag.Len()
+	if len(contracts) != n {
+		panic(fmt.Sprintf("sched: %d contracts for %d transactions", len(contracts), n))
+	}
+	res := Result{BusyCycles: make([]uint64, numPUs)}
+	if n == 0 {
+		return res
+	}
+	s := newSTState(dag, contracts, numPUs, window)
+
+	puBusyUntil := make([]uint64, numPUs)
+	var now uint64
+	done := 0
+
+	for done < n {
+		// Give work to every idle PU, in PU order (deterministic).
+		for p := 0; p < numPUs; p++ {
+			if s.runningTx[p] >= 0 {
+				continue
+			}
+			tx, redundant := s.dispatch(p)
+			if tx < 0 {
+				continue
+			}
+			if redundant {
+				res.RedundantSteers++
+			}
+			cost := e.Dispatch(p, tx) + overhead
+			puBusyUntil[p] = now + cost
+			res.Dispatches = append(res.Dispatches, Dispatch{Tx: tx, PU: p, Start: now, End: now + cost})
+			res.BusyCycles[p] += cost
+			// CPU writes replacement candidates into the freed slot.
+			s.refill()
+		}
+
+		// Advance to the next completion.
+		next := uint64(math.MaxUint64)
+		for p := 0; p < numPUs; p++ {
+			if s.runningTx[p] >= 0 && puBusyUntil[p] < next {
+				next = puBusyUntil[p]
+			}
+		}
+		if next == math.MaxUint64 {
+			panic("sched: deadlock — idle PUs with pending transactions (cyclic DAG?)")
+		}
+		now = next
+		for p := 0; p < numPUs; p++ {
+			if s.runningTx[p] >= 0 && puBusyUntil[p] == now {
+				s.complete(p)
+				done++
+			}
+		}
+		// Completions may make new transactions eligible.
+		s.refill()
+	}
+	res.Makespan = now
+	return res
+}

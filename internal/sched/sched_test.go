@@ -1,0 +1,314 @@
+package sched
+
+import (
+	"testing"
+
+	"mtpu/internal/types"
+)
+
+// fakeEngine assigns fixed per-transaction costs and tracks the dispatch
+// order and PU assignment.
+type fakeEngine struct {
+	costs     []uint64
+	contracts []types.Address
+	last      []types.Address
+	order     []int
+	puOf      map[int]int
+}
+
+func newFake(costs []uint64, contracts []types.Address, pus int) *fakeEngine {
+	return &fakeEngine{
+		costs:     costs,
+		contracts: contracts,
+		last:      make([]types.Address, pus),
+		puOf:      make(map[int]int),
+	}
+}
+
+func (f *fakeEngine) Dispatch(pu, tx int) uint64 {
+	f.order = append(f.order, tx)
+	f.puOf[tx] = pu
+	if f.contracts != nil {
+		f.last[pu] = f.contracts[tx]
+	}
+	return f.costs[tx]
+}
+
+func uniform(n int, c uint64) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = c
+	}
+	return out
+}
+
+func addrs(ids ...byte) []types.Address {
+	out := make([]types.Address, len(ids))
+	for i, id := range ids {
+		out[i] = types.BytesToAddress([]byte{id})
+	}
+	return out
+}
+
+func TestSequentialSumsCosts(t *testing.T) {
+	e := newFake([]uint64{5, 7, 11}, nil, 1)
+	res := Sequential(3, e)
+	if res.Makespan != 23 {
+		t.Fatalf("makespan %d", res.Makespan)
+	}
+	if res.Utilization() != 1.0 {
+		t.Fatalf("utilization %f", res.Utilization())
+	}
+	if len(res.Dispatches) != 3 || res.Dispatches[2].Start != 12 {
+		t.Fatalf("dispatches %+v", res.Dispatches)
+	}
+}
+
+func TestSynchronousBarriers(t *testing.T) {
+	// 4 independent txs, 2 PUs, costs 10,1,10,1: rounds (10,1) and (10,1)
+	// → each round takes 10 → makespan 20. Async would finish in ~11.
+	dag := types.NewDAG(4)
+	e := newFake([]uint64{10, 1, 10, 1}, nil, 2)
+	res := Synchronous(dag, 2, 0, e)
+	if res.Makespan != 20 {
+		t.Fatalf("makespan %d, want 20", res.Makespan)
+	}
+}
+
+func TestSynchronousRespectsDAG(t *testing.T) {
+	dag := types.NewDAG(3)
+	dag.AddEdge(0, 1)
+	dag.AddEdge(1, 2)
+	e := newFake(uniform(3, 5), nil, 4)
+	res := Synchronous(dag, 4, 0, e)
+	if res.Makespan != 15 { // pure chain: three rounds
+		t.Fatalf("chain makespan %d", res.Makespan)
+	}
+	if e.order[0] != 0 || e.order[1] != 1 || e.order[2] != 2 {
+		t.Fatalf("order %v", e.order)
+	}
+}
+
+func TestSynchronousCyclePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on cyclic DAG")
+		}
+	}()
+	dag := types.NewDAG(2)
+	dag.Deps[0] = []int{1} // manufactured cycle 0↔1
+	dag.Deps[1] = []int{0}
+	Synchronous(dag, 2, 0, newFake(uniform(2, 1), nil, 2))
+}
+
+func stRun(t *testing.T, dag *types.DAG, costs []uint64, contracts []types.Address, pus int) (*fakeEngine, Result) {
+	t.Helper()
+	if contracts == nil {
+		contracts = make([]types.Address, len(costs))
+	}
+	e := newFake(costs, contracts, pus)
+	res := SpatialTemporal(dag, contracts, pus, 8, 0, e)
+	// Global invariants.
+	seen := map[int]bool{}
+	for _, d := range res.Dispatches {
+		if seen[d.Tx] {
+			t.Fatalf("tx %d dispatched twice", d.Tx)
+		}
+		seen[d.Tx] = true
+	}
+	if len(seen) != len(costs) {
+		t.Fatalf("%d of %d txs dispatched", len(seen), len(costs))
+	}
+	// DAG order: a tx starts only after its deps ended.
+	endOf := map[int]uint64{}
+	for _, d := range res.Dispatches {
+		endOf[d.Tx] = d.End
+	}
+	for _, d := range res.Dispatches {
+		for _, dep := range dag.Deps[d.Tx] {
+			if endOf[dep] > d.Start {
+				t.Fatalf("tx %d started at %d before dep %d ended at %d",
+					d.Tx, d.Start, dep, endOf[dep])
+			}
+		}
+	}
+	return e, res
+}
+
+func TestSpatialTemporalIndependentSaturates(t *testing.T) {
+	dag := types.NewDAG(8)
+	_, res := stRun(t, dag, uniform(8, 10), nil, 4)
+	if res.Makespan != 20 { // 8 txs / 4 PUs × 10
+		t.Fatalf("makespan %d", res.Makespan)
+	}
+	if res.Utilization() != 1.0 {
+		t.Fatalf("utilization %f", res.Utilization())
+	}
+}
+
+func TestSpatialTemporalChainSerializes(t *testing.T) {
+	dag := types.NewDAG(4)
+	dag.AddEdge(0, 1)
+	dag.AddEdge(1, 2)
+	dag.AddEdge(2, 3)
+	_, res := stRun(t, dag, uniform(4, 10), nil, 4)
+	if res.Makespan != 40 {
+		t.Fatalf("chain makespan %d", res.Makespan)
+	}
+}
+
+func TestSpatialTemporalBeatsSynchronousOnSkew(t *testing.T) {
+	// One long tx plus many short: async backfills the other PU.
+	costs := []uint64{100, 10, 10, 10, 10, 10, 10, 10, 10, 10, 10}
+	dag := types.NewDAG(len(costs))
+	eSync := newFake(costs, nil, 2)
+	sync := Synchronous(dag, 2, 0, eSync)
+	_, st := stRun(t, dag, costs, nil, 2)
+	if st.Makespan > sync.Makespan {
+		t.Fatalf("ST %d worse than sync %d", st.Makespan, sync.Makespan)
+	}
+	if st.Makespan != 100 { // 100 on one PU; 10×10=100 on the other
+		t.Fatalf("ST makespan %d", st.Makespan)
+	}
+}
+
+func TestRedundancySteering(t *testing.T) {
+	// Contracts A,B alternating; 2 PUs. With steering, each PU should
+	// stick to one contract.
+	n := 12
+	cs := make([]types.Address, n)
+	a, b := types.BytesToAddress([]byte{1}), types.BytesToAddress([]byte{2})
+	for i := range cs {
+		if i%2 == 0 {
+			cs[i] = a
+		} else {
+			cs[i] = b
+		}
+	}
+	dag := types.NewDAG(n)
+	e, res := stRun(t, dag, uniform(n, 10), cs, 2)
+	if res.RedundantSteers < n-4 {
+		t.Fatalf("only %d redundant steers", res.RedundantSteers)
+	}
+	// Check affinity: each PU saw only one contract after warmup.
+	seen := map[int]map[types.Address]bool{}
+	for tx, pu := range e.puOf {
+		if seen[pu] == nil {
+			seen[pu] = map[types.Address]bool{}
+		}
+		seen[pu][cs[tx]] = true
+	}
+	for pu, set := range seen {
+		if len(set) > 1 {
+			t.Fatalf("PU %d executed %d contracts (steering failed)", pu, len(set))
+		}
+	}
+}
+
+func TestVValuePriority(t *testing.T) {
+	// Window sees a tx whose contract has many future invocations; it
+	// should be preferred over a one-off when no redundancy applies.
+	n := 6
+	hot := types.BytesToAddress([]byte{9})
+	cold := types.BytesToAddress([]byte{1})
+	cs := []types.Address{cold, hot, hot, hot, hot, hot}
+	dag := types.NewDAG(n)
+	e := newFake(uniform(n, 10), cs, 1)
+	SpatialTemporal(dag, cs, 1, 8, 0, e)
+	// First pick: the hot contract (V=4) over the cold one (V=0).
+	if cs[e.order[0]] != hot {
+		t.Fatalf("first dispatch was %v", e.order)
+	}
+}
+
+func TestWindowLimitsCandidates(t *testing.T) {
+	// With window=1 the scheduler is forced into block order.
+	n := 6
+	cs := make([]types.Address, n)
+	dag := types.NewDAG(n)
+	e := newFake(uniform(n, 10), cs, 1)
+	SpatialTemporal(dag, cs, 1, 1, 0, e)
+	for i, tx := range e.order {
+		if tx != i {
+			t.Fatalf("window=1 order %v", e.order)
+		}
+	}
+}
+
+func TestScheduleOverheadCharged(t *testing.T) {
+	dag := types.NewDAG(2)
+	e := newFake(uniform(2, 10), nil, 1)
+	res := SpatialTemporal(dag, make([]types.Address, 2), 1, 4, 5, e)
+	if res.Makespan != 30 { // 2 × (10+5)
+		t.Fatalf("makespan %d with overhead", res.Makespan)
+	}
+}
+
+func TestSpatialTemporalDeterminism(t *testing.T) {
+	dag := types.NewDAG(20)
+	for i := 2; i < 20; i += 3 {
+		dag.AddEdge(i-2, i)
+	}
+	cs := make([]types.Address, 20)
+	for i := range cs {
+		cs[i] = types.BytesToAddress([]byte{byte(i % 3)})
+	}
+	run := func() []int {
+		e := newFake(uniform(20, 7), cs, 4)
+		SpatialTemporal(dag, cs, 4, 8, 0, e)
+		return e.order
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic order at %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestEmptyBlock(t *testing.T) {
+	res := SpatialTemporal(types.NewDAG(0), nil, 4, 8, 0, newFake(nil, nil, 4))
+	if res.Makespan != 0 || len(res.Dispatches) != 0 {
+		t.Fatalf("%+v", res)
+	}
+	if Sequential(0, newFake(nil, nil, 1)).Makespan != 0 {
+		t.Fatal("sequential empty")
+	}
+}
+
+func TestContractsLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	SpatialTemporal(types.NewDAG(3), make([]types.Address, 2), 1, 4, 0, newFake(uniform(3, 1), nil, 1))
+}
+
+func TestUtilizationZeroCases(t *testing.T) {
+	if (Result{}).Utilization() != 0 {
+		t.Fatal("empty result utilization")
+	}
+}
+
+func TestDependentTxWaitsForRunningDep(t *testing.T) {
+	// T1 depends on T0 (long). A second PU must not grab T1 early; it
+	// takes independent T2 instead.
+	dag := types.NewDAG(3)
+	dag.AddEdge(0, 1)
+	costs := []uint64{50, 10, 10}
+	e, res := stRun(t, dag, costs, nil, 2)
+	_ = e
+	var d1 Dispatch
+	for _, d := range res.Dispatches {
+		if d.Tx == 1 {
+			d1 = d
+		}
+	}
+	if d1.Start < 50 {
+		t.Fatalf("T1 started at %d while T0 still running", d1.Start)
+	}
+	if res.Makespan != 60 {
+		t.Fatalf("makespan %d", res.Makespan)
+	}
+}

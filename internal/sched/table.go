@@ -1,0 +1,199 @@
+package sched
+
+// This file implements the hardware data structures of Fig. 6 bit for
+// bit: the candidate window in main memory, the per-PU Scheduling Table
+// rows (dependency bitmap De, redundancy bitmap Re, validity bit) and the
+// Transaction Table (lock bit L, redundancy value V). The discrete-event
+// scheduler drives them exactly as the paper's selection flow describes;
+// transaction selection costs O(m) bit operations (§3.2.3).
+
+// bitmap is a fixed-width bit vector over the m candidate slots.
+type bitmap []uint64
+
+func newBitmap(m int) bitmap {
+	return make(bitmap, (m+63)/64)
+}
+
+func (b bitmap) set(i int, v bool) {
+	if v {
+		b[i/64] |= 1 << (i % 64)
+	} else {
+		b[i/64] &^= 1 << (i % 64)
+	}
+}
+
+func (b bitmap) get(i int) bool {
+	return b[i/64]&(1<<(i%64)) != 0
+}
+
+func (b bitmap) clear() {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// orInto accumulates b into dst.
+func (b bitmap) orInto(dst bitmap) {
+	for i := range b {
+		dst[i] |= b[i]
+	}
+}
+
+// Tables bundles the candidate window with the Scheduling Table and
+// Transaction Table state for numPUs processing units and m slots.
+type Tables struct {
+	m int
+
+	// Candidate window (main memory): transaction index per slot, -1 free.
+	slot []int
+
+	// Transaction Table.
+	locked []bool // L: slot is being read by a PU
+	value  []int  // V: remaining redundancy degree of the slot's contract
+
+	// Scheduling Table: one row per PU.
+	de    []bitmap // De: slot depends on the tx running on this PU
+	re    []bitmap // Re: slot is redundant with the tx running on this PU
+	valid []bool   // validity bit guarding asynchronous updates
+}
+
+// NewTables builds empty tables.
+func NewTables(numPUs, m int) *Tables {
+	t := &Tables{
+		m:      m,
+		slot:   make([]int, m),
+		locked: make([]bool, m),
+		value:  make([]int, m),
+		de:     make([]bitmap, numPUs),
+		re:     make([]bitmap, numPUs),
+		valid:  make([]bool, numPUs),
+	}
+	for i := range t.slot {
+		t.slot[i] = -1
+	}
+	for p := range t.de {
+		t.de[p] = newBitmap(m)
+		t.re[p] = newBitmap(m)
+	}
+	return t
+}
+
+// FreeSlot returns an unoccupied slot index, or -1 if the window is full.
+func (t *Tables) FreeSlot() int {
+	for i, tx := range t.slot {
+		if tx < 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// Write places tx into a free slot with redundancy value v and fills the
+// per-PU De/Re bits from the supplied predicates (step 4-5 of Fig. 6).
+// De bits are meaningful only while the PU's row is valid (a running
+// transaction); Re bits track redundancy with the PU's current or most
+// recent transaction, which is what steers the next pick.
+func (t *Tables) Write(slotIdx, tx, v int, dependsOnPU, redundantWithPU func(pu int) bool) {
+	t.slot[slotIdx] = tx
+	t.locked[slotIdx] = false
+	t.value[slotIdx] = v
+	for p := range t.de {
+		t.de[p].set(slotIdx, t.valid[p] && dependsOnPU(p))
+		t.re[p].set(slotIdx, redundantWithPU(p))
+	}
+}
+
+// SetRunning refreshes PU p's Scheduling-Table row after it starts a new
+// transaction: its De/Re bits are recomputed for every occupied slot and
+// the row becomes valid.
+func (t *Tables) SetRunning(p int, dependsOn, redundantWith func(tx int) bool) {
+	t.de[p].clear()
+	t.re[p].clear()
+	for i, tx := range t.slot {
+		if tx < 0 {
+			continue
+		}
+		t.de[p].set(i, dependsOn(tx))
+		t.re[p].set(i, redundantWith(tx))
+	}
+	t.valid[p] = true
+}
+
+// ClearRunning invalidates PU p's dependency row when its transaction
+// completes. Invalid dependencies are treated as all zeros (§3.2.2): the
+// completed transaction no longer blocks others. The Re row survives —
+// redundancy with the just-finished transaction is exactly what the next
+// selection exploits for DB-cache and context reuse.
+func (t *Tables) ClearRunning(p int) {
+	t.de[p].clear()
+	t.valid[p] = false
+}
+
+// Select implements the PU-side flow for PU p (steps 1-2 of Fig. 6):
+// compute the availability mask from the OTHER PUs' dependency bitmaps,
+// prefer an available slot whose Re bit is set for p, otherwise take the
+// largest V. It locks and frees the chosen slot, returning the
+// transaction index (or -1 when nothing is selectable).
+func (t *Tables) Select(p int) (tx int, redundant bool) {
+	// Step 1: blocked = OR of valid De rows of all PUs except p.
+	blocked := newBitmap(t.m)
+	for q := range t.de {
+		if q == p || !t.valid[q] {
+			continue
+		}
+		t.de[q].orInto(blocked)
+	}
+
+	best, bestV := -1, -1
+	bestRe := false
+	for i, candidate := range t.slot {
+		if candidate < 0 || t.locked[i] || blocked.get(i) {
+			continue
+		}
+		isRe := t.re[p].get(i)
+		better := false
+		switch {
+		case best < 0:
+			better = true
+		case isRe != bestRe:
+			better = isRe // step 2: redundancy takes priority
+		case t.value[i] != bestV:
+			better = t.value[i] > bestV
+		default:
+			better = t.slot[i] < t.slot[best]
+		}
+		if better {
+			best, bestV, bestRe = i, t.value[i], isRe
+		}
+	}
+	if best < 0 {
+		return -1, false
+	}
+	// Lock until the read completes, then the CPU reclaims the slot.
+	t.locked[best] = true
+	tx = t.slot[best]
+	t.slot[best] = -1
+	t.locked[best] = false
+	return tx, bestRe
+}
+
+// Occupied returns the transactions currently in the window.
+func (t *Tables) Occupied() []int {
+	var out []int
+	for _, tx := range t.slot {
+		if tx >= 0 {
+			out = append(out, tx)
+		}
+	}
+	return out
+}
+
+// Contains reports whether tx sits in some slot.
+func (t *Tables) Contains(tx int) bool {
+	for _, s := range t.slot {
+		if s == tx {
+			return true
+		}
+	}
+	return false
+}

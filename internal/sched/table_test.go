@@ -1,0 +1,162 @@
+package sched
+
+import "testing"
+
+// TestFig6Walkthrough reproduces the paper's Fig. 6 example on the raw
+// tables: three PUs run T0/T1/Ta; candidates are [T2 T3 T4 Tb Tc] with
+// T2,T3,T4 depending on T0 (De of PU0 = 11100) and T4 also on T1 (De of
+// PU1 = 00100); T0's contract SC1 is also called by T2 and T4 (Re of PU0
+// = 10100). When PU0 finishes T0, availability from the other PUs' De is
+// 11011 → {T2,T3,Tb,Tc}, and the Re bit picks T2.
+func TestFig6Walkthrough(t *testing.T) {
+	const (
+		T0, T1, Ta = 0, 1, 10
+		T2, T3, T4 = 2, 3, 4
+		Tb, Tc     = 11, 12
+	)
+	deps := map[int][]int{
+		T2: {T0}, T3: {T0}, T4: {T0, T1},
+	}
+	contract := map[int]int{ // SC ids
+		T0: 1, T2: 1, T4: 1, // SC1
+		T1: 2, T3: 3, Ta: 4, Tb: 5, Tc: 6,
+	}
+
+	tb := NewTables(3, 5)
+	running := map[int]int{0: T0, 1: T1, 2: Ta}
+	setRow := func(pu int) {
+		tb.SetRunning(pu,
+			func(cand int) bool {
+				for _, d := range deps[cand] {
+					if d == running[pu] {
+						return true
+					}
+				}
+				return false
+			},
+			func(cand int) bool { return contract[cand] == contract[running[pu]] })
+	}
+	setRow(0)
+	setRow(1)
+	setRow(2)
+
+	for i, tx := range []int{T2, T3, T4, Tb, Tc} {
+		tx := tx
+		tb.Write(i, tx, 0,
+			func(pu int) bool {
+				for _, d := range deps[tx] {
+					if d == running[pu] {
+						return true
+					}
+				}
+				return false
+			},
+			func(pu int) bool { return contract[tx] == contract[running[pu]] })
+	}
+
+	// De of PU0 over [T2 T3 T4 Tb Tc] = 11100; Re of PU0 = 10100.
+	for i, want := range []bool{true, true, true, false, false} {
+		if tb.de[0].get(i) != want {
+			t.Fatalf("De[PU0] bit %d = %v", i, tb.de[0].get(i))
+		}
+	}
+	for i, want := range []bool{true, false, true, false, false} {
+		if tb.re[0].get(i) != want {
+			t.Fatalf("Re[PU0] bit %d = %v", i, tb.re[0].get(i))
+		}
+	}
+	// De of PU1 = 00100 (only T4 depends on T1).
+	for i, want := range []bool{false, false, true, false, false} {
+		if tb.de[1].get(i) != want {
+			t.Fatalf("De[PU1] bit %d = %v", i, tb.de[1].get(i))
+		}
+	}
+
+	// PU0 finishes T0 and selects: T4 is blocked by PU1's De; T2 wins on Re.
+	tb.ClearRunning(0)
+	got, redundant := tb.Select(0)
+	if got != T2 {
+		t.Fatalf("PU0 selected T%d, want T2", got)
+	}
+	if !redundant {
+		t.Fatal("T2 selection not flagged redundant")
+	}
+	if tb.Contains(T2) {
+		t.Fatal("selected slot not freed")
+	}
+}
+
+func TestTablesSelectBlockedByRunningDep(t *testing.T) {
+	tb := NewTables(2, 4)
+	// PU1 runs tx 9; candidate 5 depends on it.
+	tb.SetRunning(1, func(int) bool { return false }, func(int) bool { return false })
+	tb.Write(0, 5, 0,
+		func(pu int) bool { return pu == 1 },
+		func(int) bool { return false })
+	if tx, _ := tb.Select(0); tx != -1 {
+		t.Fatalf("selected %d despite running dependency", tx)
+	}
+	// Completion unblocks it.
+	tb.ClearRunning(1)
+	if tx, _ := tb.Select(0); tx != 5 {
+		t.Fatalf("selected %d after dep completion", tx)
+	}
+}
+
+func TestTablesVPriority(t *testing.T) {
+	tb := NewTables(1, 4)
+	noDep := func(int) bool { return false }
+	tb.Write(0, 7, 1, noDep, noDep2)
+	tb.Write(1, 8, 5, noDep, noDep2)
+	tb.Write(2, 9, 3, noDep, noDep2)
+	if tx, _ := tb.Select(0); tx != 8 {
+		t.Fatalf("selected %d, want the largest V (8)", tx)
+	}
+}
+
+func noDep2(int) bool { return false }
+
+func TestTablesFreeSlotAndOccupied(t *testing.T) {
+	tb := NewTables(1, 2)
+	if tb.FreeSlot() != 0 {
+		t.Fatal("fresh free slot")
+	}
+	f := func(int) bool { return false }
+	tb.Write(0, 3, 0, f, f)
+	tb.Write(1, 4, 0, f, f)
+	if tb.FreeSlot() != -1 {
+		t.Fatal("full window has a free slot")
+	}
+	occ := tb.Occupied()
+	if len(occ) != 2 || occ[0] != 3 || occ[1] != 4 {
+		t.Fatalf("occupied %v", occ)
+	}
+	tb.Select(0)
+	if tb.FreeSlot() < 0 {
+		t.Fatal("select did not free the slot")
+	}
+}
+
+func TestBitmapWideWindow(t *testing.T) {
+	// Windows wider than 64 slots span multiple words.
+	b := newBitmap(130)
+	b.set(0, true)
+	b.set(64, true)
+	b.set(129, true)
+	if !b.get(0) || !b.get(64) || !b.get(129) || b.get(1) || b.get(128) {
+		t.Fatal("multi-word bitmap broken")
+	}
+	dst := newBitmap(130)
+	b.orInto(dst)
+	if !dst.get(64) {
+		t.Fatal("orInto lost bits")
+	}
+	b.set(64, false)
+	if b.get(64) {
+		t.Fatal("clear bit failed")
+	}
+	b.clear()
+	if b.get(0) || b.get(129) {
+		t.Fatal("clear failed")
+	}
+}

@@ -1,0 +1,430 @@
+// Package state implements the world state substrate: accounts with
+// balances, nonces, code and contract storage (the State rows of Table 4),
+// with snapshot/revert journaling for transaction aborts, access-set
+// recording for dependency-DAG construction, and deterministic digests for
+// serializability checks across execution modes.
+package state
+
+import (
+	"fmt"
+	"sort"
+
+	"mtpu/internal/keccak"
+	"mtpu/internal/types"
+	"mtpu/internal/uint256"
+)
+
+// Account is the in-memory representation of one address.
+type Account struct {
+	Nonce   uint64
+	Balance uint256.Int
+	Code    []byte
+	// CodeHash caches keccak(Code); zero hash for empty code.
+	CodeHash types.Hash
+	Storage  map[types.Hash]uint256.Int
+}
+
+func newAccount() *Account {
+	return &Account{Storage: make(map[types.Hash]uint256.Int)}
+}
+
+func (a *Account) copy() *Account {
+	c := &Account{
+		Nonce:    a.Nonce,
+		Balance:  a.Balance,
+		CodeHash: a.CodeHash,
+		Storage:  make(map[types.Hash]uint256.Int, len(a.Storage)),
+	}
+	c.Code = append([]byte(nil), a.Code...)
+	for k, v := range a.Storage {
+		c.Storage[k] = v
+	}
+	return c
+}
+
+// AccessKind classifies recorded state accesses.
+type AccessKind uint8
+
+// Access kinds recorded when access recording is enabled.
+const (
+	AccessBalance AccessKind = iota
+	AccessNonce
+	AccessCode
+	AccessStorage
+)
+
+// AccessKey identifies one piece of state touched by a transaction.
+type AccessKey struct {
+	Kind AccessKind
+	Addr types.Address
+	Slot types.Hash // meaningful only for AccessStorage
+}
+
+// AccessSet is a set of touched state locations.
+type AccessSet map[AccessKey]struct{}
+
+// Overlaps reports whether a shares any key with b.
+func (a AccessSet) Overlaps(b AccessSet) bool {
+	small, large := a, b
+	if len(b) < len(a) {
+		small, large = b, a
+	}
+	for k := range small {
+		if _, ok := large[k]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// StateDB is a journaled in-memory world state. It is not safe for
+// concurrent mutation; the simulator serializes access through the State
+// Buffer model.
+type StateDB struct {
+	accounts map[types.Address]*Account
+
+	journal []journalEntry
+	logs    []*types.Log
+	refund  uint64
+
+	recording bool
+	reads     AccessSet
+	writes    AccessSet
+}
+
+// New returns an empty world state.
+func New() *StateDB {
+	return &StateDB{accounts: make(map[types.Address]*Account)}
+}
+
+// Copy returns a deep copy of the state. Journals, logs and access
+// recordings are not carried over.
+func (s *StateDB) Copy() *StateDB {
+	c := New()
+	for addr, acc := range s.accounts {
+		c.accounts[addr] = acc.copy()
+	}
+	return c
+}
+
+type journalEntry interface {
+	revert(*StateDB)
+}
+
+type (
+	createEntry  struct{ addr types.Address }
+	balanceEntry struct {
+		addr types.Address
+		prev uint256.Int
+	}
+	nonceEntry struct {
+		addr types.Address
+		prev uint64
+	}
+	codeEntry struct {
+		addr     types.Address
+		prevCode []byte
+		prevHash types.Hash
+	}
+	storageEntry struct {
+		addr    types.Address
+		slot    types.Hash
+		prev    uint256.Int
+		existed bool
+	}
+	logEntry    struct{}
+	refundEntry struct{ prev uint64 }
+)
+
+func (e createEntry) revert(s *StateDB) { delete(s.accounts, e.addr) }
+func (e balanceEntry) revert(s *StateDB) {
+	if acc := s.accounts[e.addr]; acc != nil {
+		acc.Balance = e.prev
+	}
+}
+func (e nonceEntry) revert(s *StateDB) {
+	if acc := s.accounts[e.addr]; acc != nil {
+		acc.Nonce = e.prev
+	}
+}
+func (e codeEntry) revert(s *StateDB) {
+	if acc := s.accounts[e.addr]; acc != nil {
+		acc.Code = e.prevCode
+		acc.CodeHash = e.prevHash
+	}
+}
+func (e storageEntry) revert(s *StateDB) {
+	if acc := s.accounts[e.addr]; acc != nil {
+		if e.existed {
+			acc.Storage[e.slot] = e.prev
+		} else {
+			delete(acc.Storage, e.slot)
+		}
+	}
+}
+func (e logEntry) revert(s *StateDB)    { s.logs = s.logs[:len(s.logs)-1] }
+func (e refundEntry) revert(s *StateDB) { s.refund = e.prev }
+
+// Snapshot returns an identifier for the current journal position.
+func (s *StateDB) Snapshot() int { return len(s.journal) }
+
+// RevertToSnapshot undoes every change journaled after the snapshot.
+func (s *StateDB) RevertToSnapshot(id int) {
+	if id < 0 || id > len(s.journal) {
+		panic(fmt.Sprintf("state: invalid snapshot id %d (journal length %d)", id, len(s.journal)))
+	}
+	for i := len(s.journal) - 1; i >= id; i-- {
+		s.journal[i].revert(s)
+	}
+	s.journal = s.journal[:id]
+}
+
+// DiscardJournal forgets undo history (e.g. after a committed transaction)
+// without touching current values.
+func (s *StateDB) DiscardJournal() {
+	s.journal = s.journal[:0]
+}
+
+func (s *StateDB) getOrCreate(addr types.Address) *Account {
+	acc := s.accounts[addr]
+	if acc == nil {
+		acc = newAccount()
+		s.accounts[addr] = acc
+		s.journal = append(s.journal, createEntry{addr})
+	}
+	return acc
+}
+
+// Exist reports whether the account has ever been touched.
+func (s *StateDB) Exist(addr types.Address) bool {
+	_, ok := s.accounts[addr]
+	return ok
+}
+
+// CreateAccount ensures an account exists at addr.
+func (s *StateDB) CreateAccount(addr types.Address) {
+	s.getOrCreate(addr)
+}
+
+// GetBalance returns the balance of addr (zero for missing accounts).
+func (s *StateDB) GetBalance(addr types.Address) *uint256.Int {
+	s.record(&s.reads, AccessKey{Kind: AccessBalance, Addr: addr})
+	if acc := s.accounts[addr]; acc != nil {
+		return acc.Balance.Clone()
+	}
+	return new(uint256.Int)
+}
+
+// SetBalance overwrites the balance of addr.
+func (s *StateDB) SetBalance(addr types.Address, v *uint256.Int) {
+	s.record(&s.writes, AccessKey{Kind: AccessBalance, Addr: addr})
+	acc := s.getOrCreate(addr)
+	s.journal = append(s.journal, balanceEntry{addr, acc.Balance})
+	acc.Balance.Set(v)
+}
+
+// AddBalance credits addr by v.
+func (s *StateDB) AddBalance(addr types.Address, v *uint256.Int) {
+	s.record(&s.writes, AccessKey{Kind: AccessBalance, Addr: addr})
+	acc := s.getOrCreate(addr)
+	s.journal = append(s.journal, balanceEntry{addr, acc.Balance})
+	acc.Balance.Add(&acc.Balance, v)
+}
+
+// SubBalance debits addr by v (wraps on underflow; callers check first).
+func (s *StateDB) SubBalance(addr types.Address, v *uint256.Int) {
+	s.record(&s.writes, AccessKey{Kind: AccessBalance, Addr: addr})
+	acc := s.getOrCreate(addr)
+	s.journal = append(s.journal, balanceEntry{addr, acc.Balance})
+	acc.Balance.Sub(&acc.Balance, v)
+}
+
+// GetNonce returns the nonce of addr.
+func (s *StateDB) GetNonce(addr types.Address) uint64 {
+	s.record(&s.reads, AccessKey{Kind: AccessNonce, Addr: addr})
+	if acc := s.accounts[addr]; acc != nil {
+		return acc.Nonce
+	}
+	return 0
+}
+
+// SetNonce overwrites the nonce of addr.
+func (s *StateDB) SetNonce(addr types.Address, n uint64) {
+	s.record(&s.writes, AccessKey{Kind: AccessNonce, Addr: addr})
+	acc := s.getOrCreate(addr)
+	s.journal = append(s.journal, nonceEntry{addr, acc.Nonce})
+	acc.Nonce = n
+}
+
+// GetCode returns the contract code at addr (nil if none).
+func (s *StateDB) GetCode(addr types.Address) []byte {
+	s.record(&s.reads, AccessKey{Kind: AccessCode, Addr: addr})
+	if acc := s.accounts[addr]; acc != nil {
+		return acc.Code
+	}
+	return nil
+}
+
+// GetCodeSize returns len(code) at addr.
+func (s *StateDB) GetCodeSize(addr types.Address) int {
+	return len(s.GetCode(addr))
+}
+
+// GetCodeHash returns keccak(code) or the zero hash for empty accounts.
+func (s *StateDB) GetCodeHash(addr types.Address) types.Hash {
+	s.record(&s.reads, AccessKey{Kind: AccessCode, Addr: addr})
+	if acc := s.accounts[addr]; acc != nil {
+		return acc.CodeHash
+	}
+	return types.Hash{}
+}
+
+// SetCode installs contract code at addr.
+func (s *StateDB) SetCode(addr types.Address, code []byte) {
+	s.record(&s.writes, AccessKey{Kind: AccessCode, Addr: addr})
+	acc := s.getOrCreate(addr)
+	s.journal = append(s.journal, codeEntry{addr, acc.Code, acc.CodeHash})
+	acc.Code = append([]byte(nil), code...)
+	if len(code) == 0 {
+		acc.CodeHash = types.Hash{}
+	} else {
+		acc.CodeHash = types.Hash(keccak.Sum256(code))
+	}
+}
+
+// GetState reads a storage slot.
+func (s *StateDB) GetState(addr types.Address, slot types.Hash) uint256.Int {
+	s.record(&s.reads, AccessKey{Kind: AccessStorage, Addr: addr, Slot: slot})
+	if acc := s.accounts[addr]; acc != nil {
+		return acc.Storage[slot]
+	}
+	return uint256.Int{}
+}
+
+// SetState writes a storage slot.
+func (s *StateDB) SetState(addr types.Address, slot types.Hash, v uint256.Int) {
+	s.record(&s.writes, AccessKey{Kind: AccessStorage, Addr: addr, Slot: slot})
+	acc := s.getOrCreate(addr)
+	prev, existed := acc.Storage[slot]
+	s.journal = append(s.journal, storageEntry{addr, slot, prev, existed})
+	if v.IsZero() {
+		delete(acc.Storage, slot)
+	} else {
+		acc.Storage[slot] = v
+	}
+}
+
+// AddLog journals an emitted event.
+func (s *StateDB) AddLog(l *types.Log) {
+	s.journal = append(s.journal, logEntry{})
+	s.logs = append(s.logs, l)
+}
+
+// TakeLogs returns and clears accumulated logs (per transaction).
+func (s *StateDB) TakeLogs() []*types.Log {
+	out := s.logs
+	s.logs = nil
+	return out
+}
+
+// AddRefund accumulates an SSTORE refund.
+func (s *StateDB) AddRefund(v uint64) {
+	s.journal = append(s.journal, refundEntry{s.refund})
+	s.refund += v
+}
+
+// GetRefund returns the accumulated refund counter.
+func (s *StateDB) GetRefund() uint64 { return s.refund }
+
+// ResetRefund clears the refund counter (per transaction).
+func (s *StateDB) ResetRefund() { s.refund = 0 }
+
+// BeginAccessRecord starts collecting read/write sets.
+func (s *StateDB) BeginAccessRecord() {
+	s.recording = true
+	s.reads = make(AccessSet)
+	s.writes = make(AccessSet)
+}
+
+// EndAccessRecord stops recording and returns the collected sets.
+func (s *StateDB) EndAccessRecord() (reads, writes AccessSet) {
+	s.recording = false
+	reads, writes = s.reads, s.writes
+	s.reads, s.writes = nil, nil
+	return reads, writes
+}
+
+func (s *StateDB) record(set *AccessSet, key AccessKey) {
+	if s.recording {
+		(*set)[key] = struct{}{}
+	}
+}
+
+// Digest computes a deterministic Keccak-256 digest over the entire state,
+// used by tests and the core library to assert that every execution mode
+// commits to an identical final state.
+func (s *StateDB) Digest() types.Hash {
+	addrs := make([]types.Address, 0, len(s.accounts))
+	for addr, acc := range s.accounts {
+		// Skip completely empty accounts so that "touched but unchanged"
+		// accounts do not perturb the digest.
+		if acc.Nonce == 0 && acc.Balance.IsZero() && len(acc.Code) == 0 && len(acc.Storage) == 0 {
+			continue
+		}
+		addrs = append(addrs, addr)
+	}
+	sort.Slice(addrs, func(i, j int) bool {
+		return string(addrs[i][:]) < string(addrs[j][:])
+	})
+
+	var h keccak.Hasher
+	var u64buf [8]byte
+	writeU64 := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			u64buf[i] = byte(v >> (56 - 8*i))
+		}
+		h.Write(u64buf[:])
+	}
+	for _, addr := range addrs {
+		acc := s.accounts[addr]
+		h.Write(addr[:])
+		writeU64(acc.Nonce)
+		b := acc.Balance.Bytes32()
+		h.Write(b[:])
+		h.Write(acc.CodeHash[:])
+
+		slots := make([]types.Hash, 0, len(acc.Storage))
+		for slot := range acc.Storage {
+			slots = append(slots, slot)
+		}
+		sort.Slice(slots, func(i, j int) bool {
+			return string(slots[i][:]) < string(slots[j][:])
+		})
+		for _, slot := range slots {
+			v := acc.Storage[slot]
+			h.Write(slot[:])
+			vb := v.Bytes32()
+			h.Write(vb[:])
+		}
+	}
+	return types.Hash(h.Sum256())
+}
+
+// AccountCount returns the number of non-empty accounts (for tests/stats).
+func (s *StateDB) AccountCount() int {
+	n := 0
+	for _, acc := range s.accounts {
+		if acc.Nonce != 0 || !acc.Balance.IsZero() || len(acc.Code) != 0 || len(acc.Storage) != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// StorageSize returns the number of occupied slots at addr (for tests).
+func (s *StateDB) StorageSize(addr types.Address) int {
+	if acc := s.accounts[addr]; acc != nil {
+		return len(acc.Storage)
+	}
+	return 0
+}

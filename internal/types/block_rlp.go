@@ -1,0 +1,168 @@
+package types
+
+import (
+	"fmt"
+
+	"mtpu/internal/keccak"
+	"mtpu/internal/rlp"
+)
+
+// Block serialization. Per §2.2.2 the dependency DAG discovered at
+// consensus time is "serialised and persistently stored in blocks" so
+// every validating node can schedule without re-deriving conflicts; the
+// encoding here is [header, [tx...], [deps...]] where deps[i] lists the
+// indices transaction i depends on.
+
+// rlpValue returns the transaction as a nested RLP value (shared by
+// EncodeRLP and block encoding).
+func (tx *Transaction) rlpValue() rlp.Value {
+	var to []byte
+	if tx.To != nil {
+		to = tx.To.Bytes()
+	}
+	return rlp.ListValue(
+		rlp.Uint64Value(tx.Nonce),
+		rlp.Uint64Value(tx.GasPrice),
+		rlp.Uint64Value(tx.GasLimit),
+		rlp.StringValue(tx.From.Bytes()),
+		rlp.StringValue(to),
+		rlp.StringValue(tx.Value.Bytes()),
+		rlp.StringValue(tx.Data),
+	)
+}
+
+// headerValue returns the RLP structure of a block header.
+func (h *BlockHeader) headerValue() rlp.Value {
+	return rlp.ListValue(
+		rlp.Uint64Value(h.Height),
+		rlp.Uint64Value(h.Timestamp),
+		rlp.StringValue(h.Coinbase.Bytes()),
+		rlp.Uint64Value(h.Difficulty),
+		rlp.Uint64Value(h.GasLimit),
+		rlp.StringValue(h.ParentHash.Bytes()),
+	)
+}
+
+// EncodeRLP serializes the block with its transactions and DAG.
+func (b *Block) EncodeRLP() []byte {
+	txs := make([]rlp.Value, len(b.Transactions))
+	for i, tx := range b.Transactions {
+		txs[i] = tx.rlpValue()
+	}
+	dag := rlp.ListValue()
+	if b.DAG != nil {
+		edges := make([]rlp.Value, len(b.DAG.Deps))
+		for i, deps := range b.DAG.Deps {
+			row := make([]rlp.Value, len(deps))
+			for j, d := range deps {
+				row[j] = rlp.Uint64Value(uint64(d))
+			}
+			edges[i] = rlp.ListValue(row...)
+		}
+		dag = rlp.ListValue(edges...)
+	}
+	return rlp.Encode(rlp.ListValue(
+		b.Header.headerValue(),
+		rlp.ListValue(txs...),
+		dag,
+	))
+}
+
+// Hash returns the Keccak-256 identity of the encoded block.
+func (b *Block) Hash() Hash {
+	return Hash(keccak.Sum256(b.EncodeRLP()))
+}
+
+// DecodeBlockRLP parses a block serialized by EncodeRLP, validating the
+// DAG (forward edges, indices in range) so a malicious block cannot smuggle
+// an unserializable schedule.
+func DecodeBlockRLP(data []byte) (*Block, error) {
+	v, err := rlp.Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("types: block: %w", err)
+	}
+	if v.Kind != rlp.List || len(v.Elems) != 3 {
+		return nil, fmt.Errorf("types: block: want 3-element list, got %d", len(v.Elems))
+	}
+
+	header, err := decodeHeader(v.Elems[0])
+	if err != nil {
+		return nil, err
+	}
+
+	txsVal := v.Elems[1]
+	if txsVal.Kind != rlp.List {
+		return nil, fmt.Errorf("types: block: transactions not a list")
+	}
+	txs := make([]*Transaction, len(txsVal.Elems))
+	for i, tv := range txsVal.Elems {
+		tx, err := decodeTxValue(tv)
+		if err != nil {
+			return nil, fmt.Errorf("types: block tx %d: %w", i, err)
+		}
+		txs[i] = tx
+	}
+
+	block := NewBlock(header, txs)
+	dagVal := v.Elems[2]
+	if dagVal.Kind != rlp.List {
+		return nil, fmt.Errorf("types: block: dag not a list")
+	}
+	if len(dagVal.Elems) > 0 {
+		if len(dagVal.Elems) != len(txs) {
+			return nil, fmt.Errorf("types: block: dag covers %d of %d transactions",
+				len(dagVal.Elems), len(txs))
+		}
+		for i, row := range dagVal.Elems {
+			if row.Kind != rlp.List {
+				return nil, fmt.Errorf("types: block: dag row %d not a list", i)
+			}
+			for _, e := range row.Elems {
+				dep, err := e.Uint64()
+				if err != nil {
+					return nil, fmt.Errorf("types: block: dag row %d: %w", i, err)
+				}
+				if int(dep) >= i {
+					return nil, fmt.Errorf("types: block: dag edge %d→%d not forward", dep, i)
+				}
+				block.DAG.AddEdge(int(dep), i)
+			}
+		}
+	}
+	return block, nil
+}
+
+func decodeHeader(v rlp.Value) (BlockHeader, error) {
+	var h BlockHeader
+	if v.Kind != rlp.List || len(v.Elems) != 6 {
+		return h, fmt.Errorf("types: header: want 6 fields")
+	}
+	var err error
+	if h.Height, err = v.Elems[0].Uint64(); err != nil {
+		return h, fmt.Errorf("types: header height: %w", err)
+	}
+	if h.Timestamp, err = v.Elems[1].Uint64(); err != nil {
+		return h, fmt.Errorf("types: header timestamp: %w", err)
+	}
+	if len(v.Elems[2].Str) != AddressLength {
+		return h, fmt.Errorf("types: header coinbase length %d", len(v.Elems[2].Str))
+	}
+	h.Coinbase = BytesToAddress(v.Elems[2].Str)
+	if h.Difficulty, err = v.Elems[3].Uint64(); err != nil {
+		return h, fmt.Errorf("types: header difficulty: %w", err)
+	}
+	if h.GasLimit, err = v.Elems[4].Uint64(); err != nil {
+		return h, fmt.Errorf("types: header gasLimit: %w", err)
+	}
+	if len(v.Elems[5].Str) != HashLength {
+		return h, fmt.Errorf("types: header parent hash length %d", len(v.Elems[5].Str))
+	}
+	h.ParentHash = BytesToHash(v.Elems[5].Str)
+	return h, nil
+}
+
+// decodeTxValue decodes a nested transaction value (the same layout
+// DecodeTransactionRLP accepts as a standalone encoding).
+func decodeTxValue(v rlp.Value) (*Transaction, error) {
+	return DecodeTransactionRLP(rlp.Encode(v))
+}

@@ -1,0 +1,134 @@
+package types
+
+import (
+	"bytes"
+	"testing"
+
+	"mtpu/internal/rlp"
+)
+
+func sampleBlock() *Block {
+	to := HexToAddress("0x2222222222222222222222222222222222222222")
+	txs := []*Transaction{
+		mkTx(nil, &to),
+		mkTx([]byte{0xa9, 0x05, 0x9c, 0xbb, 1}, &to),
+		mkTx([]byte{2}, nil),
+	}
+	b := NewBlock(BlockHeader{
+		Height: 1000, Timestamp: 1700000000,
+		Coinbase:   HexToAddress("0x00000000000000000000000000000000000000fe"),
+		Difficulty: 7, GasLimit: 30_000_000,
+		ParentHash: BytesToHash([]byte{0xAA}),
+	}, txs)
+	b.DAG.AddEdge(0, 1)
+	b.DAG.AddEdge(0, 2)
+	b.DAG.AddEdge(1, 2)
+	return b
+}
+
+func TestBlockRLPRoundTrip(t *testing.T) {
+	b := sampleBlock()
+	enc := b.EncodeRLP()
+	dec, err := DecodeBlockRLP(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Header != b.Header {
+		t.Fatalf("header %+v vs %+v", dec.Header, b.Header)
+	}
+	if len(dec.Transactions) != 3 {
+		t.Fatalf("%d txs", len(dec.Transactions))
+	}
+	for i := range b.Transactions {
+		if dec.Transactions[i].Hash() != b.Transactions[i].Hash() {
+			t.Fatalf("tx %d differs", i)
+		}
+	}
+	if len(dec.DAG.Deps[2]) != 2 || dec.DAG.Deps[1][0] != 0 {
+		t.Fatalf("DAG %v", dec.DAG.Deps)
+	}
+	// Canonical: re-encoding matches byte for byte.
+	if !bytes.Equal(dec.EncodeRLP(), enc) {
+		t.Fatal("non-canonical block encoding")
+	}
+}
+
+func TestBlockHashIdentity(t *testing.T) {
+	b1, b2 := sampleBlock(), sampleBlock()
+	if b1.Hash() != b2.Hash() {
+		t.Fatal("identical blocks hash differently")
+	}
+	b2.Header.Height++
+	if b1.Hash() == b2.Hash() {
+		t.Fatal("header change not reflected in hash")
+	}
+	b3 := sampleBlock()
+	b3.DAG.AddEdge(1, 2) // duplicate — ignored, so hash unchanged
+	if b1.Hash() != b3.Hash() {
+		t.Fatal("duplicate edge changed hash")
+	}
+}
+
+func TestBlockRLPEmptyDAG(t *testing.T) {
+	b := sampleBlock()
+	b.DAG = nil
+	dec, err := DecodeBlockRLP(b.EncodeRLP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.DAG.Len() != 3 {
+		t.Fatal("decoder should build an empty DAG sized to the txs")
+	}
+	for _, deps := range dec.DAG.Deps {
+		if len(deps) != 0 {
+			t.Fatal("phantom edges")
+		}
+	}
+}
+
+func TestBlockRLPRejectsMalice(t *testing.T) {
+	b := sampleBlock()
+
+	// Backward/self edge smuggled into the DAG encoding.
+	enc := rlp.Encode(rlp.ListValue(
+		b.Header.headerValue(),
+		rlp.ListValue(b.Transactions[0].rlpValue(), b.Transactions[1].rlpValue()),
+		rlp.ListValue(
+			rlp.ListValue(rlp.Uint64Value(1)), // tx0 depends on tx1: backward
+			rlp.ListValue(),
+		),
+	))
+	if _, err := DecodeBlockRLP(enc); err == nil {
+		t.Error("backward edge accepted")
+	}
+
+	// DAG length mismatch.
+	enc = rlp.Encode(rlp.ListValue(
+		b.Header.headerValue(),
+		rlp.ListValue(b.Transactions[0].rlpValue()),
+		rlp.ListValue(rlp.ListValue(), rlp.ListValue()),
+	))
+	if _, err := DecodeBlockRLP(enc); err == nil {
+		t.Error("DAG length mismatch accepted")
+	}
+
+	// Truncated top-level list.
+	enc = rlp.Encode(rlp.ListValue(b.Header.headerValue()))
+	if _, err := DecodeBlockRLP(enc); err == nil {
+		t.Error("2-element block accepted")
+	}
+
+	// Bad header field count.
+	enc = rlp.Encode(rlp.ListValue(
+		rlp.ListValue(rlp.Uint64Value(1)),
+		rlp.ListValue(),
+		rlp.ListValue(),
+	))
+	if _, err := DecodeBlockRLP(enc); err == nil {
+		t.Error("short header accepted")
+	}
+
+	if _, err := DecodeBlockRLP([]byte{0x80}); err == nil {
+		t.Error("non-list block accepted")
+	}
+}

@@ -1,0 +1,49 @@
+package types
+
+import "testing"
+
+// FuzzDecodeTransactionRLP asserts the transaction decoder never panics
+// and round-trips whatever it accepts.
+func FuzzDecodeTransactionRLP(f *testing.F) {
+	to := HexToAddress("0x2222222222222222222222222222222222222222")
+	f.Add(mkTx(nil, &to).EncodeRLP())
+	f.Add(mkTx([]byte{0xa9, 0x05, 0x9c, 0xbb, 1, 2}, &to).EncodeRLP())
+	f.Add(mkTx([]byte{1}, nil).EncodeRLP())
+	f.Add([]byte{0xc0})
+	f.Add([]byte{0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tx, err := DecodeTransactionRLP(data)
+		if err != nil {
+			return
+		}
+		back, err := DecodeTransactionRLP(tx.EncodeRLP())
+		if err != nil {
+			t.Fatalf("accepted tx does not re-decode: %v", err)
+		}
+		if back.Hash() != tx.Hash() {
+			t.Fatal("round-trip changed the transaction")
+		}
+	})
+}
+
+// FuzzDecodeBlockRLP asserts the block decoder never panics and only
+// yields valid forward DAGs.
+func FuzzDecodeBlockRLP(f *testing.F) {
+	f.Add(sampleBlock().EncodeRLP())
+	empty := NewBlock(BlockHeader{}, nil)
+	f.Add(empty.EncodeRLP())
+	f.Add([]byte{0xc3, 0xc0, 0xc0, 0xc0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := DecodeBlockRLP(data)
+		if err != nil {
+			return
+		}
+		for j, deps := range b.DAG.Deps {
+			for _, d := range deps {
+				if d >= j {
+					t.Fatalf("decoder produced non-forward edge %d→%d", d, j)
+				}
+			}
+		}
+	})
+}

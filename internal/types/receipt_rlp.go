@@ -1,0 +1,103 @@
+package types
+
+import (
+	"fmt"
+
+	"mtpu/internal/rlp"
+)
+
+// Receipt serialization: nodes persist receipts alongside blocks (the
+// Receipt Buffer of §3.3.6 drains into the chain's receipt trie in real
+// systems). Encoding: [txIndex, status, gasUsed, contractAddress,
+// returnData, [log...]] with log = [address, [topic...], data].
+
+// EncodeRLP serializes the receipt.
+func (r *Receipt) EncodeRLP() []byte {
+	logs := make([]rlp.Value, len(r.Logs))
+	for i, l := range r.Logs {
+		topics := make([]rlp.Value, len(l.Topics))
+		for j, tp := range l.Topics {
+			topics[j] = rlp.StringValue(tp.Bytes())
+		}
+		logs[i] = rlp.ListValue(
+			rlp.StringValue(l.Address.Bytes()),
+			rlp.ListValue(topics...),
+			rlp.StringValue(l.Data),
+		)
+	}
+	return rlp.Encode(rlp.ListValue(
+		rlp.Uint64Value(uint64(r.TxIndex)),
+		rlp.Uint64Value(r.Status),
+		rlp.Uint64Value(r.GasUsed),
+		rlp.StringValue(r.ContractAddress.Bytes()),
+		rlp.StringValue(r.ReturnData),
+		rlp.ListValue(logs...),
+	))
+}
+
+// DecodeReceiptRLP parses a receipt serialized by EncodeRLP.
+func DecodeReceiptRLP(data []byte) (*Receipt, error) {
+	v, err := rlp.Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("types: receipt: %w", err)
+	}
+	if v.Kind != rlp.List || len(v.Elems) != 6 {
+		return nil, fmt.Errorf("types: receipt: want 6 fields, got %d", len(v.Elems))
+	}
+	r := &Receipt{}
+	idx, err := v.Elems[0].Uint64()
+	if err != nil {
+		return nil, fmt.Errorf("types: receipt txIndex: %w", err)
+	}
+	r.TxIndex = int(idx)
+	if r.Status, err = v.Elems[1].Uint64(); err != nil {
+		return nil, fmt.Errorf("types: receipt status: %w", err)
+	}
+	if r.Status != ReceiptFailed && r.Status != ReceiptSuccess {
+		return nil, fmt.Errorf("types: receipt status %d invalid", r.Status)
+	}
+	if r.GasUsed, err = v.Elems[2].Uint64(); err != nil {
+		return nil, fmt.Errorf("types: receipt gasUsed: %w", err)
+	}
+	if len(v.Elems[3].Str) != AddressLength {
+		return nil, fmt.Errorf("types: receipt contract address length %d", len(v.Elems[3].Str))
+	}
+	r.ContractAddress = BytesToAddress(v.Elems[3].Str)
+	if len(v.Elems[4].Str) > 0 {
+		r.ReturnData = append([]byte(nil), v.Elems[4].Str...)
+	}
+	if v.Elems[5].Kind != rlp.List {
+		return nil, fmt.Errorf("types: receipt logs not a list")
+	}
+	for i, lv := range v.Elems[5].Elems {
+		l, err := decodeLog(lv)
+		if err != nil {
+			return nil, fmt.Errorf("types: receipt log %d: %w", i, err)
+		}
+		r.Logs = append(r.Logs, l)
+	}
+	return r, nil
+}
+
+func decodeLog(v rlp.Value) (*Log, error) {
+	if v.Kind != rlp.List || len(v.Elems) != 3 {
+		return nil, fmt.Errorf("want 3 fields")
+	}
+	if len(v.Elems[0].Str) != AddressLength {
+		return nil, fmt.Errorf("address length %d", len(v.Elems[0].Str))
+	}
+	l := &Log{Address: BytesToAddress(v.Elems[0].Str)}
+	if v.Elems[1].Kind != rlp.List {
+		return nil, fmt.Errorf("topics not a list")
+	}
+	for _, tv := range v.Elems[1].Elems {
+		if len(tv.Str) != HashLength {
+			return nil, fmt.Errorf("topic length %d", len(tv.Str))
+		}
+		l.Topics = append(l.Topics, BytesToHash(tv.Str))
+	}
+	if len(v.Elems[2].Str) > 0 {
+		l.Data = append([]byte(nil), v.Elems[2].Str...)
+	}
+	return l, nil
+}

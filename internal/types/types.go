@@ -1,0 +1,345 @@
+// Package types defines the core blockchain data model shared by the
+// functional EVM, the architectural simulator and the scheduler: addresses,
+// hashes, transactions (Fig. 3(a)), blocks carrying the consensus-produced
+// dependency DAG (§2.2.2), receipts and logs.
+package types
+
+import (
+	"encoding/hex"
+	"errors"
+	"fmt"
+
+	"mtpu/internal/keccak"
+	"mtpu/internal/rlp"
+	"mtpu/internal/uint256"
+)
+
+// AddressLength is the byte length of an account address.
+const AddressLength = 20
+
+// HashLength is the byte length of a 256-bit hash.
+const HashLength = 32
+
+// Address is a 20-byte account identifier.
+type Address [AddressLength]byte
+
+// Hash is a 32-byte Keccak-256 digest.
+type Hash [HashLength]byte
+
+// BytesToAddress converts b to an Address, left-truncating or left-padding
+// to 20 bytes (Ethereum convention: keep the low-order bytes).
+func BytesToAddress(b []byte) Address {
+	var a Address
+	if len(b) > AddressLength {
+		b = b[len(b)-AddressLength:]
+	}
+	copy(a[AddressLength-len(b):], b)
+	return a
+}
+
+// HexToAddress parses a hex string (with or without 0x prefix) as an Address.
+func HexToAddress(s string) Address {
+	if len(s) >= 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X') {
+		s = s[2:]
+	}
+	if len(s)%2 == 1 {
+		s = "0" + s
+	}
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		panic(fmt.Sprintf("types: bad address hex %q: %v", s, err))
+	}
+	return BytesToAddress(b)
+}
+
+// Bytes returns the address as a byte slice.
+func (a Address) Bytes() []byte { return a[:] }
+
+// Hex returns the 0x-prefixed hex form of the address.
+func (a Address) Hex() string { return "0x" + hex.EncodeToString(a[:]) }
+
+// String implements fmt.Stringer.
+func (a Address) String() string { return a.Hex() }
+
+// IsZero reports whether the address is the zero address.
+func (a Address) IsZero() bool { return a == Address{} }
+
+// Word returns the address as a 256-bit word (left-padded).
+func (a Address) Word() uint256.Int {
+	var z uint256.Int
+	z.SetBytes(a[:])
+	return z
+}
+
+// WordToAddress extracts the low 20 bytes of a 256-bit word as an address.
+func WordToAddress(w *uint256.Int) Address {
+	b := w.Bytes32()
+	return BytesToAddress(b[12:])
+}
+
+// BytesToHash converts b to a Hash, keeping the low-order 32 bytes.
+func BytesToHash(b []byte) Hash {
+	var h Hash
+	if len(b) > HashLength {
+		b = b[len(b)-HashLength:]
+	}
+	copy(h[HashLength-len(b):], b)
+	return h
+}
+
+// Bytes returns the hash as a byte slice.
+func (h Hash) Bytes() []byte { return h[:] }
+
+// Hex returns the 0x-prefixed hex form of the hash.
+func (h Hash) Hex() string { return "0x" + hex.EncodeToString(h[:]) }
+
+// String implements fmt.Stringer.
+func (h Hash) String() string { return h.Hex() }
+
+// Word returns the hash as a 256-bit word.
+func (h Hash) Word() uint256.Int {
+	var z uint256.Int
+	z.SetBytes(h[:])
+	return z
+}
+
+// Transaction mirrors the RLP transaction layout of Fig. 3(a): a token
+// transfer when Data is empty, or a smart-contract invocation whose Data
+// carries the 4-byte function identifier followed by ABI-encoded arguments.
+type Transaction struct {
+	Nonce    uint64
+	GasPrice uint64
+	GasLimit uint64
+	From     Address
+	// To is the callee; nil means contract creation.
+	To    *Address
+	Value uint256.Int
+	Data  []byte
+}
+
+// IsContractCreation reports whether the transaction deploys a contract.
+func (tx *Transaction) IsContractCreation() bool { return tx.To == nil }
+
+// Selector returns the 4-byte entry-function identifier from the Input
+// field, and ok=false for plain transfers or creations.
+func (tx *Transaction) Selector() (sel [4]byte, ok bool) {
+	if tx.To == nil || len(tx.Data) < 4 {
+		return sel, false
+	}
+	copy(sel[:], tx.Data[:4])
+	return sel, true
+}
+
+// EncodeRLP serializes the transaction in the network/persistence form.
+func (tx *Transaction) EncodeRLP() []byte {
+	var to []byte
+	if tx.To != nil {
+		to = tx.To.Bytes()
+	}
+	return rlp.Encode(rlp.ListValue(
+		rlp.Uint64Value(tx.Nonce),
+		rlp.Uint64Value(tx.GasPrice),
+		rlp.Uint64Value(tx.GasLimit),
+		rlp.StringValue(tx.From.Bytes()),
+		rlp.StringValue(to),
+		rlp.StringValue(tx.Value.Bytes()),
+		rlp.StringValue(tx.Data),
+	))
+}
+
+// ErrBadTransaction reports a malformed RLP transaction payload.
+var ErrBadTransaction = errors.New("types: malformed RLP transaction")
+
+// DecodeTransactionRLP parses a transaction serialized by EncodeRLP.
+func DecodeTransactionRLP(data []byte) (*Transaction, error) {
+	v, err := rlp.Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadTransaction, err)
+	}
+	if v.Kind != rlp.List || len(v.Elems) != 7 {
+		return nil, ErrBadTransaction
+	}
+	for _, field := range v.Elems {
+		if field.Kind != rlp.String {
+			return nil, ErrBadTransaction
+		}
+	}
+	tx := &Transaction{}
+	if tx.Nonce, err = v.Elems[0].Uint64(); err != nil {
+		return nil, fmt.Errorf("%w: nonce: %v", ErrBadTransaction, err)
+	}
+	if tx.GasPrice, err = v.Elems[1].Uint64(); err != nil {
+		return nil, fmt.Errorf("%w: gasPrice: %v", ErrBadTransaction, err)
+	}
+	if tx.GasLimit, err = v.Elems[2].Uint64(); err != nil {
+		return nil, fmt.Errorf("%w: gasLimit: %v", ErrBadTransaction, err)
+	}
+	if len(v.Elems[3].Str) != AddressLength {
+		return nil, fmt.Errorf("%w: from length %d", ErrBadTransaction, len(v.Elems[3].Str))
+	}
+	tx.From = BytesToAddress(v.Elems[3].Str)
+	switch len(v.Elems[4].Str) {
+	case 0:
+		tx.To = nil
+	case AddressLength:
+		to := BytesToAddress(v.Elems[4].Str)
+		tx.To = &to
+	default:
+		return nil, fmt.Errorf("%w: to length %d", ErrBadTransaction, len(v.Elems[4].Str))
+	}
+	if len(v.Elems[5].Str) > 32 {
+		return nil, fmt.Errorf("%w: value length %d", ErrBadTransaction, len(v.Elems[5].Str))
+	}
+	tx.Value.SetBytes(v.Elems[5].Str)
+	tx.Data = append([]byte(nil), v.Elems[6].Str...)
+	return tx, nil
+}
+
+// Hash returns the Keccak-256 digest of the RLP encoding, the transaction's
+// network identity.
+func (tx *Transaction) Hash() Hash {
+	return Hash(keccak.Sum256(tx.EncodeRLP()))
+}
+
+// BlockHeader carries the fixed-length per-block parameters of Table 4.
+type BlockHeader struct {
+	Height     uint64
+	Timestamp  uint64
+	Coinbase   Address
+	Difficulty uint64
+	GasLimit   uint64
+	ParentHash Hash
+}
+
+// DAG is the consensus-produced transaction dependency graph persisted with
+// the block (§2.2.2): Deps[i] lists the indices of transactions that
+// transaction i depends on (must execute before it).
+type DAG struct {
+	Deps [][]int
+}
+
+// NewDAG returns an empty DAG for n transactions.
+func NewDAG(n int) *DAG {
+	return &DAG{Deps: make([][]int, n)}
+}
+
+// AddEdge records that transaction to depends on transaction from
+// (from → to in the paper's edge direction). It panics on out-of-range or
+// non-forward edges, which would make the DAG unserializable.
+func (d *DAG) AddEdge(from, to int) {
+	if from < 0 || to >= len(d.Deps) || from >= to {
+		panic(fmt.Sprintf("types: invalid DAG edge %d→%d over %d transactions", from, to, len(d.Deps)))
+	}
+	for _, e := range d.Deps[to] {
+		if e == from {
+			return
+		}
+	}
+	d.Deps[to] = append(d.Deps[to], from)
+}
+
+// Len returns the number of transactions covered by the DAG.
+func (d *DAG) Len() int { return len(d.Deps) }
+
+// InDegrees returns the dependency count of every transaction.
+func (d *DAG) InDegrees() []int {
+	in := make([]int, len(d.Deps))
+	for i, deps := range d.Deps {
+		in[i] = len(deps)
+	}
+	return in
+}
+
+// Successors returns, for each transaction, the list of transactions that
+// depend on it (the forward adjacency of the DAG).
+func (d *DAG) Successors() [][]int {
+	succ := make([][]int, len(d.Deps))
+	for i, deps := range d.Deps {
+		for _, p := range deps {
+			succ[p] = append(succ[p], i)
+		}
+	}
+	return succ
+}
+
+// DependentRatio returns the fraction of transactions that have at least
+// one dependency — the x-axis of Figs. 14-16 and Table 9.
+func (d *DAG) DependentRatio() float64 {
+	if len(d.Deps) == 0 {
+		return 0
+	}
+	n := 0
+	for _, deps := range d.Deps {
+		if len(deps) > 0 {
+			n++
+		}
+	}
+	return float64(n) / float64(len(d.Deps))
+}
+
+// CriticalPathLen returns the number of transactions on the longest
+// dependency chain, the lower bound on parallel execution rounds.
+func (d *DAG) CriticalPathLen() int {
+	depth := make([]int, len(d.Deps))
+	longest := 0
+	for i := range d.Deps { // indices are topologically ordered (edges go forward)
+		depth[i] = 1
+		for _, p := range d.Deps[i] {
+			if depth[p]+1 > depth[i] {
+				depth[i] = depth[p] + 1
+			}
+		}
+		if depth[i] > longest {
+			longest = depth[i]
+		}
+	}
+	return longest
+}
+
+// Block is a batch of transactions plus the dependency DAG discovered in
+// the consensus stage.
+type Block struct {
+	Header       BlockHeader
+	Transactions []*Transaction
+	DAG          *DAG
+}
+
+// NewBlock assembles a block and an empty DAG sized to the transactions.
+func NewBlock(header BlockHeader, txs []*Transaction) *Block {
+	return &Block{Header: header, Transactions: txs, DAG: NewDAG(len(txs))}
+}
+
+// Log is an event emitted by LOG0..LOG4.
+type Log struct {
+	Address Address
+	Topics  []Hash
+	Data    []byte
+}
+
+// Receipt records the outcome of one executed transaction.
+type Receipt struct {
+	TxIndex    int
+	Status     uint64 // 1 success, 0 reverted/failed
+	GasUsed    uint64
+	ReturnData []byte
+	Logs       []*Log
+	// ContractAddress is set for successful contract creations.
+	ContractAddress Address
+}
+
+// ReceiptStatus values.
+const (
+	ReceiptFailed  = 0
+	ReceiptSuccess = 1
+)
+
+// CreateAddress computes the address of a contract deployed by sender with
+// the given nonce: low 20 bytes of keccak(rlp([sender, nonce])).
+func CreateAddress(sender Address, nonce uint64) Address {
+	enc := rlp.Encode(rlp.ListValue(
+		rlp.StringValue(sender.Bytes()),
+		rlp.Uint64Value(nonce),
+	))
+	h := keccak.Sum256(enc)
+	return BytesToAddress(h[12:])
+}

@@ -1,0 +1,252 @@
+package types
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"mtpu/internal/rlp"
+	"mtpu/internal/uint256"
+)
+
+func TestAddressConversions(t *testing.T) {
+	a := HexToAddress("0x0102030405060708090a0b0c0d0e0f1011121314")
+	if a.Hex() != "0x0102030405060708090a0b0c0d0e0f1011121314" {
+		t.Errorf("hex round-trip: %s", a.Hex())
+	}
+	// Short input left-pads.
+	b := BytesToAddress([]byte{0xAB})
+	if b[19] != 0xAB || b[0] != 0 {
+		t.Errorf("short pad: %s", b)
+	}
+	// Long input keeps low-order bytes.
+	long := make([]byte, 25)
+	long[24] = 0xCD
+	c := BytesToAddress(long)
+	if c[19] != 0xCD {
+		t.Errorf("long truncate: %s", c)
+	}
+	if !(Address{}).IsZero() || a.IsZero() {
+		t.Error("IsZero")
+	}
+}
+
+func TestAddressWordRoundTrip(t *testing.T) {
+	f := func(raw [20]byte) bool {
+		a := Address(raw)
+		w := a.Word()
+		return WordToAddress(&w) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashConversions(t *testing.T) {
+	h := BytesToHash([]byte{1, 2, 3})
+	if h[31] != 3 || h[29] != 1 {
+		t.Errorf("hash pad: %s", h)
+	}
+	w := h.Word()
+	if BytesToHash(w.Bytes()) != h {
+		t.Error("hash word round-trip")
+	}
+}
+
+func mkTx(data []byte, to *Address) *Transaction {
+	tx := &Transaction{
+		Nonce:    7,
+		GasPrice: 2,
+		GasLimit: 100000,
+		From:     HexToAddress("0x1111111111111111111111111111111111111111"),
+		To:       to,
+		Data:     data,
+	}
+	tx.Value.SetUint64(999)
+	return tx
+}
+
+func TestTransactionRLPRoundTrip(t *testing.T) {
+	to := HexToAddress("0x2222222222222222222222222222222222222222")
+	cases := []*Transaction{
+		mkTx(nil, &to),
+		mkTx([]byte{0xa9, 0x05, 0x9c, 0xbb, 1, 2, 3}, &to),
+		mkTx([]byte{1}, nil), // creation
+	}
+	for i, tx := range cases {
+		enc := tx.EncodeRLP()
+		dec, err := DecodeTransactionRLP(enc)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if dec.Nonce != tx.Nonce || dec.GasPrice != tx.GasPrice ||
+			dec.GasLimit != tx.GasLimit || dec.From != tx.From ||
+			!dec.Value.Eq(&tx.Value) || !bytes.Equal(dec.Data, tx.Data) {
+			t.Fatalf("case %d: fields differ: %+v vs %+v", i, dec, tx)
+		}
+		if (dec.To == nil) != (tx.To == nil) {
+			t.Fatalf("case %d: To nil-ness", i)
+		}
+		if dec.To != nil && *dec.To != *tx.To {
+			t.Fatalf("case %d: To differs", i)
+		}
+		// Canonical: re-encoding matches.
+		if !bytes.Equal(dec.EncodeRLP(), enc) {
+			t.Fatalf("case %d: non-canonical", i)
+		}
+	}
+}
+
+func TestTransactionRLPErrors(t *testing.T) {
+	if _, err := DecodeTransactionRLP([]byte{0x01}); err == nil {
+		t.Error("non-list accepted")
+	}
+	if _, err := DecodeTransactionRLP([]byte{0xc0}); err == nil {
+		t.Error("empty list accepted")
+	}
+	// A 19-byte From field is invalid.
+	bad := rlp.Encode(rlp.ListValue(
+		rlp.Uint64Value(1), rlp.Uint64Value(1), rlp.Uint64Value(1),
+		rlp.StringValue(make([]byte, 19)),
+		rlp.StringValue(nil), rlp.StringValue(nil), rlp.StringValue(nil),
+	))
+	if _, err := DecodeTransactionRLP(bad); err == nil {
+		t.Error("19-byte From accepted")
+	}
+	// A 7-byte To field is invalid too.
+	bad = rlp.Encode(rlp.ListValue(
+		rlp.Uint64Value(1), rlp.Uint64Value(1), rlp.Uint64Value(1),
+		rlp.StringValue(make([]byte, 20)),
+		rlp.StringValue(make([]byte, 7)), rlp.StringValue(nil), rlp.StringValue(nil),
+	))
+	if _, err := DecodeTransactionRLP(bad); err == nil {
+		t.Error("7-byte To accepted")
+	}
+}
+
+func TestTransactionHashDiffers(t *testing.T) {
+	to := HexToAddress("0x2222222222222222222222222222222222222222")
+	a := mkTx(nil, &to)
+	b := mkTx(nil, &to)
+	if a.Hash() != b.Hash() {
+		t.Error("identical txs hash differently")
+	}
+	b.Nonce++
+	if a.Hash() == b.Hash() {
+		t.Error("different txs collide")
+	}
+}
+
+func TestSelector(t *testing.T) {
+	to := HexToAddress("0x2222222222222222222222222222222222222222")
+	tx := mkTx([]byte{0xa9, 0x05, 0x9c, 0xbb, 0xff}, &to)
+	sel, ok := tx.Selector()
+	if !ok || sel != [4]byte{0xa9, 0x05, 0x9c, 0xbb} {
+		t.Errorf("selector %x ok=%v", sel, ok)
+	}
+	if _, ok := mkTx(nil, &to).Selector(); ok {
+		t.Error("transfer has a selector")
+	}
+	if _, ok := mkTx([]byte{1, 2}, nil).Selector(); ok {
+		t.Error("creation has a selector")
+	}
+	if mkTx(nil, nil).IsContractCreation() != true {
+		t.Error("IsContractCreation")
+	}
+}
+
+func TestDAGBasics(t *testing.T) {
+	d := NewDAG(5)
+	d.AddEdge(0, 2)
+	d.AddEdge(0, 2) // duplicate ignored
+	d.AddEdge(1, 2)
+	d.AddEdge(2, 4)
+	if len(d.Deps[2]) != 2 {
+		t.Fatalf("deps of 2: %v", d.Deps[2])
+	}
+	in := d.InDegrees()
+	if in[0] != 0 || in[2] != 2 || in[4] != 1 {
+		t.Fatalf("indegrees %v", in)
+	}
+	succ := d.Successors()
+	if len(succ[0]) != 1 || succ[0][0] != 2 {
+		t.Fatalf("successors %v", succ)
+	}
+	if got := d.DependentRatio(); got != 0.4 {
+		t.Fatalf("dependent ratio %f", got)
+	}
+	if got := d.CriticalPathLen(); got != 3 { // 0→2→4
+		t.Fatalf("critical path %d", got)
+	}
+}
+
+func TestDAGInvalidEdgePanics(t *testing.T) {
+	cases := [][2]int{{2, 1}, {1, 1}, {-1, 2}, {0, 9}}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("edge %v did not panic", c)
+				}
+			}()
+			NewDAG(5).AddEdge(c[0], c[1])
+		}()
+	}
+}
+
+func TestDAGEmptyAndSingle(t *testing.T) {
+	d := NewDAG(0)
+	if d.DependentRatio() != 0 || d.CriticalPathLen() != 0 {
+		t.Error("empty DAG metrics")
+	}
+	d1 := NewDAG(1)
+	if d1.CriticalPathLen() != 1 {
+		t.Error("single-node critical path")
+	}
+}
+
+func TestCreateAddressDeterminism(t *testing.T) {
+	sender := HexToAddress("0x3333333333333333333333333333333333333333")
+	a1 := CreateAddress(sender, 0)
+	a2 := CreateAddress(sender, 0)
+	a3 := CreateAddress(sender, 1)
+	if a1 != a2 {
+		t.Error("non-deterministic")
+	}
+	if a1 == a3 {
+		t.Error("nonce ignored")
+	}
+	other := HexToAddress("0x4444444444444444444444444444444444444444")
+	if CreateAddress(other, 0) == a1 {
+		t.Error("sender ignored")
+	}
+}
+
+func TestBlockConstruction(t *testing.T) {
+	to := HexToAddress("0x2222222222222222222222222222222222222222")
+	txs := []*Transaction{mkTx(nil, &to), mkTx(nil, &to)}
+	b := NewBlock(BlockHeader{Height: 9}, txs)
+	if b.DAG.Len() != 2 {
+		t.Fatalf("DAG len %d", b.DAG.Len())
+	}
+	if b.Header.Height != 9 {
+		t.Fatal("header lost")
+	}
+}
+
+func TestValueOverflowRejected(t *testing.T) {
+	// A 33-byte Value field must be rejected on decode.
+	to := HexToAddress("0x2222222222222222222222222222222222222222")
+	tx := mkTx(nil, &to)
+	var huge uint256.Int
+	huge.SetAllOne()
+	tx.Value = huge
+	enc := tx.EncodeRLP()
+	dec, err := DecodeTransactionRLP(enc)
+	if err != nil {
+		t.Fatalf("max value should round-trip: %v", err)
+	}
+	if !dec.Value.Eq(&huge) {
+		t.Fatal("max value mangled")
+	}
+}

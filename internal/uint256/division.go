@@ -1,0 +1,195 @@
+package uint256
+
+import "math/bits"
+
+// This file implements multi-precision unsigned division (Knuth's
+// Algorithm D, TAOCP vol. 2 §4.3.1) for dividends of up to 8 limbs —
+// enough for the 512-bit intermediates produced by MULMOD — divided by a
+// 256-bit divisor.
+
+// udivrem divides u (little-endian limbs, any length up to 8) by the
+// non-zero divisor d. The quotient is written into quot (which must have
+// len(u) limbs available; unused high limbs are zeroed) and, if rem is
+// non-nil, the remainder is stored into rem.
+func udivrem(quot, u []uint64, d *Int, rem *Int) {
+	var dLen int
+	for i := len(d) - 1; i >= 0; i-- {
+		if d[i] != 0 {
+			dLen = i + 1
+			break
+		}
+	}
+
+	shift := uint(bits.LeadingZeros64(d[dLen-1]))
+
+	var dnStorage Int
+	dn := dnStorage[:dLen]
+	for i := dLen - 1; i > 0; i-- {
+		dn[i] = d[i] << shift
+		if shift > 0 {
+			dn[i] |= d[i-1] >> (64 - shift)
+		}
+	}
+	dn[0] = d[0] << shift
+
+	var uLen int
+	for i := len(u) - 1; i >= 0; i-- {
+		if u[i] != 0 {
+			uLen = i + 1
+			break
+		}
+	}
+
+	for i := range quot {
+		quot[i] = 0
+	}
+
+	if uLen < dLen {
+		if rem != nil {
+			rem.Clear()
+			copy(rem[:], u)
+		}
+		return
+	}
+
+	var unStorage [9]uint64
+	un := unStorage[:uLen+1]
+	un[uLen] = 0
+	if shift > 0 {
+		un[uLen] = u[uLen-1] >> (64 - shift)
+	}
+	for i := uLen - 1; i > 0; i-- {
+		un[i] = u[i] << shift
+		if shift > 0 {
+			un[i] |= u[i-1] >> (64 - shift)
+		}
+	}
+	un[0] = u[0] << shift
+
+	// Single-limb divisor fast path.
+	if dLen == 1 {
+		dw := dn[0]
+		r := udivremBy1(quot, un, dw)
+		if rem != nil {
+			rem.SetUint64(r >> shift)
+		}
+		return
+	}
+
+	udivremKnuth(quot, un, dn)
+
+	if rem != nil {
+		rem.Clear()
+		for i := 0; i < dLen; i++ {
+			rem[i] = un[i] >> shift
+			if shift > 0 && i+1 < len(un) {
+				rem[i] |= un[i+1] << (64 - shift)
+			}
+		}
+	}
+}
+
+// udivremBy1 divides the normalized dividend u by the single normalized
+// word d, writing the quotient into quot and returning the (normalized)
+// remainder.
+func udivremBy1(quot, u []uint64, d uint64) uint64 {
+	reciprocal := reciprocal2by1(d)
+	rem := u[len(u)-1] // high limb is the initial remainder (< d after normalization)
+	for j := len(u) - 2; j >= 0; j-- {
+		quot[j], rem = udivrem2by1(rem, u[j], d, reciprocal)
+	}
+	return rem
+}
+
+// reciprocal2by1 computes ⌊(2^128 - 1) / d⌋ - 2^64 for a normalized d
+// (high bit set), per Möller & Granlund, "Improved division by invariant
+// integers".
+func reciprocal2by1(d uint64) uint64 {
+	reciprocal, _ := bits.Div64(^d, ^uint64(0), d)
+	return reciprocal
+}
+
+// udivrem2by1 divides the two-limb value (uh, ul) by the normalized d using
+// the precomputed reciprocal, returning quotient and remainder.
+func udivrem2by1(uh, ul, d, reciprocal uint64) (quot, rem uint64) {
+	qh, ql := bits.Mul64(reciprocal, uh)
+	ql, carry := bits.Add64(ql, ul, 0)
+	qh, _ = bits.Add64(qh, uh, carry)
+	qh++
+
+	r := ul - qh*d
+
+	if r > ql {
+		qh--
+		r += d
+	}
+
+	if r >= d {
+		qh++
+		r -= d
+	}
+
+	return qh, r
+}
+
+// udivremKnuth implements the core Algorithm D loop for a normalized
+// dividend u (len m+n+1) and normalized divisor d (len n >= 2). The
+// quotient is written into quot and u is overwritten by the normalized
+// remainder.
+func udivremKnuth(quot, u, d []uint64) {
+	dh := d[len(d)-1]
+	dl := d[len(d)-2]
+	reciprocal := reciprocal2by1(dh)
+
+	for j := len(u) - len(d) - 1; j >= 0; j-- {
+		u2 := u[j+len(d)]
+		u1 := u[j+len(d)-1]
+		u0 := u[j+len(d)-2]
+
+		var qhat, rhat uint64
+		if u2 >= dh {
+			// Quotient digit would overflow; clamp to the max.
+			qhat = ^uint64(0)
+		} else {
+			qhat, rhat = udivrem2by1(u2, u1, dh, reciprocal)
+			ph, pl := bits.Mul64(qhat, dl)
+			if ph > rhat || (ph == rhat && pl > u0) {
+				qhat--
+				// A second correction step is handled by the add-back below.
+			}
+		}
+
+		// Multiply-and-subtract qhat*d from u[j : j+len(d)+1].
+		borrow := subMulTo(u[j:j+len(d)], d, qhat)
+		u[j+len(d)] = u2 - borrow
+		if u2 < borrow {
+			// qhat was one too large: add d back.
+			qhat--
+			u[j+len(d)] += addTo(u[j:j+len(d)], d)
+		}
+
+		quot[j] = qhat
+	}
+}
+
+// subMulTo computes x -= y*multiplier limb-wise, returning the final borrow.
+func subMulTo(x, y []uint64, multiplier uint64) uint64 {
+	var borrow uint64
+	for i := 0; i < len(y); i++ {
+		s, carry1 := bits.Sub64(x[i], borrow, 0)
+		ph, pl := bits.Mul64(y[i], multiplier)
+		t, carry2 := bits.Sub64(s, pl, 0)
+		x[i] = t
+		borrow = ph + carry1 + carry2
+	}
+	return borrow
+}
+
+// addTo computes x += y limb-wise, returning the final carry.
+func addTo(x, y []uint64) uint64 {
+	var carry uint64
+	for i := 0; i < len(y); i++ {
+		x[i], carry = bits.Add64(x[i], y[i], carry)
+	}
+	return carry
+}

@@ -1,0 +1,771 @@
+// Package uint256 implements fixed-size 256-bit unsigned integers with the
+// arithmetic and comparison semantics required by the EVM word model:
+// wrap-around unsigned ops, two's-complement signed variants, and the
+// modular helpers (ADDMOD, MULMOD, EXP, SIGNEXTEND) from the instruction
+// set in Table 3 of the MTPU paper.
+//
+// An Int is four 64-bit limbs in little-endian order (limb 0 is least
+// significant). The zero value is the number 0 and is ready to use. All
+// arithmetic methods write their result into the receiver and return it,
+// so operations can be chained without allocation:
+//
+//	z := new(uint256.Int).Add(x, y)
+package uint256
+
+import (
+	"encoding/binary"
+	"errors"
+	"math/bits"
+)
+
+// Int is a 256-bit unsigned integer: z = z[0] + z[1]<<64 + z[2]<<128 + z[3]<<192.
+type Int [4]uint64
+
+// NewInt returns a new Int set to the uint64 value v.
+func NewInt(v uint64) *Int {
+	return &Int{v, 0, 0, 0}
+}
+
+// Set sets z to x and returns z.
+func (z *Int) Set(x *Int) *Int {
+	*z = *x
+	return z
+}
+
+// Clone returns a fresh copy of z.
+func (z *Int) Clone() *Int {
+	c := *z
+	return &c
+}
+
+// SetUint64 sets z to the uint64 value v and returns z.
+func (z *Int) SetUint64(v uint64) *Int {
+	z[0], z[1], z[2], z[3] = v, 0, 0, 0
+	return z
+}
+
+// Clear sets z to zero and returns z.
+func (z *Int) Clear() *Int {
+	z[0], z[1], z[2], z[3] = 0, 0, 0, 0
+	return z
+}
+
+// SetOne sets z to one and returns z.
+func (z *Int) SetOne() *Int {
+	z[0], z[1], z[2], z[3] = 1, 0, 0, 0
+	return z
+}
+
+// SetAllOne sets z to 2^256-1 and returns z.
+func (z *Int) SetAllOne() *Int {
+	m := ^uint64(0)
+	z[0], z[1], z[2], z[3] = m, m, m, m
+	return z
+}
+
+// IsZero reports whether z is zero.
+func (z *Int) IsZero() bool {
+	return (z[0] | z[1] | z[2] | z[3]) == 0
+}
+
+// IsUint64 reports whether z fits in a uint64.
+func (z *Int) IsUint64() bool {
+	return (z[1] | z[2] | z[3]) == 0
+}
+
+// Uint64 returns the low 64 bits of z.
+func (z *Int) Uint64() uint64 {
+	return z[0]
+}
+
+// Uint64WithOverflow returns the low 64 bits of z and whether z overflows a uint64.
+func (z *Int) Uint64WithOverflow() (uint64, bool) {
+	return z[0], (z[1] | z[2] | z[3]) != 0
+}
+
+// BitLen returns the number of bits required to represent z (0 for zero).
+func (z *Int) BitLen() int {
+	switch {
+	case z[3] != 0:
+		return 192 + bits.Len64(z[3])
+	case z[2] != 0:
+		return 128 + bits.Len64(z[2])
+	case z[1] != 0:
+		return 64 + bits.Len64(z[1])
+	default:
+		return bits.Len64(z[0])
+	}
+}
+
+// ByteLen returns the number of bytes required to represent z (0 for zero).
+func (z *Int) ByteLen() int {
+	return (z.BitLen() + 7) / 8
+}
+
+// Sign returns 0 if z is zero, 1 if z is a positive two's-complement value
+// (high bit clear), and -1 if the high bit is set.
+func (z *Int) Sign() int {
+	if z.IsZero() {
+		return 0
+	}
+	if z[3] < 0x8000000000000000 {
+		return 1
+	}
+	return -1
+}
+
+// Add sets z = x + y (mod 2^256) and returns z.
+func (z *Int) Add(x, y *Int) *Int {
+	var c uint64
+	z[0], c = bits.Add64(x[0], y[0], 0)
+	z[1], c = bits.Add64(x[1], y[1], c)
+	z[2], c = bits.Add64(x[2], y[2], c)
+	z[3], _ = bits.Add64(x[3], y[3], c)
+	return z
+}
+
+// AddOverflow sets z = x + y and reports whether the addition wrapped.
+func (z *Int) AddOverflow(x, y *Int) (*Int, bool) {
+	var c uint64
+	z[0], c = bits.Add64(x[0], y[0], 0)
+	z[1], c = bits.Add64(x[1], y[1], c)
+	z[2], c = bits.Add64(x[2], y[2], c)
+	z[3], c = bits.Add64(x[3], y[3], c)
+	return z, c != 0
+}
+
+// Sub sets z = x - y (mod 2^256) and returns z.
+func (z *Int) Sub(x, y *Int) *Int {
+	var b uint64
+	z[0], b = bits.Sub64(x[0], y[0], 0)
+	z[1], b = bits.Sub64(x[1], y[1], b)
+	z[2], b = bits.Sub64(x[2], y[2], b)
+	z[3], _ = bits.Sub64(x[3], y[3], b)
+	return z
+}
+
+// SubOverflow sets z = x - y and reports whether the subtraction borrowed.
+func (z *Int) SubOverflow(x, y *Int) (*Int, bool) {
+	var b uint64
+	z[0], b = bits.Sub64(x[0], y[0], 0)
+	z[1], b = bits.Sub64(x[1], y[1], b)
+	z[2], b = bits.Sub64(x[2], y[2], b)
+	z[3], b = bits.Sub64(x[3], y[3], b)
+	return z, b != 0
+}
+
+// Neg sets z = -x (mod 2^256) and returns z.
+func (z *Int) Neg(x *Int) *Int {
+	return z.Sub(&Int{}, x)
+}
+
+// Abs sets z to the absolute value of the two's-complement number x.
+func (z *Int) Abs(x *Int) *Int {
+	if x.Sign() >= 0 {
+		return z.Set(x)
+	}
+	return z.Neg(x)
+}
+
+// umul computes the full 512-bit product x*y into res (8 limbs, little endian).
+func umul(x, y *Int, res *[8]uint64) {
+	var carry, carry2, carry3, res1, res2 uint64
+
+	carry, res[0] = bits.Mul64(x[0], y[0])
+
+	carry, res1 = umulHop(carry, x[1], y[0])
+	carry2, res[1] = umulHop(res1, x[0], y[1])
+
+	carry, res1 = umulHop(carry, x[2], y[0])
+	carry2, res2 = umulStep(res1, x[1], y[1], carry2)
+	carry3, res[2] = umulHop(res2, x[0], y[2])
+
+	carry, res1 = umulHop(carry, x[3], y[0])
+	carry2, res2 = umulStep(res1, x[2], y[1], carry2)
+	carry3, res1 = umulStep(res2, x[1], y[2], carry3)
+	var carry4 uint64
+	carry4, res[3] = umulHop(res1, x[0], y[3])
+
+	carry, res1 = umulStep(carry, x[3], y[1], carry2)
+	carry2, res2 = umulStep(res1, x[2], y[2], carry3)
+	carry3, res[4] = umulStep(res2, x[1], y[3], carry4)
+
+	carry, res1 = umulStep(carry, x[3], y[2], carry2)
+	carry2, res[5] = umulStep(res1, x[2], y[3], carry3)
+
+	carry, res[6] = umulStep(carry, x[3], y[3], carry2)
+	res[7] = carry
+}
+
+// umulStep computes (hi*2^64 + lo) = z + (x*y) + carry.
+func umulStep(z, x, y, carry uint64) (hi, lo uint64) {
+	hi, lo = bits.Mul64(x, y)
+	lo, cc := bits.Add64(lo, carry, 0)
+	hi, _ = bits.Add64(hi, 0, cc)
+	lo, cc = bits.Add64(lo, z, 0)
+	hi, _ = bits.Add64(hi, 0, cc)
+	return hi, lo
+}
+
+// umulHop computes (hi*2^64 + lo) = z + (x*y).
+func umulHop(z, x, y uint64) (hi, lo uint64) {
+	hi, lo = bits.Mul64(x, y)
+	lo, cc := bits.Add64(lo, z, 0)
+	hi, _ = bits.Add64(hi, 0, cc)
+	return hi, lo
+}
+
+// Mul sets z = x * y (mod 2^256) and returns z.
+func (z *Int) Mul(x, y *Int) *Int {
+	var (
+		res              Int
+		carry            uint64
+		res1, res2, res3 uint64
+	)
+
+	carry, res[0] = bits.Mul64(x[0], y[0])
+	carry, res1 = umulHop(carry, x[1], y[0])
+	carry, res2 = umulHop(carry, x[2], y[0])
+	res3 = x[3]*y[0] + carry
+
+	carry, res[1] = umulHop(res1, x[0], y[1])
+	carry, res2 = umulStep(res2, x[1], y[1], carry)
+	res3 = res3 + x[2]*y[1] + carry
+
+	carry, res[2] = umulHop(res2, x[0], y[2])
+	res3 = res3 + x[1]*y[2] + carry
+
+	res[3] = res3 + x[0]*y[3]
+
+	return z.Set(&res)
+}
+
+// MulOverflow sets z = x * y and reports whether the full product exceeded 256 bits.
+func (z *Int) MulOverflow(x, y *Int) (*Int, bool) {
+	var p [8]uint64
+	umul(x, y, &p)
+	copy(z[:], p[:4])
+	return z, (p[4] | p[5] | p[6] | p[7]) != 0
+}
+
+// Div sets z = x / y (integer division, z = 0 when y = 0) and returns z.
+func (z *Int) Div(x, y *Int) *Int {
+	if y.IsZero() || y.Gt(x) {
+		return z.Clear()
+	}
+	if x.Eq(y) {
+		return z.SetOne()
+	}
+	if x.IsUint64() {
+		// y <= x, so y also fits.
+		return z.SetUint64(x[0] / y[0])
+	}
+	var quot Int
+	udivrem(quot[:], x[:], y, nil)
+	return z.Set(&quot)
+}
+
+// Mod sets z = x % y (z = 0 when y = 0) and returns z.
+func (z *Int) Mod(x, y *Int) *Int {
+	if y.IsZero() || x.Eq(y) {
+		return z.Clear()
+	}
+	if x.Lt(y) {
+		return z.Set(x)
+	}
+	if x.IsUint64() {
+		return z.SetUint64(x[0] % y[0])
+	}
+	var quot, rem Int
+	udivrem(quot[:], x[:], y, &rem)
+	return z.Set(&rem)
+}
+
+// DivMod sets z = x / y and m = x % y, returning (z, m). It allows aliasing.
+func (z *Int) DivMod(x, y, m *Int) (*Int, *Int) {
+	if y.IsZero() {
+		return z.Clear(), m.Clear()
+	}
+	var quot, rem Int
+	udivrem(quot[:], x[:], y, &rem)
+	return z.Set(&quot), m.Set(&rem)
+}
+
+// SDiv sets z = x / y treating both as two's-complement signed numbers.
+// Division truncates toward zero; z = 0 when y = 0.
+func (z *Int) SDiv(x, y *Int) *Int {
+	if x.Sign() >= 0 {
+		if y.Sign() >= 0 {
+			return z.Div(x, y)
+		}
+		var ay Int
+		ay.Neg(y)
+		z.Div(x, &ay)
+		return z.Neg(z)
+	}
+	var ax Int
+	ax.Neg(x)
+	if y.Sign() >= 0 {
+		z.Div(&ax, y)
+		return z.Neg(z)
+	}
+	var ay Int
+	ay.Neg(y)
+	return z.Div(&ax, &ay)
+}
+
+// SMod sets z = x % y treating both as signed; the result has the sign of x.
+func (z *Int) SMod(x, y *Int) *Int {
+	sx := x.Sign()
+	var ax, ay Int
+	ax.Abs(x)
+	ay.Abs(y)
+	z.Mod(&ax, &ay)
+	if sx < 0 {
+		z.Neg(z)
+	}
+	return z
+}
+
+// AddMod sets z = (x + y) % m, handling the 257-bit intermediate sum; z = 0 when m = 0.
+func (z *Int) AddMod(x, y, m *Int) *Int {
+	if m.IsZero() {
+		return z.Clear()
+	}
+	var sum Int
+	_, carry := sum.AddOverflow(x, y)
+	if !carry {
+		return z.Mod(&sum, m)
+	}
+	// 5-limb dividend: sum + 2^256.
+	u := [5]uint64{sum[0], sum[1], sum[2], sum[3], 1}
+	var quot [5]uint64
+	var rem Int
+	udivrem(quot[:], u[:], m, &rem)
+	return z.Set(&rem)
+}
+
+// MulMod sets z = (x * y) % m using the full 512-bit product; z = 0 when m = 0.
+func (z *Int) MulMod(x, y, m *Int) *Int {
+	if m.IsZero() {
+		return z.Clear()
+	}
+	var p [8]uint64
+	umul(x, y, &p)
+	if (p[4] | p[5] | p[6] | p[7]) == 0 {
+		var lo Int
+		copy(lo[:], p[:4])
+		return z.Mod(&lo, m)
+	}
+	var quot [8]uint64
+	var rem Int
+	udivrem(quot[:], p[:], m, &rem)
+	return z.Set(&rem)
+}
+
+// Exp sets z = x^y (mod 2^256) by square-and-multiply and returns z.
+func (z *Int) Exp(x, y *Int) *Int {
+	res := Int{1, 0, 0, 0}
+	multiplier := *x
+	expBitLen := y.BitLen()
+
+	curBit := 0
+	word := y[0]
+	for ; curBit < expBitLen && curBit < 64; curBit++ {
+		if word&1 == 1 {
+			res.Mul(&res, &multiplier)
+		}
+		multiplier.Mul(&multiplier, &multiplier)
+		word >>= 1
+	}
+	word = y[1]
+	for ; curBit < expBitLen && curBit < 128; curBit++ {
+		if word&1 == 1 {
+			res.Mul(&res, &multiplier)
+		}
+		multiplier.Mul(&multiplier, &multiplier)
+		word >>= 1
+	}
+	word = y[2]
+	for ; curBit < expBitLen && curBit < 192; curBit++ {
+		if word&1 == 1 {
+			res.Mul(&res, &multiplier)
+		}
+		multiplier.Mul(&multiplier, &multiplier)
+		word >>= 1
+	}
+	word = y[3]
+	for ; curBit < expBitLen && curBit < 256; curBit++ {
+		if word&1 == 1 {
+			res.Mul(&res, &multiplier)
+		}
+		multiplier.Mul(&multiplier, &multiplier)
+		word >>= 1
+	}
+	return z.Set(&res)
+}
+
+// SignExtend sets z to x sign-extended from byte position b (EVM SIGNEXTEND).
+// Byte 0 is the least-significant byte. If b > 30, z = x.
+func (z *Int) SignExtend(b, x *Int) *Int {
+	if b.IsUint64() && b[0] <= 30 {
+		byteNum := b[0]
+		bitPos := byteNum*8 + 7
+		word := bitPos / 64
+		bit := bitPos % 64
+		signSet := x[word]&(1<<bit) != 0
+		z.Set(x)
+		if signSet {
+			// Set all bits above bitPos.
+			z[word] |= ^uint64(0) << bit
+			for i := word + 1; i < 4; i++ {
+				z[i] = ^uint64(0)
+			}
+		} else {
+			z[word] &= ^uint64(0) >> (63 - bit)
+			for i := word + 1; i < 4; i++ {
+				z[i] = 0
+			}
+		}
+		return z
+	}
+	return z.Set(x)
+}
+
+// Cmp compares z and x as unsigned integers: -1 if z < x, 0 if equal, +1 if z > x.
+func (z *Int) Cmp(x *Int) int {
+	for i := 3; i >= 0; i-- {
+		if z[i] < x[i] {
+			return -1
+		}
+		if z[i] > x[i] {
+			return 1
+		}
+	}
+	return 0
+}
+
+// Lt reports whether z < x (unsigned).
+func (z *Int) Lt(x *Int) bool {
+	_, borrow := bits.Sub64(z[0], x[0], 0)
+	_, borrow = bits.Sub64(z[1], x[1], borrow)
+	_, borrow = bits.Sub64(z[2], x[2], borrow)
+	_, borrow = bits.Sub64(z[3], x[3], borrow)
+	return borrow != 0
+}
+
+// Gt reports whether z > x (unsigned).
+func (z *Int) Gt(x *Int) bool {
+	return x.Lt(z)
+}
+
+// Slt reports whether z < x treating both as signed.
+func (z *Int) Slt(x *Int) bool {
+	zSign := z.Sign()
+	xSign := x.Sign()
+	switch {
+	case zSign >= 0 && xSign < 0:
+		return false
+	case zSign < 0 && xSign >= 0:
+		return true
+	default:
+		return z.Lt(x)
+	}
+}
+
+// Sgt reports whether z > x treating both as signed.
+func (z *Int) Sgt(x *Int) bool {
+	return x.Slt(z)
+}
+
+// Eq reports whether z equals x.
+func (z *Int) Eq(x *Int) bool {
+	return *z == *x
+}
+
+// And sets z = x & y and returns z.
+func (z *Int) And(x, y *Int) *Int {
+	z[0], z[1], z[2], z[3] = x[0]&y[0], x[1]&y[1], x[2]&y[2], x[3]&y[3]
+	return z
+}
+
+// Or sets z = x | y and returns z.
+func (z *Int) Or(x, y *Int) *Int {
+	z[0], z[1], z[2], z[3] = x[0]|y[0], x[1]|y[1], x[2]|y[2], x[3]|y[3]
+	return z
+}
+
+// Xor sets z = x ^ y and returns z.
+func (z *Int) Xor(x, y *Int) *Int {
+	z[0], z[1], z[2], z[3] = x[0]^y[0], x[1]^y[1], x[2]^y[2], x[3]^y[3]
+	return z
+}
+
+// Not sets z = ^x and returns z.
+func (z *Int) Not(x *Int) *Int {
+	z[0], z[1], z[2], z[3] = ^x[0], ^x[1], ^x[2], ^x[3]
+	return z
+}
+
+// Byte implements the EVM BYTE opcode: z = the n-th byte of x where byte 0
+// is the most significant. If n > 31, z = 0. The receiver is set and returned.
+func (z *Int) Byte(n, x *Int) *Int {
+	if n.IsUint64() && n[0] < 32 {
+		idx := n[0]
+		word := 3 - idx/8
+		shift := 56 - 8*(idx%8)
+		return z.SetUint64((x[word] >> shift) & 0xff)
+	}
+	return z.Clear()
+}
+
+// Lsh sets z = x << n and returns z.
+func (z *Int) Lsh(x *Int, n uint) *Int {
+	if n >= 256 {
+		return z.Clear()
+	}
+	var t Int
+	t.Set(x)
+	for n >= 64 {
+		t[3], t[2], t[1], t[0] = t[2], t[1], t[0], 0
+		n -= 64
+	}
+	if n == 0 {
+		return z.Set(&t)
+	}
+	z[3] = t[3]<<n | t[2]>>(64-n)
+	z[2] = t[2]<<n | t[1]>>(64-n)
+	z[1] = t[1]<<n | t[0]>>(64-n)
+	z[0] = t[0] << n
+	return z
+}
+
+// Rsh sets z = x >> n (logical shift) and returns z.
+func (z *Int) Rsh(x *Int, n uint) *Int {
+	if n >= 256 {
+		return z.Clear()
+	}
+	var t Int
+	t.Set(x)
+	for n >= 64 {
+		t[0], t[1], t[2], t[3] = t[1], t[2], t[3], 0
+		n -= 64
+	}
+	if n == 0 {
+		return z.Set(&t)
+	}
+	z[0] = t[0]>>n | t[1]<<(64-n)
+	z[1] = t[1]>>n | t[2]<<(64-n)
+	z[2] = t[2]>>n | t[3]<<(64-n)
+	z[3] = t[3] >> n
+	return z
+}
+
+// SRsh sets z = x >> n treating x as signed (arithmetic shift) and returns z.
+func (z *Int) SRsh(x *Int, n uint) *Int {
+	if x.Sign() >= 0 {
+		return z.Rsh(x, n)
+	}
+	if n >= 256 {
+		return z.SetAllOne()
+	}
+	z.Rsh(x, n)
+	// Fill vacated high bits with ones.
+	var mask Int
+	mask.SetAllOne()
+	mask.Lsh(&mask, 256-n)
+	return z.Or(z, &mask)
+}
+
+// SetBytes interprets buf as a big-endian unsigned integer and sets z to it.
+// Input longer than 32 bytes keeps the low-order 32 bytes (EVM semantics).
+func (z *Int) SetBytes(buf []byte) *Int {
+	if len(buf) > 32 {
+		buf = buf[len(buf)-32:]
+	}
+	z.Clear()
+	for i := 0; i < len(buf); i++ {
+		limb := (len(buf) - 1 - i) / 8
+		shift := uint((len(buf) - 1 - i) % 8 * 8)
+		z[limb] |= uint64(buf[i]) << shift
+	}
+	return z
+}
+
+// Bytes32 returns z as a big-endian 32-byte array.
+func (z *Int) Bytes32() [32]byte {
+	var b [32]byte
+	binary.BigEndian.PutUint64(b[0:8], z[3])
+	binary.BigEndian.PutUint64(b[8:16], z[2])
+	binary.BigEndian.PutUint64(b[16:24], z[1])
+	binary.BigEndian.PutUint64(b[24:32], z[0])
+	return b
+}
+
+// Bytes returns the minimal big-endian byte representation of z (empty for zero).
+func (z *Int) Bytes() []byte {
+	b := z.Bytes32()
+	return b[32-z.ByteLen():]
+}
+
+// PutBytes32 writes z into dst as big-endian; dst must be at least 32 bytes.
+func (z *Int) PutBytes32(dst []byte) {
+	binary.BigEndian.PutUint64(dst[0:8], z[3])
+	binary.BigEndian.PutUint64(dst[8:16], z[2])
+	binary.BigEndian.PutUint64(dst[16:24], z[1])
+	binary.BigEndian.PutUint64(dst[24:32], z[0])
+}
+
+const hexDigits = "0123456789abcdef"
+
+// Hex returns the canonical 0x-prefixed hexadecimal representation of z
+// without leading zeros ("0x0" for zero).
+func (z *Int) Hex() string {
+	if z.IsZero() {
+		return "0x0"
+	}
+	b := z.Bytes()
+	out := make([]byte, 0, 2+2*len(b))
+	out = append(out, '0', 'x')
+	first := true
+	for _, v := range b {
+		hi, lo := v>>4, v&0xf
+		if first && hi == 0 {
+			out = append(out, hexDigits[lo])
+		} else {
+			out = append(out, hexDigits[hi], hexDigits[lo])
+		}
+		first = false
+	}
+	return string(out)
+}
+
+// Dec returns the decimal string representation of z.
+func (z *Int) Dec() string {
+	if z.IsZero() {
+		return "0"
+	}
+	// Repeated division by 10^19 (largest power of ten in a uint64).
+	const divisor = 10000000000000000000
+	var buf [80]byte
+	pos := len(buf)
+	t := *z
+	for !t.IsZero() {
+		var rem Int
+		q := new(Int)
+		q.DivMod(&t, NewInt(divisor), &rem)
+		r := rem[0]
+		if q.IsZero() {
+			for r > 0 {
+				pos--
+				buf[pos] = byte('0' + r%10)
+				r /= 10
+			}
+		} else {
+			for i := 0; i < 19; i++ {
+				pos--
+				buf[pos] = byte('0' + r%10)
+				r /= 10
+			}
+		}
+		t = *q
+	}
+	return string(buf[pos:])
+}
+
+// String returns the decimal representation of z.
+func (z *Int) String() string {
+	return z.Dec()
+}
+
+// ErrSyntax is returned when parsing malformed numeric input.
+var ErrSyntax = errors.New("uint256: invalid syntax")
+
+// ErrRange is returned when a parsed value does not fit in 256 bits.
+var ErrRange = errors.New("uint256: value out of 256-bit range")
+
+// SetFromHex sets z from a 0x-prefixed hexadecimal string.
+func (z *Int) SetFromHex(s string) error {
+	if len(s) < 3 || s[0] != '0' || (s[1] != 'x' && s[1] != 'X') {
+		return ErrSyntax
+	}
+	s = s[2:]
+	if len(s) > 64 {
+		return ErrRange
+	}
+	z.Clear()
+	for i := 0; i < len(s); i++ {
+		var v uint64
+		c := s[i]
+		switch {
+		case c >= '0' && c <= '9':
+			v = uint64(c - '0')
+		case c >= 'a' && c <= 'f':
+			v = uint64(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			v = uint64(c-'A') + 10
+		default:
+			return ErrSyntax
+		}
+		z.Lsh(z, 4)
+		z[0] |= v
+	}
+	return nil
+}
+
+// SetFromDecimal sets z from a decimal string.
+func (z *Int) SetFromDecimal(s string) error {
+	if len(s) == 0 {
+		return ErrSyntax
+	}
+	z.Clear()
+	ten := NewInt(10)
+	var d Int
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < '0' || c > '9' {
+			return ErrSyntax
+		}
+		if _, over := z.MulOverflow(z, ten); over {
+			return ErrRange
+		}
+		d.SetUint64(uint64(c - '0'))
+		if _, over := z.AddOverflow(z, &d); over {
+			return ErrRange
+		}
+	}
+	return nil
+}
+
+// MustFromHex parses a 0x-prefixed hex string, panicking on error. For tests
+// and static initialisers.
+func MustFromHex(s string) *Int {
+	z := new(Int)
+	if err := z.SetFromHex(s); err != nil {
+		panic(err)
+	}
+	return z
+}
+
+// MustFromDecimal parses a decimal string, panicking on error.
+func MustFromDecimal(s string) *Int {
+	z := new(Int)
+	if err := z.SetFromDecimal(s); err != nil {
+		panic(err)
+	}
+	return z
+}
+
+// MarshalText implements encoding.TextMarshaler using the hex form.
+func (z *Int) MarshalText() ([]byte, error) {
+	return []byte(z.Hex()), nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler accepting hex or decimal.
+func (z *Int) UnmarshalText(text []byte) error {
+	s := string(text)
+	if len(s) >= 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X') {
+		return z.SetFromHex(s)
+	}
+	return z.SetFromDecimal(s)
+}

@@ -1,0 +1,482 @@
+package uint256
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// bigMod is 2^256, the word modulus.
+var bigMod = new(big.Int).Lsh(big.NewInt(1), 256)
+
+func toBig(z *Int) *big.Int {
+	b := z.Bytes32()
+	return new(big.Int).SetBytes(b[:])
+}
+
+func fromBig(b *big.Int) *Int {
+	var v big.Int
+	v.Mod(b, bigMod)
+	z := new(Int)
+	z.SetBytes(v.Bytes())
+	return z
+}
+
+// toSignedBig interprets z as a two's-complement signed number.
+func toSignedBig(z *Int) *big.Int {
+	b := toBig(z)
+	if z.Sign() < 0 {
+		b.Sub(b, bigMod)
+	}
+	return b
+}
+
+// randInt produces Ints with interesting bit patterns: small, sparse,
+// dense, and boundary values.
+func randInt(r *rand.Rand) *Int {
+	z := new(Int)
+	switch r.Intn(6) {
+	case 0:
+		z.SetUint64(r.Uint64() % 1024)
+	case 1:
+		z.SetUint64(r.Uint64())
+	case 2:
+		z[r.Intn(4)] = r.Uint64()
+	case 3:
+		z[0], z[1], z[2], z[3] = r.Uint64(), r.Uint64(), r.Uint64(), r.Uint64()
+	case 4:
+		z.SetAllOne()
+		z[r.Intn(4)] = r.Uint64()
+	case 5:
+		// Power-of-two neighborhood.
+		var one Int
+		one.SetOne()
+		z.Lsh(&one, uint(r.Intn(256)))
+		if r.Intn(2) == 0 {
+			z.Sub(z, &one)
+		}
+	}
+	return z
+}
+
+func checkBinop(t *testing.T, name string, op func(z, x, y *Int) *Int, ref func(r, x, y *big.Int) *big.Int) {
+	t.Helper()
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 3000; i++ {
+		x, y := randInt(r), randInt(r)
+		z := new(Int)
+		op(z, x, y)
+		want := fromBig(ref(new(big.Int), toBig(x), toBig(y)))
+		if !z.Eq(want) {
+			t.Fatalf("%s(%s, %s) = %s, want %s", name, x.Hex(), y.Hex(), z.Hex(), want.Hex())
+		}
+	}
+}
+
+func TestAdd(t *testing.T) {
+	checkBinop(t, "Add", (*Int).Add, (*big.Int).Add)
+}
+
+func TestSub(t *testing.T) {
+	checkBinop(t, "Sub", (*Int).Sub, (*big.Int).Sub)
+}
+
+func TestMul(t *testing.T) {
+	checkBinop(t, "Mul", (*Int).Mul, (*big.Int).Mul)
+}
+
+func TestDiv(t *testing.T) {
+	checkBinop(t, "Div", (*Int).Div, func(r, x, y *big.Int) *big.Int {
+		if y.Sign() == 0 {
+			return r.SetInt64(0)
+		}
+		return r.Div(x, y)
+	})
+}
+
+func TestMod(t *testing.T) {
+	checkBinop(t, "Mod", (*Int).Mod, func(r, x, y *big.Int) *big.Int {
+		if y.Sign() == 0 {
+			return r.SetInt64(0)
+		}
+		return r.Mod(x, y)
+	})
+}
+
+func TestSDiv(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 3000; i++ {
+		x, y := randInt(r), randInt(r)
+		z := new(Int).SDiv(x, y)
+		want := new(big.Int)
+		if toBig(y).Sign() != 0 {
+			want.Quo(toSignedBig(x), toSignedBig(y))
+		}
+		if got := toSignedBig(z); got.Cmp(fromSignedRef(want)) != 0 {
+			t.Fatalf("SDiv(%s, %s) = %s, want %s", x.Hex(), y.Hex(), got, want)
+		}
+	}
+}
+
+func TestSMod(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	for i := 0; i < 3000; i++ {
+		x, y := randInt(r), randInt(r)
+		z := new(Int).SMod(x, y)
+		want := new(big.Int)
+		if toBig(y).Sign() != 0 {
+			want.Rem(toSignedBig(x), toSignedBig(y))
+		}
+		if got := toSignedBig(z); got.Cmp(fromSignedRef(want)) != 0 {
+			t.Fatalf("SMod(%s, %s) = %s, want %s", x.Hex(), y.Hex(), got, want)
+		}
+	}
+}
+
+// fromSignedRef normalizes a signed reference result into the same signed
+// range as toSignedBig output.
+func fromSignedRef(b *big.Int) *big.Int {
+	v := new(big.Int).Mod(b, bigMod)
+	half := new(big.Int).Rsh(bigMod, 1)
+	if v.Cmp(half) >= 0 {
+		v.Sub(v, bigMod)
+	}
+	return v
+}
+
+func TestAddMod(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for i := 0; i < 3000; i++ {
+		x, y, m := randInt(r), randInt(r), randInt(r)
+		z := new(Int).AddMod(x, y, m)
+		want := new(big.Int)
+		if toBig(m).Sign() != 0 {
+			want.Add(toBig(x), toBig(y))
+			want.Mod(want, toBig(m))
+		}
+		if toBig(z).Cmp(want) != 0 {
+			t.Fatalf("AddMod(%s, %s, %s) = %s, want %s", x.Hex(), y.Hex(), m.Hex(), z.Hex(), want)
+		}
+	}
+}
+
+func TestMulMod(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	for i := 0; i < 3000; i++ {
+		x, y, m := randInt(r), randInt(r), randInt(r)
+		z := new(Int).MulMod(x, y, m)
+		want := new(big.Int)
+		if toBig(m).Sign() != 0 {
+			want.Mul(toBig(x), toBig(y))
+			want.Mod(want, toBig(m))
+		}
+		if toBig(z).Cmp(want) != 0 {
+			t.Fatalf("MulMod(%s, %s, %s) = %s, want %s", x.Hex(), y.Hex(), m.Hex(), z.Hex(), want)
+		}
+	}
+}
+
+func TestExp(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 400; i++ {
+		x := randInt(r)
+		y := NewInt(r.Uint64() % 512) // keep reference exponent tractable
+		z := new(Int).Exp(x, y)
+		want := new(big.Int).Exp(toBig(x), toBig(y), bigMod)
+		if toBig(z).Cmp(want) != 0 {
+			t.Fatalf("Exp(%s, %s) = %s, want %s", x.Hex(), y.Hex(), z.Hex(), want)
+		}
+	}
+	// Full-width exponents must still terminate and reduce mod 2^256.
+	base := NewInt(3)
+	exp := new(Int).SetAllOne()
+	got := new(Int).Exp(base, exp)
+	want := new(big.Int).Exp(big.NewInt(3), toBig(exp), bigMod)
+	if toBig(got).Cmp(want) != 0 {
+		t.Fatalf("Exp(3, 2^256-1) = %s, want %s", got.Hex(), want)
+	}
+}
+
+func TestSignExtend(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	for i := 0; i < 2000; i++ {
+		x := randInt(r)
+		b := NewInt(uint64(r.Intn(35)))
+		z := new(Int).SignExtend(b, x)
+		// Reference: if byte index > 30, unchanged; otherwise sign-extend.
+		want := toBig(x)
+		if b.Uint64() <= 30 {
+			bitPos := uint(b.Uint64()*8 + 7)
+			mask := new(big.Int).Lsh(big.NewInt(1), bitPos+1)
+			mask.Sub(mask, big.NewInt(1))
+			trunc := new(big.Int).And(want, mask)
+			if want.Bit(int(bitPos)) == 1 {
+				// Negative: fill high bits with ones.
+				fill := new(big.Int).Sub(bigMod, new(big.Int).Add(mask, big.NewInt(1)))
+				_ = fill
+				hi := new(big.Int).Sub(bigMod, new(big.Int).Add(mask, big.NewInt(1)))
+				trunc.Add(trunc, new(big.Int).Add(hi, mask).Sub(new(big.Int).Sub(bigMod, big.NewInt(1)), mask))
+				// Simpler: result = trunc | (2^256-1 ^ mask)
+				trunc = new(big.Int).And(want, mask)
+				ones := new(big.Int).Sub(bigMod, big.NewInt(1))
+				highOnes := new(big.Int).Xor(ones, mask)
+				trunc.Or(trunc, highOnes)
+			}
+			want = trunc
+		}
+		if toBig(z).Cmp(want) != 0 {
+			t.Fatalf("SignExtend(%d, %s) = %s, want %s", b.Uint64(), x.Hex(), z.Hex(), want)
+		}
+	}
+}
+
+func TestShifts(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for i := 0; i < 3000; i++ {
+		x := randInt(r)
+		n := uint(r.Intn(300))
+		lsh := new(Int).Lsh(x, n)
+		wantL := fromBig(new(big.Int).Lsh(toBig(x), n))
+		if !lsh.Eq(wantL) {
+			t.Fatalf("Lsh(%s, %d) = %s, want %s", x.Hex(), n, lsh.Hex(), wantL.Hex())
+		}
+		rsh := new(Int).Rsh(x, n)
+		wantR := fromBig(new(big.Int).Rsh(toBig(x), n))
+		if !rsh.Eq(wantR) {
+			t.Fatalf("Rsh(%s, %d) = %s, want %s", x.Hex(), n, rsh.Hex(), wantR.Hex())
+		}
+		srsh := new(Int).SRsh(x, n)
+		shift := n
+		if shift > 255 {
+			shift = 255
+		}
+		wantS := fromSignedRef(new(big.Int).Rsh(toSignedBig(x), shift))
+		if got := toSignedBig(srsh); got.Cmp(wantS) != 0 {
+			t.Fatalf("SRsh(%s, %d) = %s, want %s", x.Hex(), n, got, wantS)
+		}
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	r := rand.New(rand.NewSource(14))
+	for i := 0; i < 3000; i++ {
+		x, y := randInt(r), randInt(r)
+		bx, by := toBig(x), toBig(y)
+		if got, want := x.Lt(y), bx.Cmp(by) < 0; got != want {
+			t.Fatalf("Lt(%s, %s) = %v", x.Hex(), y.Hex(), got)
+		}
+		if got, want := x.Gt(y), bx.Cmp(by) > 0; got != want {
+			t.Fatalf("Gt(%s, %s) = %v", x.Hex(), y.Hex(), got)
+		}
+		if got, want := x.Cmp(y), bx.Cmp(by); got != want {
+			t.Fatalf("Cmp(%s, %s) = %d, want %d", x.Hex(), y.Hex(), got, want)
+		}
+		sx, sy := toSignedBig(x), toSignedBig(y)
+		if got, want := x.Slt(y), sx.Cmp(sy) < 0; got != want {
+			t.Fatalf("Slt(%s, %s) = %v", x.Hex(), y.Hex(), got)
+		}
+		if got, want := x.Sgt(y), sx.Cmp(sy) > 0; got != want {
+			t.Fatalf("Sgt(%s, %s) = %v", x.Hex(), y.Hex(), got)
+		}
+	}
+}
+
+func TestByteOp(t *testing.T) {
+	x := MustFromHex("0x0102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f20")
+	for i := 0; i < 32; i++ {
+		got := new(Int).Byte(NewInt(uint64(i)), x)
+		if got.Uint64() != uint64(i+1) {
+			t.Fatalf("Byte(%d) = %d, want %d", i, got.Uint64(), i+1)
+		}
+	}
+	if got := new(Int).Byte(NewInt(32), x); !got.IsZero() {
+		t.Fatalf("Byte(32) = %s, want 0", got.Hex())
+	}
+	huge := new(Int).SetAllOne()
+	if got := new(Int).Byte(huge, x); !got.IsZero() {
+		t.Fatalf("Byte(2^256-1) = %s, want 0", got.Hex())
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	f := func(b [32]byte) bool {
+		z := new(Int).SetBytes(b[:])
+		return z.Bytes32() == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetBytesShort(t *testing.T) {
+	z := new(Int).SetBytes([]byte{0x12, 0x34})
+	if z.Uint64() != 0x1234 {
+		t.Fatalf("SetBytes short = %s", z.Hex())
+	}
+	// Over-long input keeps low-order 32 bytes.
+	long := make([]byte, 40)
+	long[8] = 0xaa // first byte of the low-order 32
+	z.SetBytes(long)
+	want := new(Int).Lsh(NewInt(0xaa), 31*8)
+	if !z.Eq(want) {
+		t.Fatalf("SetBytes long = %s, want %s", z.Hex(), want.Hex())
+	}
+}
+
+func TestDecimalAndHexStrings(t *testing.T) {
+	cases := []string{"0", "1", "10", "255", "256", "1000000000000000000",
+		"115792089237316195423570985008687907853269984665640564039457584007913129639935"}
+	for _, c := range cases {
+		z := MustFromDecimal(c)
+		if z.Dec() != c {
+			t.Fatalf("Dec(%s) = %s", c, z.Dec())
+		}
+	}
+	r := rand.New(rand.NewSource(15))
+	for i := 0; i < 500; i++ {
+		x := randInt(r)
+		if got, want := x.Dec(), toBig(x).String(); got != want {
+			t.Fatalf("Dec(%s) = %s, want %s", x.Hex(), got, want)
+		}
+		var back Int
+		if err := back.SetFromHex(x.Hex()); err != nil {
+			t.Fatalf("SetFromHex(%s): %v", x.Hex(), err)
+		}
+		if !back.Eq(x) {
+			t.Fatalf("hex round-trip %s -> %s", x.Hex(), back.Hex())
+		}
+		if err := back.SetFromDecimal(x.Dec()); err != nil {
+			t.Fatalf("SetFromDecimal(%s): %v", x.Dec(), err)
+		}
+		if !back.Eq(x) {
+			t.Fatalf("dec round-trip %s", x.Dec())
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	var z Int
+	if err := z.SetFromHex("1234"); err != ErrSyntax {
+		t.Fatalf("missing prefix: %v", err)
+	}
+	if err := z.SetFromHex("0x" + string(make([]byte, 65))); err == nil {
+		t.Fatal("oversized hex accepted")
+	}
+	if err := z.SetFromHex("0xzz"); err != ErrSyntax {
+		t.Fatalf("bad digit: %v", err)
+	}
+	if err := z.SetFromDecimal(""); err != ErrSyntax {
+		t.Fatalf("empty decimal: %v", err)
+	}
+	if err := z.SetFromDecimal("12a"); err != ErrSyntax {
+		t.Fatalf("bad decimal: %v", err)
+	}
+	// 2^256 exactly must overflow.
+	if err := z.SetFromDecimal("115792089237316195423570985008687907853269984665640564039457584007913129639936"); err != ErrRange {
+		t.Fatalf("overflow decimal: %v", err)
+	}
+}
+
+func TestOverflowFlags(t *testing.T) {
+	max := new(Int).SetAllOne()
+	one := NewInt(1)
+	if _, over := new(Int).AddOverflow(max, one); !over {
+		t.Fatal("AddOverflow missed wrap")
+	}
+	if _, over := new(Int).AddOverflow(one, one); over {
+		t.Fatal("AddOverflow false positive")
+	}
+	if _, over := new(Int).SubOverflow(one, max); !over {
+		t.Fatal("SubOverflow missed borrow")
+	}
+	if _, over := new(Int).MulOverflow(max, max); !over {
+		t.Fatal("MulOverflow missed overflow")
+	}
+	big1 := new(Int).Lsh(NewInt(1), 128)
+	if _, over := new(Int).MulOverflow(big1, big1); !over {
+		t.Fatal("MulOverflow 2^128*2^128 missed")
+	}
+	if _, over := new(Int).MulOverflow(NewInt(123456), NewInt(654321)); over {
+		t.Fatal("MulOverflow false positive")
+	}
+}
+
+func TestDivModProperty(t *testing.T) {
+	// x = q*y + r with r < y, for all non-zero y.
+	r := rand.New(rand.NewSource(16))
+	for i := 0; i < 3000; i++ {
+		x, y := randInt(r), randInt(r)
+		if y.IsZero() {
+			continue
+		}
+		var q, rem Int
+		q.DivMod(x, y, &rem)
+		if !rem.Lt(y) {
+			t.Fatalf("rem >= divisor: %s %% %s = %s", x.Hex(), y.Hex(), rem.Hex())
+		}
+		var back Int
+		back.Mul(&q, y)
+		back.Add(&back, &rem)
+		if !back.Eq(x) {
+			t.Fatalf("q*y+r != x for %s / %s", x.Hex(), y.Hex())
+		}
+	}
+}
+
+func TestBitLenAndSign(t *testing.T) {
+	if (&Int{}).BitLen() != 0 {
+		t.Fatal("BitLen(0) != 0")
+	}
+	if NewInt(1).BitLen() != 1 {
+		t.Fatal("BitLen(1) != 1")
+	}
+	if new(Int).SetAllOne().BitLen() != 256 {
+		t.Fatal("BitLen(max) != 256")
+	}
+	if (&Int{}).Sign() != 0 || NewInt(5).Sign() != 1 {
+		t.Fatal("Sign basic")
+	}
+	neg := new(Int).SetAllOne()
+	if neg.Sign() != -1 {
+		t.Fatal("Sign(-1) != -1")
+	}
+}
+
+func TestMarshalText(t *testing.T) {
+	x := MustFromDecimal("123456789012345678901234567890")
+	txt, err := x.MarshalText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var y Int
+	if err := y.UnmarshalText(txt); err != nil {
+		t.Fatal(err)
+	}
+	if !x.Eq(&y) {
+		t.Fatalf("text round-trip: %s vs %s", x.Hex(), y.Hex())
+	}
+	if err := y.UnmarshalText([]byte("42")); err != nil || y.Uint64() != 42 {
+		t.Fatalf("decimal text: %v %s", err, y.Hex())
+	}
+}
+
+func BenchmarkMul(b *testing.B) {
+	x := MustFromHex("0xfedcba9876543210fedcba9876543210fedcba9876543210fedcba9876543210")
+	y := MustFromHex("0x0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef")
+	z := new(Int)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		z.Mul(x, y)
+	}
+}
+
+func BenchmarkDiv(b *testing.B) {
+	x := MustFromHex("0xfedcba9876543210fedcba9876543210fedcba9876543210fedcba9876543210")
+	y := MustFromHex("0x123456789abcdef0123456789abcdef")
+	z := new(Int)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		z.Div(x, y)
+	}
+}

@@ -1,0 +1,86 @@
+package workload
+
+import (
+	"testing"
+
+	"mtpu/internal/types"
+)
+
+func TestMixedBlockSucceedsAcrossRatios(t *testing.T) {
+	for _, ratio := range []float64{0, 0.5, 1.0} {
+		g := NewGenerator(71, 2048)
+		genesis := g.Genesis()
+		block := g.MixedBlock(120, ratio)
+		receipts, err := BuildDAG(genesis, block)
+		if err != nil {
+			t.Fatalf("ratio %.1f: %v", ratio, err)
+		}
+		for i, r := range receipts {
+			if r.Status != types.ReceiptSuccess {
+				t.Fatalf("ratio %.1f: tx %d failed", ratio, i)
+			}
+		}
+	}
+}
+
+func TestMixedBlockDependencyScalesWithRatio(t *testing.T) {
+	g := NewGenerator(73, 2048)
+	genesis := g.Genesis()
+
+	low := g.MixedBlock(120, 0.1)
+	if _, err := BuildDAG(genesis, low); err != nil {
+		t.Fatal(err)
+	}
+	high := g.MixedBlock(120, 0.9)
+	if _, err := BuildDAG(genesis, high); err != nil {
+		t.Fatal(err)
+	}
+	if low.DAG.CriticalPathLen() >= high.DAG.CriticalPathLen() {
+		t.Fatalf("critical path did not grow: %d vs %d",
+			low.DAG.CriticalPathLen(), high.DAG.CriticalPathLen())
+	}
+	// At 90% dependence, two chains dominate: the critical path must be a
+	// large fraction of the block.
+	if high.DAG.CriticalPathLen() < 30 {
+		t.Fatalf("high-ratio critical path only %d", high.DAG.CriticalPathLen())
+	}
+}
+
+func TestMixedBlockContractVariety(t *testing.T) {
+	g := NewGenerator(79, 2048)
+	block := g.MixedBlock(120, 0.3)
+	distinct := map[types.Address]bool{}
+	for _, tx := range block.Transactions {
+		if tx.To != nil {
+			distinct[*tx.To] = true
+		}
+	}
+	if len(distinct) < 6 {
+		t.Fatalf("only %d distinct contracts in mixed block", len(distinct))
+	}
+}
+
+func TestMixedBlockChainsAreHeterogeneous(t *testing.T) {
+	// At 100% dependence, the two chains must not both live on App-
+	// engine-eligible tokens (Table 9's workload property).
+	g := NewGenerator(83, 2048)
+	block := g.MixedBlock(100, 1.0)
+	eligible := map[types.Address]bool{
+		g.Contract("TetherUSD").Address: true,
+		g.Contract("Dai").Address:       true,
+	}
+	el, inel := 0, 0
+	for _, tx := range block.Transactions {
+		if tx.To == nil {
+			continue
+		}
+		if eligible[*tx.To] {
+			el++
+		} else {
+			inel++
+		}
+	}
+	if el == 0 || inel == 0 {
+		t.Fatalf("chains not heterogeneous: %d eligible, %d ineligible", el, inel)
+	}
+}

@@ -1,0 +1,150 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"mtpu/internal/types"
+)
+
+func TestTokenBlockDependencyRatio(t *testing.T) {
+	for _, target := range []float64{0, 0.2, 0.5, 0.8, 1.0} {
+		g := NewGenerator(42, 600)
+		genesis := g.Genesis()
+		block := g.TokenBlock(200, target)
+		if _, err := BuildDAG(genesis, block); err != nil {
+			t.Fatalf("target %.1f: %v", target, err)
+		}
+		got := block.DAG.DependentRatio()
+		tol := 0.12
+		if target == 0 || target == 1 {
+			tol = 0.02
+		}
+		if math.Abs(got-target) > tol {
+			t.Errorf("target ratio %.2f: achieved %.2f", target, got)
+		}
+	}
+}
+
+func TestTokenBlockZeroRatioFullyParallel(t *testing.T) {
+	g := NewGenerator(7, 600)
+	genesis := g.Genesis()
+	block := g.TokenBlock(150, 0)
+	if _, err := BuildDAG(genesis, block); err != nil {
+		t.Fatal(err)
+	}
+	for i, deps := range block.DAG.Deps {
+		if len(deps) != 0 {
+			t.Fatalf("tx %d unexpectedly depends on %v", i, deps)
+		}
+	}
+	if got := block.DAG.CriticalPathLen(); got != 1 {
+		t.Fatalf("critical path %d, want 1", got)
+	}
+}
+
+func TestTokenBlockFullRatioChains(t *testing.T) {
+	g := NewGenerator(9, 800)
+	genesis := g.Genesis()
+	block := g.TokenBlock(100, 1.0)
+	if _, err := BuildDAG(genesis, block); err != nil {
+		t.Fatal(err)
+	}
+	if got := block.DAG.DependentRatio(); got < 0.98 {
+		t.Fatalf("dependent ratio %.2f, want ~1", got)
+	}
+	if cp := block.DAG.CriticalPathLen(); cp < 3 {
+		t.Fatalf("critical path %d suspiciously short for fully chained block", cp)
+	}
+}
+
+func TestERC20BlockAllSucceed(t *testing.T) {
+	for _, share := range []float64{0, 0.4, 1.0} {
+		g := NewGenerator(11, 2000)
+		genesis := g.Genesis()
+		block := g.ERC20Block(120, share)
+		receipts, err := BuildDAG(genesis, block)
+		if err != nil {
+			t.Fatalf("share %.1f: %v", share, err)
+		}
+		for i, r := range receipts {
+			if r.Status != types.ReceiptSuccess {
+				t.Fatalf("share %.1f: tx %d failed", share, i)
+			}
+		}
+		// Count Tether calls.
+		tether := g.Contract("TetherUSD").Address
+		count := 0
+		for _, tx := range block.Transactions {
+			if tx.To != nil && *tx.To == tether {
+				count++
+			}
+		}
+		want := int(float64(120)*share + 0.5)
+		if count != want {
+			t.Fatalf("share %.1f: %d tether txs, want %d", share, count, want)
+		}
+	}
+}
+
+func TestBatchesSucceedForAllContracts(t *testing.T) {
+	g := NewGenerator(13, 4000)
+	genesis := g.Genesis()
+	for _, c := range g.Contracts {
+		if c.Name == "TokenReceiver" {
+			continue // callback target, not directly invoked
+		}
+		block := g.Batch(c, 40)
+		if _, err := BuildDAG(genesis.Copy(), block); err != nil {
+			t.Errorf("%s batch: %v", c.Name, err)
+		}
+	}
+}
+
+func TestDAGIsValidTopologicalOrder(t *testing.T) {
+	g := NewGenerator(17, 600)
+	genesis := g.Genesis()
+	block := g.TokenBlock(120, 0.6)
+	if _, err := BuildDAG(genesis, block); err != nil {
+		t.Fatal(err)
+	}
+	for j, deps := range block.DAG.Deps {
+		for _, d := range deps {
+			if d >= j {
+				t.Fatalf("edge %d→%d is not forward", d, j)
+			}
+		}
+	}
+}
+
+func TestContractOf(t *testing.T) {
+	g := NewGenerator(19, 200)
+	block := g.TokenBlock(20, 0)
+	cs := ContractOf(block)
+	if len(cs) != 20 {
+		t.Fatalf("len %d", len(cs))
+	}
+	for i, c := range cs {
+		if c.IsZero() {
+			t.Fatalf("tx %d has zero contract", i)
+		}
+	}
+	// A plain transfer has a zero contract.
+	tx := g.PlainTransfer(accountAddr(0), accountAddr(1), 5)
+	b2 := types.NewBlock(g.Header(), []*types.Transaction{tx})
+	if cs := ContractOf(b2); !cs[0].IsZero() {
+		t.Fatal("plain transfer should map to zero contract")
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	g1 := NewGenerator(5, 500)
+	g2 := NewGenerator(5, 500)
+	b1 := g1.TokenBlock(50, 0.5)
+	b2 := g2.TokenBlock(50, 0.5)
+	for i := range b1.Transactions {
+		if b1.Transactions[i].Hash() != b2.Transactions[i].Hash() {
+			t.Fatalf("tx %d differs between identically seeded generators", i)
+		}
+	}
+}
