@@ -1,0 +1,28 @@
+GO ?= go
+FUZZTIME ?= 5s
+
+.PHONY: all build test race vet fuzz-smoke bench ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short fuzz pass over the assembler/disassembler round-trip targets.
+fuzz-smoke:
+	$(GO) test ./internal/asm -run '^$$' -fuzz FuzzAssemble -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/asm -run '^$$' -fuzz FuzzDisassemble -fuzztime $(FUZZTIME)
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x .
+
+ci: vet build race fuzz-smoke

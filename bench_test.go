@@ -11,7 +11,10 @@ import (
 	"testing"
 
 	"mtpu/internal/arch"
+	"mtpu/internal/arch/pipeline"
+	"mtpu/internal/arch/pu"
 	"mtpu/internal/core"
+	"mtpu/internal/evm"
 	"mtpu/internal/experiments"
 	"mtpu/internal/workload"
 )
@@ -277,6 +280,7 @@ func BenchmarkFunctionalEVM(b *testing.B) {
 	gen := workload.NewGenerator(1234, 4096)
 	genesis := gen.Genesis()
 	block := gen.TokenBlock(256, 0.3)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, _, err := core.CollectTraces(genesis, block); err != nil {
@@ -284,4 +288,62 @@ func BenchmarkFunctionalEVM(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(block.Transactions)*b.N)/b.Elapsed().Seconds(), "tx/s")
+}
+
+// BenchmarkCollectTracesAllocs tracks the allocation footprint of the
+// golden run (the collector's capacity hints keep per-step appends from
+// regrowing).
+func BenchmarkCollectTracesAllocs(b *testing.B) {
+	gen := workload.NewGenerator(1234, 4096)
+	genesis := gen.Genesis()
+	block := gen.TokenBlock(64, 0.3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := core.CollectTraces(genesis, block); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipelineSplit tracks the allocation cost of separating a
+// plan's annotated steps into the slices the pipeline consumes.
+func BenchmarkPipelineSplit(b *testing.B) {
+	gen := workload.NewGenerator(1234, 4096)
+	genesis := gen.Genesis()
+	block := gen.TokenBlock(64, 0.3)
+	traces, _, _, err := core.CollectTraces(genesis, block)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plans := pu.PlainPlans(traces)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range plans {
+			pipeline.Split(p.Steps)
+		}
+	}
+}
+
+// BenchmarkPipelineSplitInto measures the same work with caller-owned
+// buffers reused across transactions (zero steady-state allocations).
+func BenchmarkPipelineSplitInto(b *testing.B) {
+	gen := workload.NewGenerator(1234, 4096)
+	genesis := gen.Genesis()
+	block := gen.TokenBlock(64, 0.3)
+	traces, _, _, err := core.CollectTraces(genesis, block)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plans := pu.PlainPlans(traces)
+	var steps []evm.Step
+	var ann []pipeline.Annotation
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range plans {
+			steps, ann = pipeline.SplitInto(p.Steps, steps, ann)
+		}
+	}
 }

@@ -4,20 +4,72 @@
 //
 // Usage:
 //
-//	mtpu-bench [-seed N] {table2|table6|fig12|fig13|table7|fig14|fig15|fig16|table8|table9|chunking|all}
+//	mtpu-bench [-seed N] [-parallel N] [-json FILE] {table2|table6|fig12|fig13|table7|fig14|fig15|fig16|table8|table9|chunking|all}
+//
+// Sweep points fan out over -parallel worker goroutines; results are
+// byte-identical at every worker count (each point writes only its own
+// output slot, and blocks/traces come from a call-order-independent
+// cache). -json additionally writes a machine-readable wall-clock report.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"mtpu/internal/core"
 	"mtpu/internal/experiments"
 )
 
+// artifactResult is one experiment's rendering plus its sweep summary.
+type artifactResult struct {
+	output string
+	points int // measured sweep points
+	minSpd float64
+	maxSpd float64
+}
+
+// experimentReport is one entry of the -json report.
+type experimentReport struct {
+	Name       string  `json:"name"`
+	WallMS     float64 `json:"wall_ms"`
+	Points     int     `json:"points"`
+	MinSpeedup float64 `json:"min_speedup,omitempty"`
+	MaxSpeedup float64 `json:"max_speedup,omitempty"`
+}
+
+// benchReport is the -json document.
+type benchReport struct {
+	Seed        int64              `json:"seed"`
+	Parallel    int                `json:"parallel"`
+	GOMAXPROCS  int                `json:"gomaxprocs"`
+	Experiments []experimentReport `json:"experiments"`
+	TotalWallMS float64            `json:"total_wall_ms"`
+}
+
+// spdRange folds a sequence of speedups into (points, min, max).
+type spdRange struct {
+	n        int
+	min, max float64
+}
+
+func (r *spdRange) add(s float64) {
+	if r.n == 0 || s < r.min {
+		r.min = s
+	}
+	if r.n == 0 || s > r.max {
+		r.max = s
+	}
+	r.n++
+}
+
 func main() {
 	seed := flag.Int64("seed", experiments.DefaultSeed, "workload generator seed")
+	parallel := flag.Int("parallel", 1, "worker goroutines per experiment (<=0 uses GOMAXPROCS)")
+	jsonPath := flag.String("json", "", "write a machine-readable wall-clock report to this file")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -25,61 +77,170 @@ func main() {
 		os.Exit(2)
 	}
 
+	workers := *parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	env := experiments.NewEnv(*seed)
+	env.Workers = workers
+
 	cmd := flag.Arg(0)
-	artifacts := map[string]func(){
-		"table1": func() { fmt.Println(experiments.RenderTable1(experiments.Table1(env))) },
-		"table2": func() { fmt.Println(experiments.RenderTable2(experiments.Table2(env))) },
-		"table6": func() { fmt.Println(experiments.RenderTable6(experiments.Table6(env))) },
-		"fig12":  func() { fmt.Println(experiments.RenderFig12(experiments.Fig12(env))) },
-		"fig13":  func() { fmt.Println(experiments.RenderFig13(experiments.Fig13(env))) },
-		"table7": func() { fmt.Println(experiments.RenderTable7(experiments.Table7(env))) },
-		"fig14": func() {
-			pts := experiments.Fig14(env)
-			fmt.Println(experiments.RenderSchedPoints(
-				"Fig.14(a) — speedup, synchronous execution", pts, core.ModeSynchronous, "speedup"))
-			fmt.Println(experiments.RenderSchedPoints(
-				"Fig.14(b) — speedup, spatio-temporal scheduling", pts, core.ModeSpatialTemporal, "speedup"))
+	artifacts := map[string]func() artifactResult{
+		"table1": func() artifactResult {
+			rows := experiments.Table1(env)
+			return artifactResult{output: experiments.RenderTable1(rows), points: len(rows)}
 		},
-		"fig15": func() {
-			pts := experiments.Fig14(env)
-			fmt.Println(experiments.RenderSchedPoints(
-				"Fig.15(a) — utilization, synchronous execution", pts, core.ModeSynchronous, "util"))
-			fmt.Println(experiments.RenderSchedPoints(
-				"Fig.15(b) — utilization, spatio-temporal scheduling", pts, core.ModeSpatialTemporal, "util"))
+		"table2": func() artifactResult {
+			rows := experiments.Table2(env)
+			return artifactResult{output: experiments.RenderTable2(rows), points: len(rows)}
 		},
-		"fig16": func() {
+		"table6": func() artifactResult {
+			rows := experiments.Table6(env)
+			return artifactResult{output: experiments.RenderTable6(rows), points: len(rows)}
+		},
+		"fig12": func() artifactResult {
+			rows := experiments.Fig12(env)
+			var r spdRange
+			for _, row := range rows {
+				for _, s := range row.Speedup {
+					r.add(s)
+				}
+			}
+			return artifactResult{output: experiments.RenderFig12(rows),
+				points: r.n, minSpd: r.min, maxSpd: r.max}
+		},
+		"fig13": func() artifactResult {
+			rows := experiments.Fig13(env)
+			points := 0
+			for _, row := range rows {
+				points += len(row.HitRatios)
+			}
+			return artifactResult{output: experiments.RenderFig13(rows), points: points}
+		},
+		"table7": func() artifactResult {
+			rows := experiments.Table7(env)
+			var r spdRange
+			for _, row := range rows {
+				r.add(row.At2KSpeedup)
+			}
+			return artifactResult{output: experiments.RenderTable7(rows),
+				points: len(rows), minSpd: r.min, maxSpd: r.max}
+		},
+		"fig14": func() artifactResult {
+			pts := experiments.Fig14(env)
+			out := experiments.RenderSchedPoints(
+				"Fig.14(a) — speedup, synchronous execution", pts, core.ModeSynchronous, "speedup") + "\n" +
+				experiments.RenderSchedPoints(
+					"Fig.14(b) — speedup, spatio-temporal scheduling", pts, core.ModeSpatialTemporal, "speedup")
+			return schedResult(out, pts)
+		},
+		"fig15": func() artifactResult {
+			pts := experiments.Fig14(env)
+			out := experiments.RenderSchedPoints(
+				"Fig.15(a) — utilization, synchronous execution", pts, core.ModeSynchronous, "util") + "\n" +
+				experiments.RenderSchedPoints(
+					"Fig.15(b) — utilization, spatio-temporal scheduling", pts, core.ModeSpatialTemporal, "util")
+			return schedResult(out, pts)
+		},
+		"fig16": func() artifactResult {
 			pts := experiments.Fig16(env)
-			fmt.Println(experiments.RenderSchedPoints(
-				"Fig.16(a) — speedup, ST + redundancy optimization", pts, core.ModeSTRedundancy, "speedup"))
-			fmt.Println(experiments.RenderSchedPoints(
-				"Fig.16(b) — speedup, ST + redundancy + hotspot", pts, core.ModeSTHotspot, "speedup"))
+			out := experiments.RenderSchedPoints(
+				"Fig.16(a) — speedup, ST + redundancy optimization", pts, core.ModeSTRedundancy, "speedup") + "\n" +
+				experiments.RenderSchedPoints(
+					"Fig.16(b) — speedup, ST + redundancy + hotspot", pts, core.ModeSTHotspot, "speedup")
+			return schedResult(out, pts)
 		},
-		"table8":   func() { fmt.Println(experiments.RenderTable8(experiments.Table8(env))) },
-		"table9":   func() { fmt.Println(experiments.RenderTable9(experiments.Table9(env))) },
-		"chunking": func() { fmt.Println(experiments.RenderChunking(experiments.Chunking(env))) },
-		"ablation": func() { fmt.Println(experiments.RenderAblations(experiments.Ablations(env))) },
+		"table8": func() artifactResult {
+			rows := experiments.Table8(env)
+			var r spdRange
+			for _, row := range rows {
+				r.add(row.MTPUSpeedup)
+			}
+			return artifactResult{output: experiments.RenderTable8(rows),
+				points: len(rows), minSpd: r.min, maxSpd: r.max}
+		},
+		"table9": func() artifactResult {
+			rows := experiments.Table9(env)
+			var r spdRange
+			for _, row := range rows {
+				r.add(row.MTPUSpeedup)
+			}
+			return artifactResult{output: experiments.RenderTable9(rows),
+				points: len(rows), minSpd: r.min, maxSpd: r.max}
+		},
+		"chunking": func() artifactResult {
+			rows := experiments.Chunking(env)
+			return artifactResult{output: experiments.RenderChunking(rows), points: len(rows)}
+		},
+		"ablation": func() artifactResult {
+			rows := experiments.Ablations(env)
+			var r spdRange
+			for _, row := range rows {
+				r.add(row.Speedup)
+			}
+			return artifactResult{output: experiments.RenderAblations(rows),
+				points: len(rows), minSpd: r.min, maxSpd: r.max}
+		},
 	}
 	order := []string{"table1", "table2", "table6", "fig12", "fig13", "table7",
 		"fig14", "fig15", "fig16", "table8", "table9", "chunking", "ablation"}
 
+	var names []string
 	if cmd == "all" {
-		for _, name := range order {
-			artifacts[name]()
-		}
-		return
-	}
-	run, ok := artifacts[cmd]
-	if !ok {
+		names = order
+	} else if _, ok := artifacts[cmd]; ok {
+		names = []string{cmd}
+	} else {
 		fmt.Fprintf(os.Stderr, "mtpu-bench: unknown artifact %q\n", cmd)
 		usage()
 		os.Exit(2)
 	}
-	run()
+
+	report := benchReport{
+		Seed:       *seed,
+		Parallel:   workers,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	start := time.Now()
+	for _, name := range names {
+		expStart := time.Now()
+		res := artifacts[name]()
+		fmt.Println(res.output)
+		report.Experiments = append(report.Experiments, experimentReport{
+			Name:       name,
+			WallMS:     float64(time.Since(expStart).Microseconds()) / 1000,
+			Points:     res.points,
+			MinSpeedup: res.minSpd,
+			MaxSpeedup: res.maxSpd,
+		})
+	}
+	report.TotalWallMS = float64(time.Since(start).Microseconds()) / 1000
+
+	if *jsonPath != "" {
+		buf, err := json.MarshalIndent(&report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mtpu-bench: encoding report: %v\n", err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*jsonPath, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "mtpu-bench: writing report: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// schedResult summarizes a scheduling sweep's speedup range.
+func schedResult(out string, pts []experiments.SchedPoint) artifactResult {
+	var r spdRange
+	for _, p := range pts {
+		r.add(p.Speedup)
+	}
+	return artifactResult{output: out, points: r.n, minSpd: r.min, maxSpd: r.max}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: mtpu-bench [-seed N] ARTIFACT
+	fmt.Fprintln(os.Stderr, `usage: mtpu-bench [-seed N] [-parallel N] [-json FILE] ARTIFACT
 ARTIFACT is one of:
   table1    SCT count share vs execution-overhead share
   table2    bytecode share of the loaded context
@@ -94,5 +255,10 @@ ARTIFACT is one of:
   table9    BPU vs MTPU quad core (dependency sweep)
   chunking  hotspot chunking / pre-execution / prefetch report
   ablation  one-at-a-time design-choice ablations
-  all       everything above`)
+  all       everything above
+flags:
+  -seed N      workload generator seed (default the ISCA'23 seed)
+  -parallel N  worker goroutines per experiment; <=0 uses GOMAXPROCS.
+               Output is byte-identical at every setting.
+  -json FILE   write wall-clock/points/speedup summary as JSON`)
 }

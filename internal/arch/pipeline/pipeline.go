@@ -33,8 +33,22 @@ type AnnotatedStep struct {
 
 // Split separates annotated steps into the parallel slices Execute takes.
 func Split(in []AnnotatedStep) ([]evm.Step, []Annotation) {
-	steps := make([]evm.Step, len(in))
-	ann := make([]Annotation, len(in))
+	return SplitInto(in, nil, nil)
+}
+
+// SplitInto is Split reusing the caller's buffers when they have the
+// capacity, so tight replay loops split without allocating.
+func SplitInto(in []AnnotatedStep, steps []evm.Step, ann []Annotation) ([]evm.Step, []Annotation) {
+	if cap(steps) < len(in) {
+		steps = make([]evm.Step, len(in))
+	} else {
+		steps = steps[:len(in)]
+	}
+	if cap(ann) < len(in) {
+		ann = make([]Annotation, len(in))
+	} else {
+		ann = ann[:len(in)]
+	}
 	for i := range in {
 		steps[i] = in[i].Step
 		ann[i] = in[i].Annotation

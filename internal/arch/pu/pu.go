@@ -6,8 +6,11 @@
 package pu
 
 import (
+	"sync"
+
 	"mtpu/internal/arch"
 	"mtpu/internal/arch/pipeline"
+	"mtpu/internal/evm"
 	"mtpu/internal/types"
 )
 
@@ -29,6 +32,20 @@ type Plan struct {
 	// SkippedInstructions counts instructions removed by hotspot
 	// optimization (for reporting).
 	SkippedInstructions int
+
+	splitOnce  sync.Once
+	splitSteps []evm.Step
+	splitAnn   []pipeline.Annotation
+}
+
+// Split returns the plan's steps separated into the parallel slices the
+// pipeline consumes, computed once per plan and shared by every replay
+// (including concurrent ones) — the slices are read-only during replay.
+func (p *Plan) Split() ([]evm.Step, []pipeline.Annotation) {
+	p.splitOnce.Do(func() {
+		p.splitSteps, p.splitAnn = pipeline.Split(p.Steps)
+	})
+	return p.splitSteps, p.splitAnn
 }
 
 // PlainPlan wraps a trace with no hotspot optimization.
@@ -38,6 +55,15 @@ func PlainPlan(t *arch.TxTrace) *Plan {
 		steps[i].Step = t.Steps[i]
 	}
 	return &Plan{Trace: t, Steps: steps}
+}
+
+// PlainPlans builds the unoptimized plan of every trace.
+func PlainPlans(traces []*arch.TxTrace) []*Plan {
+	plans := make([]*Plan, len(traces))
+	for i, t := range traces {
+		plans[i] = PlainPlan(t)
+	}
+	return plans
 }
 
 // Cost breaks down the cycles of one transaction on a PU.
@@ -144,7 +170,7 @@ func (p *PU) Run(plan *Plan, mem pipeline.MemModel) Cost {
 		p.load(cl.Addr)
 	}
 
-	steps, ann := pipeline.Split(plan.Steps)
+	steps, ann := plan.Split()
 	cost.Pipeline = p.pipe.Execute(steps, ann, mem)
 	cost.Total = cost.Load + cost.Pipeline
 	p.finish(t, cost)

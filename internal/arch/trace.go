@@ -41,6 +41,12 @@ func (t *TxTrace) InstructionCount() int { return len(t.Steps) }
 // Collector implements evm.Tracer, accumulating a TxTrace per transaction.
 type Collector struct {
 	trace *TxTrace
+
+	// stepHint/loadHint carry the previous transaction's trace sizes as
+	// capacity hints for the next one — blocks are dominated by runs of
+	// similar transactions, so the per-step appends stop regrowing.
+	stepHint int
+	loadHint int
 }
 
 // NewCollector returns an empty collector.
@@ -49,6 +55,12 @@ func NewCollector() *Collector { return &Collector{trace: &TxTrace{}} }
 // Begin resets the collector for a new transaction.
 func (c *Collector) Begin(tx *types.Transaction) {
 	t := &TxTrace{}
+	if c.stepHint > 0 {
+		t.Steps = make([]evm.Step, 0, c.stepHint)
+	}
+	if c.loadHint > 0 {
+		t.CodeLoads = make([]CodeLoad, 0, c.loadHint)
+	}
 	if tx != nil {
 		if tx.To != nil {
 			t.Contract = *tx.To
@@ -66,6 +78,12 @@ func (c *Collector) Begin(tx *types.Transaction) {
 func (c *Collector) Finish(gasUsed uint64) *TxTrace {
 	t := c.trace
 	t.GasUsed = gasUsed
+	if len(t.Steps) > 0 {
+		c.stepHint = len(t.Steps)
+	}
+	if len(t.CodeLoads) > 0 {
+		c.loadHint = len(t.CodeLoads)
+	}
 	c.trace = &TxTrace{}
 	return t
 }

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"mtpu/internal/arch"
+	"mtpu/internal/arch/pu"
+)
+
+// TestConcurrentReplayMatchesSerial replays one cached trace set from
+// many goroutines — across every mode and several PU counts, sharing one
+// Accelerator and one prebuilt plan set — and checks each result against
+// a serial reference. Run under -race this also proves ReplayWith is
+// data-race-free, the property the parallel experiment engine rests on.
+func TestConcurrentReplayMatchesSerial(t *testing.T) {
+	genesis, block := buildBlock(t, 97, 96, 0.4)
+	traces, receipts, digest, err := CollectTraces(genesis, block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := New(arch.DefaultConfig())
+	acc.LearnHotspots(traces, 8)
+	plans := pu.PlainPlans(traces)
+
+	type point struct {
+		mode Mode
+		pus  int
+	}
+	var points []point
+	for _, m := range allModes {
+		for _, pus := range []int{1, 2, 4} {
+			points = append(points, point{m, pus})
+		}
+	}
+
+	// Serial reference first, on fresh plans so the memoized splits of
+	// the shared set are exercised by the concurrent pass too.
+	want := make([]uint64, len(points))
+	for i, p := range points {
+		res, err := acc.ReplayWith(block, traces, receipts, digest, p.mode,
+			ReplayOpts{NumPUs: p.pus, Plans: pu.PlainPlans(traces)})
+		if err != nil {
+			t.Fatalf("serial %v/%d PUs: %v", p.mode, p.pus, err)
+		}
+		want[i] = res.Cycles
+	}
+
+	const rounds = 3
+	var wg sync.WaitGroup
+	errs := make(chan error, rounds*len(points))
+	for r := 0; r < rounds; r++ {
+		for i, p := range points {
+			wg.Add(1)
+			go func(i int, p point) {
+				defer wg.Done()
+				res, err := acc.ReplayWith(block, traces, receipts, digest, p.mode,
+					ReplayOpts{NumPUs: p.pus, Plans: plans})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res.Cycles != want[i] {
+					t.Errorf("%v/%d PUs: concurrent cycles %d, serial %d",
+						p.mode, p.pus, res.Cycles, want[i])
+				}
+			}(i, p)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestReplayOptsPlanLengthMismatch checks the guard on prebuilt plans.
+func TestReplayOptsPlanLengthMismatch(t *testing.T) {
+	genesis, block := buildBlock(t, 98, 16, 0.2)
+	traces, receipts, digest, err := CollectTraces(genesis, block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := New(arch.DefaultConfig())
+	plans := pu.PlainPlans(traces[:len(traces)-1])
+	_, err = acc.ReplayWith(block, traces, receipts, digest, ModeSequentialILP,
+		ReplayOpts{Plans: plans})
+	if err == nil {
+		t.Fatal("want error for mismatched plan count, got nil")
+	}
+}
+
+// TestReplayWithNumPUsOverride checks the per-call PU override leaves
+// the shared config untouched and matches a config-level setting.
+func TestReplayWithNumPUsOverride(t *testing.T) {
+	genesis, block := buildBlock(t, 99, 64, 0.3)
+	traces, receipts, digest, err := CollectTraces(genesis, block)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := arch.DefaultConfig()
+	cfg.NumPUs = 8
+	ref := New(cfg)
+	refRes, err := ref.Replay(block, traces, receipts, digest, ModeSpatialTemporal)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	acc := New(arch.DefaultConfig())
+	before := acc.Cfg.NumPUs
+	res, err := acc.ReplayWith(block, traces, receipts, digest, ModeSpatialTemporal,
+		ReplayOpts{NumPUs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != refRes.Cycles {
+		t.Errorf("override cycles %d, config cycles %d", res.Cycles, refRes.Cycles)
+	}
+	if acc.Cfg.NumPUs != before {
+		t.Errorf("ReplayWith mutated Cfg.NumPUs: %d -> %d", before, acc.Cfg.NumPUs)
+	}
+}

@@ -10,6 +10,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"mtpu/internal/arch"
 	"mtpu/internal/arch/mtpu"
@@ -85,6 +86,11 @@ type Result struct {
 func (r *Result) IPC() float64 { return r.Pipeline.IPC() }
 
 // Accelerator executes blocks under the MTPU model.
+//
+// Replay and ReplayWith never mutate the Accelerator, so any number of
+// replays may run concurrently on one Accelerator — provided Cfg is not
+// reassigned and LearnHotspots is not called while they run (learn first,
+// then replay, as ExecuteChain's block-interval model does anyway).
 type Accelerator struct {
 	Cfg   arch.Config
 	Table *hotspot.ContractTable
@@ -190,17 +196,14 @@ func topAddresses(counts map[types.Address]int, n int) []types.Address {
 	for a, c := range counts {
 		entries = append(entries, entry{a, c})
 	}
-	// Insertion sort by count desc, address asc (deterministic).
-	for i := 1; i < len(entries); i++ {
-		for j := i; j > 0; j-- {
-			a, b := entries[j], entries[j-1]
-			if a.count > b.count || (a.count == b.count && string(a.addr[:]) < string(b.addr[:])) {
-				entries[j], entries[j-1] = b, a
-			} else {
-				break
-			}
+	// Count desc, address asc — a total order, so the result is
+	// deterministic despite the map iteration above.
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].count != entries[j].count {
+			return entries[i].count > entries[j].count
 		}
-	}
+		return string(entries[i].addr[:]) < string(entries[j].addr[:])
+	})
 	if n > len(entries) {
 		n = len(entries)
 	}
@@ -211,9 +214,15 @@ func topAddresses(counts map[types.Address]int, n int) []types.Address {
 	return out
 }
 
-// configFor derives the architectural flags for a mode.
-func (a *Accelerator) configFor(mode Mode) arch.Config {
+// configFor derives the architectural flags for a mode. numPUs > 0
+// overrides Cfg.NumPUs before the mode's own constraints apply (the
+// single-PU modes still force one PU), so sweeps vary the PU count per
+// call instead of mutating the shared Cfg.
+func (a *Accelerator) configFor(mode Mode, numPUs int) arch.Config {
 	cfg := a.Cfg
+	if numPUs > 0 {
+		cfg.NumPUs = numPUs
+	}
 	switch mode {
 	case ModeScalar:
 		cfg.EnableDBCache = false
@@ -254,21 +263,43 @@ func (a *Accelerator) Execute(genesis *state.StateDB, block *types.Block, mode M
 	return a.Replay(block, traces, receipts, digest, mode)
 }
 
+// ReplayOpts adjusts one Replay call without touching the shared
+// Accelerator, which keeps concurrent replays on one Accelerator safe.
+type ReplayOpts struct {
+	// NumPUs overrides Cfg.NumPUs when > 0. Single-PU modes (scalar,
+	// sequential+ILP) still run on one PU.
+	NumPUs int
+	// Plans supplies prebuilt plain plans aligned with the traces (e.g.
+	// tracecache.Entry.PlainPlans), so one plan set serves every mode of a
+	// sweep. Ignored by ModeSTHotspot, whose plans depend on the Contract
+	// Table. Shared plans are only read during replay.
+	Plans []*pu.Plan
+}
+
 // Replay runs only the timing model over pre-collected traces (callers
 // sweeping many modes over one block avoid re-executing functionally).
 func (a *Accelerator) Replay(block *types.Block, traces []*arch.TxTrace, receipts []*types.Receipt, digest types.Hash, mode Mode) (*Result, error) {
-	cfg := a.configFor(mode)
+	return a.ReplayWith(block, traces, receipts, digest, mode, ReplayOpts{})
+}
+
+// ReplayWith is Replay with per-call overrides.
+func (a *Accelerator) ReplayWith(block *types.Block, traces []*arch.TxTrace, receipts []*types.Receipt, digest types.Hash, mode Mode, opts ReplayOpts) (*Result, error) {
+	cfg := a.configFor(mode, opts.NumPUs)
 	proc := mtpu.New(cfg)
 
-	plans := make([]*pu.Plan, len(traces))
+	if opts.Plans != nil && len(opts.Plans) != len(traces) {
+		return nil, fmt.Errorf("core: %d prebuilt plans for %d traces", len(opts.Plans), len(traces))
+	}
+	plans := opts.Plans
 	skipped := 0
-	for i, t := range traces {
-		if mode == ModeSTHotspot {
+	if mode == ModeSTHotspot {
+		plans = make([]*pu.Plan, len(traces))
+		for i, t := range traces {
 			plans[i] = a.Table.Plan(t)
 			skipped += plans[i].SkippedInstructions
-		} else {
-			plans[i] = pu.PlainPlan(t)
 		}
+	} else if plans == nil {
+		plans = pu.PlainPlans(traces)
 	}
 
 	eng := &engine{proc: proc, plans: plans}
@@ -310,17 +341,18 @@ func (a *Accelerator) Replay(block *types.Block, traces []*arch.TxTrace, receipt
 func VerifySchedule(genesis *state.StateDB, block *types.Block, res *Result) error {
 	order := make([]sched.Dispatch, len(res.Sched.Dispatches))
 	copy(order, res.Sched.Dispatches)
-	// Commit order: by start time, PU index breaking ties.
-	for i := 1; i < len(order); i++ {
-		for j := i; j > 0; j-- {
-			if order[j].Start < order[j-1].Start ||
-				(order[j].Start == order[j-1].Start && order[j].PU < order[j-1].PU) {
-				order[j], order[j-1] = order[j-1], order[j]
-			} else {
-				break
-			}
+	// Commit order: by start time, PU index breaking ties, transaction
+	// index last — a total order, so the sort is deterministic (a PU runs
+	// one transaction at a time, so (Start, PU) never actually repeats).
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].Start != order[j].Start {
+			return order[i].Start < order[j].Start
 		}
-	}
+		if order[i].PU != order[j].PU {
+			return order[i].PU < order[j].PU
+		}
+		return order[i].Tx < order[j].Tx
+	})
 	// Structural check: no transaction may start before every DAG
 	// predecessor has finished, independent of whether the particular
 	// operations happen to commute.

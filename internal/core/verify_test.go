@@ -75,19 +75,19 @@ func TestModeStrings(t *testing.T) {
 
 func TestConfigForModeLadder(t *testing.T) {
 	acc := New(arch.DefaultConfig())
-	scalar := acc.configFor(ModeScalar)
+	scalar := acc.configFor(ModeScalar, 0)
 	if scalar.EnableDBCache || scalar.ReuseContext || scalar.NumPUs != 1 {
 		t.Errorf("scalar config %+v", scalar)
 	}
-	seq := acc.configFor(ModeSequentialILP)
+	seq := acc.configFor(ModeSequentialILP, 0)
 	if !seq.EnableDBCache || seq.ReuseContext || seq.NumPUs != 1 {
 		t.Errorf("sequential config %+v", seq)
 	}
-	st := acc.configFor(ModeSpatialTemporal)
+	st := acc.configFor(ModeSpatialTemporal, 0)
 	if st.ReuseContext || st.NumPUs != acc.Cfg.NumPUs {
 		t.Errorf("ST config %+v", st)
 	}
-	red := acc.configFor(ModeSTRedundancy)
+	red := acc.configFor(ModeSTRedundancy, 0)
 	if !red.ReuseContext {
 		t.Errorf("redundancy config %+v", red)
 	}

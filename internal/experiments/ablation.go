@@ -6,7 +6,7 @@ import (
 	"mtpu/internal/arch"
 	"mtpu/internal/core"
 	"mtpu/internal/metrics"
-	"mtpu/internal/workload"
+	"mtpu/internal/tracecache"
 )
 
 // AblationRow is one knob setting and the full-system speedup under it.
@@ -16,89 +16,96 @@ type AblationRow struct {
 	Speedup float64 // ModeSTHotspot (4 PUs) vs scalar baseline
 }
 
+// ablationSpec is one knob setting to measure.
+type ablationSpec struct {
+	knob    string
+	setting string
+	mutate  func(*arch.Config)
+}
+
+// ablationSpecs enumerates the rows of the ablation sweep.
+func ablationSpecs() []ablationSpec {
+	specs := []ablationSpec{
+		{"baseline", "full design", func(*arch.Config) {}},
+		{"ILP", "no DB cache (F&D off)", func(c *arch.Config) {
+			c.EnableDBCache = false
+			c.EnableForwarding = false
+			c.EnableFolding = false
+		}},
+		{"ILP", "no forwarding (DF off)", func(c *arch.Config) {
+			c.EnableForwarding = false
+			c.EnableFolding = false
+		}},
+		{"ILP", "no folding (IF off)", func(c *arch.Config) {
+			c.EnableFolding = false
+		}},
+	}
+	for _, m := range []int{1, 2, 4, 8, 16} {
+		m := m
+		specs = append(specs, ablationSpec{"window m", itoa(m), func(c *arch.Config) {
+			c.CandidateWindow = m
+		}})
+	}
+	for _, r := range []int{1, 2, 8} {
+		r := r
+		specs = append(specs, ablationSpec{"residency", itoa(r), func(c *arch.Config) {
+			c.ContractResidency = r
+		}})
+	}
+	for _, s := range []int{16, 256, 4096} {
+		s := s
+		specs = append(specs, ablationSpec{"state buffer", itoa(s), func(c *arch.Config) {
+			c.StateBufferSlots = s
+		}})
+	}
+	for _, o := range []uint64{0, 4, 64, 512} {
+		o := o
+		specs = append(specs, ablationSpec{"sched overhead", fmt.Sprintf("%d cyc", o), func(c *arch.Config) {
+			c.ScheduleOverhead = o
+		}})
+	}
+	for _, e := range []int{64, 512, 2048} {
+		e := e
+		specs = append(specs, ablationSpec{"DB entries", itoa(e), func(c *arch.Config) {
+			c.DBCacheEntries = e
+		}})
+	}
+	return specs
+}
+
 // Ablations sweeps the design choices DESIGN.md calls out, one at a
 // time, on a fixed mixed-dependency token block: the ILP features
 // (DB cache / forwarding / folding), the candidate window m, the
 // Call_Contract residency, the State Buffer capacity and the scheduling
 // overhead. Every row answers "what does the full system lose if this
-// piece is weakened?".
+// piece is weakened?". Knob settings fan out over env.Workers; they
+// share one cached trace set and one scalar reference.
 func Ablations(env *Env) []AblationRow {
-	block := env.Gen.TokenBlock(160, 0.3)
-	if _, err := workload.BuildDAG(env.Genesis, block); err != nil {
-		panic(fmt.Sprintf("experiments: ablation dag: %v", err))
-	}
-	traces, receipts, digest, err := core.CollectTraces(env.Genesis, block)
-	if err != nil {
-		panic(err)
-	}
+	e := env.Cache.Get(tracecache.Token(160, 0.3))
 
 	// Scalar reference is independent of the knobs under test.
 	scalarAcc := core.New(arch.DefaultConfig())
-	scalarRes, err := scalarAcc.Replay(block, traces, receipts, digest, core.ModeScalar)
+	scalarRes, err := scalarAcc.ReplayWith(e.Block, e.Traces, e.Receipts, e.Digest,
+		core.ModeScalar, core.ReplayOpts{Plans: e.PlainPlans()})
 	if err != nil {
 		panic(err)
 	}
 	scalar := float64(scalarRes.Cycles)
 
-	measure := func(knob, setting string, mutate func(*arch.Config)) AblationRow {
+	specs := ablationSpecs()
+	rows := make([]AblationRow, len(specs))
+	env.forEachPoint(len(specs), func(i int) {
+		spec := specs[i]
 		cfg := arch.DefaultConfig()
-		mutate(&cfg)
+		spec.mutate(&cfg)
 		acc := core.New(cfg)
-		acc.LearnHotspots(traces, 8)
-		res, err := acc.Replay(block, traces, receipts, digest, core.ModeSTHotspot)
+		acc.LearnHotspots(e.Traces, 8)
+		res, err := acc.Replay(e.Block, e.Traces, e.Receipts, e.Digest, core.ModeSTHotspot)
 		if err != nil {
 			panic(err)
 		}
-		return AblationRow{Knob: knob, Setting: setting, Speedup: scalar / float64(res.Cycles)}
-	}
-
-	var rows []AblationRow
-	rows = append(rows, measure("baseline", "full design", func(*arch.Config) {}))
-
-	rows = append(rows,
-		measure("ILP", "no DB cache (F&D off)", func(c *arch.Config) {
-			c.EnableDBCache = false
-			c.EnableForwarding = false
-			c.EnableFolding = false
-		}),
-		measure("ILP", "no forwarding (DF off)", func(c *arch.Config) {
-			c.EnableForwarding = false
-			c.EnableFolding = false
-		}),
-		measure("ILP", "no folding (IF off)", func(c *arch.Config) {
-			c.EnableFolding = false
-		}),
-	)
-
-	for _, m := range []int{1, 2, 4, 8, 16} {
-		rows = append(rows, measure("window m", itoa(m), func(c *arch.Config) {
-			c.CandidateWindow = m
-		}))
-	}
-
-	for _, r := range []int{1, 2, 8} {
-		rows = append(rows, measure("residency", itoa(r), func(c *arch.Config) {
-			c.ContractResidency = r
-		}))
-	}
-
-	for _, s := range []int{16, 256, 4096} {
-		rows = append(rows, measure("state buffer", itoa(s), func(c *arch.Config) {
-			c.StateBufferSlots = s
-		}))
-	}
-
-	for _, o := range []uint64{0, 4, 64, 512} {
-		rows = append(rows, measure("sched overhead", fmt.Sprintf("%d cyc", o), func(c *arch.Config) {
-			c.ScheduleOverhead = o
-		}))
-	}
-
-	for _, e := range []int{64, 512, 2048} {
-		rows = append(rows, measure("DB entries", itoa(e), func(c *arch.Config) {
-			c.DBCacheEntries = e
-		}))
-	}
+		rows[i] = AblationRow{Knob: spec.knob, Setting: spec.setting, Speedup: scalar / float64(res.Cycles)}
+	})
 	return rows
 }
 

@@ -116,11 +116,13 @@ type Table6Row struct {
 }
 
 // Table6 measures the executed-instruction breakdown of the TOP-8
-// contracts over their entry-function batches.
+// contracts over their entry-function batches. Contracts fan out over
+// env.Workers.
 func Table6(env *Env) []Table6Row {
-	var rows []Table6Row
-	for _, name := range Top8Names {
-		traces := env.batchTraces(env.Gen.Contract(name), 32)
+	rows := make([]Table6Row, len(Top8Names))
+	env.forEachPoint(len(rows), func(i int) {
+		name := Top8Names[i]
+		traces := env.batchTraces(name, 32)
 		var counts [evm.NumFuncUnits]int
 		total := 0
 		for _, tr := range traces {
@@ -136,8 +138,8 @@ func Table6(env *Env) []Table6Row {
 		for u := 0; u < evm.NumFuncUnits; u++ {
 			row.Shares[u] = float64(counts[u]) / float64(total)
 		}
-		rows = append(rows, row)
-	}
+		rows[i] = row
+	})
 	return rows
 }
 
@@ -179,12 +181,16 @@ type ChunkingRow struct {
 	TotalSLOADs        int
 }
 
-// Chunking analyzes every TOP-8 entry function observed in a mixed batch.
+// Chunking analyzes every TOP-8 entry function observed in a mixed
+// batch. Contracts fan out over env.Workers; per-contract row groups are
+// flattened in Top8Names order so the output is order-independent.
 func Chunking(env *Env) []ChunkingRow {
-	var rows []ChunkingRow
-	for _, name := range Top8Names {
+	groups := make([][]ChunkingRow, len(Top8Names))
+	env.forEachPoint(len(groups), func(gi int) {
+		name := Top8Names[gi]
 		c := env.Gen.Contract(name)
-		traces := env.batchTraces(c, 40)
+		traces := env.batchTraces(name, 40)
+		var rows []ChunkingRow
 		table := hotspot.NewContractTable()
 		samples := map[[4]byte]*arch.TxTrace{}
 		for _, tr := range traces {
@@ -226,6 +232,11 @@ func Chunking(env *Env) []ChunkingRow {
 				TotalSLOADs:      slTotal,
 			})
 		}
+		groups[gi] = rows
+	})
+	var rows []ChunkingRow
+	for _, g := range groups {
+		rows = append(rows, g...)
 	}
 	return rows
 }

@@ -7,7 +7,7 @@ import (
 	"mtpu/internal/baseline"
 	"mtpu/internal/core"
 	"mtpu/internal/metrics"
-	"mtpu/internal/workload"
+	"mtpu/internal/tracecache"
 )
 
 // ERC20Shares is the Table 8 sweep (proportion of ERC-20 transactions).
@@ -24,43 +24,41 @@ type Table8Row struct {
 	MTPUSpeedup float64
 }
 
-// Table8 reproduces the single-core BPU-vs-MTPU comparison.
+// Table8 reproduces the single-core BPU-vs-MTPU comparison. Shares fan
+// out over env.Workers.
 func Table8(env *Env) []Table8Row {
 	erc20Addrs, erc20Sels := erc20AppSet(env.Gen)
-	var rows []Table8Row
-	for _, share := range ERC20Shares {
-		block := env.Gen.ERC20Block(CompareBlockSize, share)
-		if _, err := workload.BuildDAG(env.Genesis, block); err != nil {
-			panic(fmt.Sprintf("experiments: table8 share %.1f: %v", share, err))
-		}
-		traces, receipts, digest, err := core.CollectTraces(env.Genesis, block)
-		if err != nil {
-			panic(err)
-		}
+	rows := make([]Table8Row, len(ERC20Shares))
+	env.forEachPoint(len(rows), func(i int) {
+		share := ERC20Shares[i]
+		e := env.Cache.Get(tracecache.ERC20(CompareBlockSize, share))
+		plans := e.PlainPlans()
 
 		acc := core.New(arch.DefaultConfig())
 		acc.Cfg.NumPUs = 1
-		acc.LearnHotspots(traces, 8)
+		acc.LearnHotspots(e.Traces, 8)
 
-		scalarRes, err := acc.Replay(block, traces, receipts, digest, core.ModeScalar)
+		scalarRes, err := acc.ReplayWith(e.Block, e.Traces, e.Receipts, e.Digest,
+			core.ModeScalar, core.ReplayOpts{NumPUs: 1, Plans: plans})
 		if err != nil {
 			panic(err)
 		}
-		mtpuRes, err := acc.Replay(block, traces, receipts, digest, core.ModeSTHotspot)
+		mtpuRes, err := acc.ReplayWith(e.Block, e.Traces, e.Receipts, e.Digest,
+			core.ModeSTHotspot, core.ReplayOpts{NumPUs: 1})
 		if err != nil {
 			panic(err)
 		}
 
-		flags := baseline.ERC20Flags(block.Transactions, erc20Addrs, erc20Sels)
-		bpu := baseline.New(1, traces, flags)
-		bpuRes := bpu.RunSequential(len(traces))
+		flags := baseline.ERC20Flags(e.Block.Transactions, erc20Addrs, erc20Sels)
+		bpu := baseline.New(1, e.Traces, flags)
+		bpuRes := bpu.RunSequential(len(e.Traces))
 
-		rows = append(rows, Table8Row{
+		rows[i] = Table8Row{
 			ERC20Share:  share,
 			BPUSpeedup:  float64(scalarRes.Cycles) / float64(bpuRes.Makespan),
 			MTPUSpeedup: float64(scalarRes.Cycles) / float64(mtpuRes.Cycles),
-		})
-	}
+		}
+	})
 	return rows
 }
 
@@ -93,43 +91,41 @@ type Table9Row struct {
 }
 
 // Table9 reproduces the quad-core comparison over dependency ratios.
+// Ratios fan out over env.Workers.
 func Table9(env *Env) []Table9Row {
 	erc20Addrs, erc20Sels := erc20AppSet(env.Gen)
-	var rows []Table9Row
-	for _, ratio := range Table9Ratios {
-		block := env.Gen.MixedBlock(CompareBlockSize, ratio)
-		if _, err := workload.BuildDAG(env.Genesis, block); err != nil {
-			panic(fmt.Sprintf("experiments: table9 ratio %.1f: %v", ratio, err))
-		}
-		traces, receipts, digest, err := core.CollectTraces(env.Genesis, block)
-		if err != nil {
-			panic(err)
-		}
+	rows := make([]Table9Row, len(Table9Ratios))
+	env.forEachPoint(len(rows), func(i int) {
+		ratio := Table9Ratios[i]
+		e := env.Cache.Get(tracecache.Mixed(CompareBlockSize, ratio))
+		plans := e.PlainPlans()
 
 		acc := core.New(arch.DefaultConfig())
 		acc.Cfg.NumPUs = 4
-		acc.LearnHotspots(traces, 8)
+		acc.LearnHotspots(e.Traces, 8)
 
 		accScalar := core.New(arch.DefaultConfig())
-		scalarRes, err := accScalar.Replay(block, traces, receipts, digest, core.ModeScalar)
+		scalarRes, err := accScalar.ReplayWith(e.Block, e.Traces, e.Receipts, e.Digest,
+			core.ModeScalar, core.ReplayOpts{Plans: plans})
 		if err != nil {
 			panic(err)
 		}
-		mtpuRes, err := acc.Replay(block, traces, receipts, digest, core.ModeSTHotspot)
+		mtpuRes, err := acc.ReplayWith(e.Block, e.Traces, e.Receipts, e.Digest,
+			core.ModeSTHotspot, core.ReplayOpts{NumPUs: 4})
 		if err != nil {
 			panic(err)
 		}
 
-		flags := baseline.ERC20Flags(block.Transactions, erc20Addrs, erc20Sels)
-		bpu := baseline.New(4, traces, flags)
-		bpuRes := bpu.RunSynchronous(block.DAG)
+		flags := baseline.ERC20Flags(e.Block.Transactions, erc20Addrs, erc20Sels)
+		bpu := baseline.New(4, e.Traces, flags)
+		bpuRes := bpu.RunSynchronous(e.Block.DAG)
 
-		rows = append(rows, Table9Row{
+		rows[i] = Table9Row{
 			DepRatio:    ratio,
 			BPUSpeedup:  float64(scalarRes.Cycles) / float64(bpuRes.Makespan),
 			MTPUSpeedup: float64(scalarRes.Cycles) / float64(mtpuRes.Cycles),
-		})
-	}
+		}
+	})
 	return rows
 }
 

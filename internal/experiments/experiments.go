@@ -9,9 +9,8 @@ import (
 	"mtpu/internal/arch"
 	"mtpu/internal/arch/pipeline"
 	"mtpu/internal/arch/pu"
-	"mtpu/internal/contracts"
-	"mtpu/internal/core"
 	"mtpu/internal/state"
+	"mtpu/internal/tracecache"
 	"mtpu/internal/types"
 	"mtpu/internal/workload"
 )
@@ -19,17 +18,35 @@ import (
 // DefaultSeed keeps every experiment deterministic.
 const DefaultSeed = 20230617 // ISCA'23 opening day
 
+// envAccounts is the funded-account pool every environment draws from.
+const envAccounts = 8192
+
 // Env carries the shared workload fixtures for one experiment run.
 type Env struct {
 	Seed    int64
 	Gen     *workload.Generator
 	Genesis *state.StateDB
+
+	// Cache shares generated blocks, golden traces and plain plans
+	// between experiments (Fig. 14/15/16 sweep the same TokenBlock grid;
+	// Fig. 12 and Table 7 replay the same batches).
+	Cache *tracecache.Cache
+
+	// Workers is the fan-out of the sweep experiments; <= 1 runs
+	// serially. Results are identical at every setting.
+	Workers int
 }
 
 // NewEnv builds the standard environment.
 func NewEnv(seed int64) *Env {
-	g := workload.NewGenerator(seed, 8192)
-	return &Env{Seed: seed, Gen: g, Genesis: g.Genesis()}
+	g := workload.NewGenerator(seed, envAccounts)
+	genesis := g.Genesis()
+	return &Env{
+		Seed:    seed,
+		Gen:     g,
+		Genesis: genesis,
+		Cache:   tracecache.New(seed, envAccounts, genesis),
+	}
 }
 
 // Top8Names lists the evaluated contracts in Table 6 order.
@@ -38,27 +55,27 @@ var Top8Names = []string{
 	"LinkToken", "SwapRouter", "Dai", "MainchainGatewayProxy",
 }
 
-// batchTraces collects golden traces for a same-contract batch.
-func (e *Env) batchTraces(contract *contracts.Contract, n int) []*arch.TxTrace {
-	block := e.Gen.Batch(contract, n)
-	traces, _, _, err := core.CollectTraces(e.Genesis, block)
-	if err != nil {
-		panic("experiments: batch for " + contract.Name + ": " + err.Error())
-	}
-	return traces
+// batch returns the cached entry for a same-contract batch.
+func (e *Env) batch(name string, n int) *tracecache.Entry {
+	return e.Cache.Get(tracecache.Batch(name, n))
 }
 
-// runPipeline replays traces through a fresh pipeline with the given
+// batchTraces collects golden traces for a same-contract batch.
+func (e *Env) batchTraces(name string, n int) []*arch.TxTrace {
+	return e.batch(name, n).Traces
+}
+
+// runPipeline replays plans through a fresh pipeline with the given
 // configuration, passes times, and returns the final-pass stats.
-func runPipeline(cfg arch.Config, traces []*arch.TxTrace, passes int) pipeline.Stats {
+func runPipeline(cfg arch.Config, plans []*pu.Plan, passes int) pipeline.Stats {
 	pipe := pipeline.New(cfg)
 	mem := pipeline.FlatMem{Cfg: cfg}
 	for pass := 0; pass < passes; pass++ {
 		if pass == passes-1 {
 			pipe.ResetStats()
 		}
-		for _, tr := range traces {
-			steps, ann := pipeline.Split(pu.PlainPlan(tr).Steps)
+		for _, p := range plans {
+			steps, ann := p.Split()
 			pipe.Execute(steps, ann, mem)
 		}
 	}
@@ -66,8 +83,8 @@ func runPipeline(cfg arch.Config, traces []*arch.TxTrace, passes int) pipeline.S
 }
 
 // scalarPipelineCycles is the no-ILP reference for IPC/speedup ratios.
-func scalarPipelineCycles(traces []*arch.TxTrace) uint64 {
-	return runPipeline(arch.ScalarConfig(), traces, 1).Cycles
+func scalarPipelineCycles(plans []*pu.Plan) uint64 {
+	return runPipeline(arch.ScalarConfig(), plans, 1).Cycles
 }
 
 // erc20AppSet returns the contracts and selectors BPU's App engine

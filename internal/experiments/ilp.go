@@ -21,30 +21,32 @@ type Fig12Row struct {
 // Fig12BatchSize is the number of transactions per contract batch.
 const Fig12BatchSize = 48
 
-// Fig12 measures the ILP upper bound per TOP-8 contract.
+// Fig12 measures the ILP upper bound per TOP-8 contract. Contracts fan
+// out over env.Workers.
 func Fig12(env *Env) []Fig12Row {
 	variants := []struct{ fwd, fold bool }{
 		{false, false}, // F&D
 		{true, false},  // +DF
 		{true, true},   // +IF
 	}
-	var rows []Fig12Row
-	for _, name := range Top8Names {
-		traces := env.batchTraces(env.Gen.Contract(name), Fig12BatchSize)
-		scalar := scalarPipelineCycles(traces)
+	rows := make([]Fig12Row, len(Top8Names))
+	env.forEachPoint(len(rows), func(i int) {
+		name := Top8Names[i]
+		plans := env.batch(name, Fig12BatchSize).PlainPlans()
+		scalar := scalarPipelineCycles(plans)
 		row := Fig12Row{Contract: name}
 		for v, opt := range variants {
 			cfg := arch.DefaultConfig()
 			cfg.DBCacheEntries = 0 // unbounded: upper-bound idealization
 			cfg.EnableForwarding = opt.fwd
 			cfg.EnableFolding = opt.fold
-			st := runPipeline(cfg, traces, 2) // pass 1 fills, pass 2 measures
+			st := runPipeline(cfg, plans, 2) // pass 1 fills, pass 2 measures
 			row.IPC[v] = st.IPC()
 			row.Speedup[v] = float64(scalar) / float64(st.Cycles)
 			row.HitRatio[v] = st.HitRatio()
 		}
-		rows = append(rows, row)
-	}
+		rows[i] = row
+	})
 	return rows
 }
 
@@ -85,19 +87,21 @@ const Fig13BatchSize = 96
 
 // Fig13 sweeps the DB-cache size and measures the hit ratio over a batch
 // of same-contract transactions with cross-transaction reuse enabled.
+// Contracts fan out over env.Workers.
 func Fig13(env *Env) []Fig13Row {
-	var rows []Fig13Row
-	for _, name := range Top8Names {
-		traces := env.batchTraces(env.Gen.Contract(name), Fig13BatchSize)
+	rows := make([]Fig13Row, len(Top8Names))
+	env.forEachPoint(len(rows), func(i int) {
+		name := Top8Names[i]
+		plans := env.batch(name, Fig13BatchSize).PlainPlans()
 		row := Fig13Row{Contract: name}
 		for _, size := range Fig13Sizes {
 			cfg := arch.DefaultConfig()
 			cfg.DBCacheEntries = size
-			st := runPipeline(cfg, traces, 1)
+			st := runPipeline(cfg, plans, 1)
 			row.HitRatios = append(row.HitRatios, st.HitRatio())
 		}
-		rows = append(rows, row)
-	}
+		rows[i] = row
+	})
 	return rows
 }
 
@@ -128,19 +132,21 @@ type Table7Row struct {
 }
 
 // Table7 measures single-PU performance with the production 2K-entry
-// cache against the Fig. 12 upper limit.
+// cache against the Fig. 12 upper limit. It shares the Fig. 12 batches
+// through the trace cache; contracts fan out over env.Workers.
 func Table7(env *Env) []Table7Row {
-	var rows []Table7Row
-	for _, name := range Top8Names {
-		traces := env.batchTraces(env.Gen.Contract(name), Fig12BatchSize)
-		scalar := scalarPipelineCycles(traces)
+	rows := make([]Table7Row, len(Top8Names))
+	env.forEachPoint(len(rows), func(i int) {
+		name := Top8Names[i]
+		plans := env.batch(name, Fig12BatchSize).PlainPlans()
+		scalar := scalarPipelineCycles(plans)
 
 		upperCfg := arch.DefaultConfig()
 		upperCfg.DBCacheEntries = 0
-		upper := runPipeline(upperCfg, traces, 2)
+		upper := runPipeline(upperCfg, plans, 2)
 
 		realCfg := arch.DefaultConfig() // 2048 entries
-		real := runPipeline(realCfg, traces, 1)
+		real := runPipeline(realCfg, plans, 1)
 
 		row := Table7Row{
 			Contract:     name,
@@ -151,8 +157,8 @@ func Table7(env *Env) []Table7Row {
 		}
 		row.IPCDelta = (row.At2KIPC - row.UpperIPC) / row.UpperIPC
 		row.SpeedupDelta = (row.At2KSpeedup - row.UpperSpeedup) / row.UpperSpeedup
-		rows = append(rows, row)
-	}
+		rows[i] = row
+	})
 	return rows
 }
 

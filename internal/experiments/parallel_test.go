@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"mtpu/internal/core"
+)
+
+// twoEnvs returns a serial environment and one fanned out over 8
+// workers, both on the default seed.
+func twoEnvs() (*Env, *Env) {
+	serial := NewEnv(DefaultSeed)
+	par := NewEnv(DefaultSeed)
+	par.Workers = 8
+	return serial, par
+}
+
+// TestParallelSweepMatchesSerial is the determinism invariant of the
+// experiment engine: the same sweep fanned out over workers must be
+// byte-identical to the serial run, down to float bit patterns.
+func TestParallelSweepMatchesSerial(t *testing.T) {
+	serial, par := twoEnvs()
+	modes := []core.Mode{core.ModeSynchronous, core.ModeSTHotspot}
+	pus := []int{1, 4}
+	ratios := []float64{0, 0.5, 1.0}
+
+	want := SchedulingSweep(serial, modes, pus, ratios)
+	got := SchedulingSweep(par, modes, pus, ratios)
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("parallel sweep differs from serial:\nserial: %+v\nparallel: %+v", want, got)
+	}
+
+	wantStr := RenderSchedPoints("t", want, core.ModeSTHotspot, "speedup")
+	gotStr := RenderSchedPoints("t", got, core.ModeSTHotspot, "speedup")
+	if wantStr != gotStr {
+		t.Fatalf("rendered sweep differs:\n%s\nvs\n%s", wantStr, gotStr)
+	}
+}
+
+// TestParallelTablesMatchSerial checks the remaining fanned-out
+// experiments point by point and on their rendered strings.
+func TestParallelTablesMatchSerial(t *testing.T) {
+	serial, par := twoEnvs()
+
+	t9s, t9p := Table9(serial), Table9(par)
+	if !reflect.DeepEqual(t9s, t9p) {
+		t.Errorf("Table9 differs: %+v vs %+v", t9s, t9p)
+	}
+	if RenderTable9(t9s) != RenderTable9(t9p) {
+		t.Error("rendered Table9 differs")
+	}
+
+	abS, abP := Ablations(serial), Ablations(par)
+	if !reflect.DeepEqual(abS, abP) {
+		t.Errorf("Ablations differ: %+v vs %+v", abS, abP)
+	}
+
+	t1s, t1p := Table1(serial), Table1(par)
+	if !reflect.DeepEqual(t1s, t1p) {
+		t.Errorf("Table1 differs: %+v vs %+v", t1s, t1p)
+	}
+
+	f13s, f13p := Fig13(serial), Fig13(par)
+	if !reflect.DeepEqual(f13s, f13p) {
+		t.Errorf("Fig13 differs: %+v vs %+v", f13s, f13p)
+	}
+}
+
+// TestCacheSharedAcrossExperiments checks that experiments replaying
+// the same workload shape share one functional-EVM pass.
+func TestCacheSharedAcrossExperiments(t *testing.T) {
+	env := NewEnv(DefaultSeed)
+	_ = Fig12(env) // Fig12BatchSize batches
+	_, miss0 := env.Cache.Stats()
+	_ = Table7(env) // same batches, must all hit
+	hits, miss1 := env.Cache.Stats()
+	if miss1 != miss0 {
+		t.Errorf("Table7 rebuilt traces: misses %d -> %d", miss0, miss1)
+	}
+	if hits == 0 {
+		t.Error("no cache hits recorded")
+	}
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// forEachPoint runs fn(0..n-1), fanning out over the environment's
+// worker count. Every job writes only its own output slot and reads only
+// shared immutable inputs (the trace cache's entries), so the result is
+// byte-identical to the serial run at any worker count.
+func (e *Env) forEachPoint(n int, fn func(i int)) {
+	forEach(e.Workers, n, fn)
+}
+
+// forEach distributes indices over a worker pool. workers <= 1 runs
+// inline. A panic in any job is re-raised in the caller after the pool
+// drains, matching the serial behaviour.
+func forEach(workers, n int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicked any
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicked == nil {
+						panicked = r
+					}
+					panicMu.Unlock()
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}

@@ -2,11 +2,12 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 
 	"mtpu/internal/arch"
 	"mtpu/internal/core"
 	"mtpu/internal/metrics"
-	"mtpu/internal/workload"
+	"mtpu/internal/tracecache"
 )
 
 // DepRatios is the dependent-transaction-ratio sweep of Figs. 14-16.
@@ -29,49 +30,68 @@ type SchedPoint struct {
 	HitRatio    float64
 }
 
+// schedPrep is the shared per-ratio state of a sweep: the cached trace
+// entry, an accelerator with learned hotspots, and the sequential
+// baseline. Built once (on first demand) and then only read, so every
+// grid point of that ratio can replay concurrently against it.
+type schedPrep struct {
+	once     sync.Once
+	entry    *tracecache.Entry
+	acc      *core.Accelerator
+	base     uint64
+	achieved float64
+}
+
+func (p *schedPrep) init(env *Env, target float64) {
+	p.once.Do(func() {
+		p.entry = env.Cache.Get(tracecache.Token(SchedBlockSize, target))
+		p.acc = core.New(arch.DefaultConfig())
+		p.acc.LearnHotspots(p.entry.Traces, 8)
+
+		baseRes, err := p.acc.ReplayWith(p.entry.Block, p.entry.Traces,
+			p.entry.Receipts, p.entry.Digest, core.ModeSequentialILP,
+			core.ReplayOpts{Plans: p.entry.PlainPlans()})
+		if err != nil {
+			panic(err)
+		}
+		p.base = baseRes.Cycles
+		p.achieved = p.entry.Block.DAG.DependentRatio()
+	})
+}
+
 // SchedulingSweep measures the given modes over the dependency-ratio ×
 // PU-count grid. The baseline is the sequential execution of one PU
-// (ModeSequentialILP), as in Fig. 14.
+// (ModeSequentialILP), as in Fig. 14. Grid points fan out over
+// env.Workers; each point writes only its own output slot, so the
+// result is identical to the serial sweep.
 func SchedulingSweep(env *Env, modes []core.Mode, puCounts []int, ratios []float64) []SchedPoint {
-	var out []SchedPoint
-	for _, target := range ratios {
-		block := env.Gen.TokenBlock(SchedBlockSize, target)
-		if _, err := workload.BuildDAG(env.Genesis, block); err != nil {
-			panic(fmt.Sprintf("experiments: dag at ratio %.2f: %v", target, err))
-		}
-		traces, receipts, digest, err := core.CollectTraces(env.Genesis, block)
+	preps := make([]schedPrep, len(ratios))
+	out := make([]SchedPoint, len(ratios)*len(modes)*len(puCounts))
+	env.forEachPoint(len(out), func(i int) {
+		pi := i % len(puCounts)
+		mi := (i / len(puCounts)) % len(modes)
+		ri := i / (len(puCounts) * len(modes))
+		target, mode, pus := ratios[ri], modes[mi], puCounts[pi]
+
+		prep := &preps[ri]
+		prep.init(env, target)
+		e := prep.entry
+
+		res, err := prep.acc.ReplayWith(e.Block, e.Traces, e.Receipts, e.Digest,
+			mode, core.ReplayOpts{NumPUs: pus, Plans: e.PlainPlans()})
 		if err != nil {
 			panic(err)
 		}
-		acc := core.New(arch.DefaultConfig())
-		acc.LearnHotspots(traces, 8)
-
-		baseRes, err := acc.Replay(block, traces, receipts, digest, core.ModeSequentialILP)
-		if err != nil {
-			panic(err)
+		out[i] = SchedPoint{
+			Mode:        mode,
+			DepRatio:    prep.achieved,
+			TargetRatio: target,
+			PUs:         pus,
+			Speedup:     float64(prep.base) / float64(res.Cycles),
+			Utilization: res.Utilization,
+			HitRatio:    res.Pipeline.HitRatio(),
 		}
-		base := baseRes.Cycles
-
-		achieved := block.DAG.DependentRatio()
-		for _, mode := range modes {
-			for _, pus := range puCounts {
-				acc.Cfg.NumPUs = pus
-				res, err := acc.Replay(block, traces, receipts, digest, mode)
-				if err != nil {
-					panic(err)
-				}
-				out = append(out, SchedPoint{
-					Mode:        mode,
-					DepRatio:    achieved,
-					TargetRatio: target,
-					PUs:         pus,
-					Speedup:     float64(base) / float64(res.Cycles),
-					Utilization: res.Utilization,
-					HitRatio:    res.Pipeline.HitRatio(),
-				})
-			}
-		}
-	}
+	})
 	return out
 }
 

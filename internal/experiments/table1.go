@@ -1,13 +1,11 @@
 package experiments
 
 import (
-	"fmt"
-
 	"mtpu/internal/arch"
 	"mtpu/internal/arch/pipeline"
 	"mtpu/internal/arch/pu"
-	"mtpu/internal/core"
 	"mtpu/internal/metrics"
+	"mtpu/internal/tracecache"
 )
 
 // Table1Row reproduces the execution-overhead row of Table 1: the share
@@ -33,32 +31,29 @@ var table1Years = []struct {
 }
 
 // Table1 measures the SCT execution-overhead share on a scalar PU for
-// each year's SCT count share.
+// each year's SCT count share. Years fan out over env.Workers.
 func Table1(env *Env) []Table1Row {
-	var rows []Table1Row
-	for _, y := range table1Years {
-		block := env.Gen.SCTBlock(200, y.share)
-		traces, _, _, err := core.CollectTraces(env.Genesis, block)
-		if err != nil {
-			panic(fmt.Sprintf("experiments: table1 %s: %v", y.year, err))
-		}
+	rows := make([]Table1Row, len(table1Years))
+	env.forEachPoint(len(rows), func(i int) {
+		y := table1Years[i]
+		e := env.Cache.Get(tracecache.SCT(200, y.share))
 		cfg := arch.ScalarConfig()
 		unit := pu.New(0, cfg)
 		mem := pipeline.FlatMem{Cfg: cfg}
 		var sct, total uint64
-		for _, tr := range traces {
-			c := unit.Run(pu.PlainPlan(tr), mem).Total
+		for j, plan := range e.PlainPlans() {
+			c := unit.Run(plan, mem).Total
 			total += c
-			if !tr.IsTransfer {
+			if !e.Traces[j].IsTransfer {
 				sct += c
 			}
 		}
-		rows = append(rows, Table1Row{
+		rows[i] = Table1Row{
 			Year:          y.year,
 			SCTShare:      y.share,
 			OverheadShare: float64(sct) / float64(total),
-		})
-	}
+		}
+	})
 	return rows
 }
 

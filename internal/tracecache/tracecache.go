@@ -1,0 +1,209 @@
+// Package tracecache memoizes the expensive, deterministic inputs the
+// experiment sweeps share: the generated block (with its conflict DAG),
+// the golden sequential traces, receipts and state digest from
+// core.CollectTraces, and the per-transaction plain execution plans.
+//
+// Every entry is keyed by the workload spec alone and built from a fresh
+// workload.Generator seeded with the cache's seed, so a spec maps to the
+// same block no matter which experiment asks first or how many ask
+// concurrently — the property that lets Fig. 14/15/16 (which all sweep
+// the same TokenBlock grid) share one functional-EVM pass, and lets the
+// parallel sweep runner produce output byte-identical to the serial one.
+//
+// A Cache is safe for concurrent use. Entries are immutable after
+// construction; callers must treat the returned blocks, traces and plans
+// as read-only.
+package tracecache
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"mtpu/internal/arch"
+	"mtpu/internal/arch/pu"
+	"mtpu/internal/core"
+	"mtpu/internal/state"
+	"mtpu/internal/types"
+	"mtpu/internal/workload"
+)
+
+// Spec identifies one deterministic workload: the generator method, its
+// size and its sweep parameter. Two equal specs always yield the same
+// block.
+type Spec struct {
+	// Kind selects the workload.Generator method: "token", "erc20",
+	// "mixed", "sct" or "batch".
+	Kind string
+	// Contract names the batched contract ("batch" kind only).
+	Contract string
+	// N is the transaction count.
+	N int
+	// Param is the sweep knob: dependent ratio, ERC-20 share or SCT share.
+	Param float64
+}
+
+// Token specifies a TokenBlock with the given dependent-transaction ratio.
+func Token(n int, depRatio float64) Spec { return Spec{Kind: "token", N: n, Param: depRatio} }
+
+// ERC20 specifies an ERC20Block with the given Tether-transfer share.
+func ERC20(n int, share float64) Spec { return Spec{Kind: "erc20", N: n, Param: share} }
+
+// Mixed specifies a MixedBlock with the given dependent-transaction ratio.
+func Mixed(n int, depRatio float64) Spec { return Spec{Kind: "mixed", N: n, Param: depRatio} }
+
+// SCT specifies an SCTBlock with the given smart-contract-transaction share.
+func SCT(n int, share float64) Spec { return Spec{Kind: "sct", N: n, Param: share} }
+
+// Batch specifies a same-contract batch cycling through entry functions.
+func Batch(contract string, n int) Spec { return Spec{Kind: "batch", Contract: contract, N: n} }
+
+// hasDAG reports whether the spec's block carries a conflict DAG (the
+// scheduling workloads do; batches and SCT mixes are replayed
+// sequentially and skip the extra sequential pass DAG building costs).
+func (s Spec) hasDAG() bool {
+	switch s.Kind {
+	case "token", "erc20", "mixed":
+		return true
+	}
+	return false
+}
+
+// Entry is one memoized workload: the block and everything the timing
+// model needs to replay it. All fields are read-only after Get returns.
+type Entry struct {
+	Spec     Spec
+	Block    *types.Block
+	Traces   []*arch.TxTrace
+	Receipts []*types.Receipt
+	Digest   types.Hash
+
+	plansOnce sync.Once
+	plans     []*pu.Plan
+}
+
+// PlainPlans returns the unoptimized execution plan of every trace,
+// built once per entry (instead of once per mode replayed) and shared by
+// every caller — plans are read-only during replay.
+func (e *Entry) PlainPlans() []*pu.Plan {
+	e.plansOnce.Do(func() { e.plans = pu.PlainPlans(e.Traces) })
+	return e.plans
+}
+
+// Cache memoizes entries per spec. The zero value is not usable; use New.
+type Cache struct {
+	seed     int64
+	accounts int
+	genesis  *state.StateDB
+
+	mu      sync.Mutex
+	entries map[Spec]*cacheSlot
+
+	hits, misses atomic.Int64
+}
+
+// cacheSlot decouples the map lock from entry construction: concurrent
+// Gets of the same spec block on the slot's once while different specs
+// build in parallel.
+type cacheSlot struct {
+	once  sync.Once
+	entry *Entry
+}
+
+// New returns a cache generating workloads from seed over accounts funded
+// accounts. genesis must be the state a generator with these parameters
+// produces (pass nil to have the cache build it); the cache only ever
+// copies it.
+func New(seed int64, accounts int, genesis *state.StateDB) *Cache {
+	if genesis == nil {
+		genesis = workload.NewGenerator(seed, accounts).Genesis()
+	}
+	return &Cache{
+		seed:     seed,
+		accounts: accounts,
+		genesis:  genesis,
+		entries:  make(map[Spec]*cacheSlot),
+	}
+}
+
+// Seed returns the generator seed entries are derived from.
+func (c *Cache) Seed() int64 { return c.seed }
+
+// Genesis returns the shared genesis state (read-only; copy before use).
+func (c *Cache) Genesis() *state.StateDB { return c.genesis }
+
+// Len returns the number of built entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats returns how many Gets were served from memory vs built.
+func (c *Cache) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// Get returns the entry for spec, building it on first use. Concurrent
+// calls for the same spec share one build.
+func (c *Cache) Get(spec Spec) *Entry {
+	c.mu.Lock()
+	s := c.entries[spec]
+	if s == nil {
+		s = &cacheSlot{}
+		c.entries[spec] = s
+	}
+	c.mu.Unlock()
+
+	built := false
+	s.once.Do(func() {
+		s.entry = c.build(spec)
+		built = true
+	})
+	if built {
+		c.misses.Add(1)
+	} else {
+		c.hits.Add(1)
+	}
+	return s.entry
+}
+
+// build generates the spec's block from a fresh generator (so the result
+// is independent of every other spec) and runs the golden sequential
+// execution once.
+func (c *Cache) build(spec Spec) *Entry {
+	g := workload.NewGenerator(c.seed, c.accounts)
+	var block *types.Block
+	switch spec.Kind {
+	case "token":
+		block = g.TokenBlock(spec.N, spec.Param)
+	case "erc20":
+		block = g.ERC20Block(spec.N, spec.Param)
+	case "mixed":
+		block = g.MixedBlock(spec.N, spec.Param)
+	case "sct":
+		block = g.SCTBlock(spec.N, spec.Param)
+	case "batch":
+		block = g.Batch(g.Contract(spec.Contract), spec.N)
+	default:
+		panic("tracecache: unknown workload kind " + spec.Kind)
+	}
+	if spec.hasDAG() {
+		if _, err := workload.BuildDAG(c.genesis, block); err != nil {
+			panic(fmt.Sprintf("tracecache: DAG for %s n=%d param=%.2f: %v",
+				spec.Kind, spec.N, spec.Param, err))
+		}
+	}
+	traces, receipts, digest, err := core.CollectTraces(c.genesis, block)
+	if err != nil {
+		panic(fmt.Sprintf("tracecache: traces for %s n=%d param=%.2f: %v",
+			spec.Kind, spec.N, spec.Param, err))
+	}
+	return &Entry{
+		Spec:     spec,
+		Block:    block,
+		Traces:   traces,
+		Receipts: receipts,
+		Digest:   digest,
+	}
+}

@@ -1,0 +1,98 @@
+package tracecache
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestGetMemoizes(t *testing.T) {
+	c := New(7, 512, nil)
+	spec := Token(32, 0.5)
+	a := c.Get(spec)
+	b := c.Get(spec)
+	if a != b {
+		t.Fatal("repeat Get returned a different entry")
+	}
+	if hits, misses := c.Stats(); hits != 1 || misses != 1 {
+		t.Fatalf("stats = %d hits / %d misses, want 1/1", hits, misses)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+	if len(a.Traces) != len(a.Block.Transactions) {
+		t.Fatalf("%d traces for %d transactions", len(a.Traces), len(a.Block.Transactions))
+	}
+	if a.Block.DAG == nil {
+		t.Fatal("token entry is missing its DAG")
+	}
+}
+
+func TestGetConcurrent(t *testing.T) {
+	c := New(7, 512, nil)
+	specs := []Spec{Token(24, 0.3), ERC20(24, 0.5), Mixed(24, 0.4), SCT(24, 0.6), Batch("TetherUSD", 12)}
+	const goroutines = 8
+	entries := make([][]*Entry, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			got := make([]*Entry, len(specs))
+			for i, s := range specs {
+				got[i] = c.Get(s)
+			}
+			entries[g] = got
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		for i := range specs {
+			if entries[g][i] != entries[0][i] {
+				t.Fatalf("goroutine %d got a different entry for %+v", g, specs[i])
+			}
+		}
+	}
+	if c.Len() != len(specs) {
+		t.Fatalf("Len = %d, want %d", c.Len(), len(specs))
+	}
+	if _, misses := c.Stats(); misses != int64(len(specs)) {
+		t.Fatalf("misses = %d, want %d (each spec built once)", misses, len(specs))
+	}
+}
+
+func TestSpecIndependentOfCallOrder(t *testing.T) {
+	// Each spec builds from a fresh generator, so the same spec yields
+	// the same workload no matter what was requested before it.
+	a := New(7, 512, nil)
+	first := a.Get(Token(32, 0.5))
+
+	b := New(7, 512, nil)
+	b.Get(ERC20(24, 0.5))
+	b.Get(Batch("Dai", 8))
+	second := b.Get(Token(32, 0.5))
+
+	if first.Digest != second.Digest {
+		t.Fatalf("digest depends on call order: %x vs %x", first.Digest, second.Digest)
+	}
+	if len(first.Traces) != len(second.Traces) {
+		t.Fatalf("trace counts differ: %d vs %d", len(first.Traces), len(second.Traces))
+	}
+}
+
+func TestPlainPlans(t *testing.T) {
+	c := New(7, 512, nil)
+	e := c.Get(Batch("TetherUSD", 8))
+	p1 := e.PlainPlans()
+	p2 := e.PlainPlans()
+	if len(p1) != len(e.Traces) {
+		t.Fatalf("%d plans for %d traces", len(p1), len(e.Traces))
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatal("PlainPlans rebuilt plans on second call")
+		}
+		if p1[i].Trace != e.Traces[i] {
+			t.Fatalf("plan %d does not wrap trace %d", i, i)
+		}
+	}
+}
