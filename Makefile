@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: all build test race vet fuzz-smoke bench ci
+.PHONY: all build test race vet fuzz-smoke bench stats-smoke ci
 
 all: build
 
@@ -25,4 +25,10 @@ fuzz-smoke:
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
 
-ci: vet build race fuzz-smoke
+# Run a small instrumented workload, write the counter report, and
+# validate it against the JSON schema (strict decode + invariants).
+stats-smoke:
+	$(GO) run ./cmd/mtpu-bench -stats -json bench_stats.json fig13
+	$(GO) run ./cmd/mtpu-bench -validate bench_stats.json
+
+ci: vet build race fuzz-smoke stats-smoke

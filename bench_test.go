@@ -347,3 +347,59 @@ func BenchmarkPipelineSplitInto(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkPipelineExecuteWarm measures the disabled-sink pipeline hot
+// path on a warm (all-hit) replay. The allocation report must read
+// 0 allocs/op — the zero-overhead guarantee of the instrumentation
+// layer (the alloc_test.go tests enforce it).
+func BenchmarkPipelineExecuteWarm(b *testing.B) {
+	gen := workload.NewGenerator(1234, 4096)
+	genesis := gen.Genesis()
+	block := gen.Batch(gen.Contract("TetherUSD"), 16)
+	traces, _, _, err := core.CollectTraces(genesis, block)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plans := pu.PlainPlans(traces)
+	cfg := arch.DefaultConfig()
+	pipe := pipeline.New(cfg)
+	var mem pipeline.MemModel = pipeline.FlatMem{Cfg: cfg}
+	for _, p := range plans { // warm the DB cache and memoize splits
+		steps, ann := p.Split()
+		pipe.Execute(steps, ann, mem)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range plans {
+			steps, ann := p.Split()
+			pipe.Execute(steps, ann, mem)
+		}
+	}
+}
+
+// BenchmarkPURunWarm measures the full PU.Run path (context residency,
+// load accounting, pipeline) under the same warm, sink-disabled regime.
+func BenchmarkPURunWarm(b *testing.B) {
+	gen := workload.NewGenerator(1234, 4096)
+	genesis := gen.Genesis()
+	block := gen.Batch(gen.Contract("TetherUSD"), 16)
+	traces, _, _, err := core.CollectTraces(genesis, block)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plans := pu.PlainPlans(traces)
+	cfg := arch.DefaultConfig()
+	unit := pu.New(0, cfg)
+	var mem pipeline.MemModel = pipeline.FlatMem{Cfg: cfg}
+	for _, p := range plans {
+		unit.Run(p, mem)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range plans {
+			unit.Run(p, mem)
+		}
+	}
+}

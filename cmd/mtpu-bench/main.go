@@ -4,12 +4,15 @@
 //
 // Usage:
 //
-//	mtpu-bench [-seed N] [-parallel N] [-json FILE] {table2|table6|fig12|fig13|table7|fig14|fig15|fig16|table8|table9|chunking|all}
+//	mtpu-bench [-seed N] [-parallel N] [-stats] [-json FILE] {table2|table6|fig12|fig13|table7|fig14|fig15|fig16|table8|table9|chunking|all}
+//	mtpu-bench -validate FILE
 //
 // Sweep points fan out over -parallel worker goroutines; results are
 // byte-identical at every worker count (each point writes only its own
 // output slot, and blocks/traces come from a call-order-independent
-// cache). -json additionally writes a machine-readable wall-clock report.
+// cache). -json additionally writes a machine-readable wall-clock report;
+// -stats merges per-experiment counter snapshots into it and prints them;
+// -validate checks a previously written report against the schema.
 package main
 
 import (
@@ -20,9 +23,14 @@ import (
 	"runtime"
 	"time"
 
+	"mtpu/internal/arch"
 	"mtpu/internal/core"
 	"mtpu/internal/experiments"
 )
+
+// reportSchema versions the -json layout; bump on incompatible changes
+// so checked-in BENCH_*.json files stay self-describing.
+const reportSchema = 2
 
 // artifactResult is one experiment's rendering plus its sweep summary.
 type artifactResult struct {
@@ -41,12 +49,24 @@ type experimentReport struct {
 	MaxSpeedup float64 `json:"max_speedup,omitempty"`
 }
 
-// benchReport is the -json document.
+// counterReport is one label's merged counter snapshot (-stats).
+type counterReport struct {
+	Label string `json:"label"`
+	experiments.Snapshot
+}
+
+// benchReport is the -json document. The leading metadata block makes
+// checked-in BENCH_*.json files self-describing: which schema, which
+// toolchain, and which architectural configuration produced them.
 type benchReport struct {
+	Schema      int                `json:"schema"`
+	GoVersion   string             `json:"go_version"`
 	Seed        int64              `json:"seed"`
 	Parallel    int                `json:"parallel"`
 	GOMAXPROCS  int                `json:"gomaxprocs"`
+	Arch        arch.Config        `json:"arch"`
 	Experiments []experimentReport `json:"experiments"`
+	Counters    []counterReport    `json:"counters,omitempty"`
 	TotalWallMS float64            `json:"total_wall_ms"`
 }
 
@@ -70,8 +90,18 @@ func main() {
 	seed := flag.Int64("seed", experiments.DefaultSeed, "workload generator seed")
 	parallel := flag.Int("parallel", 1, "worker goroutines per experiment (<=0 uses GOMAXPROCS)")
 	jsonPath := flag.String("json", "", "write a machine-readable wall-clock report to this file")
+	stats := flag.Bool("stats", false, "collect per-experiment counter snapshots (printed and merged into -json)")
+	validate := flag.String("validate", "", "validate a previously written -json report against the schema and exit")
 	flag.Usage = usage
 	flag.Parse()
+	if *validate != "" {
+		if err := validateReport(*validate); err != nil {
+			fmt.Fprintf(os.Stderr, "mtpu-bench: %s: %v\n", *validate, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: valid (schema %d)\n", *validate, reportSchema)
+		return
+	}
 	if flag.NArg() != 1 {
 		usage()
 		os.Exit(2)
@@ -83,6 +113,9 @@ func main() {
 	}
 	env := experiments.NewEnv(*seed)
 	env.Workers = workers
+	if *stats {
+		env.Stats = experiments.NewStatsRecorder()
+	}
 
 	cmd := flag.Arg(0)
 	artifacts := map[string]func() artifactResult{
@@ -197,9 +230,12 @@ func main() {
 	}
 
 	report := benchReport{
+		Schema:     reportSchema,
+		GoVersion:  runtime.Version(),
 		Seed:       *seed,
 		Parallel:   workers,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Arch:       arch.DefaultConfig(),
 	}
 	start := time.Now()
 	for _, name := range names {
@@ -216,6 +252,14 @@ func main() {
 	}
 	report.TotalWallMS = float64(time.Since(start).Microseconds()) / 1000
 
+	if env.Stats != nil {
+		fmt.Println(experiments.RenderStats(env.Stats))
+		for _, label := range env.Stats.Labels() {
+			report.Counters = append(report.Counters,
+				counterReport{Label: label, Snapshot: env.Stats.Get(label)})
+		}
+	}
+
 	if *jsonPath != "" {
 		buf, err := json.MarshalIndent(&report, "", "  ")
 		if err != nil {
@@ -230,6 +274,65 @@ func main() {
 	}
 }
 
+// validateReport strictly decodes a -json report and checks the schema
+// invariants: known schema version, non-empty self-description, sane
+// per-experiment numbers, and internally consistent counters.
+func validateReport(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	dec := json.NewDecoder(f)
+	dec.DisallowUnknownFields()
+	var r benchReport
+	if err := dec.Decode(&r); err != nil {
+		return fmt.Errorf("decoding: %w", err)
+	}
+	if r.Schema != reportSchema {
+		return fmt.Errorf("schema %d, want %d", r.Schema, reportSchema)
+	}
+	if r.GoVersion == "" {
+		return fmt.Errorf("missing go_version")
+	}
+	if r.Parallel < 1 || r.GOMAXPROCS < 1 {
+		return fmt.Errorf("bad worker metadata: parallel=%d gomaxprocs=%d", r.Parallel, r.GOMAXPROCS)
+	}
+	if r.Arch.NumPUs < 1 {
+		return fmt.Errorf("arch snapshot missing (num_pus=%d)", r.Arch.NumPUs)
+	}
+	if len(r.Experiments) == 0 {
+		return fmt.Errorf("no experiments")
+	}
+	for _, e := range r.Experiments {
+		if e.Name == "" {
+			return fmt.Errorf("experiment with empty name")
+		}
+		if e.WallMS < 0 || e.Points < 0 {
+			return fmt.Errorf("%s: negative wall_ms/points", e.Name)
+		}
+	}
+	for _, c := range r.Counters {
+		if c.Label == "" {
+			return fmt.Errorf("counter snapshot with empty label")
+		}
+		if c.Points <= 0 {
+			return fmt.Errorf("%s: counter snapshot without points", c.Label)
+		}
+		p := c.Pipeline
+		if p.IssueCycles > p.Cycles {
+			return fmt.Errorf("%s: issue cycles %d exceed total cycles %d", c.Label, p.IssueCycles, p.Cycles)
+		}
+		if p.HitInstructions > p.Instructions {
+			return fmt.Errorf("%s: hit instructions %d exceed instructions %d", c.Label, p.HitInstructions, p.Instructions)
+		}
+		if p.LineEvictions > p.LinesCached {
+			return fmt.Errorf("%s: evictions %d exceed fills %d", c.Label, p.LineEvictions, p.LinesCached)
+		}
+	}
+	return nil
+}
+
 // schedResult summarizes a scheduling sweep's speedup range.
 func schedResult(out string, pts []experiments.SchedPoint) artifactResult {
 	var r spdRange
@@ -240,7 +343,8 @@ func schedResult(out string, pts []experiments.SchedPoint) artifactResult {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: mtpu-bench [-seed N] [-parallel N] [-json FILE] ARTIFACT
+	fmt.Fprintln(os.Stderr, `usage: mtpu-bench [-seed N] [-parallel N] [-stats] [-json FILE] ARTIFACT
+       mtpu-bench -validate FILE
 ARTIFACT is one of:
   table1    SCT count share vs execution-overhead share
   table2    bytecode share of the loaded context
@@ -260,5 +364,10 @@ flags:
   -seed N      workload generator seed (default the ISCA'23 seed)
   -parallel N  worker goroutines per experiment; <=0 uses GOMAXPROCS.
                Output is byte-identical at every setting.
-  -json FILE   write wall-clock/points/speedup summary as JSON`)
+  -stats       collect per-experiment counter snapshots; printed as a
+               summary table and merged into the -json report
+  -json FILE   write wall-clock/points/speedup summary as JSON, with
+               run metadata (schema, go version, arch config)
+  -validate F  strictly decode a -json report, check the schema
+               invariants, and exit`)
 }

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	mtpu-run [-txs N] [-dep R] [-pus N] [-seed N] [-v] [-dump F] [-load F]
+//	         [-stats] [-trace-out F]
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"mtpu/internal/arch"
 	"mtpu/internal/core"
 	"mtpu/internal/metrics"
+	"mtpu/internal/obs"
 	"mtpu/internal/types"
 	"mtpu/internal/workload"
 )
@@ -28,6 +30,8 @@ func main() {
 	verbose := flag.Bool("v", false, "print per-transaction receipts")
 	dump := flag.String("dump", "", "write the generated block (RLP, with DAG) to this file")
 	load := flag.String("load", "", "execute a block previously written with -dump instead of generating one")
+	stats := flag.Bool("stats", false, "print per-mode cycle accounting, DB-cache and scheduler counters")
+	traceOut := flag.String("trace-out", "", "write the per-mode execution timelines as Chrome trace-event JSON (Perfetto / chrome://tracing)")
 	flag.Parse()
 
 	gen := workload.NewGenerator(*seed, 4*(*txs)+64)
@@ -94,11 +98,17 @@ func main() {
 		core.ModeScalar, core.ModeSequentialILP, core.ModeSynchronous,
 		core.ModeSpatialTemporal, core.ModeSTRedundancy, core.ModeSTHotspot,
 	}
+	instrument := *stats || *traceOut != ""
 	t := metrics.NewTable(fmt.Sprintf("execution modes (%d PUs)", *pus),
 		"mode", "cycles", "speedup", "IPC", "hit", "util")
 	var scalar uint64
+	var reports []*obs.Report
 	for _, m := range modes {
-		res, err := acc.Replay(block, traces, receipts, digest, m)
+		opts := core.ReplayOpts{}
+		if instrument {
+			opts.Obs = obs.NewCollector()
+		}
+		res, err := acc.ReplayWith(block, traces, receipts, digest, m, opts)
 		if err != nil {
 			log.Fatalf("mtpu-run: %v: %v", m, err)
 		}
@@ -110,7 +120,34 @@ func main() {
 		}
 		t.Row(m.String(), res.Cycles, metrics.X(float64(scalar)/float64(res.Cycles)),
 			res.Pipeline.IPC(), res.Pipeline.HitRatio(), res.Utilization)
+		if instrument {
+			reports = append(reports, res.Obs)
+		}
 	}
 	fmt.Println(t.String())
 	fmt.Println("all modes verified serializable (identical state digests)")
+
+	if *stats {
+		for _, r := range reports {
+			fmt.Printf("\n=== %s ===\n%s", r.Mode, r.Render())
+		}
+	}
+	if *traceOut != "" {
+		procs := make([]obs.Process, len(reports))
+		for i, r := range reports {
+			procs[i] = obs.Process{Name: r.Mode, Spans: r.Spans}
+		}
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatalf("mtpu-run: %v", err)
+		}
+		if err := obs.WriteChromeTrace(f, procs); err != nil {
+			f.Close()
+			log.Fatalf("mtpu-run: writing trace: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("mtpu-run: %v", err)
+		}
+		fmt.Printf("\ntimeline written to %s — open in https://ui.perfetto.dev or chrome://tracing (one process per mode, one thread per PU)\n", *traceOut)
+	}
 }

@@ -9,6 +9,7 @@ import (
 	"mtpu/internal/arch"
 	"mtpu/internal/arch/pipeline"
 	"mtpu/internal/arch/pu"
+	"mtpu/internal/obs"
 	"mtpu/internal/types"
 )
 
@@ -114,6 +115,14 @@ func New(cfg arch.Config) *Processor {
 		m.PUs = append(m.PUs, pu.New(i, cfg))
 	}
 	return m
+}
+
+// SetSink attaches an instrumentation sink to every PU's pipeline
+// (nil disables). Call before dispatching work.
+func (m *Processor) SetSink(s obs.Sink) {
+	for _, p := range m.PUs {
+		p.SetSink(s)
+	}
 }
 
 // Mem returns the memory model PUs execute against.

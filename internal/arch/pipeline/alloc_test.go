@@ -1,0 +1,70 @@
+package pipeline_test
+
+import (
+	"testing"
+
+	"mtpu/internal/arch"
+	"mtpu/internal/arch/pipeline"
+	"mtpu/internal/arch/pu"
+	"mtpu/internal/core"
+	"mtpu/internal/workload"
+)
+
+// allocFixture builds a warmed pipeline, PU and plan set: one pass over
+// the plans fills the DB cache and memoizes every plan's split, so the
+// measured replay below runs the pure hit path.
+func allocFixture(t testing.TB) (*pipeline.Pipeline, *pu.PU, []*pu.Plan, pipeline.MemModel) {
+	g := workload.NewGenerator(303, 1024)
+	genesis := g.Genesis()
+	block := g.Batch(g.Contract("TetherUSD"), 16)
+	traces, _, _, err := core.CollectTraces(genesis, block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans := pu.PlainPlans(traces)
+
+	cfg := arch.DefaultConfig() // ReuseContext on: state survives across txs
+	pipe := pipeline.New(cfg)
+	unit := pu.New(0, cfg)
+	// Box the memory model once; passing a freshly-composed interface
+	// value inside the measured loop would itself allocate.
+	var mem pipeline.MemModel = pipeline.FlatMem{Cfg: cfg}
+
+	for _, p := range plans {
+		steps, ann := p.Split()
+		pipe.Execute(steps, ann, mem)
+		unit.Run(p, mem)
+	}
+	return pipe, unit, plans, mem
+}
+
+// TestPipelineExecuteWarmZeroAllocs is the zero-overhead guard of the
+// instrumentation layer: with no sink attached, a warm (all-hit) replay
+// of the pipeline hot path must not allocate at all.
+func TestPipelineExecuteWarmZeroAllocs(t *testing.T) {
+	pipe, _, plans, mem := allocFixture(t)
+	avg := testing.AllocsPerRun(20, func() {
+		for _, p := range plans {
+			steps, ann := p.Split()
+			pipe.Execute(steps, ann, mem)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("warm Execute allocates %.1f objects per replay, want 0", avg)
+	}
+}
+
+// TestPURunWarmZeroAllocs extends the guard one layer up: the whole
+// PU.Run path (context residency, load accounting, pipeline) stays
+// allocation-free on a warm replay with instrumentation disabled.
+func TestPURunWarmZeroAllocs(t *testing.T) {
+	_, unit, plans, mem := allocFixture(t)
+	avg := testing.AllocsPerRun(20, func() {
+		for _, p := range plans {
+			unit.Run(p, mem)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("warm PU.Run allocates %.1f objects per replay, want 0", avg)
+	}
+}

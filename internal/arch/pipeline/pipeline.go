@@ -12,6 +12,7 @@ import (
 
 	"mtpu/internal/arch"
 	"mtpu/internal/evm"
+	"mtpu/internal/obs"
 	"mtpu/internal/types"
 )
 
@@ -117,6 +118,8 @@ type Stats struct {
 	GasCharged uint64
 	// LinesCached counts lines inserted into the DB cache.
 	LinesCached uint64
+	// LineEvictions counts LRU evictions from the DB cache.
+	LineEvictions uint64
 }
 
 // HitRatio is the fraction of instructions issued from DB-cache hits.
@@ -166,15 +169,28 @@ func (s *Stats) Add(o Stats) {
 	s.ForwardedRAWs += o.ForwardedRAWs
 	s.GasCharged += o.GasCharged
 	s.LinesCached += o.LinesCached
+	s.LineEvictions += o.LineEvictions
 }
+
+// MemStallCycles is the dependency-stall share of Cycles: time spent
+// waiting on data accesses rather than issuing.
+func (s Stats) MemStallCycles() uint64 { return s.Cycles - s.IssueCycles }
+
+// MissIssueCycles is the share of IssueCycles spent on the DB-cache
+// miss path (each hit line takes exactly one issue slot, so the rest of
+// the issue slots are scalar streaming during fills or with the cache
+// disabled).
+func (s Stats) MissIssueCycles() uint64 { return s.IssueCycles - s.LineHits }
 
 // member is one entry of a DB-cache line.
 type member struct {
 	pc uint64
 	op evm.Opcode
-	// foldedPCs are additional original instructions folded into this
-	// member (their pcs, in order, preceding pc).
-	foldedPCs []uint64
+	// foldedPC is the original instruction folded into this member (its
+	// pc precedes pc in the trace); folding synthesizes at most one pair
+	// (§3.3.4), so a scalar suffices and keeps members allocation-free.
+	foldedPC  uint64
+	hasFolded bool
 }
 
 // line is one DB-cache line: up to one member per functional unit, ended
@@ -192,6 +208,14 @@ type line struct {
 	insts []member
 	// count is the original instruction count (including folded ones).
 	count int
+}
+
+// clone copies a scratch-assembled line into a fresh heap value the
+// cache can own past the next fill.
+func (ln *line) clone() *line {
+	c := &line{tag: ln.tag, count: ln.count}
+	c.insts = append(c.insts, ln.insts...)
+	return c
 }
 
 // dbCache is a fully-associative LRU cache of decoded lines keyed by the
@@ -222,18 +246,21 @@ func (c *dbCache) lookup(tag lineTag) *line {
 	return n.ln
 }
 
-func (c *dbCache) insert(ln *line) {
+// insert adds the line, reporting whether an LRU victim was evicted.
+func (c *dbCache) insert(ln *line) (evicted bool) {
 	if n, ok := c.lines[ln.tag]; ok {
 		n.ln = ln
 		c.touch(n)
-		return
+		return false
 	}
 	n := &cacheNode{key: ln.tag, ln: ln}
 	c.lines[ln.tag] = n
 	c.pushFront(n)
 	if c.capacity > 0 && len(c.lines) > c.capacity {
 		c.evict()
+		return true
 	}
+	return false
 }
 
 func (c *dbCache) touch(n *cacheNode) {
@@ -290,6 +317,17 @@ type Pipeline struct {
 	cache *dbCache
 	stats Stats
 
+	// sink receives instrumentation events when non-nil; the hot loop
+	// pays one nil check per DB-cache transaction (lookup/fill/evict),
+	// never per instruction. puID labels the events.
+	sink obs.Sink
+	puID int
+
+	// scratch is the fill unit's assembly buffer, reused across fills so
+	// a miss that ends up uncacheable (side-table entries re-streamed on
+	// every replay) costs no allocation; insert clones it into the cache.
+	scratch line
+
 	// sideTable records addresses of single-instruction fills. They are
 	// never cached ("fetching a single instruction from the DB cache is
 	// considered to be inefficient", §3.4.1) but the hardware keeps their
@@ -304,6 +342,13 @@ func New(cfg arch.Config) *Pipeline {
 		cache:     newDBCache(cfg.DBCacheEntries),
 		sideTable: make(map[lineTag]bool),
 	}
+}
+
+// SetSink attaches an instrumentation sink (nil disables) emitting
+// events labelled with puID.
+func (p *Pipeline) SetSink(s obs.Sink, puID int) {
+	p.sink = s
+	p.puID = puID
 }
 
 // Flush clears the DB cache and side table (used when ReuseContext is off).
@@ -413,6 +458,9 @@ func (p *Pipeline) Execute(steps []evm.Step, ann []Annotation, mem MemModel) uin
 		if ln := p.cache.lookup(lineTag{steps[i].CodeAddr, steps[i].PC}); ln != nil && p.lineMatches(ln, steps, i) {
 			// Hit: the whole line issues in one cycle; stalls overlap, so
 			// the line costs 1 + the slowest member.
+			if p.sink != nil {
+				p.sink.DBLookup(p.puID, steps[i].CodeAddr, true, ln.count)
+			}
 			var worst uint64
 			for j := 0; j < ln.count; j++ {
 				s := &steps[i+j]
@@ -434,6 +482,9 @@ func (p *Pipeline) Execute(steps []evm.Step, ann []Annotation, mem MemModel) uin
 		// fill unit builds a line alongside.
 		p.stats.LineMisses++
 		ln, consumed := p.fill(steps, ann, i)
+		if p.sink != nil {
+			p.sink.DBLookup(p.puID, steps[i].CodeAddr, false, consumed)
+		}
 		for j := 0; j < consumed; j++ {
 			s := &steps[i+j]
 			cycles += 1 + p.extraLat(s, annAt(ann, i+j), mem)
@@ -442,8 +493,17 @@ func (p *Pipeline) Execute(steps []evm.Step, ann []Annotation, mem MemModel) uin
 			p.stats.GasCharged += s.GasCost
 		}
 		if ln != nil && ln.count >= max(2, p.cfg.MinLineInstructions) {
-			p.cache.insert(ln)
+			evicted := p.cache.insert(ln.clone())
 			p.stats.LinesCached++
+			if evicted {
+				p.stats.LineEvictions++
+			}
+			if p.sink != nil {
+				p.sink.DBFill(p.puID, ln.count)
+				if evicted {
+					p.sink.DBEvict(p.puID)
+				}
+			}
 		} else if consumed == 1 {
 			// §3.4.1: record the lone instruction's address only.
 			p.sideTable[lineTag{steps[i].CodeAddr, steps[i].PC}] = true
@@ -463,10 +523,10 @@ func (p *Pipeline) lineMatches(ln *line, steps []evm.Step, i int) bool {
 	}
 	k := i
 	for _, m := range ln.insts {
-		for _, fpc := range m.foldedPCs {
-			if steps[k].PC != fpc {
+		if m.hasFolded {
+			if steps[k].PC != m.foldedPC {
 				panic(fmt.Sprintf("pipeline: line %s:0x%x diverged at folded pc 0x%x vs trace 0x%x",
-					ln.tag.addr, ln.tag.pc, fpc, steps[k].PC))
+					ln.tag.addr, ln.tag.pc, m.foldedPC, steps[k].PC))
 			}
 			k++
 		}
@@ -484,7 +544,10 @@ func (p *Pipeline) lineMatches(ln *line, steps []evm.Step, i int) bool {
 // unabsorbable RAW, or a control-flow change. Returns the line (nil if
 // only one instruction fit) and how many trace steps it covers.
 func (p *Pipeline) fill(steps []evm.Step, ann []Annotation, start int) (*line, int) {
-	ln := &line{tag: lineTag{steps[start].CodeAddr, steps[start].PC}}
+	ln := &p.scratch
+	ln.tag = lineTag{steps[start].CodeAddr, steps[start].PC}
+	ln.count = 0
+	ln.insts = ln.insts[:0]
 	unitUsed := [evm.NumFuncUnits + 1]bool{}
 	// produced tracks how many of the virtual stack's top values were
 	// pushed by instructions already in this line (the RAW window).
@@ -550,7 +613,8 @@ func (p *Pipeline) fill(steps []evm.Step, ann []Annotation, start int) (*line, i
 
 		m := member{pc: s.PC, op: op}
 		if fold != foldNone {
-			m.foldedPCs = []uint64{foldedPC}
+			m.foldedPC = foldedPC
+			m.hasFolded = true
 			ln.count += 2
 			i += 2
 			p.stats.FoldedPairs++

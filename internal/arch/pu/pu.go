@@ -11,6 +11,7 @@ import (
 	"mtpu/internal/arch"
 	"mtpu/internal/arch/pipeline"
 	"mtpu/internal/evm"
+	"mtpu/internal/obs"
 	"mtpu/internal/types"
 )
 
@@ -91,6 +92,10 @@ type PU struct {
 	BusyUntil uint64
 	// BusyCycles accumulates working (non-idle) time for utilization.
 	BusyCycles uint64
+	// LoadCycles is the context-construction share of BusyCycles
+	// (bytecode loading plus per-transaction setup) — the load-stall
+	// term of the internal/obs cycle attribution.
+	LoadCycles uint64
 	// TxCount counts transactions executed on this PU.
 	TxCount int
 }
@@ -102,6 +107,10 @@ func New(id int, cfg arch.Config) *PU {
 
 // Pipeline exposes the pipeline for stats collection.
 func (p *PU) Pipeline() *pipeline.Pipeline { return p.pipe }
+
+// SetSink attaches an instrumentation sink to the PU's pipeline,
+// labelling events with the PU id. nil disables.
+func (p *PU) SetSink(s obs.Sink) { p.pipe.SetSink(s, p.ID) }
 
 // isResident reports (and refreshes) Call_Contract stack residency.
 func (p *PU) isResident(addr types.Address) bool {
@@ -180,5 +189,6 @@ func (p *PU) Run(plan *Plan, mem pipeline.MemModel) Cost {
 func (p *PU) finish(t *arch.TxTrace, cost Cost) {
 	p.LastContract = t.Contract
 	p.BusyCycles += cost.Total
+	p.LoadCycles += cost.Load
 	p.TxCount++
 }

@@ -18,6 +18,7 @@ import (
 	"mtpu/internal/arch/pu"
 	"mtpu/internal/evm"
 	"mtpu/internal/hotspot"
+	"mtpu/internal/obs"
 	"mtpu/internal/sched"
 	"mtpu/internal/state"
 	"mtpu/internal/types"
@@ -80,6 +81,9 @@ type Result struct {
 	Instructions uint64
 	// SkippedInstructions removed by hotspot optimization.
 	SkippedInstructions int
+	// Obs is the instrumentation report, present only when the replay
+	// ran with ReplayOpts.Obs set.
+	Obs *obs.Report
 }
 
 // IPC is the block-level instructions-per-cycle over pipeline time.
@@ -274,6 +278,12 @@ type ReplayOpts struct {
 	// sweep. Ignored by ModeSTHotspot, whose plans depend on the Contract
 	// Table. Shared plans are only read during replay.
 	Plans []*pu.Plan
+	// Obs enables cycle-level instrumentation: the collector receives
+	// pipeline and scheduler events during the replay and the Result
+	// carries the assembled obs.Report. Use a fresh collector per call.
+	// nil (the default) keeps every hot path on its uninstrumented,
+	// zero-allocation route.
+	Obs *obs.Collector
 }
 
 // Replay runs only the timing model over pre-collected traces (callers
@@ -286,6 +296,14 @@ func (a *Accelerator) Replay(block *types.Block, traces []*arch.TxTrace, receipt
 func (a *Accelerator) ReplayWith(block *types.Block, traces []*arch.TxTrace, receipts []*types.Receipt, digest types.Hash, mode Mode, opts ReplayOpts) (*Result, error) {
 	cfg := a.configFor(mode, opts.NumPUs)
 	proc := mtpu.New(cfg)
+
+	// The typed-nil guard matters: assigning a nil *Collector into the
+	// interface directly would defeat the sink != nil fast path.
+	var sink obs.Sink
+	if opts.Obs != nil {
+		sink = opts.Obs
+		proc.SetSink(sink)
+	}
 
 	if opts.Plans != nil && len(opts.Plans) != len(traces) {
 		return nil, fmt.Errorf("core: %d prebuilt plans for %d traces", len(opts.Plans), len(traces))
@@ -311,7 +329,7 @@ func (a *Accelerator) ReplayWith(block *types.Block, traces []*arch.TxTrace, rec
 		sres = sched.Synchronous(block.DAG, cfg.NumPUs, cfg.ScheduleOverhead, eng)
 	default:
 		contracts := workload.ContractOf(block)
-		sres = sched.SpatialTemporal(block.DAG, contracts, cfg.NumPUs, cfg.CandidateWindow, cfg.ScheduleOverhead, eng)
+		sres = sched.SpatialTemporalObs(block.DAG, contracts, cfg.NumPUs, cfg.CandidateWindow, cfg.ScheduleOverhead, eng, sink)
 	}
 
 	var gasUsed uint64
@@ -319,7 +337,7 @@ func (a *Accelerator) ReplayWith(block *types.Block, traces []*arch.TxTrace, rec
 		gasUsed += r.GasUsed
 	}
 	ps := proc.PipelineStats()
-	return &Result{
+	res := &Result{
 		Mode:                mode,
 		Receipts:            receipts,
 		StateDigest:         digest,
@@ -330,7 +348,11 @@ func (a *Accelerator) ReplayWith(block *types.Block, traces []*arch.TxTrace, rec
 		Sched:               sres,
 		Instructions:        ps.Instructions,
 		SkippedInstructions: skipped,
-	}, nil
+	}
+	if opts.Obs != nil {
+		res.Obs = buildObsReport(cfg, mode, proc, &sres, block, opts.Obs)
+	}
+	return res, nil
 }
 
 // VerifySchedule re-executes the block's transactions in the dispatch

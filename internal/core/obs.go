@@ -1,0 +1,76 @@
+package core
+
+import (
+	"mtpu/internal/arch"
+	"mtpu/internal/arch/mtpu"
+	"mtpu/internal/obs"
+	"mtpu/internal/sched"
+	"mtpu/internal/types"
+	"mtpu/internal/workload"
+)
+
+// buildObsReport assembles the instrumentation report of one replay
+// from three independent sources — the per-PU pipeline counters, the
+// scheduler's dispatch timeline and the collector's events — so the
+// cycle-accounting invariant (busy + stalls + idle == makespan per PU)
+// genuinely cross-checks the layers instead of restating one of them.
+func buildObsReport(cfg arch.Config, mode Mode, proc *mtpu.Processor, sres *sched.Result, block *types.Block, col *obs.Collector) *obs.Report {
+	r := &obs.Report{
+		Schema:   obs.SchemaVersion,
+		Mode:     mode.String(),
+		NumPUs:   cfg.NumPUs,
+		Makespan: sres.Makespan,
+	}
+
+	for i, p := range proc.PUs {
+		ps := p.Pipeline().Stats()
+		c := obs.PUCycles{
+			PU:        i,
+			Txs:       p.TxCount,
+			Busy:      ps.IssueCycles,
+			MissIssue: ps.MissIssueCycles(),
+			StallMem:  ps.MemStallCycles(),
+			StallLoad: p.LoadCycles,
+			Total:     sres.Makespan,
+		}
+		// The dispatch timeline accounts this PU for BusyCycles[i] cycles
+		// (execution plus per-dispatch scheduling overhead); everything
+		// beyond the PU's own pipeline and load cycles is that overhead,
+		// and the remainder up to the makespan is idle time.
+		span := sres.BusyCycles[i]
+		if own := c.Busy + c.StallMem + c.StallLoad; span >= own {
+			c.StallSched = span - own
+		}
+		if sres.Makespan >= span {
+			c.Idle = sres.Makespan - span
+		}
+		r.PUs = append(r.PUs, c)
+	}
+
+	r.DB.PerPU = col.PUStats(cfg.NumPUs)
+	for _, s := range r.DB.PerPU {
+		r.DB.Totals.Add(s)
+	}
+	r.DB.LineSizeHist = col.LineHistogram()
+	r.DB.PerContract = col.Contracts()
+
+	r.Sched.Picks = col.Picks()
+	r.Sched.Occupancy = col.Occupancy()
+	r.Sched.RedundantSteers = sres.RedundantSteers
+	switch mode {
+	case ModeSpatialTemporal, ModeSTRedundancy, ModeSTHotspot:
+		r.Sched.Window = cfg.CandidateWindow
+	}
+
+	r.SBuf = obs.StateBufferStats{Hits: proc.SBuf.Hits, Misses: proc.SBuf.Misses}
+
+	contracts := workload.ContractOf(block)
+	r.Spans = make([]obs.Span, len(sres.Dispatches))
+	for i, d := range sres.Dispatches {
+		r.Spans[i] = obs.Span{
+			PU: d.PU, Tx: d.Tx, Start: d.Start, End: d.End,
+			Contract: contracts[d.Tx],
+		}
+	}
+	return r
+}

@@ -1,0 +1,254 @@
+package core
+
+import (
+	"testing"
+
+	"mtpu/internal/arch"
+	"mtpu/internal/obs"
+)
+
+func TestObsCycleAccountingInvariant(t *testing.T) {
+	for _, dep := range []float64{0, 0.5, 1.0} {
+		genesis, block := buildBlock(t, 7, 96, dep)
+		acc := New(arch.DefaultConfig())
+		traces, receipts, digest, err := CollectTraces(genesis, block)
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc.LearnHotspots(traces, 8)
+
+		for _, mode := range allModes {
+			for _, pus := range []int{1, 4} {
+				res, err := acc.ReplayWith(block, traces, receipts, digest, mode,
+					ReplayOpts{NumPUs: pus, Obs: obs.NewCollector()})
+				if err != nil {
+					t.Fatalf("%v/%dpu: %v", mode, pus, err)
+				}
+				r := res.Obs
+				if r == nil {
+					t.Fatalf("%v/%dpu: Result.Obs is nil", mode, pus)
+				}
+				checkReport(t, r, res, dep)
+			}
+		}
+	}
+}
+
+// checkReport enforces the report invariants against the replay result.
+func checkReport(t *testing.T, r *obs.Report, res *Result, dep float64) {
+	t.Helper()
+	label := func(s string) string {
+		return r.Mode + "/" + itoa(r.NumPUs) + "pu/dep=" + ftoa(dep) + ": " + s
+	}
+
+	if r.Schema != obs.SchemaVersion {
+		t.Errorf("%s = %d, want %d", label("schema"), r.Schema, obs.SchemaVersion)
+	}
+	if r.Makespan != res.Cycles {
+		t.Errorf("%s = %d, want result cycles %d", label("makespan"), r.Makespan, res.Cycles)
+	}
+	if len(r.PUs) != r.NumPUs {
+		t.Fatalf("%s: %d rows for %d PUs", label("cycle rows"), len(r.PUs), r.NumPUs)
+	}
+
+	// The tentpole invariant: every PU's stall breakdown sums to the
+	// block makespan, with each term sourced from a different layer
+	// (pipeline counters, PU load accumulator, dispatch timeline).
+	var txs int
+	for _, c := range r.PUs {
+		if c.Total != r.Makespan {
+			t.Errorf("%s: pu %d total %d != makespan %d", label("total"), c.PU, c.Total, r.Makespan)
+		}
+		if got := c.Accounted(); got != c.Total {
+			t.Errorf("%s: pu %d busy+stalls+idle = %d, want %d (%+v)",
+				label("accounting"), c.PU, got, c.Total, c)
+		}
+		if c.MissIssue > c.Busy {
+			t.Errorf("%s: pu %d miss-issue %d exceeds busy %d", label("miss-issue"), c.PU, c.MissIssue, c.Busy)
+		}
+		txs += c.Txs
+	}
+	if nTx := len(r.Spans); txs != nTx {
+		t.Errorf("%s: per-PU tx counts sum to %d, spans %d", label("txs"), txs, nTx)
+	}
+
+	// DB cache: hits + misses == lookups, and the collector's event
+	// stream must agree with the pipeline's own aggregate counters.
+	tot := r.DB.Totals
+	if tot.Hits+tot.Misses != tot.Lookups {
+		t.Errorf("%s: hits %d + misses %d != lookups %d", label("db"), tot.Hits, tot.Misses, tot.Lookups)
+	}
+	ps := res.Pipeline
+	if tot.Hits != ps.LineHits || tot.Misses != ps.LineMisses {
+		t.Errorf("%s: collector hits/misses %d/%d, pipeline %d/%d",
+			label("db-xcheck"), tot.Hits, tot.Misses, ps.LineHits, ps.LineMisses)
+	}
+	if tot.Fills != ps.LinesCached || tot.Evictions != ps.LineEvictions {
+		t.Errorf("%s: collector fills/evicts %d/%d, pipeline %d/%d",
+			label("db-xcheck"), tot.Fills, tot.Evictions, ps.LinesCached, ps.LineEvictions)
+	}
+	var fills uint64
+	for _, n := range r.DB.LineSizeHist {
+		fills += n
+	}
+	if fills != tot.Fills {
+		t.Errorf("%s: histogram sums to %d fills, counters say %d", label("hist"), fills, tot.Fills)
+	}
+	var contractLookups uint64
+	for _, c := range r.DB.PerContract {
+		contractLookups += c.Lookups
+	}
+	if contractLookups != tot.Lookups {
+		t.Errorf("%s: per-contract lookups %d != total %d", label("contracts"), contractLookups, tot.Lookups)
+	}
+
+	// Scheduler: under the spatio-temporal modes every transaction is
+	// picked from the candidate window exactly once; the other modes
+	// never consult the window, so they record no picks at all.
+	var picks uint64
+	for _, n := range r.Sched.Picks {
+		picks += n
+	}
+	want := uint64(0)
+	if r.Sched.Window > 0 {
+		want = uint64(len(r.Spans))
+	}
+	if picks != want {
+		t.Errorf("%s: %d picks for %d dispatches", label("picks"), picks, want)
+	}
+	if len(r.Sched.Occupancy) != int(want) {
+		t.Errorf("%s: %d occupancy samples, want %d", label("occupancy"), len(r.Sched.Occupancy), want)
+	}
+
+	// Spans stay inside the makespan and cover every transaction once.
+	seen := make(map[int]bool, len(r.Spans))
+	for _, s := range r.Spans {
+		if s.End < s.Start || s.End > r.Makespan {
+			t.Errorf("%s: span %+v outside makespan %d", label("spans"), s, r.Makespan)
+		}
+		if seen[s.Tx] {
+			t.Errorf("%s: tx %d dispatched twice", label("spans"), s.Tx)
+		}
+		seen[s.Tx] = true
+	}
+}
+
+func TestObsSchedStallMatchesOverhead(t *testing.T) {
+	genesis, block := buildBlock(t, 11, 80, 0.4)
+	cfg := arch.DefaultConfig()
+	acc := New(cfg)
+	traces, receipts, digest, err := CollectTraces(genesis, block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc.LearnHotspots(traces, 8)
+
+	for _, mode := range allModes {
+		res, err := acc.ReplayWith(block, traces, receipts, digest, mode,
+			ReplayOpts{Obs: obs.NewCollector()})
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		sequential := mode == ModeScalar || mode == ModeSequentialILP
+		for _, c := range res.Obs.PUs {
+			want := cfg.ScheduleOverhead * uint64(c.Txs)
+			if sequential {
+				want = 0
+			}
+			if c.StallSched != want {
+				t.Errorf("%v: pu %d sched stall %d, want overhead %d × %d txs = %d",
+					mode, c.PU, c.StallSched, cfg.ScheduleOverhead, c.Txs, want)
+			}
+		}
+		// Window is only meaningful for the spatio-temporal modes.
+		st := mode == ModeSpatialTemporal || mode == ModeSTRedundancy || mode == ModeSTHotspot
+		if st && res.Obs.Sched.Window != cfg.CandidateWindow {
+			t.Errorf("%v: window %d, want %d", mode, res.Obs.Sched.Window, cfg.CandidateWindow)
+		}
+		if !st && res.Obs.Sched.Window != 0 {
+			t.Errorf("%v: window %d, want 0", mode, res.Obs.Sched.Window)
+		}
+	}
+}
+
+func TestObsDisabledByDefault(t *testing.T) {
+	genesis, block := buildBlock(t, 5, 48, 0.3)
+	acc := New(arch.DefaultConfig())
+	traces, receipts, digest, err := CollectTraces(genesis, block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := acc.Replay(block, traces, receipts, digest, ModeSpatialTemporal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Obs != nil {
+		t.Error("Result.Obs non-nil without ReplayOpts.Obs")
+	}
+}
+
+// TestObsDoesNotPerturbTiming: attaching a collector must observe, not
+// alter — cycle counts and digests match the uninstrumented replay.
+func TestObsDoesNotPerturbTiming(t *testing.T) {
+	genesis, block := buildBlock(t, 13, 96, 0.5)
+	acc := New(arch.DefaultConfig())
+	traces, receipts, digest, err := CollectTraces(genesis, block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc.LearnHotspots(traces, 8)
+	for _, mode := range allModes {
+		plain, err := acc.Replay(block, traces, receipts, digest, mode)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		inst, err := acc.ReplayWith(block, traces, receipts, digest, mode,
+			ReplayOpts{Obs: obs.NewCollector()})
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if plain.Cycles != inst.Cycles {
+			t.Errorf("%v: instrumented run changed cycles %d -> %d", mode, plain.Cycles, inst.Cycles)
+		}
+		if plain.StateDigest != inst.StateDigest {
+			t.Errorf("%v: instrumented run changed state digest", mode)
+		}
+		if plain.Pipeline != inst.Pipeline {
+			t.Errorf("%v: instrumented run changed pipeline stats", mode)
+		}
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [12]byte
+	pos := len(buf)
+	for v > 0 {
+		pos--
+		buf[pos] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		pos--
+		buf[pos] = '-'
+	}
+	return string(buf[pos:])
+}
+
+func ftoa(v float64) string {
+	switch v {
+	case 0:
+		return "0"
+	case 0.5:
+		return "0.5"
+	case 1.0:
+		return "1"
+	}
+	return "?"
+}

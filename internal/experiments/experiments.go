@@ -35,6 +35,11 @@ type Env struct {
 	// Workers is the fan-out of the sweep experiments; <= 1 runs
 	// serially. Results are identical at every setting.
 	Workers int
+
+	// Stats, when non-nil, accumulates per-experiment counter snapshots
+	// (mtpu-bench -stats). Merging is commutative, so the aggregates are
+	// identical at every Workers setting.
+	Stats *StatsRecorder
 }
 
 // NewEnv builds the standard environment.

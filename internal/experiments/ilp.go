@@ -24,10 +24,13 @@ const Fig12BatchSize = 48
 // Fig12 measures the ILP upper bound per TOP-8 contract. Contracts fan
 // out over env.Workers.
 func Fig12(env *Env) []Fig12Row {
-	variants := []struct{ fwd, fold bool }{
-		{false, false}, // F&D
-		{true, false},  // +DF
-		{true, true},   // +IF
+	variants := []struct {
+		name      string
+		fwd, fold bool
+	}{
+		{"F&D", false, false},
+		{"+DF", true, false},
+		{"+IF", true, true},
 	}
 	rows := make([]Fig12Row, len(Top8Names))
 	env.forEachPoint(len(rows), func(i int) {
@@ -41,6 +44,7 @@ func Fig12(env *Env) []Fig12Row {
 			cfg.EnableForwarding = opt.fwd
 			cfg.EnableFolding = opt.fold
 			st := runPipeline(cfg, plans, 2) // pass 1 fills, pass 2 measures
+			env.record("fig12/"+opt.name, st, st.Cycles)
 			row.IPC[v] = st.IPC()
 			row.Speedup[v] = float64(scalar) / float64(st.Cycles)
 			row.HitRatio[v] = st.HitRatio()
@@ -98,6 +102,7 @@ func Fig13(env *Env) []Fig13Row {
 			cfg := arch.DefaultConfig()
 			cfg.DBCacheEntries = size
 			st := runPipeline(cfg, plans, 1)
+			env.record("fig13", st, st.Cycles)
 			row.HitRatios = append(row.HitRatios, st.HitRatio())
 		}
 		rows[i] = row
@@ -144,9 +149,11 @@ func Table7(env *Env) []Table7Row {
 		upperCfg := arch.DefaultConfig()
 		upperCfg.DBCacheEntries = 0
 		upper := runPipeline(upperCfg, plans, 2)
+		env.record("table7/upper", upper, upper.Cycles)
 
 		realCfg := arch.DefaultConfig() // 2048 entries
 		real := runPipeline(realCfg, plans, 1)
+		env.record("table7/2K", real, real.Cycles)
 
 		row := Table7Row{
 			Contract:     name,

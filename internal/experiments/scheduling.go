@@ -82,6 +82,7 @@ func SchedulingSweep(env *Env, modes []core.Mode, puCounts []int, ratios []float
 		if err != nil {
 			panic(err)
 		}
+		env.record("sched/"+mode.String(), res.Pipeline, res.Cycles)
 		out[i] = SchedPoint{
 			Mode:        mode,
 			DepRatio:    prep.achieved,

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"sort"
+	"sync"
+
+	"mtpu/internal/arch/pipeline"
+	"mtpu/internal/metrics"
+)
+
+// Snapshot is the aggregate counter state of one experiment label: how
+// many replays contributed, their summed simulated cycles, and the
+// merged pipeline counters.
+type Snapshot struct {
+	Points   int            `json:"points"`
+	Cycles   uint64         `json:"cycles"`
+	Pipeline pipeline.Stats `json:"pipeline"`
+}
+
+// StatsRecorder merges per-point counter snapshots from sweep workers.
+// Merging is a commutative sum, so a sweep fanned out over Env.Workers
+// records byte-identical aggregates to the serial run.
+type StatsRecorder struct {
+	mu      sync.Mutex
+	byLabel map[string]*Snapshot
+}
+
+// NewStatsRecorder returns an empty recorder.
+func NewStatsRecorder() *StatsRecorder {
+	return &StatsRecorder{byLabel: make(map[string]*Snapshot)}
+}
+
+// Record merges one replay's counters under label.
+func (r *StatsRecorder) Record(label string, st pipeline.Stats, cycles uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.byLabel[label]
+	if s == nil {
+		s = &Snapshot{}
+		r.byLabel[label] = s
+	}
+	s.Points++
+	s.Cycles += cycles
+	s.Pipeline.Add(st)
+}
+
+// Labels returns the recorded labels, sorted.
+func (r *StatsRecorder) Labels() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.byLabel))
+	for l := range r.byLabel {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Get returns the snapshot of one label (zero if absent).
+func (r *StatsRecorder) Get(label string) Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s := r.byLabel[label]; s != nil {
+		return *s
+	}
+	return Snapshot{}
+}
+
+// Snapshots returns a copy of every recorded label's snapshot.
+func (r *StatsRecorder) Snapshots() map[string]Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]Snapshot, len(r.byLabel))
+	for l, s := range r.byLabel {
+		out[l] = *s
+	}
+	return out
+}
+
+// RenderStats formats the recorder as a paper-style counter table.
+func RenderStats(r *StatsRecorder) string {
+	t := metrics.NewTable("per-experiment counter snapshots",
+		"experiment", "points", "cycles", "insts", "issue", "hits", "misses", "evicts", "IPC", "hit%")
+	for _, l := range r.Labels() {
+		s := r.Get(l)
+		p := s.Pipeline
+		t.Row(l, s.Points, s.Cycles, p.Instructions, p.IssueCycles,
+			p.LineHits, p.LineMisses, p.LineEvictions,
+			p.IPC(), metrics.Pct(p.HitRatio()))
+	}
+	return t.String()
+}
+
+// record routes one replay's counters into the environment's recorder;
+// a nil recorder (the default) makes this a no-op, so experiments only
+// pay for snapshots when mtpu-bench runs with -stats.
+func (e *Env) record(label string, st pipeline.Stats, cycles uint64) {
+	if e.Stats == nil {
+		return
+	}
+	e.Stats.Record(label, st, cycles)
+}

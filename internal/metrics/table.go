@@ -4,6 +4,7 @@ package metrics
 
 import (
 	"fmt"
+	"math"
 	"strings"
 )
 
@@ -19,13 +20,13 @@ func NewTable(title string, headers ...string) *Table {
 	return &Table{Title: title, headers: headers}
 }
 
-// Row appends a row; cells are formatted with %v (floats with %.2f).
+// Row appends a row; cells are formatted with %v (floats via Float).
 func (t *Table) Row(cells ...any) *Table {
 	row := make([]string, len(cells))
 	for i, c := range cells {
 		switch v := c.(type) {
 		case float64:
-			row[i] = fmt.Sprintf("%.2f", v)
+			row[i] = Float(v)
 		case string:
 			row[i] = v
 		default:
@@ -34,6 +35,25 @@ func (t *Table) Row(cells ...any) *Table {
 	}
 	t.rows = append(t.rows, row)
 	return t
+}
+
+// Float formats a float cell: NaN renders as "-" so sparse stat tables
+// stay readable, infinities as "inf"/"-inf", and negative zero (or a
+// negative value rounding to zero) as "0.00".
+func Float(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "-"
+	case math.IsInf(v, 1):
+		return "inf"
+	case math.IsInf(v, -1):
+		return "-inf"
+	}
+	s := fmt.Sprintf("%.2f", v)
+	if s == "-0.00" {
+		return "0.00"
+	}
+	return s
 }
 
 // String renders the table.

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"math"
 	"strings"
 	"testing"
 )
@@ -37,6 +38,42 @@ func TestTableNoTitle(t *testing.T) {
 	tbl.Row("x")
 	if strings.HasPrefix(tbl.String(), "\n") {
 		t.Error("leading newline with empty title")
+	}
+}
+
+func TestFloat(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{3.14159, "3.14"},
+		{0, "0.00"},
+		{math.Copysign(0, -1), "0.00"}, // negative zero renders as zero
+		{-0.0001, "0.00"},              // rounds to -0.00, normalized
+		{math.NaN(), "-"},
+		{math.Inf(1), "inf"},
+		{math.Inf(-1), "-inf"},
+		{-2.5, "-2.50"},
+	}
+	for _, c := range cases {
+		if got := Float(c.in); got != c.want {
+			t.Errorf("Float(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// TestTableRowSpecialFloats: a row containing NaN/Inf cells must render
+// the placeholder, not "NaN" — a 0/0 hit ratio on an empty sweep is data
+// absence, not a number.
+func TestTableRowSpecialFloats(t *testing.T) {
+	tbl := NewTable("t", "name", "ratio", "speedup")
+	tbl.Row("empty", math.NaN(), math.Inf(1))
+	out := tbl.String()
+	if strings.Contains(out, "NaN") {
+		t.Errorf("NaN leaked into table: %q", out)
+	}
+	if !strings.Contains(out, "-") || !strings.Contains(out, "inf") {
+		t.Errorf("placeholders missing: %q", out)
 	}
 }
 

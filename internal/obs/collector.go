@@ -1,0 +1,180 @@
+package obs
+
+import "mtpu/internal/types"
+
+// maxHistLine caps the packed-instructions-per-line histogram; longer
+// lines land in the last bucket (a line holds at most one member per
+// functional unit, so real sizes stay well below this).
+const maxHistLine = 16
+
+// PUDBStats are the DB-cache counters of one PU.
+type PUDBStats struct {
+	Lookups   uint64 `json:"lookups"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Fills     uint64 `json:"fills"`
+	Evictions uint64 `json:"evictions"`
+	// HitInstructions counts instructions issued from hit lines.
+	HitInstructions uint64 `json:"hit_instructions"`
+}
+
+// Add accumulates o into s.
+func (s *PUDBStats) Add(o PUDBStats) {
+	s.Lookups += o.Lookups
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Fills += o.Fills
+	s.Evictions += o.Evictions
+	s.HitInstructions += o.HitInstructions
+}
+
+// HitRate is hits per lookup.
+func (s PUDBStats) HitRate() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Lookups)
+}
+
+// ContractDBStats are one contract's DB-cache lookup counters across
+// all PUs.
+type ContractDBStats struct {
+	Contract types.Address `json:"contract"`
+	Lookups  uint64        `json:"lookups"`
+	Hits     uint64        `json:"hits"`
+}
+
+// HitRate is hits per lookup for the contract.
+func (s ContractDBStats) HitRate() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Lookups)
+}
+
+// OccSample is one scheduling-table occupancy observation: how many
+// candidate-window slots were occupied when a PU selected at Cycle.
+type OccSample struct {
+	Cycle    uint64 `json:"cycle"`
+	Occupied int    `json:"occupied"`
+}
+
+// Collector is the standard Sink: it accumulates one replay's events.
+// Use one Collector per replay; it is not safe for concurrent use (a
+// replay's discrete-event loop runs on a single goroutine).
+type Collector struct {
+	pus         []PUDBStats
+	perContract map[types.Address]*ContractDBStats
+	lineHist    [maxHistLine + 1]uint64
+	picks       [NumPickKinds]uint64
+	occupancy   []OccSample
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{perContract: make(map[types.Address]*ContractDBStats)}
+}
+
+func (c *Collector) pu(pu int) *PUDBStats {
+	for len(c.pus) <= pu {
+		c.pus = append(c.pus, PUDBStats{})
+	}
+	return &c.pus[pu]
+}
+
+func (c *Collector) contract(addr types.Address) *ContractDBStats {
+	s := c.perContract[addr]
+	if s == nil {
+		s = &ContractDBStats{Contract: addr}
+		c.perContract[addr] = s
+	}
+	return s
+}
+
+// DBLookup implements Sink.
+func (c *Collector) DBLookup(pu int, contract types.Address, hit bool, insts int) {
+	s := c.pu(pu)
+	s.Lookups++
+	cs := c.contract(contract)
+	cs.Lookups++
+	if hit {
+		s.Hits++
+		s.HitInstructions += uint64(insts)
+		cs.Hits++
+	} else {
+		s.Misses++
+	}
+}
+
+// DBFill implements Sink.
+func (c *Collector) DBFill(pu int, insts int) {
+	c.pu(pu).Fills++
+	if insts > maxHistLine {
+		insts = maxHistLine
+	}
+	c.lineHist[insts]++
+}
+
+// DBEvict implements Sink.
+func (c *Collector) DBEvict(pu int) {
+	c.pu(pu).Evictions++
+}
+
+// SchedPick implements Sink.
+func (c *Collector) SchedPick(pu int, now uint64, kind PickKind, occupied int) {
+	_ = pu
+	c.picks[kind]++
+	c.occupancy = append(c.occupancy, OccSample{Cycle: now, Occupied: occupied})
+}
+
+// PUStats returns the per-PU DB-cache counters, padded to numPUs
+// entries (a PU that never looked up still gets a zero row).
+func (c *Collector) PUStats(numPUs int) []PUDBStats {
+	c.pu(numPUs - 1)
+	out := make([]PUDBStats, numPUs)
+	copy(out, c.pus[:numPUs])
+	return out
+}
+
+// LineHistogram returns fills indexed by packed instruction count; the
+// last bucket aggregates longer lines.
+func (c *Collector) LineHistogram() []uint64 {
+	out := make([]uint64, len(c.lineHist))
+	copy(out, c.lineHist[:])
+	return out
+}
+
+// Picks returns the selection counts per PickKind.
+func (c *Collector) Picks() [NumPickKinds]uint64 { return c.picks }
+
+// Occupancy returns the occupancy samples in selection order.
+func (c *Collector) Occupancy() []OccSample { return c.occupancy }
+
+// Contracts returns per-contract lookup counters sorted by lookups
+// descending, address ascending — a deterministic order despite the
+// map accumulation.
+func (c *Collector) Contracts() []ContractDBStats {
+	out := make([]ContractDBStats, 0, len(c.perContract))
+	for _, s := range c.perContract {
+		out = append(out, *s)
+	}
+	sortContracts(out)
+	return out
+}
+
+func sortContracts(s []ContractDBStats) {
+	// Insertion sort keeps obs free of sort's interface allocations; the
+	// contract set is small (the workload's archetype contracts).
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && contractLess(s[j], s[j-1]); j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func contractLess(a, b ContractDBStats) bool {
+	if a.Lookups != b.Lookups {
+		return a.Lookups > b.Lookups
+	}
+	return string(a.Contract[:]) < string(b.Contract[:])
+}

@@ -1,0 +1,64 @@
+// Package obs is the cycle-level instrumentation layer of the MTPU
+// simulator. The timing model (arch/pipeline, arch/pu, arch/mtpu, sched,
+// core) emits events into a Sink; the default sink is nil, so the hot
+// paths pay exactly one nil check per event site and zero allocations
+// when instrumentation is disabled. The concrete Collector accumulates
+// the events of one replay into a Report: per-PU cycle accounting whose
+// stall breakdown sums to the makespan, DB-cache statistics with a
+// packed-instructions-per-line histogram and per-contract hit rates,
+// scheduler pick classification and window occupancy over time, and a
+// per-transaction timeline exportable as Chrome trace-event JSON
+// (chrome://tracing, Perfetto).
+package obs
+
+import "mtpu/internal/types"
+
+// PickKind classifies one scheduler selection (§3.2.2 selection flow).
+type PickKind uint8
+
+const (
+	// PickRedundant: the Re bit steered a same-contract transaction to
+	// the PU that just ran (or is running) that contract.
+	PickRedundant PickKind = iota
+	// PickLargestV: no redundancy match; the largest remaining-invocation
+	// value V among several selectable candidates won.
+	PickLargestV
+	// PickForced: exactly one candidate passed the availability mask, so
+	// the pick carried no scheduling freedom.
+	PickForced
+
+	// NumPickKinds is the number of pick classes.
+	NumPickKinds
+)
+
+var pickNames = [NumPickKinds]string{"redundant", "largest-V", "forced"}
+
+// String returns the pick class label.
+func (k PickKind) String() string {
+	if int(k) < len(pickNames) {
+		return pickNames[k]
+	}
+	return "unknown"
+}
+
+// Sink receives instrumentation events from the timing model. Every
+// emit site guards the call with a single nil check, so implementations
+// only pay when instrumentation is enabled; they must still be cheap —
+// events fire per DB-cache line and per scheduler pick, not per
+// instruction. A Sink is driven from the single goroutine of one replay
+// and need not be safe for concurrent use.
+type Sink interface {
+	// DBLookup records one DB-cache lookup by PU pu on a line of the
+	// given contract: hit reports the outcome, insts how many original
+	// instructions the line covers (the fill length on a miss).
+	DBLookup(pu int, contract types.Address, hit bool, insts int)
+	// DBFill records a line of insts packed instructions entering PU
+	// pu's DB cache.
+	DBFill(pu int, insts int)
+	// DBEvict records an LRU eviction from PU pu's DB cache.
+	DBEvict(pu int)
+	// SchedPick records one scheduling-table selection: the PU that
+	// pulled, the simulated cycle, the pick class, and how many window
+	// slots were occupied when the selection ran.
+	SchedPick(pu int, now uint64, kind PickKind, occupied int)
+}

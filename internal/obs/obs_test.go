@@ -1,0 +1,207 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"mtpu/internal/types"
+)
+
+func addr(b byte) types.Address {
+	var a types.Address
+	a[0] = b
+	return a
+}
+
+func TestCollectorAccumulation(t *testing.T) {
+	c := NewCollector()
+	a0, a1 := addr(1), addr(2)
+
+	c.DBLookup(0, a0, false, 3)
+	c.DBFill(0, 3)
+	c.DBLookup(0, a0, true, 3)
+	c.DBLookup(1, a1, true, 5)
+	c.DBLookup(1, a1, false, 2)
+	c.DBFill(1, 2)
+	c.DBEvict(1)
+
+	pus := c.PUStats(3)
+	if len(pus) != 3 {
+		t.Fatalf("PUStats(3) returned %d rows", len(pus))
+	}
+	want0 := PUDBStats{Lookups: 2, Hits: 1, Misses: 1, Fills: 1, HitInstructions: 3}
+	if pus[0] != want0 {
+		t.Errorf("pu 0 = %+v, want %+v", pus[0], want0)
+	}
+	want1 := PUDBStats{Lookups: 2, Hits: 1, Misses: 1, Fills: 1, Evictions: 1, HitInstructions: 5}
+	if pus[1] != want1 {
+		t.Errorf("pu 1 = %+v, want %+v", pus[1], want1)
+	}
+	if pus[2] != (PUDBStats{}) {
+		t.Errorf("pu 2 = %+v, want zero", pus[2])
+	}
+
+	var tot PUDBStats
+	for _, s := range pus {
+		tot.Add(s)
+	}
+	if tot.Hits+tot.Misses != tot.Lookups {
+		t.Errorf("hits %d + misses %d != lookups %d", tot.Hits, tot.Misses, tot.Lookups)
+	}
+	if got := tot.HitRate(); got != 0.5 {
+		t.Errorf("aggregate hit rate = %v, want 0.5", got)
+	}
+
+	hist := c.LineHistogram()
+	if hist[3] != 1 || hist[2] != 1 {
+		t.Errorf("line histogram = %v, want one fill at 3 and one at 2", hist)
+	}
+}
+
+func TestCollectorHistogramClamp(t *testing.T) {
+	c := NewCollector()
+	c.DBFill(0, maxHistLine+7)
+	hist := c.LineHistogram()
+	if hist[maxHistLine] != 1 {
+		t.Errorf("oversized fill not clamped into last bucket: %v", hist)
+	}
+}
+
+func TestCollectorContractsDeterministic(t *testing.T) {
+	build := func(order []byte) []ContractDBStats {
+		c := NewCollector()
+		for _, b := range order {
+			// lookups per contract: addr(1)=3, addr(2)=3, addr(3)=1
+			switch b {
+			case 1, 2:
+				c.DBLookup(0, addr(b), true, 1)
+				c.DBLookup(0, addr(b), true, 1)
+				c.DBLookup(0, addr(b), false, 0)
+			case 3:
+				c.DBLookup(0, addr(b), false, 0)
+			}
+		}
+		return c.Contracts()
+	}
+	a := build([]byte{1, 2, 3})
+	b := build([]byte{3, 2, 1})
+	if len(a) != 3 || len(b) != 3 {
+		t.Fatalf("want 3 contracts, got %d and %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("order differs at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// Ties on lookups break by address ascending; the single-lookup
+	// contract sorts last.
+	if a[0].Contract != addr(1) || a[1].Contract != addr(2) || a[2].Contract != addr(3) {
+		t.Errorf("unexpected order: %+v", a)
+	}
+}
+
+func TestCollectorSchedPicks(t *testing.T) {
+	c := NewCollector()
+	c.SchedPick(0, 10, PickLargestV, 4)
+	c.SchedPick(1, 12, PickRedundant, 3)
+	c.SchedPick(0, 20, PickForced, 1)
+	c.SchedPick(1, 22, PickLargestV, 2)
+
+	picks := c.Picks()
+	if picks[PickLargestV] != 2 || picks[PickRedundant] != 1 || picks[PickForced] != 1 {
+		t.Errorf("picks = %v", picks)
+	}
+	occ := c.Occupancy()
+	if len(occ) != 4 {
+		t.Fatalf("occupancy samples = %d, want 4", len(occ))
+	}
+	s := SchedStats{Picks: picks, Occupancy: occ}
+	if got := s.AvgOccupancy(); got != 2.5 {
+		t.Errorf("avg occupancy = %v, want 2.5", got)
+	}
+}
+
+func TestPickKindString(t *testing.T) {
+	for k := PickKind(0); k < NumPickKinds; k++ {
+		if k.String() == "" || k.String() == "unknown" {
+			t.Errorf("PickKind(%d) has no name", k)
+		}
+	}
+}
+
+func TestAccountedSum(t *testing.T) {
+	c := PUCycles{Busy: 10, StallMem: 5, StallLoad: 3, StallSched: 2, Idle: 1, Total: 21}
+	if c.Accounted() != c.Total {
+		t.Errorf("Accounted() = %d, want %d", c.Accounted(), c.Total)
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	procs := []Process{
+		{Name: "st", Spans: []Span{
+			{PU: 0, Tx: 0, Start: 0, End: 40, Contract: addr(1)},
+			{PU: 1, Tx: 1, Start: 5, End: 25, Contract: addr(2)},
+			{PU: 0, Tx: 2, Start: 40, End: 90, Contract: addr(1)},
+		}},
+		{Name: "scalar", Spans: []Span{
+			{PU: 0, Tx: 0, Start: 0, End: 100, Contract: addr(1)},
+		}},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, procs); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+
+	var f struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   *uint64        `json:"ts"`
+			Dur  uint64         `json:"dur"`
+			Pid  *int           `json:"pid"`
+			Tid  *int           `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	if f.DisplayTimeUnit == "" {
+		t.Error("missing displayTimeUnit")
+	}
+
+	var spans, procMeta, threadMeta int
+	for _, e := range f.TraceEvents {
+		if e.Name == "" || e.Ph == "" || e.Pid == nil {
+			t.Fatalf("event missing required fields: %+v", e)
+		}
+		switch e.Ph {
+		case "X":
+			spans++
+			if e.Ts == nil || e.Tid == nil {
+				t.Errorf("span without ts/tid: %+v", e)
+			}
+		case "M":
+			switch e.Name {
+			case "process_name":
+				procMeta++
+			case "thread_name":
+				threadMeta++
+			}
+		default:
+			t.Errorf("unexpected phase %q", e.Ph)
+		}
+	}
+	if spans != 4 {
+		t.Errorf("span events = %d, want 4", spans)
+	}
+	if procMeta != 2 {
+		t.Errorf("process_name events = %d, want 2", procMeta)
+	}
+	// Process "st" uses PUs 0 and 1; "scalar" uses PU 0.
+	if threadMeta != 3 {
+		t.Errorf("thread_name events = %d, want 3", threadMeta)
+	}
+}

@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+
+	"mtpu/internal/metrics"
+	"mtpu/internal/types"
+)
+
+// SchemaVersion identifies the Report layout (and its JSON encoding);
+// bump it on any incompatible change so checked-in reports stay
+// self-describing.
+const SchemaVersion = 1
+
+// Span is one transaction's execution interval on one PU — the unit of
+// the Perfetto timeline.
+type Span struct {
+	PU       int           `json:"pu"`
+	Tx       int           `json:"tx"`
+	Start    uint64        `json:"start"`
+	End      uint64        `json:"end"`
+	Contract types.Address `json:"contract"`
+}
+
+// PUCycles is the cycle account of one PU over a block replay. The
+// invariant the test suite enforces: Busy + StallMem + StallLoad +
+// StallSched + Idle == Total == the block makespan.
+type PUCycles struct {
+	PU  int `json:"pu"`
+	Txs int `json:"txs"`
+	// Busy is issue slots — cycles in which the pipeline issued a scalar
+	// instruction or a whole DB-cache line.
+	Busy uint64 `json:"busy"`
+	// MissIssue is the part of Busy spent issuing on the DB-cache miss
+	// path (scalar streaming while the fill unit builds a line).
+	MissIssue uint64 `json:"miss_issue"`
+	// StallMem is dependency stalls: cycles waiting on data accesses
+	// (storage, state queries, hashing, copies, context switches).
+	StallMem uint64 `json:"stall_mem"`
+	// StallLoad is context construction: bytecode loading into the
+	// Call_Contract stack plus fixed per-transaction setup.
+	StallLoad uint64 `json:"stall_load"`
+	// StallSched is the scheduler's critical-path overhead charged on
+	// every dispatch.
+	StallSched uint64 `json:"stall_sched"`
+	// Idle is time with no transaction assigned (waiting on dependencies
+	// or an empty window).
+	Idle uint64 `json:"idle"`
+	// Total is the block makespan.
+	Total uint64 `json:"total"`
+}
+
+// Accounted sums the breakdown; it must equal Total.
+func (c PUCycles) Accounted() uint64 {
+	return c.Busy + c.StallMem + c.StallLoad + c.StallSched + c.Idle
+}
+
+// DBCacheStats aggregates decoded-bytecode-cache behaviour.
+type DBCacheStats struct {
+	PerPU  []PUDBStats `json:"per_pu"`
+	Totals PUDBStats   `json:"totals"`
+	// LineSizeHist counts fills by packed instruction count (index =
+	// instructions; the last bucket aggregates longer lines).
+	LineSizeHist []uint64          `json:"line_size_hist"`
+	PerContract  []ContractDBStats `json:"per_contract"`
+}
+
+// SchedStats aggregates scheduler behaviour.
+type SchedStats struct {
+	// Picks counts selections by class, indexed by PickKind.
+	Picks [NumPickKinds]uint64 `json:"picks"`
+	// Occupancy samples the candidate-window fill level at each pick.
+	Occupancy []OccSample `json:"occupancy,omitempty"`
+	// Window is the candidate-window capacity m (0 for the sequential
+	// and synchronous modes, which do not use the window).
+	Window int `json:"window"`
+	// RedundantSteers mirrors sched.Result.RedundantSteers.
+	RedundantSteers int `json:"redundant_steers"`
+}
+
+// AvgOccupancy is the mean occupied-slot count over all picks.
+func (s SchedStats) AvgOccupancy() float64 {
+	if len(s.Occupancy) == 0 {
+		return 0
+	}
+	var sum uint64
+	for _, o := range s.Occupancy {
+		sum += uint64(o.Occupied)
+	}
+	return float64(sum) / float64(len(s.Occupancy))
+}
+
+// StateBufferStats mirrors the shared State Buffer counters.
+type StateBufferStats struct {
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+}
+
+// Report is the full instrumentation record of one block replay.
+type Report struct {
+	Schema   int    `json:"schema"`
+	Mode     string `json:"mode"`
+	NumPUs   int    `json:"num_pus"`
+	Makespan uint64 `json:"makespan"`
+
+	PUs   []PUCycles       `json:"pus"`
+	DB    DBCacheStats     `json:"db_cache"`
+	Sched SchedStats       `json:"sched"`
+	SBuf  StateBufferStats `json:"state_buffer"`
+	Spans []Span           `json:"spans"`
+}
+
+// CycleTable renders the per-PU stall attribution.
+func (r *Report) CycleTable() *metrics.Table {
+	t := metrics.NewTable(
+		fmt.Sprintf("cycle accounting — %s (%d PUs, makespan %d)", r.Mode, r.NumPUs, r.Makespan),
+		"pu", "txs", "busy", "miss-issue", "mem-stall", "load-stall", "sched", "idle", "total", "busy/total")
+	var sum PUCycles
+	for _, c := range r.PUs {
+		t.Row(c.PU, c.Txs, c.Busy, c.MissIssue, c.StallMem, c.StallLoad,
+			c.StallSched, c.Idle, c.Total, share(c.Busy, c.Total))
+		sum.Txs += c.Txs
+		sum.Busy += c.Busy
+		sum.MissIssue += c.MissIssue
+		sum.StallMem += c.StallMem
+		sum.StallLoad += c.StallLoad
+		sum.StallSched += c.StallSched
+		sum.Idle += c.Idle
+		sum.Total += c.Total
+	}
+	t.Row("all", sum.Txs, sum.Busy, sum.MissIssue, sum.StallMem, sum.StallLoad,
+		sum.StallSched, sum.Idle, sum.Total, share(sum.Busy, sum.Total))
+	return t
+}
+
+// DBTable renders the DB-cache statistics.
+func (r *Report) DBTable() *metrics.Table {
+	t := metrics.NewTable("DB cache", "pu", "lookups", "hits", "misses", "hit",
+		"fills", "evicts", "hit-insts")
+	for i, s := range r.DB.PerPU {
+		t.Row(i, s.Lookups, s.Hits, s.Misses, s.HitRate(),
+			s.Fills, s.Evictions, s.HitInstructions)
+	}
+	s := r.DB.Totals
+	t.Row("all", s.Lookups, s.Hits, s.Misses, s.HitRate(),
+		s.Fills, s.Evictions, s.HitInstructions)
+	return t
+}
+
+// ContractTable renders per-contract DB-cache hit rates for the topN
+// most-looked-up contracts (topN <= 0 means all).
+func (r *Report) ContractTable(topN int) *metrics.Table {
+	t := metrics.NewTable("DB cache by contract", "contract", "lookups", "hits", "hit")
+	rows := r.DB.PerContract
+	if topN > 0 && topN < len(rows) {
+		rows = rows[:topN]
+	}
+	for _, c := range rows {
+		t.Row(shortAddr(c.Contract), c.Lookups, c.Hits, c.HitRate())
+	}
+	return t
+}
+
+// SchedTable renders the scheduler metrics.
+func (r *Report) SchedTable() *metrics.Table {
+	t := metrics.NewTable("scheduler", "metric", "value")
+	for k := PickKind(0); k < NumPickKinds; k++ {
+		t.Row("picks/"+k.String(), r.Sched.Picks[k])
+	}
+	t.Row("redundant steers", r.Sched.RedundantSteers)
+	t.Row("window capacity", r.Sched.Window)
+	t.Row("avg occupancy", r.Sched.AvgOccupancy())
+	t.Row("state-buffer hits", r.SBuf.Hits)
+	t.Row("state-buffer misses", r.SBuf.Misses)
+	return t
+}
+
+// Render returns the paper-style summary of the whole report.
+func (r *Report) Render() string {
+	var b strings.Builder
+	b.WriteString(r.CycleTable().String())
+	b.WriteByte('\n')
+	b.WriteString(r.DBTable().String())
+	if hist := histLine(r.DB.LineSizeHist); hist != "" {
+		b.WriteString("insts/line fills: " + hist + "\n")
+	}
+	if len(r.DB.PerContract) > 0 {
+		b.WriteByte('\n')
+		b.WriteString(r.ContractTable(8).String())
+	}
+	b.WriteByte('\n')
+	b.WriteString(r.SchedTable().String())
+	return b.String()
+}
+
+// histLine formats the non-empty histogram buckets ("2:41 3:17 ...").
+func histLine(hist []uint64) string {
+	var parts []string
+	for insts, n := range hist {
+		if n == 0 {
+			continue
+		}
+		label := fmt.Sprintf("%d", insts)
+		if insts == len(hist)-1 {
+			label += "+"
+		}
+		parts = append(parts, fmt.Sprintf("%s:%d", label, n))
+	}
+	return strings.Join(parts, " ")
+}
+
+// shortAddr abbreviates an address for table cells, keeping the suffix
+// (the distinguishing part of the workload's low-numbered addresses).
+func shortAddr(a types.Address) string {
+	s := a.String()
+	if len(s) > 12 {
+		s = "0x…" + s[len(s)-10:]
+	}
+	return s
+}
+
+func share(part, whole uint64) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return float64(part) / float64(whole)
+}

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Process groups one timeline's spans under a Perfetto process row;
+// mtpu-run exports one process per execution mode so the modes can be
+// compared side by side in a single trace.
+type Process struct {
+	Name  string
+	Spans []Span
+}
+
+// traceEvent is one Chrome trace-event ("X" complete events for spans,
+// "M" metadata events naming processes and threads). Cycles map 1:1 to
+// the format's microsecond timestamps, so the Perfetto ruler reads in
+// cycles×1µs.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   uint64         `json:"ts"`
+	Dur  uint64         `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the JSON-object form of the trace-event format.
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+	Meta            traceMeta    `json:"otherData"`
+}
+
+type traceMeta struct {
+	Schema int    `json:"schema"`
+	Unit   string `json:"unit"`
+}
+
+// WriteChromeTrace writes the processes' spans as Chrome trace-event
+// JSON loadable in Perfetto or chrome://tracing: one process per entry,
+// one thread per PU, one complete event per transaction span.
+func WriteChromeTrace(w io.Writer, procs []Process) error {
+	f := traceFile{
+		DisplayTimeUnit: "ms",
+		Meta:            traceMeta{Schema: SchemaVersion, Unit: "1 cycle = 1us"},
+	}
+	for pid, proc := range procs {
+		f.TraceEvents = append(f.TraceEvents, traceEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": proc.Name},
+		})
+		seenPU := map[int]bool{}
+		for _, s := range proc.Spans {
+			if !seenPU[s.PU] {
+				seenPU[s.PU] = true
+				f.TraceEvents = append(f.TraceEvents, traceEvent{
+					Name: "thread_name", Ph: "M", Pid: pid, Tid: s.PU,
+					Args: map[string]any{"name": fmt.Sprintf("PU %d", s.PU)},
+				})
+			}
+			f.TraceEvents = append(f.TraceEvents, traceEvent{
+				Name: fmt.Sprintf("tx %d", s.Tx),
+				Ph:   "X",
+				Ts:   s.Start,
+				Dur:  s.End - s.Start,
+				Pid:  pid,
+				Tid:  s.PU,
+				Args: map[string]any{
+					"tx":       s.Tx,
+					"contract": s.Contract.String(),
+					"cycles":   s.End - s.Start,
+				},
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(&f)
+}

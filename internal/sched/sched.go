@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 
+	"mtpu/internal/obs"
 	"mtpu/internal/types"
 )
 
@@ -242,10 +243,11 @@ func (s *stState) refill() {
 
 // dispatch selects a transaction for PU p through the tables and updates
 // the Scheduling Table for the new running set.
-func (s *stState) dispatch(p int) (tx int, redundant bool) {
-	tx, redundant = s.tables.Select(p)
+func (s *stState) dispatch(p int) Pick {
+	pk := s.tables.SelectPick(p)
+	tx := pk.Tx
 	if tx < 0 {
-		return -1, false
+		return pk
 	}
 	s.running[tx] = true
 	s.runningTx[p] = tx
@@ -260,7 +262,7 @@ func (s *stState) dispatch(p int) (tx int, redundant bool) {
 			return false
 		},
 		func(cand int) bool { return s.contracts[cand] == s.contracts[tx] })
-	return tx, redundant
+	return pk
 }
 
 // complete retires PU p's transaction.
@@ -278,6 +280,13 @@ func (s *stState) complete(p int) {
 // candidate when they free up; the CPU refills the window off the
 // critical path.
 func SpatialTemporal(dag *types.DAG, contracts []types.Address, numPUs, window int, overhead uint64, e Engine) Result {
+	return SpatialTemporalObs(dag, contracts, numPUs, window, overhead, e, nil)
+}
+
+// SpatialTemporalObs is SpatialTemporal emitting scheduler events —
+// pick classification and window occupancy at each selection — to sink
+// when it is non-nil. The schedule itself is identical either way.
+func SpatialTemporalObs(dag *types.DAG, contracts []types.Address, numPUs, window int, overhead uint64, e Engine, sink obs.Sink) Result {
 	n := dag.Len()
 	if len(contracts) != n {
 		panic(fmt.Sprintf("sched: %d contracts for %d transactions", len(contracts), n))
@@ -298,12 +307,16 @@ func SpatialTemporal(dag *types.DAG, contracts []types.Address, numPUs, window i
 			if s.runningTx[p] >= 0 {
 				continue
 			}
-			tx, redundant := s.dispatch(p)
+			pk := s.dispatch(p)
+			tx := pk.Tx
 			if tx < 0 {
 				continue
 			}
-			if redundant {
+			if pk.Redundant {
 				res.RedundantSteers++
+			}
+			if sink != nil {
+				sink.SchedPick(p, now, pk.Kind(), pk.Occupied)
 			}
 			cost := e.Dispatch(p, tx) + overhead
 			puBusyUntil[p] = now + cost

@@ -1,5 +1,7 @@
 package sched
 
+import "mtpu/internal/obs"
+
 // This file implements the hardware data structures of Fig. 6 bit for
 // bit: the candidate window in main memory, the per-PU Scheduling Table
 // rows (dependency bitmap De, redundancy bitmap Re, validity bit) and the
@@ -129,12 +131,41 @@ func (t *Tables) ClearRunning(p int) {
 	t.valid[p] = false
 }
 
+// Pick describes one Select outcome with the detail the observability
+// layer attributes: how many window slots were occupied and how many of
+// them actually passed the availability mask (Selectable == 1 means the
+// pick was forced — the scheduler had no freedom).
+type Pick struct {
+	Tx         int
+	Redundant  bool
+	Occupied   int
+	Selectable int
+}
+
+// Kind classifies the pick for instrumentation.
+func (p Pick) Kind() obs.PickKind {
+	switch {
+	case p.Redundant:
+		return obs.PickRedundant
+	case p.Selectable == 1:
+		return obs.PickForced
+	}
+	return obs.PickLargestV
+}
+
 // Select implements the PU-side flow for PU p (steps 1-2 of Fig. 6):
 // compute the availability mask from the OTHER PUs' dependency bitmaps,
 // prefer an available slot whose Re bit is set for p, otherwise take the
 // largest V. It locks and frees the chosen slot, returning the
 // transaction index (or -1 when nothing is selectable).
 func (t *Tables) Select(p int) (tx int, redundant bool) {
+	pk := t.SelectPick(p)
+	return pk.Tx, pk.Redundant
+}
+
+// SelectPick is Select also reporting window occupancy and how
+// constrained the choice was.
+func (t *Tables) SelectPick(p int) Pick {
 	// Step 1: blocked = OR of valid De rows of all PUs except p.
 	blocked := newBitmap(t.m)
 	for q := range t.de {
@@ -146,10 +177,16 @@ func (t *Tables) Select(p int) (tx int, redundant bool) {
 
 	best, bestV := -1, -1
 	bestRe := false
+	occupied, selectable := 0, 0
 	for i, candidate := range t.slot {
-		if candidate < 0 || t.locked[i] || blocked.get(i) {
+		if candidate < 0 {
 			continue
 		}
+		occupied++
+		if t.locked[i] || blocked.get(i) {
+			continue
+		}
+		selectable++
 		isRe := t.re[p].get(i)
 		better := false
 		switch {
@@ -167,14 +204,14 @@ func (t *Tables) Select(p int) (tx int, redundant bool) {
 		}
 	}
 	if best < 0 {
-		return -1, false
+		return Pick{Tx: -1, Occupied: occupied}
 	}
 	// Lock until the read completes, then the CPU reclaims the slot.
 	t.locked[best] = true
-	tx = t.slot[best]
+	tx := t.slot[best]
 	t.slot[best] = -1
 	t.locked[best] = false
-	return tx, bestRe
+	return Pick{Tx: tx, Redundant: bestRe, Occupied: occupied, Selectable: selectable}
 }
 
 // Occupied returns the transactions currently in the window.
