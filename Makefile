@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: all build test race vet fuzz-smoke bench stats-smoke ci
+.PHONY: all build test race vet fuzz-smoke bench stats-smoke stm-sweep ci
 
 all: build
 
@@ -17,10 +17,16 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Short fuzz pass over the assembler/disassembler round-trip targets.
+# Short fuzz pass over the decoder and data-structure targets: the
+# assembler/disassembler round trips, the RLP and consensus-type
+# decoders, and the multi-version memory against its sequential oracle.
 fuzz-smoke:
 	$(GO) test ./internal/asm -run '^$$' -fuzz FuzzAssemble -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/asm -run '^$$' -fuzz FuzzDisassemble -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/rlp -run '^$$' -fuzz FuzzDecode -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/types -run '^$$' -fuzz FuzzDecodeTransactionRLP -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/types -run '^$$' -fuzz FuzzDecodeBlockRLP -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/stm -run '^$$' -fuzz FuzzMVMemory -fuzztime $(FUZZTIME)
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
@@ -31,4 +37,10 @@ stats-smoke:
 	$(GO) run ./cmd/mtpu-bench -stats -json bench_stats.json fig13
 	$(GO) run ./cmd/mtpu-bench -validate bench_stats.json
 
-ci: vet build race fuzz-smoke stats-smoke
+# Run the optimistic-baseline sweep (Block-STM vs DAG-driven
+# scheduling), write the JSON report, and validate the STM invariants.
+stm-sweep:
+	$(GO) run ./cmd/mtpu-bench -parallel 0 -json bench_stm.json stm
+	$(GO) run ./cmd/mtpu-bench -validate bench_stm.json
+
+ci: vet build race fuzz-smoke stats-smoke stm-sweep

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	mtpu-bench [-seed N] [-parallel N] [-stats] [-json FILE] {table2|table6|fig12|fig13|table7|fig14|fig15|fig16|table8|table9|chunking|all}
+//	mtpu-bench [-seed N] [-parallel N] [-stats] [-json FILE] {table2|table6|fig12|fig13|table7|fig14|fig15|fig16|table8|table9|chunking|ablation|stm|all}
 //	mtpu-bench -validate FILE
 //
 // Sweep points fan out over -parallel worker goroutines; results are
@@ -29,8 +29,9 @@ import (
 )
 
 // reportSchema versions the -json layout; bump on incompatible changes
-// so checked-in BENCH_*.json files stay self-describing.
-const reportSchema = 2
+// so checked-in BENCH_*.json files stay self-describing. v3 added the
+// optimistic-baseline sweep rows ("stm").
+const reportSchema = 3
 
 // artifactResult is one experiment's rendering plus its sweep summary.
 type artifactResult struct {
@@ -67,7 +68,12 @@ type benchReport struct {
 	Arch        arch.Config        `json:"arch"`
 	Experiments []experimentReport `json:"experiments"`
 	Counters    []counterReport    `json:"counters,omitempty"`
-	TotalWallMS float64            `json:"total_wall_ms"`
+
+	// STM carries the optimistic-baseline sweep rows when the "stm"
+	// artifact ran — the source data of the EXPERIMENTS.md section.
+	STM []experiments.STMPoint `json:"stm,omitempty"`
+
+	TotalWallMS float64 `json:"total_wall_ms"`
 }
 
 // spdRange folds a sequence of speedups into (points, min, max).
@@ -118,7 +124,17 @@ func main() {
 	}
 
 	cmd := flag.Arg(0)
+	var stmPoints []experiments.STMPoint
 	artifacts := map[string]func() artifactResult{
+		"stm": func() artifactResult {
+			stmPoints = experiments.STMSweep(env)
+			var r spdRange
+			for _, p := range stmPoints {
+				r.add(p.STMSpeedup)
+			}
+			return artifactResult{output: experiments.RenderSTM(stmPoints),
+				points: r.n, minSpd: r.min, maxSpd: r.max}
+		},
 		"table1": func() artifactResult {
 			rows := experiments.Table1(env)
 			return artifactResult{output: experiments.RenderTable1(rows), points: len(rows)}
@@ -216,7 +232,7 @@ func main() {
 		},
 	}
 	order := []string{"table1", "table2", "table6", "fig12", "fig13", "table7",
-		"fig14", "fig15", "fig16", "table8", "table9", "chunking", "ablation"}
+		"fig14", "fig15", "fig16", "table8", "table9", "chunking", "ablation", "stm"}
 
 	var names []string
 	if cmd == "all" {
@@ -250,6 +266,7 @@ func main() {
 			MaxSpeedup: res.maxSpd,
 		})
 	}
+	report.STM = stmPoints
 	report.TotalWallMS = float64(time.Since(start).Microseconds()) / 1000
 
 	if env.Stats != nil {
@@ -312,6 +329,31 @@ func validateReport(path string) error {
 			return fmt.Errorf("%s: negative wall_ms/points", e.Name)
 		}
 	}
+	for _, p := range r.STM {
+		if p.PUs < 1 || p.Txs < 1 {
+			return fmt.Errorf("stm ratio %.1f: bad grid point (pus=%d txs=%d)", p.TargetRatio, p.PUs, p.Txs)
+		}
+		if p.SyncSpeedup <= 0 || p.STSpeedup <= 0 || p.STMSpeedup <= 0 {
+			return fmt.Errorf("stm ratio %.1f pus %d: non-positive speedup", p.TargetRatio, p.PUs)
+		}
+		s := p.Stats
+		if s.Incarnations-s.Aborts != p.Txs {
+			return fmt.Errorf("stm ratio %.1f pus %d: incarnations %d - aborts %d != txs %d",
+				p.TargetRatio, p.PUs, s.Incarnations, s.Aborts, p.Txs)
+		}
+		if s.Aborts != s.EstimateAborts+s.ValidationFails {
+			return fmt.Errorf("stm ratio %.1f pus %d: aborts %d != estimate %d + validation %d",
+				p.TargetRatio, p.PUs, s.Aborts, s.EstimateAborts, s.ValidationFails)
+		}
+		if got := s.ExecCycles + s.ValidateCycles + s.IdleCycles; got != uint64(p.PUs)*p.STMCycles {
+			return fmt.Errorf("stm ratio %.1f pus %d: cycle terms %d != pus×makespan %d",
+				p.TargetRatio, p.PUs, got, uint64(p.PUs)*p.STMCycles)
+		}
+		if s.WastedCycles > s.ExecCycles {
+			return fmt.Errorf("stm ratio %.1f pus %d: wasted %d exceeds exec %d",
+				p.TargetRatio, p.PUs, s.WastedCycles, s.ExecCycles)
+		}
+	}
 	for _, c := range r.Counters {
 		if c.Label == "" {
 			return fmt.Errorf("counter snapshot with empty label")
@@ -359,6 +401,7 @@ ARTIFACT is one of:
   table9    BPU vs MTPU quad core (dependency sweep)
   chunking  hotspot chunking / pre-execution / prefetch report
   ablation  one-at-a-time design-choice ablations
+  stm       optimistic (Block-STM) baseline vs DAG-driven scheduling
   all       everything above
 flags:
   -seed N      workload generator seed (default the ISCA'23 seed)

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	mtpu-run [-txs N] [-dep R] [-pus N] [-seed N] [-v] [-dump F] [-load F]
-//	         [-stats] [-trace-out F]
+//	         [-stats] [-trace-out F] [-verify-dag]
 package main
 
 import (
@@ -32,6 +32,7 @@ func main() {
 	load := flag.String("load", "", "execute a block previously written with -dump instead of generating one")
 	stats := flag.Bool("stats", false, "print per-mode cycle accounting, DB-cache and scheduler counters")
 	traceOut := flag.String("trace-out", "", "write the per-mode execution timelines as Chrome trace-event JSON (Perfetto / chrome://tracing)")
+	verifyDAG := flag.Bool("verify-dag", false, "cross-check the consensus DAG against the conflicts a sequential replay observes")
 	flag.Parse()
 
 	gen := workload.NewGenerator(*seed, 4*(*txs)+64)
@@ -60,6 +61,13 @@ func main() {
 		}
 		fmt.Printf("block %s written to %s (%d bytes)\n",
 			block.Hash(), *dump, len(block.EncodeRLP()))
+	}
+
+	if *verifyDAG {
+		if err := workload.VerifyDAG(genesis, block); err != nil {
+			log.Fatalf("mtpu-run: %v", err)
+		}
+		fmt.Println("DAG verified: edges match sequential-replay conflicts exactly")
 	}
 
 	traces, receipts, digest, err := core.CollectTraces(genesis, block)
@@ -97,6 +105,7 @@ func main() {
 	modes := []core.Mode{
 		core.ModeScalar, core.ModeSequentialILP, core.ModeSynchronous,
 		core.ModeSpatialTemporal, core.ModeSTRedundancy, core.ModeSTHotspot,
+		core.ModeBlockSTM,
 	}
 	instrument := *stats || *traceOut != ""
 	t := metrics.NewTable(fmt.Sprintf("execution modes (%d PUs)", *pus),
@@ -108,6 +117,9 @@ func main() {
 		if instrument {
 			opts.Obs = obs.NewCollector()
 		}
+		if m == core.ModeBlockSTM {
+			opts.Genesis = genesis
+		}
 		res, err := acc.ReplayWith(block, traces, receipts, digest, m, opts)
 		if err != nil {
 			log.Fatalf("mtpu-run: %v: %v", m, err)
@@ -115,7 +127,14 @@ func main() {
 		if m == core.ModeScalar {
 			scalar = res.Cycles
 		}
-		if err := core.VerifySchedule(genesis, block, res); err != nil {
+		if m == core.ModeBlockSTM {
+			// Block-STM schedules optimistically, so DAG-order replay does
+			// not apply; instead every runtime-detected conflict must lie
+			// inside the consensus DAG's transitive closure.
+			if err := core.VerifySTMConflicts(block.DAG, res.STMConflicts); err != nil {
+				log.Fatalf("mtpu-run: %v", err)
+			}
+		} else if err := core.VerifySchedule(genesis, block, res); err != nil {
 			log.Fatalf("mtpu-run: serializability check failed: %v", err)
 		}
 		t.Row(m.String(), res.Cycles, metrics.X(float64(scalar)/float64(res.Cycles)),

@@ -74,6 +74,15 @@ type Config struct {
 	// ScheduleOverhead is the per-selection critical-path cost in cycles
 	// (the O(n)-bit logic of §3.2.3).
 	ScheduleOverhead uint64
+
+	// --- Optimistic execution baseline (Block-STM mode) ---
+
+	// StmValidateBase is the fixed cycle cost of one read-set validation
+	// task in the optimistic (block-stm) mode.
+	StmValidateBase uint64
+	// StmValidatePerKey is the additional validation cost per read-set
+	// entry (one versioned lookup and compare).
+	StmValidatePerKey uint64
 }
 
 // DefaultConfig returns the Table 5 prototype configuration with all
@@ -103,6 +112,9 @@ func DefaultConfig() Config {
 		NumPUs:           4,
 		CandidateWindow:  8,
 		ScheduleOverhead: 4,
+
+		StmValidateBase:   8,
+		StmValidatePerKey: 2,
 	}
 }
 

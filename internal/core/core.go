@@ -21,6 +21,7 @@ import (
 	"mtpu/internal/obs"
 	"mtpu/internal/sched"
 	"mtpu/internal/state"
+	"mtpu/internal/stm"
 	"mtpu/internal/types"
 	"mtpu/internal/workload"
 )
@@ -48,6 +49,13 @@ const (
 	ModeSTRedundancy
 	// ModeSTHotspot adds the §3.4 hotspot contract optimization.
 	ModeSTHotspot
+	// ModeBlockSTM is the optimistic software baseline: Block-STM-style
+	// multi-version execution with run-time validation, abort and
+	// re-execution. It uses no consensus DAG — conflicts are discovered
+	// the hard way, and every aborted incarnation's PU cycles are charged
+	// as wasted work. Replays in this mode require ReplayOpts.Genesis
+	// (the functional re-execution needs the pre-block state).
+	ModeBlockSTM
 )
 
 var modeNames = map[Mode]string{
@@ -57,6 +65,7 @@ var modeNames = map[Mode]string{
 	ModeSpatialTemporal: "spatial-temporal",
 	ModeSTRedundancy:    "spatial-temporal+redundancy",
 	ModeSTHotspot:       "spatial-temporal+redundancy+hotspot",
+	ModeBlockSTM:        "block-stm",
 }
 
 // String returns the mode's evaluation label.
@@ -84,6 +93,12 @@ type Result struct {
 	// Obs is the instrumentation report, present only when the replay
 	// ran with ReplayOpts.Obs set.
 	Obs *obs.Report
+	// STM carries the optimistic-execution counters; nil for every mode
+	// except ModeBlockSTM.
+	STM *obs.STMStats
+	// STMConflicts are ModeBlockSTM's runtime-detected dependency edges,
+	// checkable against the consensus DAG with VerifySTMConflicts.
+	STMConflicts []stm.Conflict
 }
 
 // IPC is the block-level instructions-per-cycle over pipeline time.
@@ -237,7 +252,7 @@ func (a *Accelerator) configFor(mode Mode, numPUs int) arch.Config {
 	case ModeSequentialILP:
 		cfg.ReuseContext = false
 		cfg.NumPUs = 1
-	case ModeSynchronous, ModeSpatialTemporal:
+	case ModeSynchronous, ModeSpatialTemporal, ModeBlockSTM:
 		cfg.ReuseContext = false
 	case ModeSTRedundancy, ModeSTHotspot:
 		cfg.ReuseContext = true
@@ -284,6 +299,11 @@ type ReplayOpts struct {
 	// nil (the default) keeps every hot path on its uninstrumented,
 	// zero-allocation route.
 	Obs *obs.Collector
+	// Genesis is the pre-block state, required by ModeBlockSTM (the
+	// optimistic executor re-executes transactions functionally, not just
+	// their traces). It is only read, never mutated, so one shared
+	// genesis serves concurrent replays.
+	Genesis *state.StateDB
 }
 
 // Replay runs only the timing model over pre-collected traces (callers
@@ -322,11 +342,42 @@ func (a *Accelerator) ReplayWith(block *types.Block, traces []*arch.TxTrace, rec
 
 	eng := &engine{proc: proc, plans: plans}
 	var sres sched.Result
+	var stmRes *stm.Result
 	switch mode {
 	case ModeScalar, ModeSequentialILP:
 		sres = sched.Sequential(len(traces), eng)
 	case ModeSynchronous:
 		sres = sched.Synchronous(block.DAG, cfg.NumPUs, cfg.ScheduleOverhead, eng)
+	case ModeBlockSTM:
+		if opts.Genesis == nil {
+			return nil, fmt.Errorf("core: mode %s requires ReplayOpts.Genesis (the pre-block state)", mode)
+		}
+		var err error
+		stmRes, err = stm.Execute(block, opts.Genesis, stm.Config{
+			NumPUs:           cfg.NumPUs,
+			ScheduleOverhead: cfg.ScheduleOverhead,
+			ValidateBase:     cfg.StmValidateBase,
+			ValidatePerKey:   cfg.StmValidatePerKey,
+		}, eng)
+		if err != nil {
+			return nil, err
+		}
+		// The identical-state-to-sequential assertion is built into the
+		// mode: an optimistic schedule that commits anything else is a
+		// correctness bug, not a measurement.
+		if stmRes.Digest != digest {
+			return nil, fmt.Errorf("core: block-stm state digest %s != sequential %s", stmRes.Digest, digest)
+		}
+		for i, r := range stmRes.Receipts {
+			if r.GasUsed != receipts[i].GasUsed || r.Status != receipts[i].Status {
+				return nil, fmt.Errorf("core: block-stm receipt %d (gas %d, status %d) != sequential (gas %d, status %d)",
+					i, r.GasUsed, r.Status, receipts[i].GasUsed, receipts[i].Status)
+			}
+		}
+		sres = sched.Result{Makespan: stmRes.Makespan, BusyCycles: stmRes.BusyCycles}
+		for _, d := range stmRes.ExecDispatches() {
+			sres.Dispatches = append(sres.Dispatches, sched.Dispatch{Tx: d.Tx, PU: d.PU, Start: d.Start, End: d.End})
+		}
 	default:
 		contracts := workload.ContractOf(block)
 		sres = sched.SpatialTemporalObs(block.DAG, contracts, cfg.NumPUs, cfg.CandidateWindow, cfg.ScheduleOverhead, eng, sink)
@@ -349,8 +400,13 @@ func (a *Accelerator) ReplayWith(block *types.Block, traces []*arch.TxTrace, rec
 		Instructions:        ps.Instructions,
 		SkippedInstructions: skipped,
 	}
+	if stmRes != nil {
+		res.STM = &stmRes.Stats
+		res.STMConflicts = stmRes.Conflicts
+	}
 	if opts.Obs != nil {
 		res.Obs = buildObsReport(cfg, mode, proc, &sres, block, opts.Obs)
+		res.Obs.STM = res.STM
 	}
 	return res, nil
 }
@@ -359,7 +415,10 @@ func (a *Accelerator) ReplayWith(block *types.Block, traces []*arch.TxTrace, rec
 // order of a schedule against a fresh copy of genesis and checks the
 // final state digest matches sequential execution — the serializability
 // invariant of §3.2 ("scheduling does not violate blockchain
-// consistency").
+// consistency"). It does not apply to ModeBlockSTM, whose schedule
+// deliberately overlaps conflicting transactions and re-dispatches
+// aborted ones; that mode asserts digest identity internally and is
+// cross-checked with VerifySTMConflicts instead.
 func VerifySchedule(genesis *state.StateDB, block *types.Block, res *Result) error {
 	order := make([]sched.Dispatch, len(res.Sched.Dispatches))
 	copy(order, res.Sched.Dispatches)
@@ -414,6 +473,20 @@ func VerifySchedule(genesis *state.StateDB, block *types.Block, res *Result) err
 	}
 	if got := st.Digest(); got != res.StateDigest {
 		return fmt.Errorf("core: scheduled state digest %s != sequential %s", got, res.StateDigest)
+	}
+	return nil
+}
+
+// VerifySTMConflicts checks that every conflict the optimistic executor
+// detected at run time lies within the transitive closure of the
+// consensus DAG: Block-STM may discover dependencies indirectly (through
+// intermediate writers), but it must never manufacture a conflict between
+// transactions the DAG proves independent.
+func VerifySTMConflicts(dag *types.DAG, conflicts []stm.Conflict) error {
+	for _, c := range conflicts {
+		if !dag.HasPath(c.From, c.To) {
+			return fmt.Errorf("core: stm conflict %d→%d outside the consensus DAG's transitive closure", c.From, c.To)
+		}
 	}
 	return nil
 }

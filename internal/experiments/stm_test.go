@@ -1,0 +1,46 @@
+package experiments
+
+import "testing"
+
+func TestSTMSweepShape(t *testing.T) {
+	points := STMSweep(testEnv)
+	want := len(STMDepRatios) * len(STMPUCounts)
+	if len(points) != want {
+		t.Fatalf("%d points, want %d", len(points), want)
+	}
+	for _, p := range points {
+		if p.Txs != SchedBlockSize {
+			t.Errorf("ratio %.1f pus %d: txs %d", p.TargetRatio, p.PUs, p.Txs)
+		}
+		if p.SeqCycles == 0 || p.SyncCycles == 0 || p.STCycles == 0 || p.STMCycles == 0 {
+			t.Errorf("ratio %.1f pus %d: zero cycle count %+v", p.TargetRatio, p.PUs, p)
+		}
+		if p.SyncSpeedup <= 0 || p.STSpeedup <= 0 || p.STMSpeedup <= 0 {
+			t.Errorf("ratio %.1f pus %d: non-positive speedup", p.TargetRatio, p.PUs)
+		}
+		// Identical-state assertion already ran inside ReplayWith; here we
+		// check the counter invariants survive the sweep plumbing.
+		s := p.Stats
+		if s.Incarnations-s.Aborts != p.Txs {
+			t.Errorf("ratio %.1f pus %d: incarnations %d - aborts %d != txs %d",
+				p.TargetRatio, p.PUs, s.Incarnations, s.Aborts, p.Txs)
+		}
+		if got := s.ExecCycles + s.ValidateCycles + s.IdleCycles; got != uint64(p.PUs)*p.STMCycles {
+			t.Errorf("ratio %.1f pus %d: cycle terms %d != pus×makespan %d",
+				p.TargetRatio, p.PUs, got, uint64(p.PUs)*p.STMCycles)
+		}
+	}
+	// With no dependencies the optimistic executor never aborts; fully
+	// chained it must.
+	for _, p := range points {
+		if p.TargetRatio == 0 && p.Stats.Aborts != 0 {
+			t.Errorf("dep-0 pus %d: %d aborts", p.PUs, p.Stats.Aborts)
+		}
+		if p.TargetRatio == 1.0 && p.PUs >= 4 && p.Stats.Aborts == 0 {
+			t.Errorf("dep-1.0 pus %d: no aborts", p.PUs)
+		}
+	}
+	if out := RenderSTM(points); len(out) == 0 {
+		t.Error("empty rendering")
+	}
+}

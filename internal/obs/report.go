@@ -10,8 +10,9 @@ import (
 
 // SchemaVersion identifies the Report layout (and its JSON encoding);
 // bump it on any incompatible change so checked-in reports stay
-// self-describing.
-const SchemaVersion = 1
+// self-describing. Version 2 added the optimistic-execution (STM)
+// section.
+const SchemaVersion = 2
 
 // Span is one transaction's execution interval on one PU — the unit of
 // the Perfetto timeline.
@@ -97,6 +98,57 @@ type StateBufferStats struct {
 	Misses uint64 `json:"misses"`
 }
 
+// STMStats are the optimistic-execution counters of one Block-STM block
+// replay. Invariants the validator enforces: Incarnations - Aborts ==
+// Txs (every transaction commits exactly one incarnation), Aborts ==
+// EstimateAborts + ValidationFails, and ExecCycles + ValidateCycles +
+// IdleCycles == NumPUs × makespan (every PU cycle is attributed).
+type STMStats struct {
+	// Txs is the block's transaction count.
+	Txs int `json:"txs"`
+	// Incarnations counts completed execution attempts (>= Txs).
+	Incarnations int `json:"incarnations"`
+	// Aborts counts discarded incarnations (wasted speculative work).
+	Aborts int `json:"aborts"`
+	// EstimateAborts counts incarnations that read an ESTIMATE marker and
+	// gave up mid-execution.
+	EstimateAborts int `json:"estimate_aborts"`
+	// ValidationPasses / ValidationFails count applied validation
+	// outcomes (stale outcomes superseded by a re-execution are dropped).
+	ValidationPasses int `json:"validation_passes"`
+	ValidationFails  int `json:"validation_fails"`
+	// EstimateWaits counts transactions that blocked on an aborted
+	// writer's re-execution; EstimateWaitCycles is the summed wait time.
+	EstimateWaits      int    `json:"estimate_waits"`
+	EstimateWaitCycles uint64 `json:"estimate_wait_cycles"`
+	// ExecCycles is PU time spent executing incarnations (including the
+	// per-task dispatch overhead); WastedCycles is the part belonging to
+	// aborted incarnations.
+	ExecCycles   uint64 `json:"exec_cycles"`
+	WastedCycles uint64 `json:"wasted_cycles"`
+	// ValidateCycles is PU time spent on validation tasks.
+	ValidateCycles uint64 `json:"validate_cycles"`
+	// IdleCycles is PU time with no task available.
+	IdleCycles uint64 `json:"idle_cycles"`
+}
+
+// Add merges other into s (all counters are commutative sums, so
+// concurrent replays of the same block merge deterministically).
+func (s *STMStats) Add(other STMStats) {
+	s.Txs += other.Txs
+	s.Incarnations += other.Incarnations
+	s.Aborts += other.Aborts
+	s.EstimateAborts += other.EstimateAborts
+	s.ValidationPasses += other.ValidationPasses
+	s.ValidationFails += other.ValidationFails
+	s.EstimateWaits += other.EstimateWaits
+	s.EstimateWaitCycles += other.EstimateWaitCycles
+	s.ExecCycles += other.ExecCycles
+	s.WastedCycles += other.WastedCycles
+	s.ValidateCycles += other.ValidateCycles
+	s.IdleCycles += other.IdleCycles
+}
+
 // Report is the full instrumentation record of one block replay.
 type Report struct {
 	Schema   int    `json:"schema"`
@@ -108,7 +160,10 @@ type Report struct {
 	DB    DBCacheStats     `json:"db_cache"`
 	Sched SchedStats       `json:"sched"`
 	SBuf  StateBufferStats `json:"state_buffer"`
-	Spans []Span           `json:"spans"`
+	// STM carries the optimistic-execution counters; nil for every mode
+	// except block-stm.
+	STM   *STMStats `json:"stm,omitempty"`
+	Spans []Span    `json:"spans"`
 }
 
 // CycleTable renders the per-PU stall attribution.
@@ -176,6 +231,29 @@ func (r *Report) SchedTable() *metrics.Table {
 	return t
 }
 
+// STMTable renders the optimistic-execution counters (nil-safe: returns
+// nil when the replay was not a Block-STM run).
+func (r *Report) STMTable() *metrics.Table {
+	if r.STM == nil {
+		return nil
+	}
+	s := r.STM
+	t := metrics.NewTable("optimistic execution (block-stm)", "metric", "value")
+	t.Row("transactions", s.Txs)
+	t.Row("incarnations", s.Incarnations)
+	t.Row("aborts", s.Aborts)
+	t.Row("aborts/estimate", s.EstimateAborts)
+	t.Row("aborts/validation", s.ValidationFails)
+	t.Row("validation passes", s.ValidationPasses)
+	t.Row("estimate waits", s.EstimateWaits)
+	t.Row("estimate-wait cycles", s.EstimateWaitCycles)
+	t.Row("exec cycles", s.ExecCycles)
+	t.Row("wasted cycles", s.WastedCycles)
+	t.Row("validate cycles", s.ValidateCycles)
+	t.Row("idle cycles", s.IdleCycles)
+	return t
+}
+
 // Render returns the paper-style summary of the whole report.
 func (r *Report) Render() string {
 	var b strings.Builder
@@ -191,6 +269,10 @@ func (r *Report) Render() string {
 	}
 	b.WriteByte('\n')
 	b.WriteString(r.SchedTable().String())
+	if t := r.STMTable(); t != nil {
+		b.WriteByte('\n')
+		b.WriteString(t.String())
+	}
 	return b.String()
 }
 

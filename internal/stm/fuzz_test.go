@@ -1,0 +1,123 @@
+package stm
+
+import (
+	"testing"
+
+	"mtpu/internal/state"
+	"mtpu/internal/types"
+)
+
+// oracleEntry mirrors one multi-version write in the naive reference
+// implementation.
+type oracleEntry struct {
+	tx          int
+	incarnation int
+	estimate    bool
+	val         uint64
+}
+
+// oracle is a linear-scan reference for MVMemory: an unsorted list of
+// writes per key, resolved by max-scan.
+type oracle map[state.AccessKey][]oracleEntry
+
+func (o oracle) read(k state.AccessKey, tx int) ReadResult {
+	best := -1
+	var bestE oracleEntry
+	for _, e := range o[k] {
+		if e.tx < tx && e.tx > best {
+			best = e.tx
+			bestE = e
+		}
+	}
+	if best < 0 {
+		return ReadResult{Status: ReadBase, Ver: Version{Tx: BaseVersion}}
+	}
+	r := ReadResult{Ver: Version{Tx: bestE.tx, Incarnation: bestE.incarnation}}
+	if bestE.estimate {
+		r.Status = ReadEstimate
+	} else {
+		r.Status = ReadValue
+		r.Val.Word.SetUint64(bestE.val)
+	}
+	return r
+}
+
+func (o oracle) write(k state.AccessKey, tx, inc int, val uint64) {
+	for i, e := range o[k] {
+		if e.tx == tx {
+			o[k][i] = oracleEntry{tx: tx, incarnation: inc, val: val}
+			return
+		}
+	}
+	o[k] = append(o[k], oracleEntry{tx: tx, incarnation: inc, val: val})
+}
+
+func (o oracle) markEstimate(k state.AccessKey, tx int) {
+	for i, e := range o[k] {
+		if e.tx == tx {
+			o[k][i].estimate = true
+		}
+	}
+}
+
+func (o oracle) remove(k state.AccessKey, tx int) {
+	es := o[k]
+	for i, e := range es {
+		if e.tx == tx {
+			o[k] = append(es[:i], es[i+1:]...)
+			return
+		}
+	}
+}
+
+// FuzzMVMemory drives random read/write/mark-estimate/remove
+// interleavings against the sequential oracle. Each operation consumes 4
+// fuzz bytes: opcode, key selector, transaction index, value.
+func FuzzMVMemory(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3})
+	f.Add([]byte{1, 0, 5, 9, 0, 0, 6, 0, 2, 0, 5, 0})
+	f.Add([]byte{1, 2, 3, 4, 2, 2, 3, 0, 0, 2, 7, 0, 3, 2, 3, 0, 0, 2, 7, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		mv := NewMVMemory()
+		o := make(oracle)
+		keys := [4]state.AccessKey{
+			{Kind: state.AccessBalance, Addr: types.Address{19: 1}},
+			{Kind: state.AccessNonce, Addr: types.Address{19: 1}},
+			{Kind: state.AccessStorage, Addr: types.Address{19: 2}, Slot: types.Hash{31: 1}},
+			{Kind: state.AccessStorage, Addr: types.Address{19: 2}, Slot: types.Hash{31: 2}},
+		}
+		for i := 0; i+4 <= len(data) && i < 4*256; i += 4 {
+			op, k, tx, v := data[i]%4, keys[data[i+1]%4], int(data[i+2]%32), uint64(data[i+3])
+			switch op {
+			case 0:
+				got := mv.Read(k, tx)
+				want := o.read(k, tx)
+				if got.Status != want.Status || got.Ver != want.Ver || !got.Val.Word.Eq(&want.Val.Word) {
+					t.Fatalf("op %d: Read(%v, %d) = %+v, oracle %+v", i/4, k, tx, got, want)
+				}
+			case 1:
+				inc := int(v % 4)
+				var val Value
+				val.Word.SetUint64(v)
+				mv.Write(k, tx, inc, val)
+				o.write(k, tx, inc, v)
+			case 2:
+				mv.MarkEstimate(k, tx)
+				o.markEstimate(k, tx)
+			case 3:
+				mv.Remove(k, tx)
+				o.remove(k, tx)
+			}
+		}
+		// Sweep every (key, reader) pair for a final full comparison.
+		for _, k := range keys {
+			for tx := 0; tx <= 32; tx++ {
+				got, want := mv.Read(k, tx), o.read(k, tx)
+				if got.Status != want.Status || got.Ver != want.Ver || !got.Val.Word.Eq(&want.Val.Word) {
+					t.Fatalf("final sweep: Read(%v, %d) = %+v, oracle %+v", k, tx, got, want)
+				}
+			}
+		}
+	})
+}

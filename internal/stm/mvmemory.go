@@ -1,0 +1,160 @@
+// Package stm implements an optimistic software execution baseline in
+// the style of Block-STM (Gelashvili et al.): transactions run
+// speculatively against a multi-version view of the world state,
+// conflicts are discovered at run time by validating recorded read sets,
+// and aborted transactions re-execute until the block commits a state
+// identical to sequential execution. It is the software counterpart to
+// the paper's consensus-time dependency DAG — the scheduler here learns
+// the same conflicts the hard way, paying wasted incarnations and
+// validation cycles instead of a pre-computed graph.
+//
+// The executor is a deterministic discrete-event simulation on a single
+// goroutine, like the sched package: PU timing comes from the same
+// cycle model, so Block-STM lands on the same axes as the paper's
+// Figs. 14-16.
+package stm
+
+import (
+	"sort"
+
+	"mtpu/internal/state"
+	"mtpu/internal/types"
+	"mtpu/internal/uint256"
+)
+
+// Version identifies one incarnation of one transaction as a writer.
+// Tx == BaseVersion means the pre-block state wrote the value.
+type Version struct {
+	Tx          int
+	Incarnation int
+}
+
+// BaseVersion is the pseudo transaction index of the pre-block state.
+const BaseVersion = -1
+
+// Value is one versioned datum. The AccessKind of the owning key selects
+// which fields are meaningful: Word for balances and storage slots, U64
+// for nonces, Code/Hash for contract code.
+type Value struct {
+	Word uint256.Int
+	U64  uint64
+	Code []byte
+	Hash types.Hash
+}
+
+// ReadStatus classifies the outcome of a versioned read.
+type ReadStatus uint8
+
+// Read outcomes.
+const (
+	// ReadBase: no speculative writer below the reader — the value comes
+	// from the pre-block state.
+	ReadBase ReadStatus = iota
+	// ReadValue: the highest writer below the reader has a published value.
+	ReadValue
+	// ReadEstimate: the highest writer below the reader aborted and will
+	// re-execute; the reader should block on it rather than read around.
+	ReadEstimate
+)
+
+// ReadResult is the outcome of MVMemory.Read.
+type ReadResult struct {
+	Status ReadStatus
+	// Ver is the observed writer ({BaseVersion, 0} for ReadBase).
+	Ver Version
+	// Val is the observed value (meaningful only for ReadValue).
+	Val Value
+}
+
+// entry is one write in a per-key version list.
+type entry struct {
+	tx          int
+	incarnation int
+	estimate    bool
+	val         Value
+}
+
+// MVMemory is the multi-version memory: a per-key list of speculative
+// writes ordered by transaction index, with ESTIMATE markers standing in
+// for the pending re-execution of aborted writers. It is not safe for
+// concurrent use; the executor serializes access on its event loop.
+type MVMemory struct {
+	m map[state.AccessKey][]entry
+}
+
+// NewMVMemory returns an empty multi-version memory.
+func NewMVMemory() *MVMemory {
+	return &MVMemory{m: make(map[state.AccessKey][]entry)}
+}
+
+// search returns the position of tx in the key's version list (or the
+// insertion point) and whether an entry for tx exists.
+func search(es []entry, tx int) (int, bool) {
+	i := sort.Search(len(es), func(i int) bool { return es[i].tx >= tx })
+	return i, i < len(es) && es[i].tx == tx
+}
+
+// Read resolves key for a reader at transaction index tx: the write of
+// the highest-indexed transaction strictly below tx, or ReadBase when no
+// such write exists.
+func (m *MVMemory) Read(key state.AccessKey, tx int) ReadResult {
+	es := m.m[key]
+	i, _ := search(es, tx)
+	// es[:i] are writers with index < tx (an entry at exactly tx is the
+	// reader's own write, which the view resolves before consulting us).
+	if i == 0 {
+		return ReadResult{Status: ReadBase, Ver: Version{Tx: BaseVersion}}
+	}
+	e := es[i-1]
+	res := ReadResult{Ver: Version{Tx: e.tx, Incarnation: e.incarnation}}
+	if e.estimate {
+		res.Status = ReadEstimate
+	} else {
+		res.Status = ReadValue
+		res.Val = e.val
+	}
+	return res
+}
+
+// Write publishes tx's value for key (replacing any earlier incarnation's
+// entry, clearing its ESTIMATE marker).
+func (m *MVMemory) Write(key state.AccessKey, tx, incarnation int, val Value) {
+	es := m.m[key]
+	i, ok := search(es, tx)
+	if ok {
+		es[i] = entry{tx: tx, incarnation: incarnation, val: val}
+		return
+	}
+	es = append(es, entry{})
+	copy(es[i+1:], es[i:])
+	es[i] = entry{tx: tx, incarnation: incarnation, val: val}
+	m.m[key] = es
+}
+
+// MarkEstimate flags tx's write of key as an ESTIMATE: the writer's last
+// incarnation aborted, and readers landing on the entry should wait for
+// the re-execution instead of speculating past it. Missing entries are
+// ignored.
+func (m *MVMemory) MarkEstimate(key state.AccessKey, tx int) {
+	es := m.m[key]
+	if i, ok := search(es, tx); ok {
+		es[i].estimate = true
+	}
+}
+
+// Remove deletes tx's write of key (the re-executed incarnation no longer
+// writes the location). Missing entries are ignored.
+func (m *MVMemory) Remove(key state.AccessKey, tx int) {
+	es := m.m[key]
+	i, ok := search(es, tx)
+	if !ok {
+		return
+	}
+	copy(es[i:], es[i+1:])
+	es = es[:len(es)-1]
+	if len(es) == 0 {
+		delete(m.m, key)
+	} else {
+		m.m[key] = es
+	}
+}

@@ -1,0 +1,372 @@
+package stm
+
+import (
+	"fmt"
+
+	"mtpu/internal/keccak"
+	"mtpu/internal/state"
+	"mtpu/internal/types"
+	"mtpu/internal/uint256"
+)
+
+// estimateAbort is thrown (as a panic) when a read lands on an ESTIMATE
+// entry: the speculative execution cannot proceed until transaction dep
+// re-executes. The executor recovers it at the incarnation boundary —
+// the standard way to surface an abort through the error-free StateDB
+// interface.
+type estimateAbort struct{ dep int }
+
+// ReadObs is one entry of an incarnation's read set: the key and the
+// writer version observed. Validation re-reads the key and fails when the
+// observed writer changed.
+type ReadObs struct {
+	Key state.AccessKey
+	Ver Version
+}
+
+// View is the per-incarnation state a speculative transaction executes
+// against: reads resolve through its own write buffer, then the
+// multi-version memory, then the immutable pre-block state, recording
+// the observed version of every first read; writes are buffered locally
+// and published by the executor only when the incarnation completes.
+//
+// The coinbase balance is carved out, mirroring workload.BuildDAG: fee
+// crediting is commutative, so coinbase balance operations go to a local
+// delta (applied at commit) and are excluded from conflict detection.
+type View struct {
+	base     *state.StateDB
+	mv       *MVMemory
+	tx       int
+	coinbase types.Address
+
+	reads   []ReadObs
+	readIdx map[state.AccessKey]int
+
+	writes     map[state.AccessKey]Value
+	writeOrder []state.AccessKey
+
+	created map[types.Address]bool
+
+	logs     []*types.Log
+	refund   uint64
+	feeDelta uint256.Int
+
+	journal []vEntry
+}
+
+// NewView returns a view for one incarnation of transaction tx.
+func NewView(base *state.StateDB, mv *MVMemory, tx int, coinbase types.Address) *View {
+	return &View{
+		base:     base,
+		mv:       mv,
+		tx:       tx,
+		coinbase: coinbase,
+		readIdx:  make(map[state.AccessKey]int),
+		writes:   make(map[state.AccessKey]Value),
+		created:  make(map[types.Address]bool),
+	}
+}
+
+// vEntry is one undo record of the view's local journal (the same
+// journaling discipline as state.StateDB, scoped to the buffers).
+type vEntry struct {
+	kind    vKind
+	key     state.AccessKey
+	addr    types.Address
+	prev    Value
+	existed bool
+	prevU64 uint64
+	prevFee uint256.Int
+}
+
+type vKind uint8
+
+const (
+	vWrite vKind = iota
+	vCreate
+	vLog
+	vRefund
+	vFee
+)
+
+// ReadSet returns the recorded read observations in first-read order.
+func (v *View) ReadSet() []ReadObs { return v.reads }
+
+// WriteSet returns the buffered writes in first-write order (keys revert-
+// deleted by an inner rollback are skipped).
+func (v *View) WriteSet() ([]state.AccessKey, []Value) {
+	keys := make([]state.AccessKey, 0, len(v.writes))
+	vals := make([]Value, 0, len(v.writes))
+	seen := make(map[state.AccessKey]bool, len(v.writes))
+	for _, k := range v.writeOrder {
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		if val, ok := v.writes[k]; ok {
+			keys = append(keys, k)
+			vals = append(vals, val)
+		}
+	}
+	return keys, vals
+}
+
+// FeeDelta returns the coinbase balance credit accumulated by this
+// incarnation.
+func (v *View) FeeDelta() uint256.Int { return v.feeDelta }
+
+// read resolves key through write buffer → multi-version memory → base,
+// recording the observed version on the first non-local read of each key.
+// It panics with estimateAbort when the resolving writer is an ESTIMATE.
+func (v *View) read(key state.AccessKey) (Value, bool) {
+	if val, ok := v.writes[key]; ok {
+		return val, true
+	}
+	res := v.mv.Read(key, v.tx)
+	if res.Status == ReadEstimate {
+		panic(estimateAbort{dep: res.Ver.Tx})
+	}
+	if _, ok := v.readIdx[key]; !ok {
+		v.readIdx[key] = len(v.reads)
+		v.reads = append(v.reads, ReadObs{Key: key, Ver: res.Ver})
+	}
+	if res.Status == ReadValue {
+		return res.Val, true
+	}
+	return Value{}, false // ReadBase: caller consults the base state
+}
+
+// write buffers a value for key, journaling the previous buffer content.
+func (v *View) write(key state.AccessKey, val Value) {
+	prev, existed := v.writes[key]
+	v.journal = append(v.journal, vEntry{kind: vWrite, key: key, prev: prev, existed: existed})
+	if !existed {
+		v.writeOrder = append(v.writeOrder, key)
+	}
+	v.writes[key] = val
+}
+
+func balKey(addr types.Address) state.AccessKey {
+	return state.AccessKey{Kind: state.AccessBalance, Addr: addr}
+}
+func nonceKey(addr types.Address) state.AccessKey {
+	return state.AccessKey{Kind: state.AccessNonce, Addr: addr}
+}
+func codeKey(addr types.Address) state.AccessKey {
+	return state.AccessKey{Kind: state.AccessCode, Addr: addr}
+}
+func storageKey(addr types.Address, slot types.Hash) state.AccessKey {
+	return state.AccessKey{Kind: state.AccessStorage, Addr: addr, Slot: slot}
+}
+
+// CreateAccount implements evm.StateDB. Existence is not conflict-tracked
+// (state.StateDB records no access for it either, so the consensus DAG
+// has the same blind spot; every workload account pre-exists in genesis).
+func (v *View) CreateAccount(addr types.Address) {
+	if v.Exist(addr) {
+		return
+	}
+	v.journal = append(v.journal, vEntry{kind: vCreate, addr: addr})
+	v.created[addr] = true
+}
+
+// Exist implements evm.StateDB: the account exists in the base state, was
+// created locally, or has a speculative write to any of its scalar keys
+// below this transaction (ESTIMATE entries count — the aborted writer
+// touched the account and re-creation is monotonic).
+func (v *View) Exist(addr types.Address) bool {
+	if v.created[addr] || v.base.Exist(addr) {
+		return true
+	}
+	for _, key := range [3]state.AccessKey{balKey(addr), nonceKey(addr), codeKey(addr)} {
+		if _, ok := v.writes[key]; ok {
+			return true
+		}
+		if res := v.mv.Read(key, v.tx); res.Status != ReadBase {
+			return true
+		}
+	}
+	return false
+}
+
+// GetBalance implements evm.StateDB.
+func (v *View) GetBalance(addr types.Address) *uint256.Int {
+	if addr == v.coinbase {
+		bal := v.baseBalance(addr)
+		bal.Add(bal, &v.feeDelta)
+		return bal
+	}
+	return v.loadBalance(addr)
+}
+
+// baseBalance reads the pre-block balance without recording.
+func (v *View) baseBalance(addr types.Address) *uint256.Int {
+	return v.base.GetBalance(addr)
+}
+
+// loadBalance is the recorded read used by both GetBalance and the
+// read-modify-write Add/SubBalance paths.
+func (v *View) loadBalance(addr types.Address) *uint256.Int {
+	if val, ok := v.read(balKey(addr)); ok {
+		return val.Word.Clone()
+	}
+	return v.baseBalance(addr)
+}
+
+// SetBalance overwrites the balance of addr (a pure write).
+func (v *View) SetBalance(addr types.Address, x *uint256.Int) {
+	if addr == v.coinbase {
+		var delta uint256.Int
+		delta.Sub(x, v.baseBalance(addr))
+		v.journal = append(v.journal, vEntry{kind: vFee, prevFee: v.feeDelta})
+		v.feeDelta = delta
+		return
+	}
+	var val Value
+	val.Word.Set(x)
+	v.write(balKey(addr), val)
+}
+
+// AddBalance credits addr: a read-modify-write, so the current balance
+// lands in the read set (unlike state.StateDB, which only records the
+// write — here a stale read must fail validation, while the DAG builder
+// already gets the edge from the write-write overlap).
+func (v *View) AddBalance(addr types.Address, x *uint256.Int) {
+	if addr == v.coinbase {
+		v.journal = append(v.journal, vEntry{kind: vFee, prevFee: v.feeDelta})
+		v.feeDelta.Add(&v.feeDelta, x)
+		return
+	}
+	cur := v.loadBalance(addr)
+	var val Value
+	val.Word.Add(cur, x)
+	v.write(balKey(addr), val)
+}
+
+// SubBalance debits addr (wraps on underflow, like state.StateDB).
+func (v *View) SubBalance(addr types.Address, x *uint256.Int) {
+	if addr == v.coinbase {
+		v.journal = append(v.journal, vEntry{kind: vFee, prevFee: v.feeDelta})
+		v.feeDelta.Sub(&v.feeDelta, x)
+		return
+	}
+	cur := v.loadBalance(addr)
+	var val Value
+	val.Word.Sub(cur, x)
+	v.write(balKey(addr), val)
+}
+
+// GetNonce implements evm.StateDB.
+func (v *View) GetNonce(addr types.Address) uint64 {
+	if val, ok := v.read(nonceKey(addr)); ok {
+		return val.U64
+	}
+	return v.base.GetNonce(addr)
+}
+
+// SetNonce implements evm.StateDB.
+func (v *View) SetNonce(addr types.Address, n uint64) {
+	v.write(nonceKey(addr), Value{U64: n})
+}
+
+// GetCode implements evm.StateDB.
+func (v *View) GetCode(addr types.Address) []byte {
+	if val, ok := v.read(codeKey(addr)); ok {
+		return val.Code
+	}
+	return v.base.GetCode(addr)
+}
+
+// GetCodeSize implements evm.StateDB.
+func (v *View) GetCodeSize(addr types.Address) int {
+	return len(v.GetCode(addr))
+}
+
+// GetCodeHash implements evm.StateDB.
+func (v *View) GetCodeHash(addr types.Address) types.Hash {
+	if val, ok := v.read(codeKey(addr)); ok {
+		return val.Hash
+	}
+	return v.base.GetCodeHash(addr)
+}
+
+// SetCode implements evm.StateDB.
+func (v *View) SetCode(addr types.Address, code []byte) {
+	val := Value{Code: append([]byte(nil), code...)}
+	if len(code) > 0 {
+		val.Hash = types.Hash(keccak.Sum256(code))
+	}
+	v.write(codeKey(addr), val)
+}
+
+// GetState implements evm.StateDB.
+func (v *View) GetState(addr types.Address, slot types.Hash) uint256.Int {
+	if val, ok := v.read(storageKey(addr, slot)); ok {
+		return val.Word
+	}
+	return v.base.GetState(addr, slot)
+}
+
+// SetState implements evm.StateDB.
+func (v *View) SetState(addr types.Address, slot types.Hash, x uint256.Int) {
+	v.write(storageKey(addr, slot), Value{Word: x})
+}
+
+// AddLog implements evm.StateDB.
+func (v *View) AddLog(l *types.Log) {
+	v.journal = append(v.journal, vEntry{kind: vLog})
+	v.logs = append(v.logs, l)
+}
+
+// TakeLogs implements evm.StateDB.
+func (v *View) TakeLogs() []*types.Log {
+	out := v.logs
+	v.logs = nil
+	return out
+}
+
+// AddRefund implements evm.StateDB.
+func (v *View) AddRefund(x uint64) {
+	v.journal = append(v.journal, vEntry{kind: vRefund, prevU64: v.refund})
+	v.refund += x
+}
+
+// GetRefund implements evm.StateDB.
+func (v *View) GetRefund() uint64 { return v.refund }
+
+// ResetRefund implements evm.StateDB (per-transaction, not journaled —
+// matching state.StateDB).
+func (v *View) ResetRefund() { v.refund = 0 }
+
+// Snapshot implements evm.StateDB.
+func (v *View) Snapshot() int { return len(v.journal) }
+
+// RevertToSnapshot implements evm.StateDB. Reads recorded inside the
+// reverted span stay in the read set: the speculation still observed
+// them, so validation must still cover them (state.StateDB's access
+// recording behaves the same way for the DAG builder).
+func (v *View) RevertToSnapshot(id int) {
+	if id < 0 || id > len(v.journal) {
+		panic(fmt.Sprintf("stm: invalid snapshot id %d (journal length %d)", id, len(v.journal)))
+	}
+	for i := len(v.journal) - 1; i >= id; i-- {
+		e := v.journal[i]
+		switch e.kind {
+		case vWrite:
+			if e.existed {
+				v.writes[e.key] = e.prev
+			} else {
+				delete(v.writes, e.key)
+			}
+		case vCreate:
+			delete(v.created, e.addr)
+		case vLog:
+			v.logs = v.logs[:len(v.logs)-1]
+		case vRefund:
+			v.refund = e.prevU64
+		case vFee:
+			v.feeDelta = e.prevFee
+		}
+	}
+	v.journal = v.journal[:id]
+}

@@ -262,6 +262,36 @@ func (d *DAG) Successors() [][]int {
 	return succ
 }
 
+// HasPath reports whether a dependency path from → … → to exists, i.e.
+// the edge (from, to) lies in the DAG's transitive closure. from == to
+// counts as reachable (the empty path).
+func (d *DAG) HasPath(from, to int) bool {
+	if from == to {
+		return from >= 0 && from < len(d.Deps)
+	}
+	if from < 0 || to < 0 || from > to || to >= len(d.Deps) {
+		return false
+	}
+	// Walk dependency edges backward from to; every index on a path is in
+	// [from, to], so anything below from prunes.
+	visited := make([]bool, to+1)
+	stack := []int{to}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range d.Deps[n] {
+			if p == from {
+				return true
+			}
+			if p > from && !visited[p] {
+				visited[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	return false
+}
+
 // DependentRatio returns the fraction of transactions that have at least
 // one dependency — the x-axis of Figs. 14-16 and Table 9.
 func (d *DAG) DependentRatio() float64 {

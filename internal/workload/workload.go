@@ -604,6 +604,56 @@ func buildDAGOn(st *state.StateDB, block *types.Block) ([]*types.Receipt, error)
 	return receipts, nil
 }
 
+// VerifyDAG re-derives the block's conflict edges by sequential replay
+// against a copy of genesis and checks they match block.DAG exactly —
+// no missing edge (a conflict the consensus stage failed to declare) and
+// no spurious edge (a declared dependency no replay justifies). Modes
+// that trust the DAG are only as correct as this equivalence.
+func VerifyDAG(genesis *state.StateDB, block *types.Block) error {
+	st := genesis.Copy()
+	e := evm.New(evm.NewBlockContext(block.Header), st)
+	n := len(block.Transactions)
+	reads := make([]state.AccessSet, n)
+	writes := make([]state.AccessSet, n)
+
+	coinbaseKey := state.AccessKey{Kind: state.AccessBalance, Addr: block.Header.Coinbase}
+	for i, tx := range block.Transactions {
+		st.BeginAccessRecord()
+		_, err := evm.ApplyTransaction(e, tx, i)
+		rd, wr := st.EndAccessRecord()
+		if err != nil {
+			return fmt.Errorf("workload: verify-dag: tx %d invalid: %w", i, err)
+		}
+		delete(rd, coinbaseKey)
+		delete(wr, coinbaseKey)
+		reads[i], writes[i] = rd, wr
+	}
+
+	if block.DAG == nil || block.DAG.Len() != n {
+		return fmt.Errorf("workload: verify-dag: block DAG covers %d of %d transactions", block.DAG.Len(), n)
+	}
+	declared := make([]map[int]bool, n)
+	for j, deps := range block.DAG.Deps {
+		declared[j] = make(map[int]bool, len(deps))
+		for _, i := range deps {
+			declared[j][i] = true
+		}
+	}
+	for j := 1; j < n; j++ {
+		for i := 0; i < j; i++ {
+			conflict := writes[i].Overlaps(reads[j]) || writes[i].Overlaps(writes[j]) ||
+				reads[i].Overlaps(writes[j])
+			if conflict && !declared[j][i] {
+				return fmt.Errorf("workload: verify-dag: replay conflict %d→%d missing from the DAG", i, j)
+			}
+			if !conflict && declared[j][i] {
+				return fmt.Errorf("workload: verify-dag: DAG edge %d→%d not justified by any replay conflict", i, j)
+			}
+		}
+	}
+	return nil
+}
+
 // ContractOf returns the contract address each transaction invokes (zero
 // for plain transfers), the scheduler's redundancy signal.
 func ContractOf(block *types.Block) []types.Address {

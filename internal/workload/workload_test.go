@@ -148,3 +148,70 @@ func TestGeneratorDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// TestVerifyDAG: the DAG built at consensus time must match the
+// conflicts a sequential replay observes — and tampering with it in
+// either direction (dropping a real edge, inventing a fake one) must be
+// caught.
+func TestVerifyDAG(t *testing.T) {
+	for _, ratio := range []float64{0, 0.4, 1.0} {
+		g := NewGenerator(21, 600)
+		genesis := g.Genesis()
+		block := g.MixedBlock(80, ratio)
+		if _, err := BuildDAG(genesis, block); err != nil {
+			t.Fatalf("ratio %.1f: %v", ratio, err)
+		}
+		if err := VerifyDAG(genesis, block); err != nil {
+			t.Fatalf("ratio %.1f: fresh DAG failed verification: %v", ratio, err)
+		}
+	}
+
+	g := NewGenerator(21, 600)
+	genesis := g.Genesis()
+	block := g.TokenBlock(80, 0.8)
+	if _, err := BuildDAG(genesis, block); err != nil {
+		t.Fatal(err)
+	}
+
+	// Drop one real edge.
+	var from, to int
+	found := false
+	for j, deps := range block.DAG.Deps {
+		if len(deps) > 0 {
+			from, to, found = deps[0], j, true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("dep-0.8 block produced no edges")
+	}
+	saved := block.DAG.Deps[to]
+	block.DAG.Deps[to] = saved[1:]
+	if err := VerifyDAG(genesis, block); err == nil {
+		t.Errorf("missing edge %d→%d not detected", from, to)
+	}
+	block.DAG.Deps[to] = saved
+
+	// Invent an edge no replay justifies.
+	fakeTo := -1
+	for j := 1; j < block.DAG.Len(); j++ {
+		declared := false
+		for _, i := range block.DAG.Deps[j] {
+			if i == 0 {
+				declared = true
+				break
+			}
+		}
+		if !declared {
+			fakeTo = j
+			break
+		}
+	}
+	if fakeTo < 0 {
+		t.Fatal("every tx already depends on tx 0")
+	}
+	block.DAG.AddEdge(0, fakeTo)
+	if err := VerifyDAG(genesis, block); err == nil {
+		t.Errorf("spurious edge 0→%d not detected", fakeTo)
+	}
+}
