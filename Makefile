@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: all build test race vet fuzz-smoke bench stats-smoke stm-sweep ci
+.PHONY: all build test race vet fuzz-smoke bench stats-smoke stm-sweep bse-sweep validate-artifacts ci
 
 all: build
 
@@ -43,4 +43,15 @@ stm-sweep:
 	$(GO) run ./cmd/mtpu-bench -parallel 0 -json bench_stm.json stm
 	$(GO) run ./cmd/mtpu-bench -validate bench_stm.json
 
-ci: vet build race fuzz-smoke stats-smoke stm-sweep
+# Run the pre-scheduled batch-execute sweep, write the JSON report, and
+# validate the BSE invariants.
+bse-sweep:
+	$(GO) run ./cmd/mtpu-bench -parallel 0 -json bench_bse.json bse
+	$(GO) run ./cmd/mtpu-bench -validate bench_bse.json
+
+# Strictly validate the checked-in sweep artifact: catches a schema bump
+# (or a new sweep such as bse) that was not regenerated into the file.
+validate-artifacts:
+	$(GO) run ./cmd/mtpu-bench -validate BENCH_sweeps.json
+
+ci: vet build race fuzz-smoke stats-smoke stm-sweep bse-sweep validate-artifacts

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	mtpu-bench [-seed N] [-parallel N] [-stats] [-json FILE] {table2|table6|fig12|fig13|table7|fig14|fig15|fig16|table8|table9|chunking|ablation|stm|all}
+//	mtpu-bench [-seed N] [-parallel N] [-stats] [-json FILE] {table2|table6|fig12|fig13|table7|fig14|fig15|fig16|table8|table9|chunking|ablation|stm|bse|ladder|all}
 //	mtpu-bench -validate FILE
 //
 // Sweep points fan out over -parallel worker goroutines; results are
@@ -21,17 +21,20 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"mtpu/internal/arch"
 	"mtpu/internal/core"
+	"mtpu/internal/engine"
 	"mtpu/internal/experiments"
 )
 
 // reportSchema versions the -json layout; bump on incompatible changes
 // so checked-in BENCH_*.json files stay self-describing. v3 added the
-// optimistic-baseline sweep rows ("stm").
-const reportSchema = 3
+// optimistic-baseline sweep rows ("stm"); v4 added the
+// batch-schedule-execute sweep rows ("bse").
+const reportSchema = 4
 
 // artifactResult is one experiment's rendering plus its sweep summary.
 type artifactResult struct {
@@ -69,9 +72,11 @@ type benchReport struct {
 	Experiments []experimentReport `json:"experiments"`
 	Counters    []counterReport    `json:"counters,omitempty"`
 
-	// STM carries the optimistic-baseline sweep rows when the "stm"
-	// artifact ran — the source data of the EXPERIMENTS.md section.
+	// STM and BSE carry the optimistic-baseline and
+	// batch-schedule-execute sweep rows when those artifacts ran — the
+	// source data of the EXPERIMENTS.md sections.
 	STM []experiments.STMPoint `json:"stm,omitempty"`
+	BSE []experiments.BSEPoint `json:"bse,omitempty"`
 
 	TotalWallMS float64 `json:"total_wall_ms"`
 }
@@ -125,6 +130,7 @@ func main() {
 
 	cmd := flag.Arg(0)
 	var stmPoints []experiments.STMPoint
+	var bsePoints []experiments.BSEPoint
 	artifacts := map[string]func() artifactResult{
 		"stm": func() artifactResult {
 			stmPoints = experiments.STMSweep(env)
@@ -134,6 +140,24 @@ func main() {
 			}
 			return artifactResult{output: experiments.RenderSTM(stmPoints),
 				points: r.n, minSpd: r.min, maxSpd: r.max}
+		},
+		"bse": func() artifactResult {
+			bsePoints = experiments.BSESweep(env)
+			var r spdRange
+			for _, p := range bsePoints {
+				r.add(p.BSESpeedup)
+			}
+			return artifactResult{output: experiments.RenderBSE(bsePoints),
+				points: r.n, minSpd: r.min, maxSpd: r.max}
+		},
+		"ladder": func() artifactResult {
+			rows := experiments.Ladder(env)
+			var r spdRange
+			for _, row := range rows {
+				r.add(row.Speedup)
+			}
+			return artifactResult{output: experiments.RenderLadder(rows),
+				points: len(rows), minSpd: r.min, maxSpd: r.max}
 		},
 		"table1": func() artifactResult {
 			rows := experiments.Table1(env)
@@ -232,7 +256,8 @@ func main() {
 		},
 	}
 	order := []string{"table1", "table2", "table6", "fig12", "fig13", "table7",
-		"fig14", "fig15", "fig16", "table8", "table9", "chunking", "ablation", "stm"}
+		"fig14", "fig15", "fig16", "table8", "table9", "chunking", "ablation", "stm", "bse",
+		"ladder"}
 
 	var names []string
 	if cmd == "all" {
@@ -267,6 +292,7 @@ func main() {
 		})
 	}
 	report.STM = stmPoints
+	report.BSE = bsePoints
 	report.TotalWallMS = float64(time.Since(start).Microseconds()) / 1000
 
 	if env.Stats != nil {
@@ -328,6 +354,15 @@ func validateReport(path string) error {
 		if e.WallMS < 0 || e.Points < 0 {
 			return fmt.Errorf("%s: negative wall_ms/points", e.Name)
 		}
+		// A report that claims a sweep artifact ran must carry its rows —
+		// this is what catches a schema bump (v4 added bse) without the
+		// checked-in file being regenerated.
+		if e.Name == "stm" && len(r.STM) != e.Points {
+			return fmt.Errorf("stm: %d rows for %d points", len(r.STM), e.Points)
+		}
+		if e.Name == "bse" && len(r.BSE) != e.Points {
+			return fmt.Errorf("bse: %d rows for %d points", len(r.BSE), e.Points)
+		}
 	}
 	for _, p := range r.STM {
 		if p.PUs < 1 || p.Txs < 1 {
@@ -352,6 +387,22 @@ func validateReport(path string) error {
 		if s.WastedCycles > s.ExecCycles {
 			return fmt.Errorf("stm ratio %.1f pus %d: wasted %d exceeds exec %d",
 				p.TargetRatio, p.PUs, s.WastedCycles, s.ExecCycles)
+		}
+	}
+	for _, p := range r.BSE {
+		if p.PUs < 1 || p.Txs < 1 {
+			return fmt.Errorf("bse ratio %.1f: bad grid point (pus=%d txs=%d)", p.TargetRatio, p.PUs, p.Txs)
+		}
+		if p.Batches < 1 || p.Batches > p.Txs {
+			return fmt.Errorf("bse ratio %.1f pus %d: %d batches for %d txs",
+				p.TargetRatio, p.PUs, p.Batches, p.Txs)
+		}
+		if p.SyncSpeedup <= 0 || p.STSpeedup <= 0 || p.BSESpeedup <= 0 {
+			return fmt.Errorf("bse ratio %.1f pus %d: non-positive speedup", p.TargetRatio, p.PUs)
+		}
+		if p.BSECycles < p.STCycles {
+			return fmt.Errorf("bse ratio %.1f pus %d: barrier schedule %d cycles beat spatial-temporal %d",
+				p.TargetRatio, p.PUs, p.BSECycles, p.STCycles)
 		}
 	}
 	for _, c := range r.Counters {
@@ -402,7 +453,10 @@ ARTIFACT is one of:
   chunking  hotspot chunking / pre-execution / prefetch report
   ablation  one-at-a-time design-choice ablations
   stm       optimistic (Block-STM) baseline vs DAG-driven scheduling
+  bse       pre-scheduled batch-execute engine vs DAG-driven scheduling
+  ladder    every registered engine on the reference block
   all       everything above
+registered execution engines: `+strings.Join(engine.Names(), ", ")+`
 flags:
   -seed N      workload generator seed (default the ISCA'23 seed)
   -parallel N  worker goroutines per experiment; <=0 uses GOMAXPROCS.

@@ -1,11 +1,12 @@
 // Command mtpu-run generates a synthetic block and executes it on the
-// simulated MTPU under every execution mode, printing receipts and the
-// cycle/speedup comparison — a one-command tour of the system.
+// simulated MTPU under every registered execution engine, printing
+// receipts and the cycle/speedup comparison — a one-command tour of the
+// system.
 //
 // Usage:
 //
-//	mtpu-run [-txs N] [-dep R] [-pus N] [-seed N] [-v] [-dump F] [-load F]
-//	         [-stats] [-trace-out F] [-verify-dag]
+//	mtpu-run [-txs N] [-dep R] [-pus N] [-seed N] [-mode LIST] [-v]
+//	         [-dump F] [-load F] [-stats] [-trace-out F] [-verify-dag]
 package main
 
 import (
@@ -13,20 +14,43 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"mtpu/internal/arch"
 	"mtpu/internal/core"
+	"mtpu/internal/engine"
 	"mtpu/internal/metrics"
 	"mtpu/internal/obs"
 	"mtpu/internal/types"
 	"mtpu/internal/workload"
 )
 
+// parseModes resolves the -mode flag against the engine registry: "all"
+// (the default) enumerates every registered engine in registration
+// order; otherwise each comma-separated name must parse.
+func parseModes(spec string) ([]core.Mode, error) {
+	if spec == "all" {
+		return engine.Modes(), nil
+	}
+	var modes []core.Mode
+	for _, name := range strings.Split(spec, ",") {
+		m, err := engine.Parse(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		modes = append(modes, m)
+	}
+	return modes, nil
+}
+
 func main() {
 	txs := flag.Int("txs", 128, "transactions per block")
 	dep := flag.Float64("dep", 0.3, "target dependent-transaction ratio (0..1)")
 	pus := flag.Int("pus", 4, "number of processing units")
 	seed := flag.Int64("seed", 1, "workload seed")
+	mode := flag.String("mode", "all",
+		fmt.Sprintf("comma-separated engine names, or \"all\" (registered: %s)",
+			strings.Join(engine.Names(), ", ")))
 	verbose := flag.Bool("v", false, "print per-transaction receipts")
 	dump := flag.String("dump", "", "write the generated block (RLP, with DAG) to this file")
 	load := flag.String("load", "", "execute a block previously written with -dump instead of generating one")
@@ -34,6 +58,11 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write the per-mode execution timelines as Chrome trace-event JSON (Perfetto / chrome://tracing)")
 	verifyDAG := flag.Bool("verify-dag", false, "cross-check the consensus DAG against the conflicts a sequential replay observes")
 	flag.Parse()
+
+	modes, err := parseModes(*mode)
+	if err != nil {
+		log.Fatalf("mtpu-run: %v", err)
+	}
 
 	gen := workload.NewGenerator(*seed, 4*(*txs)+64)
 	genesis := gen.Genesis()
@@ -102,42 +131,43 @@ func main() {
 	acc := core.New(cfg)
 	acc.LearnHotspots(traces, 8)
 
-	modes := []core.Mode{
-		core.ModeScalar, core.ModeSequentialILP, core.ModeSynchronous,
-		core.ModeSpatialTemporal, core.ModeSTRedundancy, core.ModeSTHotspot,
-		core.ModeBlockSTM,
-	}
 	instrument := *stats || *traceOut != ""
 	t := metrics.NewTable(fmt.Sprintf("execution modes (%d PUs)", *pus),
 		"mode", "cycles", "speedup", "IPC", "hit", "util")
-	var scalar uint64
+	var baseline uint64 // first listed mode anchors the speedup column
 	var reports []*obs.Report
 	for _, m := range modes {
-		opts := core.ReplayOpts{}
+		eng, err := engine.Get(m)
+		if err != nil {
+			log.Fatalf("mtpu-run: %v", err)
+		}
+		opts := core.ReplayOpts{Genesis: genesis}
 		if instrument {
 			opts.Obs = obs.NewCollector()
-		}
-		if m == core.ModeBlockSTM {
-			opts.Genesis = genesis
 		}
 		res, err := acc.ReplayWith(block, traces, receipts, digest, m, opts)
 		if err != nil {
 			log.Fatalf("mtpu-run: %v: %v", m, err)
 		}
-		if m == core.ModeScalar {
-			scalar = res.Cycles
+		if baseline == 0 {
+			baseline = res.Cycles
 		}
-		if m == core.ModeBlockSTM {
-			// Block-STM schedules optimistically, so DAG-order replay does
-			// not apply; instead every runtime-detected conflict must lie
-			// inside the consensus DAG's transitive closure.
+		// Each engine declares how its schedule is checked: DAG-order
+		// engines replay the dispatch timeline against the consensus DAG;
+		// internal-digest engines (optimistic execution) asserted state
+		// identity inside Run, and every runtime-detected conflict must lie
+		// inside the DAG's transitive closure.
+		switch eng.Verify() {
+		case engine.VerifyDAGOrder:
+			if err := core.VerifySchedule(genesis, block, res); err != nil {
+				log.Fatalf("mtpu-run: serializability check failed: %v: %v", m, err)
+			}
+		case engine.VerifyInternalDigest:
 			if err := core.VerifySTMConflicts(block.DAG, res.STMConflicts); err != nil {
 				log.Fatalf("mtpu-run: %v", err)
 			}
-		} else if err := core.VerifySchedule(genesis, block, res); err != nil {
-			log.Fatalf("mtpu-run: serializability check failed: %v", err)
 		}
-		t.Row(m.String(), res.Cycles, metrics.X(float64(scalar)/float64(res.Cycles)),
+		t.Row(m.String(), res.Cycles, metrics.X(float64(baseline)/float64(res.Cycles)),
 			res.Pipeline.IPC(), res.Pipeline.HitRatio(), res.Utilization)
 		if instrument {
 			reports = append(reports, res.Obs)

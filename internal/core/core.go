@@ -1,11 +1,15 @@
 // Package core is the public face of the reproduction: it executes a
 // block functionally (the golden sequential EVM run), replays the
 // resulting instruction traces through the MTPU timing model under a
-// selected execution mode, and verifies that every parallel schedule
-// commits a state identical to sequential execution. The mode ladder
+// selected execution engine, and verifies that every parallel schedule
+// commits a state identical to sequential execution. The engine ladder
 // mirrors the paper's evaluation: scalar baseline → ILP (Fig. 12/13,
 // Table 7) → synchronous parallel vs spatio-temporal scheduling
-// (Fig. 14/15) → + redundancy reuse → + hotspot optimization (Fig. 16).
+// (Fig. 14/15) → + redundancy reuse → + hotspot optimization (Fig. 16),
+// plus the optimistic Block-STM and Batch-Schedule-Execute baselines.
+// The engines themselves live in internal/engine; ReplayWith is a
+// registry lookup plus shared result assembly, with no per-mode
+// dispatch of its own.
 package core
 
 import (
@@ -16,6 +20,7 @@ import (
 	"mtpu/internal/arch/mtpu"
 	"mtpu/internal/arch/pipeline"
 	"mtpu/internal/arch/pu"
+	"mtpu/internal/engine"
 	"mtpu/internal/evm"
 	"mtpu/internal/hotspot"
 	"mtpu/internal/obs"
@@ -23,53 +28,24 @@ import (
 	"mtpu/internal/state"
 	"mtpu/internal/stm"
 	"mtpu/internal/types"
-	"mtpu/internal/workload"
 )
 
-// Mode selects the execution/optimization level.
-type Mode int
+// Mode selects the execution engine; it is the registry ordinal of
+// internal/engine, re-exported so existing call sites keep working.
+type Mode = engine.Mode
 
-// Execution modes, ordered by capability.
+// The registered execution engines, ordered by capability. See the
+// internal/engine constants for per-mode documentation.
 const (
-	// ModeScalar is a single PU with no parallel features — the §4.2
-	// baseline ("single PU without any parallelism") and the Table 8/9
-	// reference point (≈ BPU's GSC engine).
-	ModeScalar Mode = iota
-	// ModeSequentialILP is a single ILP-enabled PU, caches flushed
-	// between transactions — the Fig. 14 speedup-1.0 baseline.
-	ModeSequentialILP
-	// ModeSynchronous is barrier-round parallelism across NumPUs.
-	ModeSynchronous
-	// ModeSpatialTemporal is the §3.2 asynchronous scheduler without
-	// cross-transaction reuse.
-	ModeSpatialTemporal
-	// ModeSTRedundancy adds the §3.3.5 redundancy optimization: DB cache
-	// and contract contexts persist per PU, and the shared State Buffer
-	// serves recently touched state.
-	ModeSTRedundancy
-	// ModeSTHotspot adds the §3.4 hotspot contract optimization.
-	ModeSTHotspot
-	// ModeBlockSTM is the optimistic software baseline: Block-STM-style
-	// multi-version execution with run-time validation, abort and
-	// re-execution. It uses no consensus DAG — conflicts are discovered
-	// the hard way, and every aborted incarnation's PU cycles are charged
-	// as wasted work. Replays in this mode require ReplayOpts.Genesis
-	// (the functional re-execution needs the pre-block state).
-	ModeBlockSTM
+	ModeScalar          = engine.ModeScalar
+	ModeSequentialILP   = engine.ModeSequentialILP
+	ModeSynchronous     = engine.ModeSynchronous
+	ModeSpatialTemporal = engine.ModeSpatialTemporal
+	ModeSTRedundancy    = engine.ModeSTRedundancy
+	ModeSTHotspot       = engine.ModeSTHotspot
+	ModeBlockSTM        = engine.ModeBlockSTM
+	ModeBSE             = engine.ModeBSE
 )
-
-var modeNames = map[Mode]string{
-	ModeScalar:          "scalar",
-	ModeSequentialILP:   "sequential+ILP",
-	ModeSynchronous:     "synchronous",
-	ModeSpatialTemporal: "spatial-temporal",
-	ModeSTRedundancy:    "spatial-temporal+redundancy",
-	ModeSTHotspot:       "spatial-temporal+redundancy+hotspot",
-	ModeBlockSTM:        "block-stm",
-}
-
-// String returns the mode's evaluation label.
-func (m Mode) String() string { return modeNames[m] }
 
 // Result reports one simulated block execution.
 type Result struct {
@@ -233,45 +209,6 @@ func topAddresses(counts map[types.Address]int, n int) []types.Address {
 	return out
 }
 
-// configFor derives the architectural flags for a mode. numPUs > 0
-// overrides Cfg.NumPUs before the mode's own constraints apply (the
-// single-PU modes still force one PU), so sweeps vary the PU count per
-// call instead of mutating the shared Cfg.
-func (a *Accelerator) configFor(mode Mode, numPUs int) arch.Config {
-	cfg := a.Cfg
-	if numPUs > 0 {
-		cfg.NumPUs = numPUs
-	}
-	switch mode {
-	case ModeScalar:
-		cfg.EnableDBCache = false
-		cfg.EnableForwarding = false
-		cfg.EnableFolding = false
-		cfg.ReuseContext = false
-		cfg.NumPUs = 1
-	case ModeSequentialILP:
-		cfg.ReuseContext = false
-		cfg.NumPUs = 1
-	case ModeSynchronous, ModeSpatialTemporal, ModeBlockSTM:
-		cfg.ReuseContext = false
-	case ModeSTRedundancy, ModeSTHotspot:
-		cfg.ReuseContext = true
-	}
-	return cfg
-}
-
-// engine adapts an MTPU processor and per-transaction plans to the
-// scheduler interface.
-type engine struct {
-	proc  *mtpu.Processor
-	plans []*pu.Plan
-}
-
-// Dispatch implements sched.Engine.
-func (e *engine) Dispatch(p, tx int) uint64 {
-	return e.proc.PUs[p].Run(e.plans[tx], e.proc.Mem()).Total
-}
-
 // Execute runs the block under the given mode: functional execution for
 // receipts and state, then a timing replay through the scheduled MTPU.
 func (a *Accelerator) Execute(genesis *state.StateDB, block *types.Block, mode Mode) (*Result, error) {
@@ -299,10 +236,11 @@ type ReplayOpts struct {
 	// nil (the default) keeps every hot path on its uninstrumented,
 	// zero-allocation route.
 	Obs *obs.Collector
-	// Genesis is the pre-block state, required by ModeBlockSTM (the
-	// optimistic executor re-executes transactions functionally, not just
-	// their traces). It is only read, never mutated, so one shared
-	// genesis serves concurrent replays.
+	// Genesis is the pre-block state, required by engines that
+	// re-execute transactions functionally instead of replaying traces
+	// (those whose NeedsGenesis() is true, e.g. ModeBlockSTM). It is
+	// only read, never mutated, so one shared genesis serves concurrent
+	// replays.
 	Genesis *state.StateDB
 }
 
@@ -312,9 +250,20 @@ func (a *Accelerator) Replay(block *types.Block, traces []*arch.TxTrace, receipt
 	return a.ReplayWith(block, traces, receipts, digest, mode, ReplayOpts{})
 }
 
-// ReplayWith is Replay with per-call overrides.
+// ReplayWith is Replay with per-call overrides. It contains no per-mode
+// dispatch: the engine registry supplies the mode's configuration, plan
+// construction and scheduling; this function only assembles the shared
+// Result and instrumentation report around whatever the engine ran.
 func (a *Accelerator) ReplayWith(block *types.Block, traces []*arch.TxTrace, receipts []*types.Receipt, digest types.Hash, mode Mode, opts ReplayOpts) (*Result, error) {
-	cfg := a.configFor(mode, opts.NumPUs)
+	eng, err := engine.Get(mode)
+	if err != nil {
+		return nil, err
+	}
+	cfg := a.Cfg
+	if opts.NumPUs > 0 {
+		cfg.NumPUs = opts.NumPUs
+	}
+	cfg = eng.Configure(cfg)
 	proc := mtpu.New(cfg)
 
 	// The typed-nil guard matters: assigning a nil *Collector into the
@@ -328,60 +277,22 @@ func (a *Accelerator) ReplayWith(block *types.Block, traces []*arch.TxTrace, rec
 	if opts.Plans != nil && len(opts.Plans) != len(traces) {
 		return nil, fmt.Errorf("core: %d prebuilt plans for %d traces", len(opts.Plans), len(traces))
 	}
-	plans := opts.Plans
-	skipped := 0
-	if mode == ModeSTHotspot {
-		plans = make([]*pu.Plan, len(traces))
-		for i, t := range traces {
-			plans[i] = a.Table.Plan(t)
-			skipped += plans[i].SkippedInstructions
-		}
-	} else if plans == nil {
-		plans = pu.PlainPlans(traces)
-	}
+	plans, skipped := eng.Plans(a.Table, traces, opts.Plans)
 
-	eng := &engine{proc: proc, plans: plans}
-	var sres sched.Result
-	var stmRes *stm.Result
-	switch mode {
-	case ModeScalar, ModeSequentialILP:
-		sres = sched.Sequential(len(traces), eng)
-	case ModeSynchronous:
-		sres = sched.Synchronous(block.DAG, cfg.NumPUs, cfg.ScheduleOverhead, eng)
-	case ModeBlockSTM:
-		if opts.Genesis == nil {
-			return nil, fmt.Errorf("core: mode %s requires ReplayOpts.Genesis (the pre-block state)", mode)
-		}
-		var err error
-		stmRes, err = stm.Execute(block, opts.Genesis, stm.Config{
-			NumPUs:           cfg.NumPUs,
-			ScheduleOverhead: cfg.ScheduleOverhead,
-			ValidateBase:     cfg.StmValidateBase,
-			ValidatePerKey:   cfg.StmValidatePerKey,
-		}, eng)
-		if err != nil {
-			return nil, err
-		}
-		// The identical-state-to-sequential assertion is built into the
-		// mode: an optimistic schedule that commits anything else is a
-		// correctness bug, not a measurement.
-		if stmRes.Digest != digest {
-			return nil, fmt.Errorf("core: block-stm state digest %s != sequential %s", stmRes.Digest, digest)
-		}
-		for i, r := range stmRes.Receipts {
-			if r.GasUsed != receipts[i].GasUsed || r.Status != receipts[i].Status {
-				return nil, fmt.Errorf("core: block-stm receipt %d (gas %d, status %d) != sequential (gas %d, status %d)",
-					i, r.GasUsed, r.Status, receipts[i].GasUsed, receipts[i].Status)
-			}
-		}
-		sres = sched.Result{Makespan: stmRes.Makespan, BusyCycles: stmRes.BusyCycles}
-		for _, d := range stmRes.ExecDispatches() {
-			sres.Dispatches = append(sres.Dispatches, sched.Dispatch{Tx: d.Tx, PU: d.PU, Start: d.Start, End: d.End})
-		}
-	default:
-		contracts := workload.ContractOf(block)
-		sres = sched.SpatialTemporalObs(block.DAG, contracts, cfg.NumPUs, cfg.CandidateWindow, cfg.ScheduleOverhead, eng, sink)
+	env := &engine.Env{
+		Cfg:      cfg,
+		Proc:     proc,
+		Plans:    plans,
+		Sink:     sink,
+		Genesis:  opts.Genesis,
+		Receipts: receipts,
+		Digest:   digest,
 	}
+	er, err := eng.Run(block, traces, env)
+	if err != nil {
+		return nil, err
+	}
+	sres := er.Sched
 
 	var gasUsed uint64
 	for _, r := range receipts {
@@ -400,12 +311,12 @@ func (a *Accelerator) ReplayWith(block *types.Block, traces []*arch.TxTrace, rec
 		Instructions:        ps.Instructions,
 		SkippedInstructions: skipped,
 	}
-	if stmRes != nil {
-		res.STM = &stmRes.Stats
-		res.STMConflicts = stmRes.Conflicts
+	if er.STM != nil {
+		res.STM = &er.STM.Stats
+		res.STMConflicts = er.STM.Conflicts
 	}
 	if opts.Obs != nil {
-		res.Obs = buildObsReport(cfg, mode, proc, &sres, block, opts.Obs)
+		res.Obs = buildObsReport(cfg, mode.String(), er.SchedWindow, proc, &sres, block, opts.Obs)
 		res.Obs.STM = res.STM
 	}
 	return res, nil

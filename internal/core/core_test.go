@@ -21,10 +21,13 @@ func buildBlock(t *testing.T, seed int64, n int, depRatio float64) (*state.State
 	return genesis, block
 }
 
-// allModes in capability order.
+// allModes in capability order: every registered engine that replays
+// traces without needing the pre-block genesis (ModeBlockSTM has its
+// own tests, which supply ReplayOpts.Genesis).
 var allModes = []Mode{
 	ModeScalar, ModeSequentialILP, ModeSynchronous,
 	ModeSpatialTemporal, ModeSTRedundancy, ModeSTHotspot,
+	ModeBSE,
 }
 
 // runAll executes one block under every mode with shared traces.

@@ -14,10 +14,13 @@ import (
 // scheduler's dispatch timeline and the collector's events — so the
 // cycle-accounting invariant (busy + stalls + idle == makespan per PU)
 // genuinely cross-checks the layers instead of restating one of them.
-func buildObsReport(cfg arch.Config, mode Mode, proc *mtpu.Processor, sres *sched.Result, block *types.Block, col *obs.Collector) *obs.Report {
+// window is the candidate-window size the engine consulted (0 for
+// engines that never touch the window), reported by the engine itself
+// so this assembly stays mode-agnostic.
+func buildObsReport(cfg arch.Config, mode string, window int, proc *mtpu.Processor, sres *sched.Result, block *types.Block, col *obs.Collector) *obs.Report {
 	r := &obs.Report{
 		Schema:   obs.SchemaVersion,
-		Mode:     mode.String(),
+		Mode:     mode,
 		NumPUs:   cfg.NumPUs,
 		Makespan: sres.Makespan,
 	}
@@ -57,10 +60,7 @@ func buildObsReport(cfg arch.Config, mode Mode, proc *mtpu.Processor, sres *sche
 	r.Sched.Picks = col.Picks()
 	r.Sched.Occupancy = col.Occupancy()
 	r.Sched.RedundantSteers = sres.RedundantSteers
-	switch mode {
-	case ModeSpatialTemporal, ModeSTRedundancy, ModeSTHotspot:
-		r.Sched.Window = cfg.CandidateWindow
-	}
+	r.Sched.Window = window
 
 	r.SBuf = obs.StateBufferStats{Hits: proc.SBuf.Hits, Misses: proc.SBuf.Misses}
 

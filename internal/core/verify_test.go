@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"mtpu/internal/arch"
+	"mtpu/internal/engine"
 	"mtpu/internal/sched"
 	"mtpu/internal/types"
 	"mtpu/internal/workload"
@@ -74,20 +75,27 @@ func TestModeStrings(t *testing.T) {
 }
 
 func TestConfigForModeLadder(t *testing.T) {
-	acc := New(arch.DefaultConfig())
-	scalar := acc.configFor(ModeScalar, 0)
+	cfg := arch.DefaultConfig()
+	configFor := func(m Mode) arch.Config {
+		e, err := engine.Get(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e.Configure(cfg)
+	}
+	scalar := configFor(ModeScalar)
 	if scalar.EnableDBCache || scalar.ReuseContext || scalar.NumPUs != 1 {
 		t.Errorf("scalar config %+v", scalar)
 	}
-	seq := acc.configFor(ModeSequentialILP, 0)
+	seq := configFor(ModeSequentialILP)
 	if !seq.EnableDBCache || seq.ReuseContext || seq.NumPUs != 1 {
 		t.Errorf("sequential config %+v", seq)
 	}
-	st := acc.configFor(ModeSpatialTemporal, 0)
-	if st.ReuseContext || st.NumPUs != acc.Cfg.NumPUs {
+	st := configFor(ModeSpatialTemporal)
+	if st.ReuseContext || st.NumPUs != cfg.NumPUs {
 		t.Errorf("ST config %+v", st)
 	}
-	red := acc.configFor(ModeSTRedundancy, 0)
+	red := configFor(ModeSTRedundancy)
 	if !red.ReuseContext {
 		t.Errorf("redundancy config %+v", red)
 	}

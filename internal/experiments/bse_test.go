@@ -1,0 +1,53 @@
+package experiments
+
+import "testing"
+
+func TestBSESweepShape(t *testing.T) {
+	points := BSESweep(testEnv)
+	want := len(BSEDepRatios) * len(BSEPUCounts)
+	if len(points) != want {
+		t.Fatalf("%d points, want %d", len(points), want)
+	}
+	for _, p := range points {
+		if p.Txs != SchedBlockSize {
+			t.Errorf("ratio %.1f pus %d: txs %d", p.TargetRatio, p.PUs, p.Txs)
+		}
+		if p.Batches < 1 || p.Batches > p.Txs {
+			t.Errorf("ratio %.1f pus %d: %d batches for %d txs",
+				p.TargetRatio, p.PUs, p.Batches, p.Txs)
+		}
+		if p.SeqCycles == 0 || p.SyncCycles == 0 || p.STCycles == 0 || p.BSECycles == 0 {
+			t.Errorf("ratio %.1f pus %d: zero cycle count %+v", p.TargetRatio, p.PUs, p)
+		}
+		if p.SyncSpeedup <= 0 || p.STSpeedup <= 0 || p.BSESpeedup <= 0 {
+			t.Errorf("ratio %.1f pus %d: non-positive speedup", p.TargetRatio, p.PUs)
+		}
+		// Barriers cannot beat the dynamic schedulers: batch-execute pays
+		// for the slowest PU of every batch, so the work-conserving
+		// spatio-temporal schedule is a lower bound on its cycles.
+		if p.BSECycles < p.STCycles {
+			t.Errorf("ratio %.1f pus %d: bse %d cycles beat spatial-temporal %d",
+				p.TargetRatio, p.PUs, p.BSECycles, p.STCycles)
+		}
+	}
+	// The batch count is a property of the DAG alone: constant across PU
+	// counts at one ratio, and monotonically non-decreasing in the ratio.
+	batchAt := map[float64]int{}
+	for _, p := range points {
+		if prev, ok := batchAt[p.TargetRatio]; ok && prev != p.Batches {
+			t.Errorf("ratio %.1f: batch count varies with PUs (%d vs %d)",
+				p.TargetRatio, prev, p.Batches)
+		}
+		batchAt[p.TargetRatio] = p.Batches
+	}
+	for i := 1; i < len(BSEDepRatios); i++ {
+		lo, hi := BSEDepRatios[i-1], BSEDepRatios[i]
+		if batchAt[lo] > batchAt[hi] {
+			t.Errorf("batches fell from %d to %d as dep ratio rose %.1f→%.1f",
+				batchAt[lo], batchAt[hi], lo, hi)
+		}
+	}
+	if out := RenderBSE(points); len(out) == 0 {
+		t.Error("empty rendering")
+	}
+}

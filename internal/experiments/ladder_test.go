@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"testing"
+
+	"mtpu/internal/engine"
+)
+
+func TestLadderEnumeratesRegistry(t *testing.T) {
+	rows := Ladder(testEnv)
+	modes := engine.Modes()
+	if len(rows) != len(modes) {
+		t.Fatalf("%d rows for %d registered engines", len(rows), len(modes))
+	}
+	for i, r := range rows {
+		if r.Mode != modes[i] {
+			t.Errorf("row %d: mode %v, registry order says %v", i, r.Mode, modes[i])
+		}
+		if r.Name != modes[i].String() {
+			t.Errorf("row %d: name %q != %q", i, r.Name, modes[i])
+		}
+		if r.Cycles == 0 || r.Speedup <= 0 {
+			t.Errorf("row %d (%s): empty measurement %+v", i, r.Name, r)
+		}
+	}
+	if rows[0].Speedup != 1.0 {
+		t.Errorf("first registered engine anchors the speedup column: %.2f", rows[0].Speedup)
+	}
+	if out := RenderLadder(rows); len(out) == 0 {
+		t.Error("empty rendering")
+	}
+}
