@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: all build test race vet fuzz-smoke bench stats-smoke stm-sweep bse-sweep validate-artifacts ci
+.PHONY: all build test race vet fuzz-smoke diff-smoke bench stats-smoke stm-sweep bse-sweep validate-artifacts ci
 
 all: build
 
@@ -27,6 +27,15 @@ fuzz-smoke:
 	$(GO) test ./internal/types -run '^$$' -fuzz FuzzDecodeTransactionRLP -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/types -run '^$$' -fuzz FuzzDecodeBlockRLP -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/stm -run '^$$' -fuzz FuzzMVMemory -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/difftest -run '^$$' -fuzz FuzzDiffEngines -fuzztime $(FUZZTIME)
+
+# Cross-engine differential sweep under the race detector: every spec in
+# the grid (dependence ratios, PU counts, window/cache geometry, and the
+# adversarial corners — pure chains, hotspot contention, duplicate
+# addresses) runs on all registered engines against the sequential
+# oracle. Failures are delta-shrunk to minimal reproducers.
+diff-smoke:
+	$(GO) test -race ./internal/difftest
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
@@ -54,4 +63,4 @@ bse-sweep:
 validate-artifacts:
 	$(GO) run ./cmd/mtpu-bench -validate BENCH_sweeps.json
 
-ci: vet build race fuzz-smoke stats-smoke stm-sweep bse-sweep validate-artifacts
+ci: vet build race diff-smoke fuzz-smoke stats-smoke stm-sweep bse-sweep validate-artifacts

@@ -19,6 +19,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"strings"
@@ -332,6 +333,24 @@ func validateReport(path string) error {
 	if err := dec.Decode(&r); err != nil {
 		return fmt.Errorf("decoding: %w", err)
 	}
+	return checkReport(&r)
+}
+
+// finite rejects NaN and ±Inf — values encoding/json would never emit
+// itself, so their presence means the file was edited or produced by a
+// non-Go writer, and every downstream plot/comparison would silently
+// propagate them.
+func finite(name string, v float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Errorf("%s is %v, want a finite number", name, v)
+	}
+	return nil
+}
+
+// checkReport enforces the schema-4 invariants on a decoded report.
+// Split from the file decoding so corruptions JSON cannot represent
+// (NaN, ±Inf) are testable by constructing the struct directly.
+func checkReport(r *benchReport) error {
 	if r.Schema != reportSchema {
 		return fmt.Errorf("schema %d, want %d", r.Schema, reportSchema)
 	}
@@ -351,6 +370,15 @@ func validateReport(path string) error {
 		if e.Name == "" {
 			return fmt.Errorf("experiment with empty name")
 		}
+		if err := finite(e.Name+": wall_ms", e.WallMS); err != nil {
+			return err
+		}
+		if err := finite(e.Name+": min_speedup", e.MinSpeedup); err != nil {
+			return err
+		}
+		if err := finite(e.Name+": max_speedup", e.MaxSpeedup); err != nil {
+			return err
+		}
 		if e.WallMS < 0 || e.Points < 0 {
 			return fmt.Errorf("%s: negative wall_ms/points", e.Name)
 		}
@@ -368,10 +396,27 @@ func validateReport(path string) error {
 		if p.PUs < 1 || p.Txs < 1 {
 			return fmt.Errorf("stm ratio %.1f: bad grid point (pus=%d txs=%d)", p.TargetRatio, p.PUs, p.Txs)
 		}
+		for _, v := range []struct {
+			name string
+			val  float64
+		}{
+			{"target_ratio", p.TargetRatio}, {"dep_ratio", p.DepRatio},
+			{"sync_speedup", p.SyncSpeedup}, {"st_speedup", p.STSpeedup}, {"stm_speedup", p.STMSpeedup},
+		} {
+			if err := finite(fmt.Sprintf("stm pus %d: %s", p.PUs, v.name), v.val); err != nil {
+				return err
+			}
+		}
 		if p.SyncSpeedup <= 0 || p.STSpeedup <= 0 || p.STMSpeedup <= 0 {
 			return fmt.Errorf("stm ratio %.1f pus %d: non-positive speedup", p.TargetRatio, p.PUs)
 		}
 		s := p.Stats
+		// Counter fields are signed in the schema, so a corrupted file can
+		// carry negatives the identity checks below would cancel out.
+		if s.Txs < 0 || s.Incarnations < 0 || s.Aborts < 0 || s.EstimateAborts < 0 ||
+			s.ValidationPasses < 0 || s.ValidationFails < 0 || s.EstimateWaits < 0 {
+			return fmt.Errorf("stm ratio %.1f pus %d: negative counter (%+v)", p.TargetRatio, p.PUs, s)
+		}
 		if s.Incarnations-s.Aborts != p.Txs {
 			return fmt.Errorf("stm ratio %.1f pus %d: incarnations %d - aborts %d != txs %d",
 				p.TargetRatio, p.PUs, s.Incarnations, s.Aborts, p.Txs)
@@ -393,6 +438,17 @@ func validateReport(path string) error {
 		if p.PUs < 1 || p.Txs < 1 {
 			return fmt.Errorf("bse ratio %.1f: bad grid point (pus=%d txs=%d)", p.TargetRatio, p.PUs, p.Txs)
 		}
+		for _, v := range []struct {
+			name string
+			val  float64
+		}{
+			{"target_ratio", p.TargetRatio}, {"dep_ratio", p.DepRatio},
+			{"sync_speedup", p.SyncSpeedup}, {"st_speedup", p.STSpeedup}, {"bse_speedup", p.BSESpeedup},
+		} {
+			if err := finite(fmt.Sprintf("bse pus %d: %s", p.PUs, v.name), v.val); err != nil {
+				return err
+			}
+		}
 		if p.Batches < 1 || p.Batches > p.Txs {
 			return fmt.Errorf("bse ratio %.1f pus %d: %d batches for %d txs",
 				p.TargetRatio, p.PUs, p.Batches, p.Txs)
@@ -412,6 +468,9 @@ func validateReport(path string) error {
 		if c.Points <= 0 {
 			return fmt.Errorf("%s: counter snapshot without points", c.Label)
 		}
+		if c.Cycles == 0 {
+			return fmt.Errorf("%s: counter snapshot without cycles", c.Label)
+		}
 		p := c.Pipeline
 		if p.IssueCycles > p.Cycles {
 			return fmt.Errorf("%s: issue cycles %d exceed total cycles %d", c.Label, p.IssueCycles, p.Cycles)
@@ -422,6 +481,12 @@ func validateReport(path string) error {
 		if p.LineEvictions > p.LinesCached {
 			return fmt.Errorf("%s: evictions %d exceed fills %d", c.Label, p.LineEvictions, p.LinesCached)
 		}
+	}
+	if err := finite("total_wall_ms", r.TotalWallMS); err != nil {
+		return err
+	}
+	if r.TotalWallMS < 0 {
+		return fmt.Errorf("negative total_wall_ms %v", r.TotalWallMS)
 	}
 	return nil
 }

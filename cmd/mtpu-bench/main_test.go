@@ -1,0 +1,146 @@
+package main
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadArtifact decodes the checked-in schema-4 artifact into a generic
+// tree the corruption cases can edit before re-marshalling.
+func loadArtifact(t *testing.T) map[string]any {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "..", "BENCH_sweeps.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+func writeDoc(t *testing.T, doc map[string]any) string {
+	t.Helper()
+	buf, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "report.json")
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func firstRow(t *testing.T, doc map[string]any, key string) map[string]any {
+	t.Helper()
+	rows, ok := doc[key].([]any)
+	if !ok || len(rows) == 0 {
+		t.Fatalf("artifact has no %q rows", key)
+	}
+	row, ok := rows[0].(map[string]any)
+	if !ok {
+		t.Fatalf("%s[0] is not an object", key)
+	}
+	return row
+}
+
+// TestValidateAcceptsCheckedInArtifact pins the baseline: the repo's own
+// artifact must stay valid or the corruption cases prove nothing.
+func TestValidateAcceptsCheckedInArtifact(t *testing.T) {
+	if err := validateReport(filepath.Join("..", "..", "BENCH_sweeps.json")); err != nil {
+		t.Fatalf("checked-in artifact rejected: %v", err)
+	}
+}
+
+// TestValidateRejectsCorruptedArtifact feeds single-field corruptions of
+// the real BENCH_sweeps.json through -validate's code path.
+func TestValidateRejectsCorruptedArtifact(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		corrupt func(*testing.T, map[string]any)
+		wantMsg string
+	}{
+		{"negative stm counter", func(t *testing.T, doc map[string]any) {
+			row := firstRow(t, doc, "stm")
+			stats := row["stm"].(map[string]any)
+			// Shift both terms of the commit identity negative so only the
+			// sign check can object.
+			stats["incarnations"] = float64(-1)
+			stats["aborts"] = -1 - stats["txs"].(float64)
+			stats["estimate_aborts"] = stats["aborts"]
+			stats["validation_fails"] = float64(0)
+		}, "negative counter"},
+		{"negative wall clock", func(t *testing.T, doc map[string]any) {
+			doc["total_wall_ms"] = float64(-4)
+		}, "total_wall_ms"},
+		{"negative experiment points", func(t *testing.T, doc map[string]any) {
+			firstRow(t, doc, "experiments")["points"] = float64(-3)
+		}, "negative"},
+		{"unknown field", func(t *testing.T, doc map[string]any) {
+			doc["warp_factor"] = float64(9)
+		}, "unknown field"},
+		{"wrong schema", func(t *testing.T, doc map[string]any) {
+			doc["schema"] = float64(3)
+		}, "schema"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			doc := loadArtifact(t)
+			tc.corrupt(t, doc)
+			err := validateReport(writeDoc(t, doc))
+			if err == nil {
+				t.Fatal("corrupted artifact accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantMsg) {
+				t.Errorf("error %q does not mention %q", err, tc.wantMsg)
+			}
+		})
+	}
+}
+
+// TestCheckReportRejectsNonFinite covers the corruptions JSON cannot
+// carry: NaN and ±Inf land in the struct directly (e.g. from a future
+// non-JSON ingest path) and must still be rejected.
+func TestCheckReportRejectsNonFinite(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "BENCH_sweeps.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := func(t *testing.T) *benchReport {
+		var r benchReport
+		if err := json.Unmarshal(data, &r); err != nil {
+			t.Fatal(err)
+		}
+		return &r
+	}
+	if err := checkReport(base(t)); err != nil {
+		t.Fatalf("baseline rejected: %v", err)
+	}
+	for _, tc := range []struct {
+		name    string
+		corrupt func(*benchReport)
+	}{
+		{"NaN stm speedup", func(r *benchReport) { r.STM[0].STMSpeedup = math.NaN() }},
+		{"+Inf bse speedup", func(r *benchReport) { r.BSE[0].BSESpeedup = math.Inf(1) }},
+		{"-Inf dep ratio", func(r *benchReport) { r.STM[0].DepRatio = math.Inf(-1) }},
+		{"NaN wall_ms", func(r *benchReport) { r.Experiments[0].WallMS = math.NaN() }},
+		{"NaN total", func(r *benchReport) { r.TotalWallMS = math.NaN() }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			r := base(t)
+			tc.corrupt(r)
+			err := checkReport(r)
+			if err == nil {
+				t.Fatal("non-finite value accepted")
+			}
+			if !strings.Contains(err.Error(), "finite") {
+				t.Errorf("error %q does not mention finiteness", err)
+			}
+		})
+	}
+}

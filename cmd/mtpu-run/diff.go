@@ -1,0 +1,49 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"mtpu/internal/core"
+	"mtpu/internal/difftest"
+)
+
+// runDiff replays a saved differential-test spec across the selected
+// engines. Divergences are shrunk to minimal reproducers and written
+// next to the input file; the exit code is the failure count (capped by
+// the shell's 8 bits, but any non-zero means red).
+func runDiff(path string, modes []core.Mode) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mtpu-run: %v\n", err)
+		return 1
+	}
+	spec, err := difftest.ParseSpecFile(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mtpu-run: %s: %v\n", path, err)
+		return 1
+	}
+
+	h := &difftest.Harness{Modes: modes}
+	fmt.Printf("diff %s\nspec: %s\n", path, spec)
+	fails, err := h.Run(spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mtpu-run: spec unrunnable: %v\n", err)
+		return 1
+	}
+	if len(fails) == 0 {
+		fmt.Printf("all %d engines agree with the sequential oracle\n", len(h.Modes))
+		return 0
+	}
+	for _, f := range fails {
+		fmt.Fprintf(os.Stderr, "FAIL %s: %v\n", f.Engine, f.Err)
+		out, err := h.WriteReproducer(filepath.Dir(path), f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mtpu-run: writing reproducer: %v\n", err)
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "     shrunk reproducer: %s\n", out)
+	}
+	return len(fails)
+}

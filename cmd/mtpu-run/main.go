@@ -7,6 +7,11 @@
 //
 //	mtpu-run [-txs N] [-dep R] [-pus N] [-seed N] [-mode LIST] [-v]
 //	         [-dump F] [-load F] [-stats] [-trace-out F] [-verify-dag]
+//	mtpu-run -diff FILE [-mode LIST]
+//
+// The -diff form replays a saved differential-test spec (a corpus file
+// written by the harness in internal/difftest, or a hand-written one)
+// across the selected engines, shrinking and reporting any divergence.
 package main
 
 import (
@@ -57,11 +62,16 @@ func main() {
 	stats := flag.Bool("stats", false, "print per-mode cycle accounting, DB-cache and scheduler counters")
 	traceOut := flag.String("trace-out", "", "write the per-mode execution timelines as Chrome trace-event JSON (Perfetto / chrome://tracing)")
 	verifyDAG := flag.Bool("verify-dag", false, "cross-check the consensus DAG against the conflicts a sequential replay observes")
+	diff := flag.String("diff", "", "replay a saved differential-test spec (JSON) across the selected engines and exit")
 	flag.Parse()
 
 	modes, err := parseModes(*mode)
 	if err != nil {
 		log.Fatalf("mtpu-run: %v", err)
+	}
+
+	if *diff != "" {
+		os.Exit(runDiff(*diff, modes))
 	}
 
 	gen := workload.NewGenerator(*seed, 4*(*txs)+64)
@@ -137,10 +147,6 @@ func main() {
 	var baseline uint64 // first listed mode anchors the speedup column
 	var reports []*obs.Report
 	for _, m := range modes {
-		eng, err := engine.Get(m)
-		if err != nil {
-			log.Fatalf("mtpu-run: %v", err)
-		}
 		opts := core.ReplayOpts{Genesis: genesis}
 		if instrument {
 			opts.Obs = obs.NewCollector()
@@ -157,15 +163,8 @@ func main() {
 		// internal-digest engines (optimistic execution) asserted state
 		// identity inside Run, and every runtime-detected conflict must lie
 		// inside the DAG's transitive closure.
-		switch eng.Verify() {
-		case engine.VerifyDAGOrder:
-			if err := core.VerifySchedule(genesis, block, res); err != nil {
-				log.Fatalf("mtpu-run: serializability check failed: %v: %v", m, err)
-			}
-		case engine.VerifyInternalDigest:
-			if err := core.VerifySTMConflicts(block.DAG, res.STMConflicts); err != nil {
-				log.Fatalf("mtpu-run: %v", err)
-			}
+		if err := core.VerifyResult(genesis, block, res); err != nil {
+			log.Fatalf("mtpu-run: serializability check failed: %v", err)
 		}
 		t.Row(m.String(), res.Cycles, metrics.X(float64(baseline)/float64(res.Cycles)),
 			res.Pipeline.IPC(), res.Pipeline.HitRatio(), res.Utilization)

@@ -365,6 +365,9 @@ func VerifySchedule(genesis *state.StateDB, block *types.Block, res *Result) err
 		}
 	}
 
+	if len(res.Receipts) != len(block.Transactions) {
+		return fmt.Errorf("core: %d receipts for %d transactions", len(res.Receipts), len(block.Transactions))
+	}
 	st := genesis.Copy()
 	e := evm.New(evm.NewBlockContext(block.Header), st)
 	seen := make([]bool, len(block.Transactions))
@@ -373,8 +376,19 @@ func VerifySchedule(genesis *state.StateDB, block *types.Block, res *Result) err
 			return fmt.Errorf("core: tx %d dispatched twice", d.Tx)
 		}
 		seen[d.Tx] = true
-		if _, err := evm.ApplyTransaction(e, block.Transactions[d.Tx], d.Tx); err != nil {
+		r, err := evm.ApplyTransaction(e, block.Transactions[d.Tx], d.Tx)
+		if err != nil {
 			return fmt.Errorf("core: replay order broke tx %d: %w", d.Tx, err)
+		}
+		// Receipt identity: the scheduled order must reproduce the
+		// sequential outcome per transaction, not just the final digest.
+		want := res.Receipts[d.Tx]
+		if want.TxIndex != d.Tx {
+			return fmt.Errorf("core: receipt %d carries tx index %d", d.Tx, want.TxIndex)
+		}
+		if r.Status != want.Status || r.GasUsed != want.GasUsed {
+			return fmt.Errorf("core: tx %d replayed to status %d / gas %d, sequential receipt says %d / %d",
+				d.Tx, r.Status, r.GasUsed, want.Status, want.GasUsed)
 		}
 	}
 	for tx, ok := range seen {
@@ -398,6 +412,31 @@ func VerifySTMConflicts(dag *types.DAG, conflicts []stm.Conflict) error {
 		if !dag.HasPath(c.From, c.To) {
 			return fmt.Errorf("core: stm conflict %d→%d outside the consensus DAG's transitive closure", c.From, c.To)
 		}
+	}
+	return nil
+}
+
+// VerifyResult applies the serializability check a result's engine
+// declares: DAG-order engines get the full VerifySchedule replay,
+// internal-digest engines get the conflict cross-check. This is the one
+// verification entry point the CLIs and the differential harness share,
+// so every engine is held to its declared bar the same way everywhere.
+func VerifyResult(genesis *state.StateDB, block *types.Block, res *Result) error {
+	eng, err := engine.Get(res.Mode)
+	if err != nil {
+		return err
+	}
+	switch v := eng.Verify(); v {
+	case engine.VerifyDAGOrder:
+		if err := VerifySchedule(genesis, block, res); err != nil {
+			return fmt.Errorf("core: %s schedule: %w", res.Mode, err)
+		}
+	case engine.VerifyInternalDigest:
+		if err := VerifySTMConflicts(block.DAG, res.STMConflicts); err != nil {
+			return fmt.Errorf("core: %s conflicts: %w", res.Mode, err)
+		}
+	default:
+		return fmt.Errorf("core: %s declares unknown verification %s", res.Mode, v)
 	}
 	return nil
 }

@@ -1,0 +1,78 @@
+package difftest
+
+import (
+	"path/filepath"
+	"testing"
+
+	"mtpu/internal/workload"
+)
+
+// fuzzSpec maps the fuzzer's primitive arguments onto a bounded Spec.
+// Every input folds into some valid spec, so the whole input space
+// exercises engines instead of the validator.
+func fuzzSpec(seed int64, kind, txs, depPct, pus, window uint8, dbLines uint16, minLine uint8) Spec {
+	k := workload.SpecKinds[int(kind)%len(workload.SpecKinds)]
+	w := workload.Spec{
+		Kind: k,
+		Txs:  1 + int(txs)%16,
+		Seed: seed,
+	}
+	switch k {
+	case "token", "mixed":
+		w.Dep = float64(int(depPct)%101) / 100
+	case "sct", "erc20":
+		w.Share = float64(int(depPct)%101) / 100
+	case "batch":
+		contracts := []string{"TetherUSD", "Dai", "WETH9", "UniswapV2Router02"}
+		w.Contract = contracts[int(depPct)%len(contracts)]
+	}
+	lines := int(dbLines % 66)
+	if lines == 65 {
+		lines = -1 // the unbounded-cache encoding
+	}
+	return Spec{
+		Workload: w,
+		PUs:      1 + int(pus)%8,
+		Window:   int(window) % 17,
+		DBLines:  lines,
+		MinLine:  int(minLine) % 9,
+	}
+}
+
+// FuzzDiffEngines fuzzes every registered engine against the sequential
+// oracle, seeded from the corner corpus. Any failure is a real
+// divergence: the input mapping never produces an invalid spec.
+func FuzzDiffEngines(f *testing.F) {
+	f.Add(int64(1), uint8(0), uint8(7), uint8(50), uint8(3), uint8(8), uint16(0), uint8(0))
+	seeds, err := CorpusSpecs(filepath.Join("testdata", "corpus"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	kindIndex := map[string]uint8{}
+	for i, k := range workload.SpecKinds {
+		kindIndex[k] = uint8(i)
+	}
+	for _, s := range seeds {
+		lines := uint16(0)
+		switch {
+		case s.DBLines > 0:
+			lines = uint16(s.DBLines % 65)
+		case s.DBLines == -1:
+			lines = 65
+		}
+		f.Add(s.Workload.Seed, kindIndex[s.Workload.Kind], uint8(s.Workload.Txs-1),
+			uint8(s.Workload.Dep*100), uint8(s.PUs-1), uint8(s.Window), lines, uint8(s.MinLine))
+	}
+
+	h := &Harness{}
+	f.Fuzz(func(t *testing.T, seed int64, kind, txs, depPct, pus, window uint8, dbLines uint16, minLine uint8) {
+		spec := fuzzSpec(seed, kind, txs, depPct, pus, window, dbLines, minLine)
+		fails, err := h.Run(spec)
+		if err != nil {
+			t.Fatalf("harness error on %s: %v", spec, err)
+		}
+		for _, fail := range fails {
+			t.Errorf("%v", fail)
+		}
+	})
+}

@@ -1,0 +1,128 @@
+package engine_test
+
+import (
+	"reflect"
+	"testing"
+
+	"mtpu/internal/arch"
+	"mtpu/internal/core"
+	"mtpu/internal/engine"
+	"mtpu/internal/obs"
+)
+
+// referenceKinds walks a type and reports the path of the first field
+// with reference semantics (pointer, map, slice, chan, func, interface).
+func referenceKinds(t reflect.Type, path string) string {
+	switch t.Kind() {
+	case reflect.Ptr, reflect.Map, reflect.Slice, reflect.Chan,
+		reflect.Func, reflect.Interface, reflect.UnsafePointer:
+		return path
+	case reflect.Struct:
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if bad := referenceKinds(f.Type, path+"."+f.Name); bad != "" {
+				return bad
+			}
+		}
+	case reflect.Array:
+		return referenceKinds(t.Elem(), path+"[]")
+	}
+	return ""
+}
+
+// TestConfigHasNoReferenceFields guards the Configure contract: engines
+// receive and return arch.Config by value, which only isolates callers
+// while the struct stays free of reference-typed fields. Anyone adding a
+// slice or map to Config must also make Configure deep-copy it.
+func TestConfigHasNoReferenceFields(t *testing.T) {
+	if bad := referenceKinds(reflect.TypeOf(arch.Config{}), "Config"); bad != "" {
+		t.Fatalf("%s has reference semantics; Configure's by-value isolation is broken — add a deep copy", bad)
+	}
+}
+
+// TestConfigureDoesNotMutateCaller: every engine's Configure must leave
+// the caller's config untouched and return an independent value.
+func TestConfigureDoesNotMutateCaller(t *testing.T) {
+	for _, m := range engine.Modes() {
+		e, err := engine.Get(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := arch.DefaultConfig()
+		base.NumPUs = 8
+		snapshot := base
+		got := e.Configure(base)
+		if !reflect.DeepEqual(base, snapshot) {
+			t.Errorf("%v: Configure mutated the caller's config", m)
+		}
+		// Writing to the returned copy must not reach the caller either.
+		got.NumPUs = 999
+		if base.NumPUs != 8 {
+			t.Errorf("%v: returned config aliases the caller's", m)
+		}
+	}
+}
+
+// TestReplayLadderConfigIsolation runs a single-PU engine and a multi-PU
+// engine back to back on one shared Accelerator: the scalar run's forced
+// NumPUs=1 must not leak into the accelerator or the next mode's replay.
+func TestReplayLadderConfigIsolation(t *testing.T) {
+	genesis, block := buildBlock(t, 61, 48, 0.3)
+	traces, receipts, digest, err := core.CollectTraces(genesis, block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := arch.DefaultConfig()
+	cfg.NumPUs = 4
+	acc := core.New(cfg)
+	before := acc.Cfg
+
+	for _, round := range []struct {
+		mode engine.Mode
+		pus  int
+	}{
+		{engine.ModeScalar, 1},
+		{engine.ModeSpatialTemporal, 4},
+		{engine.ModeScalar, 1}, // and the multi-PU run must not leak back
+	} {
+		res, err := acc.ReplayWith(block, traces, receipts, digest, round.mode,
+			core.ReplayOpts{Obs: obs.NewCollector()})
+		if err != nil {
+			t.Fatalf("%v: %v", round.mode, err)
+		}
+		if res.Obs == nil {
+			t.Fatalf("%v: no report", round.mode)
+		}
+		if res.Obs.NumPUs != round.pus {
+			t.Errorf("%v: ran on %d PUs, want %d — a prior mode's config leaked",
+				round.mode, res.Obs.NumPUs, round.pus)
+		}
+		if acc.Cfg != before {
+			t.Fatalf("%v: replay mutated the shared accelerator config: %+v", round.mode, acc.Cfg)
+		}
+	}
+}
+
+// TestParseRejectsFallbackStrings: the "mode(N)" fallback that String()
+// prints for unregistered ordinals is diagnostic output, not a name —
+// Parse must refuse to round-trip it.
+func TestParseRejectsFallbackStrings(t *testing.T) {
+	for _, s := range []string{"mode(99)", engine.Mode(999).String(), "mode(-1)"} {
+		if m, err := engine.Parse(s); err == nil {
+			t.Errorf("Parse(%q) accepted as %v", s, m)
+		}
+	}
+}
+
+// TestVerificationString covers both named contracts and the fallback.
+func TestVerificationString(t *testing.T) {
+	if got := engine.VerifyDAGOrder.String(); got != "dag-order" {
+		t.Errorf("VerifyDAGOrder = %q", got)
+	}
+	if got := engine.VerifyInternalDigest.String(); got != "internal-digest" {
+		t.Errorf("VerifyInternalDigest = %q", got)
+	}
+	if got := engine.Verification(9).String(); got != "verification(9)" {
+		t.Errorf("fallback = %q", got)
+	}
+}

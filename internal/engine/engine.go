@@ -95,6 +95,18 @@ const (
 	VerifyInternalDigest
 )
 
+// String names the verification strategy (diagnostics and diff-failure
+// reports).
+func (v Verification) String() string {
+	switch v {
+	case VerifyDAGOrder:
+		return "dag-order"
+	case VerifyInternalDigest:
+		return "internal-digest"
+	}
+	return fmt.Sprintf("verification(%d)", int(v))
+}
+
 // Env carries the shared machinery one Run call works with. It is built
 // fresh per replay by core.ReplayWith; engines must not retain it.
 type Env struct {

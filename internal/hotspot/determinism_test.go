@@ -1,0 +1,101 @@
+package hotspot_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"mtpu/internal/arch"
+	"mtpu/internal/hotspot"
+)
+
+// determinismTraces returns a trace set spanning several (contract,
+// selector) keys so the table's sorted views have real work to do.
+func determinismTraces(t *testing.T) []*arch.TxTrace {
+	t.Helper()
+	var traces []*arch.TxTrace
+	for _, name := range []string{"TetherUSD", "Dai"} {
+		_, _, batch := fixture(t, name, 20)
+		traces = append(traces, batch...)
+	}
+	return traces
+}
+
+func learn(traces []*arch.TxTrace) *hotspot.ContractTable {
+	table := hotspot.NewContractTable()
+	for _, tr := range traces {
+		table.Learn(tr)
+	}
+	return table
+}
+
+// TestKeysDeterministic pins the sort.Slice in ContractTable.Keys: the
+// comparator must impose a total order, so repeated calls — and tables
+// built from permuted learn orders — agree exactly.
+func TestKeysDeterministic(t *testing.T) {
+	traces := determinismTraces(t)
+	forward := learn(traces)
+
+	reversed := make([]*arch.TxTrace, len(traces))
+	for i, tr := range traces {
+		reversed[len(traces)-1-i] = tr
+	}
+	backward := learn(reversed)
+
+	if forward.Len() < 5 {
+		t.Fatalf("only %d entries; fixture too small to exercise ordering", forward.Len())
+	}
+	for run := 0; run < 2; run++ {
+		if !reflect.DeepEqual(forward.Keys(), backward.Keys()) {
+			t.Fatalf("run %d: key order depends on learn order", run)
+		}
+	}
+}
+
+// TestMarshalJSONDeterministic pins the pcSetOut sort in persist.go:
+// serializing the same table twice, or tables learned in opposite
+// orders, must produce byte-identical JSON. Learn's merge operations
+// (min PreExecLen, set intersection, max LoadFrac) are all commutative,
+// so any divergence here is an ordering bug, not a data difference.
+func TestMarshalJSONDeterministic(t *testing.T) {
+	traces := determinismTraces(t)
+	forward := learn(traces)
+
+	reversed := make([]*arch.TxTrace, len(traces))
+	for i, tr := range traces {
+		reversed[len(traces)-1-i] = tr
+	}
+	backward := learn(reversed)
+
+	a1, err := forward.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := forward.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a1, a2) {
+		t.Fatal("repeated MarshalJSON on one table differs")
+	}
+	b1, err := backward.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a1, b1) {
+		t.Fatal("MarshalJSON depends on learn order")
+	}
+
+	// Round-trip stability: a restored table serializes identically.
+	restored := hotspot.NewContractTable()
+	if err := restored.UnmarshalJSON(a1); err != nil {
+		t.Fatal(err)
+	}
+	r1, err := restored.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a1, r1) {
+		t.Fatal("round-tripped table serializes differently")
+	}
+}

@@ -1,0 +1,134 @@
+package obs
+
+import "fmt"
+
+// CheckInvariants verifies the report's internal accounting: the
+// cross-layer identities every replay must satisfy regardless of
+// execution engine. The differential harness (internal/difftest) runs it
+// on every engine × workload pair; a violation means a counter was
+// dropped, double-charged or attributed to the wrong layer.
+//
+//   - Per PU: Busy + StallMem + StallLoad + StallSched + Idle == Total
+//     == the block makespan, and miss-path issue is a subset of Busy.
+//   - DB cache: hits + misses == lookups per PU; the totals row is the
+//     per-PU sum; the line-size histogram sums to the fill count; the
+//     per-contract rows partition the lookups.
+//   - Scheduler: window engines record exactly one pick (and one
+//     occupancy sample) per dispatch; windowless engines record none.
+//   - Spans: each lies inside the makespan; outside optimistic
+//     execution every transaction is dispatched exactly once.
+//   - STM: exec + validate + idle cycles == PUs × makespan, committed
+//     incarnations equal the transaction count, and every abort is
+//     either an ESTIMATE abort or a validation failure.
+func (r *Report) CheckInvariants() error {
+	if len(r.PUs) != r.NumPUs {
+		return fmt.Errorf("obs: %d cycle rows for %d PUs", len(r.PUs), r.NumPUs)
+	}
+	var txs int
+	for _, c := range r.PUs {
+		if c.Total != r.Makespan {
+			return fmt.Errorf("obs: pu %d total %d != makespan %d", c.PU, c.Total, r.Makespan)
+		}
+		if got := c.Accounted(); got != c.Total {
+			return fmt.Errorf("obs: pu %d busy+stalls+idle = %d, want %d (%+v)", c.PU, got, c.Total, c)
+		}
+		if c.MissIssue > c.Busy {
+			return fmt.Errorf("obs: pu %d miss-issue %d exceeds busy %d", c.PU, c.MissIssue, c.Busy)
+		}
+		txs += c.Txs
+	}
+	// Under optimistic execution spans cover incarnations, not committed
+	// transactions, so the dispatch count only matches the per-PU totals
+	// for the deterministic engines.
+	if r.STM == nil && txs != len(r.Spans) {
+		return fmt.Errorf("obs: per-PU tx counts sum to %d, spans %d", txs, len(r.Spans))
+	}
+
+	var sum PUDBStats
+	for i, s := range r.DB.PerPU {
+		if s.Hits+s.Misses != s.Lookups {
+			return fmt.Errorf("obs: pu %d db hits %d + misses %d != lookups %d", i, s.Hits, s.Misses, s.Lookups)
+		}
+		sum.Add(s)
+	}
+	if sum != r.DB.Totals {
+		return fmt.Errorf("obs: db totals %+v != per-PU sum %+v", r.DB.Totals, sum)
+	}
+	var fills uint64
+	for _, n := range r.DB.LineSizeHist {
+		fills += n
+	}
+	if fills != r.DB.Totals.Fills {
+		return fmt.Errorf("obs: line histogram sums to %d fills, counters say %d", fills, r.DB.Totals.Fills)
+	}
+	var contractLookups, contractHits uint64
+	for _, c := range r.DB.PerContract {
+		if c.Hits > c.Lookups {
+			return fmt.Errorf("obs: contract %s: %d hits exceed %d lookups", c.Contract, c.Hits, c.Lookups)
+		}
+		contractLookups += c.Lookups
+		contractHits += c.Hits
+	}
+	if contractLookups != r.DB.Totals.Lookups || contractHits != r.DB.Totals.Hits {
+		return fmt.Errorf("obs: per-contract lookups/hits %d/%d != totals %d/%d",
+			contractLookups, contractHits, r.DB.Totals.Lookups, r.DB.Totals.Hits)
+	}
+
+	var picks uint64
+	for _, n := range r.Sched.Picks {
+		picks += n
+	}
+	wantPicks := uint64(0)
+	if r.Sched.Window > 0 {
+		wantPicks = uint64(len(r.Spans))
+	}
+	if picks != wantPicks {
+		return fmt.Errorf("obs: %d scheduler picks for %d dispatches (window %d)",
+			picks, len(r.Spans), r.Sched.Window)
+	}
+	if len(r.Sched.Occupancy) != int(wantPicks) {
+		return fmt.Errorf("obs: %d occupancy samples, want %d", len(r.Sched.Occupancy), wantPicks)
+	}
+
+	seen := make(map[int]bool, len(r.Spans))
+	for _, s := range r.Spans {
+		if s.End < s.Start || s.End > r.Makespan {
+			return fmt.Errorf("obs: span %+v outside makespan %d", s, r.Makespan)
+		}
+		if r.STM == nil {
+			if seen[s.Tx] {
+				return fmt.Errorf("obs: tx %d dispatched twice", s.Tx)
+			}
+			seen[s.Tx] = true
+		}
+	}
+
+	if r.STM != nil {
+		if err := r.STM.Check(r.NumPUs, r.Makespan); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Check verifies the optimistic-execution counter identities for a
+// replay of the given geometry: every PU cycle is attributed to exactly
+// one of exec/validate/idle, every transaction commits exactly one
+// incarnation, and every abort has exactly one recorded cause.
+func (s *STMStats) Check(numPUs int, makespan uint64) error {
+	if s.Incarnations-s.Aborts != s.Txs {
+		return fmt.Errorf("obs: stm incarnations %d - aborts %d != txs %d", s.Incarnations, s.Aborts, s.Txs)
+	}
+	if s.Aborts != s.EstimateAborts+s.ValidationFails {
+		return fmt.Errorf("obs: stm aborts %d != estimate %d + validation %d",
+			s.Aborts, s.EstimateAborts, s.ValidationFails)
+	}
+	if got, want := s.ExecCycles+s.ValidateCycles+s.IdleCycles, uint64(numPUs)*makespan; got != want {
+		return fmt.Errorf("obs: stm exec %d + validate %d + idle %d = %d, want PUs×makespan %d",
+			s.ExecCycles, s.ValidateCycles, s.IdleCycles, got, want)
+	}
+	if s.WastedCycles > s.ExecCycles {
+		return fmt.Errorf("obs: stm wasted %d exceeds exec %d", s.WastedCycles, s.ExecCycles)
+	}
+	return nil
+}

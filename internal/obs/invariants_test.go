@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// validReport builds a small internally-consistent report to mutate.
+func validReport() *Report {
+	r := &Report{
+		Schema:   SchemaVersion,
+		Mode:     "spatial-temporal",
+		NumPUs:   2,
+		Makespan: 100,
+		PUs: []PUCycles{
+			{PU: 0, Txs: 2, Busy: 40, MissIssue: 10, StallMem: 20, StallLoad: 10, StallSched: 10, Idle: 20, Total: 100},
+			{PU: 1, Txs: 1, Busy: 30, StallMem: 10, StallLoad: 10, StallSched: 5, Idle: 45, Total: 100},
+		},
+		Spans: []Span{
+			{PU: 0, Tx: 0, Start: 0, End: 40},
+			{PU: 1, Tx: 1, Start: 0, End: 55},
+			{PU: 0, Tx: 2, Start: 40, End: 80},
+		},
+	}
+	r.DB.PerPU = []PUDBStats{
+		{Lookups: 10, Hits: 7, Misses: 3, Fills: 3},
+		{Lookups: 4, Hits: 4},
+	}
+	for _, s := range r.DB.PerPU {
+		r.DB.Totals.Add(s)
+	}
+	r.DB.LineSizeHist = []uint64{0, 1, 2}
+	r.DB.PerContract = []ContractDBStats{{Lookups: 14, Hits: 11}}
+	r.Sched.Window = 8
+	r.Sched.Picks[0] = 3
+	r.Sched.Occupancy = []OccSample{{Cycle: 0, Occupied: 3}, {Cycle: 0, Occupied: 2}, {Cycle: 40, Occupied: 1}}
+	return r
+}
+
+func TestCheckInvariantsAccepts(t *testing.T) {
+	if err := validReport().CheckInvariants(); err != nil {
+		t.Fatalf("consistent report rejected: %v", err)
+	}
+}
+
+// TestCheckInvariantsCatches: each single-counter corruption is caught
+// with a message naming the violated identity.
+func TestCheckInvariantsCatches(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		mutate  func(*Report)
+		wantMsg string
+	}{
+		{"pu total vs makespan", func(r *Report) { r.PUs[0].Total = 99 }, "makespan"},
+		{"cycle accounting", func(r *Report) { r.PUs[1].Idle++ }, "busy+stalls+idle"},
+		{"miss-issue subset", func(r *Report) { r.PUs[0].MissIssue = 41 }, "miss-issue"},
+		{"tx count vs spans", func(r *Report) { r.PUs[0].Txs = 3 }, "spans"},
+		{"db hits+misses", func(r *Report) { r.DB.PerPU[0].Hits++; r.DB.Totals.Hits++; r.DB.PerContract[0].Hits++ }, "lookups"},
+		{"db totals row", func(r *Report) { r.DB.Totals.Evictions++ }, "per-PU sum"},
+		{"line histogram", func(r *Report) { r.DB.LineSizeHist[1]++ }, "histogram"},
+		{"per-contract partition", func(r *Report) { r.DB.PerContract[0].Lookups++; r.DB.PerContract[0].Hits++ }, "per-contract"},
+		{"pick per dispatch", func(r *Report) { r.Sched.Picks[0]++ }, "picks"},
+		{"windowless has no picks", func(r *Report) { r.Sched.Window = 0 }, "picks"},
+		{"occupancy per pick", func(r *Report) { r.Sched.Occupancy = r.Sched.Occupancy[:2] }, "occupancy"},
+		{"span in makespan", func(r *Report) { r.Spans[2].End = 101 }, "outside makespan"},
+		{"tx dispatched once", func(r *Report) { r.Spans[2].Tx = 0; r.PUs[0].Txs = 2 }, "twice"},
+	} {
+		r := validReport()
+		tc.mutate(r)
+		err := r.CheckInvariants()
+		if err == nil {
+			t.Errorf("%s: corruption not caught", tc.name)
+		} else if !strings.Contains(err.Error(), tc.wantMsg) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantMsg)
+		}
+	}
+}
+
+// TestSTMStatsCheck: the optimistic-execution identities, accepted and
+// violated.
+func TestSTMStatsCheck(t *testing.T) {
+	good := STMStats{
+		Txs: 8, Incarnations: 10, Aborts: 2, EstimateAborts: 1, ValidationFails: 1,
+		ExecCycles: 300, ValidateCycles: 80, IdleCycles: 20, WastedCycles: 40,
+	}
+	if err := good.Check(4, 100); err != nil {
+		t.Fatalf("consistent stats rejected: %v", err)
+	}
+	for _, tc := range []struct {
+		name   string
+		mutate func(*STMStats)
+	}{
+		{"commit identity", func(s *STMStats) { s.Incarnations++ }},
+		{"abort causes", func(s *STMStats) { s.EstimateAborts++; s.Incarnations++ }},
+		{"cycle attribution", func(s *STMStats) { s.IdleCycles++ }},
+		{"wasted subset", func(s *STMStats) { s.WastedCycles = s.ExecCycles + 1 }},
+	} {
+		s := good
+		tc.mutate(&s)
+		if err := s.Check(4, 100); err == nil {
+			t.Errorf("%s: corruption not caught", tc.name)
+		}
+	}
+
+	// CheckInvariants reaches the STM section and relaxes the per-span
+	// uniqueness (incarnation spans repeat transaction indices).
+	r := validReport()
+	r.Sched.Window = 0
+	r.Sched.Picks[0] = 0
+	r.Sched.Occupancy = nil
+	r.Spans = append(r.Spans, Span{PU: 1, Tx: 0, Start: 60, End: 90})
+	bad := good
+	bad.IdleCycles++
+	r.STM = &bad
+	if err := r.CheckInvariants(); err == nil {
+		t.Error("STM corruption not caught through CheckInvariants")
+	}
+	good2 := good
+	good2.ExecCycles, good2.ValidateCycles, good2.IdleCycles = 150, 30, 20
+	r.STM = &good2
+	if err := r.CheckInvariants(); err != nil {
+		t.Errorf("consistent STM report rejected: %v", err)
+	}
+}

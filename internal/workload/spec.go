@@ -1,0 +1,248 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"mtpu/internal/state"
+	"mtpu/internal/types"
+)
+
+// Spec is a serializable recipe for one synthetic block: every generator
+// knob the evaluation sweeps plus the adversarial corner shapes, so a
+// workload can be saved, replayed and delta-shrunk byte-identically. The
+// differential test harness (internal/difftest) stores Specs as its
+// corpus format; mtpu-run -diff replays them.
+type Spec struct {
+	// Kind selects the generator: "token", "mixed", "sct", "erc20",
+	// "batch", or one of the adversarial corners — "chain" (one pure
+	// dependency chain), "hotspot" (every transaction invokes a single
+	// contract) and "dupaddr" (a tiny sender/recipient pool, so addresses
+	// repeat and nonce order chains transactions together).
+	Kind string `json:"kind"`
+	// Txs is the transaction count before drops.
+	Txs int `json:"txs"`
+	// Dep is the target dependent-transaction ratio ("token"/"mixed").
+	Dep float64 `json:"dep,omitempty"`
+	// Share is the SCT or ERC-20 share ("sct"/"erc20").
+	Share float64 `json:"share,omitempty"`
+	// Seed drives the generator's deterministic randomness.
+	Seed int64 `json:"seed"`
+	// Accounts sizes the funded account pool; 0 means 4×Txs+64 (the CLI
+	// default). Shrinking lowers it to squeeze the address space.
+	Accounts int `json:"accounts,omitempty"`
+	// Contract names the single contract of a "batch" block.
+	Contract string `json:"contract,omitempty"`
+	// Drop lists transaction indices (into the originally generated
+	// sequence) removed from the block. Per-sender nonces are renumbered
+	// after the drop, so the surviving transactions stay valid. This is
+	// the delta-shrinker's unit of reduction.
+	Drop []int `json:"drop,omitempty"`
+}
+
+// SpecKinds lists every valid Spec.Kind, corners last.
+var SpecKinds = []string{"token", "mixed", "sct", "erc20", "batch", "chain", "hotspot", "dupaddr"}
+
+// Validate rejects specs no generator can honour.
+func (s Spec) Validate() error {
+	ok := false
+	for _, k := range SpecKinds {
+		if s.Kind == k {
+			ok = true
+		}
+	}
+	if !ok {
+		return fmt.Errorf("workload: unknown spec kind %q", s.Kind)
+	}
+	if s.Txs < 1 {
+		return fmt.Errorf("workload: spec needs at least one transaction, got %d", s.Txs)
+	}
+	if s.Dep < 0 || s.Dep > 1 {
+		return fmt.Errorf("workload: dep ratio %v outside [0,1]", s.Dep)
+	}
+	if s.Share < 0 || s.Share > 1 {
+		return fmt.Errorf("workload: share %v outside [0,1]", s.Share)
+	}
+	if s.Accounts < 0 {
+		return fmt.Errorf("workload: negative account pool %d", s.Accounts)
+	}
+	if s.Kind == "batch" && s.Contract == "" {
+		return fmt.Errorf("workload: batch spec needs a contract name")
+	}
+	seen := make(map[int]bool, len(s.Drop))
+	for _, d := range s.Drop {
+		if d < 0 || d >= s.Txs {
+			return fmt.Errorf("workload: drop index %d outside the %d generated transactions", d, s.Txs)
+		}
+		if seen[d] {
+			return fmt.Errorf("workload: duplicate drop index %d", d)
+		}
+		seen[d] = true
+	}
+	if len(s.Drop) >= s.Txs {
+		return fmt.Errorf("workload: dropping all %d transactions", s.Txs)
+	}
+	return nil
+}
+
+// AccountPool resolves the effective account-pool size.
+func (s Spec) AccountPool() int {
+	if s.Accounts > 0 {
+		return s.Accounts
+	}
+	return 4*s.Txs + 64
+}
+
+// NewGeneratorFor builds the generator a Spec's block comes from.
+func (s Spec) NewGeneratorFor() *Generator {
+	return NewGenerator(s.Seed, s.AccountPool())
+}
+
+// Generate materializes the spec: a fresh generator, its genesis, and
+// the block (drops applied, nonces renumbered, DAG built). The result is
+// a pure function of the Spec — identical specs produce byte-identical
+// blocks regardless of call order or goroutine.
+func (s Spec) Generate() (*state.StateDB, *types.Block, error) {
+	if err := s.Validate(); err != nil {
+		return nil, nil, err
+	}
+	g := s.NewGeneratorFor()
+	genesis := g.Genesis()
+
+	var block *types.Block
+	switch s.Kind {
+	case "token":
+		block = g.TokenBlock(s.Txs, s.Dep)
+	case "mixed":
+		block = g.MixedBlock(s.Txs, s.Dep)
+	case "sct":
+		block = g.SCTBlock(s.Txs, s.Share)
+	case "erc20":
+		block = g.ERC20Block(s.Txs, s.Share)
+	case "batch":
+		if g.byName[s.Contract] == nil {
+			return nil, nil, fmt.Errorf("workload: unknown batch contract %q", s.Contract)
+		}
+		block = g.Batch(g.Contract(s.Contract), s.Txs)
+	case "chain":
+		block = g.PureChainBlock(s.Txs)
+	case "hotspot":
+		block = g.HotspotBlock(s.Txs)
+	case "dupaddr":
+		block = g.DuplicateAddressBlock(s.Txs)
+	}
+
+	if len(s.Drop) > 0 {
+		applyDrop(block, s.Drop)
+	}
+	if _, err := BuildDAG(genesis, block); err != nil {
+		return nil, nil, err
+	}
+	return genesis, block, nil
+}
+
+// applyDrop removes the dropped transactions and renumbers each sender's
+// nonces in block order, keeping the survivors valid against genesis
+// (all generated blocks start from nonce 0 for every sender).
+func applyDrop(block *types.Block, drop []int) {
+	dropped := make(map[int]bool, len(drop))
+	for _, d := range drop {
+		dropped[d] = true
+	}
+	kept := block.Transactions[:0]
+	nonces := make(map[types.Address]uint64)
+	for i, tx := range block.Transactions {
+		if dropped[i] {
+			continue
+		}
+		tx.Nonce = nonces[tx.From]
+		nonces[tx.From]++
+		kept = append(kept, tx)
+	}
+	block.Transactions = kept
+	block.DAG = nil // stale after the drop; Generate rebuilds it
+}
+
+// ParseSpec strictly decodes a Spec (unknown fields rejected, so corpus
+// files cannot silently carry typo'd knobs) and validates it.
+func ParseSpec(data []byte) (Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("workload: decoding spec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// String renders the spec as its canonical single-line JSON.
+func (s Spec) String() string {
+	buf, err := json.Marshal(s)
+	if err != nil {
+		return fmt.Sprintf("spec{%s/%d}", s.Kind, s.Txs)
+	}
+	return string(buf)
+}
+
+// PureChainBlock builds the adversarial "one pure chain" corner: n token
+// transfers forming a single dependency chain (each transaction spends
+// the balance the previous one credited), so the DAG's critical path is
+// the whole block and any parallel schedule degenerates to sequential.
+func (g *Generator) PureChainBlock(n int) *types.Block {
+	g.beginBlock()
+	token := g.Contract("TetherUSD")
+	from := g.freshAccount()
+	txs := make([]*types.Transaction, 0, n)
+	for i := 0; i < n; i++ {
+		to := g.freshAccount()
+		txs = append(txs, g.call(from, token, 0, "transfer", to, uint64(10)))
+		from = to
+	}
+	return types.NewBlock(g.Header(), txs)
+}
+
+// HotspotBlock builds the single-contract-hotspot corner: every
+// transaction invokes one contract (TetherUSD transfers from fresh
+// senders). The transactions are pairwise independent, so the scheduler
+// sees maximal parallelism while the redundancy/hotspot machinery sees a
+// 100% skewed contract distribution.
+func (g *Generator) HotspotBlock(n int) *types.Block {
+	g.beginBlock()
+	token := g.Contract("TetherUSD")
+	txs := make([]*types.Transaction, 0, n)
+	for i := 0; i < n; i++ {
+		from, to := g.freshAccount(), g.freshAccount()
+		txs = append(txs, g.call(from, token, 0, "transfer", to, uint64(10)))
+	}
+	return types.NewBlock(g.Header(), txs)
+}
+
+// dupAddrPool is the sender/recipient pool size of the duplicate-address
+// corner: small enough that every block reuses each address many times.
+const dupAddrPool = 3
+
+// DuplicateAddressBlock builds the duplicate-address corner: a pool of
+// only dupAddrPool senders and recipients, so the same address appears
+// in many transactions — consecutive transactions of one sender chain
+// through its nonce, and shared balance slots conflict across senders.
+// The resulting DAG is dense and full of equal-priority ties, the shape
+// most likely to expose nondeterministic tie-breaking.
+func (g *Generator) DuplicateAddressBlock(n int) *types.Block {
+	g.beginBlock()
+	token := g.Contract("TetherUSD")
+	pool := make([]types.Address, dupAddrPool)
+	for i := range pool {
+		pool[i] = g.freshAccount()
+	}
+	txs := make([]*types.Transaction, 0, n)
+	for i := 0; i < n; i++ {
+		from := pool[i%dupAddrPool]
+		to := pool[(i+1+g.rng.Intn(dupAddrPool-1))%dupAddrPool]
+		txs = append(txs, g.call(from, token, 0, "transfer", to, uint64(10)))
+	}
+	return types.NewBlock(g.Header(), txs)
+}
