@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: all build test race vet fuzz-smoke diff-smoke bench stats-smoke stm-sweep bse-sweep validate-artifacts ci
+.PHONY: all build test race vet fuzz-smoke diff-smoke bench stats-smoke stm-sweep bse-sweep perf validate-artifacts ci
 
 all: build
 
@@ -27,6 +27,7 @@ fuzz-smoke:
 	$(GO) test ./internal/types -run '^$$' -fuzz FuzzDecodeTransactionRLP -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/types -run '^$$' -fuzz FuzzDecodeBlockRLP -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/stm -run '^$$' -fuzz FuzzMVMemory -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/arch -run '^$$' -fuzz FuzzSymbolTable -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/difftest -run '^$$' -fuzz FuzzDiffEngines -fuzztime $(FUZZTIME)
 
 # Cross-engine differential sweep under the race detector: every spec in
@@ -58,9 +59,22 @@ bse-sweep:
 	$(GO) run ./cmd/mtpu-bench -parallel 0 -json bench_bse.json bse
 	$(GO) run ./cmd/mtpu-bench -validate bench_bse.json
 
-# Strictly validate the checked-in sweep artifact: catches a schema bump
-# (or a new sweep such as bse) that was not regenerated into the file.
+# Measure simulator hot-loop throughput (host tx/s), validate the fresh
+# artifact, and fail if any point regresses below the committed
+# BENCH_perf.json baseline by more than the ratio. The numbers are
+# host-dependent and the shared CI machines are noisy, so the gate is
+# deliberately loose — it catches order-of-magnitude regressions (a lost
+# fast path), not percent-level drift. To adopt new numbers as the
+# baseline: copy bench_perf.json over BENCH_perf.json and commit.
+perf:
+	$(GO) run ./cmd/mtpu-bench -json bench_perf.json -perf-baseline BENCH_perf.json -perf-min-ratio 0.4 perf
+	$(GO) run ./cmd/mtpu-bench -validate bench_perf.json
+
+# Strictly validate the checked-in sweep artifacts: catches a schema bump
+# (or a new sweep such as bse or perf) that was not regenerated into the
+# files.
 validate-artifacts:
 	$(GO) run ./cmd/mtpu-bench -validate BENCH_sweeps.json
+	$(GO) run ./cmd/mtpu-bench -validate BENCH_perf.json
 
-ci: vet build race diff-smoke fuzz-smoke stats-smoke stm-sweep bse-sweep validate-artifacts
+ci: vet build race diff-smoke fuzz-smoke stats-smoke stm-sweep bse-sweep perf validate-artifacts

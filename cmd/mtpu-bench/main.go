@@ -29,13 +29,15 @@ import (
 	"mtpu/internal/core"
 	"mtpu/internal/engine"
 	"mtpu/internal/experiments"
+	"mtpu/internal/profiling"
 )
 
 // reportSchema versions the -json layout; bump on incompatible changes
 // so checked-in BENCH_*.json files stay self-describing. v3 added the
 // optimistic-baseline sweep rows ("stm"); v4 added the
-// batch-schedule-execute sweep rows ("bse").
-const reportSchema = 4
+// batch-schedule-execute sweep rows ("bse"); v5 added the simulator
+// hot-loop throughput rows ("perf").
+const reportSchema = 5
 
 // artifactResult is one experiment's rendering plus its sweep summary.
 type artifactResult struct {
@@ -78,6 +80,11 @@ type benchReport struct {
 	// source data of the EXPERIMENTS.md sections.
 	STM []experiments.STMPoint `json:"stm,omitempty"`
 	BSE []experiments.BSEPoint `json:"bse,omitempty"`
+	// Perf carries the simulator hot-loop throughput rows ("perf"
+	// artifact): host-side simulated-tx/s, the `make perf` regression
+	// gate's input. Unlike every other artifact these measure the
+	// simulator itself, so the numbers are machine-dependent.
+	Perf []experiments.PerfPoint `json:"perf,omitempty"`
 
 	TotalWallMS float64 `json:"total_wall_ms"`
 }
@@ -104,6 +111,12 @@ func main() {
 	jsonPath := flag.String("json", "", "write a machine-readable wall-clock report to this file")
 	stats := flag.Bool("stats", false, "collect per-experiment counter snapshots (printed and merged into -json)")
 	validate := flag.String("validate", "", "validate a previously written -json report against the schema and exit")
+	perfBaseline := flag.String("perf-baseline", "", "compare the perf artifact's tx/s against this committed report and fail on regression")
+	perfMinRatio := flag.Float64("perf-min-ratio", 0.5, "minimum new/baseline tx/s ratio the -perf-baseline gate accepts")
+	perfOnly := flag.String("perf-only", "", "run only perf points whose name contains this substring (profiling aid)")
+	perfWall := flag.Duration("perf-wall", experiments.DefaultPerfWall, "per-point measurement budget of the perf artifact")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Usage = usage
 	flag.Parse()
 	if *validate != "" {
@@ -118,6 +131,16 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mtpu-bench: %v\n", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintf(os.Stderr, "mtpu-bench: %v\n", err)
+		}
+	}()
 
 	workers := *parallel
 	if workers <= 0 {
@@ -125,6 +148,7 @@ func main() {
 	}
 	env := experiments.NewEnv(*seed)
 	env.Workers = workers
+	env.PerfWall = *perfWall
 	if *stats {
 		env.Stats = experiments.NewStatsRecorder()
 	}
@@ -132,7 +156,13 @@ func main() {
 	cmd := flag.Arg(0)
 	var stmPoints []experiments.STMPoint
 	var bsePoints []experiments.BSEPoint
+	var perfPoints []experiments.PerfPoint
 	artifacts := map[string]func() artifactResult{
+		"perf": func() artifactResult {
+			perfPoints = experiments.PerfSweepOnly(env, *perfOnly)
+			return artifactResult{output: experiments.RenderPerf(perfPoints),
+				points: len(perfPoints)}
+		},
 		"stm": func() artifactResult {
 			stmPoints = experiments.STMSweep(env)
 			var r spdRange
@@ -258,7 +288,7 @@ func main() {
 	}
 	order := []string{"table1", "table2", "table6", "fig12", "fig13", "table7",
 		"fig14", "fig15", "fig16", "table8", "table9", "chunking", "ablation", "stm", "bse",
-		"ladder"}
+		"ladder", "perf"}
 
 	var names []string
 	if cmd == "all" {
@@ -294,7 +324,16 @@ func main() {
 	}
 	report.STM = stmPoints
 	report.BSE = bsePoints
+	report.Perf = perfPoints
 	report.TotalWallMS = float64(time.Since(start).Microseconds()) / 1000
+
+	if *perfBaseline != "" {
+		if err := gatePerf(*perfBaseline, perfPoints, *perfMinRatio); err != nil {
+			fmt.Fprintf(os.Stderr, "mtpu-bench: perf gate: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("perf gate: ok (every point >= %.2fx the %s baseline)\n", *perfMinRatio, *perfBaseline)
+	}
 
 	if env.Stats != nil {
 		fmt.Println(experiments.RenderStats(env.Stats))
@@ -390,6 +429,33 @@ func checkReport(r *benchReport) error {
 		}
 		if e.Name == "bse" && len(r.BSE) != e.Points {
 			return fmt.Errorf("bse: %d rows for %d points", len(r.BSE), e.Points)
+		}
+		if e.Name == "perf" && len(r.Perf) != e.Points {
+			return fmt.Errorf("perf: %d rows for %d points", len(r.Perf), e.Points)
+		}
+	}
+	for _, p := range r.Perf {
+		if p.Name == "" {
+			return fmt.Errorf("perf row with empty name")
+		}
+		if p.Txs < 1 || p.Reps < 1 {
+			return fmt.Errorf("perf %s: bad volume (txs=%d reps=%d)", p.Name, p.Txs, p.Reps)
+		}
+		for _, v := range []struct {
+			name string
+			val  float64
+		}{
+			{"wall_ms", p.WallMS}, {"tx_per_sec", p.TxPerSec}, {"instr_per_sec", p.InstrPerSec},
+		} {
+			if err := finite(fmt.Sprintf("perf %s: %s", p.Name, v.name), v.val); err != nil {
+				return err
+			}
+		}
+		if p.WallMS <= 0 || p.TxPerSec <= 0 {
+			return fmt.Errorf("perf %s: non-positive wall/tx_per_sec", p.Name)
+		}
+		if p.InstrPerSec < 0 {
+			return fmt.Errorf("perf %s: negative instr_per_sec", p.Name)
 		}
 	}
 	for _, p := range r.STM {
@@ -491,6 +557,49 @@ func checkReport(r *benchReport) error {
 	return nil
 }
 
+// gatePerf compares freshly measured perf points against the committed
+// baseline report: every point present in both must reach minRatio of
+// the baseline's tx/s. The threshold is deliberately loose — it catches
+// an order-of-magnitude hot-loop regression, not machine-to-machine
+// noise between the committing and the CI host.
+func gatePerf(baselinePath string, points []experiments.PerfPoint, minRatio float64) error {
+	if len(points) == 0 {
+		return fmt.Errorf("no perf points measured (did the run include the perf artifact?)")
+	}
+	f, err := os.Open(baselinePath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var base benchReport
+	dec := json.NewDecoder(f)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&base); err != nil {
+		return fmt.Errorf("decoding baseline: %w", err)
+	}
+	baseline := make(map[string]experiments.PerfPoint, len(base.Perf))
+	for _, p := range base.Perf {
+		baseline[p.Name] = p
+	}
+	if len(baseline) == 0 {
+		return fmt.Errorf("%s carries no perf rows (regenerate it with the perf artifact)", baselinePath)
+	}
+	for _, p := range points {
+		b, ok := baseline[p.Name]
+		if !ok {
+			continue // new workload class: no baseline yet
+		}
+		if b.TxPerSec <= 0 {
+			return fmt.Errorf("%s: baseline tx/s %.1f is not positive", p.Name, b.TxPerSec)
+		}
+		if ratio := p.TxPerSec / b.TxPerSec; ratio < minRatio {
+			return fmt.Errorf("%s: %.0f tx/s is %.2fx the baseline %.0f tx/s (minimum %.2fx)",
+				p.Name, p.TxPerSec, ratio, b.TxPerSec, minRatio)
+		}
+	}
+	return nil
+}
+
 // schedResult summarizes a scheduling sweep's speedup range.
 func schedResult(out string, pts []experiments.SchedPoint) artifactResult {
 	var r spdRange
@@ -520,6 +629,7 @@ ARTIFACT is one of:
   stm       optimistic (Block-STM) baseline vs DAG-driven scheduling
   bse       pre-scheduled batch-execute engine vs DAG-driven scheduling
   ladder    every registered engine on the reference block
+  perf      simulator hot-loop throughput (host-side simulated-tx/s)
   all       everything above
 registered execution engines: `+strings.Join(engine.Names(), ", ")+`
 flags:
@@ -531,5 +641,10 @@ flags:
   -json FILE   write wall-clock/points/speedup summary as JSON, with
                run metadata (schema, go version, arch config)
   -validate F  strictly decode a -json report, check the schema
-               invariants, and exit`)
+               invariants, and exit
+  -perf-baseline F  after running, compare the perf artifact's tx/s
+               against the committed report F and fail on regression
+  -perf-min-ratio R minimum new/baseline tx/s the gate accepts (0.5)
+  -cpuprofile F  write a pprof CPU profile of the run
+  -memprofile F  write a pprof heap profile at exit`)
 }

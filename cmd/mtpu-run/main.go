@@ -7,6 +7,7 @@
 //
 //	mtpu-run [-txs N] [-dep R] [-pus N] [-seed N] [-mode LIST] [-v]
 //	         [-dump F] [-load F] [-stats] [-trace-out F] [-verify-dag]
+//	         [-cpuprofile F] [-memprofile F]
 //	mtpu-run -diff FILE [-mode LIST]
 //
 // The -diff form replays a saved differential-test spec (a corpus file
@@ -26,6 +27,7 @@ import (
 	"mtpu/internal/engine"
 	"mtpu/internal/metrics"
 	"mtpu/internal/obs"
+	"mtpu/internal/profiling"
 	"mtpu/internal/types"
 	"mtpu/internal/workload"
 )
@@ -63,6 +65,8 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write the per-mode execution timelines as Chrome trace-event JSON (Perfetto / chrome://tracing)")
 	verifyDAG := flag.Bool("verify-dag", false, "cross-check the consensus DAG against the conflicts a sequential replay observes")
 	diff := flag.String("diff", "", "replay a saved differential-test spec (JSON) across the selected engines and exit")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
 
 	modes, err := parseModes(*mode)
@@ -70,8 +74,24 @@ func main() {
 		log.Fatalf("mtpu-run: %v", err)
 	}
 
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		log.Fatalf("mtpu-run: %v", err)
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			log.Printf("mtpu-run: %v", err)
+		}
+	}()
+
 	if *diff != "" {
-		os.Exit(runDiff(*diff, modes))
+		stop := stopProfiles
+		stopProfiles = func() error { return nil }
+		code := runDiff(*diff, modes)
+		if err := stop(); err != nil {
+			log.Printf("mtpu-run: %v", err)
+		}
+		os.Exit(code)
 	}
 
 	gen := workload.NewGenerator(*seed, 4*(*txs)+64)

@@ -9,6 +9,7 @@ import (
 	"mtpu/internal/arch"
 	"mtpu/internal/arch/pipeline"
 	"mtpu/internal/arch/pu"
+	"mtpu/internal/evm"
 	"mtpu/internal/obs"
 	"mtpu/internal/types"
 )
@@ -21,6 +22,9 @@ const (
 	sbAccount
 )
 
+// sbKey identifies one buffer entry for accesses that carry no interned
+// TouchID (hand-built steps); interned accesses index the buffer by id
+// directly.
 type sbKey struct {
 	kind sbKind
 	addr types.Address
@@ -30,73 +34,154 @@ type sbKey struct {
 // StateBuffer is the shared recently-touched-state cache. Modified state
 // is written back after commit but "the state of dependent transactions
 // is kept for a period of time so that subsequent transactions are able
-// to access it directly".
+// to access it directly". Entries are identified by the dense TouchID
+// the trace-build symbol table assigned, so a touch is two array
+// indexes and an LRU splice — no hashing of the 53-byte (kind, addr,
+// slot) key — and all storage (the id-indexed directory plus a node
+// arena with a free list) is reused, so a warm buffer never allocates.
 type StateBuffer struct {
 	capacity int
-	entries  map[sbKey]*sbNode
-	head     *sbNode
-	tail     *sbNode
+	// dir maps interned TouchIDs (1-based) to their arena node, -1 when
+	// absent; localDir does the same for locally interned ids. Both grow
+	// to the largest id seen and are never shrunk.
+	dir      []int32
+	localDir []int32
+	nodes    []sbNode
+	// LRU list plus free list as arena indexes (-1 = none).
+	head, tail, free int32
+	count            int
 
 	Hits, Misses uint64
+
+	// fallback interns un-id'd keys into the same id space, starting at
+	// sbLocalIDBase so they never alias symbol-table ids.
+	fallback map[sbKey]uint32
 }
 
 type sbNode struct {
-	key        sbKey
-	prev, next *sbNode
+	id         uint32
+	prev, next int32
 }
+
+// sbLocalIDBase is the first locally interned TouchID.
+const sbLocalIDBase = 1 << 31
 
 // NewStateBuffer returns a buffer holding up to capacity entries.
 func NewStateBuffer(capacity int) *StateBuffer {
-	return &StateBuffer{capacity: capacity, entries: make(map[sbKey]*sbNode)}
+	return &StateBuffer{capacity: capacity, head: -1, tail: -1, free: -1}
 }
 
-// Touch records an access and reports whether it hit.
+// Touch records an access to the key with no interned id.
 func (b *StateBuffer) Touch(k sbKey) bool {
-	if n, ok := b.entries[k]; ok {
-		b.unlink(n)
-		b.pushFront(n)
+	if b.fallback == nil {
+		b.fallback = make(map[sbKey]uint32)
+	}
+	id, ok := b.fallback[k]
+	if !ok {
+		id = sbLocalIDBase + uint32(len(b.fallback))
+		b.fallback[k] = id
+	}
+	return b.TouchID(id)
+}
+
+// TouchID records an access to the interned key id and reports whether
+// it hit.
+func (b *StateBuffer) TouchID(id uint32) bool {
+	slot := b.dirSlot(id)
+	if i := *slot; i >= 0 {
+		b.unlink(i)
+		b.pushFront(i)
 		b.Hits++
 		return true
 	}
-	n := &sbNode{key: k}
-	b.entries[k] = n
-	b.pushFront(n)
-	if b.capacity > 0 && len(b.entries) > b.capacity {
+	i := b.alloc()
+	n := &b.nodes[i]
+	n.id = id
+	*slot = i
+	b.pushFront(i)
+	b.count++
+	if b.capacity > 0 && b.count > b.capacity {
 		victim := b.tail
 		b.unlink(victim)
-		delete(b.entries, victim.key)
+		*b.dirSlot(b.nodes[victim].id) = -1
+		b.nodes[victim].next = b.free
+		b.free = victim
+		b.count--
 	}
 	b.Misses++
 	return false
 }
 
-func (b *StateBuffer) pushFront(n *sbNode) {
-	n.prev = nil
-	n.next = b.head
-	if b.head != nil {
-		b.head.prev = n
+// dirSlot returns the directory cell for id, growing the directory on
+// first sight; locally interned ids (top bit set) live in their own
+// directory so both stay proportional to the number of distinct keys.
+func (b *StateBuffer) dirSlot(id uint32) *int32 {
+	dir, idx := &b.dir, int(id)
+	if id >= sbLocalIDBase {
+		dir, idx = &b.localDir, int(id-sbLocalIDBase)
 	}
-	b.head = n
-	if b.tail == nil {
-		b.tail = n
+	for len(*dir) <= idx {
+		*dir = append(*dir, -1)
+	}
+	return &(*dir)[idx]
+}
+
+// Reset empties the buffer while keeping the directory, node arena and
+// fallback intern table for reuse. Interned TouchIDs are per-plan-set,
+// so resident entries must be dropped before the buffer serves another
+// set; the fallback table is keyed by full (kind, addr, slot) keys and
+// persists safely.
+func (b *StateBuffer) Reset() {
+	for i := b.head; i >= 0; {
+		next := b.nodes[i].next
+		*b.dirSlot(b.nodes[i].id) = -1
+		b.nodes[i].next = b.free
+		b.free = i
+		i = next
+	}
+	b.head, b.tail = -1, -1
+	b.count = 0
+	b.Hits, b.Misses = 0, 0
+}
+
+func (b *StateBuffer) alloc() int32 {
+	if i := b.free; i >= 0 {
+		b.free = b.nodes[i].next
+		return i
+	}
+	b.nodes = append(b.nodes, sbNode{})
+	return int32(len(b.nodes) - 1)
+}
+
+func (b *StateBuffer) pushFront(i int32) {
+	n := &b.nodes[i]
+	n.prev = -1
+	n.next = b.head
+	if b.head >= 0 {
+		b.nodes[b.head].prev = i
+	}
+	b.head = i
+	if b.tail < 0 {
+		b.tail = i
 	}
 }
 
-func (b *StateBuffer) unlink(n *sbNode) {
-	if n.prev != nil {
-		n.prev.next = n.next
+func (b *StateBuffer) unlink(i int32) {
+	n := &b.nodes[i]
+	if n.prev >= 0 {
+		b.nodes[n.prev].next = n.next
 	} else {
 		b.head = n.next
 	}
-	if n.next != nil {
-		n.next.prev = n.prev
+	if n.next >= 0 {
+		b.nodes[n.next].prev = n.prev
 	} else {
 		b.tail = n.prev
 	}
 }
 
 // Len returns the number of resident entries.
-func (b *StateBuffer) Len() int { return len(b.entries) }
+func (b *StateBuffer) Len() int { return b.count }
 
 // Processor is the MTPU: the PUs plus the shared memory system.
 type Processor struct {
@@ -117,6 +202,16 @@ func New(cfg arch.Config) *Processor {
 	return m
 }
 
+// Reset returns the processor to its just-constructed state — every PU
+// and the State Buffer cleared, all arenas kept warm — so a pooled
+// processor replays a new block byte-identically to a fresh one.
+func (m *Processor) Reset() {
+	m.SBuf.Reset()
+	for _, p := range m.PUs {
+		p.Reset()
+	}
+}
+
 // SetSink attaches an instrumentation sink to every PU's pipeline
 // (nil disables). Call before dispatching work.
 func (m *Processor) SetSink(s obs.Sink) {
@@ -131,15 +226,29 @@ func (m *Processor) Mem() pipeline.MemModel {
 }
 
 // procMem implements pipeline.MemModel over the shared State Buffer.
+// Interned steps index the buffer by TouchID; steps without one fall
+// back to key hashing.
 type procMem struct{ m *Processor }
 
+// touch records the access behind s in the State Buffer.
+func (pm procMem) touch(s *evm.Step, kind sbKind) bool {
+	if s.TouchID != 0 {
+		return pm.m.SBuf.TouchID(s.TouchID)
+	}
+	k := sbKey{kind: kind, addr: s.TouchAddr}
+	if kind == sbStorage {
+		k.slot = s.TouchSlot
+	}
+	return pm.m.SBuf.Touch(k)
+}
+
 // StorageRead implements pipeline.MemModel.
-func (pm procMem) StorageRead(addr types.Address, slot types.Hash, prefetched bool) uint64 {
+func (pm procMem) StorageRead(s *evm.Step, prefetched bool) uint64 {
 	cfg := &pm.m.Cfg
 	if prefetched {
 		return cfg.DCacheLat
 	}
-	if cfg.ReuseContext && pm.m.SBuf.Touch(sbKey{sbStorage, addr, slot}) {
+	if cfg.ReuseContext && pm.touch(s, sbStorage) {
 		return cfg.EnvBufferLat
 	}
 	return cfg.MainMemLat
@@ -147,21 +256,21 @@ func (pm procMem) StorageRead(addr types.Address, slot types.Hash, prefetched bo
 
 // StorageWrite implements pipeline.MemModel. Writes land in the State
 // Buffer and are written back off the critical path.
-func (pm procMem) StorageWrite(addr types.Address, slot types.Hash) uint64 {
+func (pm procMem) StorageWrite(s *evm.Step) uint64 {
 	cfg := &pm.m.Cfg
 	if cfg.ReuseContext {
-		pm.m.SBuf.Touch(sbKey{sbStorage, addr, slot})
+		pm.touch(s, sbStorage)
 	}
 	return cfg.StorageWriteLat
 }
 
 // StateQuery implements pipeline.MemModel.
-func (pm procMem) StateQuery(addr types.Address, prefetched bool) uint64 {
+func (pm procMem) StateQuery(s *evm.Step, prefetched bool) uint64 {
 	cfg := &pm.m.Cfg
 	if prefetched {
 		return cfg.DCacheLat
 	}
-	if cfg.ReuseContext && pm.m.SBuf.Touch(sbKey{sbAccount, addr, types.Hash{}}) {
+	if cfg.ReuseContext && pm.touch(s, sbAccount) {
 		return cfg.EnvBufferLat
 	}
 	return cfg.MainMemLat

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"mtpu/internal/arch"
+	"mtpu/internal/evm"
 	"mtpu/internal/types"
 )
 
@@ -52,35 +53,61 @@ func TestStateBufferStats(t *testing.T) {
 	}
 }
 
+// storStep builds an un-interned storage-access step (TouchID 0, so the
+// memory model exercises its key-hashing fallback).
+func storStep(addr types.Address, slot types.Hash) *evm.Step {
+	return &evm.Step{Op: evm.SLOAD, TouchAddr: addr, TouchSlot: slot}
+}
+
 func TestProcessorMemLatencies(t *testing.T) {
 	cfg := arch.DefaultConfig()
 	m := New(cfg)
 	mem := m.Mem()
 
 	// Cold storage read → main memory; warm → env buffer.
-	if got := mem.StorageRead(acctA, slotX, false); got != cfg.MainMemLat {
+	if got := mem.StorageRead(storStep(acctA, slotX), false); got != cfg.MainMemLat {
 		t.Fatalf("cold read %d", got)
 	}
-	if got := mem.StorageRead(acctA, slotX, false); got != cfg.EnvBufferLat {
+	if got := mem.StorageRead(storStep(acctA, slotX), false); got != cfg.EnvBufferLat {
 		t.Fatalf("warm read %d", got)
 	}
 	// Prefetched → dcache regardless of buffer.
-	if got := mem.StorageRead(acctA, slotY, true); got != cfg.DCacheLat {
+	if got := mem.StorageRead(storStep(acctA, slotY), true); got != cfg.DCacheLat {
 		t.Fatalf("prefetched read %d", got)
 	}
 	// Writes cost the write latency and warm the buffer.
-	if got := mem.StorageWrite(acctA, slotY); got != cfg.StorageWriteLat {
+	if got := mem.StorageWrite(storStep(acctA, slotY)); got != cfg.StorageWriteLat {
 		t.Fatalf("write %d", got)
 	}
-	if got := mem.StorageRead(acctA, slotY, false); got != cfg.EnvBufferLat {
+	if got := mem.StorageRead(storStep(acctA, slotY), false); got != cfg.EnvBufferLat {
 		t.Fatalf("read after write %d", got)
 	}
 	// Account queries share the buffer.
-	if got := mem.StateQuery(acctA, false); got != cfg.MainMemLat {
+	q := &evm.Step{Op: evm.BALANCE, TouchAddr: acctA}
+	if got := mem.StateQuery(q, false); got != cfg.MainMemLat {
 		t.Fatalf("cold query %d", got)
 	}
-	if got := mem.StateQuery(acctA, false); got != cfg.EnvBufferLat {
+	if got := mem.StateQuery(q, false); got != cfg.EnvBufferLat {
 		t.Fatalf("warm query %d", got)
+	}
+}
+
+// TestInternedAndFallbackKeysCoexist drives one buffer with both
+// interned TouchIDs and fallback keys: the two id spaces must never
+// alias.
+func TestInternedAndFallbackKeysCoexist(t *testing.T) {
+	b := NewStateBuffer(8)
+	if b.TouchID(1) {
+		t.Fatal("cold interned hit")
+	}
+	if b.Touch(sbKey{sbStorage, acctA, slotX}) {
+		t.Fatal("cold fallback hit")
+	}
+	if !b.TouchID(1) || !b.Touch(sbKey{sbStorage, acctA, slotX}) {
+		t.Fatal("warm miss")
+	}
+	if b.Len() != 2 {
+		t.Fatalf("len %d, want 2 (id spaces aliased?)", b.Len())
 	}
 }
 
@@ -89,8 +116,8 @@ func TestReuseOffDisablesStateBuffer(t *testing.T) {
 	cfg.ReuseContext = false
 	m := New(cfg)
 	mem := m.Mem()
-	mem.StorageRead(acctA, slotX, false)
-	if got := mem.StorageRead(acctA, slotX, false); got != cfg.MainMemLat {
+	mem.StorageRead(storStep(acctA, slotX), false)
+	if got := mem.StorageRead(storStep(acctA, slotX), false); got != cfg.MainMemLat {
 		t.Fatalf("state buffer active with reuse off: %d", got)
 	}
 	if m.SBuf.Len() != 0 {
@@ -113,5 +140,101 @@ func TestProcessorBuildsPUs(t *testing.T) {
 	// Aggregated stats start zeroed.
 	if s := m.PipelineStats(); s.Instructions != 0 || s.Cycles != 0 {
 		t.Fatalf("fresh stats %+v", s)
+	}
+}
+
+func TestStateBufferResetDropsEntriesKeepsIntern(t *testing.T) {
+	b := NewStateBuffer(4)
+	k1 := sbKey{sbStorage, acctA, slotX}
+	b.Touch(k1)
+	b.TouchID(7)
+	b.TouchID(7)
+	id1 := b.fallback[k1]
+	if b.Len() != 2 || b.Hits != 1 {
+		t.Fatalf("len %d hits %d before reset", b.Len(), b.Hits)
+	}
+
+	b.Reset()
+	if b.Len() != 0 || b.Hits != 0 || b.Misses != 0 {
+		t.Fatalf("len %d hits %d misses %d after reset", b.Len(), b.Hits, b.Misses)
+	}
+	// Every reset key is cold again — TouchID 7 belonged to the previous
+	// plan set's symbol table and must not alias whatever set comes next.
+	if b.TouchID(7) {
+		t.Fatal("stale TouchID survived Reset")
+	}
+	if b.Touch(k1) {
+		t.Fatal("stale fallback entry resident after Reset")
+	}
+	// The fallback intern table is address-keyed, not symbol-table
+	// scoped, so the id assignment itself persists.
+	if got := b.fallback[k1]; got != id1 {
+		t.Fatalf("fallback id changed across Reset: %d then %d", id1, got)
+	}
+}
+
+func TestStateBufferResetMatchesFresh(t *testing.T) {
+	touch := func(b *StateBuffer) (hits, misses uint64) {
+		for round := 0; round < 3; round++ {
+			for id := uint32(1); id <= 24; id++ {
+				b.TouchID(id)
+			}
+		}
+		return b.Hits, b.Misses
+	}
+	fresh := NewStateBuffer(16)
+	fh, fm := touch(fresh)
+
+	reused := NewStateBuffer(16)
+	for id := uint32(1); id <= 40; id += 3 { // arbitrary prior block
+		reused.TouchID(id)
+	}
+	reused.Reset()
+	rh, rm := touch(reused)
+	if rh != fh || rm != fm {
+		t.Fatalf("reused buffer hits/misses %d/%d, fresh %d/%d", rh, rm, fh, fm)
+	}
+}
+
+// TestStateBufferWarmTouchZeroAllocs pins the arena layout property the
+// perf pass depends on: once a working set is resident, interned and
+// fallback touches are pure array/LRU operations.
+func TestStateBufferWarmTouchZeroAllocs(t *testing.T) {
+	b := NewStateBuffer(64)
+	keys := make([]sbKey, 16)
+	for i := range keys {
+		keys[i] = sbKey{sbStorage, acctA, types.BytesToHash([]byte{byte(i)})}
+		b.Touch(keys[i])
+	}
+	for id := uint32(1); id <= 16; id++ {
+		b.TouchID(id)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for _, k := range keys {
+			b.Touch(k)
+		}
+		for id := uint32(1); id <= 16; id++ {
+			b.TouchID(id)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm State Buffer touches allocated %.1f times per run", allocs)
+	}
+}
+
+func TestProcessorResetClearsPUs(t *testing.T) {
+	cfg := arch.DefaultConfig()
+	cfg.NumPUs = 2
+	m := New(cfg)
+	m.SBuf.TouchID(3)
+	m.PUs[0].LastContract = acctA
+	m.PUs[1].BusyUntil = 99
+
+	m.Reset()
+	if m.SBuf.Len() != 0 {
+		t.Fatalf("state buffer kept %d entries", m.SBuf.Len())
+	}
+	if m.PUs[0].LastContract != (types.Address{}) || m.PUs[1].BusyUntil != 0 {
+		t.Fatal("PU state survived Reset")
 	}
 }

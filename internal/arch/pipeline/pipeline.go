@@ -58,14 +58,16 @@ func SplitInto(in []AnnotatedStep, steps []evm.Step, ann []Annotation) ([]evm.St
 }
 
 // MemModel resolves data-access latencies. The MTPU supplies an
-// implementation backed by the shared State Buffer.
+// implementation backed by the shared State Buffer. Methods take the
+// whole step so implementations can use its interned TouchID (falling
+// back to TouchAddr/TouchSlot when it is 0).
 type MemModel interface {
-	// StorageRead returns the SLOAD latency for the slot.
-	StorageRead(addr types.Address, slot types.Hash, prefetched bool) uint64
+	// StorageRead returns the SLOAD latency for the slot the step touches.
+	StorageRead(s *evm.Step, prefetched bool) uint64
 	// StorageWrite returns the SSTORE latency.
-	StorageWrite(addr types.Address, slot types.Hash) uint64
+	StorageWrite(s *evm.Step) uint64
 	// StateQuery returns the BALANCE/EXTCODE* latency.
-	StateQuery(addr types.Address, prefetched bool) uint64
+	StateQuery(s *evm.Step, prefetched bool) uint64
 }
 
 // FlatMem is a MemModel with fixed latencies and no State Buffer,
@@ -75,7 +77,7 @@ type FlatMem struct {
 }
 
 // StorageRead implements MemModel.
-func (m FlatMem) StorageRead(_ types.Address, _ types.Hash, prefetched bool) uint64 {
+func (m FlatMem) StorageRead(_ *evm.Step, prefetched bool) uint64 {
 	if prefetched {
 		return m.Cfg.DCacheLat
 	}
@@ -83,12 +85,12 @@ func (m FlatMem) StorageRead(_ types.Address, _ types.Hash, prefetched bool) uin
 }
 
 // StorageWrite implements MemModel.
-func (m FlatMem) StorageWrite(types.Address, types.Hash) uint64 {
+func (m FlatMem) StorageWrite(*evm.Step) uint64 {
 	return m.Cfg.StorageWriteLat
 }
 
 // StateQuery implements MemModel.
-func (m FlatMem) StateQuery(_ types.Address, prefetched bool) uint64 {
+func (m FlatMem) StateQuery(_ *evm.Step, prefetched bool) uint64 {
 	if prefetched {
 		return m.Cfg.DCacheLat
 	}
@@ -208,106 +210,418 @@ type line struct {
 	insts []member
 	// count is the original instruction count (including folded ones).
 	count int
+	// lastPC is the pc of the last member — the one value the hot hit
+	// path asserts against the trace, kept inline so the check does not
+	// chase the insts pointer.
+	lastPC uint64
+	// flatWorst is the precomputed worst member stall under a stateless
+	// flat memory model with no prefetching, baked at fill time from the
+	// members' latency classes and the fill config; lineDynStall marks
+	// lines whose stall depends on per-step data (SHA3/copy footprints)
+	// and must be computed per execution.
+	flatWorst uint32
 }
 
-// clone copies a scratch-assembled line into a fresh heap value the
-// cache can own past the next fill.
-func (ln *line) clone() *line {
-	c := &line{tag: ln.tag, count: ln.count}
-	c.insts = append(c.insts, ln.insts...)
-	return c
+// lineDynStall marks a line whose worst stall cannot be precomputed.
+const lineDynStall = ^uint32(0)
+
+// copyFrom overwrites ln with src, reusing ln's member capacity so a
+// recycled cache node absorbs a new line without allocating.
+func (ln *line) copyFrom(src *line) {
+	ln.tag = src.tag
+	ln.count = src.count
+	ln.lastPC = src.lastPC
+	ln.flatWorst = src.flatWorst
+	ln.insts = append(ln.insts[:0], src.insts...)
 }
 
-// dbCache is a fully-associative LRU cache of decoded lines keyed by the
-// address of their first instruction.
+// codeDir maps packed (code id, pc) keys to int32 payloads with two
+// array indexes instead of a hash. Rows are allocated per code id and
+// grown to the highest pc seen (bytecode offsets, so rows stay at most
+// code-sized); dense symbol-table ids index global, pipeline-local ids
+// (top bit set) index local. Cells carry a generation stamp in the high
+// half so the whole directory empties with one counter bump (clear) —
+// the clean-slate reuse a pooled pipeline needs. gen starts at 1
+// (constructors must set it) and rows are allocated zeroed, so a
+// never-written cell can never read as present.
+type codeDir struct {
+	global, local [][]uint64
+	gen           uint32
+}
+
+// get returns the payload for key, -1 when absent. No allocation.
+func (d *codeDir) get(key uint64) int32 {
+	id := uint32(key >> 32)
+	pc := int(uint32(key))
+	rows := d.global
+	idx := int(id)
+	if id >= localIDBase {
+		rows = d.local
+		idx = int(id - localIDBase)
+	}
+	if idx >= len(rows) {
+		return -1
+	}
+	row := rows[idx]
+	if pc >= len(row) {
+		return -1
+	}
+	cell := row[pc]
+	if uint32(cell>>32) != d.gen {
+		return -1
+	}
+	return int32(uint32(cell))
+}
+
+// set stores the payload for key (use -1 to delete), growing the
+// directory as needed.
+func (d *codeDir) set(key uint64, v int32) {
+	id := uint32(key >> 32)
+	pc := int(uint32(key))
+	tab := &d.global
+	idx := int(id)
+	if id >= localIDBase {
+		tab = &d.local
+		idx = int(id - localIDBase)
+	}
+	cell := uint64(d.gen)<<32 | uint64(uint32(v))
+	// Steady state: the row already spans this pc, so the store is two
+	// bounds checks with no growth bookkeeping.
+	if idx < len(*tab) {
+		if row := (*tab)[idx]; pc < len(row) {
+			row[pc] = cell
+			return
+		}
+	}
+	for len(*tab) <= idx {
+		*tab = append(*tab, nil)
+	}
+	row := (*tab)[idx]
+	if pc >= len(row) {
+		need := pc + 1
+		if need < 2*len(row) {
+			need = 2 * len(row)
+		}
+		grown := make([]uint64, need)
+		copy(grown, row)
+		(*tab)[idx] = grown
+		row = grown
+	}
+	row[pc] = cell
+}
+
+// clear empties the directory in O(1) by advancing the generation. The
+// (in practice unreachable) wrap-around zeroes rows for real so ancient
+// stamps can never alias.
+func (d *codeDir) clear() {
+	d.gen++
+	if d.gen == 0 {
+		for _, rows := range [2][][]uint64{d.global, d.local} {
+			for _, row := range rows {
+				for i := range row {
+					row[i] = 0
+				}
+			}
+		}
+		d.gen = 1
+	}
+}
+
+// genDir is a generation-stamped membership set over the same key space:
+// a cell is a member iff it holds the current generation, so emptying
+// the set is one counter bump instead of a walk.
+type genDir struct {
+	global, local [][]uint32
+	gen           uint32
+	count         int
+}
+
+func (d *genDir) add(key uint64) {
+	id := uint32(key >> 32)
+	pc := int(uint32(key))
+	tab := &d.global
+	idx := int(id)
+	if id >= localIDBase {
+		tab = &d.local
+		idx = int(id - localIDBase)
+	}
+	// Fast path: the cell exists — stamp it without any growth checks
+	// (repeat adds of warm keys are the overwhelmingly common case).
+	if idx < len(*tab) {
+		if row := (*tab)[idx]; pc < len(row) {
+			if row[pc] != d.gen {
+				row[pc] = d.gen
+				d.count++
+			}
+			return
+		}
+	}
+	for len(*tab) <= idx {
+		*tab = append(*tab, nil)
+	}
+	row := (*tab)[idx]
+	if pc >= len(row) {
+		need := pc + 1
+		if need < 2*len(row) {
+			need = 2 * len(row)
+		}
+		grown := make([]uint32, need)
+		copy(grown, row)
+		(*tab)[idx] = grown
+		row = grown
+	}
+	if row[pc] != d.gen {
+		row[pc] = d.gen
+		d.count++
+	}
+}
+
+// reset empties the set. On the (astronomically rare) generation wrap
+// every cell is zeroed so stale stamps can never read as members.
+func (d *genDir) reset() {
+	d.count = 0
+	d.gen++
+	if d.gen == 0 {
+		for _, row := range d.global {
+			clear(row)
+		}
+		for _, row := range d.local {
+			clear(row)
+		}
+		d.gen = 1
+	}
+}
+
+// dbCache is a fully-associative LRU cache of decoded lines. Lines are
+// keyed by a packed word — interned CodeID in the high half, entry pc
+// in the low half — resolved through a codeDir, so a lookup is two
+// array indexes with no hashing at all. Nodes live in one arena slice
+// linked by indexes; evicted and flushed nodes go to a free list and
+// are recycled with their member capacity, so a warm cache inserts
+// without allocating.
 type dbCache struct {
 	capacity int // 0 = unbounded
-	lines    map[lineTag]*cacheNode
-	// LRU doubly-linked list.
-	head, tail *cacheNode
+	dir      codeDir
+	count    int
+	nodes    []cacheNode
+	// LRU doubly-linked list plus free list, as arena indexes (-1 = none).
+	head, tail, free int32
+	// lines[i] is node i's owned line copy (unused while the node
+	// aliases a shared memo line); kept out of cacheNode so the hot LRU
+	// state stays dense.
+	lines []line
 }
 
+// cacheNode is the LRU hot state of one cache entry — 32 bytes, so
+// lookups, touches and hint chases stride a dense array instead of
+// dragging each node's line payload through the cache. The node-owned
+// line copies live in the dbCache's parallel lines array (cold side).
 type cacheNode struct {
-	key        lineTag
-	ln         *line
-	prev, next *cacheNode
+	key uint64
+	// shared, when non-nil, is the node's line aliased from the shared
+	// fill memo (stable and read-only for the pipeline's life) — the
+	// common case under FillMemo, inserted with no copy. Otherwise
+	// lines[i] is the node-owned copy. insert always sets shared, so a
+	// live node is never read with a stale alias.
+	shared     *line
+	prev, next int32
+	// succ is a successor hint: the node that was looked up right after
+	// this one last time. Replays are repetitive, so the hint usually
+	// short-circuits the next map probe; it is validated against the
+	// computed key (dead nodes zero their key), never trusted.
+	succ int32
 }
 
 func newDBCache(capacity int) *dbCache {
-	return &dbCache{capacity: capacity, lines: make(map[lineTag]*cacheNode)}
+	c := &dbCache{
+		capacity: capacity,
+		head:     -1, tail: -1, free: -1,
+	}
+	c.dir.gen = 1
+	return c
 }
 
-func (c *dbCache) lookup(tag lineTag) *line {
-	n := c.lines[tag]
-	if n == nil {
-		return nil
+// resolve returns node i's line: the memo alias when shared, else the
+// node-owned copy.
+func (c *dbCache) resolve(i int32) *line {
+	if ln := c.nodes[i].shared; ln != nil {
+		return ln
 	}
-	c.touch(n)
-	return n.ln
+	return &c.lines[i]
 }
 
-// insert adds the line, reporting whether an LRU victim was evicted.
-func (c *dbCache) insert(ln *line) (evicted bool) {
-	if n, ok := c.lines[ln.tag]; ok {
-		n.ln = ln
-		c.touch(n)
-		return false
+// insert stores a line in the cache, returning the node that holds it
+// and whether an LRU victim was evicted. shared marks ln as stable for
+// the pipeline's life (a FillMemo segment), letting the node alias it
+// instead of copying; scratch and overlay lines are copied.
+func (c *dbCache) insert(key uint64, ln *line, shared bool) (idx int32, evicted bool) {
+	if i := c.dir.get(key); i >= 0 {
+		n := &c.nodes[i]
+		if shared {
+			n.shared = ln
+		} else {
+			n.shared = nil
+			c.lines[i].copyFrom(ln)
+		}
+		c.touch(i)
+		return i, false
 	}
-	n := &cacheNode{key: ln.tag, ln: ln}
-	c.lines[ln.tag] = n
-	c.pushFront(n)
-	if c.capacity > 0 && len(c.lines) > c.capacity {
+	i := c.alloc()
+	n := &c.nodes[i]
+	n.key = key
+	if shared {
+		n.shared = ln
+	} else {
+		n.shared = nil
+		c.lines[i].copyFrom(ln)
+	}
+	c.dir.set(key, i)
+	c.pushFront(i)
+	c.count++
+	if c.capacity > 0 && c.count > c.capacity {
 		c.evict()
-		return true
+		return i, true
 	}
-	return false
+	return i, false
 }
 
-func (c *dbCache) touch(n *cacheNode) {
-	c.unlink(n)
-	c.pushFront(n)
+// alloc returns a node index, recycling the free list before growing
+// the arena.
+func (c *dbCache) alloc() int32 {
+	if i := c.free; i >= 0 {
+		c.free = c.nodes[i].next
+		return i
+	}
+	c.nodes = append(c.nodes, cacheNode{})
+	c.lines = append(c.lines, line{})
+	return int32(len(c.nodes) - 1)
 }
 
-func (c *dbCache) pushFront(n *cacheNode) {
-	n.prev = nil
+func (c *dbCache) touch(i int32) {
+	if c.head == i {
+		return
+	}
+	c.unlink(i)
+	c.pushFront(i)
+}
+
+func (c *dbCache) pushFront(i int32) {
+	n := &c.nodes[i]
+	n.prev = -1
 	n.next = c.head
-	if c.head != nil {
-		c.head.prev = n
+	if c.head >= 0 {
+		c.nodes[c.head].prev = i
 	}
-	c.head = n
-	if c.tail == nil {
-		c.tail = n
+	c.head = i
+	if c.tail < 0 {
+		c.tail = i
 	}
 }
 
-func (c *dbCache) unlink(n *cacheNode) {
-	if n.prev != nil {
-		n.prev.next = n.next
+func (c *dbCache) unlink(i int32) {
+	n := &c.nodes[i]
+	if n.prev >= 0 {
+		c.nodes[n.prev].next = n.next
 	} else {
 		c.head = n.next
 	}
-	if n.next != nil {
-		n.next.prev = n.prev
+	if n.next >= 0 {
+		c.nodes[n.next].prev = n.prev
 	} else {
 		c.tail = n.prev
 	}
 }
 
 func (c *dbCache) evict() {
-	victim := c.tail
-	if victim == nil {
+	i := c.tail
+	if i < 0 {
 		return
 	}
-	c.unlink(victim)
-	delete(c.lines, victim.key)
+	c.unlink(i)
+	c.dir.set(c.nodes[i].key, -1)
+	// Zero the key so stale successor hints can never validate against a
+	// free node (live keys always have a nonzero code id in the high half).
+	c.nodes[i].key = 0
+	c.nodes[i].next = c.free
+	c.free = i
+	c.count--
 }
 
+// reset empties the cache, keeping the directory rows and the node arena
+// (with their member capacity) for reuse — a context-switch Flush in
+// the no-reuse modes walks the resident list and allocates nothing.
 func (c *dbCache) reset() {
-	c.lines = make(map[lineTag]*cacheNode)
-	c.head, c.tail = nil, nil
+	for i := c.head; i >= 0; {
+		next := c.nodes[i].next
+		c.nodes[i].key = 0
+		c.nodes[i].next = c.free
+		c.free = i
+		i = next
+	}
+	c.dir.clear()
+	c.head, c.tail = -1, -1
+	c.count = 0
 }
 
-func (c *dbCache) size() int { return len(c.lines) }
+func (c *dbCache) size() int { return c.count }
+
+// Why fill is memoizable: the line the fill unit builds is a pure
+// function of the step window it consumes, the ConstOperands annotations
+// over that window, and — when the line ends for a reason other than a
+// control-flow opcode or the end of the trace — the two steps just past
+// the window (the break candidate and its fold-lookahead). A segment
+// records the fill result together with everything that decision depended
+// on; reuse verifies all of it against the current trace and falls back
+// to a real fill on any mismatch, so memoized and direct replays are
+// indistinguishable. Keys share the packed (code id, pc) word with the
+// DB cache; code is immutable and a pipeline never outlives one block's
+// id space, so a key names one bytecode location for the pipeline's
+// whole life and the memo is never invalidated.
+type segment struct {
+	// ln is the assembled line, ready for dbCache.insert to copy —
+	// callers must treat it as read-only. hasLine mirrors fill returning
+	// nil (a single uncacheable instruction).
+	ln      line
+	hasLine bool
+	// consumed is how many trace steps the window covers.
+	consumed int
+	// folded/forwarded are the FoldedPairs / ForwardedRAWs stat deltas
+	// one execution of this fill contributes.
+	folded    uint64
+	forwarded uint64
+	// constMask bit j holds ConstOperands of window step j.
+	constMask uint32
+	term      uint8
+	// Context past the window, checked only for termNext: the pc of the
+	// break candidate and of its fold-lookahead, whether each exists and
+	// shares the window's call frame, and their ConstOperands (a fold at
+	// the candidate reads the lookahead step's annotation too).
+	nextPC    [2]uint64
+	nextOK    [2]bool
+	nextSame  [2]bool
+	nextConst [2]bool
+}
+
+const (
+	// termEnder: the line ended at a control-flow opcode; the decision
+	// looked at nothing past the window.
+	termEnder uint8 = iota
+	// termEnd: the trace ended exactly at the window's edge.
+	termEnd
+	// termNext: the break depended on the steps just past the window
+	// (unit conflict, second RAW, or call-frame change).
+	termNext
+)
+
+// constAt mirrors annAt for the one annotation fill reads.
+func constAt(ann []Annotation, i int) bool {
+	return ann != nil && i < len(ann) && ann[i].ConstOperands
+}
+
+// segMaxConsumed bounds memoized windows so constMask's 32 bits always
+// cover them; fill lines hold at most one member per functional unit
+// (each covering ≤ 2 steps), so real windows never get near this.
+const segMaxConsumed = 32
 
 // Pipeline is the per-PU instruction timing model. It retains DB-cache
 // contents across Execute calls; Flush models a context switch without
@@ -325,23 +639,107 @@ type Pipeline struct {
 
 	// scratch is the fill unit's assembly buffer, reused across fills so
 	// a miss that ends up uncacheable (side-table entries re-streamed on
-	// every replay) costs no allocation; insert clones it into the cache.
+	// every replay) costs no allocation; insert copies it into the cache.
 	scratch line
 
-	// sideTable records addresses of single-instruction fills. They are
-	// never cached ("fetching a single instruction from the DB cache is
-	// considered to be inefficient", §3.4.1) but the hardware keeps their
-	// addresses so the hotspot optimizer sees complete execution paths.
-	sideTable map[lineTag]bool
+	// sideTable records addresses of single-instruction fills, keyed by
+	// the same packed word as cache lines. They are never cached
+	// ("fetching a single instruction from the DB cache is considered to
+	// be inefficient", §3.4.1) but the hardware keeps their addresses so
+	// the hotspot optimizer sees complete execution paths.
+	sideTable genDir
+
+	// localIDs interns code addresses of steps whose CodeID is 0
+	// (hand-built traces). Local ids start at localIDBase so they can
+	// never alias symbol-table ids within one pipeline.
+	localIDs      map[types.Address]uint32
+	lastLocalAddr types.Address
+	lastLocalID   uint32
+
+	// pend batches DB-cache counters for the sink between commit
+	// boundaries; pendContract attributes them (events of different
+	// contracts never share a batch).
+	pend         obs.DBDelta
+	pendContract types.Address
+
+	// segIdx/segArena memoize fill results by packed line key. This is
+	// software memoization of a pure function, not modeled hardware
+	// state, so Flush leaves it alone — the no-reuse modes re-fill their
+	// caches every transaction without re-deriving the same segmentation.
+	segIdx   codeDir
+	segArena []segment
+
+	// memo is an optional shared segmentation consulted before the
+	// private overlay (SetFillMemo).
+	memo *FillMemo
 }
+
+// localIDBase is the first pipeline-local code id; interned symbol
+// tables stay far below it.
+const localIDBase = 1 << 31
 
 // New returns a pipeline for the configuration.
 func New(cfg arch.Config) *Pipeline {
-	return &Pipeline{
+	p := &Pipeline{
 		cfg:       cfg,
 		cache:     newDBCache(cfg.DBCacheEntries),
-		sideTable: make(map[lineTag]bool),
+		sideTable: genDir{gen: 1},
 	}
+	p.segIdx.gen = 1
+	return p
+}
+
+// Config returns the configuration the pipeline was built with.
+func (p *Pipeline) Config() arch.Config { return p.cfg }
+
+// Reset returns the pipeline to its just-constructed state while
+// keeping every arena allocation warm (DB-cache nodes and lines, their
+// member capacity, directory rows, overlay segments), so a pooled
+// pipeline replays a new plan set with near-zero allocation. Unlike
+// Flush, Reset also empties the private fill overlay — interned code
+// ids are per-plan-set, so stale segments from another set could alias.
+// Stats are cleared; replays after Reset are byte-identical to a fresh
+// pipeline's.
+func (p *Pipeline) Reset() {
+	p.cache.reset()
+	p.sideTable.reset()
+	p.segIdx.clear()
+	p.segArena = p.segArena[:0]
+	p.memo = nil
+	p.stats = Stats{}
+	p.pend.Reset()
+	p.pendContract = types.Address{}
+	// Local ids persist deliberately: they are keyed by address, so
+	// reuse across plan sets cannot alias.
+}
+
+// lineKey packs the identity of the line starting at s into one word:
+// dense code id high, entry pc low (bytecode offsets fit 32 bits).
+func (p *Pipeline) lineKey(s *evm.Step) uint64 {
+	id := s.CodeID
+	if id == 0 {
+		id = p.localCodeID(s.CodeAddr)
+	}
+	return uint64(id)<<32 | uint64(uint32(s.PC))
+}
+
+// localCodeID interns a code address locally for steps built without a
+// symbol table, memoizing the previous lookup (consecutive steps almost
+// always share a contract).
+func (p *Pipeline) localCodeID(a types.Address) uint32 {
+	if p.lastLocalID != 0 && a == p.lastLocalAddr {
+		return p.lastLocalID
+	}
+	if p.localIDs == nil {
+		p.localIDs = make(map[types.Address]uint32)
+	}
+	id, ok := p.localIDs[a]
+	if !ok {
+		id = localIDBase + uint32(len(p.localIDs))
+		p.localIDs[a] = id
+	}
+	p.lastLocalAddr, p.lastLocalID = a, id
+	return id
 }
 
 // SetSink attaches an instrumentation sink (nil disables) emitting
@@ -351,15 +749,17 @@ func (p *Pipeline) SetSink(s obs.Sink, puID int) {
 	p.puID = puID
 }
 
-// Flush clears the DB cache and side table (used when ReuseContext is off).
+// Flush clears the DB cache and side table (used when ReuseContext is
+// off). Both keep their backing storage, so the per-transaction flush
+// of the no-reuse modes allocates nothing.
 func (p *Pipeline) Flush() {
 	p.cache.reset()
-	p.sideTable = make(map[lineTag]bool)
+	p.sideTable.reset()
 }
 
 // SideTableLen reports how many single-instruction addresses the side
 // table holds.
-func (p *Pipeline) SideTableLen() int { return len(p.sideTable) }
+func (p *Pipeline) SideTableLen() int { return p.sideTable.count }
 
 // Stats returns the accumulated counters.
 func (p *Pipeline) Stats() Stats { return p.stats }
@@ -377,26 +777,16 @@ func (p *Pipeline) CacheLines() int { return p.cache.size() }
 // fills the synthesized instruction directly into the cache line"). The
 // R/W sequence numbers let the synthesized instruction address its
 // operands directly, so the stack op vanishes from the issue stream.
-var foldableConsumers = map[evm.Opcode]bool{
-	evm.EQ:     true,
-	evm.LT:     true,
-	evm.GT:     true,
-	evm.SLT:    true,
-	evm.SGT:    true,
-	evm.ISZERO: true,
-	evm.NOT:    true,
-	evm.ADD:    true,
-	evm.SUB:    true,
-	evm.MUL:    true,
-	evm.DIV:    true,
-	evm.AND:    true,
-	evm.OR:     true,
-	evm.XOR:    true,
-	evm.SHR:    true,
-	evm.SHL:    true,
-	evm.MSTORE: true,
-	evm.SLOAD:  true,
-}
+var foldableConsumers = func() (t [256]bool) {
+	for _, op := range []evm.Opcode{
+		evm.EQ, evm.LT, evm.GT, evm.SLT, evm.SGT, evm.ISZERO, evm.NOT,
+		evm.ADD, evm.SUB, evm.MUL, evm.DIV, evm.AND, evm.OR, evm.XOR,
+		evm.SHR, evm.SHL, evm.MSTORE, evm.SLOAD,
+	} {
+		t[op] = true
+	}
+	return
+}()
 
 // foldKind classifies the folded stack producer.
 type foldKind int
@@ -454,89 +844,818 @@ func (p *Pipeline) Execute(steps []evm.Step, ann []Annotation, mem MemModel) uin
 		return cycles
 	}
 
+	// Streaming counters accumulate in locals and land in p.stats once
+	// at the end, so the loop body touches no heap-resident counters.
+	var instructions, issueCycles, lineHits, lineMisses, hitInstructions, gasCharged uint64
+	// last is the previous line's cache node; its successor hint usually
+	// resolves the next lookup without probing the map.
+	last := int32(-1)
+
 	for i := 0; i < len(steps); {
-		if ln := p.cache.lookup(lineTag{steps[i].CodeAddr, steps[i].PC}); ln != nil && p.lineMatches(ln, steps, i) {
-			// Hit: the whole line issues in one cycle; stalls overlap, so
-			// the line costs 1 + the slowest member.
-			if p.sink != nil {
-				p.sink.DBLookup(p.puID, steps[i].CodeAddr, true, ln.count)
+		// Key computation is inlined here (lineKey is not inlinable —
+		// the local-id fallback calls into map code): interned steps take
+		// the two-instruction fast path.
+		var key uint64
+		if s0 := &steps[i]; s0.CodeID != 0 {
+			key = uint64(s0.CodeID)<<32 | uint64(uint32(s0.PC))
+		} else {
+			key = p.lineKey(s0)
+		}
+		ni := int32(-1)
+		if last >= 0 {
+			if h := p.cache.nodes[last].succ; h >= 0 && p.cache.nodes[h].key == key {
+				ni = h
 			}
-			var worst uint64
-			for j := 0; j < ln.count; j++ {
-				s := &steps[i+j]
-				if l := p.extraLat(s, annAt(ann, i+j), mem); l > worst {
-					worst = l
+		}
+		if ni < 0 {
+			ni = p.cache.dir.get(key)
+		}
+		if ni >= 0 {
+			p.cache.touch(ni)
+			ln := p.cache.resolve(ni)
+			if i+ln.count <= len(steps) {
+				// Hit: the whole line issues in one cycle; stalls overlap,
+				// so the line costs 1 + the slowest member. Code is
+				// immutable and lines never span branches, so a tag match
+				// implies a content match; the pc walk enforces that
+				// invariant.
+				if p.sink != nil {
+					p.obsLookup(steps[i].CodeAddr, true, ln.count)
 				}
-				p.stats.GasCharged += s.GasCost
+				// One fused walk verifies the pc invariant and accumulates
+				// gas and the slowest member stall.
+				var worst uint64
+				k := i
+				for mi := range ln.insts {
+					m := &ln.insts[mi]
+					if m.hasFolded {
+						s := &steps[k]
+						if s.PC != m.foldedPC {
+							panic(fmt.Sprintf("pipeline: line %s:0x%x diverged at folded pc 0x%x vs trace 0x%x",
+								ln.tag.addr, ln.tag.pc, m.foldedPC, s.PC))
+						}
+						gasCharged += s.GasCost
+						if c := latClass[s.Op]; c != latNone {
+							var a Annotation
+							if ann != nil && k < len(ann) {
+								a = ann[k]
+							}
+							if l := p.classLat(c, s, a, mem); l > worst {
+								worst = l
+							}
+						}
+						k++
+					}
+					s := &steps[k]
+					if s.PC != m.pc {
+						panic(fmt.Sprintf("pipeline: line %s:0x%x diverged at pc 0x%x vs trace 0x%x",
+							ln.tag.addr, ln.tag.pc, m.pc, s.PC))
+					}
+					gasCharged += s.GasCost
+					if c := latClass[s.Op]; c != latNone {
+						var a Annotation
+						if ann != nil && k < len(ann) {
+							a = ann[k]
+						}
+						if l := p.classLat(c, s, a, mem); l > worst {
+							worst = l
+						}
+					}
+					k++
+				}
+				cycles += 1 + worst
+				issueCycles++
+				lineHits++
+				hitInstructions += uint64(ln.count)
+				instructions += uint64(ln.count)
+				if last >= 0 {
+					p.cache.nodes[last].succ = ni
+				}
+				last = ni
+				i += ln.count
+				continue
 			}
-			cycles += 1 + worst
-			p.stats.IssueCycles++
-			p.stats.LineHits++
-			p.stats.HitInstructions += uint64(ln.count)
-			p.stats.Instructions += uint64(ln.count)
-			i += ln.count
-			continue
 		}
 
 		// Miss: instructions stream through the scalar path while the
-		// fill unit builds a line alongside.
-		p.stats.LineMisses++
-		ln, consumed := p.fill(steps, ann, i)
+		// fill unit builds a line alongside (memoized — the segmentation
+		// is a pure function of the trace window).
+		lineMisses++
+		ln, consumed, stable := p.fillCached(steps, ann, i, key)
 		if p.sink != nil {
-			p.sink.DBLookup(p.puID, steps[i].CodeAddr, false, consumed)
+			p.obsLookup(steps[i].CodeAddr, false, consumed)
 		}
-		for j := 0; j < consumed; j++ {
-			s := &steps[i+j]
-			cycles += 1 + p.extraLat(s, annAt(ann, i+j), mem)
-			p.stats.Instructions++
-			p.stats.IssueCycles++
-			p.stats.GasCharged += s.GasCost
+		for j := i; j < i+consumed; j++ {
+			s := &steps[j]
+			gasCharged += s.GasCost
+			var lat uint64
+			if c := latClass[s.Op]; c != latNone {
+				var a Annotation
+				if ann != nil && j < len(ann) {
+					a = ann[j]
+				}
+				lat = p.classLat(c, s, a, mem)
+			}
+			cycles += 1 + lat
 		}
+		instructions += uint64(consumed)
+		issueCycles += uint64(consumed)
 		if ln != nil && ln.count >= max(2, p.cfg.MinLineInstructions) {
-			evicted := p.cache.insert(ln.clone())
+			idx, evicted := p.cache.insert(key, ln, stable)
 			p.stats.LinesCached++
 			if evicted {
 				p.stats.LineEvictions++
 			}
 			if p.sink != nil {
-				p.sink.DBFill(p.puID, ln.count)
+				p.pend.AddFill(ln.count)
 				if evicted {
-					p.sink.DBEvict(p.puID)
+					p.pend.Evictions++
 				}
 			}
-		} else if consumed == 1 {
-			// §3.4.1: record the lone instruction's address only.
-			p.sideTable[lineTag{steps[i].CodeAddr, steps[i].PC}] = true
+			if last >= 0 {
+				p.cache.nodes[last].succ = idx
+			}
+			last = idx
+		} else {
+			if consumed == 1 {
+				// §3.4.1: record the lone instruction's address only.
+				p.sideTable.add(key)
+			}
+			last = -1
 		}
 		i += consumed
 	}
 	p.stats.Cycles += cycles
+	p.stats.Instructions += instructions
+	p.stats.IssueCycles += issueCycles
+	p.stats.LineHits += lineHits
+	p.stats.LineMisses += lineMisses
+	p.stats.HitInstructions += hitInstructions
+	p.stats.GasCharged += gasCharged
+	if p.sink != nil {
+		p.flushObs()
+	}
 	return cycles
 }
 
-// lineMatches verifies that the cached line corresponds to the upcoming
-// trace. Code is immutable and lines never span branches, so a tag match
-// implies a content match; this check enforces that invariant.
-func (p *Pipeline) lineMatches(ln *line, steps []evm.Step, i int) bool {
-	if i+ln.count > len(steps) {
+// HotStep is the compact per-step image of the replay hit path: the
+// step's packed line key, its gas cost, and its latency class — 16
+// bytes against evm.Step's cache-line-and-a-half, so the line-head load
+// and the member walk of ExecuteHot stream an order of magnitude less
+// memory. Built once per plan (HotSteps); instructions with a stall
+// class still load the full step for their latency inputs.
+type HotStep struct {
+	Key   uint64
+	Gas   uint32
+	Class uint8
+	_     byte
+	// Depth is the call depth (≤ 1024, so uint16 is exact); with the
+	// code id in Key's high half it answers sameFrame without the step.
+	Depth uint16
+}
+
+// HotSteps builds the compact hit-path image of an interned step
+// stream. It returns nil — callers fall back to the full-step path —
+// when any step lacks an interned code id or has a pc, gas cost, or
+// depth outside the packed ranges (never the case for real traces).
+func HotSteps(steps []evm.Step) []HotStep {
+	hot := make([]HotStep, len(steps))
+	for i := range steps {
+		s := &steps[i]
+		if s.CodeID == 0 || s.PC > 0xffffffff || s.GasCost > 0xffffffff ||
+			s.Depth < 0 || s.Depth > 0xffff {
+			return nil
+		}
+		hot[i] = HotStep{
+			Key:   uint64(s.CodeID)<<32 | uint64(uint32(s.PC)),
+			Gas:   uint32(s.GasCost),
+			Class: latClass[s.Op],
+			Depth: uint16(s.Depth),
+		}
+	}
+	return hot
+}
+
+// sameFrameHot is sameFrame on the compact image: equal depth and equal
+// code id (HotSteps only builds fully interned images, where equal ids
+// coincide with equal addresses).
+func sameFrameHot(a, b *HotStep) bool {
+	return a.Depth == b.Depth && a.Key>>32 == b.Key>>32
+}
+
+// HotPlan is the per-plan precomputation behind ExecuteHot: the compact
+// HotStep image plus gas prefix sums and a next-stall index, so the hit
+// and miss paths charge any window's gas with one subtraction and walk
+// only the instructions that can stall.
+type HotPlan struct {
+	Steps []HotStep
+	// GasPrefix[i] is the total gas of Steps[:i] (len(Steps)+1 entries).
+	GasPrefix []uint64
+	// NextStall[i] is the first index >= i whose latency class is not
+	// latNone (len(Steps)+1 entries; NextStall[len] == len), so stall
+	// walks advance stall-to-stall in ascending order — preserving the
+	// MemModel call order of the full walk.
+	NextStall []int32
+	// Words[i] is the step's memory footprint in 32-byte words — the
+	// SHA3/copy stall multiplier — so flat stall walks never load the
+	// 128-byte step.
+	Words []uint32
+	// NoPrefetch records that no annotation marks a prefetched access,
+	// making every flat-memory stall a pure function of the latency
+	// class (plus SHA3/copy footprints) — the precondition for serving
+	// hits from line.flatWorst.
+	NoPrefetch bool
+}
+
+// NewHotPlan precomputes the hot-path image of an interned step stream,
+// or nil — callers fall back to Execute — when HotSteps rejects it.
+func NewHotPlan(steps []evm.Step, ann []Annotation) *HotPlan {
+	hot := HotSteps(steps)
+	if hot == nil {
+		return nil
+	}
+	n := len(hot)
+	hp := &HotPlan{
+		Steps:      hot,
+		GasPrefix:  make([]uint64, n+1),
+		NextStall:  make([]int32, n+1),
+		Words:      make([]uint32, n),
+		NoPrefetch: true,
+	}
+	for i := range hot {
+		hp.GasPrefix[i+1] = hp.GasPrefix[i] + uint64(hot[i].Gas)
+		w := (steps[i].MemBytes + 31) / 32
+		if w > 0xffffffff {
+			return nil
+		}
+		hp.Words[i] = uint32(w)
+	}
+	hp.NextStall[n] = int32(n)
+	for i := n - 1; i >= 0; i-- {
+		if hot[i].Class != latNone {
+			hp.NextStall[i] = int32(i)
+		} else {
+			hp.NextStall[i] = hp.NextStall[i+1]
+		}
+	}
+	for i := range ann {
+		if ann[i].Prefetched {
+			hp.NoPrefetch = false
+			break
+		}
+	}
+	return hp
+}
+
+// ExecuteHot is Execute given a precomputed HotPlan of the same stream
+// (nil falls back to Execute). The replay is cycle-identical — the plan
+// only removes redundant work from the walks: gas comes from prefix
+// sums, stall walks skip stall-free instructions (FlatMem is stateless
+// and walks stay ascending, so MemModel observes the same calls in the
+// same order), and the hit-path pc walk reduces to a last-member check
+// (within a line the pc sequence is deterministic: code is immutable
+// and control-flow opcodes can only be a line's last member, so a key
+// match plus the length check implies every interior pc Execute would
+// verify). The loop mirrors Execute's; changes to one must land in
+// both.
+func (p *Pipeline) ExecuteHot(steps []evm.Step, ann []Annotation, hp *HotPlan, mem MemModel) uint64 {
+	if hp == nil || len(hp.Steps) != len(steps) || !p.cfg.EnableDBCache {
+		return p.Execute(steps, ann, mem)
+	}
+	if mem == nil {
+		mem = FlatMem{Cfg: p.cfg}
+	}
+	hot, gp, ns, words := hp.Steps, hp.GasPrefix, hp.NextStall, hp.Words
+	// Under a flat memory model agreeing with the pipeline's config on
+	// every latency a stall walk can read, with no prefetched
+	// annotations, stalls are a pure function of the latency class and
+	// footprint: hits use the precomputed line.flatWorst and walks use
+	// the devirtualized flatLat. Field-wise compare — a whole-Config
+	// equality is a memeq per call.
+	fm, isFlat := mem.(FlatMem)
+	flatOK := isFlat && hp.NoPrefetch &&
+		fm.Cfg.MainMemLat == p.cfg.MainMemLat &&
+		fm.Cfg.StorageWriteLat == p.cfg.StorageWriteLat &&
+		fm.Cfg.ContextSwitchLat == p.cfg.ContextSwitchLat &&
+		fm.Cfg.Sha3PerWordLat == p.cfg.Sha3PerWordLat &&
+		fm.Cfg.CopyPerWordLat == p.cfg.CopyPerWordLat
+	var cycles uint64
+	var instructions, issueCycles, lineHits, lineMisses, hitInstructions, gasCharged uint64
+	last := int32(-1)
+
+	for i := 0; i < len(steps); {
+		key := hot[i].Key
+		ni := int32(-1)
+		if last >= 0 {
+			if h := p.cache.nodes[last].succ; h >= 0 && p.cache.nodes[h].key == key {
+				ni = h
+			}
+		}
+		if ni < 0 {
+			ni = p.cache.dir.get(key)
+		}
+		if ni >= 0 {
+			p.cache.touch(ni)
+			ln := p.cache.resolve(ni)
+			if end := i + ln.count; end <= len(steps) {
+				if p.sink != nil {
+					p.obsLookup(steps[i].CodeAddr, true, ln.count)
+				}
+				// The last-member check stands in for Execute's full pc
+				// walk (see the function comment).
+				if uint64(uint32(hot[end-1].Key)) != ln.lastPC {
+					panic(fmt.Sprintf("pipeline: line %s:0x%x diverged at pc 0x%x vs trace 0x%x",
+						ln.tag.addr, ln.tag.pc, ln.lastPC, steps[end-1].PC))
+				}
+				gasCharged += gp[end] - gp[i]
+				var worst uint64
+				if flatOK && ln.flatWorst != lineDynStall {
+					worst = uint64(ln.flatWorst)
+				} else {
+					for j := int(ns[i]); j < end; j = int(ns[j+1]) {
+						var l uint64
+						if flatOK {
+							l = p.flatLat(hot[j].Class, uint64(words[j]))
+						} else {
+							var a Annotation
+							if ann != nil && j < len(ann) {
+								a = ann[j]
+							}
+							l = p.classLat(hot[j].Class, &steps[j], a, mem)
+						}
+						if l > worst {
+							worst = l
+						}
+					}
+				}
+				cycles += 1 + worst
+				issueCycles++
+				lineHits++
+				hitInstructions += uint64(ln.count)
+				instructions += uint64(ln.count)
+				if last >= 0 {
+					p.cache.nodes[last].succ = ni
+				}
+				last = ni
+				i = end
+				continue
+			}
+		}
+
+		lineMisses++
+		ln, consumed, stable := p.fillCachedHot(steps, ann, hot, i, key)
+		if p.sink != nil {
+			p.obsLookup(steps[i].CodeAddr, false, consumed)
+		}
+		end := i + consumed
+		gasCharged += gp[end] - gp[i]
+		cycles += uint64(consumed)
+		for j := int(ns[i]); j < end; j = int(ns[j+1]) {
+			if flatOK {
+				cycles += p.flatLat(hot[j].Class, uint64(words[j]))
+			} else {
+				var a Annotation
+				if ann != nil && j < len(ann) {
+					a = ann[j]
+				}
+				cycles += p.classLat(hot[j].Class, &steps[j], a, mem)
+			}
+		}
+		instructions += uint64(consumed)
+		issueCycles += uint64(consumed)
+		if ln != nil && ln.count >= max(2, p.cfg.MinLineInstructions) {
+			idx, evicted := p.cache.insert(key, ln, stable)
+			p.stats.LinesCached++
+			if evicted {
+				p.stats.LineEvictions++
+			}
+			if p.sink != nil {
+				p.pend.AddFill(ln.count)
+				if evicted {
+					p.pend.Evictions++
+				}
+			}
+			if last >= 0 {
+				p.cache.nodes[last].succ = idx
+			}
+			last = idx
+		} else {
+			if consumed == 1 {
+				p.sideTable.add(key)
+			}
+			last = -1
+		}
+		i += consumed
+	}
+	p.stats.Cycles += cycles
+	p.stats.Instructions += instructions
+	p.stats.IssueCycles += issueCycles
+	p.stats.LineHits += lineHits
+	p.stats.LineMisses += lineMisses
+	p.stats.HitInstructions += hitInstructions
+	p.stats.GasCharged += gasCharged
+	if p.sink != nil {
+		p.flushObs()
+	}
+	return cycles
+}
+
+// obsLookup batches one DB-cache lookup for the sink, flushing the
+// pending delta when the executing contract changes so attribution
+// stays exact. Only called with a non-nil sink.
+func (p *Pipeline) obsLookup(contract types.Address, hit bool, insts int) {
+	if contract != p.pendContract && !p.pend.Empty() {
+		p.flushObs()
+	}
+	p.pendContract = contract
+	p.pend.Lookups++
+	if hit {
+		p.pend.Hits++
+		p.pend.HitInstructions += uint64(insts)
+	} else {
+		p.pend.Misses++
+	}
+}
+
+// flushObs hands the pending delta to the sink — the commit-boundary
+// flush of the batched obs scheme.
+func (p *Pipeline) flushObs() {
+	if p.pend.Empty() {
+		return
+	}
+	p.sink.DBFlush(p.puID, p.pendContract, &p.pend)
+	p.pend.Reset()
+}
+
+// fillCached returns fill's result for the window at start, serving it
+// from the segment memo when the recorded context still matches and
+// recording a fresh segment (replacing any stale one) otherwise.
+// fillCached's stable result reports whether the returned line pointer
+// outlives the call unchanged for the pipeline's whole life: true only
+// for shared-memo segments (the memo is frozen after construction).
+// Overlay segments live in segArena, which may still grow and move, and
+// real fills return the reused scratch buffer — both must be copied if
+// retained.
+func (p *Pipeline) fillCached(steps []evm.Step, ann []Annotation, start int, key uint64) (ln *line, consumed int, stable bool) {
+	if m := p.memo; m != nil {
+		if si := m.idx.get(key); si >= 0 {
+			if seg := &m.arena[si]; p.segValid(seg, steps, ann, start) {
+				p.stats.FoldedPairs += seg.folded
+				p.stats.ForwardedRAWs += seg.forwarded
+				if !seg.hasLine {
+					return nil, seg.consumed, false
+				}
+				return &seg.ln, seg.consumed, true
+			}
+		}
+	}
+	if si := p.segIdx.get(key); si >= 0 {
+		if seg := &p.segArena[si]; p.segValid(seg, steps, ann, start) {
+			p.stats.FoldedPairs += seg.folded
+			p.stats.ForwardedRAWs += seg.forwarded
+			if !seg.hasLine {
+				return nil, seg.consumed, false
+			}
+			// The caller only reads the line (insert copies it), so the
+			// memo's own copy is handed out directly.
+			return &seg.ln, seg.consumed, false
+		}
+	}
+	f0, r0 := p.stats.FoldedPairs, p.stats.ForwardedRAWs
+	ln, consumed = p.fill(steps, ann, start)
+	p.recordSeg(key, ln, consumed, steps, ann, start,
+		p.stats.FoldedPairs-f0, p.stats.ForwardedRAWs-r0)
+	return ln, consumed, false
+}
+
+// segValid reports whether replaying fill at start would reproduce seg
+// exactly: the window's pcs and call frame, its ConstOperands, and —
+// when the original fill's break looked past the window — the break
+// context must all match what was recorded.
+func (p *Pipeline) segValid(seg *segment, steps []evm.Step, ann []Annotation, start int) bool {
+	if start+seg.consumed > len(steps) {
 		return false
 	}
-	k := i
-	for _, m := range ln.insts {
+	w0 := &steps[start]
+	k := start
+	for mi := range seg.ln.insts {
+		m := &seg.ln.insts[mi]
 		if m.hasFolded {
-			if steps[k].PC != m.foldedPC {
-				panic(fmt.Sprintf("pipeline: line %s:0x%x diverged at folded pc 0x%x vs trace 0x%x",
-					ln.tag.addr, ln.tag.pc, m.foldedPC, steps[k].PC))
+			s := &steps[k]
+			if s.PC != m.foldedPC || !sameFrame(w0, s) {
+				return false
 			}
 			k++
 		}
-		if steps[k].PC != m.pc {
-			panic(fmt.Sprintf("pipeline: line %s:0x%x diverged at pc 0x%x vs trace 0x%x",
-				ln.tag.addr, ln.tag.pc, m.pc, steps[k].PC))
+		s := &steps[k]
+		if s.PC != m.pc || !sameFrame(w0, s) {
+			return false
 		}
 		k++
 	}
+	if ann == nil {
+		if seg.constMask != 0 {
+			return false
+		}
+	} else {
+		for j := 0; j < seg.consumed; j++ {
+			if constAt(ann, start+j) != ((seg.constMask>>uint(j))&1 != 0) {
+				return false
+			}
+		}
+	}
+	switch seg.term {
+	case termEnder:
+		// A control-flow opcode ended the line; nothing past the window
+		// was consulted.
+		return true
+	case termEnd:
+		return start+seg.consumed == len(steps)
+	}
+	// termNext: the break candidate (and possibly its fold lookahead)
+	// shaped the decision.
+	j := start + seg.consumed
+	if j >= len(steps) {
+		return false
+	}
+	b0 := &steps[j]
+	if sameFrame(w0, b0) != seg.nextSame[0] {
+		return false
+	}
+	if !seg.nextSame[0] {
+		// The break was the frame change itself; only the frame flag of
+		// the candidate was ever read.
+		return true
+	}
+	if b0.PC != seg.nextPC[0] || constAt(ann, j) != seg.nextConst[0] {
+		return false
+	}
+	if (j+1 < len(steps)) != seg.nextOK[1] {
+		return false
+	}
+	if seg.nextOK[1] {
+		b1 := &steps[j+1]
+		if sameFrame(w0, b1) != seg.nextSame[1] {
+			return false
+		}
+		if seg.nextSame[1] && (b1.PC != seg.nextPC[1] || constAt(ann, j+1) != seg.nextConst[1]) {
+			return false
+		}
+	}
 	return true
+}
+
+// segValidHot is segValid reading the compact step image instead of
+// full steps: pc and frame checks use the packed key and depth. The
+// verification is exactly equivalent (see sameFrameHot); n is the
+// stream length.
+func (p *Pipeline) segValidHot(seg *segment, hot []HotStep, ann []Annotation, start, n int) bool {
+	if start+seg.consumed > n {
+		return false
+	}
+	h0 := &hot[start]
+	k := start
+	for mi := range seg.ln.insts {
+		m := &seg.ln.insts[mi]
+		if m.hasFolded {
+			h := &hot[k]
+			if uint64(uint32(h.Key)) != m.foldedPC || !sameFrameHot(h0, h) {
+				return false
+			}
+			k++
+		}
+		h := &hot[k]
+		if uint64(uint32(h.Key)) != m.pc || !sameFrameHot(h0, h) {
+			return false
+		}
+		k++
+	}
+	if ann == nil {
+		if seg.constMask != 0 {
+			return false
+		}
+	} else {
+		for j := 0; j < seg.consumed; j++ {
+			if constAt(ann, start+j) != ((seg.constMask>>uint(j))&1 != 0) {
+				return false
+			}
+		}
+	}
+	switch seg.term {
+	case termEnder:
+		return true
+	case termEnd:
+		return start+seg.consumed == n
+	}
+	j := start + seg.consumed
+	if j >= n {
+		return false
+	}
+	b0 := &hot[j]
+	if sameFrameHot(h0, b0) != seg.nextSame[0] {
+		return false
+	}
+	if !seg.nextSame[0] {
+		return true
+	}
+	if uint64(uint32(b0.Key)) != seg.nextPC[0] || constAt(ann, j) != seg.nextConst[0] {
+		return false
+	}
+	if (j+1 < n) != seg.nextOK[1] {
+		return false
+	}
+	if seg.nextOK[1] {
+		b1 := &hot[j+1]
+		if sameFrameHot(h0, b1) != seg.nextSame[1] {
+			return false
+		}
+		if seg.nextSame[1] && (uint64(uint32(b1.Key)) != seg.nextPC[1] || constAt(ann, j+1) != seg.nextConst[1]) {
+			return false
+		}
+	}
+	return true
+}
+
+// fillCachedHot is fillCached verifying memo segments against the
+// compact step image; real fills still read the full steps.
+func (p *Pipeline) fillCachedHot(steps []evm.Step, ann []Annotation, hot []HotStep, start int, key uint64) (ln *line, consumed int, stable bool) {
+	n := len(hot)
+	if m := p.memo; m != nil {
+		if si := m.idx.get(key); si >= 0 {
+			if seg := &m.arena[si]; p.segValidHot(seg, hot, ann, start, n) {
+				p.stats.FoldedPairs += seg.folded
+				p.stats.ForwardedRAWs += seg.forwarded
+				if !seg.hasLine {
+					return nil, seg.consumed, false
+				}
+				return &seg.ln, seg.consumed, true
+			}
+		}
+	}
+	if si := p.segIdx.get(key); si >= 0 {
+		if seg := &p.segArena[si]; p.segValidHot(seg, hot, ann, start, n) {
+			p.stats.FoldedPairs += seg.folded
+			p.stats.ForwardedRAWs += seg.forwarded
+			if !seg.hasLine {
+				return nil, seg.consumed, false
+			}
+			return &seg.ln, seg.consumed, false
+		}
+	}
+	f0, r0 := p.stats.FoldedPairs, p.stats.ForwardedRAWs
+	ln, consumed = p.fill(steps, ann, start)
+	p.recordSeg(key, ln, consumed, steps, ann, start,
+		p.stats.FoldedPairs-f0, p.stats.ForwardedRAWs-r0)
+	return ln, consumed, false
+}
+
+// recordSeg stores the outcome of one real fill in the pipeline's
+// private overlay memo.
+func (p *Pipeline) recordSeg(key uint64, ln *line, consumed int, steps []evm.Step, ann []Annotation, start int, folded, forwarded uint64) {
+	recordInto(&p.segIdx, &p.segArena, key, ln, consumed, steps, ann, start, folded, forwarded)
+}
+
+// recordInto stores the outcome of one real fill into a memo's storage;
+// shared by the per-pipeline overlay and FillMemo construction.
+func recordInto(idx *codeDir, arena *[]segment, key uint64, ln *line, consumed int, steps []evm.Step, ann []Annotation, start int, folded, forwarded uint64) {
+	if consumed > segMaxConsumed {
+		return
+	}
+	si := idx.get(key)
+	if si < 0 {
+		// Reslice before appending so a truncated arena (pooled pipeline
+		// reuse) hands back its old segments' member capacity.
+		if n := len(*arena); n < cap(*arena) {
+			*arena = (*arena)[:n+1]
+		} else {
+			*arena = append(*arena, segment{})
+		}
+		si = int32(len(*arena) - 1)
+		idx.set(key, si)
+	}
+	seg := &(*arena)[si]
+	var lastOp evm.Opcode
+	if ln != nil {
+		seg.ln.copyFrom(ln)
+		seg.hasLine = true
+		lastOp = ln.insts[len(ln.insts)-1].op
+	} else {
+		// Single uncacheable instruction; never folded (a folded pair
+		// counts two instructions and is cached as a line).
+		seg.ln.insts = seg.ln.insts[:0]
+		seg.ln.count = 0
+		seg.hasLine = false
+		lastOp = steps[start].Op
+	}
+	seg.consumed = consumed
+	seg.folded = folded
+	seg.forwarded = forwarded
+	seg.constMask = 0
+	for j := 0; j < consumed; j++ {
+		if constAt(ann, start+j) {
+			seg.constMask |= 1 << uint(j)
+		}
+	}
+	seg.nextPC = [2]uint64{}
+	seg.nextOK = [2]bool{}
+	seg.nextSame = [2]bool{}
+	seg.nextConst = [2]bool{}
+	end := start + consumed
+	switch {
+	case lineEnder(lastOp):
+		seg.term = termEnder
+	case end >= len(steps):
+		seg.term = termEnd
+	default:
+		seg.term = termNext
+		b0 := &steps[end]
+		seg.nextOK[0] = true
+		seg.nextPC[0] = b0.PC
+		seg.nextSame[0] = sameFrame(&steps[start], b0)
+		seg.nextConst[0] = constAt(ann, end)
+		if end+1 < len(steps) {
+			b1 := &steps[end+1]
+			seg.nextOK[1] = true
+			seg.nextPC[1] = b1.PC
+			seg.nextSame[1] = sameFrame(&steps[start], b1)
+			seg.nextConst[1] = constAt(ann, end+1)
+		}
+	}
+}
+
+// FillMemo is a fill-segmentation memo shared across pipelines: the
+// canonical segments of a plan set, computed once and consulted
+// read-only by every PU and every replay of the same cached entry. It
+// only holds segments for interned steps (CodeID != 0) — local ids are
+// assigned per pipeline and would alias across sharers. Reuse goes
+// through the same segValid verification as the private overlay, so a
+// memo built from one trace serves another only where the decision
+// context genuinely matches.
+type FillMemo struct {
+	cfg   arch.Config
+	idx   codeDir
+	arena []segment
+
+	// builder drives the real fill unit during construction; it is not
+	// used after AddTrace calls stop.
+	builder *Pipeline
+}
+
+// NewFillMemo returns an empty memo recording segments under the
+// configuration's fill rules. SetFillMemo refuses memos whose build
+// configuration could yield different lines (see fillCompatible).
+func NewFillMemo(cfg arch.Config) *FillMemo {
+	m := &FillMemo{
+		cfg:     cfg,
+		builder: New(cfg),
+	}
+	m.idx.gen = 1
+	return m
+}
+
+// AddTrace walks one trace's canonical segmentation — the chain a cold
+// pipeline produces, starting at the trace head and advancing by each
+// fill's consumed count — and records the first segment seen per line
+// key. Construction must be single-threaded; replays treat the memo as
+// immutable.
+func (m *FillMemo) AddTrace(steps []evm.Step, ann []Annotation) {
+	b := m.builder
+	for i := 0; i < len(steps); {
+		f0, r0 := b.stats.FoldedPairs, b.stats.ForwardedRAWs
+		ln, consumed := b.fill(steps, ann, i)
+		if id := steps[i].CodeID; id != 0 {
+			key := uint64(id)<<32 | uint64(uint32(steps[i].PC))
+			if m.idx.get(key) < 0 {
+				recordInto(&m.idx, &m.arena, key, ln, consumed, steps, ann, i,
+					b.stats.FoldedPairs-f0, b.stats.ForwardedRAWs-r0)
+			}
+		}
+		i += consumed
+	}
+}
+
+// SetFillMemo attaches a shared memo consulted before the pipeline's
+// private overlay. A memo built under an incompatible configuration is
+// ignored entirely, so attaching one can never change timing — only
+// skip re-deriving identical segmentations.
+func (p *Pipeline) SetFillMemo(m *FillMemo) {
+	if m != nil && !fillCompatible(m.cfg, p.cfg) {
+		m = nil
+	}
+	p.memo = m
+}
+
+// fillCompatible reports whether lines filled under a reproduce lines
+// filled under b exactly: the same folding/forwarding rules (which shape
+// segmentation) and the same flat-memory latencies (which are baked into
+// line.flatWorst at fill time). SHA3/copy per-word rates are excluded —
+// lines with those members carry the lineDynStall sentinel regardless.
+func fillCompatible(a, b arch.Config) bool {
+	return a.EnableFolding == b.EnableFolding &&
+		a.EnableForwarding == b.EnableForwarding &&
+		a.MainMemLat == b.MainMemLat &&
+		a.StorageWriteLat == b.StorageWriteLat &&
+		a.ContextSwitchLat == b.ContextSwitchLat
 }
 
 // fill implements the fill unit: starting at steps[start], pack
@@ -549,6 +1668,10 @@ func (p *Pipeline) fill(steps []evm.Step, ann []Annotation, start int) (*line, i
 	ln.count = 0
 	ln.insts = ln.insts[:0]
 	unitUsed := [evm.NumFuncUnits + 1]bool{}
+	// flatWorst/flatDyn accumulate the line's precomputed worst stall
+	// under a flat memory model with no prefetching (see line.flatWorst).
+	var flatWorst uint64
+	flatDyn := false
 	// produced tracks how many of the virtual stack's top values were
 	// pushed by instructions already in this line (the RAW window).
 	produced := 0
@@ -625,6 +1748,26 @@ func (p *Pipeline) fill(steps []evm.Step, ann []Annotation, start int) (*line, i
 		ln.insts = append(ln.insts, m)
 		unitUsed[unit] = true
 
+		// Folded producers are stack ops (latNone), so member ops alone
+		// determine the line's flat-memory stall profile.
+		switch latClass[op] {
+		case latNone:
+		case latStorageRead, latStateQuery:
+			if p.cfg.MainMemLat > flatWorst {
+				flatWorst = p.cfg.MainMemLat
+			}
+		case latStorageWrite:
+			if p.cfg.StorageWriteLat > flatWorst {
+				flatWorst = p.cfg.StorageWriteLat
+			}
+		case latContext:
+			if p.cfg.ContextSwitchLat > flatWorst {
+				flatWorst = p.cfg.ContextSwitchLat
+			}
+		default: // latSha3, latCopy — stall depends on the memory footprint
+			flatDyn = true
+		}
+
 		pops := op.Pops()
 		if fold == foldImmediate {
 			pops--
@@ -658,38 +1801,114 @@ func (p *Pipeline) fill(steps []evm.Step, ann []Annotation, start int) (*line, i
 		// records only their address in the hotspot side table.
 		return nil, consumed
 	}
+	if flatDyn || flatWorst >= uint64(lineDynStall) {
+		ln.flatWorst = lineDynStall
+	} else {
+		ln.flatWorst = uint32(flatWorst)
+	}
+	ln.lastPC = ln.insts[len(ln.insts)-1].pc
 	return ln, consumed
 }
 
 // sameFrame reports whether two steps execute in the same call frame, so
 // a line never spans a context switch.
 func sameFrame(a, b *evm.Step) bool {
-	return a.Depth == b.Depth && a.CodeAddr == b.CodeAddr
+	if a.Depth != b.Depth {
+		return false
+	}
+	// Interned ids stand in for the 20-byte address compare: within one
+	// block's symbol table, equal addresses and equal ids coincide.
+	if a.CodeID != 0 && b.CodeID != 0 {
+		return a.CodeID == b.CodeID
+	}
+	return a.CodeAddr == b.CodeAddr
 }
 
-// extraLat returns the stall cycles of one instruction beyond its issue
-// slot: hashing, copies, storage and state-query accesses, and context
-// switches.
-func (p *Pipeline) extraLat(s *evm.Step, a Annotation, mem MemModel) uint64 {
+// Latency classes partition opcodes by which extra-latency rule applies,
+// so the hot loop pays one table index instead of a chain of opcode and
+// unit comparisons (latNone — no stall — is by far the common case).
+const (
+	latNone uint8 = iota
+	latSha3
+	latStorageRead
+	latStorageWrite
+	latStateQuery
+	latContext
+	latCopy
+)
+
+var latClass = func() (t [256]uint8) {
+	for i := 0; i < 256; i++ {
+		op := evm.Opcode(i)
+		switch {
+		case op == evm.SHA3:
+			t[i] = latSha3
+		case op == evm.SLOAD:
+			t[i] = latStorageRead
+		case op == evm.SSTORE:
+			t[i] = latStorageWrite
+		case op.Unit() == evm.FUStateQuery:
+			t[i] = latStateQuery
+		case op.Unit() == evm.FUContext:
+			t[i] = latContext
+		case op == evm.CALLDATACOPY || op == evm.CODECOPY ||
+			op == evm.RETURNDATACOPY || op == evm.EXTCODECOPY,
+			op >= evm.LOG0 && op <= evm.LOG4:
+			t[i] = latCopy
+		}
+	}
+	return
+}()
+
+// classLat resolves the stall cycles for a non-latNone class: hashing,
+// copies, storage and state-query accesses, and context switches.
+func (p *Pipeline) classLat(c uint8, s *evm.Step, a Annotation, mem MemModel) uint64 {
 	words := func(n uint64) uint64 { return (n + 31) / 32 }
-	switch {
-	case s.Op == evm.SHA3:
+	switch c {
+	case latSha3:
 		return p.cfg.Sha3PerWordLat * words(s.MemBytes)
-	case s.Op == evm.SLOAD:
-		return mem.StorageRead(s.TouchAddr, s.TouchSlot, a.Prefetched)
-	case s.Op == evm.SSTORE:
-		return mem.StorageWrite(s.TouchAddr, s.TouchSlot)
-	case s.Op.Unit() == evm.FUStateQuery:
-		return mem.StateQuery(s.TouchAddr, a.Prefetched)
-	case s.Op.Unit() == evm.FUContext:
+	case latStorageRead:
+		return mem.StorageRead(s, a.Prefetched)
+	case latStorageWrite:
+		return mem.StorageWrite(s)
+	case latStateQuery:
+		return mem.StateQuery(s, a.Prefetched)
+	case latContext:
 		return p.cfg.ContextSwitchLat
-	case s.Op == evm.CALLDATACOPY || s.Op == evm.CODECOPY ||
-		s.Op == evm.RETURNDATACOPY || s.Op == evm.EXTCODECOPY:
-		return p.cfg.CopyPerWordLat * words(s.MemBytes)
-	case s.Op >= evm.LOG0 && s.Op <= evm.LOG4:
+	case latCopy:
 		return p.cfg.CopyPerWordLat * words(s.MemBytes)
 	}
 	return 0
+}
+
+// flatLat is classLat specialized to a FlatMem agreeing with the
+// pipeline's config, with no prefetched annotations — ExecuteHot's
+// flatOK precondition. words is the step's precomputed footprint
+// (HotPlan.Words); the returned stalls are identical to classLat's.
+func (p *Pipeline) flatLat(c uint8, words uint64) uint64 {
+	switch c {
+	case latSha3:
+		return p.cfg.Sha3PerWordLat * words
+	case latStorageRead, latStateQuery:
+		return p.cfg.MainMemLat
+	case latStorageWrite:
+		return p.cfg.StorageWriteLat
+	case latContext:
+		return p.cfg.ContextSwitchLat
+	case latCopy:
+		return p.cfg.CopyPerWordLat * words
+	}
+	return 0
+}
+
+// extraLat returns the stall cycles of one instruction beyond its issue
+// slot.
+func (p *Pipeline) extraLat(s *evm.Step, a Annotation, mem MemModel) uint64 {
+	c := latClass[s.Op]
+	if c == latNone {
+		return 0
+	}
+	return p.classLat(c, s, a, mem)
 }
 
 func annAt(ann []Annotation, i int) Annotation {

@@ -1,0 +1,116 @@
+package arch
+
+import (
+	"testing"
+
+	"mtpu/internal/types"
+)
+
+// FuzzSymbolTable drives the interner with adversarial key sequences —
+// the byte-derived keys repeat constantly, so duplicate addresses,
+// storage/account aliasing on one address, and interleaved classes are
+// the common case — and checks the invariants every downstream dense
+// structure relies on: a key always maps to the id it was first
+// assigned, distinct keys never share an id, and both id spaces stay
+// dense and 1-based.
+func FuzzSymbolTable(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 1, 0, 1, 2})
+	f.Add([]byte{9, 9, 9, 9, 9, 9, 9, 9, 9})
+	f.Add([]byte("interleaved classes over few addresses"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st := NewSymbolTable()
+		codeSeen := map[types.Address]uint32{}
+		type touchKey struct {
+			account bool
+			addr    types.Address
+			slot    types.Hash
+		}
+		touchSeen := map[touchKey]uint32{}
+		touchIDs := map[uint32]touchKey{}
+		for i := 0; i+2 < len(data); i += 3 {
+			op, ab, sb := data[i]%3, data[i+1]%5, data[i+2]%5
+			addr := types.BytesToAddress([]byte{ab, 0xcd})
+			switch op {
+			case 0:
+				id := st.CodeID(addr)
+				if id == 0 {
+					t.Fatal("CodeID returned the reserved id 0")
+				}
+				if prev, ok := codeSeen[addr]; ok && prev != id {
+					t.Fatalf("CodeID(%x) changed: %d then %d", addr, prev, id)
+				} else if !ok {
+					if int(id) != len(codeSeen)+1 {
+						t.Fatalf("CodeID(%x) = %d, want dense %d", addr, id, len(codeSeen)+1)
+					}
+					codeSeen[addr] = id
+					if st.CodeAddr(id) != addr {
+						t.Fatalf("CodeAddr(%d) does not round-trip", id)
+					}
+				}
+			case 1:
+				slot := types.BytesToHash([]byte{sb})
+				k := touchKey{addr: addr, slot: slot}
+				checkTouch(t, st.StorageID(addr, slot), k, touchSeen, touchIDs)
+			case 2:
+				k := touchKey{account: true, addr: addr}
+				checkTouch(t, st.AccountID(addr), k, touchSeen, touchIDs)
+			}
+		}
+		if st.NumCodeIDs() != len(codeSeen) {
+			t.Fatalf("NumCodeIDs %d, interned %d", st.NumCodeIDs(), len(codeSeen))
+		}
+		if st.NumTouchIDs() != len(touchSeen) {
+			t.Fatalf("NumTouchIDs %d, interned %d", st.NumTouchIDs(), len(touchSeen))
+		}
+	})
+}
+
+func checkTouch[K comparable](t *testing.T, id uint32, k K, seen map[K]uint32, ids map[uint32]K) {
+	t.Helper()
+	if id == 0 {
+		t.Fatal("touch id 0 assigned; 0 is the not-interned sentinel")
+	}
+	if prev, ok := seen[k]; ok {
+		if prev != id {
+			t.Fatalf("touch key %+v changed id: %d then %d", k, prev, id)
+		}
+		return
+	}
+	if owner, taken := ids[id]; taken {
+		t.Fatalf("touch id %d assigned to both %+v and %+v", id, owner, k)
+	}
+	if int(id) != len(seen)+1 {
+		t.Fatalf("touch id %d for %+v, want dense %d", id, k, len(seen)+1)
+	}
+	seen[k] = id
+	ids[id] = k
+}
+
+// TestSymbolTableBeyond16BitKeys interns more keys than a 16-bit id
+// could name, the regression guard for any future narrowing of the id
+// types or of the packed structures they index.
+func TestSymbolTableBeyond16BitKeys(t *testing.T) {
+	st := NewSymbolTable()
+	const n = 1<<16 + 512
+	for i := 0; i < n; i++ {
+		addr := types.BytesToAddress([]byte{byte(i), byte(i >> 8), byte(i >> 16)})
+		slot := types.BytesToHash([]byte{byte(i), byte(i >> 8), byte(i >> 16)})
+		if id := st.StorageID(addr, slot); int(id) != i+1 {
+			t.Fatalf("storage key %d got id %d", i, id)
+		}
+		if id := st.CodeID(addr); int(id) != i+1 {
+			t.Fatalf("code addr %d got id %d", i, id)
+		}
+	}
+	if st.NumTouchIDs() != n || st.NumCodeIDs() != n {
+		t.Fatalf("interned %d/%d keys, want %d", st.NumTouchIDs(), st.NumCodeIDs(), n)
+	}
+	// Re-interning the full set must return the original ids.
+	for i := 0; i < n; i += 997 {
+		addr := types.BytesToAddress([]byte{byte(i), byte(i >> 8), byte(i >> 16)})
+		slot := types.BytesToHash([]byte{byte(i), byte(i >> 8), byte(i >> 16)})
+		if id := st.StorageID(addr, slot); int(id) != i+1 {
+			t.Fatalf("storage key %d re-interned as %d", i, id)
+		}
+	}
+}

@@ -33,6 +33,12 @@ type TxTrace struct {
 
 	// Plain value transfers have no Steps but still cost setup time.
 	IsTransfer bool
+
+	// Syms is the block-scoped symbol table that assigned the dense
+	// CodeID/TouchID fields of Steps; every trace of one collected block
+	// shares the same table. Nil for hand-built traces (Steps then carry
+	// zero ids and consumers use their slow paths).
+	Syms *SymbolTable
 }
 
 // InstructionCount returns the number of executed instructions.
@@ -42,6 +48,11 @@ func (t *TxTrace) InstructionCount() int { return len(t.Steps) }
 type Collector struct {
 	trace *TxTrace
 
+	// syms interns addresses and storage keys as steps arrive; one table
+	// spans every transaction the collector sees (one block), so dense
+	// ids stay consistent across the whole replay.
+	syms *SymbolTable
+
 	// stepHint/loadHint carry the previous transaction's trace sizes as
 	// capacity hints for the next one — blocks are dominated by runs of
 	// similar transactions, so the per-step appends stop regrowing.
@@ -50,7 +61,9 @@ type Collector struct {
 }
 
 // NewCollector returns an empty collector.
-func NewCollector() *Collector { return &Collector{trace: &TxTrace{}} }
+func NewCollector() *Collector {
+	return &Collector{trace: &TxTrace{}, syms: NewSymbolTable()}
+}
 
 // Begin resets the collector for a new transaction.
 func (c *Collector) Begin(tx *types.Transaction) {
@@ -78,6 +91,7 @@ func (c *Collector) Begin(tx *types.Transaction) {
 func (c *Collector) Finish(gasUsed uint64) *TxTrace {
 	t := c.trace
 	t.GasUsed = gasUsed
+	t.Syms = c.syms
 	if len(t.Steps) > 0 {
 		c.stepHint = len(t.Steps)
 	}
@@ -102,6 +116,7 @@ func (c *Collector) OnEnter(depth int, codeAddr types.Address, codeLen, inputLen
 // OnStep implements evm.Tracer.
 func (c *Collector) OnStep(step *evm.Step) {
 	c.trace.Steps = append(c.trace.Steps, *step)
+	c.syms.Intern(&c.trace.Steps[len(c.trace.Steps)-1])
 }
 
 // OnExit implements evm.Tracer.

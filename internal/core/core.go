@@ -15,6 +15,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"mtpu/internal/arch"
 	"mtpu/internal/arch/mtpu"
@@ -250,6 +251,25 @@ func (a *Accelerator) Replay(block *types.Block, traces []*arch.TxTrace, receipt
 	return a.ReplayWith(block, traces, receipts, digest, mode, ReplayOpts{})
 }
 
+// procPool recycles Processors between ReplayWith calls so sweeps that
+// replay many (block, mode) points reuse warm PU pipelines and State
+// Buffer arenas instead of re-growing them from zero per point.
+// Processor.Reset guarantees a recycled processor replays
+// byte-identically to a fresh one; a pooled processor whose config does
+// not match is dropped.
+var procPool sync.Pool
+
+func getProcessor(cfg arch.Config) *mtpu.Processor {
+	if v := procPool.Get(); v != nil {
+		p := v.(*mtpu.Processor)
+		if p.Cfg == cfg {
+			p.Reset()
+			return p
+		}
+	}
+	return mtpu.New(cfg)
+}
+
 // ReplayWith is Replay with per-call overrides. It contains no per-mode
 // dispatch: the engine registry supplies the mode's configuration, plan
 // construction and scheduling; this function only assembles the shared
@@ -264,7 +284,7 @@ func (a *Accelerator) ReplayWith(block *types.Block, traces []*arch.TxTrace, rec
 		cfg.NumPUs = opts.NumPUs
 	}
 	cfg = eng.Configure(cfg)
-	proc := mtpu.New(cfg)
+	proc := getProcessor(cfg)
 
 	// The typed-nil guard matters: assigning a nil *Collector into the
 	// interface directly would defeat the sink != nil fast path.
@@ -318,6 +338,11 @@ func (a *Accelerator) ReplayWith(block *types.Block, traces []*arch.TxTrace, rec
 	if opts.Obs != nil {
 		res.Obs = buildObsReport(cfg, mode.String(), er.SchedWindow, proc, &sres, block, opts.Obs)
 		res.Obs.STM = res.STM
+	} else {
+		// Instrumented processors are not recycled: the report path walks
+		// the processor after the replay, and keeping only sink-free
+		// processors in the pool keeps the uninstrumented fast path honest.
+		procPool.Put(proc)
 	}
 	return res, nil
 }

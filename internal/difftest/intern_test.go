@@ -1,0 +1,123 @@
+package difftest
+
+import (
+	"path/filepath"
+	"testing"
+
+	"mtpu/internal/arch"
+	"mtpu/internal/core"
+	"mtpu/internal/engine"
+	"mtpu/internal/evm"
+	"mtpu/internal/workload"
+)
+
+// stripInterning deep-copies traces with every dense id removed — the
+// pre-interning shape of the input, which forces every warm structure
+// (DB-cache tags, State Buffer, fill memo) onto its local-interning
+// slow path.
+func stripInterning(traces []*arch.TxTrace) []*arch.TxTrace {
+	out := make([]*arch.TxTrace, len(traces))
+	for i, t := range traces {
+		ct := *t
+		ct.Syms = nil
+		ct.Steps = make([]evm.Step, len(t.Steps))
+		copy(ct.Steps, t.Steps)
+		for j := range ct.Steps {
+			ct.Steps[j].CodeID = 0
+			ct.Steps[j].TouchID = 0
+		}
+		out[i] = &ct
+	}
+	return out
+}
+
+// TestInternedMatchesUninternedOracle replays every grid spec on every
+// engine twice — once with the symbol-table ids the trace build
+// assigned, once with the ids stripped — and requires byte-identical
+// timing. Dense-id interning is a pure layout optimization: the
+// simulated machine must not be able to tell how the simulator keys its
+// maps.
+func TestInternedMatchesUninternedOracle(t *testing.T) {
+	specs, err := LoadGrid(filepath.Join("testdata", "grid.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range specs {
+		genesis, block, err := spec.Workload.Generate()
+		if err != nil {
+			t.Fatalf("%s: generate: %v", spec, err)
+		}
+		traces, receipts, digest, err := core.CollectTraces(genesis, block)
+		if err != nil {
+			t.Fatalf("%s: oracle: %v", spec, err)
+		}
+		stripped := stripInterning(traces)
+
+		acc := core.New(spec.Config())
+		acc.LearnHotspots(traces, spec.topN())
+		opts := core.ReplayOpts{Genesis: genesis}
+		for _, m := range engine.Modes() {
+			got, err := acc.ReplayWith(block, traces, receipts, digest, m, opts)
+			if err != nil {
+				t.Fatalf("%s/%s: interned replay: %v", spec, m, err)
+			}
+			want, err := acc.ReplayWith(block, stripped, receipts, digest, m, opts)
+			if err != nil {
+				t.Fatalf("%s/%s: uninterned replay: %v", spec, m, err)
+			}
+			if got.Cycles != want.Cycles {
+				t.Errorf("%s/%s: cycles %d interned vs %d uninterned", spec, m, got.Cycles, want.Cycles)
+			}
+			if got.Pipeline != want.Pipeline {
+				t.Errorf("%s/%s: pipeline stats diverged:\ninterned   %+v\nuninterned %+v",
+					spec, m, got.Pipeline, want.Pipeline)
+			}
+			if got.Utilization != want.Utilization {
+				t.Errorf("%s/%s: utilization %v vs %v", spec, m, got.Utilization, want.Utilization)
+			}
+			if len(got.Sched.Dispatches) != len(want.Sched.Dispatches) {
+				t.Fatalf("%s/%s: %d dispatches vs %d", spec, m,
+					len(got.Sched.Dispatches), len(want.Sched.Dispatches))
+			}
+			for i := range got.Sched.Dispatches {
+				if got.Sched.Dispatches[i] != want.Sched.Dispatches[i] {
+					t.Fatalf("%s/%s: dispatch %d = %+v interned vs %+v uninterned", spec, m, i,
+						got.Sched.Dispatches[i], want.Sched.Dispatches[i])
+				}
+			}
+		}
+	}
+}
+
+// TestStrippedTracesExerciseFallback guards the test above against
+// vacuity: a representative workload must actually carry interned ids,
+// and stripping must remove them.
+func TestStrippedTracesExerciseFallback(t *testing.T) {
+	spec := workload.Spec{Kind: "token", Txs: 32, Dep: 0.5, Seed: 7}
+	genesis, block, err := spec.Generate()
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	traces, _, _, err := core.CollectTraces(genesis, block)
+	if err != nil {
+		t.Fatalf("oracle: %v", err)
+	}
+	interned := 0
+	for _, tr := range traces {
+		for _, s := range tr.Steps {
+			if s.CodeID != 0 {
+				interned++
+			}
+		}
+	}
+	if interned == 0 {
+		t.Fatal("collected traces carry no interned ids; the oracle test is vacuous")
+	}
+	for _, tr := range stripInterning(traces) {
+		for _, s := range tr.Steps {
+			if s.CodeID != 0 || s.TouchID != 0 {
+				t.Fatal("stripInterning left an id behind")
+			}
+		}
+	}
+}

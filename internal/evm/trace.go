@@ -35,6 +35,15 @@ type Step struct {
 	// Branch outcome for JUMP/JUMPI.
 	JumpTarget  uint64
 	BranchTaken bool
+
+	// CodeID and TouchID are dense interned ids assigned at trace-build
+	// time by the per-block symbol table (arch.SymbolTable): CodeID names
+	// CodeAddr, TouchID names the state-buffer key this step touches (the
+	// storage slot for SLOAD/SSTORE, the account for state queries). Both
+	// are 1-based; 0 means "not interned" and sends consumers down a
+	// compatible slow path, so hand-built steps stay valid.
+	CodeID  uint32
+	TouchID uint32
 }
 
 // Tracer observes execution. Implementations must not retain the Step

@@ -6,6 +6,9 @@
 package experiments
 
 import (
+	"sync"
+	"time"
+
 	"mtpu/internal/arch"
 	"mtpu/internal/arch/pipeline"
 	"mtpu/internal/arch/pu"
@@ -40,6 +43,10 @@ type Env struct {
 	// (mtpu-bench -stats). Merging is commutative, so the aggregates are
 	// identical at every Workers setting.
 	Stats *StatsRecorder
+
+	// PerfWall overrides the per-point measurement budget of the perf
+	// sweep; <= 0 uses DefaultPerfWall.
+	PerfWall time.Duration
 }
 
 // NewEnv builds the standard environment.
@@ -70,18 +77,40 @@ func (e *Env) batchTraces(name string, n int) []*arch.TxTrace {
 	return e.batch(name, n).Traces
 }
 
-// runPipeline replays plans through a fresh pipeline with the given
+// pipePool recycles pipelines between runPipeline calls so repeated
+// replays (the sweep grids and the perf loop) reuse warm arenas instead
+// of re-growing directory rows and cache nodes from zero each time.
+// Reset guarantees a recycled pipeline replays byte-identically to a
+// fresh one; a pooled pipeline with the wrong config is dropped.
+var pipePool sync.Pool
+
+func getPipeline(cfg arch.Config) *pipeline.Pipeline {
+	if v := pipePool.Get(); v != nil {
+		p := v.(*pipeline.Pipeline)
+		if p.Config() == cfg {
+			p.Reset()
+			return p
+		}
+	}
+	return pipeline.New(cfg)
+}
+
+// runPipeline replays plans through a clean pipeline with the given
 // configuration, passes times, and returns the final-pass stats.
 func runPipeline(cfg arch.Config, plans []*pu.Plan, passes int) pipeline.Stats {
-	pipe := pipeline.New(cfg)
-	mem := pipeline.FlatMem{Cfg: cfg}
+	pipe := getPipeline(cfg)
+	defer pipePool.Put(pipe)
+	// One interface value up front: passing the concrete FlatMem would
+	// re-box (and heap-allocate) it on every ExecuteHot call.
+	var mem pipeline.MemModel = pipeline.FlatMem{Cfg: cfg}
 	for pass := 0; pass < passes; pass++ {
 		if pass == passes-1 {
 			pipe.ResetStats()
 		}
 		for _, p := range plans {
 			steps, ann := p.Split()
-			pipe.Execute(steps, ann, mem)
+			pipe.SetFillMemo(p.Memo)
+			pipe.ExecuteHot(steps, ann, p.Hot(), mem)
 		}
 	}
 	return pipe.Stats()

@@ -4,6 +4,8 @@
 // key computation and code hashing throughout the repository.
 package keccak
 
+import "math/bits"
+
 // roundConstants are the 24 iota-step round constants of Keccak-f[1600].
 var roundConstants = [24]uint64{
 	0x0000000000000001, 0x0000000000008082, 0x800000000000808a,
@@ -16,57 +18,118 @@ var roundConstants = [24]uint64{
 	0x8000000000008080, 0x0000000080000001, 0x8000000080008008,
 }
 
-// rotationOffsets are the rho-step rotation offsets, indexed [x][y].
-var rotationOffsets = [5][5]uint{
-	{0, 36, 3, 41, 18},
-	{1, 44, 10, 45, 2},
-	{62, 6, 43, 15, 61},
-	{28, 55, 25, 21, 56},
-	{27, 20, 39, 8, 14},
-}
-
-func rotl(v uint64, n uint) uint64 {
-	return v<<n | v>>(64-n)
-}
-
 // keccakF1600 applies the 24-round Keccak permutation to the state in place.
-// The state is indexed a[x + 5*y].
+// The state is indexed a[x + 5*y]. The 5x5 step structure is unrolled over
+// named locals so every lane lives in a register across the round: the
+// rolled form spends most of its time on modulo index arithmetic,
+// rotation-offset table loads and bounds checks, and this permutation is
+// the single hottest function of the whole simulator (digests, storage-map
+// keys, selectors, SHA3 opcodes).
 func keccakF1600(a *[25]uint64) {
-	var c [5]uint64
-	var d [5]uint64
-	var b [25]uint64
+	v0, v1, v2, v3, v4 := a[0], a[1], a[2], a[3], a[4]
+	v5, v6, v7, v8, v9 := a[5], a[6], a[7], a[8], a[9]
+	v10, v11, v12, v13, v14 := a[10], a[11], a[12], a[13], a[14]
+	v15, v16, v17, v18, v19 := a[15], a[16], a[17], a[18], a[19]
+	v20, v21, v22, v23, v24 := a[20], a[21], a[22], a[23], a[24]
 
 	for round := 0; round < 24; round++ {
 		// Theta.
-		for x := 0; x < 5; x++ {
-			c[x] = a[x] ^ a[x+5] ^ a[x+10] ^ a[x+15] ^ a[x+20]
-		}
-		for x := 0; x < 5; x++ {
-			d[x] = c[(x+4)%5] ^ rotl(c[(x+1)%5], 1)
-		}
-		for x := 0; x < 5; x++ {
-			for y := 0; y < 5; y++ {
-				a[x+5*y] ^= d[x]
-			}
-		}
+		c0 := v0 ^ v5 ^ v10 ^ v15 ^ v20
+		c1 := v1 ^ v6 ^ v11 ^ v16 ^ v21
+		c2 := v2 ^ v7 ^ v12 ^ v17 ^ v22
+		c3 := v3 ^ v8 ^ v13 ^ v18 ^ v23
+		c4 := v4 ^ v9 ^ v14 ^ v19 ^ v24
+		d0 := c4 ^ bits.RotateLeft64(c1, 1)
+		d1 := c0 ^ bits.RotateLeft64(c2, 1)
+		d2 := c1 ^ bits.RotateLeft64(c3, 1)
+		d3 := c2 ^ bits.RotateLeft64(c4, 1)
+		d4 := c3 ^ bits.RotateLeft64(c0, 1)
+		v0 ^= d0
+		v5 ^= d0
+		v10 ^= d0
+		v15 ^= d0
+		v20 ^= d0
+		v1 ^= d1
+		v6 ^= d1
+		v11 ^= d1
+		v16 ^= d1
+		v21 ^= d1
+		v2 ^= d2
+		v7 ^= d2
+		v12 ^= d2
+		v17 ^= d2
+		v22 ^= d2
+		v3 ^= d3
+		v8 ^= d3
+		v13 ^= d3
+		v18 ^= d3
+		v23 ^= d3
+		v4 ^= d4
+		v9 ^= d4
+		v14 ^= d4
+		v19 ^= d4
+		v24 ^= d4
 
-		// Rho and Pi.
-		for x := 0; x < 5; x++ {
-			for y := 0; y < 5; y++ {
-				b[y+5*((2*x+3*y)%5)] = rotl(a[x+5*y], rotationOffsets[x][y])
-			}
-		}
+		// Rho and Pi: b[y + 5*((2x+3y)%5)] = rotl(a[x+5y], offset[x][y]).
+		b0 := v0
+		b16 := bits.RotateLeft64(v5, 36)
+		b7 := bits.RotateLeft64(v10, 3)
+		b23 := bits.RotateLeft64(v15, 41)
+		b14 := bits.RotateLeft64(v20, 18)
+		b10 := bits.RotateLeft64(v1, 1)
+		b1 := bits.RotateLeft64(v6, 44)
+		b17 := bits.RotateLeft64(v11, 10)
+		b8 := bits.RotateLeft64(v16, 45)
+		b24 := bits.RotateLeft64(v21, 2)
+		b20 := bits.RotateLeft64(v2, 62)
+		b11 := bits.RotateLeft64(v7, 6)
+		b2 := bits.RotateLeft64(v12, 43)
+		b18 := bits.RotateLeft64(v17, 15)
+		b9 := bits.RotateLeft64(v22, 61)
+		b5 := bits.RotateLeft64(v3, 28)
+		b21 := bits.RotateLeft64(v8, 55)
+		b12 := bits.RotateLeft64(v13, 25)
+		b3 := bits.RotateLeft64(v18, 21)
+		b19 := bits.RotateLeft64(v23, 56)
+		b15 := bits.RotateLeft64(v4, 27)
+		b6 := bits.RotateLeft64(v9, 20)
+		b22 := bits.RotateLeft64(v14, 39)
+		b13 := bits.RotateLeft64(v19, 8)
+		b4 := bits.RotateLeft64(v24, 14)
 
-		// Chi.
-		for x := 0; x < 5; x++ {
-			for y := 0; y < 5; y++ {
-				a[x+5*y] = b[x+5*y] ^ (^b[(x+1)%5+5*y] & b[(x+2)%5+5*y])
-			}
-		}
-
-		// Iota.
-		a[0] ^= roundConstants[round]
+		// Chi, with Iota folded into lane 0.
+		v0 = b0 ^ (^b1 & b2) ^ roundConstants[round]
+		v1 = b1 ^ (^b2 & b3)
+		v2 = b2 ^ (^b3 & b4)
+		v3 = b3 ^ (^b4 & b0)
+		v4 = b4 ^ (^b0 & b1)
+		v5 = b5 ^ (^b6 & b7)
+		v6 = b6 ^ (^b7 & b8)
+		v7 = b7 ^ (^b8 & b9)
+		v8 = b8 ^ (^b9 & b5)
+		v9 = b9 ^ (^b5 & b6)
+		v10 = b10 ^ (^b11 & b12)
+		v11 = b11 ^ (^b12 & b13)
+		v12 = b12 ^ (^b13 & b14)
+		v13 = b13 ^ (^b14 & b10)
+		v14 = b14 ^ (^b10 & b11)
+		v15 = b15 ^ (^b16 & b17)
+		v16 = b16 ^ (^b17 & b18)
+		v17 = b17 ^ (^b18 & b19)
+		v18 = b18 ^ (^b19 & b15)
+		v19 = b19 ^ (^b15 & b16)
+		v20 = b20 ^ (^b21 & b22)
+		v21 = b21 ^ (^b22 & b23)
+		v22 = b22 ^ (^b23 & b24)
+		v23 = b23 ^ (^b24 & b20)
+		v24 = b24 ^ (^b20 & b21)
 	}
+
+	a[0], a[1], a[2], a[3], a[4] = v0, v1, v2, v3, v4
+	a[5], a[6], a[7], a[8], a[9] = v5, v6, v7, v8, v9
+	a[10], a[11], a[12], a[13], a[14] = v10, v11, v12, v13, v14
+	a[15], a[16], a[17], a[18], a[19] = v15, v16, v17, v18, v19
+	a[20], a[21], a[22], a[23], a[24] = v20, v21, v22, v23, v24
 }
 
 // rate is the sponge rate in bytes for Keccak-256 (1600 - 2*256 bits).

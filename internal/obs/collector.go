@@ -2,10 +2,8 @@ package obs
 
 import "mtpu/internal/types"
 
-// maxHistLine caps the packed-instructions-per-line histogram; longer
-// lines land in the last bucket (a line holds at most one member per
-// functional unit, so real sizes stay well below this).
-const maxHistLine = 16
+// maxHistLine aliases MaxHistLine for the package-internal arrays.
+const maxHistLine = MaxHistLine
 
 // PUDBStats are the DB-cache counters of one PU.
 type PUDBStats struct {
@@ -91,33 +89,23 @@ func (c *Collector) contract(addr types.Address) *ContractDBStats {
 	return s
 }
 
-// DBLookup implements Sink.
-func (c *Collector) DBLookup(pu int, contract types.Address, hit bool, insts int) {
+// DBFlush implements Sink: merge one batched delta from PU pu.
+func (c *Collector) DBFlush(pu int, contract types.Address, d *DBDelta) {
 	s := c.pu(pu)
-	s.Lookups++
-	cs := c.contract(contract)
-	cs.Lookups++
-	if hit {
-		s.Hits++
-		s.HitInstructions += uint64(insts)
-		cs.Hits++
-	} else {
-		s.Misses++
+	s.Lookups += d.Lookups
+	s.Hits += d.Hits
+	s.Misses += d.Misses
+	s.HitInstructions += d.HitInstructions
+	s.Fills += d.Fills
+	s.Evictions += d.Evictions
+	if d.Lookups > 0 {
+		cs := c.contract(contract)
+		cs.Lookups += d.Lookups
+		cs.Hits += d.Hits
 	}
-}
-
-// DBFill implements Sink.
-func (c *Collector) DBFill(pu int, insts int) {
-	c.pu(pu).Fills++
-	if insts > maxHistLine {
-		insts = maxHistLine
+	for i, n := range d.LineFills {
+		c.lineHist[i] += uint64(n)
 	}
-	c.lineHist[insts]++
-}
-
-// DBEvict implements Sink.
-func (c *Collector) DBEvict(pu int) {
-	c.pu(pu).Evictions++
 }
 
 // SchedPick implements Sink.

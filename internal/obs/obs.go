@@ -2,7 +2,10 @@
 // simulator. The timing model (arch/pipeline, arch/pu, arch/mtpu, sched,
 // core) emits events into a Sink; the default sink is nil, so the hot
 // paths pay exactly one nil check per event site and zero allocations
-// when instrumentation is disabled. The concrete Collector accumulates
+// when instrumentation is disabled. DB-cache counters are batched: the
+// pipeline accumulates per-PU deltas and flushes them at commit
+// boundaries, so enabling instrumentation costs one interface call per
+// contract run rather than per cache line. The concrete Collector accumulates
 // the events of one replay into a Report: per-PU cycle accounting whose
 // stall breakdown sums to the makespan, DB-cache statistics with a
 // packed-instructions-per-line histogram and per-contract hit rates,
@@ -41,22 +44,53 @@ func (k PickKind) String() string {
 	return "unknown"
 }
 
+// MaxHistLine caps the packed-instructions-per-line histogram; longer
+// lines land in the last bucket (a line holds at most one member per
+// functional unit, so real sizes stay well below this).
+const MaxHistLine = 16
+
+// DBDelta is a batch of DB-cache counter increments accumulated by one
+// PU while executing one contract's instructions. The pipeline keeps
+// one delta per PU and flushes it at commit boundaries (end of an
+// Execute call, or when the executing contract changes), so the hot
+// loop pays plain integer adds instead of an interface call per cache
+// line.
+type DBDelta struct {
+	Lookups, Hits, Misses uint64
+	Fills, Evictions      uint64
+	HitInstructions       uint64
+	// LineFills histograms fills by packed instruction count; index
+	// MaxHistLine aggregates longer lines.
+	LineFills [MaxHistLine + 1]uint32
+}
+
+// AddFill records one fill of insts packed instructions.
+func (d *DBDelta) AddFill(insts int) {
+	d.Fills++
+	if insts > MaxHistLine {
+		insts = MaxHistLine
+	}
+	d.LineFills[insts]++
+}
+
+// Empty reports whether the delta carries no events.
+func (d *DBDelta) Empty() bool { return d.Lookups == 0 && d.Fills == 0 && d.Evictions == 0 }
+
+// Reset zeroes the delta for reuse.
+func (d *DBDelta) Reset() { *d = DBDelta{} }
+
 // Sink receives instrumentation events from the timing model. Every
 // emit site guards the call with a single nil check, so implementations
 // only pay when instrumentation is enabled; they must still be cheap —
-// events fire per DB-cache line and per scheduler pick, not per
-// instruction. A Sink is driven from the single goroutine of one replay
-// and need not be safe for concurrent use.
+// DB-cache counters arrive as per-PU batched deltas at commit
+// boundaries and scheduler picks per selection, never per instruction.
+// A Sink is driven from the single goroutine of one replay and need not
+// be safe for concurrent use.
 type Sink interface {
-	// DBLookup records one DB-cache lookup by PU pu on a line of the
-	// given contract: hit reports the outcome, insts how many original
-	// instructions the line covers (the fill length on a miss).
-	DBLookup(pu int, contract types.Address, hit bool, insts int)
-	// DBFill records a line of insts packed instructions entering PU
-	// pu's DB cache.
-	DBFill(pu int, insts int)
-	// DBEvict records an LRU eviction from PU pu's DB cache.
-	DBEvict(pu int)
+	// DBFlush merges one batch of DB-cache counters from PU pu,
+	// attributed to the contract whose lines were looked up. The delta
+	// is owned by the caller and must not be retained.
+	DBFlush(pu int, contract types.Address, d *DBDelta)
 	// SchedPick records one scheduling-table selection: the PU that
 	// pulled, the simulated cycle, the pick class, and how many window
 	// slots were occupied when the selection ran.

@@ -14,17 +14,42 @@ func addr(b byte) types.Address {
 	return a
 }
 
+// lookup/fill/evict emulate the pre-batching per-event emitters with
+// single-event deltas, so the accumulation tests keep their shape.
+func lookup(c *Collector, pu int, contract types.Address, hit bool, insts int) {
+	var d DBDelta
+	d.Lookups = 1
+	if hit {
+		d.Hits = 1
+		d.HitInstructions = uint64(insts)
+	} else {
+		d.Misses = 1
+	}
+	c.DBFlush(pu, contract, &d)
+}
+
+func fill(c *Collector, pu int, insts int) {
+	var d DBDelta
+	d.AddFill(insts)
+	c.DBFlush(pu, types.Address{}, &d)
+}
+
+func evict(c *Collector, pu int) {
+	d := DBDelta{Evictions: 1}
+	c.DBFlush(pu, types.Address{}, &d)
+}
+
 func TestCollectorAccumulation(t *testing.T) {
 	c := NewCollector()
 	a0, a1 := addr(1), addr(2)
 
-	c.DBLookup(0, a0, false, 3)
-	c.DBFill(0, 3)
-	c.DBLookup(0, a0, true, 3)
-	c.DBLookup(1, a1, true, 5)
-	c.DBLookup(1, a1, false, 2)
-	c.DBFill(1, 2)
-	c.DBEvict(1)
+	lookup(c, 0, a0, false, 3)
+	fill(c, 0, 3)
+	lookup(c, 0, a0, true, 3)
+	lookup(c, 1, a1, true, 5)
+	lookup(c, 1, a1, false, 2)
+	fill(c, 1, 2)
+	evict(c, 1)
 
 	pus := c.PUStats(3)
 	if len(pus) != 3 {
@@ -61,10 +86,45 @@ func TestCollectorAccumulation(t *testing.T) {
 
 func TestCollectorHistogramClamp(t *testing.T) {
 	c := NewCollector()
-	c.DBFill(0, maxHistLine+7)
+	fill(c, 0, maxHistLine+7)
 	hist := c.LineHistogram()
 	if hist[maxHistLine] != 1 {
 		t.Errorf("oversized fill not clamped into last bucket: %v", hist)
+	}
+}
+
+// TestBatchedDeltaEquivalence checks that one multi-event delta merges
+// identically to the same events flushed one at a time — the contract
+// the pipeline's commit-boundary batching relies on.
+func TestBatchedDeltaEquivalence(t *testing.T) {
+	a0 := addr(7)
+	perEvent := NewCollector()
+	lookup(perEvent, 2, a0, false, 4)
+	fill(perEvent, 2, 4)
+	lookup(perEvent, 2, a0, true, 4)
+	lookup(perEvent, 2, a0, true, 6)
+	evict(perEvent, 2)
+
+	batched := NewCollector()
+	var d DBDelta
+	d.Lookups, d.Hits, d.Misses = 3, 2, 1
+	d.HitInstructions = 10
+	d.AddFill(4)
+	d.Evictions = 1
+	batched.DBFlush(2, a0, &d)
+
+	if got, want := batched.PUStats(3), perEvent.PUStats(3); got[2] != want[2] {
+		t.Errorf("batched PU stats %+v, want %+v", got[2], want[2])
+	}
+	gc, wc := batched.Contracts(), perEvent.Contracts()
+	if len(gc) != 1 || len(wc) != 1 || gc[0] != wc[0] {
+		t.Errorf("batched contracts %+v, want %+v", gc, wc)
+	}
+	gh, wh := batched.LineHistogram(), perEvent.LineHistogram()
+	for i := range gh {
+		if gh[i] != wh[i] {
+			t.Errorf("histogram[%d] = %d, want %d", i, gh[i], wh[i])
+		}
 	}
 }
 
@@ -75,11 +135,11 @@ func TestCollectorContractsDeterministic(t *testing.T) {
 			// lookups per contract: addr(1)=3, addr(2)=3, addr(3)=1
 			switch b {
 			case 1, 2:
-				c.DBLookup(0, addr(b), true, 1)
-				c.DBLookup(0, addr(b), true, 1)
-				c.DBLookup(0, addr(b), false, 0)
+				lookup(c, 0, addr(b), true, 1)
+				lookup(c, 0, addr(b), true, 1)
+				lookup(c, 0, addr(b), false, 0)
 			case 3:
-				c.DBLookup(0, addr(b), false, 0)
+				lookup(c, 0, addr(b), false, 0)
 			}
 		}
 		return c.Contracts()

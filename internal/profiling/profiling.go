@@ -1,0 +1,49 @@
+// Package profiling wraps runtime/pprof for the CLIs: one call starts
+// the CPU profile and returns a stop function that finishes it and
+// writes the heap profile, so mtpu-run and mtpu-bench expose identical
+// -cpuprofile/-memprofile flags for profile-guided perf passes.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins profiling per the flag values (empty strings disable).
+// The returned stop must be called exactly once before the process
+// exits; it is safe to call when neither profile was requested.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("profiling: starting CPU profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("profiling: closing CPU profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("profiling: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("profiling: writing heap profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

@@ -1,0 +1,61 @@
+package sched
+
+import (
+	"testing"
+
+	"mtpu/internal/types"
+)
+
+// benchEngine is the cheapest possible Engine: fixed cost, no tracking,
+// so the benchmark isolates the scheduler's own pick/refill loop.
+type benchEngine struct{ costs []uint64 }
+
+func (e benchEngine) Dispatch(pu, tx int) uint64 { return e.costs[tx] }
+
+// benchWorkload builds an n-transaction block mixing chain dependencies
+// (every third transaction depends on its predecessor) with a small
+// contract pool, the shape the spatio-temporal tables see in the token
+// sweeps.
+func benchWorkload(n int) (*types.DAG, []types.Address, []uint64) {
+	dag := types.NewDAG(n)
+	for i := 2; i < n; i += 3 {
+		dag.AddEdge(i-2, i)
+	}
+	contracts := make([]types.Address, n)
+	costs := make([]uint64, n)
+	for i := range contracts {
+		contracts[i] = types.BytesToAddress([]byte{byte(i % 7)})
+		costs[i] = uint64(50 + i%13)
+	}
+	return dag, contracts, costs
+}
+
+// BenchmarkSpatialTemporalPick measures the scheduler pick loop end to
+// end: one iteration schedules a full block, so allocs/op is the total
+// scheduling-side allocation per block (the per-pick runningContracts
+// map this PR removed used to dominate it).
+func BenchmarkSpatialTemporalPick(b *testing.B) {
+	const n = 512
+	dag, contracts, costs := benchWorkload(n)
+	e := benchEngine{costs: costs}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SpatialTemporal(dag, contracts, 8, 8, 0, e)
+	}
+	b.ReportMetric(float64(n), "picks/op")
+}
+
+// BenchmarkSynchronousSchedule is the barrier scheduler over the same
+// workload, the baseline the spatio-temporal pick loop is compared to.
+func BenchmarkSynchronousSchedule(b *testing.B) {
+	const n = 512
+	dag, _, costs := benchWorkload(n)
+	e := benchEngine{costs: costs}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Synchronous(dag, 8, 0, e)
+	}
+	b.ReportMetric(float64(n), "picks/op")
+}

@@ -121,9 +121,18 @@ func Synchronous(dag *types.DAG, numPUs int, overhead uint64, e Engine) Result {
 // stState is the CPU-side bookkeeping around the Fig. 6 hardware tables:
 // which transactions have completed or are running (and on which PU),
 // plus the per-contract remaining-invocation counts behind the V values.
+// Contracts are interned once at construction into dense ids (cid 0 is
+// reserved for the zero address, which never matches redundancy), so
+// the per-pick hot loops index arrays instead of hashing addresses.
 type stState struct {
 	dag       *types.DAG
 	contracts []types.Address
+
+	// cids holds each transaction's dense contract id; remaining counts
+	// pending+running transactions per cid (a transaction's V value is
+	// remaining[cid]-1).
+	cids      []uint32
+	remaining []int32
 
 	completed []bool
 	running   []bool
@@ -132,32 +141,51 @@ type stState struct {
 
 	tables *Tables
 
-	lastContract []types.Address
+	// lastCid is the contract each PU ran last (0 = none/zero address).
+	lastCid []uint32
 
-	// remaining counts pending+running transactions per contract; a
-	// transaction's V value is remaining[contract]-1.
-	remaining map[types.Address]int
+	// runningMark is refill's scratch set of running contracts: cid c is
+	// a member iff runningMark[c] == runningEpoch. Bumping the epoch
+	// empties the set without clearing — the fix for the map that was
+	// rebuilt on every pick.
+	runningMark  []uint32
+	runningEpoch uint32
 }
 
 func newSTState(dag *types.DAG, contracts []types.Address, numPUs, m int) *stState {
 	n := dag.Len()
 	s := &stState{
-		dag:          dag,
-		contracts:    contracts,
-		completed:    make([]bool, n),
-		running:      make([]bool, n),
-		admitted:     make([]bool, n),
-		runningTx:    make([]int, numPUs),
-		tables:       NewTables(numPUs, m),
-		lastContract: make([]types.Address, numPUs),
-		remaining:    make(map[types.Address]int),
+		dag:       dag,
+		contracts: contracts,
+		cids:      make([]uint32, n),
+		completed: make([]bool, n),
+		running:   make([]bool, n),
+		admitted:  make([]bool, n),
+		runningTx: make([]int, numPUs),
+		tables:    NewTables(numPUs, m),
+		lastCid:   make([]uint32, numPUs),
 	}
 	for i := range s.runningTx {
 		s.runningTx[i] = -1
 	}
-	for _, c := range contracts {
-		s.remaining[c]++
+	// Intern contracts in first-appearance order; the one map here is
+	// the only address hashing the scheduler ever does.
+	ids := make(map[types.Address]uint32, len(contracts))
+	var zero types.Address
+	ids[zero] = 0
+	for tx, c := range contracts {
+		id, ok := ids[c]
+		if !ok {
+			id = uint32(len(ids))
+			ids[c] = id
+		}
+		s.cids[tx] = id
 	}
+	s.remaining = make([]int32, len(ids))
+	for _, id := range s.cids {
+		s.remaining[id]++
+	}
+	s.runningMark = make([]uint32, len(ids))
 	s.refill()
 	return s
 }
@@ -165,7 +193,7 @@ func newSTState(dag *types.DAG, contracts []types.Address, numPUs, m int) *stSta
 // value is the Transaction Table V entry: how many more times the
 // transaction's contract will be executed.
 func (s *stState) value(tx int) int {
-	return s.remaining[s.contracts[tx]] - 1
+	return int(s.remaining[s.cids[tx]]) - 1
 }
 
 // eligible reports whether every dependency is completed or running —
@@ -194,20 +222,21 @@ func (s *stState) dependsOnPU(p, tx int) bool {
 	return false
 }
 
-// redundantWithPU reports whether tx calls the contract PU p ran last.
+// redundantWithPU reports whether tx calls the contract PU p ran last
+// (cid 0 — idle or the zero address — never matches).
 func (s *stState) redundantWithPU(p, tx int) bool {
-	c := s.lastContract[p]
-	return !c.IsZero() && s.contracts[tx] == c
+	c := s.lastCid[p]
+	return c != 0 && s.cids[tx] == c
 }
 
 // refill tops the candidate window up (step 4 of Fig. 6): transactions
 // calling the same contract as one currently being executed are
 // prioritized, then larger V (§3.2.1).
 func (s *stState) refill() {
-	runningContracts := make(map[types.Address]bool)
+	s.runningEpoch++
 	for _, tx := range s.runningTx {
 		if tx >= 0 {
-			runningContracts[s.contracts[tx]] = true
+			s.runningMark[s.cids[tx]] = s.runningEpoch
 		}
 	}
 	for {
@@ -222,7 +251,7 @@ func (s *stState) refill() {
 				continue
 			}
 			key := s.value(tx) * 2
-			if runningContracts[s.contracts[tx]] {
+			if s.runningMark[s.cids[tx]] == s.runningEpoch {
 				key += s.dag.Len() * 4 // same-contract priority dominates
 			}
 			// Ascending iteration keeps the earliest index on ties.
@@ -251,7 +280,7 @@ func (s *stState) dispatch(p int) Pick {
 	}
 	s.running[tx] = true
 	s.runningTx[p] = tx
-	s.lastContract[p] = s.contracts[tx]
+	s.lastCid[p] = s.cids[tx]
 	s.tables.SetRunning(p,
 		func(cand int) bool {
 			for _, d := range s.dag.Deps[cand] {
@@ -261,7 +290,7 @@ func (s *stState) dispatch(p int) Pick {
 			}
 			return false
 		},
-		func(cand int) bool { return s.contracts[cand] == s.contracts[tx] })
+		func(cand int) bool { return s.cids[cand] == s.cids[tx] })
 	return pk
 }
 
@@ -271,7 +300,7 @@ func (s *stState) complete(p int) {
 	s.runningTx[p] = -1
 	s.running[tx] = false
 	s.completed[tx] = true
-	s.remaining[s.contracts[tx]]--
+	s.remaining[s.cids[tx]]--
 	s.tables.ClearRunning(p)
 }
 

@@ -312,3 +312,38 @@ func TestDependentTxWaitsForRunningDep(t *testing.T) {
 		t.Fatalf("makespan %d", res.Makespan)
 	}
 }
+
+func TestDeterminismUnderShuffledDispatchTies(t *testing.T) {
+	// A workload built to maximize tie-breaking pressure: every cost is
+	// equal (all PUs free simultaneously at every barrier instant), the
+	// contract pool repeats (many equal V values per pick) and chains
+	// force refills mid-flight. Any map-iteration order leaking into the
+	// candidate scan or the refill set shows up here: Go randomizes map
+	// range order per iteration, so repeated in-process runs would
+	// disagree. The full dispatch tuples must match exactly.
+	const n, pus, runs = 96, 8, 16
+	dag := types.NewDAG(n)
+	for i := 5; i < n; i += 5 {
+		dag.AddEdge(i-5, i)
+	}
+	cs := make([]types.Address, n)
+	for i := range cs {
+		cs[i] = types.BytesToAddress([]byte{byte(i % 4)})
+	}
+	run := func() []Dispatch {
+		res := SpatialTemporal(dag, cs, pus, 8, 0, newFake(uniform(n, 10), cs, pus))
+		return res.Dispatches
+	}
+	want := run()
+	for r := 1; r < runs; r++ {
+		got := run()
+		if len(got) != len(want) {
+			t.Fatalf("run %d: %d dispatches, want %d", r, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("run %d: dispatch %d = %+v, want %+v", r, i, got[i], want[i])
+			}
+		}
+	}
+}

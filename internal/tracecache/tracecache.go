@@ -84,9 +84,15 @@ type Entry struct {
 
 // PlainPlans returns the unoptimized execution plan of every trace,
 // built once per entry (instead of once per mode replayed) and shared by
-// every caller — plans are read-only during replay.
+// every caller — plans are read-only during replay. The plans carry a
+// shared fill-segmentation memo: cached entries are replayed across
+// many modes and repetitions, so the canonical segmentation is computed
+// once here instead of once per pipeline.
 func (e *Entry) PlainPlans() []*pu.Plan {
-	e.plansOnce.Do(func() { e.plans = pu.PlainPlans(e.Traces) })
+	e.plansOnce.Do(func() {
+		e.plans = pu.PlainPlans(e.Traces)
+		pu.AttachFillMemo(arch.DefaultConfig(), e.plans)
+	})
 	return e.plans
 }
 
