@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: all build test race vet fuzz-smoke diff-smoke bench stats-smoke stm-sweep bse-sweep perf validate-artifacts ci
+.PHONY: all build test race vet fuzz-smoke diff-smoke bench stats-smoke stm-sweep bse-sweep perf report-smoke validate-artifacts ci
 
 all: build
 
@@ -70,6 +70,17 @@ perf:
 	$(GO) run ./cmd/mtpu-bench -json bench_perf.json -perf-baseline BENCH_perf.json -perf-min-ratio 0.4 perf
 	$(GO) run ./cmd/mtpu-bench -validate bench_perf.json
 
+# Exercise the run-ledger/regression loop end to end: two quick perf
+# passes append JSONL ledger entries, then mtpu-report diffs them and
+# must exit zero (the threshold is loose — back-to-back passes on one
+# machine only differ by noise; a 5x collapse means the ledger or the
+# comparison broke).
+report-smoke:
+	rm -f bench_ledger_a.jsonl bench_ledger_b.jsonl
+	$(GO) run ./cmd/mtpu-bench -perf-wall 40ms -ledger bench_ledger_a.jsonl perf
+	$(GO) run ./cmd/mtpu-bench -perf-wall 40ms -ledger bench_ledger_b.jsonl perf
+	$(GO) run ./cmd/mtpu-report -min-ratio 0.2 bench_ledger_a.jsonl bench_ledger_b.jsonl
+
 # Strictly validate the checked-in sweep artifacts: catches a schema bump
 # (or a new sweep such as bse or perf) that was not regenerated into the
 # files.
@@ -77,4 +88,4 @@ validate-artifacts:
 	$(GO) run ./cmd/mtpu-bench -validate BENCH_sweeps.json
 	$(GO) run ./cmd/mtpu-bench -validate BENCH_perf.json
 
-ci: vet build race diff-smoke fuzz-smoke stats-smoke stm-sweep bse-sweep perf validate-artifacts
+ci: vet build race diff-smoke fuzz-smoke stats-smoke stm-sweep bse-sweep perf report-smoke validate-artifacts

@@ -30,14 +30,16 @@ import (
 	"mtpu/internal/engine"
 	"mtpu/internal/experiments"
 	"mtpu/internal/profiling"
+	"mtpu/internal/telemetry"
 )
 
 // reportSchema versions the -json layout; bump on incompatible changes
 // so checked-in BENCH_*.json files stay self-describing. v3 added the
 // optimistic-baseline sweep rows ("stm"); v4 added the
 // batch-schedule-execute sweep rows ("bse"); v5 added the simulator
-// hot-loop throughput rows ("perf").
-const reportSchema = 5
+// hot-loop throughput rows ("perf"); v6 added the build fingerprint
+// ("build": module version, VCS revision/time).
+const reportSchema = 6
 
 // artifactResult is one experiment's rendering plus its sweep summary.
 type artifactResult struct {
@@ -66,14 +68,15 @@ type counterReport struct {
 // checked-in BENCH_*.json files self-describing: which schema, which
 // toolchain, and which architectural configuration produced them.
 type benchReport struct {
-	Schema      int                `json:"schema"`
-	GoVersion   string             `json:"go_version"`
-	Seed        int64              `json:"seed"`
-	Parallel    int                `json:"parallel"`
-	GOMAXPROCS  int                `json:"gomaxprocs"`
-	Arch        arch.Config        `json:"arch"`
-	Experiments []experimentReport `json:"experiments"`
-	Counters    []counterReport    `json:"counters,omitempty"`
+	Schema      int                 `json:"schema"`
+	GoVersion   string              `json:"go_version"`
+	Build       telemetry.BuildInfo `json:"build"`
+	Seed        int64               `json:"seed"`
+	Parallel    int                 `json:"parallel"`
+	GOMAXPROCS  int                 `json:"gomaxprocs"`
+	Arch        arch.Config         `json:"arch"`
+	Experiments []experimentReport  `json:"experiments"`
+	Counters    []counterReport     `json:"counters,omitempty"`
 
 	// STM and BSE carry the optimistic-baseline and
 	// batch-schedule-execute sweep rows when those artifacts ran — the
@@ -117,8 +120,17 @@ func main() {
 	perfWall := flag.Duration("perf-wall", experiments.DefaultPerfWall, "per-point measurement budget of the perf artifact")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
+	blockProfile := flag.String("blockprofile", "", "write a pprof goroutine-blocking profile at exit to this file")
+	mutexProfile := flag.String("mutexprofile", "", "write a pprof mutex-contention profile at exit to this file")
+	ledgerPath := flag.String("ledger", "", "append a JSONL run-ledger entry (env fingerprint + workloads + telemetry) to this file")
+	telemetryAddr := flag.String("telemetry-addr", "", "serve live metrics (Prometheus text, expvar, pprof) on this address while running")
+	version := flag.Bool("version", false, "print build information and exit")
 	flag.Usage = usage
 	flag.Parse()
+	if *version {
+		fmt.Println(telemetry.Build())
+		return
+	}
 	if *validate != "" {
 		if err := validateReport(*validate); err != nil {
 			fmt.Fprintf(os.Stderr, "mtpu-bench: %s: %v\n", *validate, err)
@@ -131,7 +143,8 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	profiles := profiling.Profiles{CPU: *cpuProfile, Mem: *memProfile, Block: *blockProfile, Mutex: *mutexProfile}
+	stopProfiles, err := profiling.StartAll(profiles)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mtpu-bench: %v\n", err)
 		os.Exit(1)
@@ -151,6 +164,18 @@ func main() {
 	env.PerfWall = *perfWall
 	if *stats {
 		env.Stats = experiments.NewStatsRecorder()
+	}
+	if *ledgerPath != "" || *telemetryAddr != "" {
+		env.Tel = telemetry.New()
+	}
+	if *telemetryAddr != "" {
+		addr, stopServe, err := env.Tel.Serve(*telemetryAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mtpu-bench: telemetry listener: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("telemetry: serving /metrics /snapshot /debug/{vars,pprof} on http://%s\n", addr)
+		defer stopServe()
 	}
 
 	cmd := flag.Arg(0)
@@ -304,6 +329,7 @@ func main() {
 	report := benchReport{
 		Schema:     reportSchema,
 		GoVersion:  runtime.Version(),
+		Build:      telemetry.Build(),
 		Seed:       *seed,
 		Parallel:   workers,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
@@ -355,6 +381,43 @@ func main() {
 			os.Exit(1)
 		}
 	}
+
+	if *ledgerPath != "" {
+		entry := telemetry.NewEntry("mtpu-bench", flag.Args())
+		entry.ConfigHash = telemetry.ConfigHash(report.Arch)
+		entry.Profiles = profiles.Paths()
+		entry.Workloads = reportWorkloads(&report)
+		if env.Tel != nil {
+			snap := env.Tel.Snapshot()
+			entry.Telemetry = &snap
+		}
+		if err := telemetry.Append(*ledgerPath, entry); err != nil {
+			fmt.Fprintf(os.Stderr, "mtpu-bench: ledger: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// reportWorkloads flattens a report to the ledger's comparable
+// workloads: perf rows as host tx/s under the same perf/<name> keys
+// telemetry.LoadArtifact derives from a raw report, plus each
+// experiment's sweep-points-per-second as a coarse wall-clock proxy.
+func reportWorkloads(r *benchReport) []telemetry.Workload {
+	var out []telemetry.Workload
+	for _, p := range r.Perf {
+		out = append(out, telemetry.Workload{Key: "perf/" + p.Name, Value: p.TxPerSec, Unit: "tx/s"})
+	}
+	for _, e := range r.Experiments {
+		if e.Name == "perf" || e.Points == 0 || e.WallMS <= 0 {
+			continue
+		}
+		out = append(out, telemetry.Workload{
+			Key:   "bench/" + e.Name,
+			Value: float64(e.Points) / (e.WallMS / 1000),
+			Unit:  "points/s",
+		})
+	}
+	return out
 }
 
 // validateReport strictly decodes a -json report and checks the schema
@@ -395,6 +458,11 @@ func checkReport(r *benchReport) error {
 	}
 	if r.GoVersion == "" {
 		return fmt.Errorf("missing go_version")
+	}
+	// v6: the build fingerprint must at least name the toolchain; VCS
+	// fields may legitimately be empty (`go run` embeds no VCS stamp).
+	if r.Build.GoVersion == "" {
+		return fmt.Errorf("missing build.go_version (schema 6 build fingerprint)")
 	}
 	if r.Parallel < 1 || r.GOMAXPROCS < 1 {
 		return fmt.Errorf("bad worker metadata: parallel=%d gomaxprocs=%d", r.Parallel, r.GOMAXPROCS)
@@ -558,44 +626,39 @@ func checkReport(r *benchReport) error {
 }
 
 // gatePerf compares freshly measured perf points against the committed
-// baseline report: every point present in both must reach minRatio of
-// the baseline's tx/s. The threshold is deliberately loose — it catches
-// an order-of-magnitude hot-loop regression, not machine-to-machine
-// noise between the committing and the CI host.
+// baseline report through the same telemetry.Compare path mtpu-report
+// uses, so a gate failure prints the full per-workload ratio table
+// rather than just the first offender. The threshold is deliberately
+// loose — it catches an order-of-magnitude hot-loop regression, not
+// machine-to-machine noise between the committing and the CI host.
 func gatePerf(baselinePath string, points []experiments.PerfPoint, minRatio float64) error {
 	if len(points) == 0 {
 		return fmt.Errorf("no perf points measured (did the run include the perf artifact?)")
 	}
-	f, err := os.Open(baselinePath)
+	base, err := telemetry.LoadArtifact(baselinePath)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	var base benchReport
-	dec := json.NewDecoder(f)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&base); err != nil {
-		return fmt.Errorf("decoding baseline: %w", err)
+	hasPerf := false
+	for _, w := range base.Workloads {
+		if strings.HasPrefix(w.Key, "perf/") {
+			hasPerf = true
+			break
+		}
 	}
-	baseline := make(map[string]experiments.PerfPoint, len(base.Perf))
-	for _, p := range base.Perf {
-		baseline[p.Name] = p
-	}
-	if len(baseline) == 0 {
+	if !hasPerf {
 		return fmt.Errorf("%s carries no perf rows (regenerate it with the perf artifact)", baselinePath)
 	}
+	measured := &telemetry.Artifact{Path: "measured", Kind: "bench"}
 	for _, p := range points {
-		b, ok := baseline[p.Name]
-		if !ok {
-			continue // new workload class: no baseline yet
-		}
-		if b.TxPerSec <= 0 {
-			return fmt.Errorf("%s: baseline tx/s %.1f is not positive", p.Name, b.TxPerSec)
-		}
-		if ratio := p.TxPerSec / b.TxPerSec; ratio < minRatio {
-			return fmt.Errorf("%s: %.0f tx/s is %.2fx the baseline %.0f tx/s (minimum %.2fx)",
-				p.Name, p.TxPerSec, ratio, b.TxPerSec, minRatio)
-		}
+		measured.Workloads = append(measured.Workloads,
+			telemetry.Workload{Key: "perf/" + p.Name, Value: p.TxPerSec, Unit: "tx/s"})
+	}
+	cmp := telemetry.Compare([]*telemetry.Artifact{base, measured}, minRatio)
+	if regs := cmp.Regressions(); len(regs) > 0 {
+		fmt.Fprint(os.Stderr, cmp.Render())
+		return fmt.Errorf("%d perf workload(s) below %.2fx the %s baseline (table above)",
+			len(regs), minRatio, baselinePath)
 	}
 	return nil
 }
@@ -644,7 +707,16 @@ flags:
                invariants, and exit
   -perf-baseline F  after running, compare the perf artifact's tx/s
                against the committed report F and fail on regression
+               (printing the mtpu-report ratio table)
   -perf-min-ratio R minimum new/baseline tx/s the gate accepts (0.5)
+  -ledger F    append a JSONL run-ledger entry: build + host
+               fingerprint, per-workload throughput, telemetry snapshot
+  -telemetry-addr A  serve live metrics on A while running
+               (/metrics Prometheus text, /snapshot JSON, /debug/vars,
+               /debug/pprof)
+  -version     print build information and exit
   -cpuprofile F  write a pprof CPU profile of the run
-  -memprofile F  write a pprof heap profile at exit`)
+  -memprofile F  write a pprof heap profile at exit
+  -blockprofile F  write a goroutine-blocking profile at exit
+  -mutexprofile F  write a mutex-contention profile at exit`)
 }

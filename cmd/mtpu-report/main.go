@@ -1,0 +1,99 @@
+// Command mtpu-report compares measurement artifacts — JSONL run
+// ledgers (mtpu-run/mtpu-bench -ledger) and mtpu-bench -json reports —
+// aligning them by workload key and printing a per-workload regression
+// table with min/max and the newest/baseline ratio.
+//
+// Usage:
+//
+//	mtpu-report [-min-ratio R] [-json] BASELINE FILE... NEWEST
+//
+// The first file is the baseline and the last the candidate; middle
+// files add columns but never gate. Exit status: 0 when no aligned
+// workload's ratio falls below -min-ratio, 1 on regression, 2 on
+// usage or load errors. This is the same comparison code path `make
+// perf` fails through, so the gate and the tool always agree.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"mtpu/internal/telemetry"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with the process edges injected, so tests drive the
+// exact code path (flags, loading, comparison, exit status) users do.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mtpu-report", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	minRatio := fs.Float64("min-ratio", 0.8, "minimum newest/baseline throughput ratio before a workload counts as regressed")
+	jsonOut := fs.Bool("json", false, "emit the comparison as JSON instead of a table")
+	version := fs.Bool("version", false, "print build information and exit")
+	fs.Usage = func() { usage(stderr) }
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *version {
+		fmt.Fprintln(stdout, telemetry.Build())
+		return 0
+	}
+	if fs.NArg() < 2 {
+		usage(stderr)
+		return 2
+	}
+
+	artifacts := make([]*telemetry.Artifact, 0, fs.NArg())
+	for _, path := range fs.Args() {
+		a, err := telemetry.LoadArtifact(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "mtpu-report: %v\n", err)
+			return 2
+		}
+		if len(a.Workloads) == 0 {
+			fmt.Fprintf(stderr, "mtpu-report: %s (%s, %d entries) carries no workloads\n", path, a.Kind, a.Entries)
+			return 2
+		}
+		artifacts = append(artifacts, a)
+	}
+
+	cmp := telemetry.Compare(artifacts, *minRatio)
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(cmp); err != nil {
+			fmt.Fprintf(stderr, "mtpu-report: %v\n", err)
+			return 2
+		}
+	} else {
+		fmt.Fprint(stdout, cmp.Render())
+	}
+
+	if regs := cmp.Regressions(); len(regs) > 0 {
+		fmt.Fprintf(stderr, "mtpu-report: %d workload(s) regressed below %.2fx\n", len(regs), *minRatio)
+		return 1
+	}
+	fmt.Fprintf(stdout, "no regression: every aligned workload >= %.2fx the baseline\n", *minRatio)
+	return 0
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `usage: mtpu-report [-min-ratio R] [-json] BASELINE [FILE...] NEWEST
+Compares two or more measurement artifacts by workload key. Accepted
+formats (auto-detected per JSON document):
+  - JSONL run ledgers written by mtpu-run/mtpu-bench -ledger
+  - mtpu-bench -json reports (perf rows become perf/<name> workloads)
+The ratio column is newest/baseline; a workload regresses when its
+ratio drops below -min-ratio (default 0.8). Workloads present on only
+one side are shown as "unaligned" and never gate.
+flags:
+  -min-ratio R  regression threshold (newest/baseline)
+  -json         machine-readable comparison output
+  -version      print build information and exit`)
+}

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mtpu/internal/telemetry"
+)
+
+// writeLedger appends one entry with the given workload values, keyed
+// perf/w0, perf/w1, ...
+func writeLedger(t *testing.T, path string, values ...float64) {
+	t.Helper()
+	e := telemetry.NewEntry("test", nil)
+	for i, v := range values {
+		e.Workloads = append(e.Workloads, telemetry.Workload{
+			Key: "perf/w" + string(rune('0'+i)), Value: v, Unit: "tx/s",
+		})
+	}
+	if err := telemetry.Append(path, e); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func runReport(args ...string) (code int, stdout, stderr string) {
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// TestIdenticalArtifactsExitZero is the acceptance baseline: diffing an
+// artifact against itself never regresses.
+func TestIdenticalArtifactsExitZero(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "base.jsonl")
+	writeLedger(t, path, 1000, 2000)
+	code, stdout, stderr := runReport(path, path)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "no regression") {
+		t.Errorf("stdout missing pass message:\n%s", stdout)
+	}
+}
+
+// TestInjectedRegressionExitsNonzero doctors a copy of the baseline
+// with a 25% throughput drop — past the default 0.8 threshold — and
+// requires exit 1 plus the per-workload table naming the culprit.
+func TestInjectedRegressionExitsNonzero(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "old.jsonl")
+	cand := filepath.Join(dir, "new.jsonl")
+	writeLedger(t, base, 1000, 2000)
+	writeLedger(t, cand, 750, 2000) // perf/w0 dropped to 0.75x
+
+	code, stdout, stderr := runReport(base, cand)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "perf/w0") || !strings.Contains(stdout, "REGRESSED") {
+		t.Errorf("table does not flag perf/w0:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "1 workload(s) regressed") {
+		t.Errorf("stderr does not count regressions: %s", stderr)
+	}
+
+	// The same drop passes under a looser threshold.
+	if code, _, _ := runReport("-min-ratio", "0.5", base, cand); code != 0 {
+		t.Errorf("0.75x flagged under a 0.5 threshold (exit %d)", code)
+	}
+}
+
+// TestBenchReportInput aligns a checked-in-format mtpu-bench report
+// against a ledger: the perf/<name> key scheme must match across the
+// two formats.
+func TestBenchReportInput(t *testing.T) {
+	dir := t.TempDir()
+	bench := filepath.Join(dir, "bench.json")
+	doc := `{"schema": 6, "experiments": [{"name": "perf"}],
+		"perf": [{"name": "w0", "tx_per_sec": 1000}]}`
+	if err := os.WriteFile(bench, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ledger := filepath.Join(dir, "run.jsonl")
+	writeLedger(t, ledger, 600) // 0.6x of the bench baseline
+
+	code, stdout, _ := runReport(bench, ledger)
+	if code != 1 {
+		t.Fatalf("cross-format regression missed (exit %d):\n%s", code, stdout)
+	}
+}
+
+// TestJSONOutput checks the machine-readable path round-trips.
+func TestJSONOutput(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "base.jsonl")
+	writeLedger(t, path, 1000)
+	code, stdout, stderr := runReport("-json", path, path)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	var cmp telemetry.Comparison
+	dec := json.NewDecoder(strings.NewReader(stdout))
+	if err := dec.Decode(&cmp); err != nil {
+		t.Fatalf("-json output is not a Comparison: %v", err)
+	}
+	if len(cmp.Rows) != 1 || cmp.Rows[0].Ratio != 1 {
+		t.Errorf("comparison = %+v", cmp)
+	}
+}
+
+// TestUsageErrorsExitTwo covers the error-status contract.
+func TestUsageErrorsExitTwo(t *testing.T) {
+	if code, _, _ := runReport(); code != 2 {
+		t.Errorf("no args: exit %d, want 2", code)
+	}
+	one := filepath.Join(t.TempDir(), "one.jsonl")
+	writeLedger(t, one, 1)
+	if code, _, _ := runReport(one); code != 2 {
+		t.Errorf("one arg: exit %d, want 2", code)
+	}
+	if code, _, stderr := runReport(one, filepath.Join(t.TempDir(), "missing.jsonl")); code != 2 {
+		t.Errorf("missing file: exit %d, want 2 (stderr %s)", code, stderr)
+	}
+	empty := filepath.Join(t.TempDir(), "empty.jsonl")
+	if err := telemetry.Append(empty, telemetry.NewEntry("test", nil)); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, stderr := runReport(empty, empty); code != 2 {
+		t.Errorf("workload-free ledger: exit %d, want 2 (stderr %s)", code, stderr)
+	}
+}

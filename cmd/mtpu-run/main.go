@@ -7,8 +7,10 @@
 //
 //	mtpu-run [-txs N] [-dep R] [-pus N] [-seed N] [-mode LIST] [-v]
 //	         [-dump F] [-load F] [-stats] [-trace-out F] [-verify-dag]
-//	         [-cpuprofile F] [-memprofile F]
+//	         [-ledger F] [-telemetry-addr A] [-cpuprofile F] [-memprofile F]
+//	         [-blockprofile F] [-mutexprofile F]
 //	mtpu-run -diff FILE [-mode LIST]
+//	mtpu-run -version
 //
 // The -diff form replays a saved differential-test spec (a corpus file
 // written by the harness in internal/difftest, or a hand-written one)
@@ -21,6 +23,7 @@ import (
 	"log"
 	"os"
 	"strings"
+	"time"
 
 	"mtpu/internal/arch"
 	"mtpu/internal/core"
@@ -28,6 +31,7 @@ import (
 	"mtpu/internal/metrics"
 	"mtpu/internal/obs"
 	"mtpu/internal/profiling"
+	"mtpu/internal/telemetry"
 	"mtpu/internal/types"
 	"mtpu/internal/workload"
 )
@@ -67,14 +71,24 @@ func main() {
 	diff := flag.String("diff", "", "replay a saved differential-test spec (JSON) across the selected engines and exit")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
+	blockProfile := flag.String("blockprofile", "", "write a pprof goroutine-blocking profile at exit to this file")
+	mutexProfile := flag.String("mutexprofile", "", "write a pprof mutex-contention profile at exit to this file")
+	ledgerPath := flag.String("ledger", "", "append a JSONL run-ledger entry (env fingerprint + per-mode throughput + telemetry) to this file")
+	telemetryAddr := flag.String("telemetry-addr", "", "serve live metrics (Prometheus text, expvar, pprof) on this address while running")
+	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(telemetry.Build())
+		return
+	}
 
 	modes, err := parseModes(*mode)
 	if err != nil {
 		log.Fatalf("mtpu-run: %v", err)
 	}
 
-	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	profiles := profiling.Profiles{CPU: *cpuProfile, Mem: *memProfile, Block: *blockProfile, Mutex: *mutexProfile}
+	stopProfiles, err := profiling.StartAll(profiles)
 	if err != nil {
 		log.Fatalf("mtpu-run: %v", err)
 	}
@@ -136,6 +150,11 @@ func main() {
 
 	fmt.Printf("block: %d transactions, dependent ratio %.2f, critical path %d\n",
 		len(block.Transactions), block.DAG.DependentRatio(), block.DAG.CriticalPathLen())
+	if *stats {
+		fp := genesis.Footprint()
+		fmt.Printf("genesis state: %d accounts, %d storage slots, %d code bytes\n",
+			fp.Accounts, fp.StorageSlots, fp.CodeBytes)
+	}
 	fmt.Printf("state digest: %s\n", digest)
 	var gas uint64
 	for _, r := range receipts {
@@ -161,19 +180,46 @@ func main() {
 	acc := core.New(cfg)
 	acc.LearnHotspots(traces, 8)
 
+	var tel *telemetry.Metrics
+	if *ledgerPath != "" || *telemetryAddr != "" {
+		tel = telemetry.New()
+	}
+	if *telemetryAddr != "" {
+		addr, stopServer, err := tel.Serve(*telemetryAddr)
+		if err != nil {
+			log.Fatalf("mtpu-run: %v", err)
+		}
+		fmt.Printf("telemetry: serving /metrics, /snapshot, /debug/vars, /debug/pprof on http://%s\n", addr)
+		defer func() {
+			if err := stopServer(); err != nil {
+				log.Printf("mtpu-run: telemetry server: %v", err)
+			}
+		}()
+	}
+
 	instrument := *stats || *traceOut != ""
 	t := metrics.NewTable(fmt.Sprintf("execution modes (%d PUs)", *pus),
 		"mode", "cycles", "speedup", "IPC", "hit", "util")
 	var baseline uint64 // first listed mode anchors the speedup column
 	var reports []*obs.Report
+	var workloads []telemetry.Workload
 	for _, m := range modes {
-		opts := core.ReplayOpts{Genesis: genesis}
+		opts := core.ReplayOpts{Genesis: genesis, Tel: tel}
 		if instrument {
 			opts.Obs = obs.NewCollector()
 		}
+		wallStart := time.Now()
 		res, err := acc.ReplayWith(block, traces, receipts, digest, m, opts)
+		wall := time.Since(wallStart)
 		if err != nil {
 			log.Fatalf("mtpu-run: %v: %v", m, err)
+		}
+		if tel != nil && wall > 0 {
+			workloads = append(workloads, telemetry.Workload{
+				Key:   fmt.Sprintf("run/%s/txs%d-dep%.2f-pus%d", m, len(block.Transactions), *dep, *pus),
+				Value: float64(len(block.Transactions)) / wall.Seconds(),
+				Unit:  "tx/s",
+			})
 		}
 		if baseline == 0 {
 			baseline = res.Cycles
@@ -217,5 +263,18 @@ func main() {
 			log.Fatalf("mtpu-run: %v", err)
 		}
 		fmt.Printf("\ntimeline written to %s — open in https://ui.perfetto.dev or chrome://tracing (one process per mode, one thread per PU)\n", *traceOut)
+	}
+
+	if *ledgerPath != "" {
+		entry := telemetry.NewEntry("mtpu-run", os.Args[1:])
+		entry.ConfigHash = telemetry.ConfigHash(cfg)
+		entry.Profiles = profiles.Paths()
+		entry.Workloads = workloads
+		snap := tel.Snapshot()
+		entry.Telemetry = &snap
+		if err := telemetry.Append(*ledgerPath, entry); err != nil {
+			log.Fatalf("mtpu-run: %v", err)
+		}
+		fmt.Printf("run ledger appended to %s (%d workloads)\n", *ledgerPath, len(workloads))
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"mtpu/internal/arch"
 	"mtpu/internal/arch/mtpu"
@@ -28,6 +29,7 @@ import (
 	"mtpu/internal/sched"
 	"mtpu/internal/state"
 	"mtpu/internal/stm"
+	"mtpu/internal/telemetry"
 	"mtpu/internal/types"
 )
 
@@ -243,6 +245,13 @@ type ReplayOpts struct {
 	// only read, never mutated, so one shared genesis serves concurrent
 	// replays.
 	Genesis *state.StateDB
+	// Tel enables host-side telemetry: the replay's wall-clock latency,
+	// simulated volume, cache warm/cold splits, scheduler pick rates and
+	// STM incarnation/abort rates stream into the shared registry. The
+	// registry is concurrency-safe, so — unlike Obs — one instance serves
+	// every replay of a sweep. nil (the default) costs the hot path one
+	// branch per replay and zero allocations.
+	Tel *telemetry.Metrics
 }
 
 // Replay runs only the timing model over pre-collected traces (callers
@@ -286,11 +295,20 @@ func (a *Accelerator) ReplayWith(block *types.Block, traces []*arch.TxTrace, rec
 	cfg = eng.Configure(cfg)
 	proc := getProcessor(cfg)
 
-	// The typed-nil guard matters: assigning a nil *Collector into the
-	// interface directly would defeat the sink != nil fast path.
+	// The typed-nil guards matter: assigning a nil *Collector (or a nil
+	// *Metrics' sink) into the interface directly would defeat the
+	// sink != nil fast path. Tee is the one attachment point where the
+	// cycle-obs collector and the host-telemetry bridge meet; with both
+	// absent the sink stays nil and every hot path keeps its
+	// uninstrumented route.
 	var sink obs.Sink
 	if opts.Obs != nil {
 		sink = opts.Obs
+	}
+	if opts.Tel != nil {
+		sink = obs.Tee(sink, opts.Tel.Sink())
+	}
+	if sink != nil {
 		proc.SetSink(sink)
 	}
 
@@ -307,6 +325,11 @@ func (a *Accelerator) ReplayWith(block *types.Block, traces []*arch.TxTrace, rec
 		Genesis:  opts.Genesis,
 		Receipts: receipts,
 		Digest:   digest,
+		Tel:      opts.Tel,
+	}
+	var replayStart time.Time
+	if opts.Tel != nil {
+		replayStart = time.Now()
 	}
 	er, err := eng.Run(block, traces, env)
 	if err != nil {
@@ -335,10 +358,19 @@ func (a *Accelerator) ReplayWith(block *types.Block, traces []*arch.TxTrace, rec
 		res.STM = &er.STM.Stats
 		res.STMConflicts = er.STM.Conflicts
 	}
+	if opts.Tel != nil {
+		opts.Tel.ObserveReplay(mode.String(), len(traces), ps.Instructions, sres.Makespan, time.Since(replayStart))
+		// Reset zeroes the State Buffer counters, so the post-run values
+		// are exactly this replay's warm/cold split.
+		opts.Tel.SBufHits.Add(proc.SBuf.Hits)
+		opts.Tel.SBufMisses.Add(proc.SBuf.Misses)
+		opts.Tel.SchedRefillScans.Add(sres.RefillScans)
+	}
 	if opts.Obs != nil {
 		res.Obs = buildObsReport(cfg, mode.String(), er.SchedWindow, proc, &sres, block, opts.Obs)
 		res.Obs.STM = res.STM
-	} else {
+	}
+	if sink == nil {
 		// Instrumented processors are not recycled: the report path walks
 		// the processor after the replay, and keeping only sink-free
 		// processors in the pool keeps the uninstrumented fast path honest.

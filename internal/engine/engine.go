@@ -22,6 +22,7 @@ import (
 	"mtpu/internal/sched"
 	"mtpu/internal/state"
 	"mtpu/internal/stm"
+	"mtpu/internal/telemetry"
 	"mtpu/internal/types"
 )
 
@@ -120,6 +121,11 @@ type Env struct {
 	// Sink receives scheduler events when instrumentation is on; nil
 	// keeps every hot path on its uninstrumented route.
 	Sink obs.Sink
+	// Tel is the host-telemetry registry; nil keeps telemetry off.
+	// Engines that run sub-executors with their own live counters (e.g.
+	// Block-STM) forward it; everything latency/throughput-shaped is
+	// recorded by core around the Run call.
+	Tel *telemetry.Metrics
 	// Genesis is the pre-block state, nil unless the caller supplied
 	// one. Engines that need it (NeedsGenesis) must error cleanly when
 	// it is absent. It is only read, never mutated.

@@ -204,6 +204,7 @@ func (e blockSTMEngine) Run(block *types.Block, _ []*arch.TxTrace, env *Env) (Re
 		ScheduleOverhead: env.Cfg.ScheduleOverhead,
 		ValidateBase:     env.Cfg.StmValidateBase,
 		ValidatePerKey:   env.Cfg.StmValidatePerKey,
+		Tel:              env.Tel,
 	}, env)
 	if err != nil {
 		return Result{}, err

@@ -86,7 +86,7 @@ func Ablations(env *Env) []AblationRow {
 	// Scalar reference is independent of the knobs under test.
 	scalarAcc := core.New(arch.DefaultConfig())
 	scalarRes, err := scalarAcc.ReplayWith(e.Block, e.Traces, e.Receipts, e.Digest,
-		core.ModeScalar, core.ReplayOpts{Plans: e.PlainPlans()})
+		core.ModeScalar, core.ReplayOpts{Plans: e.PlainPlans(), Tel: env.Tel})
 	if err != nil {
 		panic(err)
 	}

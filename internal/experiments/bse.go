@@ -58,7 +58,7 @@ func (p *bsePrep) init(env *Env, target float64) {
 
 		baseRes, err := p.acc.ReplayWith(p.entry.Block, p.entry.Traces,
 			p.entry.Receipts, p.entry.Digest, core.ModeSequentialILP,
-			core.ReplayOpts{Plans: p.entry.PlainPlans()})
+			core.ReplayOpts{Plans: p.entry.PlainPlans(), Tel: env.Tel})
 		if err != nil {
 			panic(err)
 		}
@@ -85,7 +85,7 @@ func BSESweep(env *Env) []BSEPoint {
 
 		replay := func(mode core.Mode) *core.Result {
 			res, err := prep.acc.ReplayWith(e.Block, e.Traces, e.Receipts,
-				e.Digest, mode, core.ReplayOpts{NumPUs: pus, Plans: e.PlainPlans()})
+				e.Digest, mode, core.ReplayOpts{NumPUs: pus, Plans: e.PlainPlans(), Tel: env.Tel})
 			if err != nil {
 				panic(err)
 			}

@@ -39,12 +39,12 @@ func Table8(env *Env) []Table8Row {
 		acc.LearnHotspots(e.Traces, 8)
 
 		scalarRes, err := acc.ReplayWith(e.Block, e.Traces, e.Receipts, e.Digest,
-			core.ModeScalar, core.ReplayOpts{NumPUs: 1, Plans: plans})
+			core.ModeScalar, core.ReplayOpts{NumPUs: 1, Plans: plans, Tel: env.Tel})
 		if err != nil {
 			panic(err)
 		}
 		mtpuRes, err := acc.ReplayWith(e.Block, e.Traces, e.Receipts, e.Digest,
-			core.ModeSTHotspot, core.ReplayOpts{NumPUs: 1})
+			core.ModeSTHotspot, core.ReplayOpts{NumPUs: 1, Tel: env.Tel})
 		if err != nil {
 			panic(err)
 		}
@@ -106,12 +106,12 @@ func Table9(env *Env) []Table9Row {
 
 		accScalar := core.New(arch.DefaultConfig())
 		scalarRes, err := accScalar.ReplayWith(e.Block, e.Traces, e.Receipts, e.Digest,
-			core.ModeScalar, core.ReplayOpts{Plans: plans})
+			core.ModeScalar, core.ReplayOpts{Plans: plans, Tel: env.Tel})
 		if err != nil {
 			panic(err)
 		}
 		mtpuRes, err := acc.ReplayWith(e.Block, e.Traces, e.Receipts, e.Digest,
-			core.ModeSTHotspot, core.ReplayOpts{NumPUs: 4})
+			core.ModeSTHotspot, core.ReplayOpts{NumPUs: 4, Tel: env.Tel})
 		if err != nil {
 			panic(err)
 		}

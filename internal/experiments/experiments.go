@@ -13,6 +13,7 @@ import (
 	"mtpu/internal/arch/pipeline"
 	"mtpu/internal/arch/pu"
 	"mtpu/internal/state"
+	"mtpu/internal/telemetry"
 	"mtpu/internal/tracecache"
 	"mtpu/internal/types"
 	"mtpu/internal/workload"
@@ -47,6 +48,12 @@ type Env struct {
 	// PerfWall overrides the per-point measurement budget of the perf
 	// sweep; <= 0 uses DefaultPerfWall.
 	PerfWall time.Duration
+
+	// Tel, when non-nil, receives host-side telemetry from every replay
+	// of every experiment: block latency percentiles per engine,
+	// sustained tx/s, cache warm/cold splits, STM abort rates. The
+	// registry is concurrency-safe, so one instance serves all Workers.
+	Tel *telemetry.Metrics
 }
 
 // NewEnv builds the standard environment.

@@ -42,7 +42,7 @@ func Ladder(env *Env) []LadderRow {
 	env.forEachPoint(len(modes), func(i int) {
 		m := modes[i]
 		res, err := acc.ReplayWith(e.Block, e.Traces, e.Receipts, e.Digest, m,
-			core.ReplayOpts{NumPUs: LadderPUs, Genesis: env.Cache.Genesis()})
+			core.ReplayOpts{NumPUs: LadderPUs, Genesis: env.Cache.Genesis(), Tel: env.Tel})
 		if err != nil {
 			panic(err)
 		}

@@ -56,7 +56,7 @@ func replayCase(name string, env *Env, spec tracecache.Spec, mode core.Mode, pus
 	acc := core.New(arch.DefaultConfig())
 	// Genesis is only read, and only by engines that re-execute
 	// functionally (NeedsGenesis), so it is safe to supply always.
-	opts := core.ReplayOpts{NumPUs: pus, Plans: entry.PlainPlans(), Genesis: env.Genesis}
+	opts := core.ReplayOpts{NumPUs: pus, Plans: entry.PlainPlans(), Genesis: env.Genesis, Tel: env.Tel}
 	return perfCase{
 		name: name,
 		txs:  len(entry.Block.Transactions),

@@ -50,7 +50,7 @@ func (p *schedPrep) init(env *Env, target float64) {
 
 		baseRes, err := p.acc.ReplayWith(p.entry.Block, p.entry.Traces,
 			p.entry.Receipts, p.entry.Digest, core.ModeSequentialILP,
-			core.ReplayOpts{Plans: p.entry.PlainPlans()})
+			core.ReplayOpts{Plans: p.entry.PlainPlans(), Tel: env.Tel})
 		if err != nil {
 			panic(err)
 		}
@@ -78,7 +78,7 @@ func SchedulingSweep(env *Env, modes []core.Mode, puCounts []int, ratios []float
 		e := prep.entry
 
 		res, err := prep.acc.ReplayWith(e.Block, e.Traces, e.Receipts, e.Digest,
-			mode, core.ReplayOpts{NumPUs: pus, Plans: e.PlainPlans()})
+			mode, core.ReplayOpts{NumPUs: pus, Plans: e.PlainPlans(), Tel: env.Tel})
 		if err != nil {
 			panic(err)
 		}

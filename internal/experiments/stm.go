@@ -60,7 +60,7 @@ func (p *stmPrep) init(env *Env, target float64) {
 
 		baseRes, err := p.acc.ReplayWith(p.entry.Block, p.entry.Traces,
 			p.entry.Receipts, p.entry.Digest, core.ModeSequentialILP,
-			core.ReplayOpts{Plans: p.entry.PlainPlans()})
+			core.ReplayOpts{Plans: p.entry.PlainPlans(), Tel: env.Tel})
 		if err != nil {
 			panic(err)
 		}
@@ -99,9 +99,9 @@ func STMSweep(env *Env) []STMPoint {
 			return res
 		}
 
-		syncRes := replay(core.ModeSynchronous, core.ReplayOpts{})
-		stRes := replay(core.ModeSpatialTemporal, core.ReplayOpts{})
-		stmRes := replay(core.ModeBlockSTM, core.ReplayOpts{Genesis: env.Cache.Genesis()})
+		syncRes := replay(core.ModeSynchronous, core.ReplayOpts{Tel: env.Tel})
+		stRes := replay(core.ModeSpatialTemporal, core.ReplayOpts{Tel: env.Tel})
+		stmRes := replay(core.ModeBlockSTM, core.ReplayOpts{Genesis: env.Cache.Genesis(), Tel: env.Tel})
 
 		pt := STMPoint{
 			TargetRatio: target,

@@ -1,0 +1,41 @@
+package obs
+
+import "mtpu/internal/types"
+
+// multiSink fans every event out to two or more sinks in order.
+type multiSink []Sink
+
+func (m multiSink) DBFlush(pu int, contract types.Address, d *DBDelta) {
+	for _, s := range m {
+		s.DBFlush(pu, contract, d)
+	}
+}
+
+func (m multiSink) SchedPick(pu int, now uint64, kind PickKind, occupied int) {
+	for _, s := range m {
+		s.SchedPick(pu, now, kind, occupied)
+	}
+}
+
+// Tee combines sinks into one attachment point: the cycle-obs
+// Collector and the host-telemetry bridge can both observe a replay
+// even though the timing model carries a single Sink. Nil sinks are
+// dropped; zero live sinks return nil (preserving the
+// one-nil-check-per-event-site fast path), one live sink is returned
+// unwrapped (no fan-out indirection when only one layer listens).
+func Tee(sinks ...Sink) Sink {
+	live := make(multiSink, 0, len(sinks))
+	for _, s := range sinks {
+		if s != nil {
+			live = append(live, s)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	default:
+		return live
+	}
+}

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mtpu/internal/types"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden trace file")
+
+// goldenProcs is a fixed two-mode, two-PU timeline exercising every
+// event shape the exporter emits: process metadata, thread metadata
+// (once per PU, in first-seen order), and complete events with
+// back-to-back and overlapping spans.
+func goldenProcs() []Process {
+	addr := func(b byte) types.Address {
+		var a types.Address
+		a[0] = b
+		a[len(a)-1] = b
+		return a
+	}
+	return []Process{
+		{Name: "scalar", Spans: []Span{
+			{PU: 0, Tx: 0, Start: 0, End: 40, Contract: addr(0xaa)},
+			{PU: 0, Tx: 1, Start: 40, End: 90, Contract: addr(0xbb)},
+		}},
+		{Name: "spatial-temporal", Spans: []Span{
+			{PU: 0, Tx: 0, Start: 0, End: 40, Contract: addr(0xaa)},
+			{PU: 1, Tx: 1, Start: 5, End: 55, Contract: addr(0xbb)},
+			{PU: 0, Tx: 2, Start: 40, End: 60, Contract: addr(0xaa)},
+		}},
+	}
+}
+
+// TestWriteChromeTraceGolden pins the exporter's exact output. The
+// trace-event format is consumed by external tools (Perfetto,
+// chrome://tracing), so byte changes are breaking changes: regenerate
+// deliberately with `go test ./internal/obs -run Golden -update` and
+// re-open the file in Perfetto before committing.
+func TestWriteChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, goldenProcs()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "chrome_trace.golden")
+	if *updateGolden {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace output drifted from golden file (regenerate with -update if intended)\ngot:\n%s\nwant:\n%s",
+			buf.Bytes(), want)
+	}
+}
+
+// TestWriteChromeTraceShape checks the structural invariants the golden
+// bytes alone cannot explain: counts and kinds of events per process.
+func TestWriteChromeTraceShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, goldenProcs()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Dur  uint64         `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("exporter output is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	var meta, complete int
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "M":
+			meta++
+		case "X":
+			complete++
+			if e.Args["contract"] == "" {
+				t.Errorf("span %q lost its contract arg", e.Name)
+			}
+		default:
+			t.Errorf("unexpected event phase %q", e.Ph)
+		}
+	}
+	// 2 process_name + 3 thread_name (PU 0 twice — once per process —
+	// and PU 1 once), and one X event per span.
+	if meta != 5 {
+		t.Errorf("metadata events = %d, want 5", meta)
+	}
+	if complete != 5 {
+		t.Errorf("complete events = %d, want 5", complete)
+	}
+}

@@ -1,7 +1,8 @@
 // Package profiling wraps runtime/pprof for the CLIs: one call starts
-// the CPU profile and returns a stop function that finishes it and
-// writes the heap profile, so mtpu-run and mtpu-bench expose identical
-// -cpuprofile/-memprofile flags for profile-guided perf passes.
+// the requested profiles and returns a stop function that finishes
+// them, so mtpu-run and mtpu-bench expose identical
+// -cpuprofile/-memprofile/-blockprofile/-mutexprofile flags for
+// profile-guided perf passes.
 package profiling
 
 import (
@@ -11,13 +12,43 @@ import (
 	"runtime/pprof"
 )
 
+// Profiles selects which profiles to write; empty paths disable.
+type Profiles struct {
+	// CPU is sampled for the whole run.
+	CPU string
+	// Mem is the heap profile at exit (after a final GC).
+	Mem string
+	// Block records goroutine blocking (channel/select/sync waits) for
+	// the whole run; enabling it sets the block profile rate to 1.
+	Block string
+	// Mutex records contended mutex holders for the whole run; enabling
+	// it sets the mutex profile fraction to 1.
+	Mutex string
+}
+
+// Paths lists the non-empty profile paths (ledger stamping).
+func (p Profiles) Paths() []string {
+	var out []string
+	for _, s := range []string{p.CPU, p.Mem, p.Block, p.Mutex} {
+		if s != "" {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
 // Start begins profiling per the flag values (empty strings disable).
 // The returned stop must be called exactly once before the process
-// exits; it is safe to call when neither profile was requested.
+// exits; it is safe to call when no profile was requested.
 func Start(cpuPath, memPath string) (stop func() error, err error) {
+	return StartAll(Profiles{CPU: cpuPath, Mem: memPath})
+}
+
+// StartAll is Start over the full profile set.
+func StartAll(p Profiles) (stop func() error, err error) {
 	var cpuFile *os.File
-	if cpuPath != "" {
-		cpuFile, err = os.Create(cpuPath)
+	if p.CPU != "" {
+		cpuFile, err = os.Create(p.CPU)
 		if err != nil {
 			return nil, fmt.Errorf("profiling: %w", err)
 		}
@@ -26,6 +57,12 @@ func Start(cpuPath, memPath string) (stop func() error, err error) {
 			return nil, fmt.Errorf("profiling: starting CPU profile: %w", err)
 		}
 	}
+	if p.Block != "" {
+		runtime.SetBlockProfileRate(1)
+	}
+	if p.Mutex != "" {
+		runtime.SetMutexProfileFraction(1)
+	}
 	return func() error {
 		if cpuFile != nil {
 			pprof.StopCPUProfile()
@@ -33,8 +70,8 @@ func Start(cpuPath, memPath string) (stop func() error, err error) {
 				return fmt.Errorf("profiling: closing CPU profile: %w", err)
 			}
 		}
-		if memPath != "" {
-			f, err := os.Create(memPath)
+		if p.Mem != "" {
+			f, err := os.Create(p.Mem)
 			if err != nil {
 				return fmt.Errorf("profiling: %w", err)
 			}
@@ -44,6 +81,33 @@ func Start(cpuPath, memPath string) (stop func() error, err error) {
 				return fmt.Errorf("profiling: writing heap profile: %w", err)
 			}
 		}
+		if err := writeLookup("block", p.Block); err != nil {
+			return err
+		}
+		if err := writeLookup("mutex", p.Mutex); err != nil {
+			return err
+		}
 		return nil
 	}, nil
+}
+
+// writeLookup dumps one named runtime profile to path (no-op when
+// path is empty).
+func writeLookup(name, path string) error {
+	if path == "" {
+		return nil
+	}
+	prof := pprof.Lookup(name)
+	if prof == nil {
+		return fmt.Errorf("profiling: no %q profile in this runtime", name)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("profiling: %w", err)
+	}
+	defer f.Close()
+	if err := prof.WriteTo(f, 0); err != nil {
+		return fmt.Errorf("profiling: writing %s profile: %w", name, err)
+	}
+	return nil
 }

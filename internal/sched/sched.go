@@ -38,6 +38,12 @@ type Result struct {
 	// RedundantSteers counts selections that matched the PU's last
 	// contract (the Re-bit fast path of §3.2.2).
 	RedundantSteers int
+	// RefillScans counts candidate evaluations in the window-refill
+	// loop — the host-side cost of the linear scan (O(window × txs)
+	// worst case), the number a future tree-structured scheduler
+	// would have to beat. Zero for the sequential and synchronous
+	// baselines, which have no candidate window.
+	RefillScans uint64
 }
 
 // Utilization returns busy/(PUs × makespan), the Fig. 15 metric.
@@ -150,6 +156,9 @@ type stState struct {
 	// rebuilt on every pick.
 	runningMark  []uint32
 	runningEpoch uint32
+
+	// scans accumulates refill's candidate evaluations (Result.RefillScans).
+	scans uint64
 }
 
 func newSTState(dag *types.DAG, contracts []types.Address, numPUs, m int) *stState {
@@ -259,6 +268,9 @@ func (s *stState) refill() {
 				best, bestKey = tx, key
 			}
 		}
+		// The scan always walks the full index range; one add outside the
+		// loop keeps the count exact without touching the hot body.
+		s.scans += uint64(s.dag.Len())
 		if best < 0 {
 			return
 		}
@@ -376,5 +388,6 @@ func SpatialTemporalObs(dag *types.DAG, contracts []types.Address, numPUs, windo
 		s.refill()
 	}
 	res.Makespan = now
+	res.RefillScans = s.scans
 	return res
 }

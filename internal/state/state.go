@@ -428,3 +428,28 @@ func (s *StateDB) StorageSize(addr types.Address) int {
 	}
 	return 0
 }
+
+// Footprint summarizes the state's size: live accounts, occupied
+// storage slots and deployed code bytes. It is a read-only walk meant
+// for once-per-invocation reporting (run-ledger entries, diagnostics),
+// not for hot paths — shared read-only states are walked concurrently
+// by design, so nothing here may write.
+type Footprint struct {
+	Accounts     int `json:"accounts"`
+	StorageSlots int `json:"storage_slots"`
+	CodeBytes    int `json:"code_bytes"`
+}
+
+// Footprint walks the state and returns its size summary.
+func (s *StateDB) Footprint() Footprint {
+	var f Footprint
+	for _, acc := range s.accounts {
+		if acc.Nonce == 0 && acc.Balance.IsZero() && len(acc.Code) == 0 && len(acc.Storage) == 0 {
+			continue
+		}
+		f.Accounts++
+		f.StorageSlots += len(acc.Storage)
+		f.CodeBytes += len(acc.Code)
+	}
+	return f
+}

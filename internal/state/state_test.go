@@ -301,3 +301,31 @@ func TestDigestOrderIndependence(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestFootprint(t *testing.T) {
+	st := New()
+	if fp := st.Footprint(); fp != (Footprint{}) {
+		t.Fatalf("empty state footprint = %+v", fp)
+	}
+	st.AddBalance(addrA, uint256.NewInt(100))
+	st.SetCode(addrB, []byte{0x60, 0x00, 0x60, 0x00})
+	st.SetState(addrB, slot1, *uint256.NewInt(7))
+	st.SetState(addrB, slot2, *uint256.NewInt(9))
+	fp := st.Footprint()
+	want := Footprint{Accounts: 2, StorageSlots: 2, CodeBytes: 4}
+	if fp != want {
+		t.Errorf("footprint = %+v, want %+v", fp, want)
+	}
+	// Zeroing a slot deletes it; an emptied account drops out entirely.
+	st.SetState(addrB, slot2, uint256.Int{})
+	st.SubBalance(addrA, uint256.NewInt(100))
+	fp = st.Footprint()
+	want = Footprint{Accounts: 1, StorageSlots: 1, CodeBytes: 4}
+	if fp != want {
+		t.Errorf("after clearing: footprint = %+v, want %+v", fp, want)
+	}
+	// AccountCount and Footprint must agree on liveness.
+	if fp.Accounts != st.AccountCount() {
+		t.Errorf("Footprint.Accounts %d != AccountCount %d", fp.Accounts, st.AccountCount())
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"mtpu/internal/evm"
 	"mtpu/internal/obs"
 	"mtpu/internal/state"
+	"mtpu/internal/telemetry"
 	"mtpu/internal/types"
 	"mtpu/internal/uint256"
 )
@@ -31,6 +32,11 @@ type Config struct {
 	// validation task (arch.Config.StmValidateBase/PerKey).
 	ValidateBase   uint64
 	ValidatePerKey uint64
+	// Tel, when non-nil, receives incarnation/abort/validation events
+	// live as the executor applies them — the host-side view of the
+	// optimistic run (Result.Stats stays the authoritative per-block
+	// record either way).
+	Tel *telemetry.Metrics
 }
 
 // Conflict is one runtime-detected dependency: transaction To aborted or
@@ -415,10 +421,17 @@ func (ex *executor) finish(p int, now uint64) {
 		switch t.outcome.kind {
 		case outValPass:
 			ex.res.Stats.ValidationPasses++
+			if ex.cfg.Tel != nil {
+				ex.cfg.Tel.STMValidationPasses.Inc()
+			}
 		case outValFail:
 			ex.res.Stats.ValidationFails++
 			ex.res.Stats.Aborts++
 			ex.res.Stats.WastedCycles += st.lastExecCost
+			if ex.cfg.Tel != nil {
+				ex.cfg.Tel.STMValidationFails.Inc()
+				ex.cfg.Tel.STMAborts.Inc()
+			}
 			ex.addConflict(t.outcome.conflictFrom, t.tx)
 			// The aborted writer's entries become ESTIMATEs: readers of
 			// these locations block on the re-execution instead of
@@ -437,11 +450,18 @@ func (ex *executor) finish(p int, now uint64) {
 	// Execution completion.
 	ex.res.Stats.Incarnations++
 	ex.res.Stats.ExecCycles += cost
+	if ex.cfg.Tel != nil {
+		ex.cfg.Tel.STMIncarnations.Inc()
+	}
 	switch t.outcome.kind {
 	case outExecEstimate:
 		ex.res.Stats.EstimateAborts++
 		ex.res.Stats.Aborts++
 		ex.res.Stats.WastedCycles += cost
+		if ex.cfg.Tel != nil {
+			ex.cfg.Tel.STMEstimateAborts.Inc()
+			ex.cfg.Tel.STMAborts.Inc()
+		}
 		ex.addConflict(t.outcome.dep, t.tx)
 		st.incarnation++
 		dep := t.outcome.dep

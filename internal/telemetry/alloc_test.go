@@ -1,0 +1,56 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+
+	"mtpu/internal/obs"
+	"mtpu/internal/types"
+)
+
+// TestRecordingPathsAllocateNothing pins the package contract: once a
+// latency label exists, every recording operation — counter adds,
+// histogram samples, the obs bridge events, a full ObserveReplay — is
+// allocation-free, so telemetry can stay attached to the replay hot
+// loop without disturbing what it measures.
+func TestRecordingPathsAllocateNothing(t *testing.T) {
+	m := New()
+	m.Latency("scalar") // steady state: label histograms exist
+	sink := m.Sink()
+	delta := &obs.DBDelta{Lookups: 13, Hits: 10, Misses: 3}
+
+	for name, fn := range map[string]func(){
+		"Counter.Inc":      func() { m.Replays.Inc() },
+		"Counter.Add":      func() { m.ReplayTxs.Add(7) },
+		"Gauge.Set":        func() { new(Gauge).Set(3) },
+		"Histogram.Record": func() { m.Latency("scalar").Record(12345) },
+		"bridge.DBFlush":   func() { sink.DBFlush(0, types.Address{}, delta) },
+		"bridge.SchedPick": func() { sink.SchedPick(0, 99, obs.PickKind(0), 2) },
+		"ObserveReplay": func() {
+			m.ObserveReplay("scalar", 128, 4096, 8192, 3*time.Millisecond)
+		},
+	} {
+		if allocs := testing.AllocsPerRun(200, fn); allocs != 0 {
+			t.Errorf("%s allocates %.1f times per call, want 0", name, allocs)
+		}
+	}
+}
+
+// BenchmarkObserveReplay is the hot-path cost ceiling: a handful of
+// atomic adds plus one read-locked map lookup.
+func BenchmarkObserveReplay(b *testing.B) {
+	m := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.ObserveReplay("scalar", 128, 4096, 8192, 3*time.Millisecond)
+	}
+}
+
+// BenchmarkHistogramRecord measures the raw sample cost.
+func BenchmarkHistogramRecord(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Record(uint64(i))
+	}
+}

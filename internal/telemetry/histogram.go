@@ -1,0 +1,164 @@
+package telemetry
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// histSubBits is the log-linear subdivision of the histogram: every
+// power-of-two octave is split into 2^histSubBits linear sub-buckets,
+// bounding the relative quantile error at 1/2^histSubBits (6.25%).
+const histSubBits = 4
+
+// histBuckets covers the full uint64 range: values below 2^histSubBits
+// map to themselves, every later octave contributes 2^histSubBits
+// buckets.
+const histBuckets = (64 - histSubBits + 1) << histSubBits
+
+// Histogram is an HDR-style log-linear histogram of uint64 samples
+// (latencies in nanoseconds, sizes in bytes — any non-negative scalar).
+// Recording is one atomic add per sample plus min/max maintenance —
+// zero allocations, safe for concurrent use. Quantile queries walk the
+// bucket array and are meant for snapshot/exposition time, not hot
+// paths.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	min     atomic.Uint64 // stores ^value so zero means "unset"
+	max     atomic.Uint64
+	buckets [histBuckets]atomic.Uint64
+}
+
+// bucketIndex maps a sample to its bucket. Small values map to
+// themselves; larger values land in (octave, sub-bucket) cells that
+// tile the range contiguously.
+func bucketIndex(v uint64) int {
+	if v < 1<<histSubBits {
+		return int(v)
+	}
+	msb := bits.Len64(v) - 1
+	offset := msb - histSubBits + 1
+	return offset<<histSubBits + int((v>>(msb-histSubBits))&(1<<histSubBits-1))
+}
+
+// bucketLow returns the smallest sample value mapping to bucket idx —
+// the inverse of bucketIndex on bucket boundaries.
+func bucketLow(idx int) uint64 {
+	offset := idx >> histSubBits
+	if offset == 0 {
+		return uint64(idx)
+	}
+	msb := offset + histSubBits - 1
+	sub := uint64(idx & (1<<histSubBits - 1))
+	return 1<<msb + sub<<(msb-histSubBits)
+}
+
+// Record adds one sample.
+func (h *Histogram) Record(v uint64) {
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bucketIndex(v)].Add(1)
+	for {
+		cur := h.min.Load()
+		if cur != 0 && ^cur <= v {
+			break
+		}
+		if h.min.CompareAndSwap(cur, ^v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur {
+			break
+		}
+		if h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of recorded samples.
+func (h *Histogram) Sum() uint64 { return h.sum.Load() }
+
+// Min returns the smallest recorded sample (0 when empty).
+func (h *Histogram) Min() uint64 {
+	if m := h.min.Load(); m != 0 {
+		return ^m
+	}
+	return 0
+}
+
+// Max returns the largest recorded sample (0 when empty).
+func (h *Histogram) Max() uint64 { return h.max.Load() }
+
+// Mean returns the arithmetic mean (NaN when empty).
+func (h *Histogram) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return math.NaN()
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Quantile returns an estimate of the q-quantile (0 <= q <= 1) with
+// relative error bounded by the sub-bucket width. Returns 0 when empty.
+// Concurrent recording during the walk can skew the estimate by the
+// in-flight samples; snapshots tolerate that.
+func (h *Histogram) Quantile(q float64) uint64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(math.Ceil(q * float64(total)))
+	if target == 0 {
+		target = 1
+	}
+	var seen uint64
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		seen += n
+		if seen >= target {
+			// Midpoint of the bucket, clamped into the observed range.
+			low := bucketLow(i)
+			high := low
+			if i+1 < histBuckets {
+				high = bucketLow(i+1) - 1
+			}
+			mid := low + (high-low)/2
+			if mx := h.Max(); mid > mx {
+				mid = mx
+			}
+			if mn := h.Min(); mid < mn {
+				mid = mn
+			}
+			return mid
+		}
+	}
+	return h.Max()
+}
+
+// Reset zeroes the histogram. Not linearizable against concurrent
+// Record calls; callers quiesce recording first.
+func (h *Histogram) Reset() {
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.min.Store(0)
+	h.max.Store(0)
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+}

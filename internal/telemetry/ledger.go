@@ -1,0 +1,311 @@
+package telemetry
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"time"
+)
+
+// LedgerSchema versions the JSONL run-ledger entry layout.
+const LedgerSchema = 1
+
+// BuildInfo is the binary fingerprint stamped into -version output,
+// JSON artifacts, and ledger entries: which toolchain and which
+// commit produced the numbers. Populated from debug.ReadBuildInfo, so
+// VCS fields are empty for `go run`/`go test` builds (no embedded VCS
+// stamp) and filled for `go build` from a git checkout.
+type BuildInfo struct {
+	GoVersion   string `json:"go_version"`
+	Module      string `json:"module,omitempty"`
+	Version     string `json:"version,omitempty"`
+	VCSRevision string `json:"vcs_revision,omitempty"`
+	VCSTime     string `json:"vcs_time,omitempty"`
+	VCSModified bool   `json:"vcs_modified,omitempty"`
+}
+
+// Build returns the running binary's build fingerprint.
+func Build() BuildInfo {
+	b := BuildInfo{GoVersion: runtime.Version()}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b
+	}
+	b.Module = info.Main.Path
+	b.Version = info.Main.Version
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			b.VCSRevision = s.Value
+		case "vcs.time":
+			b.VCSTime = s.Value
+		case "vcs.modified":
+			b.VCSModified = s.Value == "true"
+		}
+	}
+	return b
+}
+
+// String renders the fingerprint for -version output.
+func (b BuildInfo) String() string {
+	var sb strings.Builder
+	mod := b.Module
+	if mod == "" {
+		mod = "mtpu"
+	}
+	ver := b.Version
+	if ver == "" || ver == "(devel)" {
+		ver = "devel"
+	}
+	fmt.Fprintf(&sb, "%s %s (%s", mod, ver, b.GoVersion)
+	if b.VCSRevision != "" {
+		rev := b.VCSRevision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		fmt.Fprintf(&sb, ", rev %s", rev)
+		if b.VCSModified {
+			sb.WriteString("+dirty")
+		}
+		if b.VCSTime != "" {
+			fmt.Fprintf(&sb, ", %s", b.VCSTime)
+		}
+	}
+	sb.WriteString(")")
+	return sb.String()
+}
+
+// HostInfo fingerprints the machine a measurement ran on — the
+// context without which host-side throughput numbers cannot be
+// compared across ledger entries.
+type HostInfo struct {
+	OS         string `json:"os"`
+	Arch       string `json:"arch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	CPUModel   string `json:"cpu_model,omitempty"`
+}
+
+// Host returns the current machine's fingerprint.
+func Host() HostInfo {
+	return HostInfo{
+		OS:         runtime.GOOS,
+		Arch:       runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		CPUModel:   cpuModel(),
+	}
+}
+
+// cpuModel extracts the CPU model string from /proc/cpuinfo (empty on
+// platforms without it — it is a label, not a dependency).
+func cpuModel() string {
+	buf, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(buf), "\n") {
+		if name, val, ok := strings.Cut(line, ":"); ok &&
+			strings.TrimSpace(name) == "model name" {
+			return strings.TrimSpace(val)
+		}
+	}
+	return ""
+}
+
+// ConfigHash derives a short stable fingerprint of any JSON-able
+// configuration value: two entries with equal hashes measured the
+// same knobs. Marshaling a config must not fail; on error the hash is
+// "invalid".
+func ConfigHash(cfg any) string {
+	buf, err := json.Marshal(cfg)
+	if err != nil {
+		return "invalid"
+	}
+	sum := sha256.Sum256(buf)
+	return hex.EncodeToString(sum[:6])
+}
+
+// Workload is one measured throughput sample, the comparison unit of
+// the regression tooling. Keys are hierarchical ("perf/fig13-small",
+// "run/spatial-temporal/txs192-dep0.3-pus8") so reports from
+// different tools align only where they measured the same thing.
+type Workload struct {
+	Key   string  `json:"key"`
+	Value float64 `json:"value"`
+	Unit  string  `json:"unit"`
+}
+
+// Entry is one JSONL run-ledger record: who ran what, where, and what
+// came out. Every mtpu-run/mtpu-bench invocation with -ledger appends
+// exactly one.
+type Entry struct {
+	Schema     int        `json:"ledger_schema"`
+	Time       time.Time  `json:"time"`
+	Cmd        string     `json:"cmd"`
+	Args       []string   `json:"args,omitempty"`
+	Build      BuildInfo  `json:"build"`
+	Host       HostInfo   `json:"host"`
+	ConfigHash string     `json:"config_hash,omitempty"`
+	Profiles   []string   `json:"profiles,omitempty"`
+	Workloads  []Workload `json:"workloads,omitempty"`
+	Telemetry  *Snapshot  `json:"telemetry,omitempty"`
+}
+
+// NewEntry stamps an entry with the current time, build, and host.
+func NewEntry(cmd string, args []string) Entry {
+	return Entry{
+		Schema: LedgerSchema,
+		Time:   time.Now().UTC(),
+		Cmd:    cmd,
+		Args:   args,
+		Build:  Build(),
+		Host:   Host(),
+	}
+}
+
+// Append writes the entry as one JSON line at the end of path,
+// creating the file if needed. Ledgers are append-only by design:
+// history accumulates across invocations and mtpu-report diffs any
+// two points of it.
+func Append(path string, e Entry) error {
+	buf, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("encoding ledger entry: %w", err)
+	}
+	buf = append(buf, '\n')
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return fmt.Errorf("appending to %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// Artifact is one loaded measurement file flattened to comparable
+// workloads — either a JSONL run ledger (all entries folded, last
+// value per key wins) or an mtpu-bench -json report (perf rows become
+// perf/<name> workloads).
+type Artifact struct {
+	Path      string
+	Kind      string // "ledger" or "bench"
+	Entries   int    // JSON documents consumed
+	Workloads []Workload
+}
+
+// Lookup returns the workload with the given key, if present.
+func (a *Artifact) Lookup(key string) (Workload, bool) {
+	for _, w := range a.Workloads {
+		if w.Key == key {
+			return w, true
+		}
+	}
+	return Workload{}, false
+}
+
+// benchDoc is the loose shape LoadArtifact needs from an mtpu-bench
+// -json report: just the perf rows. Loose decoding (no
+// DisallowUnknownFields) keeps mtpu-report working across schema
+// bumps — regression analysis needs the throughput numbers, not the
+// full invariant surface `mtpu-bench -validate` checks.
+type benchDoc struct {
+	Schema      int `json:"schema"`
+	Experiments []struct {
+		Name string `json:"name"`
+	} `json:"experiments"`
+	Perf []struct {
+		Name     string  `json:"name"`
+		TxPerSec float64 `json:"tx_per_sec"`
+	} `json:"perf"`
+}
+
+// LoadArtifact reads a measurement file and flattens it to
+// workloads. The format is auto-detected per JSON document: a
+// document with a ledger_schema field is a ledger entry; one with an
+// experiments list is an mtpu-bench report. JSONL ledgers hold many
+// documents; bench reports hold one.
+func LoadArtifact(path string) (*Artifact, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	a := &Artifact{Path: path}
+	byKey := map[string]int{} // key -> index in a.Workloads (last wins)
+	add := func(w Workload) {
+		if i, ok := byKey[w.Key]; ok {
+			a.Workloads[i] = w
+			return
+		}
+		byKey[w.Key] = len(a.Workloads)
+		a.Workloads = append(a.Workloads, w)
+	}
+
+	dec := json.NewDecoder(f)
+	for dec.More() {
+		var raw json.RawMessage
+		if err := dec.Decode(&raw); err != nil {
+			return nil, fmt.Errorf("%s: document %d: %w", path, a.Entries+1, err)
+		}
+		a.Entries++
+
+		var probe struct {
+			LedgerSchema *int `json:"ledger_schema"`
+		}
+		if err := json.Unmarshal(raw, &probe); err != nil {
+			return nil, fmt.Errorf("%s: document %d: %w", path, a.Entries, err)
+		}
+		if probe.LedgerSchema != nil {
+			var e Entry
+			if err := json.Unmarshal(raw, &e); err != nil {
+				return nil, fmt.Errorf("%s: ledger entry %d: %w", path, a.Entries, err)
+			}
+			if e.Schema != LedgerSchema {
+				return nil, fmt.Errorf("%s: ledger entry %d: schema %d, want %d",
+					path, a.Entries, e.Schema, LedgerSchema)
+			}
+			a.Kind = "ledger"
+			for _, w := range e.Workloads {
+				add(w)
+			}
+			continue
+		}
+
+		var b benchDoc
+		if err := json.Unmarshal(raw, &b); err != nil {
+			return nil, fmt.Errorf("%s: document %d: decoding bench report: %w", path, a.Entries, err)
+		}
+		if b.Schema == 0 && len(b.Experiments) == 0 {
+			return nil, fmt.Errorf("%s: document %d is neither a ledger entry nor a bench report", path, a.Entries)
+		}
+		a.Kind = "bench"
+		for _, p := range b.Perf {
+			add(Workload{Key: "perf/" + p.Name, Value: p.TxPerSec, Unit: "tx/s"})
+		}
+	}
+	if a.Entries == 0 {
+		return nil, fmt.Errorf("%s: no JSON documents", path)
+	}
+	return a, nil
+}
+
+// PerfWorkloads converts mtpu-bench perf rows (name, tx/s pairs) to
+// the shared workload form, keyed perf/<name> like LoadArtifact does,
+// so the in-process `make perf` gate and the file-loading mtpu-report
+// compare identical keys.
+func PerfWorkloads(names []string, txPerSec []float64) []Workload {
+	ws := make([]Workload, 0, len(names))
+	for i, n := range names {
+		ws = append(ws, Workload{Key: "perf/" + n, Value: txPerSec[i], Unit: "tx/s"})
+	}
+	return ws
+}

@@ -1,0 +1,148 @@
+package telemetry
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestBuildInfoString(t *testing.T) {
+	b := Build()
+	if b.GoVersion == "" {
+		t.Fatal("Build() must carry the toolchain version")
+	}
+	s := b.String()
+	if !strings.Contains(s, b.GoVersion) {
+		t.Errorf("String() = %q does not mention %q", s, b.GoVersion)
+	}
+	full := BuildInfo{
+		GoVersion: "go1.24.0", Module: "mtpu", Version: "v1.2.3",
+		VCSRevision: "0123456789abcdef0123", VCSTime: "2026-08-08T00:00:00Z", VCSModified: true,
+	}
+	got := full.String()
+	want := "mtpu v1.2.3 (go1.24.0, rev 0123456789ab+dirty, 2026-08-08T00:00:00Z)"
+	if got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestHostInfo(t *testing.T) {
+	h := Host()
+	if h.OS == "" || h.Arch == "" || h.NumCPU < 1 || h.GOMAXPROCS < 1 {
+		t.Errorf("Host() = %+v is incomplete", h)
+	}
+}
+
+func TestConfigHash(t *testing.T) {
+	type cfg struct{ PUs, Window int }
+	a := ConfigHash(cfg{4, 16})
+	if len(a) != 12 {
+		t.Errorf("hash %q is not 12 hex chars", a)
+	}
+	if b := ConfigHash(cfg{4, 16}); b != a {
+		t.Errorf("equal configs hash differently: %q vs %q", a, b)
+	}
+	if c := ConfigHash(cfg{8, 16}); c == a {
+		t.Error("different configs share a hash")
+	}
+	if got := ConfigHash(func() {}); got != "invalid" {
+		t.Errorf("unmarshalable config hashed to %q, want \"invalid\"", got)
+	}
+}
+
+func TestLedgerRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.jsonl")
+
+	e1 := NewEntry("mtpu-run", []string{"-txs", "64"})
+	e1.Workloads = []Workload{
+		{Key: "run/scalar/txs64", Value: 1000, Unit: "tx/s"},
+		{Key: "run/block-stm/txs64", Value: 4000, Unit: "tx/s"},
+	}
+	m := New()
+	m.ObserveReplay("scalar", 64, 100, 200, 1e6)
+	snap := m.Snapshot()
+	e1.Telemetry = &snap
+	if err := Append(path, e1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second append: same file, one overlapping key (last wins) and one
+	// new key.
+	e2 := NewEntry("mtpu-run", nil)
+	e2.Workloads = []Workload{
+		{Key: "run/scalar/txs64", Value: 1100, Unit: "tx/s"},
+		{Key: "run/bse/txs64", Value: 3000, Unit: "tx/s"},
+	}
+	if err := Append(path, e2); err != nil {
+		t.Fatal(err)
+	}
+
+	a, err := LoadArtifact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Kind != "ledger" || a.Entries != 2 {
+		t.Errorf("kind/entries = %s/%d, want ledger/2", a.Kind, a.Entries)
+	}
+	if len(a.Workloads) != 3 {
+		t.Fatalf("workloads = %d, want 3 (deduped)", len(a.Workloads))
+	}
+	w, ok := a.Lookup("run/scalar/txs64")
+	if !ok || w.Value != 1100 {
+		t.Errorf("last-wins dedup broken: %+v ok=%v, want value 1100", w, ok)
+	}
+	if _, ok := a.Lookup("run/bse/txs64"); !ok {
+		t.Error("second entry's new key missing")
+	}
+}
+
+func TestLoadArtifactBenchReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	doc := `{"schema": 6, "experiments": [{"name": "perf"}],
+		"perf": [{"name": "fig13-small", "tx_per_sec": 50000},
+		         {"name": "fig13-large", "tx_per_sec": 20000}],
+		"future_field": true}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	a, err := LoadArtifact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Kind != "bench" || len(a.Workloads) != 2 {
+		t.Fatalf("kind/workloads = %s/%d, want bench/2", a.Kind, len(a.Workloads))
+	}
+	w, ok := a.Lookup("perf/fig13-small")
+	if !ok || w.Value != 50000 || w.Unit != "tx/s" {
+		t.Errorf("perf workload = %+v ok=%v", w, ok)
+	}
+}
+
+func TestLoadArtifactRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	for name, doc := range map[string]string{
+		"empty.json":        ``,
+		"not-artifact.json": `{"hello": "world"}`,
+		"bad-schema.jsonl":  `{"ledger_schema": 99, "cmd": "x"}`,
+		"truncated.json":    `{"ledger_schema": 1,`,
+	} {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadArtifact(path); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if _, err := LoadArtifact(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestPerfWorkloads(t *testing.T) {
+	ws := PerfWorkloads([]string{"a", "b"}, []float64{1, 2})
+	if len(ws) != 2 || ws[0].Key != "perf/a" || ws[1].Value != 2 || ws[0].Unit != "tx/s" {
+		t.Errorf("PerfWorkloads = %+v", ws)
+	}
+}

@@ -1,0 +1,62 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WritePrometheus renders the metrics in Prometheus text exposition
+// format (version 0.0.4). Metric families are emitted in a fixed
+// order and label sets are sorted, so two snapshots of the same state
+// serialize identically.
+func (m *Metrics) WritePrometheus(w io.Writer) error {
+	s := m.Snapshot()
+	var b strings.Builder
+
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gaugeF := func(name, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+
+	gaugeF("mtpu_uptime_seconds", "Wall-clock seconds since telemetry start.", s.UptimeMS/1000)
+
+	counter("mtpu_replays_total", "Completed block replays.", s.Replays)
+	counter("mtpu_replay_txs_total", "Simulated transactions replayed.", s.ReplayTxs)
+	counter("mtpu_replay_instructions_total", "Simulated instructions replayed.", s.ReplayInstructions)
+	counter("mtpu_replay_cycles_total", "Simulated makespan cycles accumulated.", s.ReplayCycles)
+
+	gaugeF("mtpu_replays_per_second", "Sustained replays per wall-clock second.", s.ReplaysPerSec)
+	gaugeF("mtpu_txs_per_second", "Sustained simulated transactions per wall-clock second.", s.TxsPerSec)
+
+	counter("mtpu_db_cache_hits_total", "DB-cache hits (warm lookups).", s.DBHits)
+	counter("mtpu_db_cache_misses_total", "DB-cache misses (cold lookups).", s.DBMisses)
+	counter("mtpu_sbuf_hits_total", "State Buffer hits (warm touches).", s.SBufHits)
+	counter("mtpu_sbuf_misses_total", "State Buffer misses (cold touches).", s.SBufMisses)
+
+	fmt.Fprintf(&b, "# HELP mtpu_sched_picks_total Scheduler selections by pick class.\n# TYPE mtpu_sched_picks_total counter\n")
+	for _, kind := range []string{"forced", "largest-V", "redundant"} {
+		fmt.Fprintf(&b, "mtpu_sched_picks_total{kind=%q} %d\n", kind, s.SchedPicks[kind])
+	}
+	counter("mtpu_sched_refill_scans_total", "Candidate evaluations in scheduling-window refills.", s.SchedRefillScans)
+
+	counter("mtpu_stm_incarnations_total", "Block-STM transaction incarnations executed.", s.STM.Incarnations)
+	counter("mtpu_stm_aborts_total", "Block-STM incarnations aborted by validation.", s.STM.Aborts)
+	counter("mtpu_stm_estimate_aborts_total", "Block-STM incarnations aborted on ESTIMATE reads.", s.STM.EstimateAborts)
+	counter("mtpu_stm_validation_passes_total", "Block-STM validations that passed.", s.STM.ValidationPasses)
+	counter("mtpu_stm_validation_fails_total", "Block-STM validations that failed.", s.STM.ValidationFails)
+
+	fmt.Fprintf(&b, "# HELP mtpu_block_latency_seconds Wall-clock block replay latency percentiles by engine.\n# TYPE mtpu_block_latency_seconds summary\n")
+	for _, l := range s.Latency {
+		fmt.Fprintf(&b, "mtpu_block_latency_seconds{mode=%q,quantile=\"0.5\"} %g\n", l.Label, l.P50MS/1000)
+		fmt.Fprintf(&b, "mtpu_block_latency_seconds{mode=%q,quantile=\"0.95\"} %g\n", l.Label, l.P95MS/1000)
+		fmt.Fprintf(&b, "mtpu_block_latency_seconds{mode=%q,quantile=\"0.99\"} %g\n", l.Label, l.P99MS/1000)
+		fmt.Fprintf(&b, "mtpu_block_latency_seconds_sum{mode=%q} %g\n", l.Label, l.MeanMS/1000*float64(l.Count))
+		fmt.Fprintf(&b, "mtpu_block_latency_seconds_count{mode=%q} %d\n", l.Label, l.Count)
+	}
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,135 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"mtpu/internal/metrics"
+)
+
+// CompareRow is one workload key aligned across the compared
+// artifacts. The ratio is newest/oldest (the first artifact is the
+// baseline, the last the candidate); workloads missing from either
+// side are reported but never gate.
+type CompareRow struct {
+	Key    string    `json:"key"`
+	Unit   string    `json:"unit"`
+	Values []float64 `json:"values"` // one per artifact, NaN when absent
+	Min    float64   `json:"min"`
+	Max    float64   `json:"max"`
+	Ratio  float64   `json:"ratio"` // last/first, NaN when either absent
+}
+
+// Comparison is the aligned diff of two or more artifacts plus the
+// regression verdict at a threshold — the one code path behind both
+// `mtpu-report` and the `make perf` gate's failure table.
+type Comparison struct {
+	Paths    []string     `json:"paths"`
+	MinRatio float64      `json:"min_ratio"`
+	Rows     []CompareRow `json:"rows"`
+}
+
+// Compare aligns artifacts by workload key. The first artifact is the
+// baseline; ratios are computed against it from the last (newest)
+// artifact. Rows are sorted by key for stable output.
+func Compare(artifacts []*Artifact, minRatio float64) *Comparison {
+	c := &Comparison{MinRatio: minRatio}
+	index := make([]map[string]Workload, len(artifacts))
+	keys := map[string]string{} // key -> unit
+	var order []string
+	for i, a := range artifacts {
+		c.Paths = append(c.Paths, a.Path)
+		index[i] = make(map[string]Workload, len(a.Workloads))
+		for _, w := range a.Workloads {
+			index[i][w.Key] = w
+			if _, seen := keys[w.Key]; !seen {
+				keys[w.Key] = w.Unit
+				order = append(order, w.Key)
+			}
+		}
+	}
+	sort.Strings(order)
+	for _, key := range order {
+		nan := math.NaN()
+		row := CompareRow{Key: key, Unit: keys[key], Min: nan, Max: nan, Ratio: nan}
+		present := 0
+		for _, idx := range index {
+			w, ok := idx[key]
+			if !ok {
+				row.Values = append(row.Values, nan)
+				continue
+			}
+			row.Values = append(row.Values, w.Value)
+			if present == 0 || w.Value < row.Min {
+				row.Min = w.Value
+			}
+			if present == 0 || w.Value > row.Max {
+				row.Max = w.Value
+			}
+			present++
+		}
+		first, last := row.Values[0], row.Values[len(row.Values)-1]
+		if !math.IsNaN(first) && !math.IsNaN(last) && first > 0 {
+			row.Ratio = last / first
+		}
+		c.Rows = append(c.Rows, row)
+	}
+	return c
+}
+
+// Regressions returns the rows whose newest/baseline ratio fell below
+// the threshold. Rows missing from either side never count: a renamed
+// or added workload is reported in the table but is not a regression.
+func (c *Comparison) Regressions() []CompareRow {
+	var out []CompareRow
+	for _, r := range c.Rows {
+		if !math.IsNaN(r.Ratio) && r.Ratio < c.MinRatio {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Regressed reports whether any aligned workload regressed below the
+// threshold.
+func (c *Comparison) Regressed() bool { return len(c.Regressions()) > 0 }
+
+// Render prints the per-workload table: one value column per
+// artifact, min/max across them, the newest/baseline ratio, and a
+// verdict column. Absent values render as "-" (metrics.Float maps NaN
+// there).
+func (c *Comparison) Render() string {
+	headers := []string{"workload", "unit"}
+	for i := range c.Paths {
+		switch i {
+		case 0:
+			headers = append(headers, "baseline")
+		case len(c.Paths) - 1:
+			headers = append(headers, "newest")
+		default:
+			headers = append(headers, fmt.Sprintf("run%d", i))
+		}
+	}
+	headers = append(headers, "min", "max", "ratio", "verdict")
+	title := fmt.Sprintf("Regression report — %s (threshold %.2fx)",
+		strings.Join(c.Paths, " vs "), c.MinRatio)
+	t := metrics.NewTable(title, headers...)
+	for _, r := range c.Rows {
+		cells := []any{r.Key, r.Unit}
+		for _, v := range r.Values {
+			cells = append(cells, v)
+		}
+		verdict := "ok"
+		switch {
+		case math.IsNaN(r.Ratio):
+			verdict = "unaligned"
+		case r.Ratio < c.MinRatio:
+			verdict = "REGRESSED"
+		}
+		cells = append(cells, r.Min, r.Max, r.Ratio, verdict)
+		t.Row(cells...)
+	}
+	return t.String()
+}

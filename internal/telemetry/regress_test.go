@@ -1,0 +1,100 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func art(path string, ws ...Workload) *Artifact {
+	return &Artifact{Path: path, Kind: "ledger", Entries: 1, Workloads: ws}
+}
+
+func TestCompareDetectsRegression(t *testing.T) {
+	base := art("old.jsonl",
+		Workload{Key: "perf/a", Value: 1000, Unit: "tx/s"},
+		Workload{Key: "perf/b", Value: 2000, Unit: "tx/s"})
+	// perf/a dropped 25% — past the 0.8 threshold; perf/b improved.
+	cand := art("new.jsonl",
+		Workload{Key: "perf/a", Value: 750, Unit: "tx/s"},
+		Workload{Key: "perf/b", Value: 2500, Unit: "tx/s"})
+
+	c := Compare([]*Artifact{base, cand}, 0.8)
+	if !c.Regressed() {
+		t.Fatal("25% drop below a 0.8 threshold not flagged")
+	}
+	regs := c.Regressions()
+	if len(regs) != 1 || regs[0].Key != "perf/a" {
+		t.Fatalf("Regressions() = %+v, want exactly perf/a", regs)
+	}
+	if regs[0].Ratio != 0.75 {
+		t.Errorf("ratio = %v, want 0.75", regs[0].Ratio)
+	}
+	out := c.Render()
+	for _, want := range []string{"perf/a", "REGRESSED", "perf/b", "ok", "0.80x"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCompareIdenticalArtifactsPass(t *testing.T) {
+	a := art("a.jsonl", Workload{Key: "perf/a", Value: 1234.5, Unit: "tx/s"})
+	b := art("b.jsonl", Workload{Key: "perf/a", Value: 1234.5, Unit: "tx/s"})
+	c := Compare([]*Artifact{a, b}, 0.999)
+	if c.Regressed() {
+		t.Fatal("identical artifacts flagged as regressed")
+	}
+	if r := c.Rows[0].Ratio; r != 1 {
+		t.Errorf("ratio = %v, want 1", r)
+	}
+}
+
+func TestCompareUnalignedNeverGates(t *testing.T) {
+	base := art("old.jsonl", Workload{Key: "perf/only-old", Value: 100, Unit: "tx/s"})
+	cand := art("new.jsonl", Workload{Key: "perf/only-new", Value: 1, Unit: "tx/s"})
+	c := Compare([]*Artifact{base, cand}, 0.8)
+	if c.Regressed() {
+		t.Fatal("disjoint workloads must never gate")
+	}
+	if len(c.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(c.Rows))
+	}
+	for _, r := range c.Rows {
+		if !math.IsNaN(r.Ratio) {
+			t.Errorf("%s: ratio = %v, want NaN", r.Key, r.Ratio)
+		}
+	}
+	if out := c.Render(); !strings.Contains(out, "unaligned") {
+		t.Error("table does not mark unaligned rows")
+	}
+}
+
+func TestCompareMiddleRunsAddColumnsOnly(t *testing.T) {
+	base := art("a", Workload{Key: "k", Value: 100, Unit: "tx/s"})
+	mid := art("b", Workload{Key: "k", Value: 10, Unit: "tx/s"}) // dip in the middle
+	cand := art("c", Workload{Key: "k", Value: 99, Unit: "tx/s"})
+	c := Compare([]*Artifact{base, mid, cand}, 0.8)
+	if c.Regressed() {
+		t.Fatal("middle-run dip gated; only newest/baseline may")
+	}
+	row := c.Rows[0]
+	if row.Min != 10 || row.Max != 100 {
+		t.Errorf("min/max = %v/%v, want 10/100", row.Min, row.Max)
+	}
+	if row.Ratio != 0.99 {
+		t.Errorf("ratio = %v, want 0.99", row.Ratio)
+	}
+}
+
+func TestCompareZeroBaselineUnaligned(t *testing.T) {
+	base := art("a", Workload{Key: "k", Value: 0, Unit: "tx/s"})
+	cand := art("b", Workload{Key: "k", Value: 50, Unit: "tx/s"})
+	c := Compare([]*Artifact{base, cand}, 0.8)
+	if !math.IsNaN(c.Rows[0].Ratio) {
+		t.Errorf("zero baseline must yield NaN ratio, got %v", c.Rows[0].Ratio)
+	}
+	if c.Regressed() {
+		t.Error("zero baseline gated")
+	}
+}

@@ -1,0 +1,283 @@
+// Package telemetry is the host-side metrics layer of the MTPU
+// simulator — the wall-clock complement of the simulated-cycle
+// accounting in internal/obs. Where obs answers "where did the
+// simulated cycles go inside one replay", telemetry answers "how is
+// this process doing over time": replays and simulated transactions
+// per wall-second, block replay latency percentiles, DB-cache and
+// State-Buffer warm/cold splits, scheduler pick rates, and Block-STM
+// incarnation/abort rates — the run-time signals a long-running
+// execution service reports and a batch CLI stamps into its run
+// ledger.
+//
+// Recording is off by default: every integration point holds a nil
+// *Metrics and pays one branch to skip it. When enabled, counters are
+// single atomic adds and latency samples are one histogram add — zero
+// allocations either way, safe for concurrent replays. Exposition has
+// three faces: a Prometheus text endpoint plus expvar and pprof on an
+// optional HTTP listener (Serve), a point-in-time Snapshot for JSON
+// artifacts, and a JSONL run ledger (ledger.go) with a regression
+// comparator (regress.go) shared by cmd/mtpu-report and the `make
+// perf` gate.
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mtpu/internal/obs"
+	"mtpu/internal/types"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Uint64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the value by delta.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Metrics is the typed registry of every host-side signal the
+// simulator reports. One Metrics instance serves a whole process
+// (concurrent sweep workers share it; everything inside is atomic).
+// The zero value is not usable — construct with New so the start time
+// and the obs bridge are initialized.
+type Metrics struct {
+	start time.Time
+
+	// Replay volume: completed block replays, their simulated
+	// transactions, instructions and makespan cycles. Sustained
+	// replays/s and simulated-tx/s derive from these over uptime.
+	Replays            Counter
+	ReplayTxs          Counter
+	ReplayInstructions Counter
+	ReplayCycles       Counter
+
+	// DB-cache warm/cold split, fed by the obs bridge at commit
+	// boundaries (DBHits+DBMisses == lookups).
+	DBHits   Counter
+	DBMisses Counter
+
+	// State Buffer warm/cold split, recorded per replay from the
+	// processor's counters.
+	SBufHits   Counter
+	SBufMisses Counter
+
+	// Scheduler behaviour: picks by class (via the obs bridge) and
+	// candidate-window refill scans (the O(window × txs) loop the
+	// tree-scheduler roadmap item wants measured).
+	SchedPicks       [obs.NumPickKinds]Counter
+	SchedRefillScans Counter
+
+	// Optimistic-execution rates, streamed live by the Block-STM
+	// executor as incarnations complete — the signals invisible in a
+	// consensus DAG and only observable at run time.
+	STMIncarnations     Counter
+	STMAborts           Counter
+	STMEstimateAborts   Counter
+	STMValidationPasses Counter
+	STMValidationFails  Counter
+
+	// latencies holds one wall-clock block-latency histogram per
+	// engine label. The map is append-only under mu; the read path
+	// (one lookup per replay) takes the read lock only.
+	mu        sync.RWMutex
+	latencies map[string]*Histogram
+
+	bridge bridge
+}
+
+// New returns an empty Metrics anchored at the current time.
+func New() *Metrics {
+	m := &Metrics{start: time.Now(), latencies: make(map[string]*Histogram)}
+	m.bridge.m = m
+	return m
+}
+
+// Start returns the construction time (the uptime anchor).
+func (m *Metrics) Start() time.Time { return m.start }
+
+// Uptime returns the wall-clock time since construction.
+func (m *Metrics) Uptime() time.Duration { return time.Since(m.start) }
+
+// Sink returns the obs.Sink face of the metrics: attach it (alone, or
+// Tee'd with a cycle-obs Collector) at the one sink attachment point a
+// replay has, and DB-cache flushes and scheduler picks stream into the
+// counters. The bridge is concurrency-safe, so one instance serves
+// every replay of the process.
+func (m *Metrics) Sink() obs.Sink { return &m.bridge }
+
+// Latency returns the block-latency histogram for an engine label,
+// creating it on first use. Steady-state calls allocate nothing (one
+// read-locked map lookup).
+func (m *Metrics) Latency(label string) *Histogram {
+	m.mu.RLock()
+	h := m.latencies[label]
+	m.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if h = m.latencies[label]; h == nil {
+		h = &Histogram{}
+		m.latencies[label] = h
+	}
+	return h
+}
+
+// ObserveReplay records one completed block replay: its engine label,
+// simulated volume, and wall-clock duration.
+func (m *Metrics) ObserveReplay(label string, txs int, instructions, cycles uint64, wall time.Duration) {
+	m.Replays.Inc()
+	m.ReplayTxs.Add(uint64(txs))
+	m.ReplayInstructions.Add(instructions)
+	m.ReplayCycles.Add(cycles)
+	m.Latency(label).Record(uint64(wall.Nanoseconds()))
+}
+
+// bridge adapts Metrics to obs.Sink. Unlike obs.Collector it is safe
+// for concurrent use, so one bridge serves every replay goroutine.
+type bridge struct{ m *Metrics }
+
+// DBFlush implements obs.Sink: fold one batched DB-cache delta into
+// the warm/cold counters.
+func (b *bridge) DBFlush(_ int, _ types.Address, d *obs.DBDelta) {
+	b.m.DBHits.Add(d.Hits)
+	b.m.DBMisses.Add(d.Misses)
+}
+
+// SchedPick implements obs.Sink.
+func (b *bridge) SchedPick(pu int, now uint64, kind obs.PickKind, occupied int) {
+	_, _, _ = pu, now, occupied
+	if int(kind) < len(b.m.SchedPicks) {
+		b.m.SchedPicks[kind].Inc()
+	}
+}
+
+// LatencySnapshot is the exported percentile summary of one engine's
+// block-latency histogram (milliseconds).
+type LatencySnapshot struct {
+	Label  string  `json:"label"`
+	Count  uint64  `json:"count"`
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MaxMS  float64 `json:"max_ms"`
+}
+
+// STMSnapshot is the exported optimistic-execution section.
+type STMSnapshot struct {
+	Incarnations     uint64  `json:"incarnations"`
+	Aborts           uint64  `json:"aborts"`
+	EstimateAborts   uint64  `json:"estimate_aborts"`
+	ValidationPasses uint64  `json:"validation_passes"`
+	ValidationFails  uint64  `json:"validation_fails"`
+	AbortRate        float64 `json:"abort_rate"` // aborts / incarnations
+}
+
+// Snapshot is a point-in-time JSON-able export of every metric plus
+// the derived sustained rates — the block every run-ledger entry
+// embeds.
+type Snapshot struct {
+	UptimeMS float64 `json:"uptime_ms"`
+
+	Replays            uint64 `json:"replays"`
+	ReplayTxs          uint64 `json:"replay_txs"`
+	ReplayInstructions uint64 `json:"replay_instructions"`
+	ReplayCycles       uint64 `json:"replay_cycles"`
+
+	// Sustained host rates over uptime.
+	ReplaysPerSec float64 `json:"replays_per_sec"`
+	TxsPerSec     float64 `json:"txs_per_sec"`
+
+	DBHits     uint64 `json:"db_hits"`
+	DBMisses   uint64 `json:"db_misses"`
+	SBufHits   uint64 `json:"sbuf_hits"`
+	SBufMisses uint64 `json:"sbuf_misses"`
+
+	SchedPicks       map[string]uint64 `json:"sched_picks,omitempty"`
+	SchedRefillScans uint64            `json:"sched_refill_scans"`
+
+	STM STMSnapshot `json:"stm"`
+
+	Latency []LatencySnapshot `json:"latency,omitempty"`
+}
+
+// Snapshot exports the current state. Latency sections are sorted by
+// label so snapshots are deterministic given deterministic recording.
+func (m *Metrics) Snapshot() Snapshot {
+	up := m.Uptime()
+	upSec := up.Seconds()
+	s := Snapshot{
+		UptimeMS:           float64(up.Microseconds()) / 1000,
+		Replays:            m.Replays.Load(),
+		ReplayTxs:          m.ReplayTxs.Load(),
+		ReplayInstructions: m.ReplayInstructions.Load(),
+		ReplayCycles:       m.ReplayCycles.Load(),
+		DBHits:             m.DBHits.Load(),
+		DBMisses:           m.DBMisses.Load(),
+		SBufHits:           m.SBufHits.Load(),
+		SBufMisses:         m.SBufMisses.Load(),
+		SchedRefillScans:   m.SchedRefillScans.Load(),
+		STM: STMSnapshot{
+			Incarnations:     m.STMIncarnations.Load(),
+			Aborts:           m.STMAborts.Load(),
+			EstimateAborts:   m.STMEstimateAborts.Load(),
+			ValidationPasses: m.STMValidationPasses.Load(),
+			ValidationFails:  m.STMValidationFails.Load(),
+		},
+	}
+	if upSec > 0 {
+		s.ReplaysPerSec = float64(s.Replays) / upSec
+		s.TxsPerSec = float64(s.ReplayTxs) / upSec
+	}
+	if s.STM.Incarnations > 0 {
+		s.STM.AbortRate = float64(s.STM.Aborts) / float64(s.STM.Incarnations)
+	}
+	s.SchedPicks = make(map[string]uint64, len(m.SchedPicks))
+	for k := range m.SchedPicks {
+		s.SchedPicks[obs.PickKind(k).String()] = m.SchedPicks[k].Load()
+	}
+	m.mu.RLock()
+	labels := make([]string, 0, len(m.latencies))
+	for l := range m.latencies {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	for _, l := range labels {
+		h := m.latencies[l]
+		if h.Count() == 0 {
+			continue
+		}
+		s.Latency = append(s.Latency, LatencySnapshot{
+			Label:  l,
+			Count:  h.Count(),
+			MeanMS: h.Mean() / 1e6,
+			P50MS:  float64(h.Quantile(0.50)) / 1e6,
+			P95MS:  float64(h.Quantile(0.95)) / 1e6,
+			P99MS:  float64(h.Quantile(0.99)) / 1e6,
+			MaxMS:  float64(h.Max()) / 1e6,
+		})
+	}
+	m.mu.RUnlock()
+	return s
+}

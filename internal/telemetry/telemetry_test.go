@@ -1,0 +1,201 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"mtpu/internal/obs"
+	"mtpu/internal/types"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Load(); got != 42 {
+		t.Errorf("Counter = %d, want 42", got)
+	}
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Load(); got != 7 {
+		t.Errorf("Gauge = %d, want 7", got)
+	}
+}
+
+func TestHistogramBucketRoundTrip(t *testing.T) {
+	// bucketLow must invert bucketIndex on every bucket boundary, and
+	// bucketIndex must be monotone over a dense sample of the range.
+	for idx := 0; idx < histBuckets; idx++ {
+		low := bucketLow(idx)
+		if got := bucketIndex(low); got != idx {
+			t.Fatalf("bucketIndex(bucketLow(%d)) = %d", idx, got)
+		}
+	}
+	prev := -1
+	for v := uint64(0); v < 1<<12; v++ {
+		idx := bucketIndex(v)
+		if idx < prev {
+			t.Fatalf("bucketIndex not monotone at %d: %d < %d", v, idx, prev)
+		}
+		prev = idx
+	}
+	for _, v := range []uint64{1 << 20, 1 << 40, 1<<63 + 12345, math.MaxUint64} {
+		idx := bucketIndex(v)
+		if idx < 0 || idx >= histBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of range [0, %d)", v, idx, histBuckets)
+		}
+		if low := bucketLow(idx); low > v {
+			t.Fatalf("bucketLow(bucketIndex(%d)) = %d > sample", v, low)
+		}
+	}
+}
+
+func TestHistogramStats(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Min() != 0 || h.Max() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram must read as zero")
+	}
+	if !math.IsNaN(h.Mean()) {
+		t.Fatal("empty histogram mean must be NaN")
+	}
+	for v := uint64(1); v <= 1000; v++ {
+		h.Record(v)
+	}
+	if h.Count() != 1000 {
+		t.Errorf("Count = %d, want 1000", h.Count())
+	}
+	if h.Min() != 1 || h.Max() != 1000 {
+		t.Errorf("Min/Max = %d/%d, want 1/1000", h.Min(), h.Max())
+	}
+	if mean := h.Mean(); mean != 500.5 {
+		t.Errorf("Mean = %v, want 500.5", mean)
+	}
+	// Log-linear error bound: every quantile within 1/2^histSubBits
+	// relative error of the exact order statistic.
+	for _, tc := range []struct {
+		q     float64
+		exact float64
+	}{{0.5, 500}, {0.95, 950}, {0.99, 990}, {1.0, 1000}} {
+		got := float64(h.Quantile(tc.q))
+		if err := math.Abs(got-tc.exact) / tc.exact; err > 1.0/(1<<histSubBits) {
+			t.Errorf("Quantile(%v) = %v, want %v ± %.2f%%", tc.q, got, tc.exact, 100.0/(1<<histSubBits))
+		}
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 || h.Min() != 0 {
+		t.Error("Reset did not zero the histogram")
+	}
+	// Min tracking survives reset (the ^value encoding re-arms).
+	h.Record(7)
+	if h.Min() != 7 || h.Max() != 7 {
+		t.Errorf("post-reset Min/Max = %d/%d, want 7/7", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramConcurrentRecord(t *testing.T) {
+	var h Histogram
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Record(uint64(w*per + i + 1))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Errorf("Count = %d, want %d", h.Count(), workers*per)
+	}
+	if h.Min() != 1 || h.Max() != workers*per {
+		t.Errorf("Min/Max = %d/%d, want 1/%d", h.Min(), h.Max(), workers*per)
+	}
+	want := uint64(workers * per * (workers*per + 1) / 2)
+	if h.Sum() != want {
+		t.Errorf("Sum = %d, want %d", h.Sum(), want)
+	}
+}
+
+func TestObserveReplayAndSnapshot(t *testing.T) {
+	m := New()
+	m.ObserveReplay("scalar", 128, 5000, 9000, 2*time.Millisecond)
+	m.ObserveReplay("scalar", 128, 5000, 9000, 4*time.Millisecond)
+	m.ObserveReplay("block-stm", 64, 2500, 3000, time.Millisecond)
+	m.STMIncarnations.Add(80)
+	m.STMAborts.Add(16)
+
+	s := m.Snapshot()
+	if s.Replays != 3 || s.ReplayTxs != 320 {
+		t.Errorf("Replays/ReplayTxs = %d/%d, want 3/320", s.Replays, s.ReplayTxs)
+	}
+	if s.ReplayInstructions != 12500 || s.ReplayCycles != 21000 {
+		t.Errorf("instructions/cycles = %d/%d", s.ReplayInstructions, s.ReplayCycles)
+	}
+	if s.ReplaysPerSec <= 0 || s.TxsPerSec <= 0 {
+		t.Error("sustained rates must be positive after replays")
+	}
+	if got := s.STM.AbortRate; got != 0.2 {
+		t.Errorf("AbortRate = %v, want 0.2", got)
+	}
+	if len(s.Latency) != 2 {
+		t.Fatalf("latency sections = %d, want 2", len(s.Latency))
+	}
+	// Sorted by label: block-stm before scalar.
+	if s.Latency[0].Label != "block-stm" || s.Latency[1].Label != "scalar" {
+		t.Errorf("latency labels = %q, %q", s.Latency[0].Label, s.Latency[1].Label)
+	}
+	sc := s.Latency[1]
+	if sc.Count != 2 || sc.MeanMS != 3 || sc.MaxMS != 4 {
+		t.Errorf("scalar latency = %+v, want count 2 mean 3ms max 4ms", sc)
+	}
+	if sc.P99MS < sc.P50MS {
+		t.Errorf("p99 %v < p50 %v", sc.P99MS, sc.P50MS)
+	}
+}
+
+func TestBridgeFeedsCounters(t *testing.T) {
+	m := New()
+	sink := m.Sink()
+	if sink == nil {
+		t.Fatal("Sink() returned nil")
+	}
+	sink.DBFlush(0, types.Address{}, &obs.DBDelta{Hits: 10, Misses: 3})
+	sink.DBFlush(1, types.Address{}, &obs.DBDelta{Hits: 5, Misses: 1})
+	if m.DBHits.Load() != 15 || m.DBMisses.Load() != 4 {
+		t.Errorf("DB hits/misses = %d/%d, want 15/4", m.DBHits.Load(), m.DBMisses.Load())
+	}
+	for k := 0; k < int(obs.NumPickKinds); k++ {
+		sink.SchedPick(0, 0, obs.PickKind(k), k+1)
+	}
+	for k := 0; k < int(obs.NumPickKinds); k++ {
+		if got := m.SchedPicks[k].Load(); got != 1 {
+			t.Errorf("SchedPicks[%d] = %d, want 1", k, got)
+		}
+	}
+	snap := m.Snapshot()
+	if len(snap.SchedPicks) != int(obs.NumPickKinds) {
+		t.Errorf("snapshot pick kinds = %d, want %d", len(snap.SchedPicks), int(obs.NumPickKinds))
+	}
+}
+
+func TestTeeFansOut(t *testing.T) {
+	if obs.Tee() != nil || obs.Tee(nil, nil) != nil {
+		t.Error("Tee of no sinks must be nil")
+	}
+	m := New()
+	single := obs.Tee(nil, m.Sink())
+	if single != m.Sink() {
+		t.Error("Tee of one sink must unwrap to it")
+	}
+	m2 := New()
+	both := obs.Tee(m.Sink(), m2.Sink())
+	both.DBFlush(0, types.Address{}, &obs.DBDelta{Hits: 2})
+	if m.DBHits.Load() != 2 || m2.DBHits.Load() != 2 {
+		t.Errorf("tee fan-out: %d/%d, want 2/2", m.DBHits.Load(), m2.DBHits.Load())
+	}
+}
