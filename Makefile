@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: all build test race vet fuzz-smoke diff-smoke bench stats-smoke stm-sweep bse-sweep perf report-smoke validate-artifacts ci
+.PHONY: all build test race vet fuzz-smoke diff-smoke bench stats-smoke stm-sweep bse-sweep perf report-smoke serve-smoke validate-artifacts ci
 
 all: build
 
@@ -81,6 +81,16 @@ report-smoke:
 	$(GO) run ./cmd/mtpu-bench -perf-wall 40ms -ledger bench_ledger_b.jsonl perf
 	$(GO) run ./cmd/mtpu-report -min-ratio 0.2 bench_ledger_a.jsonl bench_ledger_b.jsonl
 
+# Exercise the block-stream service end to end: mtpu-serve replays a
+# 500-block in-process stream through every registered engine with
+# shadow validation sampling, appends the service report to the run
+# ledger, and exits non-zero on any shadow divergence or telemetry
+# invariant violation (blocks lost/duplicated, queues not drained).
+serve-smoke:
+	rm -f bench_serve.jsonl
+	$(GO) run ./cmd/mtpu-serve -source blocks=500,txs=32,dep=0.3,seed=1 \
+		-mode all -shadow-sample 0.1 -ledger bench_serve.jsonl
+
 # Strictly validate the checked-in sweep artifacts: catches a schema bump
 # (or a new sweep such as bse or perf) that was not regenerated into the
 # files.
@@ -88,4 +98,4 @@ validate-artifacts:
 	$(GO) run ./cmd/mtpu-bench -validate BENCH_sweeps.json
 	$(GO) run ./cmd/mtpu-bench -validate BENCH_perf.json
 
-ci: vet build race diff-smoke fuzz-smoke stats-smoke stm-sweep bse-sweep perf report-smoke validate-artifacts
+ci: vet build race diff-smoke fuzz-smoke stats-smoke stm-sweep bse-sweep perf report-smoke serve-smoke validate-artifacts

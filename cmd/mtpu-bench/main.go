@@ -109,6 +109,14 @@ func (r *spdRange) add(s float64) {
 }
 
 func main() {
+	os.Exit(realMain())
+}
+
+// realMain is main with an exit code instead of os.Exit, so the
+// deferred profile flush and telemetry-server shutdown run on every
+// exit path — a mid-run os.Exit used to truncate profile artifacts
+// silently.
+func realMain() int {
 	seed := flag.Int64("seed", experiments.DefaultSeed, "workload generator seed")
 	parallel := flag.Int("parallel", 1, "worker goroutines per experiment (<=0 uses GOMAXPROCS)")
 	jsonPath := flag.String("json", "", "write a machine-readable wall-clock report to this file")
@@ -129,25 +137,25 @@ func main() {
 	flag.Parse()
 	if *version {
 		fmt.Println(telemetry.Build())
-		return
+		return 0
 	}
 	if *validate != "" {
 		if err := validateReport(*validate); err != nil {
 			fmt.Fprintf(os.Stderr, "mtpu-bench: %s: %v\n", *validate, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("%s: valid (schema %d)\n", *validate, reportSchema)
-		return
+		return 0
 	}
 	if flag.NArg() != 1 {
 		usage()
-		os.Exit(2)
+		return 2
 	}
 	profiles := profiling.Profiles{CPU: *cpuProfile, Mem: *memProfile, Block: *blockProfile, Mutex: *mutexProfile}
 	stopProfiles, err := profiling.StartAll(profiles)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mtpu-bench: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 	defer func() {
 		if err := stopProfiles(); err != nil {
@@ -172,7 +180,7 @@ func main() {
 		addr, stopServe, err := env.Tel.Serve(*telemetryAddr)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mtpu-bench: telemetry listener: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("telemetry: serving /metrics /snapshot /debug/{vars,pprof} on http://%s\n", addr)
 		defer stopServe()
@@ -323,7 +331,7 @@ func main() {
 	} else {
 		fmt.Fprintf(os.Stderr, "mtpu-bench: unknown artifact %q\n", cmd)
 		usage()
-		os.Exit(2)
+		return 2
 	}
 
 	report := benchReport{
@@ -356,7 +364,7 @@ func main() {
 	if *perfBaseline != "" {
 		if err := gatePerf(*perfBaseline, perfPoints, *perfMinRatio); err != nil {
 			fmt.Fprintf(os.Stderr, "mtpu-bench: perf gate: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("perf gate: ok (every point >= %.2fx the %s baseline)\n", *perfMinRatio, *perfBaseline)
 	}
@@ -373,12 +381,12 @@ func main() {
 		buf, err := json.MarshalIndent(&report, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mtpu-bench: encoding report: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		buf = append(buf, '\n')
 		if err := os.WriteFile(*jsonPath, buf, 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "mtpu-bench: writing report: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 	}
 
@@ -393,9 +401,10 @@ func main() {
 		}
 		if err := telemetry.Append(*ledgerPath, entry); err != nil {
 			fmt.Fprintf(os.Stderr, "mtpu-bench: ledger: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 	}
+	return 0
 }
 
 // reportWorkloads flattens a report to the ledger's comparable

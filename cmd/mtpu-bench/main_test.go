@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"flag"
 	"math"
 	"os"
 	"path/filepath"
@@ -142,5 +143,30 @@ func TestCheckReportRejectsNonFinite(t *testing.T) {
 				t.Errorf("error %q does not mention finiteness", err)
 			}
 		})
+	}
+}
+
+// benchMain invokes realMain with a fresh global flag set, restoring
+// process state afterwards.
+func benchMain(t *testing.T, args ...string) int {
+	t.Helper()
+	oldArgs, oldFlags := os.Args, flag.CommandLine
+	defer func() { os.Args, flag.CommandLine = oldArgs, oldFlags }()
+	flag.CommandLine = flag.NewFlagSet("mtpu-bench", flag.ExitOnError)
+	os.Args = append([]string{"mtpu-bench"}, args...)
+	return realMain()
+}
+
+// TestUnwritableLedgerExitsNonzero: a bench run whose ledger entry
+// cannot be written must exit non-zero — and because realMain returns
+// instead of calling os.Exit, the deferred profile flush still ran.
+func TestUnwritableLedgerExitsNonzero(t *testing.T) {
+	blocker := filepath.Join(t.TempDir(), "blocker")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code := benchMain(t, "-ledger", filepath.Join(blocker, "ledger.jsonl"), "table1")
+	if code == 0 {
+		t.Fatal("unwritable ledger path exited 0")
 	}
 }

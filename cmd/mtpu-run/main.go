@@ -55,6 +55,14 @@ func parseModes(spec string) ([]core.Mode, error) {
 }
 
 func main() {
+	os.Exit(realMain())
+}
+
+// realMain is main with an exit code instead of os.Exit, so the
+// deferred profile flush and telemetry-server shutdown run on every
+// exit path — log.Fatalf used to skip them, silently truncating
+// profile artifacts.
+func realMain() int {
 	txs := flag.Int("txs", 128, "transactions per block")
 	dep := flag.Float64("dep", 0.3, "target dependent-transaction ratio (0..1)")
 	pus := flag.Int("pus", 4, "number of processing units")
@@ -79,18 +87,20 @@ func main() {
 	flag.Parse()
 	if *version {
 		fmt.Println(telemetry.Build())
-		return
+		return 0
 	}
 
 	modes, err := parseModes(*mode)
 	if err != nil {
-		log.Fatalf("mtpu-run: %v", err)
+		log.Printf("mtpu-run: %v", err)
+		return 1
 	}
 
 	profiles := profiling.Profiles{CPU: *cpuProfile, Mem: *memProfile, Block: *blockProfile, Mutex: *mutexProfile}
 	stopProfiles, err := profiling.StartAll(profiles)
 	if err != nil {
-		log.Fatalf("mtpu-run: %v", err)
+		log.Printf("mtpu-run: %v", err)
+		return 1
 	}
 	defer func() {
 		if err := stopProfiles(); err != nil {
@@ -99,13 +109,7 @@ func main() {
 	}()
 
 	if *diff != "" {
-		stop := stopProfiles
-		stopProfiles = func() error { return nil }
-		code := runDiff(*diff, modes)
-		if err := stop(); err != nil {
-			log.Printf("mtpu-run: %v", err)
-		}
-		os.Exit(code)
+		return runDiff(*diff, modes)
 	}
 
 	gen := workload.NewGenerator(*seed, 4*(*txs)+64)
@@ -115,22 +119,26 @@ func main() {
 	if *load != "" {
 		raw, err := os.ReadFile(*load)
 		if err != nil {
-			log.Fatalf("mtpu-run: %v", err)
+			log.Printf("mtpu-run: %v", err)
+			return 1
 		}
 		block, err = types.DecodeBlockRLP(raw)
 		if err != nil {
-			log.Fatalf("mtpu-run: %v", err)
+			log.Printf("mtpu-run: %v", err)
+			return 1
 		}
 		fmt.Printf("loaded block %s from %s\n", block.Hash(), *load)
 	} else {
 		block = gen.TokenBlock(*txs, *dep)
 		if _, err := workload.BuildDAG(genesis, block); err != nil {
-			log.Fatalf("mtpu-run: %v", err)
+			log.Printf("mtpu-run: %v", err)
+			return 1
 		}
 	}
 	if *dump != "" {
 		if err := os.WriteFile(*dump, block.EncodeRLP(), 0o644); err != nil {
-			log.Fatalf("mtpu-run: %v", err)
+			log.Printf("mtpu-run: %v", err)
+			return 1
 		}
 		fmt.Printf("block %s written to %s (%d bytes)\n",
 			block.Hash(), *dump, len(block.EncodeRLP()))
@@ -138,14 +146,16 @@ func main() {
 
 	if *verifyDAG {
 		if err := workload.VerifyDAG(genesis, block); err != nil {
-			log.Fatalf("mtpu-run: %v", err)
+			log.Printf("mtpu-run: %v", err)
+			return 1
 		}
 		fmt.Println("DAG verified: edges match sequential-replay conflicts exactly")
 	}
 
 	traces, receipts, digest, err := core.CollectTraces(genesis, block)
 	if err != nil {
-		log.Fatalf("mtpu-run: %v", err)
+		log.Printf("mtpu-run: %v", err)
+		return 1
 	}
 
 	fmt.Printf("block: %d transactions, dependent ratio %.2f, critical path %d\n",
@@ -187,7 +197,8 @@ func main() {
 	if *telemetryAddr != "" {
 		addr, stopServer, err := tel.Serve(*telemetryAddr)
 		if err != nil {
-			log.Fatalf("mtpu-run: %v", err)
+			log.Printf("mtpu-run: %v", err)
+			return 1
 		}
 		fmt.Printf("telemetry: serving /metrics, /snapshot, /debug/vars, /debug/pprof on http://%s\n", addr)
 		defer func() {
@@ -212,7 +223,8 @@ func main() {
 		res, err := acc.ReplayWith(block, traces, receipts, digest, m, opts)
 		wall := time.Since(wallStart)
 		if err != nil {
-			log.Fatalf("mtpu-run: %v: %v", m, err)
+			log.Printf("mtpu-run: %v: %v", m, err)
+			return 1
 		}
 		if tel != nil && wall > 0 {
 			workloads = append(workloads, telemetry.Workload{
@@ -230,7 +242,8 @@ func main() {
 		// identity inside Run, and every runtime-detected conflict must lie
 		// inside the DAG's transitive closure.
 		if err := core.VerifyResult(genesis, block, res); err != nil {
-			log.Fatalf("mtpu-run: serializability check failed: %v", err)
+			log.Printf("mtpu-run: serializability check failed: %v", err)
+			return 1
 		}
 		t.Row(m.String(), res.Cycles, metrics.X(float64(baseline)/float64(res.Cycles)),
 			res.Pipeline.IPC(), res.Pipeline.HitRatio(), res.Utilization)
@@ -253,14 +266,17 @@ func main() {
 		}
 		f, err := os.Create(*traceOut)
 		if err != nil {
-			log.Fatalf("mtpu-run: %v", err)
+			log.Printf("mtpu-run: %v", err)
+			return 1
 		}
 		if err := obs.WriteChromeTrace(f, procs); err != nil {
 			f.Close()
-			log.Fatalf("mtpu-run: writing trace: %v", err)
+			log.Printf("mtpu-run: writing trace: %v", err)
+			return 1
 		}
 		if err := f.Close(); err != nil {
-			log.Fatalf("mtpu-run: %v", err)
+			log.Printf("mtpu-run: %v", err)
+			return 1
 		}
 		fmt.Printf("\ntimeline written to %s — open in https://ui.perfetto.dev or chrome://tracing (one process per mode, one thread per PU)\n", *traceOut)
 	}
@@ -273,8 +289,10 @@ func main() {
 		snap := tel.Snapshot()
 		entry.Telemetry = &snap
 		if err := telemetry.Append(*ledgerPath, entry); err != nil {
-			log.Fatalf("mtpu-run: %v", err)
+			log.Printf("mtpu-run: %v", err)
+			return 1
 		}
 		fmt.Printf("run ledger appended to %s (%d workloads)\n", *ledgerPath, len(workloads))
 	}
+	return 0
 }

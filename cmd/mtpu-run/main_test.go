@@ -1,0 +1,51 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// runMain invokes realMain with a fresh global flag set, restoring the
+// process state afterwards (realMain registers its flags on
+// flag.CommandLine at call time).
+func runMain(t *testing.T, args ...string) int {
+	t.Helper()
+	oldArgs, oldFlags := os.Args, flag.CommandLine
+	defer func() { os.Args, flag.CommandLine = oldArgs, oldFlags }()
+	flag.CommandLine = flag.NewFlagSet("mtpu-run", flag.ExitOnError)
+	os.Args = append([]string{"mtpu-run"}, args...)
+	return realMain()
+}
+
+// TestUnwritableLedgerExitsNonzero: a run whose ledger entry cannot be
+// written must exit non-zero — and because realMain returns instead of
+// calling os.Exit, the deferred profile/telemetry shutdowns still ran.
+func TestUnwritableLedgerExitsNonzero(t *testing.T) {
+	blocker := filepath.Join(t.TempDir(), "blocker")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code := runMain(t, "-txs", "8", "-mode", "scalar",
+		"-ledger", filepath.Join(blocker, "ledger.jsonl"))
+	if code == 0 {
+		t.Fatal("unwritable ledger path exited 0")
+	}
+}
+
+func TestRunWithLedgerExitsZero(t *testing.T) {
+	ledger := filepath.Join(t.TempDir(), "run.jsonl")
+	if code := runMain(t, "-txs", "8", "-mode", "scalar", "-ledger", ledger); code != 0 {
+		t.Fatalf("run exited %d", code)
+	}
+	if _, err := os.Stat(ledger); err != nil {
+		t.Fatalf("ledger not written: %v", err)
+	}
+}
+
+func TestVersionExitsZero(t *testing.T) {
+	if code := runMain(t, "-version"); code != 0 {
+		t.Fatalf("-version exited %d", code)
+	}
+}

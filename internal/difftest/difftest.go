@@ -174,19 +174,14 @@ func (h *Harness) Run(spec Spec) ([]Failure, error) {
 	return failures, nil
 }
 
-// runMode replays one engine and applies every oracle check.
-func (h *Harness) runMode(acc *core.Accelerator, genesis *state.StateDB, block *types.Block,
-	traces []*arch.TxTrace, receipts []*types.Receipt, digest types.Hash, m engine.Mode) error {
-	res, err := acc.ReplayWith(block, traces, receipts, digest, m,
-		core.ReplayOpts{Genesis: genesis, Obs: obs.NewCollector()})
-	if err != nil {
-		return fmt.Errorf("replay: %w", err)
-	}
-	if h.Mutate != nil {
-		h.Mutate(m, res)
-	}
-
-	// Digest and receipt identity against the sequential oracle.
+// OracleCheck holds one engine result to the sequential oracle: state
+// digest and per-receipt identity with the golden sequential execution,
+// then the engine's declared serializability verification (DAG-order
+// replay or conflict cross-check) via core.VerifyResult. It is the
+// re-execution check the harness applies to every grid/fuzz spec and
+// the one the block-stream service's shadow validator samples.
+func OracleCheck(genesis *state.StateDB, block *types.Block,
+	receipts []*types.Receipt, digest types.Hash, res *core.Result) error {
 	if res.StateDigest != digest {
 		return fmt.Errorf("state digest %s != sequential %s", res.StateDigest, digest)
 	}
@@ -201,9 +196,23 @@ func (h *Harness) runMode(acc *core.Accelerator, genesis *state.StateDB, block *
 				i, r.Status, want.Status, r.GasUsed, want.GasUsed)
 		}
 	}
+	return core.VerifyResult(genesis, block, res)
+}
 
-	// Schedule validity under the engine's declared verification bar.
-	if err := core.VerifyResult(genesis, block, res); err != nil {
+// runMode replays one engine and applies every oracle check.
+func (h *Harness) runMode(acc *core.Accelerator, genesis *state.StateDB, block *types.Block,
+	traces []*arch.TxTrace, receipts []*types.Receipt, digest types.Hash, m engine.Mode) error {
+	res, err := acc.ReplayWith(block, traces, receipts, digest, m,
+		core.ReplayOpts{Genesis: genesis, Obs: obs.NewCollector()})
+	if err != nil {
+		return fmt.Errorf("replay: %w", err)
+	}
+	if h.Mutate != nil {
+		h.Mutate(m, res)
+	}
+
+	// Digest, receipt and schedule identity against the sequential oracle.
+	if err := OracleCheck(genesis, block, receipts, digest, res); err != nil {
 		return err
 	}
 

@@ -1,0 +1,182 @@
+package stream
+
+import (
+	"bytes"
+	"context"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"mtpu/internal/engine"
+	"mtpu/internal/workload"
+)
+
+func startIngest(t *testing.T, cfg Config, spec workload.StreamSpec) (*Service, *Ingest, *workload.Stream) {
+	t.Helper()
+	src, err := spec.Open()
+	if err != nil {
+		t.Fatalf("opening stream: %v", err)
+	}
+	cfg.Genesis = src.Genesis()
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatalf("starting service: %v", err)
+	}
+	sock := filepath.Join(t.TempDir(), "mtpu.sock")
+	in, err := svc.ListenAndServe("127.0.0.1:0", sock)
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	t.Cleanup(func() { in.Close() })
+	return svc, in, src
+}
+
+// TestHTTPIngest drives the full protocol surface over TCP: raw-RLP and
+// JSON-envelope submission, bad input, health, and the post-drain 503s.
+func TestHTTPIngest(t *testing.T) {
+	spec := workload.StreamSpec{Blocks: 6, Txs: 8, Dep: 0.3, Seed: 21}
+	svc, in, src := startIngest(t, Config{Mode: engine.ModeSTHotspot, ShadowSample: 1}, spec)
+	base := "http://" + in.Addr
+
+	if resp, err := http.Get(base + "/healthz"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", resp.Status, err)
+	}
+
+	// Raw RLP body.
+	b1, _ := src.Next()
+	resp, err := http.Post(base+"/blocks", "application/octet-stream", bytes.NewReader(b1.EncodeRLP()))
+	if err != nil {
+		t.Fatalf("posting raw block: %v", err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("raw block: %s", resp.Status)
+	}
+
+	// JSON hex envelope.
+	b2, _ := src.Next()
+	env, _ := json.Marshal(map[string]string{"rlp": "0x" + hex.EncodeToString(b2.EncodeRLP())})
+	resp, err = http.Post(base+"/blocks", "application/json", bytes.NewReader(env))
+	if err != nil {
+		t.Fatalf("posting JSON block: %v", err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("JSON block: %s", resp.Status)
+	}
+
+	// Garbage is a 400, not an accepted block.
+	resp, _ = http.Post(base+"/blocks", "application/octet-stream", bytes.NewReader([]byte("not rlp")))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage block: %s, want 400", resp.Status)
+	}
+	resp, _ = http.Get(base + "/blocks")
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /blocks: %s, want 405", resp.Status)
+	}
+
+	svc.Close()
+	if resp, _ = http.Get(base + "/healthz"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining: %s, want 503", resp.Status)
+	}
+	b3, _ := src.Next()
+	resp, _ = http.Post(base+"/blocks", "application/octet-stream", bytes.NewReader(b3.EncodeRLP()))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post while draining: %s, want 503", resp.Status)
+	}
+
+	rep, err := svc.Wait()
+	if err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	if rep.Committed != 2 || rep.ShadowFails != 0 {
+		t.Fatalf("committed=%d shadowFails=%d, want 2/0", rep.Committed, rep.ShadowFails)
+	}
+}
+
+// TestUnixIngest submits a block over the unix socket listener.
+func TestUnixIngest(t *testing.T) {
+	spec := workload.StreamSpec{Blocks: 2, Txs: 6, Seed: 33}
+	svc, in, src := startIngest(t, Config{Mode: engine.ModeScalar}, spec)
+
+	sock := in.unixPath
+	client := &http.Client{Transport: &http.Transport{
+		DialContext: func(ctx context.Context, _, _ string) (net.Conn, error) {
+			var d net.Dialer
+			return d.DialContext(ctx, "unix", sock)
+		},
+	}}
+	b, _ := src.Next()
+	resp, err := client.Post("http://unix/blocks", "application/octet-stream", bytes.NewReader(b.EncodeRLP()))
+	if err != nil {
+		t.Fatalf("posting over unix socket: %v", err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("unix block: %s", resp.Status)
+	}
+	rep, err := svc.Drain()
+	if err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if rep.Committed != 1 {
+		t.Fatalf("committed %d, want 1", rep.Committed)
+	}
+}
+
+// TestHTTPQueueFull stalls the executor behind a depth-1 queue and
+// floods ingest until the server answers 429 with a Retry-After hint.
+func TestHTTPQueueFull(t *testing.T) {
+	spec := workload.StreamSpec{Blocks: 32, Txs: 2, Seed: 44}
+	src, err := spec.Open()
+	if err != nil {
+		t.Fatalf("opening stream: %v", err)
+	}
+	svc, err := New(Config{Mode: engine.ModeScalar, Genesis: src.Genesis(), Queue: 1})
+	if err != nil {
+		t.Fatalf("starting service: %v", err)
+	}
+	release := make(chan struct{})
+	svc.execHook = func() {
+		select {
+		case <-release:
+		case <-time.After(5 * time.Second):
+		}
+	}
+	in, err := svc.ListenAndServe("127.0.0.1:0", "")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer in.Close()
+
+	saw429 := false
+	for i := 0; i < spec.Blocks; i++ {
+		b, ok := src.Next()
+		if !ok {
+			break
+		}
+		resp, err := http.Post("http://"+in.Addr+"/blocks", "application/octet-stream", bytes.NewReader(b.EncodeRLP()))
+		if err != nil {
+			t.Fatalf("post: %v", err)
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			saw429 = true
+			if resp.Header.Get("Retry-After") == "" {
+				t.Fatal("429 without Retry-After")
+			}
+			break
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("block %d: %s", i, resp.Status)
+		}
+	}
+	if !saw429 {
+		t.Fatal(fmt.Sprintf("no 429 across %d posts against a stalled depth-1 pipeline", spec.Blocks))
+	}
+	close(release)
+	if _, err := svc.Drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}

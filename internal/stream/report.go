@@ -1,0 +1,95 @@
+package stream
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"mtpu/internal/telemetry"
+)
+
+// Report is the final service summary Wait returns: admission and
+// commit totals, sustained throughput over the accepted-to-committed
+// wall-clock window, per-block end-to-end latency percentiles from the
+// telemetry histogram, and the per-stage busy time plus overlap count
+// that evidence the cross-block pipeline actually overlapped.
+type Report struct {
+	Engine string `json:"engine"`
+
+	Accepted     uint64 `json:"accepted"`
+	Rejected     uint64 `json:"rejected"`
+	Invalid      uint64 `json:"invalid,omitempty"`
+	Committed    uint64 `json:"committed"`
+	CommittedTxs uint64 `json:"committed_txs"`
+
+	ShadowChecks uint64 `json:"shadow_checks"`
+	ShadowFails  uint64 `json:"shadow_fails"`
+
+	WallMS       float64 `json:"wall_ms"`
+	BlocksPerSec float64 `json:"blocks_per_sec"`
+	TxsPerSec    float64 `json:"txs_per_sec"`
+
+	LatencyP50MS float64 `json:"latency_p50_ms"`
+	LatencyP95MS float64 `json:"latency_p95_ms"`
+	LatencyP99MS float64 `json:"latency_p99_ms"`
+	LatencyMaxMS float64 `json:"latency_max_ms"`
+
+	StageBusyMS map[string]float64 `json:"stage_busy_ms"`
+	Overlap     uint64             `json:"overlap"`
+}
+
+// report assembles the Report from the service's counters and the
+// telemetry latency histogram.
+func (s *Service) report() *Report {
+	r := &Report{
+		Engine:       s.eng.Name(),
+		Accepted:     s.accepted.Load(),
+		Rejected:     s.rejected.Load(),
+		Invalid:      s.invalid.Load(),
+		Committed:    s.committed.Load(),
+		CommittedTxs: s.committedTxs.Load(),
+		ShadowChecks: s.shadowChecks.Load(),
+		ShadowFails:  s.shadowFails.Load(),
+		StageBusyMS:  make(map[string]float64, telemetry.NumStreamStages),
+	}
+	for i := telemetry.StreamStage(0); i < telemetry.NumStreamStages; i++ {
+		r.StageBusyMS[i.String()] = float64(s.stageBusyNS[i].Load()) / 1e6
+	}
+	r.Overlap = s.overlap.Load()
+
+	if first, last := s.firstAccept.Load(), s.lastCommit.Load(); first > 0 && last > first {
+		wall := time.Duration(last - first)
+		r.WallMS = float64(wall.Nanoseconds()) / 1e6
+		r.BlocksPerSec = float64(r.Committed) / wall.Seconds()
+		r.TxsPerSec = float64(r.CommittedTxs) / wall.Seconds()
+	}
+
+	h := s.tel.Latency(s.label)
+	if h.Count() > 0 {
+		r.LatencyP50MS = float64(h.Quantile(0.50)) / 1e6
+		r.LatencyP95MS = float64(h.Quantile(0.95)) / 1e6
+		r.LatencyP99MS = float64(h.Quantile(0.99)) / 1e6
+		r.LatencyMaxMS = float64(h.Max()) / 1e6
+	}
+	return r
+}
+
+// Render writes the report as the aligned human-readable block the
+// service prints on drain.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "stream report (%s)\n", r.Engine)
+	fmt.Fprintf(&b, "  blocks     accepted=%d rejected=%d invalid=%d committed=%d\n",
+		r.Accepted, r.Rejected, r.Invalid, r.Committed)
+	fmt.Fprintf(&b, "  shadow     checks=%d fails=%d\n", r.ShadowChecks, r.ShadowFails)
+	fmt.Fprintf(&b, "  throughput %.1f blocks/s  %.0f tx/s  (%d txs over %.0f ms)\n",
+		r.BlocksPerSec, r.TxsPerSec, r.CommittedTxs, r.WallMS)
+	fmt.Fprintf(&b, "  latency    p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms\n",
+		r.LatencyP50MS, r.LatencyP95MS, r.LatencyP99MS, r.LatencyMaxMS)
+	fmt.Fprintf(&b, "  stages     prefetch=%.0fms execute=%.0fms commit=%.0fms overlap=%d\n",
+		r.StageBusyMS[telemetry.StagePrefetch.String()],
+		r.StageBusyMS[telemetry.StageExecute.String()],
+		r.StageBusyMS[telemetry.StageCommit.String()],
+		r.Overlap)
+	return b.String()
+}

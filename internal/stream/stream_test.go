@@ -1,0 +1,230 @@
+package stream
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"mtpu/internal/engine"
+	"mtpu/internal/telemetry"
+	"mtpu/internal/types"
+	"mtpu/internal/workload"
+)
+
+// drive opens the spec's stream and pushes every block through a fresh
+// service, returning the drained report and the telemetry registry.
+func drive(t *testing.T, cfg Config, spec workload.StreamSpec) (*Report, *telemetry.Metrics) {
+	t.Helper()
+	src, err := spec.Open()
+	if err != nil {
+		t.Fatalf("opening stream: %v", err)
+	}
+	cfg.Genesis = src.Genesis()
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatalf("starting service: %v", err)
+	}
+	for {
+		b, ok := src.Next()
+		if !ok {
+			break
+		}
+		if err := svc.Submit(b); err != nil {
+			t.Fatalf("submitting block: %v", err)
+		}
+	}
+	rep, err := svc.Drain()
+	if err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	return rep, svc.Tel()
+}
+
+// TestStreamAllEngines drains a block stream through every registered
+// engine with full shadow validation: all accepted blocks commit, every
+// shadow check passes, and the snapshot invariants hold after drain.
+func TestStreamAllEngines(t *testing.T) {
+	for _, mode := range engine.Modes() {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			t.Parallel()
+			spec := workload.StreamSpec{Blocks: 12, Txs: 12, Dep: 0.4, Seed: 7 + int64(mode)}
+			rep, tel := drive(t, Config{Mode: mode, ShadowSample: 1, HotspotTopN: 4}, spec)
+
+			if rep.Committed != uint64(spec.Blocks) || rep.Accepted != uint64(spec.Blocks) {
+				t.Fatalf("committed %d / accepted %d of %d blocks", rep.Committed, rep.Accepted, spec.Blocks)
+			}
+			if want := uint64(spec.Blocks * spec.Txs); rep.CommittedTxs != want {
+				t.Fatalf("committed %d txs, want %d", rep.CommittedTxs, want)
+			}
+			if rep.ShadowChecks != uint64(spec.Blocks) || rep.ShadowFails != 0 {
+				t.Fatalf("shadow checks=%d fails=%d, want %d/0", rep.ShadowChecks, rep.ShadowFails, spec.Blocks)
+			}
+			if rep.LatencyP50MS <= 0 || rep.LatencyP99MS < rep.LatencyP50MS {
+				t.Fatalf("implausible latency percentiles: p50=%v p99=%v", rep.LatencyP50MS, rep.LatencyP99MS)
+			}
+			snap := tel.Snapshot()
+			if snap.Stream == nil {
+				t.Fatal("snapshot has no stream section after a drained stream")
+			}
+			if err := snap.Stream.Check(true); err != nil {
+				t.Fatalf("drained snapshot invariants: %v", err)
+			}
+		})
+	}
+}
+
+// TestStreamOverlap proves the pipeline stages actually overlap across
+// blocks: with a stream long enough to fill the queues, prefetch of
+// block N+1 must have been busy while execute of block N was.
+func TestStreamOverlap(t *testing.T) {
+	spec := workload.StreamSpec{Blocks: 32, Txs: 24, Dep: 0.3, Seed: 11}
+	rep, tel := drive(t, Config{Mode: engine.ModeSTHotspot, ShadowSample: 0.25}, spec)
+	if rep.Overlap == 0 {
+		t.Fatalf("no stage overlap recorded across %d blocks — pipeline ran sequentially", spec.Blocks)
+	}
+	snap := tel.Snapshot()
+	if snap.Stream.Overlap != rep.Overlap {
+		t.Fatalf("report overlap %d != telemetry overlap %d", rep.Overlap, snap.Stream.Overlap)
+	}
+	for _, stage := range []telemetry.StreamStage{telemetry.StagePrefetch, telemetry.StageExecute} {
+		if rep.StageBusyMS[stage.String()] <= 0 {
+			t.Fatalf("stage %s recorded no busy time", stage)
+		}
+	}
+}
+
+// TestStreamBackpressure drives a service whose executor is artificially
+// slow: TrySubmit must start returning ErrQueueFull once the bounded
+// queues fill (bounded memory), and the graceful drain must still
+// commit every block that was accepted.
+func TestStreamBackpressure(t *testing.T) {
+	spec := workload.StreamSpec{Blocks: 64, Txs: 4, Dep: 0, Seed: 3}
+	src, err := spec.Open()
+	if err != nil {
+		t.Fatalf("opening stream: %v", err)
+	}
+	svc, err := New(Config{Mode: engine.ModeScalar, Genesis: src.Genesis(), Queue: 2})
+	if err != nil {
+		t.Fatalf("starting service: %v", err)
+	}
+	release := make(chan struct{})
+	svc.execHook = func() {
+		select {
+		case <-release:
+		case <-time.After(5 * time.Second):
+		}
+	}
+
+	var accepted, rejected int
+	for {
+		b, ok := src.Next()
+		if !ok {
+			break
+		}
+		switch err := svc.TrySubmit(b); {
+		case err == nil:
+			accepted++
+		case errors.Is(err, ErrQueueFull):
+			rejected++
+		default:
+			t.Fatalf("TrySubmit: %v", err)
+		}
+	}
+	if rejected == 0 {
+		t.Fatalf("no blocks rejected: a stalled executor must surface as queue-full, accepted=%d", accepted)
+	}
+	// With three bounded stages of depth 2 the pipeline can hold only a
+	// handful of blocks while the executor stalls.
+	if max := 3*2 + 3; accepted > max {
+		t.Fatalf("accepted %d blocks with a stalled executor; bounded queues should cap near %d", accepted, max)
+	}
+
+	close(release)
+	rep, err := svc.Drain()
+	if err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if rep.Committed != uint64(accepted) {
+		t.Fatalf("drain committed %d of %d accepted blocks", rep.Committed, accepted)
+	}
+	if rep.Rejected != uint64(rejected) {
+		t.Fatalf("report rejected %d, ingest saw %d", rep.Rejected, rejected)
+	}
+	if err := svc.Tel().Snapshot().Stream.Check(true); err != nil {
+		t.Fatalf("drained snapshot invariants: %v", err)
+	}
+}
+
+// TestStreamInvalidBlock submits an undecodable (empty) block between
+// valid ones: the service counts it invalid, keeps running, and commits
+// the rest.
+func TestStreamInvalidBlock(t *testing.T) {
+	spec := workload.StreamSpec{Blocks: 4, Txs: 8, Dep: 0.2, Seed: 5}
+	src, err := spec.Open()
+	if err != nil {
+		t.Fatalf("opening stream: %v", err)
+	}
+	svc, err := New(Config{Mode: engine.ModeSpatialTemporal, Genesis: src.Genesis(), ShadowSample: 1})
+	if err != nil {
+		t.Fatalf("starting service: %v", err)
+	}
+	b1, _ := src.Next()
+	if err := svc.Submit(b1); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	empty := types.NewBlock(b1.Header, nil)
+	if err := svc.Submit(empty); err != nil {
+		t.Fatalf("submit empty: %v", err)
+	}
+	b2, _ := src.Next()
+	if err := svc.Submit(b2); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	rep, err := svc.Drain()
+	if err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if rep.Invalid != 1 || rep.Committed != 2 {
+		t.Fatalf("invalid=%d committed=%d, want 1/2", rep.Invalid, rep.Committed)
+	}
+	if err := svc.Tel().Snapshot().Stream.Check(true); err != nil {
+		t.Fatalf("drained snapshot invariants: %v", err)
+	}
+}
+
+// TestSubmitAfterClose verifies both submit paths refuse new blocks
+// once the drain begins.
+func TestSubmitAfterClose(t *testing.T) {
+	spec := workload.StreamSpec{Blocks: 2, Txs: 4, Seed: 9}
+	src, _ := spec.Open()
+	svc, err := New(Config{Mode: engine.ModeScalar, Genesis: src.Genesis()})
+	if err != nil {
+		t.Fatalf("starting service: %v", err)
+	}
+	svc.Close()
+	b, _ := src.Next()
+	if err := svc.Submit(b); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after Close: %v, want ErrClosed", err)
+	}
+	if err := svc.TrySubmit(b); !errors.Is(err, ErrClosed) {
+		t.Fatalf("TrySubmit after Close: %v, want ErrClosed", err)
+	}
+	if _, err := svc.Wait(); err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+}
+
+func TestShadowStride(t *testing.T) {
+	cases := []struct {
+		sample float64
+		want   uint64
+	}{
+		{0, 0}, {1, 1}, {0.5, 2}, {0.25, 4}, {0.1, 10}, {0.003, 333},
+	}
+	for _, c := range cases {
+		if got := shadowStride(c.sample); got != c.want {
+			t.Errorf("shadowStride(%v) = %d, want %d", c.sample, got, c.want)
+		}
+	}
+}

@@ -48,6 +48,25 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 	counter("mtpu_stm_validation_passes_total", "Block-STM validations that passed.", s.STM.ValidationPasses)
 	counter("mtpu_stm_validation_fails_total", "Block-STM validations that failed.", s.STM.ValidationFails)
 
+	if st := s.Stream; st != nil {
+		counter("mtpu_stream_accepted_total", "Blocks accepted into the stream pipeline.", st.Accepted)
+		counter("mtpu_stream_rejected_total", "Blocks rejected at ingest (queue full).", st.Rejected)
+		counter("mtpu_stream_invalid_total", "Blocks the prefetch stage rejected as invalid.", st.Invalid)
+		counter("mtpu_stream_committed_total", "Blocks committed by the stream pipeline.", st.Committed)
+		counter("mtpu_stream_committed_txs_total", "Transactions committed by the stream pipeline.", st.CommittedTxs)
+		counter("mtpu_stream_shadow_checks_total", "Blocks re-executed by the shadow validator.", st.ShadowChecks)
+		counter("mtpu_stream_shadow_fails_total", "Shadow validations that diverged from the engine result.", st.ShadowFails)
+		counter("mtpu_stream_overlap_total", "Stage work beginnings while another stage was busy.", st.Overlap)
+		fmt.Fprintf(&b, "# HELP mtpu_stream_queue_depth Bounded-queue depth feeding each pipeline stage.\n# TYPE mtpu_stream_queue_depth gauge\n")
+		for i := StreamStage(0); i < NumStreamStages; i++ {
+			fmt.Fprintf(&b, "mtpu_stream_queue_depth{stage=%q} %d\n", i.String(), st.QueueDepth[i.String()])
+		}
+		fmt.Fprintf(&b, "# HELP mtpu_stream_stage_busy_seconds Wall-clock seconds each stage spent processing.\n# TYPE mtpu_stream_stage_busy_seconds counter\n")
+		for i := StreamStage(0); i < NumStreamStages; i++ {
+			fmt.Fprintf(&b, "mtpu_stream_stage_busy_seconds{stage=%q} %g\n", i.String(), st.StageBusyMS[i.String()]/1000)
+		}
+	}
+
 	fmt.Fprintf(&b, "# HELP mtpu_block_latency_seconds Wall-clock block replay latency percentiles by engine.\n# TYPE mtpu_block_latency_seconds summary\n")
 	for _, l := range s.Latency {
 		fmt.Fprintf(&b, "mtpu_block_latency_seconds{mode=%q,quantile=\"0.5\"} %g\n", l.Label, l.P50MS/1000)

@@ -21,6 +21,7 @@
 package telemetry
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -94,6 +95,28 @@ type Metrics struct {
 	STMEstimateAborts   Counter
 	STMValidationPasses Counter
 	STMValidationFails  Counter
+
+	// Block-stream pipeline signals (internal/stream, cmd/mtpu-serve):
+	// ingest admission counters, per-stage queue-depth gauges and busy
+	// time, and the shadow-validation outcome counters. All zero for
+	// batch runs, in which case the snapshot omits the stream section.
+	StreamAccepted     Counter
+	StreamRejected     Counter // queue-full rejections at ingest
+	StreamInvalid      Counter // blocks the prefetch stage rejected
+	StreamCommitted    Counter
+	StreamCommittedTxs Counter
+	StreamShadowChecks Counter
+	StreamShadowFails  Counter
+	// StreamOverlap counts the times a pipeline stage began work while
+	// another stage was already busy — direct evidence the cross-block
+	// pipeline actually overlapped (prefetching block N+1 while block N
+	// executed), not just queued.
+	StreamOverlap Counter
+	// StreamQueueDepth[s] is the instantaneous depth of the bounded
+	// queue feeding stage s; StreamStageBusyNS[s] accumulates the
+	// wall-clock nanoseconds stage s spent processing (not waiting).
+	StreamQueueDepth  [NumStreamStages]Gauge
+	StreamStageBusyNS [NumStreamStages]Counter
 
 	// latencies holds one wall-clock block-latency histogram per
 	// engine label. The map is append-only under mu; the read path
@@ -184,6 +207,83 @@ type LatencySnapshot struct {
 	MaxMS  float64 `json:"max_ms"`
 }
 
+// StreamStage identifies one stage of the block-stream pipeline; each
+// stage is fed by one bounded queue (ingest is the producer, not a
+// stage — its admission outcomes are the Accepted/Rejected counters).
+type StreamStage int
+
+const (
+	// StagePrefetch decodes block N+1 — DAG, traces, symbol tables,
+	// plans — while StageExecute replays block N and StageCommit
+	// verifies and publishes block N−1.
+	StagePrefetch StreamStage = iota
+	StageExecute
+	StageCommit
+	NumStreamStages
+)
+
+// String names the stage for snapshots and Prometheus labels.
+func (s StreamStage) String() string {
+	switch s {
+	case StagePrefetch:
+		return "prefetch"
+	case StageExecute:
+		return "execute"
+	case StageCommit:
+		return "commit"
+	}
+	return fmt.Sprintf("stage(%d)", int(s))
+}
+
+// StreamSnapshot is the exported block-stream pipeline section.
+type StreamSnapshot struct {
+	Accepted     uint64 `json:"accepted"`
+	Rejected     uint64 `json:"rejected"`
+	Invalid      uint64 `json:"invalid"`
+	Committed    uint64 `json:"committed"`
+	CommittedTxs uint64 `json:"committed_txs"`
+	ShadowChecks uint64 `json:"shadow_checks"`
+	ShadowFails  uint64 `json:"shadow_fails"`
+	Overlap      uint64 `json:"overlap"`
+
+	// QueueDepth and StageBusyMS are keyed by stage name, one entry
+	// per pipeline stage.
+	QueueDepth  map[string]int64   `json:"queue_depth"`
+	StageBusyMS map[string]float64 `json:"stage_busy_ms"`
+}
+
+// Check validates the stream section's counter identities. With
+// drained true (the pipeline has been closed and fully drained) it
+// additionally requires every accepted block to be accounted for and
+// every queue to be empty — the graceful-drain contract.
+func (s *StreamSnapshot) Check(drained bool) error {
+	if s.Committed+s.Invalid > s.Accepted {
+		return fmt.Errorf("telemetry: stream committed %d + invalid %d exceed accepted %d",
+			s.Committed, s.Invalid, s.Accepted)
+	}
+	if s.ShadowChecks > s.Committed {
+		return fmt.Errorf("telemetry: stream shadow checks %d exceed committed %d",
+			s.ShadowChecks, s.Committed)
+	}
+	if s.ShadowFails > s.ShadowChecks {
+		return fmt.Errorf("telemetry: stream shadow fails %d exceed checks %d",
+			s.ShadowFails, s.ShadowChecks)
+	}
+	for stage, d := range s.QueueDepth {
+		if d < 0 {
+			return fmt.Errorf("telemetry: stream %s queue depth %d negative", stage, d)
+		}
+		if drained && d != 0 {
+			return fmt.Errorf("telemetry: stream %s queue depth %d after drain", stage, d)
+		}
+	}
+	if drained && s.Committed+s.Invalid != s.Accepted {
+		return fmt.Errorf("telemetry: drained stream committed %d + invalid %d != accepted %d",
+			s.Committed, s.Invalid, s.Accepted)
+	}
+	return nil
+}
+
 // STMSnapshot is the exported optimistic-execution section.
 type STMSnapshot struct {
 	Incarnations     uint64  `json:"incarnations"`
@@ -219,6 +319,10 @@ type Snapshot struct {
 
 	STM STMSnapshot `json:"stm"`
 
+	// Stream is present only when the block-stream pipeline ran (any
+	// ingest admission recorded), so batch-CLI snapshots are unchanged.
+	Stream *StreamSnapshot `json:"stream,omitempty"`
+
 	Latency []LatencySnapshot `json:"latency,omitempty"`
 }
 
@@ -252,6 +356,25 @@ func (m *Metrics) Snapshot() Snapshot {
 	}
 	if s.STM.Incarnations > 0 {
 		s.STM.AbortRate = float64(s.STM.Aborts) / float64(s.STM.Incarnations)
+	}
+	if acc, rej, inv := m.StreamAccepted.Load(), m.StreamRejected.Load(), m.StreamInvalid.Load(); acc+rej+inv > 0 {
+		st := &StreamSnapshot{
+			Accepted:     acc,
+			Rejected:     rej,
+			Invalid:      inv,
+			Committed:    m.StreamCommitted.Load(),
+			CommittedTxs: m.StreamCommittedTxs.Load(),
+			ShadowChecks: m.StreamShadowChecks.Load(),
+			ShadowFails:  m.StreamShadowFails.Load(),
+			Overlap:      m.StreamOverlap.Load(),
+			QueueDepth:   make(map[string]int64, NumStreamStages),
+			StageBusyMS:  make(map[string]float64, NumStreamStages),
+		}
+		for i := StreamStage(0); i < NumStreamStages; i++ {
+			st.QueueDepth[i.String()] = m.StreamQueueDepth[i].Load()
+			st.StageBusyMS[i.String()] = float64(m.StreamStageBusyNS[i].Load()) / 1e6
+		}
+		s.Stream = st
 	}
 	s.SchedPicks = make(map[string]uint64, len(m.SchedPicks))
 	for k := range m.SchedPicks {

@@ -1,0 +1,161 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"mtpu/internal/state"
+	"mtpu/internal/types"
+)
+
+// StreamSpec is a serializable recipe for a block stream: Blocks
+// consecutive token blocks of Txs transactions each at dependent ratio
+// Dep, deterministically derived from Seed. It feeds `mtpu-serve
+// -source` and the stream unit tests — the block-stream face of the
+// same generator machinery Spec exposes for single blocks.
+//
+// Every block of the stream is self-contained against the shared
+// genesis (nonces restart per block), so blocks are independent units a
+// pipeline may prefetch, execute and commit with cross-block overlap;
+// only the generator's randomness carries across blocks, making each
+// block distinct.
+type StreamSpec struct {
+	// Blocks is the stream length.
+	Blocks int `json:"blocks"`
+	// Txs is the per-block transaction count.
+	Txs int `json:"txs"`
+	// Dep is the target dependent-transaction ratio per block.
+	Dep float64 `json:"dep,omitempty"`
+	// Seed drives the generator's deterministic randomness.
+	Seed int64 `json:"seed"`
+	// Accounts sizes the funded account pool; 0 means 4×Txs+64.
+	Accounts int `json:"accounts,omitempty"`
+}
+
+// Validate rejects stream specs no generator can honour.
+func (s StreamSpec) Validate() error {
+	if s.Blocks < 1 {
+		return fmt.Errorf("workload: stream needs at least one block, got %d", s.Blocks)
+	}
+	if s.Txs < 1 {
+		return fmt.Errorf("workload: stream needs at least one transaction per block, got %d", s.Txs)
+	}
+	if s.Dep < 0 || s.Dep > 1 {
+		return fmt.Errorf("workload: stream dep ratio %v outside [0,1]", s.Dep)
+	}
+	if s.Accounts < 0 {
+		return fmt.Errorf("workload: negative stream account pool %d", s.Accounts)
+	}
+	return nil
+}
+
+// AccountPool resolves the effective account-pool size.
+func (s StreamSpec) AccountPool() int {
+	if s.Accounts > 0 {
+		return s.Accounts
+	}
+	return 4*s.Txs + 64
+}
+
+// String renders the spec in the flag shorthand ParseStreamSpec accepts.
+func (s StreamSpec) String() string {
+	out := fmt.Sprintf("blocks=%d,txs=%d,dep=%g,seed=%d", s.Blocks, s.Txs, s.Dep, s.Seed)
+	if s.Accounts > 0 {
+		out += fmt.Sprintf(",accounts=%d", s.Accounts)
+	}
+	return out
+}
+
+// ParseStreamSpec decodes a stream spec from either strict JSON
+// (`{"blocks":500,"txs":64,"dep":0.3,"seed":1}`) or the flag shorthand
+// `blocks=500,txs=64,dep=0.3,seed=1` (keys optional, defaults applied),
+// then validates it.
+func ParseStreamSpec(text string) (StreamSpec, error) {
+	s := StreamSpec{Blocks: 100, Txs: 64, Dep: 0.3, Seed: 1}
+	text = strings.TrimSpace(text)
+	if strings.HasPrefix(text, "{") {
+		dec := json.NewDecoder(strings.NewReader(text))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&s); err != nil {
+			return StreamSpec{}, fmt.Errorf("workload: decoding stream spec: %w", err)
+		}
+		return s, s.Validate()
+	}
+	for _, kv := range strings.Split(text, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return StreamSpec{}, fmt.Errorf("workload: stream spec field %q is not key=value", kv)
+		}
+		var err error
+		switch key {
+		case "blocks":
+			s.Blocks, err = strconv.Atoi(val)
+		case "txs":
+			s.Txs, err = strconv.Atoi(val)
+		case "dep":
+			s.Dep, err = strconv.ParseFloat(val, 64)
+		case "seed":
+			s.Seed, err = strconv.ParseInt(val, 10, 64)
+		case "accounts":
+			s.Accounts, err = strconv.Atoi(val)
+		default:
+			return StreamSpec{}, fmt.Errorf("workload: unknown stream spec key %q (valid: blocks, txs, dep, seed, accounts)", key)
+		}
+		if err != nil {
+			return StreamSpec{}, fmt.Errorf("workload: stream spec %s=%q: %w", key, val, err)
+		}
+	}
+	return s, s.Validate()
+}
+
+// Stream generates the spec's blocks one at a time. It is not safe for
+// concurrent use; a pipeline's single ingest producer pulls from it.
+type Stream struct {
+	spec    StreamSpec
+	gen     *Generator
+	genesis *state.StateDB
+	next    int
+}
+
+// Open validates the spec and builds its generator and genesis.
+func (s StreamSpec) Open() (*Stream, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	g := NewGenerator(s.Seed, s.AccountPool())
+	return &Stream{spec: s, gen: g, genesis: g.Genesis()}, nil
+}
+
+// Genesis returns the shared pre-block state every block of the stream
+// executes against (read-only; copy before mutating).
+func (st *Stream) Genesis() *state.StateDB { return st.genesis }
+
+// Spec returns the stream's recipe.
+func (st *Stream) Spec() StreamSpec { return st.spec }
+
+// Remaining reports how many blocks Next will still produce.
+func (st *Stream) Remaining() int { return st.spec.Blocks - st.next }
+
+// Next produces the stream's next block, or (nil, false) once Blocks
+// blocks have been produced. Blocks are emitted without a conflict DAG:
+// deriving it (along with traces and plans) is the prefetch/decode
+// stage's job, exactly as a block arriving over the network would be
+// handled.
+func (st *Stream) Next() (*types.Block, bool) {
+	if st.next >= st.spec.Blocks {
+		return nil, false
+	}
+	st.gen.beginBlock()
+	header := st.gen.Header()
+	header.Height += uint64(st.next)
+	block := types.NewBlock(header, st.gen.tokenTxs(st.spec.Txs, st.spec.Dep))
+	block.DAG = nil
+	st.next++
+	return block, true
+}

@@ -1,0 +1,91 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestParseStreamSpec(t *testing.T) {
+	cases := []struct {
+		in   string
+		want StreamSpec
+	}{
+		{"", StreamSpec{Blocks: 100, Txs: 64, Dep: 0.3, Seed: 1}},
+		{"blocks=500,txs=32", StreamSpec{Blocks: 500, Txs: 32, Dep: 0.3, Seed: 1}},
+		{"blocks=8,txs=4,dep=0.9,seed=42,accounts=100", StreamSpec{Blocks: 8, Txs: 4, Dep: 0.9, Seed: 42, Accounts: 100}},
+		// JSON decoding starts from the same defaults the shorthand uses,
+		// so absent keys (dep here) keep their default.
+		{`{"blocks":5,"txs":10,"seed":2}`, StreamSpec{Blocks: 5, Txs: 10, Dep: 0.3, Seed: 2}},
+	}
+	for _, c := range cases {
+		got, err := ParseStreamSpec(c.in)
+		if err != nil {
+			t.Errorf("ParseStreamSpec(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseStreamSpec(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+
+	bad := []string{
+		"blocks=0", "txs=-1", "dep=1.5", "bogus=1", "blocks", "blocks=x",
+		`{"blocks":5,"txs":10,"seed":2,"nope":1}`, `{"blocks":0}`,
+	}
+	for _, in := range bad {
+		if _, err := ParseStreamSpec(in); err == nil {
+			t.Errorf("ParseStreamSpec(%q) accepted invalid spec", in)
+		}
+	}
+}
+
+func TestStreamSpecRoundTrip(t *testing.T) {
+	spec := StreamSpec{Blocks: 7, Txs: 9, Dep: 0.25, Seed: 13, Accounts: 80}
+	got, err := ParseStreamSpec(spec.String())
+	if err != nil {
+		t.Fatalf("reparsing %q: %v", spec.String(), err)
+	}
+	if got != spec {
+		t.Fatalf("round trip %q = %+v, want %+v", spec.String(), got, spec)
+	}
+}
+
+// TestStreamDeterminism proves the same spec yields byte-identical block
+// streams — the property that makes `mtpu-serve -source` reproducible.
+func TestStreamDeterminism(t *testing.T) {
+	spec := StreamSpec{Blocks: 5, Txs: 16, Dep: 0.5, Seed: 77}
+	a, err := spec.Open()
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	b, err := spec.Open()
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if a.Genesis().Digest() != b.Genesis().Digest() {
+		t.Fatal("same spec, different genesis")
+	}
+	seen := make(map[string]bool)
+	for i := 0; i < spec.Blocks; i++ {
+		ba, oka := a.Next()
+		bb, okb := b.Next()
+		if !oka || !okb {
+			t.Fatalf("stream ended early at block %d", i)
+		}
+		if ba.Hash() != bb.Hash() {
+			t.Fatalf("block %d differs between identical specs", i)
+		}
+		if ba.DAG != nil {
+			t.Fatalf("block %d emitted with a DAG; decoding is the consumer's job", i)
+		}
+		if seen[ba.Hash().String()] {
+			t.Fatalf("block %d repeats an earlier block", i)
+		}
+		seen[ba.Hash().String()] = true
+	}
+	if _, ok := a.Next(); ok {
+		t.Fatal("stream produced more blocks than the spec asked for")
+	}
+	if a.Remaining() != 0 {
+		t.Fatalf("Remaining() = %d after exhaustion", a.Remaining())
+	}
+}
