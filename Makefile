@@ -26,7 +26,7 @@ fuzz-smoke:
 	$(GO) test ./internal/rlp -run '^$$' -fuzz FuzzDecode -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/types -run '^$$' -fuzz FuzzDecodeTransactionRLP -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/types -run '^$$' -fuzz FuzzDecodeBlockRLP -fuzztime $(FUZZTIME)
-	$(GO) test ./internal/stm -run '^$$' -fuzz FuzzMVMemory -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/mvstate -run '^$$' -fuzz FuzzMVMemory -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/arch -run '^$$' -fuzz FuzzSymbolTable -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/difftest -run '^$$' -fuzz FuzzDiffEngines -fuzztime $(FUZZTIME)
 
@@ -86,10 +86,16 @@ report-smoke:
 # shadow validation sampling, appends the service report to the run
 # ledger, and exits non-zero on any shadow divergence or telemetry
 # invariant violation (blocks lost/duplicated, queues not drained).
+# The second pass is the chained digest-continuity gate: a shorter
+# stream under the race detector with -verify-chain, which recomputes
+# the head-state digest after every fold and halts on any mismatch
+# between the priced pre-fold digest and the folded head.
 serve-smoke:
 	rm -f bench_serve.jsonl
 	$(GO) run ./cmd/mtpu-serve -source blocks=500,txs=32,dep=0.3,seed=1 \
 		-mode all -shadow-sample 0.1 -ledger bench_serve.jsonl
+	$(GO) run -race ./cmd/mtpu-serve -source blocks=64,txs=24,dep=0.5,seed=2 \
+		-mode all -shadow-sample 1 -verify-chain -ledger bench_serve.jsonl
 
 # Strictly validate the checked-in sweep artifacts: catches a schema bump
 # (or a new sweep such as bse or perf) that was not regenerated into the

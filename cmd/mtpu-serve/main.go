@@ -9,9 +9,10 @@
 // Usage:
 //
 //	mtpu-serve -source SPEC [-mode LIST] [-pus N] [-queue N]
-//	           [-shadow-sample R] [-shadow-log] [-hotspot-top N]
-//	           [-ledger F] [-telemetry-addr A] [-cpuprofile F]
-//	           [-memprofile F] [-blockprofile F] [-mutexprofile F]
+//	           [-shadow-sample R] [-shadow-log] [-verify-chain]
+//	           [-hotspot-top N] [-ledger F] [-telemetry-addr A]
+//	           [-cpuprofile F] [-memprofile F] [-blockprofile F]
+//	           [-mutexprofile F]
 //	mtpu-serve -addr :8573 [-unix PATH] [-genesis SPEC] [-mode NAME] ...
 //	mtpu-serve -version
 //
@@ -56,6 +57,7 @@ func realMain(args []string) int {
 	queue := fs.Int("queue", stream.DefaultQueueDepth, "bounded depth of each pipeline stage queue")
 	shadowSample := fs.Float64("shadow-sample", 0.1, "fraction of committed blocks re-executed through the sequential oracle (0 disables, 1 checks every block)")
 	shadowLog := fs.Bool("shadow-log", false, "log shadow-validation mismatches and keep serving instead of halting")
+	verifyChain := fs.Bool("verify-chain", false, "recompute the head-state digest after every fold and halt on digest-continuity mismatch (full-state hashing per block; CI/debugging)")
 	hotspotTop := fs.Int("hotspot-top", 8, "hot contracts learned into the Contract Table after each block (0 disables)")
 	source := fs.String("source", "", "replay a generated block stream in-process (stream spec, e.g. blocks=500,txs=64,dep=0.3,seed=1)")
 	addr := fs.String("addr", "", "serve block ingest over HTTP on this TCP address")
@@ -134,6 +136,7 @@ func realMain(args []string) int {
 		HotspotTopN:   *hotspotTop,
 		ShadowSample:  *shadowSample,
 		ShadowLogOnly: *shadowLog,
+		VerifyChain:   *verifyChain,
 		Tel:           tel,
 		Logf:          log.Printf,
 	}

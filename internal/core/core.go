@@ -25,6 +25,7 @@ import (
 	"mtpu/internal/engine"
 	"mtpu/internal/evm"
 	"mtpu/internal/hotspot"
+	"mtpu/internal/mvstate"
 	"mtpu/internal/obs"
 	"mtpu/internal/sched"
 	"mtpu/internal/state"
@@ -104,6 +105,14 @@ func New(cfg arch.Config) *Accelerator {
 // state digest every other mode must reproduce.
 func CollectTraces(genesis *state.StateDB, block *types.Block) ([]*arch.TxTrace, []*types.Receipt, types.Hash, error) {
 	return collectOn(genesis.Copy(), block)
+}
+
+// CollectTracesOn is CollectTraces against a caller-owned mutable state:
+// the block commits into st, so successive calls over one st replay a
+// chained stream sequentially — the oracle for cross-block state
+// chaining.
+func CollectTracesOn(st *state.StateDB, block *types.Block) ([]*arch.TxTrace, []*types.Receipt, types.Hash, error) {
+	return collectOn(st, block)
 }
 
 // collectOn is CollectTraces against a mutable state (the block commits).
@@ -245,6 +254,13 @@ type ReplayOpts struct {
 	// only read, never mutated, so one shared genesis serves concurrent
 	// replays.
 	Genesis *state.StateDB
+	// Head is the pre-block state as an mvstate snapshot — the chained
+	// head in server mode (internal/stream), where the pre-block state
+	// is the result of folding every committed block into the store. It
+	// takes precedence over Genesis for engines that re-execute
+	// functionally; when nil, ReplayWith derives a bare snapshot from
+	// Genesis so one-shot replays pay no locking.
+	Head *mvstate.Snapshot
 	// Tel enables host-side telemetry: the replay's wall-clock latency,
 	// simulated volume, cache warm/cold splits, scheduler pick rates and
 	// STM incarnation/abort rates stream into the shared registry. The
@@ -323,6 +339,7 @@ func (a *Accelerator) ReplayWith(block *types.Block, traces []*arch.TxTrace, rec
 		Plans:    plans,
 		Sink:     sink,
 		Genesis:  opts.Genesis,
+		Head:     opts.Head,
 		Receipts: receipts,
 		Digest:   digest,
 		Tel:      opts.Tel,
@@ -380,14 +397,23 @@ func (a *Accelerator) ReplayWith(block *types.Block, traces []*arch.TxTrace, rec
 }
 
 // VerifySchedule re-executes the block's transactions in the dispatch
-// order of a schedule against a fresh copy of genesis and checks the
-// final state digest matches sequential execution — the serializability
-// invariant of §3.2 ("scheduling does not violate blockchain
-// consistency"). It does not apply to ModeBlockSTM, whose schedule
-// deliberately overlaps conflicting transactions and re-dispatches
-// aborted ones; that mode asserts digest identity internally and is
-// cross-checked with VerifySTMConflicts instead.
+// order of a schedule against a versioned overlay of genesis (the base
+// is only read, never copied) and checks the final state digest matches
+// sequential execution — the serializability invariant of §3.2
+// ("scheduling does not violate blockchain consistency"). It does not
+// apply to ModeBlockSTM, whose schedule deliberately overlaps
+// conflicting transactions and re-dispatches aborted ones; that mode
+// asserts digest identity internally and is cross-checked with
+// VerifySTMConflicts instead.
 func VerifySchedule(genesis *state.StateDB, block *types.Block, res *Result) error {
+	return VerifyScheduleAt(mvstate.SnapshotOf(genesis), block, res)
+}
+
+// VerifyScheduleAt is VerifySchedule against an mvstate snapshot of the
+// pre-block state — the form the block-stream service uses, where the
+// pre-state is a pinned snapshot of the chained head rather than a
+// standalone genesis StateDB.
+func VerifyScheduleAt(head *mvstate.Snapshot, block *types.Block, res *Result) error {
 	order := make([]sched.Dispatch, len(res.Sched.Dispatches))
 	copy(order, res.Sched.Dispatches)
 	// Commit order: by start time, PU index breaking ties, transaction
@@ -425,8 +451,8 @@ func VerifySchedule(genesis *state.StateDB, block *types.Block, res *Result) err
 	if len(res.Receipts) != len(block.Transactions) {
 		return fmt.Errorf("core: %d receipts for %d transactions", len(res.Receipts), len(block.Transactions))
 	}
-	st := genesis.Copy()
-	e := evm.New(evm.NewBlockContext(block.Header), st)
+	ov := mvstate.NewOverlay(head, block.Header.Coinbase)
+	e := evm.New(evm.NewBlockContext(block.Header), ov)
 	seen := make([]bool, len(block.Transactions))
 	for _, d := range order {
 		if seen[d.Tx] {
@@ -453,7 +479,9 @@ func VerifySchedule(genesis *state.StateDB, block *types.Block, res *Result) err
 			return fmt.Errorf("core: tx %d never dispatched", tx)
 		}
 	}
-	if got := st.Digest(); got != res.StateDigest {
+	keys, vals := ov.WriteSet()
+	fee := ov.FeeTotal()
+	if got := head.DigestWith(mvstate.BuildOverrides(head, keys, vals, block.Header.Coinbase, &fee)); got != res.StateDigest {
 		return fmt.Errorf("core: scheduled state digest %s != sequential %s", got, res.StateDigest)
 	}
 	return nil
@@ -479,13 +507,19 @@ func VerifySTMConflicts(dag *types.DAG, conflicts []stm.Conflict) error {
 // verification entry point the CLIs and the differential harness share,
 // so every engine is held to its declared bar the same way everywhere.
 func VerifyResult(genesis *state.StateDB, block *types.Block, res *Result) error {
+	return VerifyResultAt(mvstate.SnapshotOf(genesis), block, res)
+}
+
+// VerifyResultAt is VerifyResult against an mvstate snapshot of the
+// pre-block state (see VerifyScheduleAt).
+func VerifyResultAt(head *mvstate.Snapshot, block *types.Block, res *Result) error {
 	eng, err := engine.Get(res.Mode)
 	if err != nil {
 		return err
 	}
 	switch v := eng.Verify(); v {
 	case engine.VerifyDAGOrder:
-		if err := VerifySchedule(genesis, block, res); err != nil {
+		if err := VerifyScheduleAt(head, block, res); err != nil {
 			return fmt.Errorf("core: %s schedule: %w", res.Mode, err)
 		}
 	case engine.VerifyInternalDigest:

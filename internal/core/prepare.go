@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+
+	"mtpu/internal/arch"
+	"mtpu/internal/evm"
+	"mtpu/internal/mvstate"
+	"mtpu/internal/state"
+	"mtpu/internal/types"
+	"mtpu/internal/uint256"
+)
+
+// Prepared is the decode product of one block against one pre-state
+// snapshot: everything the replay, verification and commit layers need,
+// produced by a single sequential EVM pass over a versioned overlay (no
+// copy of the pre-state is ever made).
+type Prepared struct {
+	// Traces and Receipts are the golden sequential results, aligned
+	// with the block's transactions.
+	Traces   []*arch.TxTrace
+	Receipts []*types.Receipt
+	// WriteKeys/WriteVals are the block's net write-set in first-write
+	// order — the input to mvstate.Store.Commit. The coinbase balance is
+	// carved out; its aggregate credit is Fees.
+	WriteKeys []state.AccessKey
+	WriteVals []mvstate.Value
+	Fees      uint256.Int
+	// BaseReads are the keys the decode resolved from the snapshot —
+	// the read-set a speculative decode revalidates against later folds
+	// (mvstate.Store.Invalidated).
+	BaseReads []state.AccessKey
+	// Height is the snapshot height the block was decoded at.
+	Height uint64
+}
+
+// PrepareBlock decodes block against head: one sequential EVM pass over
+// an mvstate overlay that simultaneously records per-transaction access
+// sets (for the conflict DAG), collects instruction traces and receipts,
+// and accumulates the block's net write-set. The block's DAG is rebuilt
+// from the observed access sets — callers treat block input as
+// untrusted, so every engine downstream schedules against conflicts the
+// sequential replay actually proved.
+//
+// The coinbase balance is touched by every transaction's gas payment;
+// treating it as a conflict would serialize the whole block, so the
+// overlay carves it out of access sets and write-set alike — matching
+// workload.BuildDAG and the commutative-reward treatment every engine
+// applies.
+func PrepareBlock(head *mvstate.Snapshot, block *types.Block) (*Prepared, error) {
+	n := len(block.Transactions)
+	if n == 0 {
+		return nil, fmt.Errorf("core: empty block")
+	}
+	ov := mvstate.NewOverlay(head, block.Header.Coinbase)
+	e := evm.New(evm.NewBlockContext(block.Header), ov)
+	col := arch.NewCollector()
+	e.Tracer = col
+
+	traces := make([]*arch.TxTrace, n)
+	receipts := make([]*types.Receipt, n)
+	reads := make([]state.AccessSet, n)
+	writes := make([]state.AccessSet, n)
+	for i, tx := range block.Transactions {
+		col.Begin(tx)
+		ov.BeginTxRecord()
+		r, err := evm.ApplyTransaction(e, tx, i)
+		rd, wr := ov.EndTxRecord()
+		if err != nil {
+			return nil, fmt.Errorf("core: tx %d invalid: %w", i, err)
+		}
+		reads[i], writes[i] = rd, wr
+		receipts[i] = r
+		traces[i] = col.Finish(r.GasUsed)
+	}
+
+	block.DAG = types.NewDAG(n)
+	for j := 1; j < n; j++ {
+		for i := 0; i < j; i++ {
+			if writes[i].Overlaps(reads[j]) || writes[i].Overlaps(writes[j]) ||
+				reads[i].Overlaps(writes[j]) {
+				block.DAG.AddEdge(i, j)
+			}
+		}
+	}
+
+	p := &Prepared{
+		Traces:    traces,
+		Receipts:  receipts,
+		BaseReads: ov.BaseReads(),
+		Fees:      ov.FeeTotal(),
+		Height:    head.Height(),
+	}
+	p.WriteKeys, p.WriteVals = ov.WriteSet()
+	return p, nil
+}
+
+// DigestAt prices the prepared block's write-set on top of head and
+// returns the post-block state digest — byte-identical to committing
+// the block and digesting the result, without mutating head.
+func (p *Prepared) DigestAt(head *mvstate.Snapshot, coinbase types.Address) types.Hash {
+	return head.DigestWith(mvstate.BuildOverrides(head, p.WriteKeys, p.WriteVals, coinbase, &p.Fees))
+}

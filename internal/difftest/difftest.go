@@ -20,6 +20,7 @@ import (
 	"mtpu/internal/arch"
 	"mtpu/internal/core"
 	"mtpu/internal/engine"
+	"mtpu/internal/mvstate"
 	"mtpu/internal/obs"
 	"mtpu/internal/state"
 	"mtpu/internal/types"
@@ -31,6 +32,12 @@ import (
 // dimension means "the Table 5 default", so corpus files stay terse.
 type Spec struct {
 	Workload workload.Spec `json:"workload"`
+	// Stream, when non-nil, makes this a chained multi-block spec:
+	// the harness replays the whole block chain per engine over an
+	// mvstate store (each block against its predecessor's post-state)
+	// and checks every per-block chained digest against one sequential
+	// whole-stream replay. Mutually exclusive with Workload.
+	Stream *workload.StreamSpec `json:"stream,omitempty"`
 	// PUs overrides arch.Config.NumPUs (0 = default).
 	PUs int `json:"pus,omitempty"`
 	// Window overrides the candidate window m (0 = default; engines that
@@ -48,7 +55,14 @@ type Spec struct {
 
 // Validate rejects specs outside the model's dimension ranges.
 func (s Spec) Validate() error {
-	if err := s.Workload.Validate(); err != nil {
+	if s.Stream != nil {
+		if s.Workload.Kind != "" {
+			return fmt.Errorf("difftest: spec has both a stream and a %q workload", s.Workload.Kind)
+		}
+		if err := s.Stream.Validate(); err != nil {
+			return err
+		}
+	} else if err := s.Workload.Validate(); err != nil {
 		return err
 	}
 	if s.PUs < 0 {
@@ -147,6 +161,9 @@ func (h *Harness) Run(spec Spec) ([]Failure, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
+	if spec.Stream != nil {
+		return h.runChained(spec)
+	}
 	genesis, block, err := spec.Workload.Generate()
 	if err != nil {
 		return nil, err
@@ -166,10 +183,79 @@ func (h *Harness) Run(spec Spec) ([]Failure, error) {
 	acc.LearnHotspots(traces, spec.topN())
 
 	var failures []Failure
+	head := mvstate.SnapshotOf(genesis)
 	for _, m := range h.modes() {
-		if err := h.runMode(acc, genesis, block, traces, receipts, digest, m); err != nil {
+		if err := h.runMode(acc, head, block, traces, receipts, digest, m); err != nil {
 			failures = append(failures, Failure{Spec: spec, Mode: m, Engine: m.String(), Err: err})
 		}
+	}
+	return failures, nil
+}
+
+// runChained runs a multi-block chained spec: one sequential replay of
+// the whole stream over an evolving state is the oracle; then every
+// engine under test replays the chain block by block over a shared
+// mvstate store, each block decoded at and verified against its
+// predecessor's post-state. The per-block chained digest must be
+// byte-identical to the sequential whole-stream replay's digest at the
+// same height, and the final folded head must equal the sequential
+// end state — the digest-continuity property of the state layer.
+func (h *Harness) runChained(spec Spec) ([]Failure, error) {
+	src, err := spec.Stream.Open()
+	if err != nil {
+		return nil, err
+	}
+	genesis := src.Genesis()
+	var blocks []*types.Block
+	for {
+		b, ok := src.Next()
+		if !ok {
+			break
+		}
+		blocks = append(blocks, b)
+	}
+
+	// The whole-stream sequential oracle: one evolving state, one digest
+	// per block boundary.
+	seq := genesis.Copy()
+	seqDigests := make([]types.Hash, len(blocks))
+	for i, b := range blocks {
+		_, _, d, err := core.CollectTracesOn(seq, b)
+		if err != nil {
+			return nil, fmt.Errorf("difftest: sequential oracle at block %d: %w", i, err)
+		}
+		seqDigests[i] = d
+	}
+
+	accs := make(map[engine.Mode]*core.Accelerator, len(h.modes()))
+	for _, m := range h.modes() {
+		accs[m] = core.New(spec.Config())
+	}
+	var failures []Failure
+	store := mvstate.NewStore(genesis, nil)
+	for i, block := range blocks {
+		head := store.Head()
+		prep, err := core.PrepareBlock(head, block)
+		if err != nil {
+			return nil, fmt.Errorf("difftest: chained decode of block %d: %w", i, err)
+		}
+		digest := prep.DigestAt(head, block.Header.Coinbase)
+		if digest != seqDigests[i] {
+			return nil, fmt.Errorf("difftest: chained digest %s at block %d != whole-stream sequential %s",
+				digest, i, seqDigests[i])
+		}
+		for _, m := range h.modes() {
+			if err := h.runMode(accs[m], head, block, prep.Traces, prep.Receipts, digest, m); err != nil {
+				failures = append(failures, Failure{Spec: spec, Mode: m, Engine: m.String(),
+					Err: fmt.Errorf("block %d: %w", i, err)})
+			}
+			accs[m].LearnHotspots(prep.Traces, spec.topN())
+		}
+		store.Commit(prep.WriteKeys, prep.WriteVals, block.Header.Coinbase, &prep.Fees)
+	}
+	if got := store.HeadDigest(); got != seqDigests[len(blocks)-1] {
+		return nil, fmt.Errorf("difftest: folded head digest %s != whole-stream sequential end state %s",
+			got, seqDigests[len(blocks)-1])
 	}
 	return failures, nil
 }
@@ -181,6 +267,15 @@ func (h *Harness) Run(spec Spec) ([]Failure, error) {
 // re-execution check the harness applies to every grid/fuzz spec and
 // the one the block-stream service's shadow validator samples.
 func OracleCheck(genesis *state.StateDB, block *types.Block,
+	receipts []*types.Receipt, digest types.Hash, res *core.Result) error {
+	return OracleCheckAt(mvstate.SnapshotOf(genesis), block, receipts, digest, res)
+}
+
+// OracleCheckAt is OracleCheck against an mvstate snapshot of the
+// pre-block state — the chained form: the stream service's shadow
+// validator pins the head a block folded from and validates against
+// that exact pre-state, not genesis.
+func OracleCheckAt(head *mvstate.Snapshot, block *types.Block,
 	receipts []*types.Receipt, digest types.Hash, res *core.Result) error {
 	if res.StateDigest != digest {
 		return fmt.Errorf("state digest %s != sequential %s", res.StateDigest, digest)
@@ -196,14 +291,16 @@ func OracleCheck(genesis *state.StateDB, block *types.Block,
 				i, r.Status, want.Status, r.GasUsed, want.GasUsed)
 		}
 	}
-	return core.VerifyResult(genesis, block, res)
+	return core.VerifyResultAt(head, block, res)
 }
 
-// runMode replays one engine and applies every oracle check.
-func (h *Harness) runMode(acc *core.Accelerator, genesis *state.StateDB, block *types.Block,
+// runMode replays one engine at the given pre-state and applies every
+// oracle check. head is a one-shot snapshot of genesis or the chained
+// head of a multi-block run; both read the same way.
+func (h *Harness) runMode(acc *core.Accelerator, head *mvstate.Snapshot, block *types.Block,
 	traces []*arch.TxTrace, receipts []*types.Receipt, digest types.Hash, m engine.Mode) error {
 	res, err := acc.ReplayWith(block, traces, receipts, digest, m,
-		core.ReplayOpts{Genesis: genesis, Obs: obs.NewCollector()})
+		core.ReplayOpts{Genesis: head.DB(), Head: head, Obs: obs.NewCollector()})
 	if err != nil {
 		return fmt.Errorf("replay: %w", err)
 	}
@@ -212,7 +309,7 @@ func (h *Harness) runMode(acc *core.Accelerator, genesis *state.StateDB, block *
 	}
 
 	// Digest, receipt and schedule identity against the sequential oracle.
-	if err := OracleCheck(genesis, block, receipts, digest, res); err != nil {
+	if err := OracleCheckAt(head, block, receipts, digest, res); err != nil {
 		return err
 	}
 

@@ -9,8 +9,22 @@ import (
 
 // fuzzSpec maps the fuzzer's primitive arguments onto a bounded Spec.
 // Every input folds into some valid spec, so the whole input space
-// exercises engines instead of the validator.
-func fuzzSpec(seed int64, kind, txs, depPct, pus, window uint8, dbLines uint16, minLine uint8) Spec {
+// exercises engines instead of the validator. blocks >= 2 switches the
+// spec to a chained multi-block stream (state carried across blocks);
+// 0 and 1 keep the single-block shape.
+func fuzzSpec(seed int64, kind, txs, depPct, pus, window uint8, dbLines uint16, minLine, blocks uint8) Spec {
+	if n := int(blocks) % 5; n >= 2 {
+		return Spec{
+			Stream: &workload.StreamSpec{
+				Blocks: n,
+				Txs:    1 + int(txs)%12,
+				Dep:    float64(int(depPct)%101) / 100,
+				Seed:   seed,
+			},
+			PUs:    1 + int(pus)%8,
+			Window: int(window) % 17,
+		}
+	}
 	k := workload.SpecKinds[int(kind)%len(workload.SpecKinds)]
 	w := workload.Spec{
 		Kind: k,
@@ -43,7 +57,9 @@ func fuzzSpec(seed int64, kind, txs, depPct, pus, window uint8, dbLines uint16, 
 // oracle, seeded from the corner corpus. Any failure is a real
 // divergence: the input mapping never produces an invalid spec.
 func FuzzDiffEngines(f *testing.F) {
-	f.Add(int64(1), uint8(0), uint8(7), uint8(50), uint8(3), uint8(8), uint16(0), uint8(0))
+	f.Add(int64(1), uint8(0), uint8(7), uint8(50), uint8(3), uint8(8), uint16(0), uint8(0), uint8(0))
+	// A chained seed so the stream shape is in the corpus from the start.
+	f.Add(int64(9), uint8(0), uint8(11), uint8(40), uint8(3), uint8(0), uint16(0), uint8(0), uint8(3))
 	seeds, err := CorpusSpecs(filepath.Join("testdata", "corpus"))
 	if err != nil {
 		f.Fatal(err)
@@ -61,12 +77,12 @@ func FuzzDiffEngines(f *testing.F) {
 			lines = 65
 		}
 		f.Add(s.Workload.Seed, kindIndex[s.Workload.Kind], uint8(s.Workload.Txs-1),
-			uint8(s.Workload.Dep*100), uint8(s.PUs-1), uint8(s.Window), lines, uint8(s.MinLine))
+			uint8(s.Workload.Dep*100), uint8(s.PUs-1), uint8(s.Window), lines, uint8(s.MinLine), uint8(0))
 	}
 
 	h := &Harness{}
-	f.Fuzz(func(t *testing.T, seed int64, kind, txs, depPct, pus, window uint8, dbLines uint16, minLine uint8) {
-		spec := fuzzSpec(seed, kind, txs, depPct, pus, window, dbLines, minLine)
+	f.Fuzz(func(t *testing.T, seed int64, kind, txs, depPct, pus, window uint8, dbLines uint16, minLine, blocks uint8) {
+		spec := fuzzSpec(seed, kind, txs, depPct, pus, window, dbLines, minLine, blocks)
 		fails, err := h.Run(spec)
 		if err != nil {
 			t.Fatalf("harness error on %s: %v", spec, err)

@@ -43,6 +43,11 @@ func TestInternedMatchesUninternedOracle(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, spec := range specs {
+		if spec.Stream != nil {
+			// Chained specs sweep the state layer, not trace interning;
+			// their single-block constituents are covered above.
+			continue
+		}
 		genesis, block, err := spec.Workload.Generate()
 		if err != nil {
 			t.Fatalf("%s: generate: %v", spec, err)

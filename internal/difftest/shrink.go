@@ -20,6 +20,21 @@ func (h *Harness) Shrink(f Failure) Spec {
 	}
 
 	spec := f.Spec
+	if spec.Stream != nil {
+		// Chained specs have no per-transaction drop encoding; shrink
+		// the chain length instead, then the architectural dimensions.
+		for spec.Stream.Blocks > 1 {
+			s := spec
+			ss := *spec.Stream
+			ss.Blocks--
+			s.Stream = &ss
+			if !fails(s) {
+				break
+			}
+			spec = s
+		}
+		return shrinkDims(spec, fails)
+	}
 	spec = shrinkTxs(spec, fails)
 	spec = shrinkDims(spec, fails)
 	return spec
@@ -127,6 +142,20 @@ func shrinkDims(spec Spec, fails func(Spec) bool) Spec {
 		}
 	}
 	for _, acc := range []int{8, 32} {
+		if spec.Stream != nil {
+			if acc >= spec.Stream.AccountPool() {
+				break
+			}
+			s := spec
+			ss := *spec.Stream
+			ss.Accounts = acc
+			s.Stream = &ss
+			if fails(s) {
+				spec = s
+				break
+			}
+			continue
+		}
 		if acc >= spec.Workload.AccountPool() {
 			break
 		}

@@ -18,6 +18,7 @@ import (
 	"mtpu/internal/arch/mtpu"
 	"mtpu/internal/arch/pu"
 	"mtpu/internal/hotspot"
+	"mtpu/internal/mvstate"
 	"mtpu/internal/obs"
 	"mtpu/internal/sched"
 	"mtpu/internal/state"
@@ -130,6 +131,11 @@ type Env struct {
 	// one. Engines that need it (NeedsGenesis) must error cleanly when
 	// it is absent. It is only read, never mutated.
 	Genesis *state.StateDB
+	// Head is the pre-block state as an mvstate snapshot. In server
+	// mode it is the chained head (post block N-1); in one-shot replays
+	// core derives it from Genesis. Engines that re-execute
+	// transactions functionally (Block-STM) read through it.
+	Head *mvstate.Snapshot
 	// Receipts and Digest are the golden sequential results every
 	// engine must reproduce.
 	Receipts []*types.Receipt

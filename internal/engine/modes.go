@@ -10,6 +10,7 @@ import (
 	"mtpu/internal/arch"
 	"mtpu/internal/arch/pu"
 	"mtpu/internal/hotspot"
+	"mtpu/internal/mvstate"
 	"mtpu/internal/sched"
 	"mtpu/internal/stm"
 	"mtpu/internal/types"
@@ -196,10 +197,14 @@ func (blockSTMEngine) Plans(_ *hotspot.ContractTable, traces []*arch.TxTrace, pr
 }
 
 func (e blockSTMEngine) Run(block *types.Block, _ []*arch.TxTrace, env *Env) (Result, error) {
-	if env.Genesis == nil {
-		return Result{}, fmt.Errorf("engine: mode %s requires the pre-block genesis state (ReplayOpts.Genesis)", e.Name())
+	base := env.Head
+	if base == nil && env.Genesis != nil {
+		base = mvstate.SnapshotOf(env.Genesis)
 	}
-	stmRes, err := stm.Execute(block, env.Genesis, stm.Config{
+	if base == nil {
+		return Result{}, fmt.Errorf("engine: mode %s requires the pre-block genesis state (ReplayOpts.Head or Genesis)", e.Name())
+	}
+	stmRes, err := stm.Execute(block, base, stm.Config{
 		NumPUs:           env.Cfg.NumPUs,
 		ScheduleOverhead: env.Cfg.ScheduleOverhead,
 		ValidateBase:     env.Cfg.StmValidateBase,

@@ -1,4 +1,4 @@
-package stm
+package mvstate
 
 import (
 	"testing"

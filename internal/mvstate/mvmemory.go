@@ -1,18 +1,4 @@
-// Package stm implements an optimistic software execution baseline in
-// the style of Block-STM (Gelashvili et al.): transactions run
-// speculatively against a multi-version view of the world state,
-// conflicts are discovered at run time by validating recorded read sets,
-// and aborted transactions re-execute until the block commits a state
-// identical to sequential execution. It is the software counterpart to
-// the paper's consensus-time dependency DAG — the scheduler here learns
-// the same conflicts the hard way, paying wasted incarnations and
-// validation cycles instead of a pre-computed graph.
-//
-// The executor is a deterministic discrete-event simulation on a single
-// goroutine, like the sched package: PU timing comes from the same
-// cycle model, so Block-STM lands on the same axes as the paper's
-// Figs. 14-16.
-package stm
+package mvstate
 
 import (
 	"sort"

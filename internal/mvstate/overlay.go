@@ -1,0 +1,344 @@
+package mvstate
+
+import (
+	"fmt"
+
+	"mtpu/internal/keccak"
+	"mtpu/internal/state"
+	"mtpu/internal/types"
+	"mtpu/internal/uint256"
+)
+
+// Overlay is the sequential sibling of View: an evm.StateDB that
+// buffers a whole block's writes over a read-only Snapshot instead of
+// mutating a journaled StateDB copy. The decode/prefetch and verify
+// paths run blocks through it to get, without copying the base state:
+//
+//   - per-transaction read/write access sets (for DAG construction),
+//     recorded with exactly state.StateDB's semantics so the resulting
+//     DAGs are identical;
+//   - the block's net write-set in first-write order plus the
+//     aggregate coinbase fee (the inputs to Store.Commit and
+//     BuildOverrides);
+//   - the set of keys resolved from the base snapshot (BaseReads), the
+//     read-set a speculative prefetch revalidates against later folds.
+//
+// The coinbase balance carve-out matches View and workload.BuildDAG:
+// fee credits accumulate in a local delta, never entering access sets
+// or the write-set.
+type Overlay struct {
+	snap     *Snapshot
+	coinbase types.Address
+
+	writes     map[state.AccessKey]Value
+	writeOrder []state.AccessKey
+	created    map[types.Address]bool
+
+	baseSeen  map[state.AccessKey]bool
+	baseReads []state.AccessKey
+
+	logs     []*types.Log
+	refund   uint64
+	feeDelta uint256.Int
+
+	journal []vEntry
+
+	recording bool
+	txReads   state.AccessSet
+	txWrites  state.AccessSet
+}
+
+// NewOverlay returns an empty overlay over snap.
+func NewOverlay(snap *Snapshot, coinbase types.Address) *Overlay {
+	return &Overlay{
+		snap:     snap,
+		coinbase: coinbase,
+		writes:   make(map[state.AccessKey]Value),
+		created:  make(map[types.Address]bool),
+		baseSeen: make(map[state.AccessKey]bool),
+	}
+}
+
+// BeginTxRecord starts per-transaction access recording (the analogue
+// of StateDB.BeginAccessRecord).
+func (o *Overlay) BeginTxRecord() {
+	o.recording = true
+	o.txReads = make(state.AccessSet)
+	o.txWrites = make(state.AccessSet)
+}
+
+// EndTxRecord stops recording and returns the transaction's access sets.
+func (o *Overlay) EndTxRecord() (reads, writes state.AccessSet) {
+	o.recording = false
+	reads, writes = o.txReads, o.txWrites
+	o.txReads, o.txWrites = nil, nil
+	return reads, writes
+}
+
+// WriteSet returns the block's buffered writes in first-write order.
+func (o *Overlay) WriteSet() ([]state.AccessKey, []Value) {
+	keys := make([]state.AccessKey, 0, len(o.writes))
+	vals := make([]Value, 0, len(o.writes))
+	seen := make(map[state.AccessKey]bool, len(o.writes))
+	for _, k := range o.writeOrder {
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		if val, ok := o.writes[k]; ok {
+			keys = append(keys, k)
+			vals = append(vals, val)
+		}
+	}
+	return keys, vals
+}
+
+// FeeTotal returns the accumulated coinbase fee credit.
+func (o *Overlay) FeeTotal() uint256.Int { return o.feeDelta }
+
+// BaseReads returns every key that resolved from the base snapshot, in
+// first-read order — the overlay's cross-block read-set.
+func (o *Overlay) BaseReads() []state.AccessKey { return o.baseReads }
+
+func (o *Overlay) recordRead(key state.AccessKey) {
+	if o.recording {
+		o.txReads[key] = struct{}{}
+	}
+}
+
+func (o *Overlay) recordWrite(key state.AccessKey) {
+	if o.recording {
+		o.txWrites[key] = struct{}{}
+	}
+}
+
+// lookup resolves key from the write buffer; a miss marks the key as a
+// base read (the caller reads the snapshot next).
+func (o *Overlay) lookup(key state.AccessKey) (Value, bool) {
+	if val, ok := o.writes[key]; ok {
+		return val, true
+	}
+	if !o.baseSeen[key] {
+		o.baseSeen[key] = true
+		o.baseReads = append(o.baseReads, key)
+	}
+	return Value{}, false
+}
+
+// write buffers a value for key, journaling the previous buffer content.
+func (o *Overlay) write(key state.AccessKey, val Value) {
+	prev, existed := o.writes[key]
+	o.journal = append(o.journal, vEntry{kind: vWrite, key: key, prev: prev, existed: existed})
+	if !existed {
+		o.writeOrder = append(o.writeOrder, key)
+	}
+	o.writes[key] = val
+}
+
+// CreateAccount implements evm.StateDB (existence is not tracked in
+// access sets, matching state.StateDB).
+func (o *Overlay) CreateAccount(addr types.Address) {
+	if o.Exist(addr) {
+		return
+	}
+	o.journal = append(o.journal, vEntry{kind: vCreate, addr: addr})
+	o.created[addr] = true
+}
+
+// Exist implements evm.StateDB.
+func (o *Overlay) Exist(addr types.Address) bool {
+	if o.created[addr] || o.snap.Exist(addr) {
+		return true
+	}
+	for _, key := range [3]state.AccessKey{balKey(addr), nonceKey(addr), codeKey(addr)} {
+		if _, ok := o.writes[key]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// GetBalance implements evm.StateDB.
+func (o *Overlay) GetBalance(addr types.Address) *uint256.Int {
+	if addr == o.coinbase {
+		bal := o.snap.GetBalance(addr)
+		bal.Add(bal, &o.feeDelta)
+		return bal
+	}
+	o.recordRead(balKey(addr))
+	return o.loadBalance(addr)
+}
+
+// loadBalance is the unrecorded read shared by GetBalance and the
+// read-modify-write Add/SubBalance paths (matching StateDB, whose
+// Add/SubBalance record only the write).
+func (o *Overlay) loadBalance(addr types.Address) *uint256.Int {
+	if val, ok := o.lookup(balKey(addr)); ok {
+		return val.Word.Clone()
+	}
+	return o.snap.GetBalance(addr)
+}
+
+// SetBalance implements evm.StateDB.
+func (o *Overlay) SetBalance(addr types.Address, x *uint256.Int) {
+	if addr == o.coinbase {
+		var delta uint256.Int
+		delta.Sub(x, o.snap.GetBalance(addr))
+		o.journal = append(o.journal, vEntry{kind: vFee, prevFee: o.feeDelta})
+		o.feeDelta = delta
+		return
+	}
+	o.recordWrite(balKey(addr))
+	var val Value
+	val.Word.Set(x)
+	o.write(balKey(addr), val)
+}
+
+// AddBalance implements evm.StateDB.
+func (o *Overlay) AddBalance(addr types.Address, x *uint256.Int) {
+	if addr == o.coinbase {
+		o.journal = append(o.journal, vEntry{kind: vFee, prevFee: o.feeDelta})
+		o.feeDelta.Add(&o.feeDelta, x)
+		return
+	}
+	o.recordWrite(balKey(addr))
+	cur := o.loadBalance(addr)
+	var val Value
+	val.Word.Add(cur, x)
+	o.write(balKey(addr), val)
+}
+
+// SubBalance implements evm.StateDB (wraps on underflow, like
+// state.StateDB).
+func (o *Overlay) SubBalance(addr types.Address, x *uint256.Int) {
+	if addr == o.coinbase {
+		o.journal = append(o.journal, vEntry{kind: vFee, prevFee: o.feeDelta})
+		o.feeDelta.Sub(&o.feeDelta, x)
+		return
+	}
+	o.recordWrite(balKey(addr))
+	cur := o.loadBalance(addr)
+	var val Value
+	val.Word.Sub(cur, x)
+	o.write(balKey(addr), val)
+}
+
+// GetNonce implements evm.StateDB.
+func (o *Overlay) GetNonce(addr types.Address) uint64 {
+	o.recordRead(nonceKey(addr))
+	if val, ok := o.lookup(nonceKey(addr)); ok {
+		return val.U64
+	}
+	return o.snap.GetNonce(addr)
+}
+
+// SetNonce implements evm.StateDB.
+func (o *Overlay) SetNonce(addr types.Address, n uint64) {
+	o.recordWrite(nonceKey(addr))
+	o.write(nonceKey(addr), Value{U64: n})
+}
+
+// GetCode implements evm.StateDB.
+func (o *Overlay) GetCode(addr types.Address) []byte {
+	o.recordRead(codeKey(addr))
+	if val, ok := o.lookup(codeKey(addr)); ok {
+		return val.Code
+	}
+	return o.snap.GetCode(addr)
+}
+
+// GetCodeSize implements evm.StateDB.
+func (o *Overlay) GetCodeSize(addr types.Address) int {
+	return len(o.GetCode(addr))
+}
+
+// GetCodeHash implements evm.StateDB.
+func (o *Overlay) GetCodeHash(addr types.Address) types.Hash {
+	o.recordRead(codeKey(addr))
+	if val, ok := o.lookup(codeKey(addr)); ok {
+		return val.Hash
+	}
+	return o.snap.GetCodeHash(addr)
+}
+
+// SetCode implements evm.StateDB.
+func (o *Overlay) SetCode(addr types.Address, code []byte) {
+	o.recordWrite(codeKey(addr))
+	val := Value{Code: append([]byte(nil), code...)}
+	if len(code) > 0 {
+		val.Hash = types.Hash(keccak.Sum256(code))
+	}
+	o.write(codeKey(addr), val)
+}
+
+// GetState implements evm.StateDB.
+func (o *Overlay) GetState(addr types.Address, slot types.Hash) uint256.Int {
+	o.recordRead(storageKey(addr, slot))
+	if val, ok := o.lookup(storageKey(addr, slot)); ok {
+		return val.Word
+	}
+	return o.snap.GetState(addr, slot)
+}
+
+// SetState implements evm.StateDB.
+func (o *Overlay) SetState(addr types.Address, slot types.Hash, x uint256.Int) {
+	o.recordWrite(storageKey(addr, slot))
+	o.write(storageKey(addr, slot), Value{Word: x})
+}
+
+// AddLog implements evm.StateDB.
+func (o *Overlay) AddLog(l *types.Log) {
+	o.journal = append(o.journal, vEntry{kind: vLog})
+	o.logs = append(o.logs, l)
+}
+
+// TakeLogs implements evm.StateDB.
+func (o *Overlay) TakeLogs() []*types.Log {
+	out := o.logs
+	o.logs = nil
+	return out
+}
+
+// AddRefund implements evm.StateDB.
+func (o *Overlay) AddRefund(x uint64) {
+	o.journal = append(o.journal, vEntry{kind: vRefund, prevU64: o.refund})
+	o.refund += x
+}
+
+// GetRefund implements evm.StateDB.
+func (o *Overlay) GetRefund() uint64 { return o.refund }
+
+// ResetRefund implements evm.StateDB.
+func (o *Overlay) ResetRefund() { o.refund = 0 }
+
+// Snapshot implements evm.StateDB.
+func (o *Overlay) Snapshot() int { return len(o.journal) }
+
+// RevertToSnapshot implements evm.StateDB. Base reads observed inside
+// the reverted span stay in BaseReads — the speculation still observed
+// them, so revalidation must still cover them.
+func (o *Overlay) RevertToSnapshot(id int) {
+	if id < 0 || id > len(o.journal) {
+		panic(fmt.Sprintf("mvstate: invalid snapshot id %d (journal length %d)", id, len(o.journal)))
+	}
+	for i := len(o.journal) - 1; i >= id; i-- {
+		e := o.journal[i]
+		switch e.kind {
+		case vWrite:
+			if e.existed {
+				o.writes[e.key] = e.prev
+			} else {
+				delete(o.writes, e.key)
+			}
+		case vCreate:
+			delete(o.created, e.addr)
+		case vLog:
+			o.logs = o.logs[:len(o.logs)-1]
+		case vRefund:
+			o.refund = e.prevU64
+		case vFee:
+			o.feeDelta = e.prevFee
+		}
+	}
+	o.journal = o.journal[:id]
+}

@@ -1,4 +1,4 @@
-package stm
+package mvstate
 
 import (
 	"fmt"
@@ -9,12 +9,12 @@ import (
 	"mtpu/internal/uint256"
 )
 
-// estimateAbort is thrown (as a panic) when a read lands on an ESTIMATE
-// entry: the speculative execution cannot proceed until transaction dep
+// EstimateAbort is thrown (as a panic) when a read lands on an ESTIMATE
+// entry: the speculative execution cannot proceed until transaction Dep
 // re-executes. The executor recovers it at the incarnation boundary —
 // the standard way to surface an abort through the error-free StateDB
 // interface.
-type estimateAbort struct{ dep int }
+type EstimateAbort struct{ Dep int }
 
 // ReadObs is one entry of an incarnation's read set: the key and the
 // writer version observed. Validation re-reads the key and fails when the
@@ -34,7 +34,7 @@ type ReadObs struct {
 // crediting is commutative, so coinbase balance operations go to a local
 // delta (applied at commit) and are excluded from conflict detection.
 type View struct {
-	base     *state.StateDB
+	base     Reader
 	mv       *MVMemory
 	tx       int
 	coinbase types.Address
@@ -55,7 +55,7 @@ type View struct {
 }
 
 // NewView returns a view for one incarnation of transaction tx.
-func NewView(base *state.StateDB, mv *MVMemory, tx int, coinbase types.Address) *View {
+func NewView(base Reader, mv *MVMemory, tx int, coinbase types.Address) *View {
 	return &View{
 		base:     base,
 		mv:       mv,
@@ -117,14 +117,14 @@ func (v *View) FeeDelta() uint256.Int { return v.feeDelta }
 
 // read resolves key through write buffer → multi-version memory → base,
 // recording the observed version on the first non-local read of each key.
-// It panics with estimateAbort when the resolving writer is an ESTIMATE.
+// It panics with EstimateAbort when the resolving writer is an ESTIMATE.
 func (v *View) read(key state.AccessKey) (Value, bool) {
 	if val, ok := v.writes[key]; ok {
 		return val, true
 	}
 	res := v.mv.Read(key, v.tx)
 	if res.Status == ReadEstimate {
-		panic(estimateAbort{dep: res.Ver.Tx})
+		panic(EstimateAbort{Dep: res.Ver.Tx})
 	}
 	if _, ok := v.readIdx[key]; !ok {
 		v.readIdx[key] = len(v.reads)
@@ -347,7 +347,7 @@ func (v *View) Snapshot() int { return len(v.journal) }
 // recording behaves the same way for the DAG builder).
 func (v *View) RevertToSnapshot(id int) {
 	if id < 0 || id > len(v.journal) {
-		panic(fmt.Sprintf("stm: invalid snapshot id %d (journal length %d)", id, len(v.journal)))
+		panic(fmt.Sprintf("mvstate: invalid snapshot id %d (journal length %d)", id, len(v.journal)))
 	}
 	for i := len(v.journal) - 1; i >= id; i-- {
 		e := v.journal[i]

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"testing"
 
+	"mtpu/internal/mvstate"
 	"mtpu/internal/obs"
 	"mtpu/internal/workload"
 )
@@ -31,7 +32,7 @@ func TestConcurrentExecutionsDeterministic(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i], errs[i] = Execute(block, genesis, cfg, fixedCost{100})
+			results[i], errs[i] = Execute(block, mvstate.SnapshotOf(genesis), cfg, fixedCost{100})
 		}(i)
 	}
 	wg.Wait()

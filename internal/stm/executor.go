@@ -1,3 +1,19 @@
+// Package stm implements an optimistic software execution baseline in
+// the style of Block-STM (Gelashvili et al.): transactions run
+// speculatively against a multi-version view of the world state,
+// conflicts are discovered at run time by validating recorded read sets,
+// and aborted transactions re-execute until the block commits a state
+// identical to sequential execution. It is the software counterpart to
+// the paper's consensus-time dependency DAG — the scheduler here learns
+// the same conflicts the hard way, paying wasted incarnations and
+// validation cycles instead of a pre-computed graph.
+//
+// The multi-version memory and the per-incarnation view live in
+// internal/mvstate (shared with the cross-block store); this package
+// owns only the collaborative scheduler driving them. The executor is
+// a deterministic discrete-event simulation on a single goroutine,
+// like the sched package: PU timing comes from the same cycle model,
+// so Block-STM lands on the same axes as the paper's Figs. 14-16.
 package stm
 
 import (
@@ -5,6 +21,7 @@ import (
 	"sort"
 
 	"mtpu/internal/evm"
+	"mtpu/internal/mvstate"
 	"mtpu/internal/obs"
 	"mtpu/internal/state"
 	"mtpu/internal/telemetry"
@@ -110,9 +127,9 @@ type txState struct {
 	execInc      int
 	lastExecCost uint64
 
-	reads     []ReadObs
+	reads     []mvstate.ReadObs
 	writeKeys []state.AccessKey
-	writeVals []Value
+	writeVals []mvstate.Value
 	feeDelta  uint256.Int
 	receipt   *types.Receipt
 	// execErr holds a protocol error (nonce mismatch, insufficient funds)
@@ -143,9 +160,9 @@ type pendingOutcome struct {
 	kind         outcomeKind
 	dep          int // outExecEstimate: the aborted writer blocking us
 	err          error
-	reads        []ReadObs
+	reads        []mvstate.ReadObs
 	writeKeys    []state.AccessKey
-	writeVals    []Value
+	writeVals    []mvstate.Value
 	feeDelta     uint256.Int
 	receipt      *types.Receipt
 	conflictFrom int // outValFail: the writer whose publish invalidated us
@@ -171,8 +188,8 @@ type executor struct {
 	cfg   Config
 	eng   Engine
 	block *types.Block
-	base  *state.StateDB
-	mv    *MVMemory
+	base  *mvstate.Snapshot
+	mv    *mvstate.MVMemory
 
 	txs   []txState
 	tasks []puTask
@@ -189,9 +206,11 @@ type executor struct {
 }
 
 // Execute runs the block optimistically against the (read-only) base
-// state. The base is never mutated: the final state is committed to a
-// copy, and its digest returned for the identical-to-sequential check.
-func Execute(block *types.Block, base *state.StateDB, cfg Config, eng Engine) (*Result, error) {
+// snapshot — a frozen genesis (mvstate.SnapshotOf) in one-shot replays
+// or the chained head (Store.Head) in server mode. The base is never
+// mutated: the final state is priced as a sparse override set over the
+// base, and its digest returned for the identical-to-sequential check.
+func Execute(block *types.Block, base *mvstate.Snapshot, cfg Config, eng Engine) (*Result, error) {
 	if cfg.NumPUs < 1 {
 		return nil, fmt.Errorf("stm: NumPUs must be >= 1, got %d", cfg.NumPUs)
 	}
@@ -208,7 +227,7 @@ func Execute(block *types.Block, base *state.StateDB, cfg Config, eng Engine) (*
 		eng:          eng,
 		block:        block,
 		base:         base,
-		mv:           NewMVMemory(),
+		mv:           mvstate.NewMVMemory(),
 		txs:          make([]txState, n),
 		tasks:        make([]puTask, cfg.NumPUs),
 		conflictSeen: make(map[Conflict]bool),
@@ -356,32 +375,32 @@ func (ex *executor) start(p, tx int, validation bool, now uint64) {
 func (ex *executor) validate(tx int) (bool, int) {
 	for _, o := range ex.txs[tx].reads {
 		cur := ex.mv.Read(o.Key, tx)
-		if cur.Status == ReadEstimate {
+		if cur.Status == mvstate.ReadEstimate {
 			return false, cur.Ver.Tx
 		}
 		if cur.Ver != o.Ver {
 			from := cur.Ver.Tx
-			if from == BaseVersion {
+			if from == mvstate.BaseVersion {
 				from = o.Ver.Tx
 			}
 			return false, from
 		}
 	}
-	return true, BaseVersion
+	return true, mvstate.BaseVersion
 }
 
 // runIncarnation executes one speculative attempt of tx against a fresh
 // view, capturing its read/write sets. An ESTIMATE read unwinds here via
 // panic and becomes an outExecEstimate outcome.
 func (ex *executor) runIncarnation(tx int) (out pendingOutcome) {
-	view := NewView(ex.base, ex.mv, tx, ex.block.Header.Coinbase)
+	view := mvstate.NewView(ex.base, ex.mv, tx, ex.block.Header.Coinbase)
 	defer func() {
 		if r := recover(); r != nil {
-			ab, isAbort := r.(estimateAbort)
+			ab, isAbort := r.(mvstate.EstimateAbort)
 			if !isAbort {
 				panic(r)
 			}
-			out = pendingOutcome{kind: outExecEstimate, dep: ab.dep}
+			out = pendingOutcome{kind: outExecEstimate, dep: ab.Dep}
 		}
 	}()
 	e := evm.New(evm.NewBlockContext(ex.block.Header), view)
@@ -551,12 +570,13 @@ func (ex *executor) addConflict(from, to int) {
 	ex.conflicts = append(ex.conflicts, c)
 }
 
-// commit applies every transaction's committed write set, in transaction
-// order, to a copy of the base state (later writers overwrite earlier
-// ones, exactly as the multi-version memory resolves reads), credits the
-// accumulated fees to the coinbase, and digests the result.
+// commit folds every transaction's committed write set, in transaction
+// order, into a sparse override set over the base (later writers
+// overwrite earlier ones, exactly as the multi-version memory resolves
+// reads), credits the accumulated fees to the coinbase, and digests the
+// merged view — no copy of the base state is ever made.
 func (ex *executor) commit() {
-	final := ex.base.Copy()
+	o := state.NewOverrides()
 	var fees uint256.Int
 	receipts := make([]*types.Receipt, len(ex.txs))
 	for i := range ex.txs {
@@ -566,18 +586,23 @@ func (ex *executor) commit() {
 			val := st.writeVals[j]
 			switch k.Kind {
 			case state.AccessBalance:
-				final.SetBalance(k.Addr, &val.Word)
+				o.SetBalance(k.Addr, &val.Word)
 			case state.AccessNonce:
-				final.SetNonce(k.Addr, val.U64)
+				o.SetNonce(k.Addr, val.U64)
 			case state.AccessCode:
-				final.SetCode(k.Addr, val.Code)
+				o.SetCode(k.Addr, val.Code, val.Hash)
 			case state.AccessStorage:
-				final.SetState(k.Addr, k.Slot, val.Word)
+				o.SetState(k.Addr, k.Slot, val.Word)
 			}
 		}
 		fees.Add(&fees, &st.feeDelta)
 	}
-	final.AddBalance(ex.block.Header.Coinbase, &fees)
+	if !fees.IsZero() {
+		coinbase := ex.block.Header.Coinbase
+		var bal uint256.Int
+		bal.Add(ex.base.GetBalance(coinbase), &fees)
+		o.SetBalance(coinbase, &bal)
+	}
 	ex.res.Receipts = receipts
-	ex.res.Digest = final.Digest()
+	ex.res.Digest = ex.base.DigestWith(o)
 }

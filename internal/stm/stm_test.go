@@ -4,127 +4,11 @@ import (
 	"testing"
 
 	"mtpu/internal/evm"
+	"mtpu/internal/mvstate"
 	"mtpu/internal/state"
 	"mtpu/internal/types"
-	"mtpu/internal/uint256"
 	"mtpu/internal/workload"
 )
-
-func key(addr byte) state.AccessKey {
-	return state.AccessKey{Kind: state.AccessStorage, Addr: types.Address{19: addr}, Slot: types.Hash{31: 1}}
-}
-
-func word(v uint64) Value {
-	var val Value
-	val.Word.SetUint64(v)
-	return val
-}
-
-func TestMVMemoryVersionResolution(t *testing.T) {
-	mv := NewMVMemory()
-	k := key(1)
-
-	if r := mv.Read(k, 5); r.Status != ReadBase || r.Ver.Tx != BaseVersion {
-		t.Fatalf("empty memory: got %+v, want base", r)
-	}
-
-	mv.Write(k, 3, 0, word(30))
-	mv.Write(k, 7, 0, word(70))
-	mv.Write(k, 1, 2, word(10))
-
-	cases := []struct {
-		reader  int
-		status  ReadStatus
-		writer  int
-		wantVal uint64
-	}{
-		{0, ReadBase, BaseVersion, 0},
-		{1, ReadBase, BaseVersion, 0}, // own index excluded
-		{2, ReadValue, 1, 10},
-		{3, ReadValue, 1, 10},
-		{4, ReadValue, 3, 30},
-		{7, ReadValue, 3, 30},
-		{8, ReadValue, 7, 70},
-		{100, ReadValue, 7, 70},
-	}
-	for _, c := range cases {
-		r := mv.Read(k, c.reader)
-		if r.Status != c.status || r.Ver.Tx != c.writer {
-			t.Errorf("reader %d: got status %d writer %d, want %d/%d", c.reader, r.Status, r.Ver.Tx, c.status, c.writer)
-		}
-		if c.status == ReadValue && r.Val.Word.Uint64() != c.wantVal {
-			t.Errorf("reader %d: got value %d, want %d", c.reader, r.Val.Word.Uint64(), c.wantVal)
-		}
-	}
-
-	// A re-published incarnation replaces the entry and clears ESTIMATE.
-	mv.MarkEstimate(k, 3)
-	if r := mv.Read(k, 5); r.Status != ReadEstimate || r.Ver.Tx != 3 {
-		t.Fatalf("after mark: got %+v, want estimate from 3", r)
-	}
-	mv.Write(k, 3, 1, word(31))
-	if r := mv.Read(k, 5); r.Status != ReadValue || r.Val.Word.Uint64() != 31 || r.Ver.Incarnation != 1 {
-		t.Fatalf("after republish: got %+v, want value 31 inc 1", r)
-	}
-
-	mv.Remove(k, 3)
-	if r := mv.Read(k, 5); r.Status != ReadValue || r.Ver.Tx != 1 {
-		t.Fatalf("after remove: got %+v, want writer 1", r)
-	}
-	mv.Remove(k, 1)
-	mv.Remove(k, 7)
-	if r := mv.Read(k, 100); r.Status != ReadBase {
-		t.Fatalf("after removing all: got %+v, want base", r)
-	}
-
-	// Marking or removing a missing entry is a no-op.
-	mv.MarkEstimate(k, 42)
-	mv.Remove(k, 42)
-	if r := mv.Read(k, 100); r.Status != ReadBase {
-		t.Fatalf("no-op mutation changed state: %+v", r)
-	}
-}
-
-func TestViewJournalRevert(t *testing.T) {
-	base := state.New()
-	addr := types.Address{19: 9}
-	base.SetBalance(addr, uint256.NewInt(100))
-	coinbase := types.Address{19: 0xfe}
-
-	v := NewView(base, NewMVMemory(), 0, coinbase)
-	snap := v.Snapshot()
-	v.SetState(addr, types.Hash{31: 1}, *uint256.NewInt(7))
-	v.AddBalance(addr, uint256.NewInt(5))
-	v.AddLog(&types.Log{Address: addr})
-	v.AddRefund(10)
-	v.AddBalance(coinbase, uint256.NewInt(3))
-	v.RevertToSnapshot(snap)
-
-	if got := v.GetState(addr, types.Hash{31: 1}); !got.IsZero() {
-		t.Errorf("storage write survived revert: %v", got)
-	}
-	if got := v.GetBalance(addr); got.Uint64() != 100 {
-		t.Errorf("balance write survived revert: %v", got)
-	}
-	if logs := v.TakeLogs(); len(logs) != 0 {
-		t.Errorf("log survived revert: %d", len(logs))
-	}
-	if v.GetRefund() != 0 {
-		t.Errorf("refund survived revert: %d", v.GetRefund())
-	}
-	if d := v.FeeDelta(); !d.IsZero() {
-		t.Errorf("fee delta survived revert: %v", d)
-	}
-	keys, _ := v.WriteSet()
-	if len(keys) != 0 {
-		t.Errorf("write set not empty after revert: %v", keys)
-	}
-	// Reads made inside the reverted span must stay recorded (the
-	// speculation observed them; validation has to cover them).
-	if len(v.ReadSet()) == 0 {
-		t.Error("read set empty — reverted reads must stay recorded")
-	}
-}
 
 // fixedCost charges a constant per execution, keeping timing tests
 // independent of the PU model.
@@ -169,7 +53,7 @@ func TestExecuteMatchesSequential(t *testing.T) {
 			genesis, block, receipts, digest := testBlock(t, build)
 			for _, pus := range []int{1, 2, 4, 8} {
 				cfg := Config{NumPUs: pus, ScheduleOverhead: 4, ValidateBase: 8, ValidatePerKey: 2}
-				res, err := Execute(block, genesis, cfg, fixedCost{100})
+				res, err := Execute(block, mvstate.SnapshotOf(genesis), cfg, fixedCost{100})
 				if err != nil {
 					t.Fatalf("pus=%d: %v", pus, err)
 				}
@@ -229,7 +113,7 @@ func TestIndependentBlockNoAborts(t *testing.T) {
 	genesis, block, _, digest := testBlock(t, func(g *workload.Generator) *types.Block {
 		return g.TokenBlock(64, 0)
 	})
-	res, err := Execute(block, genesis, Config{NumPUs: 4, ScheduleOverhead: 4, ValidateBase: 8, ValidatePerKey: 2}, fixedCost{100})
+	res, err := Execute(block, mvstate.SnapshotOf(genesis), Config{NumPUs: 4, ScheduleOverhead: 4, ValidateBase: 8, ValidatePerKey: 2}, fixedCost{100})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -251,7 +135,7 @@ func TestDependentChainAborts(t *testing.T) {
 	genesis, block, _, digest := testBlock(t, func(g *workload.Generator) *types.Block {
 		return g.TokenBlock(64, 1.0)
 	})
-	res, err := Execute(block, genesis, Config{NumPUs: 4, ScheduleOverhead: 4, ValidateBase: 8, ValidatePerKey: 2}, fixedCost{100})
+	res, err := Execute(block, mvstate.SnapshotOf(genesis), Config{NumPUs: 4, ScheduleOverhead: 4, ValidateBase: 8, ValidatePerKey: 2}, fixedCost{100})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -269,7 +153,7 @@ func TestDependentChainAborts(t *testing.T) {
 func TestExecuteEmptyBlock(t *testing.T) {
 	genesis := state.New()
 	block := types.NewBlock(types.BlockHeader{}, nil)
-	res, err := Execute(block, genesis, Config{NumPUs: 2}, fixedCost{1})
+	res, err := Execute(block, mvstate.SnapshotOf(genesis), Config{NumPUs: 2}, fixedCost{1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -281,7 +165,7 @@ func TestExecuteEmptyBlock(t *testing.T) {
 func TestExecuteRejectsZeroPUs(t *testing.T) {
 	genesis := state.New()
 	block := types.NewBlock(types.BlockHeader{}, nil)
-	if _, err := Execute(block, genesis, Config{NumPUs: 0}, fixedCost{1}); err == nil {
+	if _, err := Execute(block, mvstate.SnapshotOf(genesis), Config{NumPUs: 0}, fixedCost{1}); err == nil {
 		t.Fatal("expected error for NumPUs=0")
 	}
 }

@@ -25,8 +25,9 @@ const maxBlockBytes = 8 << 20
 //	                or JSON {"rlp":"<hex>"}. 202 accepted, 400 invalid,
 //	                413 oversized, 429 queue full (Retry-After: 1),
 //	                503 draining.
-//	GET  /healthz — 200 with the engine name while accepting blocks,
-//	                503 once draining.
+//	GET  /healthz — 200 with the engine name, committed height and
+//	                head-state digest while accepting blocks, 503 once
+//	                draining.
 //
 // The same handler serves the TCP and unix-socket listeners.
 func (s *Service) Handler() http.Handler {
@@ -100,7 +101,7 @@ func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
 	}
-	fmt.Fprintf(w, "ok %s\n", s.eng.Name())
+	fmt.Fprintf(w, "ok %s height=%d head=%s\n", s.eng.Name(), s.Height(), s.HeadDigest())
 }
 
 // Ingest is the network face of one Service: an HTTP server listening

@@ -1,93 +1,58 @@
 package stream
 
 import (
-	"fmt"
 	"time"
 
 	"mtpu/internal/arch"
 	"mtpu/internal/arch/pu"
-	"mtpu/internal/evm"
-	"mtpu/internal/state"
+	"mtpu/internal/core"
+	"mtpu/internal/mvstate"
 	"mtpu/internal/types"
 )
 
 // prefetched is the prefetch/decode stage's output for one block:
 // everything the execute and commit stages need, built while the
-// previous block was still executing.
+// previous block was still executing. The decode is speculative — it
+// ran against a pinned snapshot of the head that earlier in-flight
+// blocks may since have advanced — so it carries the snapshot height
+// and the decode error (if any) instead of deciding validity itself;
+// the execute stage revalidates against the exact pre-state and
+// re-decodes when the speculation was stale.
 type prefetched struct {
-	block    *types.Block
-	traces   []*arch.TxTrace
-	receipts []*types.Receipt
+	block *types.Block
+	// prep is the decode product (traces, receipts, write-set, base
+	// read-set, rebuilt DAG); nil when err is set.
+	prep *core.Prepared
+	// err is the decode failure at the pinned snapshot. It is not final:
+	// the execute stage retries at the true pre-state before counting
+	// the block invalid.
+	err   error
+	plans []*pu.Plan
+	// digest is the post-block state digest at the exact chained
+	// pre-state — filled by the execute stage, not here.
 	digest   types.Hash
-	plans    []*pu.Plan
 	accepted time.Time
 	seq      uint64
 }
 
-// prefetch decodes one block a stage ahead of execution: a single
-// sequential EVM pass that simultaneously records per-transaction
-// access sets (for the conflict DAG) and collects instruction traces,
-// receipts and the golden state digest; then prebuilds the plain
-// per-transaction plans with their pipeline fill memos. One pass does
-// the work BuildDAG + CollectTraces would need two for.
+// prefetch decodes one block a stage ahead of execution against a
+// pinned snapshot of the current head: a single sequential EVM pass
+// over a versioned overlay (no state copy) that records per-transaction
+// access sets, rebuilds the conflict DAG, and collects instruction
+// traces, receipts and the block's net write-set; then prebuilds the
+// plain per-transaction plans with their pipeline fill memos.
 //
-// The incoming DAG, if any, is discarded and rebuilt from the observed
-// access sets: the service treats block input as untrusted, so every
-// engine downstream schedules against conflicts the sequential replay
-// actually proved.
-func prefetch(genesis *state.StateDB, block *types.Block, cfg arch.Config) (*prefetched, error) {
-	st := genesis.Copy()
-	e := evm.New(evm.NewBlockContext(block.Header), st)
-	col := arch.NewCollector()
-	e.Tracer = col
-
-	n := len(block.Transactions)
-	if n == 0 {
-		return nil, fmt.Errorf("empty block")
+// prefetch never rejects a block: validity is a property of the true
+// chained pre-state, which may still be several folds away while this
+// stage runs ahead.
+func prefetch(store *mvstate.Store, block *types.Block, cfg arch.Config) *prefetched {
+	snap := store.Pin()
+	defer snap.Close()
+	pre := &prefetched{block: block}
+	pre.prep, pre.err = core.PrepareBlock(snap, block)
+	if pre.err == nil {
+		pre.plans = pu.PlainPlans(pre.prep.Traces)
+		pu.AttachFillMemo(cfg, pre.plans)
 	}
-	traces := make([]*arch.TxTrace, n)
-	receipts := make([]*types.Receipt, n)
-	reads := make([]state.AccessSet, n)
-	writes := make([]state.AccessSet, n)
-
-	// The coinbase balance is touched by every transaction's gas payment;
-	// treating it as a conflict would serialize the whole block, so the
-	// DAG excludes it — matching workload.BuildDAG and the commutative-
-	// reward treatment every engine applies.
-	coinbaseKey := state.AccessKey{Kind: state.AccessBalance, Addr: block.Header.Coinbase}
-	for i, tx := range block.Transactions {
-		col.Begin(tx)
-		st.BeginAccessRecord()
-		r, err := evm.ApplyTransaction(e, tx, i)
-		rd, wr := st.EndAccessRecord()
-		if err != nil {
-			return nil, fmt.Errorf("tx %d invalid: %w", i, err)
-		}
-		delete(rd, coinbaseKey)
-		delete(wr, coinbaseKey)
-		reads[i], writes[i] = rd, wr
-		receipts[i] = r
-		traces[i] = col.Finish(r.GasUsed)
-	}
-
-	block.DAG = types.NewDAG(n)
-	for j := 1; j < n; j++ {
-		for i := 0; i < j; i++ {
-			if writes[i].Overlaps(reads[j]) || writes[i].Overlaps(writes[j]) ||
-				reads[i].Overlaps(writes[j]) {
-				block.DAG.AddEdge(i, j)
-			}
-		}
-	}
-
-	plans := pu.PlainPlans(traces)
-	pu.AttachFillMemo(cfg, plans)
-
-	return &prefetched{
-		block:    block,
-		traces:   traces,
-		receipts: receipts,
-		digest:   st.Digest(),
-		plans:    plans,
-	}, nil
+	return pre
 }

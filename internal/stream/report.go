@@ -25,6 +25,11 @@ type Report struct {
 	ShadowChecks uint64 `json:"shadow_checks"`
 	ShadowFails  uint64 `json:"shadow_fails"`
 
+	// Height is the number of blocks folded into the canonical head;
+	// HeadDigest is the head state's digest after the final fold.
+	Height     uint64 `json:"height"`
+	HeadDigest string `json:"head_digest"`
+
 	WallMS       float64 `json:"wall_ms"`
 	BlocksPerSec float64 `json:"blocks_per_sec"`
 	TxsPerSec    float64 `json:"txs_per_sec"`
@@ -50,6 +55,8 @@ func (s *Service) report() *Report {
 		CommittedTxs: s.committedTxs.Load(),
 		ShadowChecks: s.shadowChecks.Load(),
 		ShadowFails:  s.shadowFails.Load(),
+		Height:       s.store.Height(),
+		HeadDigest:   s.store.HeadDigest().String(),
 		StageBusyMS:  make(map[string]float64, telemetry.NumStreamStages),
 	}
 	for i := telemetry.StreamStage(0); i < telemetry.NumStreamStages; i++ {
@@ -82,6 +89,7 @@ func (r *Report) Render() string {
 	fmt.Fprintf(&b, "  blocks     accepted=%d rejected=%d invalid=%d committed=%d\n",
 		r.Accepted, r.Rejected, r.Invalid, r.Committed)
 	fmt.Fprintf(&b, "  shadow     checks=%d fails=%d\n", r.ShadowChecks, r.ShadowFails)
+	fmt.Fprintf(&b, "  head       height=%d digest=%s\n", r.Height, r.HeadDigest)
 	fmt.Fprintf(&b, "  throughput %.1f blocks/s  %.0f tx/s  (%d txs over %.0f ms)\n",
 		r.BlocksPerSec, r.TxsPerSec, r.CommittedTxs, r.WallMS)
 	fmt.Fprintf(&b, "  latency    p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms\n",

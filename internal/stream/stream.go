@@ -8,6 +8,13 @@
 // that schedule construction for the next block can overlap execution
 // of the current one, made first-class.
 //
+// State is chained across blocks through an mvstate.Store: the commit
+// stage folds each block's write-set into the canonical head, so block
+// N+1 executes against post-N state, not genesis. Prefetch decodes
+// speculatively against a pinned snapshot of the head; the execute
+// stage revalidates the decode's base read-set against the folds that
+// landed since and re-decodes at the exact pre-state when stale.
+//
 // Stages are connected by bounded channels; ingest applies explicit
 // backpressure (TrySubmit returns ErrQueueFull, the HTTP face answers
 // 429) so a slow executor surfaces as rejected blocks, never as
@@ -28,9 +35,11 @@ import (
 	"time"
 
 	"mtpu/internal/arch"
+	"mtpu/internal/arch/pu"
 	"mtpu/internal/core"
 	"mtpu/internal/difftest"
 	"mtpu/internal/engine"
+	"mtpu/internal/mvstate"
 	"mtpu/internal/state"
 	"mtpu/internal/telemetry"
 	"mtpu/internal/types"
@@ -56,11 +65,15 @@ const DefaultQueueDepth = 8
 type Config struct {
 	// Mode is the execution engine every block runs on.
 	Mode engine.Mode
-	// Genesis is the pre-block state each block of the stream executes
-	// against (the service serves self-contained blocks; cross-block
-	// state continuity is the multi-version state layer's roadmap item).
-	// Required.
+	// Genesis seeds the canonical head state: block 1 of the stream
+	// executes against it, and every committed block's write-set folds
+	// into the head, so later blocks see true chained state. Required.
 	Genesis *state.StateDB
+	// VerifyChain recomputes the head-state digest after every fold and
+	// asserts it matches the digest the block was verified against — the
+	// digest-continuity check. Full-state hashing per block; meant for
+	// CI and debugging, not peak-throughput serving.
+	VerifyChain bool
 	// NumPUs overrides the architectural PU count when > 0.
 	NumPUs int
 	// Queue bounds each inter-stage channel (0 = DefaultQueueDepth).
@@ -107,6 +120,7 @@ type Service struct {
 	label string
 	acc   *core.Accelerator
 	tel   *telemetry.Metrics
+	store *mvstate.Store
 
 	ingestQ chan ingested
 	execQ   chan *prefetched
@@ -175,6 +189,7 @@ func New(cfg Config) (*Service, error) {
 		label:   "serve/" + eng.Name(),
 		acc:     core.New(acfg),
 		tel:     tel,
+		store:   mvstate.NewStore(cfg.Genesis, tel),
 		ingestQ: make(chan ingested, queue),
 		execQ:   make(chan *prefetched, queue),
 		commitQ: make(chan *executed, queue),
@@ -193,6 +208,13 @@ func (s *Service) Tel() *telemetry.Metrics { return s.tel }
 // Engine returns the name of the engine the service executes on.
 func (s *Service) Engine() string { return s.eng.Name() }
 
+// Height returns the number of blocks folded into the canonical head.
+func (s *Service) Height() uint64 { return s.store.Height() }
+
+// HeadDigest returns the digest of the canonical head state — genesis's
+// digest at height 0, then the post-block digest after each fold.
+func (s *Service) HeadDigest() types.Hash { return s.store.HeadDigest() }
+
 // logf forwards to the configured logger, if any.
 func (s *Service) logf(format string, args ...any) {
 	if s.cfg.Logf != nil {
@@ -205,6 +227,9 @@ func (s *Service) fail(err error) {
 	s.failOnce.Do(func() {
 		s.err = err
 		close(s.quit)
+		// Wake the execute stage if it is waiting for a fold that will
+		// never come.
+		s.store.Interrupt()
 	})
 }
 
@@ -307,27 +332,18 @@ func (s *Service) endWork(stage telemetry.StreamStage, start time.Time) {
 }
 
 // prefetchLoop decodes each accepted block — conflict DAG, golden
-// sequential traces/receipts/digest, symbol tables and plain plans —
-// one block ahead of execution. Invalid blocks (a transaction no state
-// transition accepts) are counted, logged and skipped: a service drops
-// a bad block, it does not die with it.
+// sequential traces/receipts, symbol tables and plain plans — one block
+// ahead of execution, speculatively against a pinned snapshot of the
+// head. It never rejects: validity is judged by the execute stage
+// against the true chained pre-state.
 func (s *Service) prefetchLoop() {
 	defer close(s.execQ)
-	var seq uint64
 	for item := range s.ingestQ {
 		s.tel.StreamQueueDepth[telemetry.StagePrefetch].Add(-1)
 		start := s.beginWork()
-		pre, err := prefetch(s.cfg.Genesis, item.block, s.acc.Cfg)
+		pre := prefetch(s.store, item.block, s.acc.Cfg)
 		s.endWork(telemetry.StagePrefetch, start)
-		if err != nil {
-			s.invalid.Add(1)
-			s.tel.StreamInvalid.Inc()
-			s.logf("stream: block %s rejected: %v", item.block.Hash(), err)
-			continue
-		}
 		pre.accepted = item.at
-		pre.seq = seq
-		seq++
 		select {
 		case s.execQ <- pre:
 			s.tel.StreamQueueDepth[telemetry.StageExecute].Add(1)
@@ -337,27 +353,54 @@ func (s *Service) prefetchLoop() {
 	}
 }
 
-// executeLoop replays each prepared block on the configured engine and
-// learns its hotspots for the next block — the paper's block-interval
-// Contract Table warm-up, now pipelined.
+// executeLoop replays each prepared block on the configured engine at
+// the exact chained pre-state and learns its hotspots for the next
+// block — the paper's block-interval Contract Table warm-up, now
+// pipelined. Before each block it waits for every previously executed
+// block to fold into the head, then revalidates the speculative decode
+// against the folds that landed since the prefetch snapshot; a stale or
+// failed decode is retried once at the true pre-state, and only a
+// failure there counts the block invalid (counted, logged, skipped: a
+// service drops a bad block, it does not die with it).
 func (s *Service) executeLoop() {
 	defer close(s.commitQ)
+	var folds uint64 // blocks this loop has sent downstream to fold
 	for pre := range s.execQ {
 		s.tel.StreamQueueDepth[telemetry.StageExecute].Add(-1)
+		if !s.store.WaitHeight(folds) {
+			return // halted while waiting
+		}
 		start := s.beginWork()
 		if s.execHook != nil {
 			s.execHook()
 		}
-		res, err := s.acc.ReplayWith(pre.block, pre.traces, pre.receipts, pre.digest, s.cfg.Mode,
-			core.ReplayOpts{Genesis: s.cfg.Genesis, Plans: pre.plans, Tel: s.tel})
+		head := s.store.Head()
+		if pre.err != nil || s.store.Invalidated(pre.prep.BaseReads, pre.prep.Height) {
+			prep, err := core.PrepareBlock(head, pre.block)
+			if err != nil {
+				s.endWork(telemetry.StageExecute, start)
+				s.invalid.Add(1)
+				s.tel.StreamInvalid.Inc()
+				s.logf("stream: block %s rejected: %v", pre.block.Hash(), err)
+				continue
+			}
+			pre.prep = prep
+			pre.plans = pu.PlainPlans(prep.Traces)
+			pu.AttachFillMemo(s.acc.Cfg, pre.plans)
+		}
+		pre.digest = pre.prep.DigestAt(head, pre.block.Header.Coinbase)
+		pre.seq = folds
+		res, err := s.acc.ReplayWith(pre.block, pre.prep.Traces, pre.prep.Receipts, pre.digest, s.cfg.Mode,
+			core.ReplayOpts{Genesis: head.DB(), Head: head, Plans: pre.plans, Tel: s.tel})
 		if err == nil && s.cfg.HotspotTopN > 0 {
-			s.acc.LearnHotspots(pre.traces, s.cfg.HotspotTopN)
+			s.acc.LearnHotspots(pre.prep.Traces, s.cfg.HotspotTopN)
 		}
 		s.endWork(telemetry.StageExecute, start)
 		if err != nil {
 			s.fail(fmt.Errorf("stream: executing block %s: %w", pre.block.Hash(), err))
 			return
 		}
+		folds++
 		select {
 		case s.commitQ <- &executed{pre: pre, res: res}:
 			s.tel.StreamQueueDepth[telemetry.StageCommit].Add(1)
@@ -367,20 +410,45 @@ func (s *Service) executeLoop() {
 	}
 }
 
-// commitLoop verifies and publishes results in stream order: shadow
-// validation on the sampled blocks, per-block end-to-end latency into
-// the telemetry histogram, committed counters.
+// commitLoop publishes results in stream order: it folds each block's
+// write-set into the canonical head first — unblocking the execute
+// stage, which waits for the fold before running the next block — then
+// shadow-validates the sampled blocks against a snapshot of the chained
+// pre-state pinned before the fold (not genesis), concurrently with the
+// next block's execution. A shadow mismatch halts the pipeline (unless
+// ShadowLogOnly), so the optimistically folded head of a bad block is
+// never served beyond the failure. Per-block end-to-end latency lands
+// in the telemetry histogram.
 func (s *Service) commitLoop() {
 	defer close(s.done)
 	stride := shadowStride(s.cfg.ShadowSample)
 	for ex := range s.commitQ {
 		s.tel.StreamQueueDepth[telemetry.StageCommit].Add(-1)
 		start := s.beginWork()
-		if stride > 0 && ex.pre.seq%stride == 0 {
+		prep := ex.pre.prep
+		shadow := stride > 0 && ex.pre.seq%stride == 0
+		var pre *mvstate.Snapshot
+		if shadow {
+			pre = s.store.Pin()
+		}
+		s.store.Commit(prep.WriteKeys, prep.WriteVals, ex.pre.block.Header.Coinbase, &prep.Fees)
+		if s.cfg.VerifyChain {
+			if got := s.store.HeadDigest(); got != ex.pre.digest {
+				if pre != nil {
+					pre.Close()
+				}
+				s.endWork(telemetry.StageCommit, start)
+				s.fail(fmt.Errorf("stream: head digest %s after folding block %s != verified digest %s",
+					got, ex.pre.block.Hash(), ex.pre.digest))
+				return
+			}
+		}
+		if shadow {
 			s.shadowChecks.Add(1)
 			s.tel.StreamShadowChecks.Inc()
-			if err := difftest.OracleCheck(s.cfg.Genesis, ex.pre.block,
-				ex.pre.receipts, ex.pre.digest, ex.res); err != nil {
+			err := difftest.OracleCheckAt(pre, ex.pre.block, prep.Receipts, ex.pre.digest, ex.res)
+			pre.Close()
+			if err != nil {
 				s.shadowFails.Add(1)
 				s.tel.StreamShadowFails.Inc()
 				if s.cfg.ShadowLogOnly {

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"mtpu/internal/core"
 	"mtpu/internal/engine"
 	"mtpu/internal/telemetry"
 	"mtpu/internal/types"
@@ -49,7 +50,7 @@ func TestStreamAllEngines(t *testing.T) {
 		t.Run(mode.String(), func(t *testing.T) {
 			t.Parallel()
 			spec := workload.StreamSpec{Blocks: 12, Txs: 12, Dep: 0.4, Seed: 7 + int64(mode)}
-			rep, tel := drive(t, Config{Mode: mode, ShadowSample: 1, HotspotTopN: 4}, spec)
+			rep, tel := drive(t, Config{Mode: mode, ShadowSample: 1, HotspotTopN: 4, VerifyChain: true}, spec)
 
 			if rep.Committed != uint64(spec.Blocks) || rep.Accepted != uint64(spec.Blocks) {
 				t.Fatalf("committed %d / accepted %d of %d blocks", rep.Committed, rep.Accepted, spec.Blocks)
@@ -71,6 +72,79 @@ func TestStreamAllEngines(t *testing.T) {
 				t.Fatalf("drained snapshot invariants: %v", err)
 			}
 		})
+	}
+}
+
+// TestStreamChainedDigest is the cross-block state-chaining contract:
+// after draining a chained stream, the service's head digest must be
+// byte-identical to one sequential whole-stream replay of the same
+// blocks over one evolving StateDB — block N+1 really ran against
+// post-N state, with every fold digest-checked along the way
+// (VerifyChain) and every block shadow-validated against its chained
+// pre-state.
+func TestStreamChainedDigest(t *testing.T) {
+	spec := workload.StreamSpec{Blocks: 10, Txs: 16, Dep: 0.5, Seed: 21}
+	src, err := spec.Open()
+	if err != nil {
+		t.Fatalf("opening stream: %v", err)
+	}
+	genesis := src.Genesis()
+	var blocks []*types.Block
+	for {
+		b, ok := src.Next()
+		if !ok {
+			break
+		}
+		blocks = append(blocks, b)
+	}
+
+	// The oracle: one sequential replay of the whole stream.
+	seq := genesis.Copy()
+	var want types.Hash
+	for i, b := range blocks {
+		if _, _, d, err := core.CollectTracesOn(seq, b); err != nil {
+			t.Fatalf("sequential oracle block %d: %v", i, err)
+		} else {
+			want = d
+		}
+	}
+
+	svc, err := New(Config{Mode: engine.ModeSTRedundancy, Genesis: genesis,
+		ShadowSample: 1, VerifyChain: true})
+	if err != nil {
+		t.Fatalf("starting service: %v", err)
+	}
+	for _, b := range blocks {
+		if err := svc.Submit(b); err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+	}
+	rep, err := svc.Drain()
+	if err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if rep.Committed != uint64(len(blocks)) {
+		t.Fatalf("committed %d of %d blocks", rep.Committed, len(blocks))
+	}
+	if rep.Height != uint64(len(blocks)) {
+		t.Fatalf("report height %d, want %d", rep.Height, len(blocks))
+	}
+	if rep.HeadDigest != want.String() {
+		t.Fatalf("service head digest %s != whole-stream sequential digest %s", rep.HeadDigest, want)
+	}
+	if rep.ShadowChecks != uint64(len(blocks)) || rep.ShadowFails != 0 {
+		t.Fatalf("shadow checks=%d fails=%d, want %d/0", rep.ShadowChecks, rep.ShadowFails, len(blocks))
+	}
+	// The chained run must have exercised the mvstate layer.
+	snap := svc.Tel().Snapshot()
+	if snap.MVState == nil {
+		t.Fatal("chained stream left no mvstate telemetry")
+	}
+	if snap.MVState.Commits != uint64(len(blocks)) {
+		t.Fatalf("mvstate commits %d, want %d", snap.MVState.Commits, len(blocks))
+	}
+	if err := snap.MVState.Check(); err != nil {
+		t.Fatalf("mvstate snapshot invariants: %v", err)
 	}
 }
 

@@ -23,6 +23,9 @@ func TestRecordingPathsAllocateNothing(t *testing.T) {
 		"Counter.Inc":      func() { m.Replays.Inc() },
 		"Counter.Add":      func() { m.ReplayTxs.Add(7) },
 		"Gauge.Set":        func() { new(Gauge).Set(3) },
+		"MVState.Commit":   func() { m.MVStateCommits.Inc(); m.MVStateVersionsFolded.Add(5) },
+		"MVState.Reads":    func() { m.MVStateSnapshotReads.Inc(); m.MVStateRevalidations.Inc() },
+		"MVState.Gauges":   func() { m.MVStateChainEntries.Set(42); m.MVStateMaxChainLen.Set(3) },
 		"Histogram.Record": func() { m.Latency("scalar").Record(12345) },
 		"bridge.DBFlush":   func() { sink.DBFlush(0, types.Address{}, delta) },
 		"bridge.SchedPick": func() { sink.SchedPick(0, 99, obs.PickKind(0), 2) },

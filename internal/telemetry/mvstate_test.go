@@ -1,0 +1,87 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func mvstateMetrics() *Metrics {
+	m := New()
+	m.MVStateCommits.Add(9)
+	m.MVStateVersionsFolded.Add(120)
+	m.MVStateVersionsGCd.Add(80)
+	m.MVStateSnapshotReads.Add(400)
+	m.MVStateRevalidations.Add(9)
+	m.MVStateInvalidations.Add(2)
+	m.MVStateChainEntries.Set(40)
+	m.MVStateMaxChainLen.Set(3)
+	return m
+}
+
+// TestSnapshotMVStateSection checks the mvstate section appears only
+// once the state layer actually moved, so one-shot CLI snapshots keep
+// their old shape.
+func TestSnapshotMVStateSection(t *testing.T) {
+	if s := New().Snapshot(); s.MVState != nil {
+		t.Fatal("fresh metrics snapshot has an mvstate section")
+	}
+	s := mvstateMetrics().Snapshot()
+	if s.MVState == nil {
+		t.Fatal("mvstate counters moved but snapshot has no mvstate section")
+	}
+	if s.MVState.Commits != 9 || s.MVState.VersionsFolded != 120 || s.MVState.MaxChainLen != 3 {
+		t.Fatalf("mvstate section mismatch: %+v", s.MVState)
+	}
+	if err := s.MVState.Check(); err != nil {
+		t.Fatalf("consistent snapshot rejected: %v", err)
+	}
+}
+
+func TestMVStateSnapshotCheck(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*MVStateSnapshot)
+	}{
+		{"gcd exceeds folded", func(s *MVStateSnapshot) { s.VersionsGCd = s.VersionsFolded + 1 }},
+		{"invalidations exceed revalidations", func(s *MVStateSnapshot) { s.Invalidations = s.Revalidations + 1 }},
+		{"negative chain entries", func(s *MVStateSnapshot) { s.ChainEntries = -1 }},
+		{"negative max chain", func(s *MVStateSnapshot) { s.MaxChainLen = -4 }},
+	}
+	for _, c := range cases {
+		s := mvstateMetrics().Snapshot().MVState
+		c.mutate(s)
+		if err := s.Check(); err == nil {
+			t.Errorf("%s: Check accepted inconsistent snapshot", c.name)
+		}
+	}
+}
+
+func TestPrometheusMVStateFamilies(t *testing.T) {
+	var plain strings.Builder
+	if err := New().WritePrometheus(&plain); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if strings.Contains(plain.String(), "mtpu_mvstate_") {
+		t.Fatal("mvstate families exposed with no state-layer activity")
+	}
+
+	var b strings.Builder
+	if err := mvstateMetrics().WritePrometheus(&b); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"mtpu_mvstate_commits_total 9",
+		"mtpu_mvstate_versions_folded_total 120",
+		"mtpu_mvstate_versions_gcd_total 80",
+		"mtpu_mvstate_snapshot_reads_total 400",
+		"mtpu_mvstate_revalidations_total 9",
+		"mtpu_mvstate_invalidations_total 2",
+		"mtpu_mvstate_chain_entries 40",
+		"mtpu_mvstate_max_chain_len 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q", want)
+		}
+	}
+}

@@ -67,6 +67,17 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 		}
 	}
 
+	if mv := s.MVState; mv != nil {
+		counter("mtpu_mvstate_commits_total", "Blocks folded into the multi-version head state.", mv.Commits)
+		counter("mtpu_mvstate_versions_folded_total", "Key versions folded into the head across commits.", mv.VersionsFolded)
+		counter("mtpu_mvstate_versions_gcd_total", "Key versions pruned once no pinned snapshot could read them.", mv.VersionsGCd)
+		counter("mtpu_mvstate_snapshot_reads_total", "Reads served through pinned version-chain snapshots.", mv.SnapshotReads)
+		counter("mtpu_mvstate_revalidations_total", "Speculative read-sets revalidated against newer folds.", mv.Revalidations)
+		counter("mtpu_mvstate_invalidations_total", "Revalidations that found a stale read (re-decode forced).", mv.Invalidations)
+		fmt.Fprintf(&b, "# HELP mtpu_mvstate_chain_entries Live version-chain entries across all keys.\n# TYPE mtpu_mvstate_chain_entries gauge\nmtpu_mvstate_chain_entries %d\n", mv.ChainEntries)
+		fmt.Fprintf(&b, "# HELP mtpu_mvstate_max_chain_len Longest per-key version chain observed.\n# TYPE mtpu_mvstate_max_chain_len gauge\nmtpu_mvstate_max_chain_len %d\n", mv.MaxChainLen)
+	}
+
 	fmt.Fprintf(&b, "# HELP mtpu_block_latency_seconds Wall-clock block replay latency percentiles by engine.\n# TYPE mtpu_block_latency_seconds summary\n")
 	for _, l := range s.Latency {
 		fmt.Fprintf(&b, "mtpu_block_latency_seconds{mode=%q,quantile=\"0.5\"} %g\n", l.Label, l.P50MS/1000)

@@ -118,6 +118,24 @@ type Metrics struct {
 	StreamQueueDepth  [NumStreamStages]Gauge
 	StreamStageBusyNS [NumStreamStages]Counter
 
+	// Multi-version state layer (internal/mvstate): cross-block fold
+	// and snapshot activity for the chained stream service. Commits
+	// counts block folds into the canonical head; VersionsFolded and
+	// VersionsGCd count chain entries appended and pruned; SnapshotReads
+	// counts pinned-snapshot resolutions through the version chains;
+	// Revalidations/Invalidations count prefetch read-set checks and the
+	// subset that found stale reads. ChainEntries and MaxChainLen gauge
+	// the live version-chain footprint. All zero outside server mode, in
+	// which case the snapshot omits the mvstate section.
+	MVStateCommits        Counter
+	MVStateVersionsFolded Counter
+	MVStateVersionsGCd    Counter
+	MVStateSnapshotReads  Counter
+	MVStateRevalidations  Counter
+	MVStateInvalidations  Counter
+	MVStateChainEntries   Gauge
+	MVStateMaxChainLen    Gauge
+
 	// latencies holds one wall-clock block-latency histogram per
 	// engine label. The map is append-only under mu; the read path
 	// (one lookup per replay) takes the read lock only.
@@ -284,6 +302,35 @@ func (s *StreamSnapshot) Check(drained bool) error {
 	return nil
 }
 
+// MVStateSnapshot is the exported multi-version state layer section.
+type MVStateSnapshot struct {
+	Commits        uint64 `json:"commits"`
+	VersionsFolded uint64 `json:"versions_folded"`
+	VersionsGCd    uint64 `json:"versions_gcd"`
+	SnapshotReads  uint64 `json:"snapshot_reads"`
+	Revalidations  uint64 `json:"revalidations"`
+	Invalidations  uint64 `json:"invalidations"`
+	ChainEntries   int64  `json:"chain_entries"`
+	MaxChainLen    int64  `json:"max_chain_len"`
+}
+
+// Check validates the mvstate section's counter identities.
+func (s *MVStateSnapshot) Check() error {
+	if s.VersionsGCd > s.VersionsFolded {
+		return fmt.Errorf("telemetry: mvstate versions gcd %d exceed folded %d",
+			s.VersionsGCd, s.VersionsFolded)
+	}
+	if s.Invalidations > s.Revalidations {
+		return fmt.Errorf("telemetry: mvstate invalidations %d exceed revalidations %d",
+			s.Invalidations, s.Revalidations)
+	}
+	if s.ChainEntries < 0 || s.MaxChainLen < 0 {
+		return fmt.Errorf("telemetry: mvstate negative gauge (entries %d, max chain %d)",
+			s.ChainEntries, s.MaxChainLen)
+	}
+	return nil
+}
+
 // STMSnapshot is the exported optimistic-execution section.
 type STMSnapshot struct {
 	Incarnations     uint64  `json:"incarnations"`
@@ -322,6 +369,10 @@ type Snapshot struct {
 	// Stream is present only when the block-stream pipeline ran (any
 	// ingest admission recorded), so batch-CLI snapshots are unchanged.
 	Stream *StreamSnapshot `json:"stream,omitempty"`
+
+	// MVState is present only when the multi-version state layer saw
+	// activity (any commit, snapshot read or revalidation).
+	MVState *MVStateSnapshot `json:"mvstate,omitempty"`
 
 	Latency []LatencySnapshot `json:"latency,omitempty"`
 }
@@ -375,6 +426,18 @@ func (m *Metrics) Snapshot() Snapshot {
 			st.StageBusyMS[i.String()] = float64(m.StreamStageBusyNS[i].Load()) / 1e6
 		}
 		s.Stream = st
+	}
+	if commits, reads, revals := m.MVStateCommits.Load(), m.MVStateSnapshotReads.Load(), m.MVStateRevalidations.Load(); commits+reads+revals > 0 {
+		s.MVState = &MVStateSnapshot{
+			Commits:        commits,
+			VersionsFolded: m.MVStateVersionsFolded.Load(),
+			VersionsGCd:    m.MVStateVersionsGCd.Load(),
+			SnapshotReads:  reads,
+			Revalidations:  revals,
+			Invalidations:  m.MVStateInvalidations.Load(),
+			ChainEntries:   m.MVStateChainEntries.Load(),
+			MaxChainLen:    m.MVStateMaxChainLen.Load(),
+		}
 	}
 	s.SchedPicks = make(map[string]uint64, len(m.SchedPicks))
 	for k := range m.SchedPicks {

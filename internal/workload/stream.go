@@ -16,11 +16,12 @@ import (
 // -source` and the stream unit tests — the block-stream face of the
 // same generator machinery Spec exposes for single blocks.
 //
-// Every block of the stream is self-contained against the shared
-// genesis (nonces restart per block), so blocks are independent units a
-// pipeline may prefetch, execute and commit with cross-block overlap;
-// only the generator's randomness carries across blocks, making each
-// block distinct.
+// The stream is a chain: account nonces and balances carry over from
+// block to block (exactly like Generator.ChainBlocks), so block N+1 is
+// only valid against the state block N left behind — the validator-node
+// scenario the service's multi-version state layer serves. Given one
+// Seed, the whole chain is deterministic, whether expressed as JSON or
+// flag shorthand.
 type StreamSpec struct {
 	// Blocks is the stream length.
 	Blocks int `json:"blocks"`
@@ -129,11 +130,15 @@ func (s StreamSpec) Open() (*Stream, error) {
 		return nil, err
 	}
 	g := NewGenerator(s.Seed, s.AccountPool())
+	// One beginBlock for the whole stream: nonces and balances then
+	// carry across Next calls, producing a chained block sequence.
+	g.beginBlock()
 	return &Stream{spec: s, gen: g, genesis: g.Genesis()}, nil
 }
 
-// Genesis returns the shared pre-block state every block of the stream
-// executes against (read-only; copy before mutating).
+// Genesis returns the chain's pre-state: block 1 executes against it,
+// and each later block against its predecessor's post-state (read-only;
+// copy before mutating).
 func (st *Stream) Genesis() *state.StateDB { return st.genesis }
 
 // Spec returns the stream's recipe.
@@ -142,16 +147,16 @@ func (st *Stream) Spec() StreamSpec { return st.spec }
 // Remaining reports how many blocks Next will still produce.
 func (st *Stream) Remaining() int { return st.spec.Blocks - st.next }
 
-// Next produces the stream's next block, or (nil, false) once Blocks
-// blocks have been produced. Blocks are emitted without a conflict DAG:
-// deriving it (along with traces and plans) is the prefetch/decode
-// stage's job, exactly as a block arriving over the network would be
-// handled.
+// Next produces the chain's next block, or (nil, false) once Blocks
+// blocks have been produced. Nonces and balances continue from the
+// previous block, so blocks are only valid executed in order against
+// evolving state. Blocks are emitted without a conflict DAG: deriving
+// it (along with traces and plans) is the prefetch/decode stage's job,
+// exactly as a block arriving over the network would be handled.
 func (st *Stream) Next() (*types.Block, bool) {
 	if st.next >= st.spec.Blocks {
 		return nil, false
 	}
-	st.gen.beginBlock()
 	header := st.gen.Header()
 	header.Height += uint64(st.next)
 	block := types.NewBlock(header, st.gen.tokenTxs(st.spec.Txs, st.spec.Dep))
