@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: all build test race vet fuzz-smoke diff-smoke bench stats-smoke stm-sweep bse-sweep perf report-smoke serve-smoke validate-artifacts ci
+.PHONY: all build test race vet fuzz-smoke diff-smoke bench stats-smoke stm-sweep bse-sweep perf report-smoke serve-smoke scenario-smoke validate-artifacts ci
 
 all: build
 
@@ -97,6 +97,21 @@ serve-smoke:
 	$(GO) run -race ./cmd/mtpu-serve -source blocks=64,txs=24,dep=0.5,seed=2 \
 		-mode all -shadow-sample 1 -verify-chain -ledger bench_serve.jsonl
 
+# Drive every mainnet-shaped Zipfian scenario through the block-stream
+# service. Per scenario: a 500-block chained stream with digest-
+# continuity verification and sampled shadow validation on the full
+# engine, then a short race-enabled pass on every registered engine with
+# every block shadow-validated. Service reports accumulate in the
+# bench_scenarios.jsonl run ledger.
+scenario-smoke:
+	rm -f bench_scenarios.jsonl
+	for s in erc20-mix dex nft-mint airdrop oracle; do \
+		$(GO) run ./cmd/mtpu-serve -source scenario=$$s,blocks=500,txs=16,skew=1.2,seed=7 \
+			-shadow-sample 0.05 -verify-chain -ledger bench_scenarios.jsonl || exit 1; \
+		$(GO) run -race ./cmd/mtpu-serve -source scenario=$$s,blocks=24,txs=12,skew=1.2,seed=8 \
+			-mode all -shadow-sample 1 -verify-chain -ledger bench_scenarios.jsonl || exit 1; \
+	done
+
 # Strictly validate the checked-in sweep artifacts: catches a schema bump
 # (or a new sweep such as bse or perf) that was not regenerated into the
 # files.
@@ -104,4 +119,4 @@ validate-artifacts:
 	$(GO) run ./cmd/mtpu-bench -validate BENCH_sweeps.json
 	$(GO) run ./cmd/mtpu-bench -validate BENCH_perf.json
 
-ci: vet build race diff-smoke fuzz-smoke stats-smoke stm-sweep bse-sweep perf report-smoke serve-smoke validate-artifacts
+ci: vet build race diff-smoke fuzz-smoke stats-smoke stm-sweep bse-sweep perf report-smoke serve-smoke scenario-smoke validate-artifacts

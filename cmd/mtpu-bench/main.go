@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	mtpu-bench [-seed N] [-parallel N] [-stats] [-json FILE] {table2|table6|fig12|fig13|table7|fig14|fig15|fig16|table8|table9|chunking|ablation|stm|bse|ladder|all}
+//	mtpu-bench [-seed N] [-parallel N] [-stats] [-json FILE] {table2|table6|fig12|fig13|table7|fig14|fig15|fig16|table8|table9|chunking|ablation|stm|bse|ladder|scenarios|all}
 //	mtpu-bench -validate FILE
 //
 // Sweep points fan out over -parallel worker goroutines; results are
@@ -38,8 +38,9 @@ import (
 // optimistic-baseline sweep rows ("stm"); v4 added the
 // batch-schedule-execute sweep rows ("bse"); v5 added the simulator
 // hot-loop throughput rows ("perf"); v6 added the build fingerprint
-// ("build": module version, VCS revision/time).
-const reportSchema = 6
+// ("build": module version, VCS revision/time); v7 added the
+// mainnet-shaped scenario sweep rows ("scenarios").
+const reportSchema = 7
 
 // artifactResult is one experiment's rendering plus its sweep summary.
 type artifactResult struct {
@@ -88,6 +89,12 @@ type benchReport struct {
 	// gate's input. Unlike every other artifact these measure the
 	// simulator itself, so the numbers are machine-dependent.
 	Perf []experiments.PerfPoint `json:"perf,omitempty"`
+	// Scenarios carries the mainnet-shaped scenario sweep rows
+	// ("scenarios" artifact): every Zipfian traffic shape replayed as a
+	// chained block stream by every engine at each PU count. Cycles and
+	// speedups are deterministic; tx/s is host wall-clock and therefore
+	// machine-dependent, like Perf.
+	Scenarios []experiments.ScenarioPoint `json:"scenarios,omitempty"`
 
 	TotalWallMS float64 `json:"total_wall_ms"`
 }
@@ -190,6 +197,7 @@ func realMain() int {
 	var stmPoints []experiments.STMPoint
 	var bsePoints []experiments.BSEPoint
 	var perfPoints []experiments.PerfPoint
+	var scenarioPoints []experiments.ScenarioPoint
 	artifacts := map[string]func() artifactResult{
 		"perf": func() artifactResult {
 			perfPoints = experiments.PerfSweepOnly(env, *perfOnly)
@@ -222,6 +230,15 @@ func realMain() int {
 			}
 			return artifactResult{output: experiments.RenderLadder(rows),
 				points: len(rows), minSpd: r.min, maxSpd: r.max}
+		},
+		"scenarios": func() artifactResult {
+			scenarioPoints = experiments.ScenarioSweep(env)
+			var r spdRange
+			for _, p := range scenarioPoints {
+				r.add(p.Speedup)
+			}
+			return artifactResult{output: experiments.RenderScenarios(scenarioPoints),
+				points: r.n, minSpd: r.min, maxSpd: r.max}
 		},
 		"table1": func() artifactResult {
 			rows := experiments.Table1(env)
@@ -321,7 +338,7 @@ func realMain() int {
 	}
 	order := []string{"table1", "table2", "table6", "fig12", "fig13", "table7",
 		"fig14", "fig15", "fig16", "table8", "table9", "chunking", "ablation", "stm", "bse",
-		"ladder", "perf"}
+		"ladder", "scenarios", "perf"}
 
 	var names []string
 	if cmd == "all" {
@@ -359,6 +376,7 @@ func realMain() int {
 	report.STM = stmPoints
 	report.BSE = bsePoints
 	report.Perf = perfPoints
+	report.Scenarios = scenarioPoints
 	report.TotalWallMS = float64(time.Since(start).Microseconds()) / 1000
 
 	if *perfBaseline != "" {
@@ -510,6 +528,9 @@ func checkReport(r *benchReport) error {
 		if e.Name == "perf" && len(r.Perf) != e.Points {
 			return fmt.Errorf("perf: %d rows for %d points", len(r.Perf), e.Points)
 		}
+		if e.Name == "scenarios" && len(r.Scenarios) != e.Points {
+			return fmt.Errorf("scenarios: %d rows for %d points", len(r.Scenarios), e.Points)
+		}
 	}
 	for _, p := range r.Perf {
 		if p.Name == "" {
@@ -602,6 +623,29 @@ func checkReport(r *benchReport) error {
 		if p.BSECycles < p.STCycles {
 			return fmt.Errorf("bse ratio %.1f pus %d: barrier schedule %d cycles beat spatial-temporal %d",
 				p.TargetRatio, p.PUs, p.BSECycles, p.STCycles)
+		}
+	}
+	for _, p := range r.Scenarios {
+		if p.Scenario == "" || p.Engine == "" {
+			return fmt.Errorf("scenario row with empty scenario/engine name (%+v)", p)
+		}
+		if p.PUs < 1 || p.Blocks < 1 || p.Txs < 1 {
+			return fmt.Errorf("scenario %s/%s: bad shape (pus=%d blocks=%d txs=%d)",
+				p.Scenario, p.Engine, p.PUs, p.Blocks, p.Txs)
+		}
+		for _, v := range []struct {
+			name string
+			val  float64
+		}{
+			{"skew", p.Skew}, {"speedup", p.Speedup}, {"tx_per_sec", p.TxPerSec},
+		} {
+			if err := finite(fmt.Sprintf("scenario %s/%s: %s", p.Scenario, p.Engine, v.name), v.val); err != nil {
+				return err
+			}
+		}
+		if p.Cycles == 0 || p.Speedup <= 0 || p.TxPerSec <= 0 {
+			return fmt.Errorf("scenario %s/%s pus %d: empty measurement (cycles=%d speedup=%v tx/s=%v)",
+				p.Scenario, p.Engine, p.PUs, p.Cycles, p.Speedup, p.TxPerSec)
 		}
 	}
 	for _, c := range r.Counters {
@@ -701,6 +745,8 @@ ARTIFACT is one of:
   stm       optimistic (Block-STM) baseline vs DAG-driven scheduling
   bse       pre-scheduled batch-execute engine vs DAG-driven scheduling
   ladder    every registered engine on the reference block
+  scenarios mainnet-shaped Zipfian scenario chains (erc20-mix, dex,
+            nft-mint, airdrop, oracle) on every engine at each PU count
   perf      simulator hot-loop throughput (host-side simulated-tx/s)
   all       everything above
 registered execution engines: `+strings.Join(engine.Names(), ", ")+`

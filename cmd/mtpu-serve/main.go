@@ -16,9 +16,11 @@
 //	mtpu-serve -addr :8573 [-unix PATH] [-genesis SPEC] [-mode NAME] ...
 //	mtpu-serve -version
 //
-// SPEC is a stream spec — `blocks=500,txs=64,dep=0.3,seed=1` or the
-// equivalent JSON. The -source form replays the generated stream
-// in-process, drains, prints the service report and exits; with
+// SPEC is a stream spec — `blocks=500,txs=64,dep=0.3,seed=1` — or a
+// mainnet-shaped scenario spec — `scenario=dex,blocks=500,txs=64,
+// skew=1.2,seed=1` — or the equivalent JSON of either. The -source form
+// replays the generated stream in-process, drains, prints the service
+// report and exits; with
 // `-mode all` it runs the stream through every registered engine in
 // turn. The -addr/-unix form serves until SIGINT/SIGTERM, then drains
 // gracefully; its genesis state derives from -genesis so producers
@@ -59,10 +61,11 @@ func realMain(args []string) int {
 	shadowLog := fs.Bool("shadow-log", false, "log shadow-validation mismatches and keep serving instead of halting")
 	verifyChain := fs.Bool("verify-chain", false, "recompute the head-state digest after every fold and halt on digest-continuity mismatch (full-state hashing per block; CI/debugging)")
 	hotspotTop := fs.Int("hotspot-top", 8, "hot contracts learned into the Contract Table after each block (0 disables)")
-	source := fs.String("source", "", "replay a generated block stream in-process (stream spec, e.g. blocks=500,txs=64,dep=0.3,seed=1)")
+	source := fs.String("source", "", fmt.Sprintf("replay a generated block stream in-process (stream spec, e.g. blocks=500,txs=64,dep=0.3,seed=1, or scenario spec, e.g. scenario=dex,blocks=500,txs=64,skew=1.2,seed=1; scenarios: %s)",
+		strings.Join(workload.Scenarios, ", ")))
 	addr := fs.String("addr", "", "serve block ingest over HTTP on this TCP address")
 	unixPath := fs.String("unix", "", "serve block ingest on this unix socket path")
-	genesisSpec := fs.String("genesis", "blocks=1,txs=64,seed=1", "stream spec the server's genesis state derives from (network mode; seed/txs/accounts size the account pool)")
+	genesisSpec := fs.String("genesis", "blocks=1,txs=64,seed=1", "stream or scenario spec the server's genesis state derives from (network mode; seed/txs/accounts size the account pool)")
 	ledgerPath := fs.String("ledger", "", "append a JSONL run-ledger entry (env fingerprint + per-engine throughput + telemetry) to this file")
 	telemetryAddr := fs.String("telemetry-addr", "", "serve live metrics (Prometheus text, expvar, pprof) on this address while running")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
@@ -119,11 +122,12 @@ func realMain(args []string) int {
 
 	// The source stream (when given) also supplies the genesis; a pure
 	// network server derives genesis from -genesis so block producers
-	// seeded identically stay compatible.
-	var src *workload.Stream
-	spec, err := workload.ParseStreamSpec(*genesisSpec)
+	// seeded identically stay compatible. Either flag accepts a stream
+	// spec or a Zipfian scenario spec, dispatched on the scenario key.
+	var src workload.BlockSource
+	spec, err := workload.ParseSourceSpec(*genesisSpec)
 	if *source != "" {
-		spec, err = workload.ParseStreamSpec(*source)
+		spec, err = workload.ParseSourceSpec(*source)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mtpu-serve: %v\n", err)
@@ -146,7 +150,7 @@ func realMain(args []string) int {
 	for _, m := range modes {
 		// A fresh stream per engine: -source replays its blocks, a pure
 		// network server only takes the genesis from it.
-		src, err = spec.Open()
+		src, err = spec.OpenSource()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mtpu-serve: %v\n", err)
 			return 2
@@ -157,8 +161,7 @@ func realMain(args []string) int {
 		if rep != nil {
 			fmt.Print(rep.Render())
 			if rep.Committed > 0 {
-				base := fmt.Sprintf("serve/%s/blocks%d-txs%d-dep%.2f-pus%d",
-					m, spec.Blocks, spec.Txs, spec.Dep, *pus)
+				base := fmt.Sprintf("serve/%s/%s-pus%d", m, spec.Describe(), *pus)
 				workloads = append(workloads,
 					telemetry.Workload{Key: base, Value: rep.TxsPerSec, Unit: "tx/s"},
 					telemetry.Workload{Key: base + "/bps", Value: rep.BlocksPerSec, Unit: "blocks/s"})
@@ -201,7 +204,7 @@ func realMain(args []string) int {
 // serveOne runs one service lifetime: start the pipeline, optionally
 // start the listeners, feed the in-process source, drain on exhaustion
 // or signal, and return the report.
-func serveOne(cfg stream.Config, src *workload.Stream, replay bool, addr, unixPath string) (*stream.Report, error) {
+func serveOne(cfg stream.Config, src workload.BlockSource, replay bool, addr, unixPath string) (*stream.Report, error) {
 	svc, err := stream.New(cfg)
 	if err != nil {
 		return nil, err

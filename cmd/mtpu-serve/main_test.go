@@ -78,6 +78,44 @@ func TestSourceRunWritesLedger(t *testing.T) {
 	}
 }
 
+// TestScenarioSourceRunWritesLedger drives a Zipfian scenario spec
+// through the same path: chain verification on, every block
+// shadow-validated, and a ledger key naming the scenario shape.
+func TestScenarioSourceRunWritesLedger(t *testing.T) {
+	ledger := filepath.Join(t.TempDir(), "serve.jsonl")
+	code := realMain([]string{
+		"-source", "scenario=oracle,blocks=6,txs=8,skew=1.2,seed=3",
+		"-mode", "scalar", "-shadow-sample", "1", "-verify-chain",
+		"-ledger", ledger,
+	})
+	if code != 0 {
+		t.Fatalf("scenario source run exited %d", code)
+	}
+	art, err := telemetry.LoadArtifact(ledger)
+	if err != nil {
+		t.Fatalf("loading ledger: %v", err)
+	}
+	found := false
+	for _, w := range art.Workloads {
+		if strings.HasPrefix(w.Key, "serve/scalar/oracle-blocks6-txs8-skew1.20-pus") && w.Unit == "tx/s" {
+			found = w.Value > 0
+		}
+	}
+	if !found {
+		t.Fatalf("ledger missing scenario serve workload: %+v", art.Workloads)
+	}
+}
+
+// TestBadScenarioSpecExitsTwo: scenario spec validation reaches the CLI.
+func TestBadScenarioSpecExitsTwo(t *testing.T) {
+	if code := realMain([]string{"-source", "scenario=bogus"}); code != 2 {
+		t.Fatalf("unknown scenario exited %d, want 2", code)
+	}
+	if code := realMain([]string{"-source", "scenario=dex,skew=NaN"}); code != 2 {
+		t.Fatalf("NaN skew exited %d, want 2", code)
+	}
+}
+
 // TestUnwritableLedgerExitsNonzero: a run that cannot record its ledger
 // entry must fail loudly, not drop the record.
 func TestUnwritableLedgerExitsNonzero(t *testing.T) {

@@ -8,8 +8,6 @@
 package pipeline
 
 import (
-	"fmt"
-
 	"mtpu/internal/arch"
 	"mtpu/internal/evm"
 	"mtpu/internal/obs"
@@ -210,10 +208,17 @@ type line struct {
 	insts []member
 	// count is the original instruction count (including folded ones).
 	count int
-	// lastPC is the pc of the last member — the one value the hot hit
-	// path asserts against the trace, kept inline so the check does not
-	// chase the insts pointer.
-	lastPC uint64
+	// keySum fingerprints the line's content: the sum of mix64'd pcs over
+	// the exact step window the fill consumed (pcs only, so the value is
+	// identical whether the stream was interned or used local code ids).
+	// A directory tag match does NOT imply a content match — the Contract
+	// Table rewrites hot traces (pre-executed and eliminated instructions
+	// are dropped), so planned and plain transactions of the same
+	// contract can reach the same (code id, entry pc) key with different
+	// downstream streams. Hit paths verify the window's pcs and treat a
+	// mismatch as an ordinary miss that refills the line, the same way
+	// fill-memo segments are verified by segValid.
+	keySum uint64
 	// flatWorst is the precomputed worst member stall under a stateless
 	// flat memory model with no prefetching, baked at fill time from the
 	// members' latency classes and the fill config; lineDynStall marks
@@ -230,7 +235,7 @@ const lineDynStall = ^uint32(0)
 func (ln *line) copyFrom(src *line) {
 	ln.tag = src.tag
 	ln.count = src.count
-	ln.lastPC = src.lastPC
+	ln.keySum = src.keySum
 	ln.flatWorst = src.flatWorst
 	ln.insts = append(ln.insts[:0], src.insts...)
 }
@@ -723,6 +728,18 @@ func (p *Pipeline) lineKey(s *evm.Step) uint64 {
 	return uint64(id)<<32 | uint64(uint32(s.PC))
 }
 
+// mix64 is the splitmix64 finalizer — the avalanche behind line.keySum,
+// which sums mixed pcs so that reordered or substituted windows cannot
+// cancel out the way raw pc sums would.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
 // localCodeID interns a code address locally for steps built without a
 // symbol table, memoizing the previous lookup (consecutive steps almost
 // always share a contract).
@@ -873,44 +890,20 @@ func (p *Pipeline) Execute(steps []evm.Step, ann []Annotation, mem MemModel) uin
 		if ni >= 0 {
 			p.cache.touch(ni)
 			ln := p.cache.resolve(ni)
-			if i+ln.count <= len(steps) {
+			if i+ln.count <= len(steps) && lineMatches(ln, steps, i) {
 				// Hit: the whole line issues in one cycle; stalls overlap,
-				// so the line costs 1 + the slowest member. Code is
-				// immutable and lines never span branches, so a tag match
-				// implies a content match; the pc walk enforces that
-				// invariant.
+				// so the line costs 1 + the slowest member. lineMatches
+				// verified the window's pcs up front — a tag match alone is
+				// not enough, because the Contract Table rewrites hot
+				// traces, so two variants of the same contract can share an
+				// entry key with different downstream streams; the stale
+				// variant falls through to the miss path and is refilled.
 				if p.sink != nil {
 					p.obsLookup(steps[i].CodeAddr, true, ln.count)
 				}
-				// One fused walk verifies the pc invariant and accumulates
-				// gas and the slowest member stall.
 				var worst uint64
-				k := i
-				for mi := range ln.insts {
-					m := &ln.insts[mi]
-					if m.hasFolded {
-						s := &steps[k]
-						if s.PC != m.foldedPC {
-							panic(fmt.Sprintf("pipeline: line %s:0x%x diverged at folded pc 0x%x vs trace 0x%x",
-								ln.tag.addr, ln.tag.pc, m.foldedPC, s.PC))
-						}
-						gasCharged += s.GasCost
-						if c := latClass[s.Op]; c != latNone {
-							var a Annotation
-							if ann != nil && k < len(ann) {
-								a = ann[k]
-							}
-							if l := p.classLat(c, s, a, mem); l > worst {
-								worst = l
-							}
-						}
-						k++
-					}
+				for k := i; k < i+ln.count; k++ {
 					s := &steps[k]
-					if s.PC != m.pc {
-						panic(fmt.Sprintf("pipeline: line %s:0x%x diverged at pc 0x%x vs trace 0x%x",
-							ln.tag.addr, ln.tag.pc, m.pc, s.PC))
-					}
 					gasCharged += s.GasCost
 					if c := latClass[s.Op]; c != latNone {
 						var a Annotation
@@ -921,7 +914,6 @@ func (p *Pipeline) Execute(steps []evm.Step, ann []Annotation, mem MemModel) uin
 							worst = l
 						}
 					}
-					k++
 				}
 				cycles += 1 + worst
 				issueCycles++
@@ -998,6 +990,29 @@ func (p *Pipeline) Execute(steps []evm.Step, ann []Annotation, mem MemModel) uin
 	return cycles
 }
 
+// lineMatches reports whether the trace window at start reproduces the
+// line's recorded pc sequence, folded members included (the caller has
+// already checked that start+ln.count fits the stream). Code is
+// immutable and lines never span frames, so a full pc match implies the
+// window's ops and frame match the line too.
+func lineMatches(ln *line, steps []evm.Step, start int) bool {
+	k := start
+	for mi := range ln.insts {
+		m := &ln.insts[mi]
+		if m.hasFolded {
+			if steps[k].PC != m.foldedPC {
+				return false
+			}
+			k++
+		}
+		if steps[k].PC != m.pc {
+			return false
+		}
+		k++
+	}
+	return true
+}
+
 // HotStep is the compact per-step image of the replay hit path: the
 // step's packed line key, its gas cost, and its latency class — 16
 // bytes against evm.Step's cache-line-and-a-half, so the line-head load
@@ -1065,6 +1080,10 @@ type HotPlan struct {
 	// class (plus SHA3/copy footprints) — the precondition for serving
 	// hits from line.flatWorst.
 	NoPrefetch bool
+	// KeySum[i] is the sum of mix64'd pcs of Steps[:i] (len(Steps)+1
+	// entries), so the hit path checks a whole window's pc sequence
+	// against line.keySum with one subtraction.
+	KeySum []uint64
 }
 
 // NewHotPlan precomputes the hot-path image of an interned step stream,
@@ -1081,9 +1100,11 @@ func NewHotPlan(steps []evm.Step, ann []Annotation) *HotPlan {
 		NextStall:  make([]int32, n+1),
 		Words:      make([]uint32, n),
 		NoPrefetch: true,
+		KeySum:     make([]uint64, n+1),
 	}
 	for i := range hot {
 		hp.GasPrefix[i+1] = hp.GasPrefix[i] + uint64(hot[i].Gas)
+		hp.KeySum[i+1] = hp.KeySum[i] + mix64(uint64(uint32(hot[i].Key)))
 		w := (steps[i].MemBytes + 31) / 32
 		if w > 0xffffffff {
 			return nil
@@ -1112,12 +1133,11 @@ func NewHotPlan(steps []evm.Step, ann []Annotation) *HotPlan {
 // only removes redundant work from the walks: gas comes from prefix
 // sums, stall walks skip stall-free instructions (FlatMem is stateless
 // and walks stay ascending, so MemModel observes the same calls in the
-// same order), and the hit-path pc walk reduces to a last-member check
-// (within a line the pc sequence is deterministic: code is immutable
-// and control-flow opcodes can only be a line's last member, so a key
-// match plus the length check implies every interior pc Execute would
-// verify). The loop mirrors Execute's; changes to one must land in
-// both.
+// same order), and the hit-path lineMatches walk reduces to one keySum
+// prefix subtraction (the window's mixed-pc sum equals line.keySum
+// exactly when every pc Execute would compare matches, up to a
+// negligible 2^-64 mix collision). The loop mirrors Execute's; changes
+// to one must land in both.
 func (p *Pipeline) ExecuteHot(steps []evm.Step, ann []Annotation, hp *HotPlan, mem MemModel) uint64 {
 	if hp == nil || len(hp.Steps) != len(steps) || !p.cfg.EnableDBCache {
 		return p.Execute(steps, ann, mem)
@@ -1157,15 +1177,14 @@ func (p *Pipeline) ExecuteHot(steps []evm.Step, ann []Annotation, hp *HotPlan, m
 		if ni >= 0 {
 			p.cache.touch(ni)
 			ln := p.cache.resolve(ni)
-			if end := i + ln.count; end <= len(steps) {
+			if end := i + ln.count; end <= len(steps) &&
+				hp.KeySum[end]-hp.KeySum[i] == ln.keySum {
+				// The prefix-sum check stands in for Execute's full pc
+				// walk (see the function comment); a mismatched window —
+				// a Contract-Table-rewritten variant sharing the entry
+				// key — falls through to the miss path and is refilled.
 				if p.sink != nil {
 					p.obsLookup(steps[i].CodeAddr, true, ln.count)
-				}
-				// The last-member check stands in for Execute's full pc
-				// walk (see the function comment).
-				if uint64(uint32(hot[end-1].Key)) != ln.lastPC {
-					panic(fmt.Sprintf("pipeline: line %s:0x%x diverged at pc 0x%x vs trace 0x%x",
-						ln.tag.addr, ln.tag.pc, ln.lastPC, steps[end-1].PC))
 				}
 				gasCharged += gp[end] - gp[i]
 				var worst uint64
@@ -1806,7 +1825,11 @@ func (p *Pipeline) fill(steps []evm.Step, ann []Annotation, start int) (*line, i
 	} else {
 		ln.flatWorst = uint32(flatWorst)
 	}
-	ln.lastPC = ln.insts[len(ln.insts)-1].pc
+	var ks uint64
+	for j := start; j < start+consumed; j++ {
+		ks += mix64(steps[j].PC)
+	}
+	ln.keySum = ks
 	return ln, consumed
 }
 

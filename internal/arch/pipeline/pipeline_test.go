@@ -405,6 +405,96 @@ func TestAvgLineSize(t *testing.T) {
 	}
 }
 
+// TestRewrittenVariantFallsBackToMiss pins the divergence fix: the
+// hotspot Contract Table rewrites hot traces (pre-executed and
+// eliminated instructions are dropped), so planned and plain
+// transactions of one contract can share a line's entry key with
+// different downstream pc streams. A tag hit on the stale variant must
+// degrade to an ordinary miss that refills the line — priced exactly
+// like a cold miss, never mis-charged — and the local-id Execute,
+// interned Execute, and ExecuteHot paths must all price the mixed
+// stream identically.
+func TestRewrittenVariantFallsBackToMiss(t *testing.T) {
+	plain := []evm.Step{
+		step(0, evm.PUSH1), step(2, evm.PUSH1), step(4, evm.ADD),
+		step(5, evm.POP), step(6, evm.STOP),
+	}
+	// The rewritten variant enters at the same pc, but its interior
+	// differs — as if the plan dropped pre-executed steps. Each pc still
+	// maps to the same opcode (code is immutable).
+	rewritten := []evm.Step{
+		step(0, evm.PUSH1), step(4, evm.ADD), step(5, evm.POP),
+		step(2, evm.PUSH1), step(6, evm.STOP),
+	}
+	intern := func(src []evm.Step) []evm.Step {
+		out := append([]evm.Step(nil), src...)
+		for i := range out {
+			out[i].CodeID = 5
+		}
+		return out
+	}
+	cfg := ilpConfig()
+	mem := FlatMem{Cfg: cfg}
+	var gasB uint64
+	for i := range rewritten {
+		gasB += rewritten[i].GasCost
+	}
+
+	// sequence replays a once, then b twice on one pipeline, returning
+	// the cycles of each call and asserting the stale-tag pass (first b)
+	// misses and the refilled pass (second b) hits.
+	sequence := func(a, b []evm.Step, exec func(p *Pipeline, s []evm.Step) uint64) [3]uint64 {
+		t.Helper()
+		p := New(cfg)
+		var out [3]uint64
+		out[0] = exec(p, a)
+
+		p.ResetStats()
+		out[1] = exec(p, b)
+		st := p.Stats()
+		if st.LineHits != 0 {
+			t.Fatalf("stale variant served as a hit: %+v", st)
+		}
+		if st.GasCharged != gasB {
+			t.Fatalf("gas %d, want %d", st.GasCharged, gasB)
+		}
+
+		p.ResetStats()
+		out[2] = exec(p, b)
+		if st := p.Stats(); st.LineHits == 0 {
+			t.Fatalf("refill did not replace the stale line: %+v", st)
+		}
+		return out
+	}
+
+	plainExec := func(p *Pipeline, s []evm.Step) uint64 {
+		return p.Execute(s, nil, mem)
+	}
+	local := sequence(plain, rewritten, plainExec)
+
+	// The stale-tag pass must cost exactly what a cold miss costs.
+	if cold := New(cfg).Execute(rewritten, nil, mem); local[1] != cold {
+		t.Fatalf("stale-tag pass %d cycles, cold miss %d", local[1], cold)
+	}
+
+	plainI, rewrittenI := intern(plain), intern(rewritten)
+	interned := sequence(plainI, rewrittenI, plainExec)
+	hpA, hpB := NewHotPlan(plainI, nil), NewHotPlan(rewrittenI, nil)
+	if hpA == nil || hpB == nil {
+		t.Fatal("hot plan rejected an interned stream")
+	}
+	hot := sequence(plainI, rewrittenI, func(p *Pipeline, s []evm.Step) uint64 {
+		hp := hpA
+		if &s[0] == &rewrittenI[0] {
+			hp = hpB
+		}
+		return p.ExecuteHot(s, nil, hp, mem)
+	})
+	if interned != local || hot != local {
+		t.Fatalf("paths disagree: local %v interned %v hot %v", local, interned, hot)
+	}
+}
+
 func TestSideTableRecordsSingles(t *testing.T) {
 	cfg := ilpConfig()
 	cfg.EnableFolding = false

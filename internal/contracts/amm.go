@@ -1,6 +1,8 @@
 package contracts
 
 import (
+	"fmt"
+
 	"mtpu/internal/evm"
 	"mtpu/internal/state"
 	"mtpu/internal/types"
@@ -188,4 +190,14 @@ func NewUniswapRouter() *Contract {
 // NewSwapRouter builds the SwapRouter archetype (0.5% fee tier).
 func NewSwapRouter() *Contract {
 	return newRouter("SwapRouter", SwapRouterAddr, 995)
+}
+
+// NewDEXPair builds the i-th extra AMM pair of the dex scenario — same
+// constant-product bytecode as the Uniswap archetype, at its own
+// address, so Zipf-hot pair traffic contends on per-pair reserves.
+func NewDEXPair(i int) *Contract {
+	var b [20]byte
+	b[18] = 0x71
+	b[19] = byte(i)
+	return newRouter(fmt.Sprintf("DEXPair%02d", i), types.Address(b), 997)
 }

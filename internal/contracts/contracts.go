@@ -213,6 +213,7 @@ var (
 	BallotAddr     = types.HexToAddress("0x000000000000000000000000000000000000a00a")
 	AuctionAddr    = types.HexToAddress("0x000000000000000000000000000000000000b00b")
 	ReceiverAddr   = types.HexToAddress("0x000000000000000000000000000000000000c00c")
+	OracleAddr     = types.HexToAddress("0x000000000000000000000000000000000000d00d")
 )
 
 // slotHash converts a small integer to a 32-byte storage slot key.

@@ -76,7 +76,9 @@ func (h *Harness) WriteReproducer(dir string, f Failure) (string, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return "", err
 	}
-	name := fmt.Sprintf("diff-%s-%s-%d.json", sanitize(f.Engine), shrunk.Workload.Kind, shrunk.Workload.Seed)
+	// Label/Seed cover every spec form — a stream or scenario reproducer
+	// previously collapsed to the empty kind and seed 0.
+	name := fmt.Sprintf("diff-%s-%s-%d.json", sanitize(f.Engine), sanitize(shrunk.Label()), shrunk.Seed())
 	path := filepath.Join(dir, name)
 	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
 		return "", err

@@ -23,10 +23,11 @@ func TestDiffGrid(t *testing.T) {
 	if len(specs) < 40 {
 		t.Fatalf("grid has %d specs, the sweep promises at least 40", len(specs))
 	}
-	// Every adversarial corner shape must stay in the grid.
+	// Every adversarial corner shape must stay in the grid, and every
+	// mainnet-shaped scenario stream with it.
 	covered := map[string]bool{}
 	for _, s := range specs {
-		covered[s.Workload.Kind] = true
+		covered[s.Label()] = true
 	}
 	for _, kind := range workload.SpecKinds {
 		if kind == "sct" || kind == "erc20" {
@@ -36,6 +37,11 @@ func TestDiffGrid(t *testing.T) {
 			t.Errorf("grid covers no %q workload", kind)
 		}
 	}
+	for _, name := range workload.Scenarios {
+		if !covered["scenario-"+name] {
+			t.Errorf("grid covers no %q scenario", name)
+		}
+	}
 
 	// When MTPU_DIFF_REPRO_DIR is set (CI does), every divergence is
 	// shrunk and written there so the run's artifact holds ready-made
@@ -43,7 +49,7 @@ func TestDiffGrid(t *testing.T) {
 	reproDir := os.Getenv("MTPU_DIFF_REPRO_DIR")
 	h := &Harness{}
 	for i, spec := range specs {
-		t.Run(spec.Workload.Kind+"/"+itoa(i), func(t *testing.T) {
+		t.Run(spec.Label()+"/"+itoa(i), func(t *testing.T) {
 			t.Parallel()
 			fails, err := h.Run(spec)
 			if err != nil {

@@ -35,6 +35,19 @@ func (h *Harness) Shrink(f Failure) Spec {
 		}
 		return shrinkDims(spec, fails)
 	}
+	if spec.Scenario != nil {
+		for spec.Scenario.Blocks > 1 {
+			s := spec
+			ss := *spec.Scenario
+			ss.Blocks--
+			s.Scenario = &ss
+			if !fails(s) {
+				break
+			}
+			spec = s
+		}
+		return shrinkDims(spec, fails)
+	}
 	spec = shrinkTxs(spec, fails)
 	spec = shrinkDims(spec, fails)
 	return spec
@@ -150,6 +163,20 @@ func shrinkDims(spec Spec, fails func(Spec) bool) Spec {
 			ss := *spec.Stream
 			ss.Accounts = acc
 			s.Stream = &ss
+			if fails(s) {
+				spec = s
+				break
+			}
+			continue
+		}
+		if spec.Scenario != nil {
+			if acc >= spec.Scenario.AccountPool() {
+				break
+			}
+			s := spec
+			ss := *spec.Scenario
+			ss.Accounts = acc
+			s.Scenario = &ss
 			if fails(s) {
 				spec = s
 				break

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"mtpu/internal/engine"
+	"mtpu/internal/workload"
+)
+
+func TestScenarioSweepCoversGrid(t *testing.T) {
+	points := ScenarioSweep(testEnv)
+	modes := engine.Modes()
+	want := len(workload.Scenarios) * len(ScenarioPUs) * len(modes)
+	if len(points) != want {
+		t.Fatalf("%d points, want %d (scenarios × PUs × engines)", len(points), want)
+	}
+	i := 0
+	for _, s := range workload.Scenarios {
+		for _, pus := range ScenarioPUs {
+			for _, m := range modes {
+				p := points[i]
+				i++
+				if p.Scenario != s || p.PUs != pus || p.Engine != m.String() {
+					t.Fatalf("point %d: got %s/%s/pus%d, want %s/%s/pus%d",
+						i-1, p.Scenario, p.Engine, p.PUs, s, m, pus)
+				}
+				if p.Cycles == 0 || p.Speedup <= 0 || p.TxPerSec <= 0 {
+					t.Errorf("%s/%s pus %d: empty measurement %+v", s, m, pus, p)
+				}
+			}
+		}
+	}
+	// The first registered engine anchors each cell's speedup column.
+	for c := 0; c < len(points); c += len(modes) {
+		if points[c].Speedup != 1.0 {
+			t.Errorf("%s pus %d: anchor speedup %.2f, want 1.0",
+				points[c].Scenario, points[c].PUs, points[c].Speedup)
+		}
+	}
+	out := RenderScenarios(points)
+	if out == "" {
+		t.Fatal("empty rendering")
+	}
+	if !strings.Contains(out, "hotspot-optimization delta") {
+		t.Error("rendering missing the hotspot delta table")
+	}
+	for _, s := range workload.Scenarios {
+		if !strings.Contains(out, s) {
+			t.Errorf("rendering missing scenario %s", s)
+		}
+	}
+}
+
+// TestScenarioSweepDeterministic: simulated cycles (and hence speedups)
+// must be identical across runs — the table is regenerable data, and
+// only the wall-clock tx/s column is allowed to vary.
+func TestScenarioSweepDeterministic(t *testing.T) {
+	a := ScenarioSweep(testEnv)
+	b := ScenarioSweep(testEnv)
+	if len(a) != len(b) {
+		t.Fatalf("%d vs %d points", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Cycles != b[i].Cycles || a[i].Speedup != b[i].Speedup {
+			t.Errorf("point %d (%s/%s pus %d): cycles %d/%.3f vs %d/%.3f",
+				i, a[i].Scenario, a[i].Engine, a[i].PUs,
+				a[i].Cycles, a[i].Speedup, b[i].Cycles, b[i].Speedup)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"bytes"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
@@ -56,8 +57,18 @@ func (s *Service) handleBlocks(w http.ResponseWriter, r *http.Request) {
 		var req struct {
 			RLP string `json:"rlp"`
 		}
-		if err := json.Unmarshal(body, &req); err != nil {
+		// Strict decode, like every other spec/envelope format in the
+		// repo: a misspelled key must not silently submit garbage.
+		dec := json.NewDecoder(bytes.NewReader(body))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
 			http.Error(w, "decoding JSON envelope: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if req.RLP == "" {
+			// Without this, an empty envelope decodes to zero bytes and
+			// falls through to a misleading block-decode error.
+			http.Error(w, "JSON envelope missing rlp payload", http.StatusBadRequest)
 			return
 		}
 		raw, err = hex.DecodeString(strings.TrimPrefix(req.RLP, "0x"))

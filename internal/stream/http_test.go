@@ -97,6 +97,62 @@ func TestHTTPIngest(t *testing.T) {
 	}
 }
 
+// TestHTTPEnvelopeStrict pins the JSON-envelope hardening: unknown
+// envelope keys and empty/missing rlp payloads are 400s with pointed
+// messages, not accepted blocks or misleading block-decode errors.
+func TestHTTPEnvelopeStrict(t *testing.T) {
+	spec := workload.StreamSpec{Blocks: 4, Txs: 4, Seed: 55}
+	svc, in, src := startIngest(t, Config{Mode: engine.ModeScalar}, spec)
+	base := "http://" + in.Addr
+
+	b, _ := src.Next()
+	hexRLP := "0x" + hex.EncodeToString(b.EncodeRLP())
+	post := func(body string) (int, string) {
+		t.Helper()
+		resp, err := http.Post(base+"/blocks", "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatalf("post %q: %v", body, err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return resp.StatusCode, buf.String()
+	}
+
+	// A misspelled key must not be silently dropped.
+	code, msg := post(`{"rpl":"` + hexRLP + `"}`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("unknown envelope key: %d %q, want 400", code, msg)
+	}
+	if !bytes.Contains([]byte(msg), []byte("envelope")) {
+		t.Fatalf("unknown-key error %q does not name the envelope", msg)
+	}
+
+	// Empty and missing rlp payloads are envelope errors, not block ones.
+	for _, body := range []string{`{}`, `{"rlp":""}`} {
+		code, msg = post(body)
+		if code != http.StatusBadRequest {
+			t.Fatalf("%s: %d %q, want 400", body, code, msg)
+		}
+		if !bytes.Contains([]byte(msg), []byte("missing rlp")) {
+			t.Fatalf("%s error %q does not say missing rlp", body, msg)
+		}
+	}
+
+	// The well-formed envelope still works after the rejections.
+	code, msg = post(`{"rlp":"` + hexRLP + `"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("valid envelope: %d %q, want 202", code, msg)
+	}
+	rep, err := svc.Drain()
+	if err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if rep.Committed != 1 {
+		t.Fatalf("committed %d, want 1", rep.Committed)
+	}
+}
+
 // TestUnixIngest submits a block over the unix socket listener.
 func TestUnixIngest(t *testing.T) {
 	spec := workload.StreamSpec{Blocks: 2, Txs: 6, Seed: 33}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"math"
 
 	"mtpu/internal/state"
 	"mtpu/internal/types"
@@ -58,10 +59,13 @@ func (s Spec) Validate() error {
 	if s.Txs < 1 {
 		return fmt.Errorf("workload: spec needs at least one transaction, got %d", s.Txs)
 	}
-	if s.Dep < 0 || s.Dep > 1 {
+	if math.IsNaN(s.Dep) || math.IsInf(s.Dep, 0) || s.Dep < 0 || s.Dep > 1 {
+		// Comparisons alone let NaN through: both bounds checks are
+		// false for it, and the flag shorthand reaches here via
+		// ParseFloat("NaN", 64).
 		return fmt.Errorf("workload: dep ratio %v outside [0,1]", s.Dep)
 	}
-	if s.Share < 0 || s.Share > 1 {
+	if math.IsNaN(s.Share) || math.IsInf(s.Share, 0) || s.Share < 0 || s.Share > 1 {
 		return fmt.Errorf("workload: share %v outside [0,1]", s.Share)
 	}
 	if s.Accounts < 0 {

@@ -3,6 +3,7 @@ package workload
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 
@@ -43,7 +44,10 @@ func (s StreamSpec) Validate() error {
 	if s.Txs < 1 {
 		return fmt.Errorf("workload: stream needs at least one transaction per block, got %d", s.Txs)
 	}
-	if s.Dep < 0 || s.Dep > 1 {
+	if math.IsNaN(s.Dep) || math.IsInf(s.Dep, 0) || s.Dep < 0 || s.Dep > 1 {
+		// Comparisons alone let NaN through: both bounds checks are
+		// false for it, and the flag shorthand reaches here via
+		// ParseFloat("NaN", 64).
 		return fmt.Errorf("workload: stream dep ratio %v outside [0,1]", s.Dep)
 	}
 	if s.Accounts < 0 {
@@ -68,6 +72,14 @@ func (s StreamSpec) String() string {
 	}
 	return out
 }
+
+// Describe renders the ledger-key fragment identifying this workload.
+func (s StreamSpec) Describe() string {
+	return fmt.Sprintf("blocks%d-txs%d-dep%.2f", s.Blocks, s.Txs, s.Dep)
+}
+
+// OpenSource satisfies SourceSpec.
+func (s StreamSpec) OpenSource() (BlockSource, error) { return s.Open() }
 
 // ParseStreamSpec decodes a stream spec from either strict JSON
 // (`{"blocks":500,"txs":64,"dep":0.3,"seed":1}`) or the flag shorthand

@@ -102,6 +102,17 @@ func (g *Generator) beginBlock() {
 	}
 }
 
+// AddContract registers an extra contract beyond the standard set, so
+// Genesis deploys it and Contract resolves it by name. It must be
+// called before Genesis.
+func (g *Generator) AddContract(c *contracts.Contract) {
+	if _, dup := g.byName[c.Name]; dup {
+		panic("workload: duplicate contract " + c.Name)
+	}
+	g.Contracts = append(g.Contracts, c)
+	g.byName[c.Name] = c
+}
+
 // Contract returns a named contract from the generator's set.
 func (g *Generator) Contract(name string) *contracts.Contract {
 	c := g.byName[name]

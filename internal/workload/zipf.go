@@ -1,0 +1,54 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// zipfDist is a deterministic Zipf(s) sampler over ranks 0..n-1: rank k
+// is drawn with probability proportional to (k+1)^-s. Unlike
+// rand.NewZipf it accepts any s >= 0 — mainnet account/contract
+// popularity skews sit around 0.9–1.2, below the s > 1 floor of the
+// standard-library sampler — and it samples by binary search over the
+// precomputed CDF, so identical seeds yield identical rank sequences on
+// every platform.
+type zipfDist struct {
+	cum []float64 // cum[k] = sum of weights of ranks 0..k
+}
+
+// newZipf builds the sampler. n must be >= 1; s = 0 degenerates to the
+// uniform distribution.
+func newZipf(n int, s float64) *zipfDist {
+	if n < 1 {
+		panic("workload: zipf over an empty rank set")
+	}
+	z := &zipfDist{cum: make([]float64, n)}
+	total := 0.0
+	for k := 0; k < n; k++ {
+		total += math.Pow(float64(k+1), -s)
+		z.cum[k] = total
+	}
+	return z
+}
+
+// sample draws one rank using the generator's randomness.
+func (z *zipfDist) sample(rng *rand.Rand) int {
+	u := rng.Float64() * z.cum[len(z.cum)-1]
+	return sort.SearchFloat64s(z.cum, u)
+}
+
+// topShare returns the analytic probability mass of the hottest
+// ceil(frac·n) ranks — the expected share of draws they receive, the
+// reference value of the skew sanity tests.
+func (z *zipfDist) topShare(frac float64) float64 {
+	n := len(z.cum)
+	top := int(math.Ceil(frac * float64(n)))
+	if top < 1 {
+		top = 1
+	}
+	if top > n {
+		top = n
+	}
+	return z.cum[top-1] / z.cum[n-1]
+}
